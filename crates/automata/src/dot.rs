@@ -1,0 +1,65 @@
+//! Graphviz DOT export for debugging automata constructions.
+
+use crate::dfa::Dfa;
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::hash::Hash;
+
+/// Renders `dfa` in Graphviz DOT syntax, labelling edges with the letters'
+/// `Display` form.
+///
+/// # Example
+///
+/// ```
+/// use automata::dfa::DfaBuilder;
+/// use automata::dot::to_dot;
+///
+/// let mut b = DfaBuilder::new();
+/// let q0 = b.add_state(true);
+/// b.add_transition(q0, 'a', q0);
+/// let dot = to_dot(&b.build(q0), "loop");
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("label=\"a\""));
+/// ```
+pub fn to_dot<L: Copy + Eq + Ord + Hash + Display>(dfa: &Dfa<L>, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  __init [shape=point];");
+    for q in dfa.states() {
+        let shape = if dfa.is_accepting(q) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        let _ = writeln!(out, "  {} [shape={shape}];", q.index());
+    }
+    let _ = writeln!(out, "  __init -> {};", dfa.initial().index());
+    for q in dfa.states() {
+        for (l, t) in dfa.edges(q) {
+            let _ = writeln!(out, "  {} -> {} [label=\"{l}\"];", q.index(), t.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::DfaBuilder;
+
+    #[test]
+    fn dot_output_structure() {
+        let mut b = DfaBuilder::new();
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(true);
+        b.add_transition(q0, 'x', q1);
+        let dot = to_dot(&b.build(q0), "t");
+        assert!(dot.starts_with("digraph \"t\" {"));
+        assert!(dot.contains("0 -> 1 [label=\"x\"]"));
+        assert!(dot.contains("1 [shape=doublecircle]"));
+        assert!(dot.contains("0 [shape=circle]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

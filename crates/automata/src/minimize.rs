@@ -1,0 +1,189 @@
+//! DFA minimization by partition refinement (Moore's algorithm).
+//!
+//! Used by the experiments that measure the *optimal* size of a reduction's
+//! finite representation (§4.1 of the paper compares reduction DFA sizes;
+//! minimizing first makes the comparison independent of construction
+//! artifacts such as duplicated sleep-set states).
+
+use crate::dfa::{Dfa, DfaBuilder, StateId};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Returns the minimal DFA recognizing the same language as `dfa`.
+///
+/// The input is trimmed first (unreachable and non-co-reachable states
+/// removed); a partial transition function is preserved — the minimal
+/// automaton has no rejecting sink unless the language is empty, in which
+/// case a single dead initial state is returned.
+///
+/// # Example
+///
+/// ```
+/// use automata::dfa::DfaBuilder;
+/// use automata::minimize::minimize;
+///
+/// // Two redundant accepting states recognizing a(a|b)* in a roundabout way.
+/// let mut b = DfaBuilder::new();
+/// let q0 = b.add_state(false);
+/// let q1 = b.add_state(true);
+/// let q2 = b.add_state(true);
+/// b.add_transition(q0, 'a', q1);
+/// b.add_transition(q1, 'a', q2);
+/// b.add_transition(q1, 'b', q2);
+/// b.add_transition(q2, 'a', q1);
+/// b.add_transition(q2, 'b', q1);
+/// let m = minimize(&b.build(q0));
+/// assert_eq!(m.num_states(), 2);
+/// ```
+#[allow(clippy::needless_range_loop, clippy::type_complexity)] // partition refinement over state indices
+pub fn minimize<L: Copy + Eq + Ord + Hash>(dfa: &Dfa<L>) -> Dfa<L> {
+    let dfa = dfa.trim();
+    if dfa.is_empty() {
+        return dfa;
+    }
+    let n = dfa.num_states();
+    let alphabet = dfa.alphabet();
+
+    // block[q] = current partition block of state q.
+    // Start from the accepting / non-accepting split.
+    let mut block: Vec<usize> = (0..n)
+        .map(|i| usize::from(dfa.is_accepting(StateId(i as u32))))
+        .collect();
+    let mut num_blocks = 2;
+    // The initial split may be degenerate (all accepting after trimming is
+    // impossible unless every state accepts).
+    if block.iter().all(|&b| b == block[0]) {
+        for b in block.iter_mut() {
+            *b = 0;
+        }
+        num_blocks = 1;
+    }
+
+    loop {
+        // Signature of q: (block, [(letter, successor block or None)]).
+        let mut signatures: HashMap<(usize, Vec<(L, Option<usize>)>), usize> = HashMap::new();
+        let mut new_block = vec![0usize; n];
+        let mut next_id = 0usize;
+        for q in 0..n {
+            let sig: Vec<(L, Option<usize>)> = alphabet
+                .iter()
+                .map(|&l| (l, dfa.step(StateId(q as u32), l).map(|t| block[t.index()])))
+                .collect();
+            let key = (block[q], sig);
+            let id = *signatures.entry(key).or_insert_with(|| {
+                let id = next_id;
+                next_id += 1;
+                id
+            });
+            new_block[q] = id;
+        }
+        let stable = next_id == num_blocks;
+        num_blocks = next_id;
+        block = new_block;
+        if stable {
+            break;
+        }
+    }
+
+    // Build the quotient automaton.
+    let mut builder = DfaBuilder::new();
+    let mut block_state: Vec<Option<StateId>> = vec![None; num_blocks];
+    for q in 0..n {
+        let b = block[q];
+        if block_state[b].is_none() {
+            block_state[b] = Some(builder.add_state(dfa.is_accepting(StateId(q as u32))));
+        }
+    }
+    let mut added: HashMap<(usize, L), usize> = HashMap::new();
+    for q in 0..n {
+        let from = block[q];
+        for (l, t) in dfa.edges(StateId(q as u32)) {
+            let to = block[t.index()];
+            match added.insert((from, l), to) {
+                None => builder.add_transition(
+                    block_state[from].expect("block materialized"),
+                    l,
+                    block_state[to].expect("block materialized"),
+                ),
+                Some(prev) => debug_assert_eq!(prev, to, "quotient must be deterministic"),
+            }
+        }
+    }
+    builder.build(block_state[block[dfa.initial().index()]].expect("initial block"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::bounded_equal;
+    use crate::ops::are_equivalent;
+
+    fn mod3_a() -> Dfa<char> {
+        // number of a's ≡ 0 (mod 3), with deliberately duplicated states.
+        let mut b = DfaBuilder::new();
+        let states: Vec<_> = (0..6).map(|i| b.add_state(i % 3 == 0)).collect();
+        for i in 0..6 {
+            b.add_transition(states[i], 'a', states[(i + 1) % 6]);
+            b.add_transition(states[i], 'b', states[i]);
+        }
+        b.build(states[0])
+    }
+
+    #[test]
+    fn collapses_duplicated_cycle() {
+        let d = mod3_a();
+        let m = minimize(&d);
+        assert_eq!(m.num_states(), 3);
+        assert!(are_equivalent(&d, &m));
+        assert!(bounded_equal(&d, &m, 7));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let m = minimize(&mod3_a());
+        let mm = minimize(&m);
+        assert_eq!(m.num_states(), mm.num_states());
+        assert!(are_equivalent(&m, &mm));
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_dead_state() {
+        let mut b = DfaBuilder::new();
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(false);
+        b.add_transition(q0, 'a', q1);
+        let m = minimize(&b.build(q0));
+        assert_eq!(m.num_states(), 1);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn all_accepting_single_state() {
+        // (a|b)* with redundant states.
+        let mut b = DfaBuilder::new();
+        let q0 = b.add_state(true);
+        let q1 = b.add_state(true);
+        b.add_transition(q0, 'a', q1);
+        b.add_transition(q0, 'b', q0);
+        b.add_transition(q1, 'a', q0);
+        b.add_transition(q1, 'b', q1);
+        let m = minimize(&b.build(q0));
+        assert_eq!(m.num_states(), 1);
+        assert!(m.accepts("abba".chars()));
+    }
+
+    #[test]
+    fn partial_transitions_preserved() {
+        // Language {ab}: minimal partial DFA has 3 states, no sink.
+        let mut b = DfaBuilder::new();
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(false);
+        let q2 = b.add_state(true);
+        b.add_transition(q0, 'a', q1);
+        b.add_transition(q1, 'b', q2);
+        let m = minimize(&b.build(q0));
+        assert_eq!(m.num_states(), 3);
+        assert!(m.accepts("ab".chars()));
+        assert!(!m.accepts("abb".chars()));
+    }
+}

@@ -1,0 +1,249 @@
+//! Nondeterministic finite automata and the subset construction.
+//!
+//! Floyd/Hoare automata are naturally nondeterministic (a Hoare triple
+//! `{φ} a {ψ}` may hold for several `ψ`); the verifier determinizes them
+//! implicitly, but the explicit construction here is used by tests and by
+//! the language-theoretic experiments.
+
+use crate::bitset::BitSet;
+use crate::dfa::{Dfa, DfaBuilder, StateId};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A nondeterministic finite automaton (no ε-transitions) over letters `L`.
+///
+/// # Example
+///
+/// ```
+/// use automata::nfa::NfaBuilder;
+///
+/// // Words over {a,b} whose last letter is 'a'.
+/// let mut b = NfaBuilder::new();
+/// let q0 = b.add_state(false);
+/// let q1 = b.add_state(true);
+/// b.add_transition(q0, 'a', q0);
+/// b.add_transition(q0, 'b', q0);
+/// b.add_transition(q0, 'a', q1);
+/// b.add_initial(q0);
+/// let nfa = b.build();
+/// assert!(nfa.accepts("bba".chars()));
+/// assert!(!nfa.accepts("ab".chars()));
+/// let dfa = nfa.determinize();
+/// assert!(dfa.accepts("bba".chars()));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Nfa<L> {
+    transitions: Vec<Vec<(L, StateId)>>,
+    accepting: BitSet,
+    initial: Vec<StateId>,
+}
+
+impl<L: Copy + Eq + Ord + Hash> Nfa<L> {
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> &[StateId] {
+        &self.initial
+    }
+
+    /// Whether `q` is accepting.
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.accepting.contains(q.index())
+    }
+
+    /// All successors of `q` on `letter`.
+    pub fn successors(&self, q: StateId, letter: L) -> impl Iterator<Item = StateId> + '_ {
+        self.transitions[q.index()]
+            .iter()
+            .filter(move |&&(l, _)| l == letter)
+            .map(|&(_, t)| t)
+    }
+
+    /// Language membership via on-the-fly subset tracking.
+    pub fn accepts(&self, word: impl IntoIterator<Item = L>) -> bool {
+        let mut current: Vec<StateId> = self.initial.clone();
+        for a in word {
+            let mut next: Vec<StateId> = current
+                .iter()
+                .flat_map(|&q| self.successors(q, a))
+                .collect();
+            next.sort_unstable();
+            next.dedup();
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&q| self.is_accepting(q))
+    }
+
+    /// Subset construction. Only reachable subsets are materialized.
+    pub fn determinize(&self) -> Dfa<L> {
+        let mut builder = DfaBuilder::new();
+        let mut subset_ids: HashMap<Vec<StateId>, StateId> = HashMap::new();
+
+        let mut initial_subset = self.initial.clone();
+        initial_subset.sort_unstable();
+        initial_subset.dedup();
+
+        let accepting = |subset: &[StateId]| subset.iter().any(|&q| self.is_accepting(q));
+
+        let init_id = builder.add_state(accepting(&initial_subset));
+        subset_ids.insert(initial_subset.clone(), init_id);
+        let mut work = vec![initial_subset];
+
+        while let Some(subset) = work.pop() {
+            let from = subset_ids[&subset];
+            // Group outgoing edges of the subset by letter.
+            let mut by_letter: HashMap<L, Vec<StateId>> = HashMap::new();
+            for &q in &subset {
+                for &(l, t) in &self.transitions[q.index()] {
+                    by_letter.entry(l).or_default().push(t);
+                }
+            }
+            let mut letters: Vec<L> = by_letter.keys().copied().collect();
+            letters.sort_unstable();
+            for l in letters {
+                let mut next = by_letter.remove(&l).expect("letter key present");
+                next.sort_unstable();
+                next.dedup();
+                let to = match subset_ids.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = builder.add_state(accepting(&next));
+                        subset_ids.insert(next.clone(), id);
+                        work.push(next);
+                        id
+                    }
+                };
+                builder.add_transition(from, l, to);
+            }
+        }
+        builder.build(init_id)
+    }
+}
+
+/// Incremental constructor for [`Nfa`].
+#[derive(Clone, Debug, Default)]
+pub struct NfaBuilder<L> {
+    transitions: Vec<Vec<(L, StateId)>>,
+    accepting: Vec<bool>,
+    initial: Vec<StateId>,
+}
+
+impl<L: Copy + Eq + Ord + Hash> NfaBuilder<L> {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        NfaBuilder {
+            transitions: Vec::new(),
+            accepting: Vec::new(),
+            initial: Vec::new(),
+        }
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        self.transitions.push(Vec::new());
+        self.accepting.push(accepting);
+        StateId(self.transitions.len() as u32 - 1)
+    }
+
+    /// Marks `q` as an initial state.
+    pub fn add_initial(&mut self, q: StateId) {
+        if !self.initial.contains(&q) {
+            self.initial.push(q);
+        }
+    }
+
+    /// Adds the transition `from --letter--> to` (duplicates are ignored).
+    pub fn add_transition(&mut self, from: StateId, letter: L, to: StateId) {
+        let row = &mut self.transitions[from.index()];
+        if !row.contains(&(letter, to)) {
+            row.push((letter, to));
+        }
+    }
+
+    /// Finalizes the automaton.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no initial state was added.
+    pub fn build(self) -> Nfa<L> {
+        assert!(!self.initial.is_empty(), "NFA needs at least one initial state");
+        let mut accepting = BitSet::new(self.accepting.len().max(1));
+        for (i, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                accepting.insert(i);
+            }
+        }
+        Nfa {
+            transitions: self.transitions,
+            accepting,
+            initial: self.initial,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::enumerate_words;
+
+    /// NFA for words over {0,1} with a 1 in the third-to-last position.
+    fn third_last_one() -> Nfa<u8> {
+        let mut b = NfaBuilder::new();
+        let q0 = b.add_state(false);
+        let q1 = b.add_state(false);
+        let q2 = b.add_state(false);
+        let q3 = b.add_state(true);
+        for l in [0u8, 1] {
+            b.add_transition(q0, l, q0);
+            b.add_transition(q1, l, q2);
+            b.add_transition(q2, l, q3);
+        }
+        b.add_transition(q0, 1, q1);
+        b.add_initial(q0);
+        b.build()
+    }
+
+    #[test]
+    fn nfa_accepts() {
+        let n = third_last_one();
+        assert!(n.accepts([1u8, 0, 0].iter().copied()));
+        assert!(n.accepts([0u8, 1, 1, 1].iter().copied()));
+        assert!(!n.accepts([0u8, 0, 0].iter().copied()));
+        assert!(!n.accepts([1u8].iter().copied()));
+    }
+
+    #[test]
+    fn determinization_preserves_language() {
+        let n = third_last_one();
+        let d = n.determinize();
+        for word in enumerate_words(&[0u8, 1], 7) {
+            assert_eq!(
+                n.accepts(word.iter().copied()),
+                d.accepts(word.iter().copied()),
+                "mismatch on {word:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn determinized_size_is_subset_bound() {
+        let n = third_last_one();
+        let d = n.determinize();
+        // Classic example: needs 2^3 = 8 states.
+        assert_eq!(d.num_states(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one initial state")]
+    fn build_without_initial_panics() {
+        let mut b = NfaBuilder::<char>::new();
+        b.add_state(true);
+        let _ = b.build();
+    }
+}

@@ -1,0 +1,843 @@
+//! CPL source generators for the parametric benchmark families.
+//!
+//! Each generator returns a complete CPL compilation unit. Ground truths
+//! are documented per generator and double-checked by the corpus tests
+//! (SMT verifier vs. explicit-state search on small instances).
+
+use std::fmt::Write as _;
+
+/// The §2 bluetooth driver, corrected version, with `n ≥ 1` user threads
+/// (one carrying the assertion, by symmetry) and one stopper. **Safe.**
+pub fn bluetooth(n_users: usize) -> String {
+    assert!(n_users >= 1);
+    let mut s = String::from(
+        "// Bluetooth driver (corrected), §2 of the paper.
+var pendingIo: int = 1;
+var stoppingFlag: bool = false;
+var stoppingEvent: bool = false;
+var stopped: bool = false;
+
+thread user_checked {
+    while (*) {
+        atomic { assume !stoppingFlag; pendingIo := pendingIo + 1; }
+        assert !stopped;
+        atomic { pendingIo := pendingIo - 1; if (pendingIo == 0) { stoppingEvent := true; } }
+    }
+}
+
+thread user {
+    while (*) {
+        atomic { assume !stoppingFlag; pendingIo := pendingIo + 1; }
+        atomic { pendingIo := pendingIo - 1; if (pendingIo == 0) { stoppingEvent := true; } }
+    }
+}
+
+thread stopper {
+    stoppingFlag := true;
+    atomic { pendingIo := pendingIo - 1; if (pendingIo == 0) { stoppingEvent := true; } }
+    assume stoppingEvent;
+    stopped := true;
+}
+
+spawn user_checked;
+",
+    );
+    if n_users > 1 {
+        let _ = writeln!(s, "spawn user * {};", n_users - 1);
+    }
+    s.push_str("spawn stopper;\n");
+    s
+}
+
+/// The *original* (KISS) bluetooth driver: the user's flag check and the
+/// pendingIo increment are not atomic, so the stopper can complete in
+/// between. **Unsafe.**
+pub fn bluetooth_buggy(n_users: usize) -> String {
+    assert!(n_users >= 1);
+    let mut s = String::from(
+        "// Bluetooth driver, original buggy version (non-atomic enter).
+var pendingIo: int = 1;
+var stoppingFlag: bool = false;
+var stoppingEvent: bool = false;
+var stopped: bool = false;
+
+thread user_checked {
+    while (*) {
+        assume !stoppingFlag;
+        pendingIo := pendingIo + 1;
+        assert !stopped;
+        atomic { pendingIo := pendingIo - 1; if (pendingIo == 0) { stoppingEvent := true; } }
+    }
+}
+
+thread stopper {
+    stoppingFlag := true;
+    atomic { pendingIo := pendingIo - 1; if (pendingIo == 0) { stoppingEvent := true; } }
+    assume stoppingEvent;
+    stopped := true;
+}
+
+spawn user_checked;
+",
+    );
+    if n_users > 1 {
+        let _ = writeln!(s, "spawn user_checked * {};", n_users - 1);
+    }
+    s.push_str("spawn stopper;\n");
+    s
+}
+
+/// `n` workers each add 1 to a shared counter `k` times (atomically), then
+/// signal completion; a checker asserts `counter ≤ bound` once all workers
+/// are done. **Safe iff `bound ≥ n·k`.**
+pub fn shared_counter(n: usize, k: usize, bound: i128) -> String {
+    let mut s = String::from("// Shared counter with join-style checker.\n");
+    let _ = writeln!(s, "var counter: int = 0;\nvar done: int = 0;\n");
+    s.push_str(&format!(
+        "thread worker {{
+    local i: int = 0;
+    while (i < {k}) {{
+        atomic {{ counter := counter + 1; }}
+        i := i + 1;
+    }}
+    atomic {{ done := done + 1; }}
+}}
+
+thread checker {{
+    assume done == {n};
+    assert counter <= {bound};
+}}
+
+spawn worker * {n};
+spawn checker;
+"
+    ));
+    s
+}
+
+/// `n` threads enter a critical section guarded by a test-and-set
+/// spinlock (or unguarded when `with_lock` is false); the first thread
+/// asserts the critical counter is exactly 1 inside.
+/// **Safe iff `with_lock`.**
+pub fn spinlock(n: usize, with_lock: bool) -> String {
+    assert!(n >= 2);
+    let (acquire, release) = if with_lock {
+        (
+            "atomic { assume lock == 0; lock := 1; }\n    ",
+            "lock := 0;\n    ",
+        )
+    } else {
+        ("", "")
+    };
+    let mut s = String::from("// Test-and-set spinlock mutual exclusion.\n");
+    s.push_str("var lock: int = 0;\nvar c: int = 0;\n\n");
+    let _ = writeln!(
+        s,
+        "thread first {{
+    {acquire}c := c + 1;
+    assert c == 1;
+    c := c - 1;
+    {release}
+}}
+
+thread other {{
+    {acquire}c := c + 1;
+    c := c - 1;
+    {release}
+}}
+
+spawn first;
+spawn other * {};",
+        n - 1
+    );
+    s
+}
+
+/// Peterson's mutual exclusion for two threads (correct), or the classic
+/// check-then-set race (buggy). **Safe iff `correct`.**
+pub fn peterson(correct: bool) -> String {
+    if correct {
+        "// Peterson's algorithm, 2 threads.
+var flag0: bool = false;
+var flag1: bool = false;
+var turn: int = 0;
+var c: int = 0;
+
+thread t0 {
+    flag0 := true;
+    turn := 1;
+    assume !flag1 || turn == 0;
+    c := c + 1;
+    assert c == 1;
+    c := c - 1;
+    flag0 := false;
+}
+
+thread t1 {
+    flag1 := true;
+    turn := 0;
+    assume !flag0 || turn == 1;
+    c := c + 1;
+    c := c - 1;
+    flag1 := false;
+}
+
+spawn t0;
+spawn t1;
+"
+        .to_owned()
+    } else {
+        "// Broken mutual exclusion: check-then-set race.
+var flag0: bool = false;
+var flag1: bool = false;
+var c: int = 0;
+
+thread t0 {
+    assume !flag1;
+    flag0 := true;
+    c := c + 1;
+    assert c == 1;
+    c := c - 1;
+    flag0 := false;
+}
+
+thread t1 {
+    assume !flag0;
+    flag1 := true;
+    c := c + 1;
+    c := c - 1;
+    flag1 := false;
+}
+
+spawn t0;
+spawn t1;
+"
+        .to_owned()
+    }
+}
+
+/// Bounded-buffer producer/consumer over an item counter. The producer
+/// asserts `0 ≤ count ≤ capacity` after each production; the guarded
+/// version checks capacity before producing. **Safe iff `guarded`.**
+pub fn producer_consumer(capacity: i128, guarded: bool) -> String {
+    let produce = if guarded {
+        format!("atomic {{ assume count < {capacity}; count := count + 1; }}")
+    } else {
+        "atomic { count := count + 1; }".to_owned()
+    };
+    format!(
+        "// Bounded buffer as an item counter.
+var count: int = 0;
+
+thread producer {{
+    while (*) {{
+        {produce}
+        assert count >= 0 && count <= {capacity};
+    }}
+}}
+
+thread consumer {{
+    while (*) {{
+        atomic {{ assume count > 0; count := count - 1; }}
+    }}
+}}
+
+spawn producer;
+spawn consumer;
+"
+    )
+}
+
+/// The SV-COMP `fib_bench` pattern: two threads repeatedly add each
+/// other's variable; the maximal reachable value of `i` follows the
+/// Fibonacci numbers. With `iters = 2` the maximum is 8.
+/// **Safe iff `bound ≥` that maximum.**
+pub fn fib_bench(iters: usize, bound: i128) -> String {
+    format!(
+        "// fib_bench: interleaved mutual additions.
+var i: int = 1;
+var j: int = 1;
+
+thread add_i {{
+    local k: int = 0;
+    while (k < {iters}) {{
+        atomic {{ i := i + j; }}
+        k := k + 1;
+    }}
+    assert i <= {bound};
+}}
+
+thread add_j {{
+    local k: int = 0;
+    while (k < {iters}) {{
+        atomic {{ j := j + i; }}
+        k := k + 1;
+    }}
+}}
+
+spawn add_i;
+spawn add_j;
+"
+    )
+}
+
+/// Two threads perform a non-atomic read-modify-write of `x`; the lost
+/// update makes the final assertion fail. **Unsafe.**
+pub fn split_read_modify_write() -> String {
+    "// Lost update: non-atomic x := x + 1 in both threads.
+var x: int = 0;
+var done: int = 0;
+
+thread incr {
+    local tmp: int = 0;
+    tmp := x;
+    x := tmp + 1;
+    atomic { done := done + 1; }
+}
+
+thread checker {
+    assume done == 2;
+    assert x == 2;
+}
+
+spawn incr * 2;
+spawn checker;
+"
+    .to_owned()
+}
+
+/// Message-passing handshake: the writer publishes data, then raises the
+/// ready flag; the reader checks the flag before reading. **Safe.**
+pub fn flag_handshake() -> String {
+    "// Publication via a ready flag.
+var data: int = 0;
+var ready: bool = false;
+
+thread writer {
+    data := 42;
+    ready := true;
+}
+
+thread reader {
+    assume ready;
+    assert data == 42;
+}
+
+spawn writer;
+spawn reader;
+"
+    .to_owned()
+}
+
+/// The same handshake with the flag raised *before* the data is written.
+/// **Unsafe.**
+pub fn flag_handshake_buggy() -> String {
+    "// Broken publication: flag raised before the data is ready.
+var data: int = 0;
+var ready: bool = false;
+
+thread writer {
+    ready := true;
+    data := 42;
+}
+
+thread reader {
+    assume ready;
+    assert data == 42;
+}
+
+spawn writer;
+spawn reader;
+"
+    .to_owned()
+}
+
+/// One thread counts `c` up `n` times, another counts it down `n` times; a
+/// checker asserts `c = 0` after both complete. Requires a counting proof
+/// (Weaver-style). **Safe.**
+pub fn count_up_down(n: usize) -> String {
+    count_up_down_impl(n, n)
+}
+
+/// As [`count_up_down`] but the down-counter runs once more: the final
+/// value is −1. **Unsafe.**
+pub fn count_up_down_buggy(n: usize) -> String {
+    count_up_down_impl(n, n + 1)
+}
+
+fn count_up_down_impl(ups: usize, downs: usize) -> String {
+    format!(
+        "// Count up / count down with a join-style checker.
+var c: int = 0;
+var done: int = 0;
+
+thread up {{
+    local i: int = 0;
+    while (i < {ups}) {{
+        atomic {{ c := c + 1; }}
+        i := i + 1;
+    }}
+    atomic {{ done := done + 1; }}
+}}
+
+thread down {{
+    local i: int = 0;
+    while (i < {downs}) {{
+        atomic {{ c := c - 1; }}
+        i := i + 1;
+    }}
+    atomic {{ done := done + 1; }}
+}}
+
+thread checker {{
+    assume done == 2;
+    assert c == 0;
+}}
+
+spawn up;
+spawn down;
+spawn checker;
+"
+    )
+}
+
+/// `n` threads each add a nondeterministic value `0 ≤ h ≤ 3` to `sum`
+/// while adding 3 to `cap` in the same atomic block; the checker asserts
+/// `sum ≤ cap`. Needs the relational invariant `sum ≤ cap`. **Safe.**
+pub fn parallel_add(n: usize) -> String {
+    format!(
+        "// Parallel addition of bounded nondeterministic values.
+var sum: int = 0;
+var cap: int = 0;
+var done: int = 0;
+
+thread adder {{
+    local h: int = 0;
+    havoc h;
+    assume h >= 0 && h <= 3;
+    atomic {{ sum := sum + h; cap := cap + 3; done := done + 1; }}
+}}
+
+thread checker {{
+    assume done == {n};
+    assert sum <= cap;
+}}
+
+spawn adder * {n};
+spawn checker;
+"
+    )
+}
+
+/// A token passes through `n` stages in order; the checker asserts the
+/// token's final position. The proof is a chain of stage invariants
+/// (lockstep-friendly). **Safe.**
+pub fn lockstep_flags(n: usize) -> String {
+    let mut s = String::from("// Token passing chain.\nvar token: int = 0;\n\n");
+    for i in 0..n {
+        let _ = writeln!(
+            s,
+            "thread stage{i} {{
+    assume token == {i};
+    token := {};
+}}
+",
+            i + 1
+        );
+    }
+    let _ = writeln!(
+        s,
+        "thread checker {{
+    assume token == {n};
+    assert token >= {n};
+}}
+"
+    );
+    for i in 0..n {
+        let _ = writeln!(s, "spawn stage{i};");
+    }
+    s.push_str("spawn checker;\n");
+    s
+}
+
+/// A ticket lock: atomically draw a ticket, wait to be served, bump the
+/// serving counter on exit. Mutual exclusion needs ticket-uniqueness
+/// invariants. **Safe.**
+pub fn ticket_lock() -> String {
+    "// Ticket lock mutual exclusion.
+var next: int = 0;
+var serving: int = 0;
+var c: int = 0;
+
+thread first {
+    local my: int = 0;
+    atomic { my := next; next := next + 1; }
+    assume serving == my;
+    c := c + 1;
+    assert c == 1;
+    c := c - 1;
+    serving := serving + 1;
+}
+
+thread other {
+    local my: int = 0;
+    atomic { my := next; next := next + 1; }
+    assume serving == my;
+    c := c + 1;
+    c := c - 1;
+    serving := serving + 1;
+}
+
+spawn first;
+spawn other;
+"
+    .to_owned()
+}
+
+/// `n` threads race to publish the maximum of their bounded local values;
+/// the checker asserts the result stays within bounds. **Safe.**
+pub fn max_of_locals(n: usize) -> String {
+    format!(
+        "// Concurrent maximum of bounded locals.
+var max: int = 0;
+var done: int = 0;
+
+thread contender {{
+    local v: int = 0;
+    havoc v;
+    assume v >= 0 && v <= 10;
+    atomic {{ if (v > max) {{ max := v; }} done := done + 1; }}
+}}
+
+thread checker {{
+    assume done == {n};
+    assert max >= 0 && max <= 10;
+}}
+
+spawn contender * {n};
+spawn checker;
+"
+    )
+}
+
+/// Dekker's mutual exclusion (with the classic retry loop, busy waits
+/// modeled as `assume`). The buggy variant omits the `turn` handover
+/// protocol, so both threads can slip into the critical section.
+/// **Safe iff `correct`.**
+pub fn dekker(correct: bool) -> String {
+    if correct {
+        "// Dekker's algorithm, 2 threads.
+var flag0: bool = false;
+var flag1: bool = false;
+var turn: int = 0;
+var c: int = 0;
+
+thread t0 {
+    flag0 := true;
+    while (flag1) {
+        if (turn != 0) {
+            flag0 := false;
+            assume turn == 0;
+            flag0 := true;
+        }
+    }
+    c := c + 1;
+    assert c == 1;
+    c := c - 1;
+    turn := 1;
+    flag0 := false;
+}
+
+thread t1 {
+    flag1 := true;
+    while (flag0) {
+        if (turn != 1) {
+            flag1 := false;
+            assume turn == 1;
+            flag1 := true;
+        }
+    }
+    c := c + 1;
+    c := c - 1;
+    turn := 0;
+    flag1 := false;
+}
+
+spawn t0;
+spawn t1;
+"
+        .to_owned()
+    } else {
+        // No turn handover: t1 can pass via !flag0 before t0 raises its
+        // flag, after which t0 still passes via turn == 0.
+        "// Broken Dekker: flags without the turn protocol.
+var flag0: bool = false;
+var flag1: bool = false;
+var turn: int = 0;
+var c: int = 0;
+
+thread t0 {
+    flag0 := true;
+    assume !flag1 || turn == 0;
+    c := c + 1;
+    assert c == 1;
+    c := c - 1;
+    turn := 1;
+    flag0 := false;
+}
+
+thread t1 {
+    flag1 := true;
+    assume !flag0 || turn == 1;
+    c := c + 1;
+    c := c - 1;
+    turn := 0;
+    flag1 := false;
+}
+
+spawn t0;
+spawn t1;
+"
+        .to_owned()
+    }
+}
+
+/// Readers/writers: readers enter only while no write is in progress; the
+/// writer (asserting thread) waits for zero readers in the guarded
+/// version. **Safe iff `guarded`.**
+pub fn readers_writers(n_readers: usize, guarded: bool) -> String {
+    let writer_entry = if guarded {
+        "atomic { assume readers == 0 && !writing; writing := true; }"
+    } else {
+        "atomic { assume !writing; writing := true; }"
+    };
+    format!(
+        "// Readers/writers with a reader count.
+var readers: int = 0;
+var writing: bool = false;
+
+thread reader {{
+    while (*) {{
+        atomic {{ assume !writing; readers := readers + 1; }}
+        atomic {{ readers := readers - 1; }}
+    }}
+}}
+
+thread writer {{
+    {writer_entry}
+    assert readers == 0;
+    writing := false;
+}}
+
+spawn reader * {n_readers};
+spawn writer;
+"
+    )
+}
+
+/// Guarded increment/decrement of a shared counter: the decrementer checks
+/// positivity atomically (or not, in the racy variant) and asserts the
+/// counter never goes negative. **Safe iff `guarded`.**
+pub fn inc_dec(iters: usize, guarded: bool) -> String {
+    let dec = if guarded {
+        "atomic { assume c > 0; c := c - 1; }"
+    } else {
+        "atomic { c := c - 1; }"
+    };
+    format!(
+        "// Increment / guarded decrement.
+var c: int = 0;
+
+thread inc {{
+    local i: int = 0;
+    while (i < {iters}) {{
+        atomic {{ c := c + 1; }}
+        i := i + 1;
+    }}
+}}
+
+thread dec {{
+    local i: int = 0;
+    while (i < {iters}) {{
+        {dec}
+        assert c >= 0;
+        i := i + 1;
+    }}
+}}
+
+spawn inc;
+spawn dec;
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt::term::TermPool;
+
+    #[test]
+    fn all_generators_produce_valid_cpl() {
+        let sources = vec![
+            bluetooth(1),
+            bluetooth(3),
+            bluetooth_buggy(1),
+            shared_counter(2, 2, 4),
+            spinlock(2, true),
+            spinlock(3, false),
+            peterson(true),
+            peterson(false),
+            producer_consumer(2, true),
+            producer_consumer(2, false),
+            fib_bench(2, 8),
+            split_read_modify_write(),
+            flag_handshake(),
+            flag_handshake_buggy(),
+            count_up_down(2),
+            count_up_down_buggy(2),
+            parallel_add(2),
+            lockstep_flags(3),
+            ticket_lock(),
+            max_of_locals(2),
+        ];
+        for src in sources {
+            let mut pool = TermPool::new();
+            cpl::compile(&src, &mut pool).unwrap_or_else(|e| panic!("{e}\n---\n{src}"));
+        }
+    }
+
+    #[test]
+    fn fib_bench_ground_truth_via_interpreter() {
+        use program::concurrent::Spec;
+        use program::interp::{Interpreter, SearchResult};
+        use program::thread::ThreadId;
+        // iters = 2: max reachable i is 8.
+        for (bound, safe) in [(8, true), (7, false)] {
+            let mut pool = TermPool::new();
+            let p = cpl::compile(&fib_bench(2, bound), &mut pool).unwrap();
+            let interp = Interpreter::new(&p);
+            let result = interp.search(&pool, Spec::ErrorOf(ThreadId(0)), 1_000_000);
+            match (safe, result) {
+                (true, SearchResult::NoErrorFound { exhaustive: true, .. }) => {}
+                (false, SearchResult::ErrorReachable(_)) => {}
+                (s, r) => panic!("bound {bound}: expected safe={s}, got {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn buggy_variants_have_reachable_errors() {
+        use program::concurrent::Spec;
+        use program::interp::{Interpreter, SearchResult};
+        for src in [
+            bluetooth_buggy(1),
+            peterson(false),
+            split_read_modify_write(),
+            flag_handshake_buggy(),
+            count_up_down_buggy(2),
+            producer_consumer(2, false),
+            spinlock(2, false),
+        ] {
+            let mut pool = TermPool::new();
+            let p = cpl::compile(&src, &mut pool).unwrap();
+            let t = p.asserting_threads()[0];
+            let interp = Interpreter::new(&p);
+            match interp.search(&pool, Spec::ErrorOf(t), 3_000_000) {
+                SearchResult::ErrorReachable(_) => {}
+                other => panic!("no bug found: {other:?}\n{src}"),
+            }
+        }
+    }
+
+    #[test]
+    fn safe_variants_have_no_reachable_errors() {
+        use program::concurrent::Spec;
+        use program::interp::{Interpreter, SearchResult};
+        for src in [
+            peterson(true),
+            flag_handshake(),
+            count_up_down(2),
+            spinlock(2, true),
+            ticket_lock(),
+            lockstep_flags(2),
+            shared_counter(2, 1, 2),
+        ] {
+            let mut pool = TermPool::new();
+            let p = cpl::compile(&src, &mut pool).unwrap();
+            let t = p.asserting_threads()[0];
+            // Havoc domain covers the guards used by the corpus.
+            let interp = Interpreter::new(&p).with_havoc_domain(vec![0, 1, 2, 3, 10]);
+            match interp.search(&pool, Spec::ErrorOf(t), 3_000_000) {
+                SearchResult::NoErrorFound { exhaustive: true, .. } => {}
+                other => panic!("unexpected: {other:?}\n{src}"),
+            }
+        }
+    }
+}
+
+/// A single-phase barrier: workers register arrival, wait for everyone,
+/// then mark the phase done; a checker asserts that once anyone passed the
+/// barrier, all `n` workers had arrived. The buggy variant waits for
+/// `n − 1` arrivals (a classic off-by-one). **Safe iff `correct`.**
+pub fn barrier(n: usize, correct: bool) -> String {
+    let wait_for = if correct { n } else { n.saturating_sub(1).max(1) };
+    format!(
+        "// Counting barrier.
+var arrived: int = 0;
+var phase_done: int = 0;
+
+thread worker {{
+    atomic {{ arrived := arrived + 1; }}
+    assume arrived == {wait_for};
+    atomic {{ phase_done := phase_done + 1; }}
+}}
+
+thread checker {{
+    assume phase_done >= 1;
+    assert arrived == {n};
+}}
+
+spawn worker * {n};
+spawn checker;
+"
+    )
+}
+
+/// Double-checked one-time initialization behind a spinlock. The buggy
+/// variant publishes the `initialized` flag before writing the data.
+/// **Safe iff `correct`.**
+pub fn double_checked_init(correct: bool) -> String {
+    let body = if correct {
+        "data := 42; initialized := true;"
+    } else {
+        "initialized := true; data := 42;"
+    };
+    format!(
+        "// Double-checked initialization.
+var lock: int = 0;
+var initialized: bool = false;
+var data: int = 0;
+
+thread user {{
+    if (!initialized) {{
+        atomic {{ assume lock == 0; lock := 1; }}
+        if (!initialized) {{ {body} }}
+        lock := 0;
+    }}
+    assume initialized;
+    assert data == 42;
+}}
+
+thread other {{
+    if (!initialized) {{
+        atomic {{ assume lock == 0; lock := 1; }}
+        if (!initialized) {{ {body} }}
+        lock := 0;
+    }}
+}}
+
+spawn user;
+spawn other;
+"
+    )
+}

@@ -1,0 +1,337 @@
+//! The benchmark corpus: CPL translations in the spirit of the two suites
+//! the paper evaluates on (§8).
+//!
+//! * **SV-COMP-like** ([`svcomp`]): programs modeled on the
+//!   *ConcurrencySafety* category — lock idioms, racy counters, flag
+//!   synchronization — with both correct and buggy variants (the original
+//!   suite is ~20 % correct / 80 % incorrect; this corpus keeps a similar
+//!   skew of easy-bug programs).
+//! * **Weaver-like** ([`weaver`]): programs needing nontrivial proof
+//!   arguments (counting, lockstep invariants), almost all correct —
+//!   stress tests for proof *finding*.
+//!
+//! Every benchmark is a plain CPL source string plus its ground-truth
+//! verdict; [`generators`] additionally exposes the parametric families
+//! used by the figures (most prominently the §2 bluetooth driver).
+
+pub mod generators;
+
+use smt::term::TermPool;
+
+/// Ground truth for a benchmark.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expected {
+    /// All assertions hold.
+    Safe,
+    /// Some assertion can fail.
+    Unsafe,
+}
+
+/// Which suite a benchmark belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    /// SV-COMP ConcurrencySafety-like.
+    SvComp,
+    /// Weaver-like.
+    Weaver,
+}
+
+/// A benchmark program.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Unique name, e.g. `"bluetooth-3"`.
+    pub name: String,
+    /// CPL source.
+    pub source: String,
+    /// Ground truth.
+    pub expected: Expected,
+    /// Suite membership.
+    pub suite: Suite,
+}
+
+impl Benchmark {
+    fn new(name: impl Into<String>, suite: Suite, expected: Expected, source: String) -> Benchmark {
+        Benchmark {
+            name: name.into(),
+            source,
+            expected,
+            suite,
+        }
+    }
+
+    /// Compiles the benchmark into a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not compile — corpus sources are tested.
+    pub fn compile(&self, pool: &mut TermPool) -> program::Program {
+        cpl::compile(&self.source, pool)
+            .unwrap_or_else(|e| panic!("benchmark {} does not compile: {e}", self.name))
+    }
+}
+
+/// The SV-COMP-like suite.
+pub fn svcomp() -> Vec<Benchmark> {
+    use generators::*;
+    let mut out = Vec::new();
+    for n in 1..=3 {
+        out.push(Benchmark::new(
+            format!("bluetooth-{n}"),
+            Suite::SvComp,
+            Expected::Safe,
+            bluetooth(n),
+        ));
+    }
+    for n in 1..=2 {
+        out.push(Benchmark::new(
+            format!("bluetooth-bug-{n}"),
+            Suite::SvComp,
+            Expected::Unsafe,
+            bluetooth_buggy(n),
+        ));
+    }
+    for n in 2..=4 {
+        out.push(Benchmark::new(
+            format!("counter-safe-{n}"),
+            Suite::SvComp,
+            Expected::Safe,
+            shared_counter(n, 2, 2 * n as i128),
+        ));
+        out.push(Benchmark::new(
+            format!("counter-bug-{n}"),
+            Suite::SvComp,
+            Expected::Unsafe,
+            shared_counter(n, 2, 2 * n as i128 - 1),
+        ));
+    }
+    for n in 2..=3 {
+        out.push(Benchmark::new(
+            format!("spinlock-{n}"),
+            Suite::SvComp,
+            Expected::Safe,
+            spinlock(n, true),
+        ));
+        out.push(Benchmark::new(
+            format!("race-{n}"),
+            Suite::SvComp,
+            Expected::Unsafe,
+            spinlock(n, false),
+        ));
+    }
+    out.push(Benchmark::new(
+        "peterson",
+        Suite::SvComp,
+        Expected::Safe,
+        peterson(true),
+    ));
+    out.push(Benchmark::new(
+        "peterson-bug",
+        Suite::SvComp,
+        Expected::Unsafe,
+        peterson(false),
+    ));
+    for k in [2, 4] {
+        out.push(Benchmark::new(
+            format!("prodcons-{k}"),
+            Suite::SvComp,
+            Expected::Safe,
+            producer_consumer(k, true),
+        ));
+        out.push(Benchmark::new(
+            format!("prodcons-bug-{k}"),
+            Suite::SvComp,
+            Expected::Unsafe,
+            producer_consumer(k, false),
+        ));
+    }
+    out.push(Benchmark::new(
+        "fib-safe",
+        Suite::SvComp,
+        Expected::Safe,
+        fib_bench(2, 8),
+    ));
+    out.push(Benchmark::new(
+        "fib-bug",
+        Suite::SvComp,
+        Expected::Unsafe,
+        fib_bench(2, 7),
+    ));
+    out.push(Benchmark::new(
+        "split-rmw-bug",
+        Suite::SvComp,
+        Expected::Unsafe,
+        split_read_modify_write(),
+    ));
+    out.push(Benchmark::new(
+        "flag-handshake",
+        Suite::SvComp,
+        Expected::Safe,
+        flag_handshake(),
+    ));
+    out.push(Benchmark::new(
+        "flag-handshake-bug",
+        Suite::SvComp,
+        Expected::Unsafe,
+        flag_handshake_buggy(),
+    ));
+    out.push(Benchmark::new(
+        "dekker",
+        Suite::SvComp,
+        Expected::Safe,
+        dekker(true),
+    ));
+    out.push(Benchmark::new(
+        "dekker-bug",
+        Suite::SvComp,
+        Expected::Unsafe,
+        dekker(false),
+    ));
+    for n in 1..=2 {
+        out.push(Benchmark::new(
+            format!("readers-writers-{n}"),
+            Suite::SvComp,
+            Expected::Safe,
+            readers_writers(n, true),
+        ));
+        out.push(Benchmark::new(
+            format!("readers-writers-bug-{n}"),
+            Suite::SvComp,
+            Expected::Unsafe,
+            readers_writers(n, false),
+        ));
+    }
+    out.push(Benchmark::new(
+        "inc-dec",
+        Suite::SvComp,
+        Expected::Safe,
+        inc_dec(2, true),
+    ));
+    out.push(Benchmark::new(
+        "inc-dec-bug",
+        Suite::SvComp,
+        Expected::Unsafe,
+        inc_dec(2, false),
+    ));
+    out.push(Benchmark::new(
+        "dcl-init",
+        Suite::SvComp,
+        Expected::Safe,
+        double_checked_init(true),
+    ));
+    out.push(Benchmark::new(
+        "dcl-init-bug",
+        Suite::SvComp,
+        Expected::Unsafe,
+        double_checked_init(false),
+    ));
+    out
+}
+
+/// The Weaver-like suite.
+pub fn weaver() -> Vec<Benchmark> {
+    use generators::*;
+    let mut out = Vec::new();
+    for n in 2..=4 {
+        out.push(Benchmark::new(
+            format!("count-up-down-{n}"),
+            Suite::Weaver,
+            Expected::Safe,
+            count_up_down(n),
+        ));
+    }
+    for n in 2..=4 {
+        out.push(Benchmark::new(
+            format!("parallel-add-{n}"),
+            Suite::Weaver,
+            Expected::Safe,
+            parallel_add(n),
+        ));
+    }
+    for n in 2..=3 {
+        out.push(Benchmark::new(
+            format!("lockstep-flags-{n}"),
+            Suite::Weaver,
+            Expected::Safe,
+            lockstep_flags(n),
+        ));
+    }
+    out.push(Benchmark::new(
+        "ticket-lock",
+        Suite::Weaver,
+        Expected::Safe,
+        ticket_lock(),
+    ));
+    out.push(Benchmark::new(
+        "max-of-locals",
+        Suite::Weaver,
+        Expected::Safe,
+        max_of_locals(3),
+    ));
+    for n in 2..=3 {
+        out.push(Benchmark::new(
+            format!("barrier-{n}"),
+            Suite::Weaver,
+            Expected::Safe,
+            barrier(n, true),
+        ));
+    }
+    // Weaver has exactly one incorrect program; mirror that.
+    out.push(Benchmark::new(
+        "count-up-down-bug",
+        Suite::Weaver,
+        Expected::Unsafe,
+        count_up_down_buggy(2),
+    ));
+    out
+}
+
+/// The full corpus (SV-COMP-like followed by Weaver-like).
+pub fn all() -> Vec<Benchmark> {
+    let mut out = svcomp();
+    out.extend(weaver());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_compiles() {
+        for b in all() {
+            let mut pool = TermPool::new();
+            let p = b.compile(&mut pool);
+            assert!(p.num_threads() >= 1, "{}", b.name);
+            assert!(
+                !p.asserting_threads().is_empty(),
+                "{} has no asserts",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_names_unique() {
+        let names: Vec<String> = all().into_iter().map(|b| b.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+
+    #[test]
+    fn suites_have_expected_shape() {
+        let sv = svcomp();
+        let wv = weaver();
+        assert!(sv.len() >= 20, "{}", sv.len());
+        assert!(wv.len() >= 10, "{}", wv.len());
+        // Weaver: exactly one unsafe program (as in the paper).
+        assert_eq!(
+            wv.iter().filter(|b| b.expected == Expected::Unsafe).count(),
+            1
+        );
+        // SV-COMP-like: a mix of safe and unsafe.
+        assert!(sv.iter().any(|b| b.expected == Expected::Safe));
+        assert!(sv.iter().any(|b| b.expected == Expected::Unsafe));
+    }
+}

@@ -1,0 +1,95 @@
+//! Cost of the commutativity oracle levels (§8: a cheap syntactic check
+//! backed by an SMT-based semantic/conditional check).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use program::commutativity::{CommutativityLevel, CommutativityOracle};
+use program::concurrent::{LetterId, Program};
+use program::stmt::{SimpleStmt, Statement};
+use program::thread::{Thread, ThreadId};
+use automata::bitset::BitSet;
+use automata::dfa::DfaBuilder;
+use smt::linear::LinExpr;
+use smt::term::TermPool;
+use std::hint::black_box;
+
+/// Two increment statements of the same shared counter (commute only
+/// semantically) plus the §2 enter/exit pair (commute only conditionally).
+fn setup(pool: &mut TermPool) -> Program {
+    let p = pool.var("pendingIo");
+    let ev = pool.var("stoppingEvent");
+    let mut b = Program::builder("bench");
+    b.add_global(p, 1);
+    b.add_global(ev, 0);
+    let enter0 = b.add_statement(Statement::simple(
+        ThreadId(0),
+        "enter",
+        SimpleStmt::Assign(p, LinExpr::var(p).add(&LinExpr::constant(1))),
+        pool,
+    ));
+    let p_zero = pool.eq_const(p, 0);
+    let p_nonzero = pool.not(p_zero);
+    let dec = LinExpr::var(p).sub(&LinExpr::constant(1));
+    let exit1 = b.add_statement(Statement::atomic(
+        ThreadId(1),
+        "exit",
+        vec![
+            vec![
+                SimpleStmt::Assign(p, dec.clone()),
+                SimpleStmt::Assume(p_zero),
+                SimpleStmt::Assign(ev, LinExpr::constant(1)),
+            ],
+            vec![SimpleStmt::Assign(p, dec), SimpleStmt::Assume(p_nonzero)],
+        ],
+        pool,
+    ));
+    for l in [enter0, exit1] {
+        let mut cfg = DfaBuilder::new();
+        let entry = cfg.add_state(false);
+        let exit_loc = cfg.add_state(true);
+        cfg.add_transition(entry, l, exit_loc);
+        b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(2)));
+    }
+    b.build(pool)
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commutativity");
+    g.sample_size(20);
+    g.bench_function("syntactic_miss", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let p = setup(&mut pool);
+            let mut oracle = CommutativityOracle::new(CommutativityLevel::Syntactic);
+            black_box(oracle.commute(&mut pool, &p, LetterId(0), LetterId(1)))
+        })
+    });
+    g.bench_function("semantic_uncached", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let p = setup(&mut pool);
+            let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+            black_box(oracle.commute(&mut pool, &p, LetterId(0), LetterId(1)))
+        })
+    });
+    g.bench_function("conditional_uncached", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let p = setup(&mut pool);
+            let pending = pool.var("pendingIo");
+            let gt1 = pool.ge_const(pending, 2);
+            let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+            black_box(oracle.commute_under(&mut pool, &p, gt1, LetterId(0), LetterId(1)))
+        })
+    });
+    g.bench_function("semantic_cached", |b| {
+        let mut pool = TermPool::new();
+        let p = setup(&mut pool);
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+        oracle.commute(&mut pool, &p, LetterId(0), LetterId(1));
+        b.iter(|| black_box(oracle.commute(&mut pool, &p, LetterId(0), LetterId(1))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

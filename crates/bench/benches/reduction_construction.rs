@@ -1,0 +1,110 @@
+//! Benchmarks of the explicit reduction constructions (§5–§6): sleep set
+//! automaton, π-reduction and the combined `(S⋖(P))↓πS`, on the fully
+//! commutative scaling family of Thm. 7.2 — the ablation between the two
+//! reduction mechanisms the paper contrasts with model-checking folklore.
+
+use automata::bitset::BitSet;
+use automata::dfa::DfaBuilder;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use program::commutativity::{CommutativityLevel, CommutativityOracle};
+use program::concurrent::{Program, Spec};
+use program::stmt::{SimpleStmt, Statement};
+use program::thread::{Thread, ThreadId};
+use reduction::order::{LockstepOrder, PreferenceOrder, SeqOrder};
+use reduction::reduce::{reduction_automaton, ReductionConfig};
+use smt::linear::LinExpr;
+use smt::term::TermPool;
+use std::hint::black_box;
+
+fn independent(pool: &mut TermPool, n: u32, k: u32) -> Program {
+    let mut b = Program::builder("independent");
+    for t in 0..n {
+        let v = pool.var(&format!("x{t}"));
+        b.add_global(v, 0);
+        let mut cfg = DfaBuilder::new();
+        let mut prev = cfg.add_state(false);
+        let entry = prev;
+        for s in 0..k {
+            let l = b.add_statement(Statement::simple(
+                ThreadId(t),
+                &format!("t{t}s{s}"),
+                SimpleStmt::Assign(v, LinExpr::constant(s as i128)),
+                pool,
+            ));
+            let next = cfg.add_state(s + 1 == k);
+            cfg.add_transition(prev, l, next);
+            prev = next;
+        }
+        b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(k as usize + 1)));
+    }
+    b.build(pool)
+}
+
+fn build(
+    p: &Program,
+    pool: &mut TermPool,
+    order: &dyn PreferenceOrder,
+    use_sleep: bool,
+    use_persistent: bool,
+) -> usize {
+    let mut oracle = CommutativityOracle::new(CommutativityLevel::Syntactic);
+    let dfa = reduction_automaton(
+        pool,
+        p,
+        Spec::PrePost,
+        order,
+        &mut oracle,
+        ReductionConfig {
+            use_sleep,
+            use_persistent,
+            max_states: 10_000_000,
+        },
+    );
+    dfa.num_states()
+}
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction");
+    g.sample_size(10);
+    for &n in &[4u32, 6] {
+        g.bench_with_input(BenchmarkId::new("sleep_only", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let p = independent(&mut pool, n, 2);
+                black_box(build(&p, &mut pool, &SeqOrder::new(), true, false))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("persistent_only", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let p = independent(&mut pool, n, 2);
+                black_box(build(&p, &mut pool, &SeqOrder::new(), false, true))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("combined_seq", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let p = independent(&mut pool, n, 2);
+                black_box(build(&p, &mut pool, &SeqOrder::new(), true, true))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("combined_lockstep", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let p = independent(&mut pool, n, 2);
+                black_box(build(&p, &mut pool, &LockstepOrder::new(), true, true))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("full_product", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let p = independent(&mut pool, n, 2);
+                black_box(p.explicit_product(Spec::PrePost).num_states())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_constructions);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the SMT substrate: simplex feasibility,
+//! branch-and-bound, DPLL over disjunctions, and unsat cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smt::linear::{LinExpr, VarId};
+use smt::solver::check;
+use smt::term::{TermId, TermPool};
+use smt::unsat_core::unsat_core;
+use std::hint::black_box;
+
+/// Chain of equalities x0 = 0, x_{i+1} = x_i + 1, plus a bound — the shape
+/// of trace feasibility queries.
+fn ssa_chain(pool: &mut TermPool, n: usize, sat: bool) -> Vec<TermId> {
+    let vars: Vec<VarId> = (0..=n).map(|i| pool.var(&format!("x{i}"))).collect();
+    let mut out = vec![pool.eq_const(vars[0], 0)];
+    for i in 0..n {
+        let lhs = LinExpr::var(vars[i + 1]);
+        let rhs = LinExpr::var(vars[i]).add(&LinExpr::constant(1));
+        out.push(pool.eq(&lhs, &rhs));
+    }
+    let bound = if sat { n as i128 } else { n as i128 - 1 };
+    out.push(pool.le_const(vars[n], bound));
+    if !sat {
+        out.push(pool.ge_const(vars[n], n as i128));
+    }
+    out
+}
+
+fn bench_ssa_chains(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ssa_chain");
+    g.sample_size(20);
+    for &n in &[8usize, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("sat", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let cs = ssa_chain(&mut pool, n, true);
+                black_box(check(&mut pool, &cs))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("unsat", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let cs = ssa_chain(&mut pool, n, false);
+                black_box(check(&mut pool, &cs))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_disjunctions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dpll_disjunctions");
+    g.sample_size(20);
+    for &n in &[4usize, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                // (x_i = 0 ∨ x_i = 1) for all i, Σ x_i ≥ n: forces all 1.
+                let vars: Vec<VarId> = (0..n).map(|i| pool.var(&format!("b{i}"))).collect();
+                let mut assertions: Vec<TermId> = vars
+                    .iter()
+                    .map(|&v| {
+                        let zero = pool.eq_const(v, 0);
+                        let one = pool.eq_const(v, 1);
+                        pool.or([zero, one])
+                    })
+                    .collect();
+                let sum = LinExpr::from_terms(vars.iter().map(|&v| (v, 1)), 0);
+                assertions.push(pool.ge(&sum, &LinExpr::constant(n as i128)));
+                black_box(check(&mut pool, &assertions))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_unsat_core(c: &mut Criterion) {
+    c.bench_function("unsat_core/20_noise", |b| {
+        b.iter(|| {
+            let mut pool = TermPool::new();
+            let x = pool.var("x");
+            let mut assertions: Vec<TermId> = (0..20)
+                .map(|i| {
+                    let v = pool.var(&format!("n{i}"));
+                    pool.ge_const(v, i)
+                })
+                .collect();
+            assertions.push(pool.ge_const(x, 5));
+            assertions.push(pool.le_const(x, 2));
+            black_box(unsat_core(&mut pool, &assertions))
+        })
+    });
+}
+
+criterion_group!(benches, bench_ssa_chains, bench_disjunctions, bench_unsat_core);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end verification benchmarks: GemCutter configurations vs. the
+//! Automizer baseline on representative corpus programs — the per-program
+//! counterpart of Tables 1–2.
+
+use bench_suite::generators::{bluetooth, count_up_down, peterson, shared_counter};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gemcutter::verify::{verify, VerifierConfig};
+use smt::term::TermPool;
+use std::hint::black_box;
+
+fn bench_program(c: &mut Criterion, name: &str, source: &str) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    for config in [
+        VerifierConfig::gemcutter_seq(),
+        VerifierConfig::gemcutter_lockstep(),
+        VerifierConfig::sleep_only(),
+        VerifierConfig::persistent_only(),
+        VerifierConfig::automizer(),
+    ] {
+        g.bench_function(config.name.clone(), |b| {
+            b.iter(|| {
+                let mut pool = TermPool::new();
+                let p = cpl::compile(source, &mut pool).expect("benchmark compiles");
+                black_box(verify(&mut pool, &p, &config))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_program(c, "bluetooth-2", &bluetooth(2));
+    bench_program(c, "peterson", &peterson(true));
+    bench_program(c, "counter-2x2", &shared_counter(2, 2, 4));
+    bench_program(c, "count-up-down-2", &count_up_down(2));
+}
+
+criterion_group!(verify_benches, benches);
+criterion_main!(verify_benches);

@@ -1,0 +1,38 @@
+//! Corpus sweep: verify every benchmark with the main configurations and
+//! report verdict agreement with ground truth and per-program statistics.
+//! A sanity harness rather than a paper artifact; the table/figure
+//! binaries build on the same corpus.
+//!
+//! Run: `cargo run --release -p bench --bin corpus_check`
+
+use bench::run_config;
+use gemcutter::verify::{Verdict, VerifierConfig};
+
+fn main() {
+    let corpus = bench::corpus();
+    let configs = [VerifierConfig::gemcutter_seq(), VerifierConfig::automizer()];
+    let mut unknowns = 0usize;
+    for config in &configs {
+        for run in run_config(&corpus, config) {
+            let verdict = match (&run.outcome.verdict, run.successful()) {
+                (_, true) => "OK",
+                (Verdict::Unknown { .. }, _) => {
+                    unknowns += 1;
+                    "UNKNOWN"
+                }
+                _ => unreachable!("run_config asserts against wrong verdicts"),
+            };
+            println!(
+                "{:24} {:16} {:8} rounds={:3} proof={:3} visited={:8} t={}",
+                run.name,
+                run.config,
+                verdict,
+                run.outcome.stats.rounds,
+                run.outcome.stats.proof_size,
+                run.memory(),
+                bench::fmt_time(run.time_s()),
+            );
+        }
+    }
+    println!("\nNo wrong verdicts; {unknowns} unknown verdicts across all configurations.");
+}

@@ -1,0 +1,65 @@
+//! **Figure 1(c)**: proof size over the number of threads for the
+//! bluetooth driver, comparing the `seq` preference order (red circles in
+//! the paper), `lockstep` (blue +) and three random orders (×).
+//!
+//! Run: `cargo run --release -p bench --bin fig1c [MAX_THREADS]`
+
+use bench_suite::generators::bluetooth;
+use gemcutter::verify::{verify, Verdict, VerifierConfig};
+use smt::term::TermPool;
+
+fn main() {
+    let max_threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("Figure 1(c): proof size over # user threads (bluetooth driver)\n");
+    let configs = [
+        VerifierConfig::gemcutter_seq(),
+        VerifierConfig::gemcutter_lockstep(),
+        VerifierConfig::gemcutter_random(1),
+        VerifierConfig::gemcutter_random(2),
+        VerifierConfig::gemcutter_random(3),
+    ];
+    print!("{:>8}", "threads");
+    for c in &configs {
+        print!(" {:>18}", c.name);
+    }
+    println!("   (cells: proof size / rounds)");
+    let mut seq_sizes = Vec::new();
+    for n in 2..=max_threads {
+        print!("{n:>8}");
+        for config in &configs {
+            let mut pool = TermPool::new();
+            let p = cpl::compile(&bluetooth(n), &mut pool).expect("bluetooth compiles");
+            let outcome = verify(&mut pool, &p, config);
+            match outcome.verdict {
+                Verdict::Correct => {
+                    print!(
+                        " {:>12} / {:>3}",
+                        outcome.stats.proof_size, outcome.stats.rounds
+                    );
+                    if config.name == "gemcutter-seq" {
+                        seq_sizes.push(outcome.stats.proof_size);
+                    }
+                }
+                Verdict::Incorrect { .. } => print!(" {:>18}", "BUG?!"),
+                Verdict::Unknown { .. } => print!(" {:>18}", "unknown"),
+            }
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "Paper shape: different preference orders give substantially different proof sizes;"
+    );
+    println!("with conditional commutativity the seq-order proof grows only mildly with n");
+    println!("(the paper's tool reports a constant 12 assertions / 3 rounds).");
+    if seq_sizes.len() >= 2 {
+        let growth = seq_sizes.last().unwrap() - seq_sizes[0];
+        println!(
+            "Measured seq-order proof sizes: {seq_sizes:?} (total growth {growth} over {} instances)",
+            seq_sizes.len()
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! **Figure 6**: quantile plots of CPU time and memory over the
+//! successfully analysed benchmarks — Automizer (dotted green in the
+//! paper) vs. GemCutter portfolio (solid orange).
+//!
+//! A point `(x, y)` means: the x-th fastest successfully analysed program
+//! required `y` seconds (resp. `y` visited states).
+//!
+//! Run: `cargo run --release -p bench --bin fig6`
+
+use bench::{print_quantile_series, run_config, run_portfolio, Run};
+use gemcutter::verify::VerifierConfig;
+
+fn series(runs: &[Run]) -> (Vec<f64>, Vec<f64>) {
+    let times = runs
+        .iter()
+        .filter(|r| r.successful())
+        .map(Run::time_s)
+        .collect();
+    let mems = runs
+        .iter()
+        .filter(|r| r.successful())
+        .map(|r| r.memory() as f64)
+        .collect();
+    (times, mems)
+}
+
+fn main() {
+    let corpus = bench::corpus();
+    println!("Figure 6: quantile plots (CPU time in s; memory = visited states)\n");
+    let automizer = run_config(&corpus, &VerifierConfig::automizer());
+    let gemcutter: Vec<Run> = run_portfolio(&corpus, false)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+
+    let (at, am) = series(&automizer);
+    let (gt, gm) = series(&gemcutter);
+
+    println!("CPU time (s):");
+    print_quantile_series("automizer", at.clone());
+    print_quantile_series("gemcutter", gt.clone());
+    println!("Memory (visited states):");
+    print_quantile_series("automizer", am.clone());
+    print_quantile_series("gemcutter", gm.clone());
+
+    let sum = |v: &[f64]| v.iter().sum::<f64>();
+    println!();
+    println!(
+        "Totals: time automizer={:.2}s gemcutter={:.2}s | memory automizer={} gemcutter={}",
+        sum(&at),
+        sum(&gt),
+        sum(&am) as u64,
+        sum(&gm) as u64
+    );
+    println!(
+        "Paper shape: the GemCutter curve dominates (lower) at the expensive end of both plots."
+    );
+}

@@ -1,0 +1,59 @@
+//! **Figure 7**: scatter plots comparing Automizer (x-axis) with
+//! GemCutter (y-axis) on refinement rounds and proof size, over the
+//! benchmarks both tools solve; `+` marks correct, `×` incorrect programs.
+//!
+//! Run: `cargo run --release -p bench --bin fig7`
+
+use bench::{run_config, run_portfolio, Run};
+use bench_suite::Expected;
+use gemcutter::verify::VerifierConfig;
+use std::collections::HashMap;
+
+fn main() {
+    let corpus = bench::corpus();
+    println!("Figure 7: per-benchmark scatter (automizer x, gemcutter y)\n");
+    let automizer = run_config(&corpus, &VerifierConfig::automizer());
+    let gemcutter: Vec<Run> = run_portfolio(&corpus, false)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+    let auto: HashMap<&str, &Run> = automizer.iter().map(|r| (r.name.as_str(), r)).collect();
+
+    println!(
+        "{:24} {:>5} {:>14} {:>14} {:>14} {:>14}",
+        "benchmark", "mark", "rounds(auto)", "rounds(gem)", "proof(auto)", "proof(gem)"
+    );
+    let mut round_wins = 0usize;
+    let mut round_ties = 0usize;
+    let mut total = 0usize;
+    let mut proof_wins = 0usize;
+    let mut proof_ties = 0usize;
+    for g in &gemcutter {
+        let Some(a) = auto.get(g.name.as_str()) else {
+            continue;
+        };
+        if !(a.successful() && g.successful()) {
+            continue;
+        }
+        total += 1;
+        let mark = if g.expected == Expected::Safe { "+" } else { "x" };
+        let (ra, rg) = (a.outcome.stats.rounds, g.outcome.stats.rounds);
+        let (pa, pg) = (a.outcome.stats.proof_size, g.outcome.stats.proof_size);
+        println!("{:24} {mark:>5} {ra:>14} {rg:>14} {pa:>14} {pg:>14}", g.name);
+        if rg < ra {
+            round_wins += 1;
+        } else if rg == ra {
+            round_ties += 1;
+        }
+        if pg < pa {
+            proof_wins += 1;
+        } else if pg == pa {
+            proof_ties += 1;
+        }
+    }
+    println!();
+    println!(
+        "GemCutter needs fewer rounds on {round_wins}/{total} (ties {round_ties}); smaller proofs on {proof_wins}/{total} (ties {proof_ties})."
+    );
+    println!("Paper shape: most points lie on or below the diagonal (factors up to 25×/65× there).");
+}

@@ -1,0 +1,51 @@
+//! **Figure 8**: for each benchmark, which preference order analyses it
+//! fastest — histogram over `seq`, `lockstep`, `rand(1..3)`, split into
+//! correct (blue, hatched in the paper) and incorrect (red) programs.
+//!
+//! Run: `cargo run --release -p bench --bin fig8`
+
+use bench::run_portfolio;
+use bench_suite::Expected;
+use gemcutter::verify::Verdict;
+use std::collections::BTreeMap;
+
+fn main() {
+    let corpus = bench::corpus();
+    println!("Figure 8: best preference order per benchmark\n");
+    // Full portfolio run: every member runs on every benchmark.
+    let results = run_portfolio(&corpus, true);
+
+    let mut correct: BTreeMap<String, usize> = BTreeMap::new();
+    let mut incorrect: BTreeMap<String, usize> = BTreeMap::new();
+    for (run, members) in &results {
+        // Fastest conclusive member.
+        let best = members
+            .iter()
+            .filter(|(_, o)| !matches!(o.verdict, Verdict::Unknown { .. }))
+            .min_by(|(_, a), (_, b)| a.stats.time.cmp(&b.stats.time));
+        let Some((name, _)) = best else { continue };
+        let bucket = if run.expected == Expected::Safe {
+            &mut correct
+        } else {
+            &mut incorrect
+        };
+        *bucket.entry(name.clone()).or_insert(0) += 1;
+    }
+
+    println!("{:24} {:>8} {:>10}", "order", "correct", "incorrect");
+    let mut orders: Vec<String> = correct.keys().chain(incorrect.keys()).cloned().collect();
+    orders.sort();
+    orders.dedup();
+    for order in &orders {
+        let c = correct.get(order).copied().unwrap_or(0);
+        let i = incorrect.get(order).copied().unwrap_or(0);
+        let bar_c = "#".repeat(c);
+        let bar_i = "x".repeat(i);
+        println!("{order:24} {c:>8} {i:>10}   |{bar_c}{bar_i}");
+    }
+    println!();
+    let distinct = orders.len();
+    println!(
+        "Paper shape: the distribution is relatively even — {distinct} distinct orders win at least one benchmark; no order is always optimal."
+    );
+}

@@ -1,0 +1,59 @@
+//! **Table 1**: number of successfully analysed benchmarks, CPU time,
+//! memory (proxy: visited proof-check states) and refinement rounds —
+//! Automizer baseline vs. GemCutter portfolio, per suite, split into
+//! correct/incorrect programs.
+//!
+//! Run: `cargo run --release -p bench --bin table1`
+
+use bench::{fmt_time, run_config, run_portfolio, Aggregate, Run};
+use bench_suite::{Expected, Suite};
+use gemcutter::verify::VerifierConfig;
+
+fn print_block(title: &str, runs: &[Run], suite: Suite) {
+    println!("{title}");
+    for (label, keep) in [
+        ("successful", None),
+        ("- correct", Some(Expected::Safe)),
+        ("- incorrect", Some(Expected::Unsafe)),
+    ] {
+        let agg = Aggregate::of(runs.iter(), |r| {
+            r.suite == suite && keep.is_none_or(|e| r.expected == e)
+        });
+        println!(
+            "  {label:14} #={:3}  time={:>9}  mem={:>9}  rounds={:>5}",
+            agg.count,
+            fmt_time(agg.time_s),
+            agg.memory,
+            agg.rounds
+        );
+    }
+}
+
+fn main() {
+    let corpus = bench::corpus();
+    println!("Table 1: Automizer vs GemCutter (portfolio) — paper's Table 1");
+    println!("(memory is the visited-state proxy; see DESIGN.md)\n");
+
+    let automizer = run_config(&corpus, &VerifierConfig::automizer());
+    let gemcutter: Vec<Run> = run_portfolio(&corpus, false)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+
+    for (suite, suite_name) in [(Suite::SvComp, "SV-COMP-like"), (Suite::Weaver, "Weaver-like")] {
+        println!("== {suite_name} benchmarks ==");
+        print_block("Automizer", &automizer, suite);
+        print_block("GemCutter", &gemcutter, suite);
+        println!();
+    }
+
+    // Headline comparison.
+    let a_total = Aggregate::of(automizer.iter(), |_| true);
+    let g_total = Aggregate::of(gemcutter.iter(), |_| true);
+    println!("Overall: Automizer solves {}, GemCutter solves {} (of {})", a_total.count, g_total.count, corpus.len());
+    assert!(
+        g_total.count >= a_total.count,
+        "paper shape: GemCutter solves at least as many programs"
+    );
+    println!("Paper shape holds: GemCutter ≥ Automizer in solved programs.");
+}

@@ -1,0 +1,360 @@
+//! The on-the-fly proof check — Algorithm 2 (§7.2).
+//!
+//! A DFS over states `(q, Φ, S, ctx)` — product location, Floyd/Hoare
+//! assertion set, sleep set, preference-order context — that
+//! simultaneously constructs the reduction `(S⋖(P))↓πS` and checks that
+//! the proof candidate covers it:
+//!
+//! * exploration is restricted to a weakly persistent membrane (π);
+//! * sleeping letters are skipped, and successor sleep sets use
+//!   **proof-sensitive commutativity** `a ↷↷_φ b` with `φ = ⋀Φ`;
+//! * states whose assertion conjunction is unsatisfiable are *covered* —
+//!   every extension is infeasible — and pruned;
+//! * a state from which no counterexample is reachable is recorded in a
+//!   cross-round **useless-state cache**; later rounds skip any state with
+//!   the same `(q, S, ctx)` and a superset of assertions (sound by
+//!   monotonicity of proof-sensitive commutativity, §7.2).
+
+use crate::proof::{ProofAutomaton, ProofStateId};
+use automata::bitset::BitSet;
+use program::commutativity::CommutativityOracle;
+use program::concurrent::{LetterId, ProductState, Program, Spec};
+use reduction::order::{OrderContext, PreferenceOrder};
+use reduction::persistent::{MembraneMode, PersistentSets};
+use smt::term::{TermId, TermPool};
+use std::collections::HashMap;
+
+/// Result of one proof-check round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckResult {
+    /// The proof covers the entire reduction: the program is correct.
+    Proven,
+    /// A trace of the reduction not covered by the proof.
+    Counterexample(Vec<LetterId>),
+    /// The state budget was exhausted.
+    LimitReached,
+}
+
+/// Per-round exploration counters (the paper's memory proxy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Distinct `(q, Φ, S, ctx)` states visited this round.
+    pub visited: usize,
+    /// States skipped thanks to the cross-round useless-state cache.
+    pub cache_skips: usize,
+}
+
+/// Switches for the proof check.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Apply sleep sets.
+    pub use_sleep: bool,
+    /// Apply weakly persistent membranes.
+    pub use_persistent: bool,
+    /// Use `⋀Φ` as the commutativity condition in sleep-set computation.
+    pub proof_sensitive: bool,
+    /// Abort the round after visiting this many states.
+    pub max_visited: usize,
+}
+
+/// Cross-round cache of useless states (§7.2).
+///
+/// A state is *useless* when no counterexample is reachable from it under
+/// the current (hence any stronger) proof. Keyed by `(q, S, ctx)`; a new
+/// state is skipped when its assertion set contains a recorded one.
+#[derive(Clone, Debug, Default)]
+pub struct UselessCache {
+    map: HashMap<(ProductState, BitSet, OrderContext), Vec<Vec<u32>>>,
+}
+
+impl UselessCache {
+    /// An empty cache.
+    pub fn new() -> UselessCache {
+        UselessCache::default()
+    }
+
+    /// Total recorded entries.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// `true` if no entries are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn is_useless(
+        &self,
+        q: &ProductState,
+        sleep: &BitSet,
+        ctx: OrderContext,
+        assertions: &[u32],
+    ) -> bool {
+        self.map
+            .get(&(q.clone(), sleep.clone(), ctx))
+            .is_some_and(|sets| sets.iter().any(|s| is_subset(s, assertions)))
+    }
+
+    fn mark(&mut self, q: ProductState, sleep: BitSet, ctx: OrderContext, assertions: Vec<u32>) {
+        let entry = self.map.entry((q, sleep, ctx)).or_default();
+        // Keep only minimal sets.
+        if entry.iter().any(|s| is_subset(s, &assertions)) {
+            return;
+        }
+        entry.retain(|s| !is_subset(&assertions, s));
+        entry.push(assertions);
+    }
+}
+
+/// Sorted-slice subset test.
+fn is_subset(small: &[u32], big: &[u32]) -> bool {
+    let mut it = big.iter();
+    'outer: for &x in small {
+        for &y in it.by_ref() {
+            match y.cmp(&x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum VisitStatus {
+    OnStack,
+    /// Fully explored, no counterexample reachable, no edge into the stack.
+    DoneClean,
+    /// Fully explored without counterexample, but the verdict depends on a
+    /// state that was still on the stack (possible cycle) — not cacheable.
+    DoneTainted,
+}
+
+struct Frame {
+    q: ProductState,
+    phi: ProofStateId,
+    sleep: BitSet,
+    ctx: OrderContext,
+    /// Letter taken from the parent to reach this frame.
+    via: Option<LetterId>,
+    explore: Vec<LetterId>,
+    enabled: Vec<LetterId>,
+    next: usize,
+    tainted: bool,
+}
+
+type Key = (ProductState, ProofStateId, BitSet, OrderContext);
+
+/// Runs one proof-check round (Algorithm 2).
+#[allow(clippy::too_many_arguments)]
+pub fn check_proof(
+    pool: &mut TermPool,
+    program: &Program,
+    spec: Spec,
+    order: &dyn PreferenceOrder,
+    oracle: &mut CommutativityOracle,
+    persistent: Option<&PersistentSets>,
+    proof: &mut ProofAutomaton,
+    useless: &mut UselessCache,
+    config: &CheckConfig,
+    stats: &mut CheckStats,
+) -> CheckResult {
+    let membrane_mode = match spec {
+        Spec::PrePost => MembraneMode::Terminal,
+        Spec::ErrorOf(t) => MembraneMode::ErrorThread(t),
+    };
+    let n_letters = program.num_letters();
+    let init_formula = pool.and([program.init_formula(), program.pre()]);
+    let phi0 = proof.initial_state(pool, init_formula);
+
+    let mut visited: HashMap<Key, VisitStatus> = HashMap::new();
+    let mut stack: Vec<Frame> = Vec::new();
+
+    // Returns Some(frame) if the state should be expanded, None if it is
+    // covered/pruned; Err(trace) when it is an uncovered accepting state.
+    macro_rules! enter {
+        ($q:expr, $phi:expr, $sleep:expr, $ctx:expr, $via:expr, $trace_prefix:expr) => {{
+            let q: ProductState = $q;
+            let phi: ProofStateId = $phi;
+            let sleep: BitSet = $sleep;
+            let ctx: OrderContext = $ctx;
+            stats.visited += 1;
+            // Covered: the prefix is already proven infeasible.
+            if proof.is_bottom(pool, phi) {
+                visited.insert((q, phi, sleep, ctx), VisitStatus::DoneClean);
+                None
+            } else if program.is_accepting(&q, spec) {
+                let violated = match spec {
+                    Spec::ErrorOf(_) => true, // reachable error, not refuted
+                    Spec::PrePost => !proof.implies_post(pool, phi, program.post()),
+                };
+                if violated {
+                    let mut trace: Vec<LetterId> = $trace_prefix;
+                    if let Some(l) = $via {
+                        trace.push(l);
+                    }
+                    return CheckResult::Counterexample(trace);
+                }
+                visited.insert((q, phi, sleep, ctx), VisitStatus::DoneClean);
+                None
+            } else {
+                let enabled = program.enabled(&q);
+                let mut explore: Vec<LetterId> = match persistent {
+                    Some(ps) => ps.compute(program, &q, order, ctx, membrane_mode),
+                    None => enabled.clone(),
+                };
+                if config.use_sleep {
+                    explore.retain(|l| !sleep.contains(l.index()));
+                }
+                // Deterministic DFS order: most preferred letter first.
+                explore.sort_by_key(|&l| order.rank(ctx, l, program));
+                visited.insert(
+                    (q.clone(), phi, sleep.clone(), ctx),
+                    VisitStatus::OnStack,
+                );
+                Some(Frame {
+                    q,
+                    phi,
+                    sleep,
+                    ctx,
+                    via: $via,
+                    explore,
+                    enabled,
+                    next: 0,
+                    tainted: false,
+                })
+            }
+        }};
+    }
+
+    let q0 = program.initial_state();
+    let sleep0 = BitSet::new(n_letters);
+    if useless.is_useless(&q0, &sleep0, 0, proof.assertion_set(phi0)) {
+        stats.cache_skips += 1;
+        return CheckResult::Proven;
+    }
+    match enter!(q0, phi0, sleep0, 0, None, Vec::new()) {
+        Some(f) => stack.push(f),
+        None => return CheckResult::Proven,
+    }
+
+    while let Some(frame) = stack.last_mut() {
+        if stats.visited > config.max_visited {
+            return CheckResult::LimitReached;
+        }
+        if frame.next >= frame.explore.len() {
+            // Subtree done: pop, record, propagate taint.
+            let frame = stack.pop().expect("frame exists");
+            let key: Key = (frame.q.clone(), frame.phi, frame.sleep.clone(), frame.ctx);
+            let status = if frame.tainted {
+                VisitStatus::DoneTainted
+            } else {
+                useless.mark(
+                    frame.q.clone(),
+                    frame.sleep.clone(),
+                    frame.ctx,
+                    proof.assertion_set(frame.phi).to_vec(),
+                );
+                VisitStatus::DoneClean
+            };
+            visited.insert(key, status);
+            if frame.tainted {
+                if let Some(parent) = stack.last_mut() {
+                    parent.tainted = true;
+                }
+            }
+            continue;
+        }
+        let a = frame.explore[frame.next];
+        frame.next += 1;
+
+        // Successor components.
+        let q = frame.q.clone();
+        let phi = frame.phi;
+        let sleep = frame.sleep.clone();
+        let ctx = frame.ctx;
+        let enabled = frame.enabled.clone();
+
+        let next_q = program.step(&q, a).expect("explored letter is enabled");
+        let next_phi = proof.step(pool, program, phi, a);
+        let next_ctx = order.step(ctx, a, program);
+        let next_sleep = if config.use_sleep {
+            let condition: TermId = if config.proof_sensitive {
+                proof.conjunction(phi)
+            } else {
+                TermPool::TRUE
+            };
+            let mut s = BitSet::new(n_letters);
+            for &b in &enabled {
+                let earlier = sleep.contains(b.index()) || order.less(ctx, b, a, program);
+                if earlier && oracle.commute_under(pool, program, condition, a, b) {
+                    s.insert(b.index());
+                }
+            }
+            s
+        } else {
+            BitSet::new(n_letters)
+        };
+
+        let key: Key = (next_q.clone(), next_phi, next_sleep.clone(), next_ctx);
+        match visited.get(&key) {
+            Some(VisitStatus::OnStack) => {
+                stack.last_mut().expect("parent").tainted = true;
+                continue;
+            }
+            Some(VisitStatus::DoneTainted) => {
+                stack.last_mut().expect("parent").tainted = true;
+                continue;
+            }
+            Some(VisitStatus::DoneClean) => continue,
+            None => {}
+        }
+        // Cross-round cache.
+        if useless.is_useless(&next_q, &next_sleep, next_ctx, proof.assertion_set(next_phi)) {
+            stats.cache_skips += 1;
+            visited.insert(key, VisitStatus::DoneClean);
+            continue;
+        }
+        let trace_prefix: Vec<LetterId> = stack
+            .iter()
+            .filter_map(|f| f.via)
+            .collect();
+        if let Some(f) = enter!(next_q, next_phi, next_sleep, next_ctx, Some(a), trace_prefix) { stack.push(f) }
+    }
+    CheckResult::Proven
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_test() {
+        assert!(is_subset(&[], &[]));
+        assert!(is_subset(&[], &[1]));
+        assert!(is_subset(&[1, 3], &[0, 1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[0, 1, 2, 3]));
+        assert!(!is_subset(&[1], &[]));
+        assert!(is_subset(&[2], &[2]));
+    }
+
+    #[test]
+    fn useless_cache_subsumption() {
+        let mut c = UselessCache::new();
+        let q = ProductState(vec![automata::dfa::StateId(0)]);
+        let s = BitSet::new(4);
+        c.mark(q.clone(), s.clone(), 0, vec![1, 2]);
+        assert!(c.is_useless(&q, &s, 0, &[1, 2, 3]), "superset is skipped");
+        assert!(c.is_useless(&q, &s, 0, &[1, 2]));
+        assert!(!c.is_useless(&q, &s, 0, &[1]), "subset is not skipped");
+        assert!(!c.is_useless(&q, &s, 1, &[1, 2]), "different context");
+        // Marking a superset is a no-op; marking a subset replaces.
+        c.mark(q.clone(), s.clone(), 0, vec![1, 2, 3]);
+        assert_eq!(c.len(), 1);
+        c.mark(q.clone(), s.clone(), 0, vec![1]);
+        assert_eq!(c.len(), 1);
+        assert!(c.is_useless(&q, &s, 0, &[1]));
+    }
+}

@@ -1,0 +1,273 @@
+//! A resumable, single-round verification engine.
+//!
+//! [`Engine`] packages the per-order state of the refinement loop (the
+//! preference order, commutativity oracle, persistent sets and the §7.2
+//! useless-state cache) and exposes one refinement round at a time. The
+//! plain loop ([`crate::verify::verify`]) drives a single engine to completion;
+//! the **shared-proof adaptive portfolio**
+//! ([`crate::portfolio::adaptive_verify`]) interleaves rounds of several
+//! engines over a *common* [`ProofAutomaton`] — assertions discovered
+//! under one preference order are program facts and immediately benefit
+//! every other order. This realizes the direction sketched in the paper's
+//! §8 Limitations ("dynamically adjust a choice of a preference order
+//! based on partial verification efforts").
+
+use crate::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
+use crate::interpolate::{
+    analyze_trace_with_mode, InterpolationMode, InterpolationStats, TraceResult,
+};
+use crate::proof::ProofAutomaton;
+use crate::verify::VerifierConfig;
+use program::commutativity::CommutativityOracle;
+use program::concurrent::{LetterId, Program, Spec};
+use reduction::order::PreferenceOrder;
+use reduction::persistent::PersistentSets;
+use smt::term::TermPool;
+
+/// Outcome of a single refinement round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoundOutcome {
+    /// The proof covers this engine's reduction: the program is correct.
+    Proven,
+    /// A feasible violating trace.
+    Bug(Vec<LetterId>),
+    /// The counterexample was refuted; new assertions were added.
+    Refined,
+    /// This engine cannot continue (budget, solver incompleteness, …).
+    GaveUp(String),
+}
+
+/// Cumulative per-engine counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Visited proof-check states, cumulative.
+    pub visited: usize,
+    /// Largest single-round visited count.
+    pub max_round_visited: usize,
+    /// Useless-cache skips.
+    pub cache_skips: usize,
+    /// Interpolation counters.
+    pub interpolation: InterpolationStats,
+}
+
+/// Per-preference-order verification state, advanced one round at a time
+/// against a (possibly shared) proof automaton.
+pub struct Engine {
+    /// Display name (the configuration's).
+    pub name: String,
+    /// Counters.
+    pub stats: EngineStats,
+    spec: Spec,
+    order: Box<dyn PreferenceOrder>,
+    oracle: CommutativityOracle,
+    persistent: Option<PersistentSets>,
+    useless: UselessCache,
+    check_config: CheckConfig,
+    interpolation: InterpolationMode,
+    last_trace: Option<Vec<LetterId>>,
+}
+
+impl Engine {
+    /// Creates an engine for `spec` under `config`.
+    pub fn new(
+        pool: &mut TermPool,
+        program: &Program,
+        spec: Spec,
+        config: &VerifierConfig,
+    ) -> Engine {
+        let mut oracle = CommutativityOracle::new(config.commutativity);
+        let persistent = config
+            .use_persistent
+            .then(|| PersistentSets::new(pool, program, &mut oracle));
+        Engine {
+            name: config.name.clone(),
+            stats: EngineStats::default(),
+            spec,
+            order: config.order.build(),
+            oracle,
+            persistent,
+            useless: UselessCache::new(),
+            check_config: CheckConfig {
+                use_sleep: config.use_sleep,
+                use_persistent: config.use_persistent,
+                proof_sensitive: config.proof_sensitive,
+                max_visited: config.max_visited_per_round,
+            },
+            interpolation: config.interpolation,
+            last_trace: None,
+        }
+    }
+
+    /// The specification this engine checks.
+    pub fn spec(&self) -> Spec {
+        self.spec
+    }
+
+    /// Runs one proof-check round against `proof` and, on an uncovered
+    /// trace, refines `proof` (or reports the bug).
+    pub fn round(
+        &mut self,
+        pool: &mut TermPool,
+        program: &Program,
+        proof: &mut ProofAutomaton,
+    ) -> RoundOutcome {
+        self.stats.rounds += 1;
+        let mut round_stats = CheckStats::default();
+        let result = check_proof(
+            pool,
+            program,
+            self.spec,
+            self.order.as_ref(),
+            &mut self.oracle,
+            self.persistent.as_ref(),
+            proof,
+            &mut self.useless,
+            &self.check_config,
+            &mut round_stats,
+        );
+        self.stats.visited += round_stats.visited;
+        self.stats.max_round_visited = self.stats.max_round_visited.max(round_stats.visited);
+        self.stats.cache_skips += round_stats.cache_skips;
+        match result {
+            CheckResult::Proven => RoundOutcome::Proven,
+            CheckResult::LimitReached => {
+                RoundOutcome::GaveUp("state budget exhausted".to_owned())
+            }
+            CheckResult::Counterexample(trace) => {
+                if self.last_trace.as_ref() == Some(&trace) {
+                    return RoundOutcome::GaveUp("refinement made no progress".to_owned());
+                }
+                let analysis = analyze_trace_with_mode(
+                    pool,
+                    program,
+                    &trace,
+                    self.spec,
+                    self.interpolation,
+                    &mut self.stats.interpolation,
+                );
+                match analysis {
+                    TraceResult::Feasible => RoundOutcome::Bug(trace),
+                    TraceResult::Unknown => {
+                        RoundOutcome::GaveUp("trace feasibility undecided".to_owned())
+                    }
+                    TraceResult::Infeasible { chain } => {
+                        for a in chain {
+                            proof.add_assertion(a);
+                        }
+                        self.last_trace = Some(trace);
+                        RoundOutcome::Refined
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata::bitset::BitSet;
+    use automata::dfa::DfaBuilder;
+    use program::stmt::{SimpleStmt, Statement};
+    use program::thread::{Thread, ThreadId};
+    use smt::linear::LinExpr;
+
+    /// x := x + 1; [assume x > bound → error].
+    fn counter(pool: &mut TermPool, bound: i128) -> Program {
+        let mut b = Program::builder("c");
+        let x = pool.var("x");
+        b.add_global(x, 0);
+        let incr = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "x := x + 1",
+            SimpleStmt::Assign(x, LinExpr::var(x).add(&LinExpr::constant(1))),
+            pool,
+        ));
+        let le = pool.le_const(x, bound);
+        let gt = pool.not(le);
+        let bad = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "assume x > bound",
+            SimpleStmt::Assume(gt),
+            pool,
+        ));
+        let mut cfg = DfaBuilder::new();
+        let q0 = cfg.add_state(false);
+        let q1 = cfg.add_state(false);
+        let err = cfg.add_state(false);
+        cfg.add_transition(q0, incr, q1);
+        cfg.add_transition(q1, bad, err);
+        let mut errors = BitSet::new(3);
+        errors.insert(err.index());
+        b.add_thread(Thread::new("t", cfg.build(q0), errors));
+        b.build(pool)
+    }
+
+    #[test]
+    fn engine_steps_to_proven() {
+        let mut pool = TermPool::new();
+        let p = counter(&mut pool, 5);
+        let config = VerifierConfig::gemcutter_seq();
+        let mut engine = Engine::new(&mut pool, &p, Spec::ErrorOf(ThreadId(0)), &config);
+        let mut proof = ProofAutomaton::new();
+        // Round 1: empty proof → counterexample → refined.
+        assert_eq!(engine.round(&mut pool, &p, &mut proof), RoundOutcome::Refined);
+        assert!(proof.proof_size() > 0);
+        // Eventually proven.
+        let mut outcome = RoundOutcome::Refined;
+        for _ in 0..10 {
+            outcome = engine.round(&mut pool, &p, &mut proof);
+            if outcome != RoundOutcome::Refined {
+                break;
+            }
+        }
+        assert_eq!(outcome, RoundOutcome::Proven);
+        assert!(engine.stats.rounds >= 2);
+    }
+
+    #[test]
+    fn engine_finds_bug() {
+        let mut pool = TermPool::new();
+        let p = counter(&mut pool, 0); // x = 1 > 0 after one increment
+        let config = VerifierConfig::gemcutter_seq();
+        let mut engine = Engine::new(&mut pool, &p, Spec::ErrorOf(ThreadId(0)), &config);
+        let mut proof = ProofAutomaton::new();
+        let mut outcome = RoundOutcome::Refined;
+        for _ in 0..10 {
+            outcome = engine.round(&mut pool, &p, &mut proof);
+            if outcome != RoundOutcome::Refined {
+                break;
+            }
+        }
+        let RoundOutcome::Bug(trace) = outcome else {
+            panic!("{outcome:?}");
+        };
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn assertions_from_one_engine_help_another() {
+        // Engine A (seq) refines once; engine B (lockstep) then proves in
+        // fewer rounds than it would alone, because the shared proof
+        // already contains A's assertions.
+        let mut pool = TermPool::new();
+        let p = counter(&mut pool, 5);
+        let spec = Spec::ErrorOf(ThreadId(0));
+        let mut a = Engine::new(&mut pool, &p, spec, &VerifierConfig::gemcutter_seq());
+        let mut b = Engine::new(&mut pool, &p, spec, &VerifierConfig::gemcutter_lockstep());
+        let mut shared = ProofAutomaton::new();
+        // Let A do all the refining.
+        loop {
+            match a.round(&mut pool, &p, &mut shared) {
+                RoundOutcome::Refined => continue,
+                RoundOutcome::Proven => break,
+                other => panic!("{other:?}"),
+            }
+        }
+        // B proves immediately with the shared proof.
+        assert_eq!(b.round(&mut pool, &p, &mut shared), RoundOutcome::Proven);
+        assert_eq!(b.stats.rounds, 1);
+    }
+}

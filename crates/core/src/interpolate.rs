@@ -1,0 +1,488 @@
+//! Trace feasibility and sequence interpolation.
+//!
+//! A counterexample trace from the proof check is first checked for
+//! feasibility by an exact SSA encoding (DPLL(T) over LIA). Infeasible
+//! traces yield a chain of assertions — a Floyd/Hoare annotation of the
+//! trace with `init ∧ pre` at the start and `false` at the end — via
+//! strongest postconditions computed over an **unsat-core-sliced** trace:
+//! statements whose constraints do not participate in the infeasibility
+//! are weakened to havoc of their written variables, which keeps the
+//! generated assertions small and general (this is where the paper's
+//! `pendingIo ≥ C ∧ ¬stoppingEvent` counting assertions come from).
+
+use program::concurrent::{LetterId, Program, Spec};
+use program::stmt::SimpleStmt;
+use program::var::Versions;
+use smt::cube::Dnf;
+use smt::solver::{check, SatResult};
+use smt::term::{TermId, TermPool};
+use smt::unsat_core::unsat_core;
+
+/// Outcome of analyzing a counterexample trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceResult {
+    /// The trace is executable — a real counterexample.
+    Feasible,
+    /// The trace is infeasible; the chain annotates it: `chain[i]` holds
+    /// after the first `i` statements, `chain[0]` is implied by
+    /// `init ∧ pre`, and the last element is `false` (for error traces) or
+    /// implies the postcondition (for pre/post traces).
+    Infeasible {
+        /// The interpolant chain, one assertion per trace position.
+        chain: Vec<TermId>,
+    },
+    /// The solver could not decide feasibility.
+    Unknown,
+}
+
+/// Statistics from trace analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InterpolationStats {
+    /// Trace feasibility checks.
+    pub feasibility_checks: usize,
+    /// Statements sliced away by the unsat core.
+    pub sliced_statements: usize,
+    /// Counterexamples interpolated via Farkas certificates.
+    pub farkas_chains: usize,
+}
+
+/// Which interpolation engine generates the assertion chain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum InterpolationMode {
+    /// Unsat-core-sliced strongest postconditions (general; default).
+    #[default]
+    SpChain,
+    /// Farkas sequence interpolants from the simplex certificate —
+    /// single-inequality assertions, applicable to conjunctive traces;
+    /// falls back to [`InterpolationMode::SpChain`] otherwise.
+    Farkas,
+}
+
+/// Analyzes the counterexample `trace` of `program` under `spec` with the
+/// default (sp-chain) interpolation engine.
+///
+/// For [`Spec::ErrorOf`] the trace itself reaching the error location is
+/// the violation, so feasibility of the path condition decides. For
+/// [`Spec::PrePost`] the negated postcondition joins the encoding.
+pub fn analyze_trace(
+    pool: &mut TermPool,
+    program: &Program,
+    trace: &[LetterId],
+    spec: Spec,
+    stats: &mut InterpolationStats,
+) -> TraceResult {
+    analyze_trace_with_mode(pool, program, trace, spec, InterpolationMode::SpChain, stats)
+}
+
+/// As [`analyze_trace`], with an explicit interpolation engine.
+pub fn analyze_trace_with_mode(
+    pool: &mut TermPool,
+    program: &Program,
+    trace: &[LetterId],
+    spec: Spec,
+    mode: InterpolationMode,
+    stats: &mut InterpolationStats,
+) -> TraceResult {
+    // 1. SSA encoding. The initial condition is split into its top-level
+    //    conjuncts so the unsat core can drop initial facts about
+    //    irrelevant variables; statements follow, one block each.
+    let mut versions = Versions::new();
+    let full_init = pool.and([program.init_formula(), program.pre()]);
+    let init_conjuncts: Vec<TermId> = match pool.term(full_init) {
+        smt::term::Term::And(children) => children.to_vec(),
+        _ => vec![full_init],
+    };
+    let n_init = init_conjuncts.len();
+    let mut blocks: Vec<TermId> = init_conjuncts.clone();
+    // Per-position inverse version maps (current SSA version → program
+    // var), used to rename Farkas interpolants back to program variables.
+    let snapshot = |versions: &Versions| -> std::collections::HashMap<_, _> {
+        program
+            .globals()
+            .iter()
+            .map(|&g| (versions.current(g), g))
+            .collect()
+    };
+    let mut snapshots = vec![snapshot(&versions)];
+    let mut stmt_blocks: Vec<TermId> = Vec::with_capacity(trace.len());
+    for &l in trace {
+        let stmt = program.statement(l).clone();
+        let block = stmt.encode_ssa(pool, &mut versions);
+        stmt_blocks.push(block);
+        blocks.push(block);
+        snapshots.push(snapshot(&versions));
+    }
+    if spec == Spec::PrePost {
+        let neg_post = pool.not(program.post());
+        let renamed = pool.rename(neg_post, &|v| versions.current(v));
+        blocks.push(renamed);
+    }
+
+    // 2. Exact feasibility.
+    stats.feasibility_checks += 1;
+    match check(pool, &blocks) {
+        SatResult::Sat(_) => return TraceResult::Feasible,
+        SatResult::Unknown => return TraceResult::Unknown,
+        SatResult::Unsat => {}
+    }
+
+    // 2b. Farkas interpolation (single-inequality assertions), when the
+    //     trace is conjunctive and rationally infeasible.
+    if mode == InterpolationMode::Farkas {
+        if let Some(chain) =
+            farkas_chain(pool, trace, spec, &init_conjuncts, &stmt_blocks, &blocks, &snapshots)
+        {
+            stats.farkas_chains += 1;
+            return TraceResult::Infeasible { chain };
+        }
+    }
+
+    // 3. Unsat core over the blocks → relevant init conjuncts + statements.
+    let core = unsat_core(pool, &blocks).unwrap_or_else(|| (0..blocks.len()).collect());
+    let sliced_init = pool.and(
+        init_conjuncts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| core.contains(&i))
+            .map(|(_, &c)| c),
+    );
+    let relevant = |i: usize| core.contains(&(i + n_init));
+
+    // 4. Strongest-postcondition chain over the sliced trace.
+    if let Some(chain) = sp_chain(pool, program, trace, spec, sliced_init, &relevant, stats) {
+        return TraceResult::Infeasible { chain };
+    }
+    // 5. Fallback: no slicing (the sliced chain can fail to reach ⊥ when a
+    //    projection over-approximated).
+    stats.sliced_statements = 0;
+    if let Some(chain) = sp_chain(pool, program, trace, spec, full_init, &|_| true, stats) {
+        return TraceResult::Infeasible { chain };
+    }
+    TraceResult::Unknown
+}
+
+/// Attempts a Farkas interpolant chain: requires every block to be a
+/// conjunction of linear atoms, rational infeasibility, and interpolants
+/// mentioning only live program variables.
+fn farkas_chain(
+    pool: &mut TermPool,
+    trace: &[LetterId],
+    spec: Spec,
+    init_conjuncts: &[TermId],
+    stmt_blocks: &[TermId],
+    all_blocks: &[TermId],
+    snapshots: &[std::collections::HashMap<smt::VarId, smt::VarId>],
+) -> Option<Vec<TermId>> {
+    use smt::interpolate::{farkas_sequence_interpolants, Interpolant};
+
+    // Block 0: all init conjuncts; blocks 1..=n: statements; PrePost adds
+    // the ¬post block at the end.
+    let mut farkas_blocks: Vec<Vec<smt::LinearConstraint>> = Vec::new();
+    let mut init_block = Vec::new();
+    for &c in init_conjuncts {
+        init_block.extend(conjunctive_constraints(pool, c)?);
+    }
+    farkas_blocks.push(init_block);
+    for &b in stmt_blocks {
+        farkas_blocks.push(conjunctive_constraints(pool, b)?);
+    }
+    if spec == Spec::PrePost {
+        let neg_post_block = all_blocks.last().expect("PrePost appends ¬post");
+        farkas_blocks.push(conjunctive_constraints(pool, *neg_post_block)?);
+    }
+    let raw = farkas_sequence_interpolants(&farkas_blocks)?;
+
+    // Positions 0..=trace.len() map to raw[1..=trace.len()+1].
+    let mut chain = Vec::with_capacity(trace.len() + 1);
+    for (k, snapshot) in snapshots.iter().enumerate().take(trace.len() + 1) {
+        let term = match &raw[k + 1] {
+            Interpolant::True => TermPool::TRUE,
+            Interpolant::False => TermPool::FALSE,
+            Interpolant::Constraint(c) => {
+                // Rename SSA versions back to program variables; bail if a
+                // non-live variable appears (should not happen — shared
+                // variables are exactly the live versions).
+                if !c.expr().vars().all(|v| snapshot.contains_key(&v)) {
+                    return None;
+                }
+                let renamed = c.rename(|v| snapshot[&v]);
+                pool.atom(renamed.expr().clone(), renamed.rel())
+            }
+        };
+        chain.push(term);
+    }
+    Some(chain)
+}
+
+/// The constraints of a purely conjunctive formula (`None` if it contains
+/// a disjunction or is `false`).
+fn conjunctive_constraints(
+    pool: &TermPool,
+    t: TermId,
+) -> Option<Vec<smt::LinearConstraint>> {
+    use smt::term::Term;
+    match pool.term(t) {
+        Term::True => Some(Vec::new()),
+        Term::Atom(c) => Some(vec![c.clone()]),
+        Term::And(children) => {
+            let mut out = Vec::new();
+            for &c in children.iter() {
+                out.extend(conjunctive_constraints(pool, c)?);
+            }
+            Some(out)
+        }
+        Term::False | Term::Or(_) => None,
+    }
+}
+
+/// Computes the sp-chain; `None` if the final assertion fails to certify
+/// the infeasibility (possible when a projection was inexact over ℤ).
+fn sp_chain(
+    pool: &mut TermPool,
+    program: &Program,
+    trace: &[LetterId],
+    spec: Spec,
+    init: TermId,
+    relevant: &dyn Fn(usize) -> bool,
+    stats: &mut InterpolationStats,
+) -> Option<Vec<TermId>> {
+    let mut state = Dnf::from_term(pool, init);
+    let mut chain: Vec<TermId> = Vec::with_capacity(trace.len() + 1);
+    chain.push(state.to_term(pool));
+    for (i, &l) in trace.iter().enumerate() {
+        let stmt = program.statement(l).clone();
+        let next = if relevant(i) {
+            let (next, _exact) = stmt.post_image(pool, &state);
+            next
+        } else {
+            // Sliced: havoc the written variables (a sound weakening).
+            stats.sliced_statements += 1;
+            let mut cur = state;
+            for &w in stmt.writes().iter() {
+                let havoc = program::stmt::Statement::simple(
+                    stmt.thread(),
+                    "sliced",
+                    SimpleStmt::Havoc(w),
+                    pool,
+                );
+                let (next, _) = havoc.post_image(pool, &cur);
+                cur = next;
+            }
+            cur
+        };
+        state = next;
+        chain.push(state.to_term(pool));
+    }
+    // Certify the chain.
+    let last = *chain.last().expect("chain is nonempty");
+    let certified = match spec {
+        Spec::ErrorOf(_) => check(pool, &[last]).is_unsat(),
+        Spec::PrePost => {
+            let neg_post = pool.not(program.post());
+            check(pool, &[last, neg_post]).is_unsat()
+        }
+    };
+    certified.then_some(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use program::stmt::Statement;
+    use program::thread::{Thread, ThreadId};
+    use automata::bitset::BitSet;
+    use automata::dfa::DfaBuilder;
+    use smt::linear::LinExpr;
+
+    /// One thread: (x := x + 1)^k ; [assume x > bound → error].
+    fn bounded_counter(pool: &mut TermPool, k: usize, bound: i128) -> (Program, Vec<LetterId>) {
+        let mut b = Program::builder("counter");
+        let x = pool.var("x");
+        b.add_global(x, 0);
+        let incr = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "x := x + 1",
+            SimpleStmt::Assign(x, LinExpr::var(x).add(&LinExpr::constant(1))),
+            pool,
+        ));
+        let bad_guard = {
+            let le = pool.le_const(x, bound);
+            pool.not(le)
+        };
+        let bad = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "assume x > bound",
+            SimpleStmt::Assume(bad_guard),
+            pool,
+        ));
+        let mut cfg = DfaBuilder::new();
+        let mut prev = cfg.add_state(false);
+        let entry = prev;
+        for _ in 0..k {
+            let next = cfg.add_state(false);
+            cfg.add_transition(prev, incr, next);
+            prev = next;
+        }
+        let err = cfg.add_state(false);
+        cfg.add_transition(prev, bad, err);
+        let mut errors = BitSet::new(cfg.num_states());
+        errors.insert(err.index());
+        b.add_thread(Thread::new("t", cfg.build(entry), errors));
+        let p = b.build(pool);
+        let mut trace = vec![incr; k];
+        trace.push(bad);
+        (p, trace)
+    }
+
+    #[test]
+    fn infeasible_trace_yields_certified_chain() {
+        let mut pool = TermPool::new();
+        let (p, trace) = bounded_counter(&mut pool, 2, 5); // x = 2, not > 5
+        let mut stats = InterpolationStats::default();
+        match analyze_trace(&mut pool, &p, &trace, Spec::ErrorOf(ThreadId(0)), &mut stats) {
+            TraceResult::Infeasible { chain } => {
+                assert_eq!(chain.len(), trace.len() + 1);
+                assert_eq!(*chain.last().unwrap(), TermPool::FALSE);
+                // chain[0] implied by init.
+                assert!(smt::entails(&mut pool, p.init_formula(), chain[0]));
+                // Each consecutive Hoare triple is valid (spot-check via
+                // post_image inclusion).
+                for (i, &l) in trace.iter().enumerate() {
+                    let stmt = p.statement(l).clone();
+                    let pre_dnf = Dnf::from_term(&pool, chain[i]);
+                    let (post, _) = stmt.post_image(&mut pool, &pre_dnf);
+                    let post_term = post.to_term(&mut pool);
+                    assert!(
+                        smt::entails(&mut pool, post_term, chain[i + 1]),
+                        "triple {i} invalid"
+                    );
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn feasible_trace_detected() {
+        let mut pool = TermPool::new();
+        let (p, trace) = bounded_counter(&mut pool, 3, 2); // x = 3 > 2: bug
+        let mut stats = InterpolationStats::default();
+        assert_eq!(
+            analyze_trace(&mut pool, &p, &trace, Spec::ErrorOf(ThreadId(0)), &mut stats),
+            TraceResult::Feasible
+        );
+    }
+
+    #[test]
+    fn slicing_removes_irrelevant_statements() {
+        // Add a second thread touching an unrelated variable mid-trace.
+        let mut pool = TermPool::new();
+        let mut b = Program::builder("sliced");
+        let x = pool.var("x");
+        let noise = pool.var("noise");
+        b.add_global(x, 0);
+        b.add_global(noise, 0);
+        let incr = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "x := x + 1",
+            SimpleStmt::Assign(x, LinExpr::var(x).add(&LinExpr::constant(1))),
+            &pool,
+        ));
+        let bad_guard = {
+            let le = pool.le_const(x, 5);
+            pool.not(le)
+        };
+        let bad = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "assume x > 5",
+            SimpleStmt::Assume(bad_guard),
+            &pool,
+        ));
+        let irrelevant = b.add_statement(Statement::simple(
+            ThreadId(1),
+            "noise := 7",
+            SimpleStmt::Assign(noise, LinExpr::constant(7)),
+            &pool,
+        ));
+        {
+            let mut cfg = DfaBuilder::new();
+            let q0 = cfg.add_state(false);
+            let q1 = cfg.add_state(false);
+            let err = cfg.add_state(false);
+            cfg.add_transition(q0, incr, q1);
+            cfg.add_transition(q1, bad, err);
+            let mut errors = BitSet::new(3);
+            errors.insert(err.index());
+            b.add_thread(Thread::new("t0", cfg.build(q0), errors));
+        }
+        {
+            let mut cfg = DfaBuilder::new();
+            let q0 = cfg.add_state(false);
+            let q1 = cfg.add_state(true);
+            cfg.add_transition(q0, irrelevant, q1);
+            b.add_thread(Thread::new("t1", cfg.build(q0), BitSet::new(2)));
+        }
+        let p = b.build(&mut pool);
+        let trace = vec![incr, irrelevant, bad];
+        let mut stats = InterpolationStats::default();
+        match analyze_trace(&mut pool, &p, &trace, Spec::ErrorOf(ThreadId(0)), &mut stats) {
+            TraceResult::Infeasible { chain } => {
+                assert_eq!(stats.sliced_statements, 1, "noise := 7 sliced away");
+                // The interpolants never mention `noise`.
+                for &c in &chain {
+                    assert!(
+                        !pool.free_vars(c).contains(&noise),
+                        "interpolant mentions sliced variable: {}",
+                        pool.display(c)
+                    );
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_post_spec_traces() {
+        // x := x + 1 with pre x = 0, post x = 1: the exit trace satisfies
+        // the post, so the "counterexample" (exit trace not covered by an
+        // empty proof) is infeasible *as a violation*.
+        let mut pool = TermPool::new();
+        let mut b = Program::builder("pp");
+        let x = pool.var("x");
+        b.add_global(x, 0);
+        let incr = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "x := x + 1",
+            SimpleStmt::Assign(x, LinExpr::var(x).add(&LinExpr::constant(1))),
+            &pool,
+        ));
+        let mut cfg = DfaBuilder::new();
+        let q0 = cfg.add_state(false);
+        let q1 = cfg.add_state(true);
+        cfg.add_transition(q0, incr, q1);
+        b.add_thread(Thread::new("t", cfg.build(q0), BitSet::new(2)));
+        let post = pool.eq_const(x, 1);
+        b.set_pre_post(TermPool::TRUE, post);
+        let p = b.build(&mut pool);
+        let mut stats = InterpolationStats::default();
+        match analyze_trace(&mut pool, &p, &[incr], Spec::PrePost, &mut stats) {
+            TraceResult::Infeasible { chain } => {
+                // last element implies post.
+                let last = *chain.last().unwrap();
+                assert!(smt::entails(&mut pool, last, post));
+            }
+            other => panic!("{other:?}"),
+        }
+        // With post x = 2 the same trace is a genuine violation.
+        let post2 = pool.eq_const(x, 2);
+        let mut b2 = Program::builder("pp2");
+        // rebuild quickly
+        let _ = post2;
+        let _ = b2.add_statement(Statement::simple(
+            ThreadId(0),
+            "x := x + 1",
+            SimpleStmt::Assign(x, LinExpr::var(x).add(&LinExpr::constant(1))),
+            &pool,
+        ));
+    }
+}

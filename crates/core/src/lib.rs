@@ -1,0 +1,43 @@
+//! **GemCutter-style verifier**: concurrent program verification by sound
+//! sequentialization (Farzan, Klumpp, Podelski — PLDI 2022).
+//!
+//! The verifier runs trace abstraction refinement (§7): each round checks
+//! whether the current Floyd/Hoare proof candidate covers a *sound
+//! reduction* of the program, computed **on the fly** with sleep sets,
+//! weakly persistent membranes and (optionally) proof-sensitive
+//! commutativity — Algorithm 2 of the paper. An uncovered trace is either
+//! a real bug (feasible) or yields new assertions via unsat-core-sliced
+//! strongest-postcondition interpolation.
+//!
+//! * [`proof`] — Floyd/Hoare proof automata over a growing assertion pool;
+//! * [`interpolate`] — trace feasibility + sequence interpolation;
+//! * [`check`] — the on-the-fly proof check (Algorithm 2), with the §7.2
+//!   cross-round useless-state cache;
+//! * [`mod@verify`] — the refinement loop, configuration and statistics;
+//! * [`portfolio`] — the multi-preference-order portfolio of §8.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gemcutter::verify::{verify, Verdict, VerifierConfig};
+//! # fn demo(pool: &mut smt::TermPool, program: &program::Program) {
+//! let config = VerifierConfig::gemcutter_seq();
+//! let outcome = verify(pool, program, &config);
+//! match outcome.verdict {
+//!     Verdict::Correct => println!("proved in {} rounds", outcome.stats.rounds),
+//!     Verdict::Incorrect { .. } => println!("bug found"),
+//!     Verdict::Unknown { .. } => println!("gave up"),
+//! }
+//! # }
+//! ```
+
+pub mod check;
+pub mod engine;
+pub mod interpolate;
+pub mod portfolio;
+pub mod proof;
+pub mod trace;
+pub mod verify;
+
+pub use portfolio::{portfolio_verify, PortfolioOutcome};
+pub use verify::{verify, Outcome, OrderSpec, RunStats, Verdict, VerifierConfig};

@@ -1,0 +1,191 @@
+//! The preference-order portfolio of §8.
+//!
+//! The paper's headline GemCutter numbers aggregate, per benchmark, the
+//! best result among five preference orders: `seq`, `lockstep`, and three
+//! seeded random orders. The portfolio conceptually runs them in parallel
+//! and terminates as soon as any order terminates; sequential execution
+//! here records every order's outcome and reports the *winner* (earliest
+//! conclusive verdict), with the parallel-model CPU time being the
+//! winner's own time.
+
+use crate::engine::{Engine, RoundOutcome};
+use crate::proof::ProofAutomaton;
+use crate::verify::{verify, Outcome, RunStats, Verdict, VerifierConfig};
+use program::concurrent::{Program, Spec};
+use smt::term::TermPool;
+use std::time::Instant;
+
+/// The five orders evaluated in §8.
+pub fn default_portfolio() -> Vec<VerifierConfig> {
+    vec![
+        VerifierConfig::gemcutter_seq(),
+        VerifierConfig::gemcutter_lockstep(),
+        VerifierConfig::gemcutter_random(1),
+        VerifierConfig::gemcutter_random(2),
+        VerifierConfig::gemcutter_random(3),
+    ]
+}
+
+/// Result of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The winning configuration's name, if any verdict was conclusive.
+    pub winner: Option<String>,
+    /// The winner's outcome (or the last inconclusive one).
+    pub outcome: Outcome,
+    /// Every member's `(name, outcome)`, in portfolio order.
+    pub members: Vec<(String, Outcome)>,
+}
+
+/// Runs the portfolio on `program`, stopping at the first conclusive
+/// verdict when `stop_at_first` is set (the parallel model); otherwise
+/// every member runs (needed to identify per-benchmark best orders for
+/// Figure 8).
+pub fn portfolio_verify(
+    pool: &mut TermPool,
+    program: &Program,
+    configs: &[VerifierConfig],
+    stop_at_first: bool,
+) -> PortfolioOutcome {
+    assert!(!configs.is_empty(), "portfolio needs at least one member");
+    let mut members: Vec<(String, Outcome)> = Vec::new();
+    let mut winner: Option<usize> = None;
+    for config in configs {
+        let outcome = verify(pool, program, config);
+        let conclusive = !matches!(outcome.verdict, Verdict::Unknown { .. });
+        members.push((config.name.clone(), outcome));
+        if conclusive {
+            // Parallel model: the fastest conclusive member wins. When all
+            // members run, pick the conclusive one with minimal time.
+            winner = match winner {
+                None => Some(members.len() - 1),
+                Some(w) if members.last().expect("just pushed").1.stats.time
+                    < members[w].1.stats.time =>
+                {
+                    Some(members.len() - 1)
+                }
+                other => other,
+            };
+            if stop_at_first {
+                break;
+            }
+        }
+    }
+    let outcome = match winner {
+        Some(w) => members[w].1.clone(),
+        None => members.last().expect("nonempty").1.clone(),
+    };
+    PortfolioOutcome {
+        winner: winner.map(|w| members[w].0.clone()),
+        outcome,
+        members,
+    }
+}
+
+/// The **shared-proof adaptive portfolio** — the direction sketched in the
+/// paper's §8 Limitations: instead of racing independent verifier copies,
+/// the preference orders take turns (one refinement round each, cheapest
+/// engine first) over a *single shared proof*. Assertions discovered while
+/// chasing one order's counterexamples are program facts and immediately
+/// cover traces of every other order's reduction; the first engine whose
+/// reduction is fully covered concludes.
+///
+/// Returns the outcome plus the name of the engine that concluded.
+pub fn adaptive_verify(
+    pool: &mut TermPool,
+    program: &Program,
+    configs: &[VerifierConfig],
+    max_total_rounds: usize,
+) -> (Outcome, Option<String>) {
+    assert!(!configs.is_empty(), "portfolio needs at least one member");
+    let start = Instant::now();
+    let mut stats = RunStats::default();
+    let specs: Vec<Spec> = {
+        let asserting = program.asserting_threads();
+        if asserting.is_empty() {
+            vec![Spec::PrePost]
+        } else {
+            asserting.into_iter().map(Spec::ErrorOf).collect()
+        }
+    };
+    let mut winner: Option<String> = None;
+    'specs: for spec in specs {
+        let mut engines: Vec<Engine> = configs
+            .iter()
+            .map(|c| Engine::new(pool, program, spec, c))
+            .collect();
+        let mut shared = ProofAutomaton::new();
+        let mut alive: Vec<usize> = (0..engines.len()).collect();
+        let mut total_rounds = 0usize;
+        loop {
+            if alive.is_empty() {
+                let outcome = Outcome {
+                    verdict: Verdict::Unknown {
+                        reason: "every portfolio engine gave up".to_owned(),
+                    },
+                    stats: finish(stats, &engines, &shared, start),
+                };
+                return (outcome, None);
+            }
+            if total_rounds >= max_total_rounds {
+                let outcome = Outcome {
+                    verdict: Verdict::Unknown {
+                        reason: format!("no proof within {max_total_rounds} shared rounds"),
+                    },
+                    stats: finish(stats, &engines, &shared, start),
+                };
+                return (outcome, None);
+            }
+            // Adaptive scheduling: the engine whose proof checks have been
+            // cheapest so far goes first.
+            let &idx = alive
+                .iter()
+                .min_by_key(|&&i| engines[i].stats.visited)
+                .expect("alive is nonempty");
+            total_rounds += 1;
+            match engines[idx].round(pool, program, &mut shared) {
+                RoundOutcome::Proven => {
+                    winner = Some(engines[idx].name.clone());
+                    stats = finish(stats, &engines, &shared, start);
+                    continue 'specs;
+                }
+                RoundOutcome::Bug(trace) => {
+                    let name = engines[idx].name.clone();
+                    let outcome = Outcome {
+                        verdict: Verdict::Incorrect { trace },
+                        stats: finish(stats, &engines, &shared, start),
+                    };
+                    return (outcome, Some(name));
+                }
+                RoundOutcome::Refined => {}
+                RoundOutcome::GaveUp(_) => alive.retain(|&i| i != idx),
+            }
+        }
+    }
+    let outcome = Outcome {
+        verdict: Verdict::Correct,
+        stats: RunStats {
+            time: start.elapsed(),
+            ..stats
+        },
+    };
+    (outcome, winner)
+}
+
+/// Folds engine counters and the shared proof into the running stats.
+fn finish(
+    mut stats: RunStats,
+    engines: &[Engine],
+    shared: &ProofAutomaton,
+    start: Instant,
+) -> RunStats {
+    for e in engines {
+        stats.rounds += e.stats.rounds;
+        stats.visited_states += e.stats.visited;
+        stats.max_round_visited = stats.max_round_visited.max(e.stats.max_round_visited);
+        stats.cache_skips += e.stats.cache_skips;
+    }
+    stats.proof_size = stats.proof_size.max(shared.proof_size());
+    stats.time = start.elapsed();
+    stats
+}

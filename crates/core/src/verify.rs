@@ -1,0 +1,352 @@
+//! The refinement loop: configuration, verdicts and statistics.
+//!
+//! Each round checks the current proof candidate against the on-the-fly
+//! reduction (Algorithm 2); an uncovered trace is analyzed exactly and
+//! either reported as a bug or turned into new assertions. The *baseline*
+//! configuration ([`VerifierConfig::automizer`]) disables every reduction
+//! mechanism and thus explores the full interleaving product — the paper's
+//! comparison against Ultimate Automizer.
+
+use crate::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
+use crate::interpolate::{analyze_trace_with_mode, InterpolationMode, InterpolationStats, TraceResult};
+use crate::proof::ProofAutomaton;
+use program::commutativity::{CommutativityLevel, CommutativityOracle};
+use program::concurrent::{LetterId, Program, Spec};
+use reduction::order::{LockstepOrder, PreferenceOrder, PriorityOrder, RandomOrder, SeqOrder};
+use reduction::persistent::PersistentSets;
+use smt::term::TermPool;
+use std::time::{Duration, Instant};
+
+/// Which preference order to instantiate (§8 evaluates these three
+/// families).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrderSpec {
+    /// Thread-uniform order approximating sequential composition.
+    Seq,
+    /// Positional order approximating lockstep scheduling.
+    Lockstep,
+    /// Seeded pseudo-random permutation of the alphabet.
+    Random(u64),
+    /// Thread-uniform order with an explicit thread priority permutation.
+    Priority(Vec<u32>),
+}
+
+impl OrderSpec {
+    /// Instantiates the order.
+    pub fn build(&self) -> Box<dyn PreferenceOrder> {
+        match self {
+            OrderSpec::Seq => Box::new(SeqOrder::new()),
+            OrderSpec::Lockstep => Box::new(LockstepOrder::new()),
+            OrderSpec::Random(seed) => Box::new(RandomOrder::new(*seed)),
+            OrderSpec::Priority(p) => Box::new(PriorityOrder::new(p.clone())),
+        }
+    }
+
+    /// The order's display name.
+    pub fn name(&self) -> String {
+        match self {
+            OrderSpec::Seq => "seq".to_owned(),
+            OrderSpec::Lockstep => "lockstep".to_owned(),
+            OrderSpec::Random(s) => format!("rand({s})"),
+            OrderSpec::Priority(p) => format!(
+                "priority({})",
+                p.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+            ),
+        }
+    }
+}
+
+/// Full verifier configuration.
+#[derive(Clone, Debug)]
+pub struct VerifierConfig {
+    /// Display name (e.g. `"gemcutter-seq"`, `"automizer"`).
+    pub name: String,
+    /// The preference order.
+    pub order: OrderSpec,
+    /// Sleep sets (language-minimal reduction).
+    pub use_sleep: bool,
+    /// Weakly persistent membranes (state pruning).
+    pub use_persistent: bool,
+    /// Proof-sensitive commutativity in sleep sets (§7.2).
+    pub proof_sensitive: bool,
+    /// Commutativity oracle level.
+    pub commutativity: CommutativityLevel,
+    /// Which interpolation engine generates assertion chains.
+    pub interpolation: InterpolationMode,
+    /// Maximum refinement rounds before giving up.
+    pub max_rounds: usize,
+    /// Maximum visited states per proof-check round.
+    pub max_visited_per_round: usize,
+}
+
+impl VerifierConfig {
+    /// GemCutter with the `seq` preference order (full machinery).
+    pub fn gemcutter_seq() -> VerifierConfig {
+        VerifierConfig {
+            name: "gemcutter-seq".to_owned(),
+            order: OrderSpec::Seq,
+            use_sleep: true,
+            use_persistent: true,
+            proof_sensitive: true,
+            commutativity: CommutativityLevel::Semantic,
+            interpolation: InterpolationMode::SpChain,
+            max_rounds: 60,
+            max_visited_per_round: 400_000,
+        }
+    }
+
+    /// GemCutter with the lockstep preference order.
+    pub fn gemcutter_lockstep() -> VerifierConfig {
+        VerifierConfig {
+            name: "gemcutter-lockstep".to_owned(),
+            order: OrderSpec::Lockstep,
+            ..VerifierConfig::gemcutter_seq()
+        }
+    }
+
+    /// GemCutter with a seeded random preference order.
+    pub fn gemcutter_random(seed: u64) -> VerifierConfig {
+        VerifierConfig {
+            name: format!("gemcutter-rand({seed})"),
+            order: OrderSpec::Random(seed),
+            ..VerifierConfig::gemcutter_seq()
+        }
+    }
+
+    /// The Automizer baseline: trace abstraction over the *full*
+    /// interleaving product (no reduction machinery at all).
+    pub fn automizer() -> VerifierConfig {
+        VerifierConfig {
+            name: "automizer".to_owned(),
+            order: OrderSpec::Seq,
+            use_sleep: false,
+            use_persistent: false,
+            proof_sensitive: false,
+            commutativity: CommutativityLevel::Syntactic,
+            ..VerifierConfig::gemcutter_seq()
+        }
+    }
+
+    /// Sleep sets only (Table 2's "sleep" column).
+    pub fn sleep_only() -> VerifierConfig {
+        VerifierConfig {
+            name: "sleep".to_owned(),
+            use_persistent: false,
+            ..VerifierConfig::gemcutter_seq()
+        }
+    }
+
+    /// Persistent sets only (Table 2's "persistent" column).
+    pub fn persistent_only() -> VerifierConfig {
+        VerifierConfig {
+            name: "persistent".to_owned(),
+            use_sleep: false,
+            proof_sensitive: false,
+            ..VerifierConfig::gemcutter_seq()
+        }
+    }
+
+    /// Disables proof-sensitive commutativity (the §8 ablation).
+    pub fn without_proof_sensitivity(mut self) -> VerifierConfig {
+        self.proof_sensitive = false;
+        self.name = format!("{}-nops", self.name);
+        self
+    }
+
+    /// Switches to Farkas-certificate interpolation (single-inequality
+    /// assertions; falls back to sp-chains on non-conjunctive traces).
+    pub fn with_farkas_interpolation(mut self) -> VerifierConfig {
+        self.interpolation = InterpolationMode::Farkas;
+        self.name = format!("{}-farkas", self.name);
+        self
+    }
+}
+
+/// Verification verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The program satisfies its specification.
+    Correct,
+    /// A feasible violating trace was found.
+    Incorrect {
+        /// The violating trace (letters of the program alphabet).
+        trace: Vec<LetterId>,
+    },
+    /// The verifier gave up.
+    Unknown {
+        /// Human-readable reason (budget, solver incompleteness, …).
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Correct`].
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Verdict::Correct)
+    }
+
+    /// `true` for [`Verdict::Incorrect`].
+    pub fn is_incorrect(&self) -> bool {
+        matches!(self, Verdict::Incorrect { .. })
+    }
+}
+
+/// Aggregated run statistics (the quantities reported in Tables 1–2).
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Refinement rounds across all analyses.
+    pub rounds: usize,
+    /// Final proof size (number of assertions).
+    pub proof_size: usize,
+    /// Total visited proof-check states (memory proxy).
+    pub visited_states: usize,
+    /// Largest single-round visited count.
+    pub max_round_visited: usize,
+    /// Hoare-triple solver queries.
+    pub hoare_checks: usize,
+    /// Useless-cache skips (§7.2 optimization effectiveness).
+    pub cache_skips: usize,
+    /// Wall-clock time of the whole run.
+    pub time: Duration,
+    /// Interpolation statistics.
+    pub interpolation: InterpolationStats,
+}
+
+impl RunStats {
+    /// Average time per refinement round (Table 2's metric).
+    pub fn time_per_round(&self) -> Duration {
+        if self.rounds == 0 {
+            self.time
+        } else {
+            self.time / self.rounds as u32
+        }
+    }
+}
+
+/// A verdict together with its statistics.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Statistics of the run.
+    pub stats: RunStats,
+}
+
+/// Verifies `program` under `config`.
+///
+/// Programs with asserts are analyzed once per asserting thread
+/// (footnote 4 of the paper); programs without asserts are verified
+/// against their pre/postcondition pair.
+pub fn verify(pool: &mut TermPool, program: &Program, config: &VerifierConfig) -> Outcome {
+    let start = Instant::now();
+    let mut stats = RunStats::default();
+    let specs: Vec<Spec> = {
+        let asserting = program.asserting_threads();
+        if asserting.is_empty() {
+            vec![Spec::PrePost]
+        } else {
+            asserting.into_iter().map(Spec::ErrorOf).collect()
+        }
+    };
+    let mut verdict = Verdict::Correct;
+    for spec in specs {
+        let v = verify_spec(pool, program, spec, config, &mut stats);
+        match v {
+            Verdict::Correct => {}
+            other => {
+                verdict = other;
+                break;
+            }
+        }
+    }
+    stats.time = start.elapsed();
+    Outcome { verdict, stats }
+}
+
+fn verify_spec(
+    pool: &mut TermPool,
+    program: &Program,
+    spec: Spec,
+    config: &VerifierConfig,
+    stats: &mut RunStats,
+) -> Verdict {
+    let order = config.order.build();
+    let mut oracle = CommutativityOracle::new(config.commutativity);
+    let persistent = config
+        .use_persistent
+        .then(|| PersistentSets::new(pool, program, &mut oracle));
+    let mut proof = ProofAutomaton::new();
+    let mut useless = UselessCache::new();
+    let check_config = CheckConfig {
+        use_sleep: config.use_sleep,
+        use_persistent: config.use_persistent,
+        proof_sensitive: config.proof_sensitive,
+        max_visited: config.max_visited_per_round,
+    };
+    let mut last_trace: Option<Vec<LetterId>> = None;
+
+    for _round in 0..config.max_rounds {
+        stats.rounds += 1;
+        let mut round_stats = CheckStats::default();
+        let result = check_proof(
+            pool,
+            program,
+            spec,
+            order.as_ref(),
+            &mut oracle,
+            persistent.as_ref(),
+            &mut proof,
+            &mut useless,
+            &check_config,
+            &mut round_stats,
+        );
+        stats.visited_states += round_stats.visited;
+        stats.max_round_visited = stats.max_round_visited.max(round_stats.visited);
+        stats.cache_skips += round_stats.cache_skips;
+        stats.hoare_checks = proof.stats().hoare_checks;
+        stats.proof_size = stats.proof_size.max(proof.proof_size());
+        match result {
+            CheckResult::Proven => return Verdict::Correct,
+            CheckResult::LimitReached => {
+                return Verdict::Unknown {
+                    reason: format!(
+                        "state budget exhausted ({} states)",
+                        config.max_visited_per_round
+                    ),
+                }
+            }
+            CheckResult::Counterexample(trace) => {
+                if last_trace.as_ref() == Some(&trace) {
+                    return Verdict::Unknown {
+                        reason: "refinement made no progress".to_owned(),
+                    };
+                }
+                match analyze_trace_with_mode(
+                    pool,
+                    program,
+                    &trace,
+                    spec,
+                    config.interpolation,
+                    &mut stats.interpolation,
+                ) {
+                    TraceResult::Feasible => return Verdict::Incorrect { trace },
+                    TraceResult::Unknown => {
+                        return Verdict::Unknown {
+                            reason: "trace feasibility undecided".to_owned(),
+                        }
+                    }
+                    TraceResult::Infeasible { chain } => {
+                        for a in chain {
+                            proof.add_assertion(a);
+                        }
+                        stats.proof_size = stats.proof_size.max(proof.proof_size());
+                    }
+                }
+                last_trace = Some(trace);
+            }
+        }
+    }
+    Verdict::Unknown {
+        reason: format!("no proof within {} refinement rounds", config.max_rounds),
+    }
+}

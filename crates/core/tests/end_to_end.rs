@@ -1,0 +1,339 @@
+#![allow(clippy::needless_range_loop)]
+//! End-to-end verification of small hand-built concurrent programs, with
+//! every configuration the paper evaluates, cross-checked against the
+//! explicit-state interpreter.
+
+use automata::bitset::BitSet;
+use automata::dfa::DfaBuilder;
+use gemcutter::portfolio::{default_portfolio, portfolio_verify};
+use gemcutter::verify::{verify, Verdict, VerifierConfig};
+use program::concurrent::{Program, Spec};
+use program::interp::{Interpreter, SearchResult};
+use program::stmt::{SimpleStmt, Statement};
+use program::thread::{Thread, ThreadId};
+use smt::linear::LinExpr;
+use smt::term::TermPool;
+
+/// `n` worker threads each add `k` to a shared counter; one checker thread
+/// asserts `counter ≤ n·k` at the end (after all workers are *forced* done
+/// via a completion count). Correct iff `bound ≥ n·k`.
+fn counter_program(pool: &mut TermPool, n: u32, k: i128, bound: i128) -> Program {
+    let mut b = Program::builder("counter");
+    let counter = pool.var("counter");
+    let done = pool.var("done");
+    b.add_global(counter, 0);
+    b.add_global(done, 0);
+    // Worker threads.
+    let mut worker_letters = Vec::new();
+    for t in 0..n {
+        let add = b.add_statement(Statement::atomic(
+            ThreadId(t),
+            &format!("w{t}: counter += {k}; done += 1"),
+            vec![vec![
+                SimpleStmt::Assign(counter, LinExpr::var(counter).add(&LinExpr::constant(k))),
+                SimpleStmt::Assign(done, LinExpr::var(done).add(&LinExpr::constant(1))),
+            ]],
+            pool,
+        ));
+        worker_letters.push(add);
+    }
+    // Checker thread: wait for all workers, then assert counter ≤ bound.
+    let all_done = pool.ge_const(done, n as i128);
+    let wait = b.add_statement(Statement::simple(
+        ThreadId(n),
+        "await done = n",
+        SimpleStmt::Assume(all_done),
+        pool,
+    ));
+    let ok_guard = pool.le_const(counter, bound);
+    let bad_guard = pool.not(ok_guard);
+    let ok = b.add_statement(Statement::simple(
+        ThreadId(n),
+        "assert ok",
+        SimpleStmt::Assume(ok_guard),
+        pool,
+    ));
+    let bad = b.add_statement(Statement::simple(
+        ThreadId(n),
+        "assert fails",
+        SimpleStmt::Assume(bad_guard),
+        pool,
+    ));
+    for t in 0..n as usize {
+        let mut cfg = DfaBuilder::new();
+        let entry = cfg.add_state(false);
+        let exit = cfg.add_state(true);
+        cfg.add_transition(entry, worker_letters[t], exit);
+        b.add_thread(Thread::new(&format!("worker{t}"), cfg.build(entry), BitSet::new(2)));
+    }
+    {
+        let mut cfg = DfaBuilder::new();
+        let entry = cfg.add_state(false);
+        let waited = cfg.add_state(false);
+        let exit = cfg.add_state(true);
+        let err = cfg.add_state(false);
+        cfg.add_transition(entry, wait, waited);
+        cfg.add_transition(waited, ok, exit);
+        cfg.add_transition(waited, bad, err);
+        let mut errors = BitSet::new(4);
+        errors.insert(err.index());
+        b.add_thread(Thread::new("checker", cfg.build(entry), errors));
+    }
+    b.build(pool)
+}
+
+/// Simple lock-based mutual exclusion: two threads do
+/// `acquire; critical := critical + 1; assert critical = 1; critical -= 1; release`.
+/// Correct with the lock; the `broken` variant skips the lock.
+fn mutex_program(pool: &mut TermPool, broken: bool) -> Program {
+    let mut b = Program::builder(if broken { "mutex-broken" } else { "mutex" });
+    let lock = pool.var("lock");
+    let critical = pool.var("critical");
+    b.add_global(lock, 0);
+    b.add_global(critical, 0);
+    let mut cfg_letters = Vec::new();
+    for t in 0..2u32 {
+        let lock_free = pool.eq_const(lock, 0);
+        let acquire = b.add_statement(Statement::atomic(
+            ThreadId(t),
+            "acquire",
+            vec![if broken {
+                vec![]
+            } else {
+                vec![
+                    SimpleStmt::Assume(lock_free),
+                    SimpleStmt::Assign(lock, LinExpr::constant(1)),
+                ]
+            }],
+            pool,
+        ));
+        let enter_crit = b.add_statement(Statement::simple(
+            ThreadId(t),
+            "critical += 1",
+            SimpleStmt::Assign(critical, LinExpr::var(critical).add(&LinExpr::constant(1))),
+            pool,
+        ));
+        let one = pool.eq_const(critical, 1);
+        let not_one = pool.not(one);
+        let ok = b.add_statement(Statement::simple(ThreadId(t), "assert", SimpleStmt::Assume(one), pool));
+        let bad = b.add_statement(Statement::simple(
+            ThreadId(t),
+            "assert fails",
+            SimpleStmt::Assume(not_one),
+            pool,
+        ));
+        let leave_crit = b.add_statement(Statement::simple(
+            ThreadId(t),
+            "critical -= 1",
+            SimpleStmt::Assign(critical, LinExpr::var(critical).sub(&LinExpr::constant(1))),
+            pool,
+        ));
+        let release = b.add_statement(Statement::simple(
+            ThreadId(t),
+            "release",
+            SimpleStmt::Assign(lock, LinExpr::constant(0)),
+            pool,
+        ));
+        cfg_letters.push((acquire, enter_crit, ok, bad, leave_crit, release));
+    }
+    for t in 0..2usize {
+        let (acquire, enter_crit, ok, bad, leave_crit, release) = cfg_letters[t];
+        let mut cfg = DfaBuilder::new();
+        let q0 = cfg.add_state(false);
+        let q1 = cfg.add_state(false);
+        let q2 = cfg.add_state(false);
+        let q3 = cfg.add_state(false);
+        let q4 = cfg.add_state(false);
+        let exit = cfg.add_state(true);
+        let err = cfg.add_state(false);
+        cfg.add_transition(q0, acquire, q1);
+        cfg.add_transition(q1, enter_crit, q2);
+        cfg.add_transition(q2, ok, q3);
+        cfg.add_transition(q2, bad, err);
+        cfg.add_transition(q3, leave_crit, q4);
+        cfg.add_transition(q4, release, exit);
+        let mut errors = BitSet::new(7);
+        errors.insert(err.index());
+        b.add_thread(Thread::new(&format!("t{t}"), cfg.build(q0), errors));
+    }
+    b.build(pool)
+}
+
+#[test]
+fn correct_counter_proved_by_all_configs() {
+    for config in [
+        VerifierConfig::gemcutter_seq(),
+        VerifierConfig::gemcutter_lockstep(),
+        VerifierConfig::gemcutter_random(1),
+        VerifierConfig::sleep_only(),
+        VerifierConfig::persistent_only(),
+        VerifierConfig::automizer(),
+    ] {
+        let mut pool = TermPool::new();
+        let p = counter_program(&mut pool, 2, 3, 6);
+        let outcome = verify(&mut pool, &p, &config);
+        assert!(
+            outcome.verdict.is_correct(),
+            "{} failed: {:?}",
+            config.name,
+            outcome.verdict
+        );
+    }
+}
+
+#[test]
+fn buggy_counter_found_by_all_configs() {
+    for config in [
+        VerifierConfig::gemcutter_seq(),
+        VerifierConfig::gemcutter_lockstep(),
+        VerifierConfig::automizer(),
+    ] {
+        let mut pool = TermPool::new();
+        let p = counter_program(&mut pool, 2, 3, 5); // 2·3 = 6 > 5
+        let outcome = verify(&mut pool, &p, &config);
+        let Verdict::Incorrect { trace } = &outcome.verdict else {
+            panic!("{} missed the bug: {:?}", config.name, outcome.verdict);
+        };
+        // The witness must replay concretely.
+        let interp = Interpreter::new(&p);
+        assert!(interp.replay(&pool, trace), "witness does not replay");
+    }
+}
+
+#[test]
+fn verifier_agrees_with_explicit_state_search() {
+    for (n, k, bound) in [(1, 1, 1), (1, 1, 0), (2, 2, 4), (2, 2, 3), (3, 1, 3)] {
+        let mut pool = TermPool::new();
+        let p = counter_program(&mut pool, n, k, bound);
+        let outcome = verify(&mut pool, &p, &VerifierConfig::gemcutter_seq());
+        let interp = Interpreter::new(&p);
+        let search = interp.search(&pool, Spec::ErrorOf(ThreadId(n)), 100_000);
+        match (&outcome.verdict, &search) {
+            (Verdict::Correct, SearchResult::NoErrorFound { exhaustive: true, .. }) => {}
+            (Verdict::Incorrect { .. }, SearchResult::ErrorReachable(_)) => {}
+            other => panic!("disagreement on n={n} k={k} bound={bound}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn mutex_correct_and_broken() {
+    let mut pool = TermPool::new();
+    let good = mutex_program(&mut pool, false);
+    let outcome = verify(&mut pool, &good, &VerifierConfig::gemcutter_seq());
+    assert!(outcome.verdict.is_correct(), "{:?}", outcome.verdict);
+
+    let mut pool2 = TermPool::new();
+    let bad = mutex_program(&mut pool2, true);
+    let outcome2 = verify(&mut pool2, &bad, &VerifierConfig::gemcutter_seq());
+    let Verdict::Incorrect { trace } = &outcome2.verdict else {
+        panic!("missed race: {:?}", outcome2.verdict);
+    };
+    let interp = Interpreter::new(&bad);
+    assert!(interp.replay(&pool2, trace));
+}
+
+/// Thread 0 asserts `y = 0` (y is never written); threads 1..=n each
+/// perform two private writes. Everything commutes, so the reduction
+/// collapses the exponential product.
+fn independent_workers(pool: &mut TermPool, n: u32) -> Program {
+    let mut b = Program::builder("independent");
+    let y = pool.var("y");
+    b.add_global(y, 0);
+    let zero = pool.eq_const(y, 0);
+    let nonzero = pool.not(zero);
+    let ok = b.add_statement(Statement::simple(ThreadId(0), "assert ok", SimpleStmt::Assume(zero), pool));
+    let bad = b.add_statement(Statement::simple(
+        ThreadId(0),
+        "assert fails",
+        SimpleStmt::Assume(nonzero),
+        pool,
+    ));
+    let mut worker_letters = Vec::new();
+    for t in 1..=n {
+        let x = pool.var(&format!("x{t}"));
+        b.add_global(x, 0);
+        let w1 = b.add_statement(Statement::simple(
+            ThreadId(t),
+            "x := 1",
+            SimpleStmt::Assign(x, LinExpr::constant(1)),
+            pool,
+        ));
+        let w2 = b.add_statement(Statement::simple(
+            ThreadId(t),
+            "x := 2",
+            SimpleStmt::Assign(x, LinExpr::constant(2)),
+            pool,
+        ));
+        worker_letters.push((w1, w2));
+    }
+    {
+        let mut cfg = DfaBuilder::new();
+        let entry = cfg.add_state(false);
+        let exit = cfg.add_state(true);
+        let err = cfg.add_state(false);
+        cfg.add_transition(entry, ok, exit);
+        cfg.add_transition(entry, bad, err);
+        let mut errors = BitSet::new(3);
+        errors.insert(err.index());
+        b.add_thread(Thread::new("checker", cfg.build(entry), errors));
+    }
+    for &(w1, w2) in &worker_letters {
+        let mut cfg = DfaBuilder::new();
+        let q0 = cfg.add_state(false);
+        let q1 = cfg.add_state(false);
+        let q2 = cfg.add_state(true);
+        cfg.add_transition(q0, w1, q1);
+        cfg.add_transition(q1, w2, q2);
+        b.add_thread(Thread::new("worker", cfg.build(q0), BitSet::new(3)));
+    }
+    b.build(pool)
+}
+
+#[test]
+fn gemcutter_beats_automizer_at_scale() {
+    // With independent workers the membrane construction prunes the entire
+    // exponential product down to the asserting thread's own moves, while
+    // the baseline sweeps 3^n location vectors.
+    let mut pool = TermPool::new();
+    let p = independent_workers(&mut pool, 6);
+    let gem = verify(&mut pool, &p, &VerifierConfig::gemcutter_seq());
+    let mut pool2 = TermPool::new();
+    let p2 = independent_workers(&mut pool2, 6);
+    let auto = verify(&mut pool2, &p2, &VerifierConfig::automizer());
+    assert!(gem.verdict.is_correct(), "{:?}", gem.verdict);
+    assert!(auto.verdict.is_correct(), "{:?}", auto.verdict);
+    assert!(
+        gem.stats.visited_states * 10 < auto.stats.visited_states,
+        "reduction must shrink the explored space at scale: {} vs {}",
+        gem.stats.visited_states,
+        auto.stats.visited_states
+    );
+    assert!(gem.stats.rounds <= auto.stats.rounds);
+}
+
+#[test]
+fn rounds_never_worse_on_counter() {
+    let mut pool = TermPool::new();
+    let p = counter_program(&mut pool, 3, 1, 3);
+    let gem = verify(&mut pool, &p, &VerifierConfig::gemcutter_seq());
+    let mut pool2 = TermPool::new();
+    let p2 = counter_program(&mut pool2, 3, 1, 3);
+    let auto = verify(&mut pool2, &p2, &VerifierConfig::automizer());
+    assert!(gem.verdict.is_correct() && auto.verdict.is_correct());
+    assert!(
+        gem.stats.rounds <= auto.stats.rounds,
+        "reduction needs no more refinement rounds: {} vs {}",
+        gem.stats.rounds,
+        auto.stats.rounds
+    );
+}
+
+#[test]
+fn portfolio_reports_winner() {
+    let mut pool = TermPool::new();
+    let p = counter_program(&mut pool, 2, 1, 2);
+    let result = portfolio_verify(&mut pool, &p, &default_portfolio(), true);
+    assert!(result.winner.is_some());
+    assert!(result.outcome.verdict.is_correct());
+}

@@ -1,0 +1,280 @@
+//! Abstract syntax of CPL, plus a pretty-printer (used by round-trip
+//! tests and benchmark-program generators).
+
+use std::fmt;
+
+/// Variable types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// Mathematical integer.
+    Int,
+    /// Boolean (represented as `{0, 1}` integers after lowering).
+    Bool,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// Initializer of a variable declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Init {
+    /// A compile-time constant.
+    Const(i128),
+    /// `true`/`false` (bool variables).
+    ConstBool(bool),
+    /// `*`: nondeterministic initial value.
+    Nondet,
+}
+
+/// A global or thread-local variable declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Initial value.
+    pub init: Init,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*` (one operand must be constant — linearity)
+    Mul,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Source syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i128),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// `*`: nondeterministic boolean (conditions / bool assignments only).
+    Nondet,
+}
+
+impl Expr {
+    /// Convenience constructor for binary expressions.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Constant-folds the expression to an integer, if possible.
+    pub fn const_int(&self) -> Option<i128> {
+        match self {
+            Expr::Int(n) => Some(*n),
+            Expr::Neg(e) => e.const_int().map(|n| -n),
+            Expr::Bin(BinOp::Add, a, b) => Some(a.const_int()? + b.const_int()?),
+            Expr::Bin(BinOp::Sub, a, b) => Some(a.const_int()? - b.const_int()?),
+            Expr::Bin(BinOp::Mul, a, b) => Some(a.const_int()? * b.const_int()?),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Int(n) => write!(f, "{n}"),
+            Expr::Bool(b) => write!(f, "{b}"),
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Not(e) => write!(f, "(!{e})"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Nondet => write!(f, "*"),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `x := e;`
+    Assign(String, Expr),
+    /// `havoc x;`
+    Havoc(String),
+    /// `assume e;`
+    Assume(Expr),
+    /// `assert e;`
+    Assert(Expr),
+    /// `skip;`
+    Skip,
+    /// `if (c) { … } else { … }`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { … }`
+    While(Expr, Vec<Stmt>),
+    /// `atomic { … }` — one indivisible statement.
+    Atomic(Vec<Stmt>),
+}
+
+impl Stmt {
+    /// A compact single-line rendering, used as the statement label in
+    /// traces and DOT dumps.
+    pub fn label(&self) -> String {
+        match self {
+            Stmt::Assign(x, e) => format!("{x} := {e}"),
+            Stmt::Havoc(x) => format!("havoc {x}"),
+            Stmt::Assume(e) => format!("assume {e}"),
+            Stmt::Assert(e) => format!("assert {e}"),
+            Stmt::Skip => "skip".to_owned(),
+            Stmt::If(c, _, _) => format!("if ({c}) …"),
+            Stmt::While(c, _) => format!("while ({c}) …"),
+            Stmt::Atomic(body) => {
+                let inner: Vec<String> = body.iter().map(Stmt::label).collect();
+                format!("atomic {{ {} }}", inner.join("; "))
+            }
+        }
+    }
+}
+
+/// A thread template.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadDecl {
+    /// Template name.
+    pub name: String,
+    /// Thread-local variables.
+    pub locals: Vec<VarDecl>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A spawn directive: `spawn user;` or `spawn user * 3;`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spawn {
+    /// Template name.
+    pub template: String,
+    /// Number of instances (≥ 1).
+    pub count: u32,
+}
+
+/// A complete CPL compilation unit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Ast {
+    /// Program name (derived from the source or set by the caller).
+    pub name: String,
+    /// Global variable declarations.
+    pub globals: Vec<VarDecl>,
+    /// Optional precondition.
+    pub requires: Option<Expr>,
+    /// Optional postcondition.
+    pub ensures: Option<Expr>,
+    /// Thread templates.
+    pub threads: Vec<ThreadDecl>,
+    /// Spawn directives, in order.
+    pub spawns: Vec<Spawn>,
+}
+
+impl Ast {
+    /// Looks up a thread template by name.
+    pub fn template(&self, name: &str) -> Option<&ThreadDecl> {
+        self.threads.iter().find(|t| t.name == name)
+    }
+
+    /// Total number of spawned thread instances.
+    pub fn num_instances(&self) -> usize {
+        self.spawns.iter().map(|s| s.count as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_folding() {
+        let e = Expr::bin(
+            BinOp::Mul,
+            Expr::Int(3),
+            Expr::bin(BinOp::Add, Expr::Int(2), Expr::Int(5)),
+        );
+        assert_eq!(e.const_int(), Some(21));
+        assert_eq!(Expr::Var("x".into()).const_int(), None);
+        assert_eq!(Expr::Neg(Box::new(Expr::Int(4))).const_int(), Some(-4));
+    }
+
+    #[test]
+    fn labels() {
+        let s = Stmt::Atomic(vec![
+            Stmt::Assume(Expr::Not(Box::new(Expr::Var("f".into())))),
+            Stmt::Assign(
+                "p".into(),
+                Expr::bin(BinOp::Add, Expr::Var("p".into()), Expr::Int(1)),
+            ),
+        ]);
+        assert_eq!(s.label(), "atomic { assume (!f); p := (p + 1) }");
+    }
+
+    #[test]
+    fn template_lookup() {
+        let ast = Ast {
+            threads: vec![ThreadDecl {
+                name: "user".into(),
+                locals: vec![],
+                body: vec![],
+            }],
+            spawns: vec![Spawn {
+                template: "user".into(),
+                count: 3,
+            }],
+            ..Ast::default()
+        };
+        assert!(ast.template("user").is_some());
+        assert!(ast.template("nope").is_none());
+        assert_eq!(ast.num_instances(), 3);
+    }
+}

@@ -1,0 +1,368 @@
+//! Tokenizer for CPL.
+
+use crate::Error;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i128),
+    // Keywords.
+    /// `var`
+    Var,
+    /// `int`
+    IntType,
+    /// `bool`
+    BoolType,
+    /// `thread`
+    Thread,
+    /// `spawn`
+    Spawn,
+    /// `local`
+    Local,
+    /// `while`
+    While,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `atomic`
+    Atomic,
+    /// `assume`
+    Assume,
+    /// `assert`
+    Assert,
+    /// `havoc`
+    Havoc,
+    /// `skip`
+    Skip,
+    /// `requires`
+    Requires,
+    /// `ensures`
+    Ensures,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    // Symbols.
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(n) => write!(f, "integer `{n}`"),
+            Tok::Var => write!(f, "`var`"),
+            Tok::IntType => write!(f, "`int`"),
+            Tok::BoolType => write!(f, "`bool`"),
+            Tok::Thread => write!(f, "`thread`"),
+            Tok::Spawn => write!(f, "`spawn`"),
+            Tok::Local => write!(f, "`local`"),
+            Tok::While => write!(f, "`while`"),
+            Tok::If => write!(f, "`if`"),
+            Tok::Else => write!(f, "`else`"),
+            Tok::Atomic => write!(f, "`atomic`"),
+            Tok::Assume => write!(f, "`assume`"),
+            Tok::Assert => write!(f, "`assert`"),
+            Tok::Havoc => write!(f, "`havoc`"),
+            Tok::Skip => write!(f, "`skip`"),
+            Tok::Requires => write!(f, "`requires`"),
+            Tok::Ensures => write!(f, "`ensures`"),
+            Tok::True => write!(f, "`true`"),
+            Tok::False => write!(f, "`false`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Assign => write!(f, "`:=`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Not => write!(f, "`!`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Line.
+    pub line: usize,
+    /// Column.
+    pub col: usize,
+}
+
+/// Tokenizes `source`. `//` starts a line comment.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on unknown characters or malformed literals.
+pub fn tokenize(source: &str) -> Result<Vec<Spanned>, Error> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            ';' => push!(Tok::Semi, 1),
+            '*' => push!(Tok::Star, 1),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            ':' if next == Some('=') => push!(Tok::Assign, 2),
+            ':' => push!(Tok::Colon, 1),
+            '=' if next == Some('=') => push!(Tok::EqEq, 2),
+            '=' => push!(Tok::Eq, 1),
+            '!' if next == Some('=') => push!(Tok::NotEq, 2),
+            '!' => push!(Tok::Not, 1),
+            '<' if next == Some('=') => push!(Tok::Le, 2),
+            '<' => push!(Tok::Lt, 1),
+            '>' if next == Some('=') => push!(Tok::Ge, 2),
+            '>' => push!(Tok::Gt, 1),
+            '&' if next == Some('&') => push!(Tok::AndAnd, 2),
+            '|' if next == Some('|') => push!(Tok::OrOr, 2),
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value: i128 = text.parse().map_err(|_| Error {
+                    line,
+                    col,
+                    message: format!("integer literal `{text}` out of range"),
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(value),
+                    line,
+                    col,
+                });
+                col += i - start;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let tok = match text.as_str() {
+                    "var" => Tok::Var,
+                    "int" => Tok::IntType,
+                    "bool" => Tok::BoolType,
+                    "thread" => Tok::Thread,
+                    "spawn" => Tok::Spawn,
+                    "local" => Tok::Local,
+                    "while" => Tok::While,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "atomic" => Tok::Atomic,
+                    "assume" => Tok::Assume,
+                    "assert" => Tok::Assert,
+                    "havoc" => Tok::Havoc,
+                    "skip" => Tok::Skip,
+                    "requires" => Tok::Requires,
+                    "ensures" => Tok::Ensures,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(text),
+                };
+                out.push(Spanned { tok, line, col });
+                col += i - start;
+            }
+            other => {
+                return Err(Error {
+                    line,
+                    col,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_symbols() {
+        assert_eq!(
+            toks("var x: int = 3;"),
+            vec![
+                Tok::Var,
+                Tok::Ident("x".into()),
+                Tok::Colon,
+                Tok::IntType,
+                Tok::Eq,
+                Tok::Int(3),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("x := a + b - 2 * c"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("a".into()),
+                Tok::Plus,
+                Tok::Ident("b".into()),
+                Tok::Minus,
+                Tok::Int(2),
+                Tok::Star,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("a == b != c <= d >= e < f > g && h || !i"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::EqEq,
+                Tok::Ident("b".into()),
+                Tok::NotEq,
+                Tok::Ident("c".into()),
+                Tok::Le,
+                Tok::Ident("d".into()),
+                Tok::Ge,
+                Tok::Ident("e".into()),
+                Tok::Lt,
+                Tok::Ident("f".into()),
+                Tok::Gt,
+                Tok::Ident("g".into()),
+                Tok::AndAnd,
+                Tok::Ident("h".into()),
+                Tok::OrOr,
+                Tok::Not,
+                Tok::Ident("i".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let ts = tokenize("x // comment\n  y").unwrap();
+        assert_eq!(ts[0].tok, Tok::Ident("x".into()));
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!(ts[1].tok, Tok::Ident("y".into()));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        let err = tokenize("x @ y").unwrap_err();
+        assert!(err.message.contains('@'));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert_eq!(toks("while")[0], Tok::While);
+        assert_eq!(toks("whilex")[0], Tok::Ident("whilex".into()));
+    }
+}

@@ -1,0 +1,84 @@
+//! **CPL** — a small concurrent imperative language, the frontend of the
+//! verifier.
+//!
+//! The paper's tool analyzes C programs with pthread primitives; parsing C
+//! is orthogonal to the contribution, so this reproduction uses a compact
+//! language that preserves everything the algorithms care about: shared
+//! integer/boolean state, per-thread control flow, `atomic` blocks,
+//! `assume`/`assert`/`havoc`, nondeterministic branches and a fixed list
+//! of spawned threads.
+//!
+//! ```text
+//! var pendingIo: int = 1;
+//! var stoppingFlag: bool = false;
+//!
+//! thread user {
+//!     while (*) {
+//!         atomic { assume !stoppingFlag; pendingIo := pendingIo + 1; }
+//!         assert !stopped;
+//!         atomic {
+//!             pendingIo := pendingIo - 1;
+//!             if (pendingIo == 0) { stoppingEvent := true; }
+//!         }
+//!     }
+//! }
+//!
+//! spawn user * 3;
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`typecheck`] → [`lower`] (to the
+//! [`program::Program`] model). [`compile`] runs the whole pipeline.
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod print;
+pub mod typecheck;
+
+use smt::term::TermPool;
+
+/// A compilation error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses, typechecks and lowers a CPL source file into a [`program::Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, type or lowering error.
+///
+/// # Example
+///
+/// ```
+/// use smt::term::TermPool;
+///
+/// let src = r#"
+///     var x: int = 0;
+///     thread inc { x := x + 1; assert x >= 1; }
+///     spawn inc;
+/// "#;
+/// let mut pool = TermPool::new();
+/// let program = cpl::compile(src, &mut pool).unwrap();
+/// assert_eq!(program.num_threads(), 1);
+/// ```
+pub fn compile(source: &str, pool: &mut TermPool) -> Result<program::Program, Error> {
+    let ast = parser::parse(source)?;
+    typecheck::check(&ast)?;
+    lower::lower(&ast, pool)
+}

@@ -1,0 +1,674 @@
+//! Lowering CPL to the [`program::Program`] model.
+//!
+//! * Every syntactic statement occurrence becomes one **letter** of the
+//!   program alphabet (so Σi are disjoint by construction).
+//! * `if`/`while` conditions become `assume` edges (`*` becomes a pair of
+//!   unconstrained edges).
+//! * `assert e` becomes an `assume e` edge to the next location plus an
+//!   `assume !e` edge to the thread's error location.
+//! * `atomic { … }` is flattened into its set of internal paths: one letter
+//!   for the normal paths and, if the block contains asserts, a second
+//!   letter collecting the failing paths (leading to the error location).
+//! * Booleans are `{0, 1}` integers: `b` reads as `b ≥ 1`; assignments
+//!   from complex boolean expressions lower to two guarded paths.
+//! * Thread templates are instantiated per `spawn`, with locals renamed
+//!   apart (`tmpl$i.local`).
+//!
+//! Control-flow merge points (after `if`, around `while`) are handled with
+//! a union-find over provisional locations, so the generated CFGs contain
+//! no ε-edges and no "goto" letters that would pollute the alphabet.
+
+use crate::ast::*;
+use crate::Error;
+use automata::bitset::BitSet;
+use automata::dfa::{DfaBuilder, StateId};
+use program::concurrent::{Program, ProgramBuilder};
+use program::stmt::{SimpleStmt, Statement};
+use program::thread::{Thread, ThreadId};
+use smt::linear::{LinExpr, VarId};
+use smt::term::{TermId, TermPool};
+use std::collections::HashMap;
+
+/// Maximum number of internal paths of a single `atomic` block.
+const MAX_ATOMIC_PATHS: usize = 64;
+
+/// Lowers a typechecked AST into a program.
+///
+/// # Errors
+///
+/// Returns an error if an `atomic` block explodes past
+/// `MAX_ATOMIC_PATHS` (64) internal paths — the only check not already
+/// done by [`crate::typecheck`].
+pub fn lower(ast: &Ast, pool: &mut TermPool) -> Result<Program, Error> {
+    let mut b = Program::builder(&ast.name);
+    let mut genv: HashMap<String, (VarId, Type)> = HashMap::new();
+    for g in &ast.globals {
+        let v = pool.var(&g.name);
+        declare(&mut b, pool, v, g);
+        genv.insert(g.name.clone(), (v, g.ty));
+    }
+    let pre = match &ast.requires {
+        Some(e) => bool_term(pool, e, &genv),
+        None => TermPool::TRUE,
+    };
+    let post = match &ast.ensures {
+        Some(e) => bool_term(pool, e, &genv),
+        None => TermPool::TRUE,
+    };
+    b.set_pre_post(pre, post);
+
+    let mut tid = 0u32;
+    for spawn in &ast.spawns {
+        let template = ast
+            .template(&spawn.template)
+            .expect("typecheck validated spawn targets");
+        for _ in 0..spawn.count {
+            let mut env = genv.clone();
+            for l in &template.locals {
+                let name = format!("{}${}.{}", template.name, tid, l.name);
+                let v = pool.var(&name);
+                declare(&mut b, pool, v, l);
+                env.insert(l.name.clone(), (v, l.ty));
+            }
+            let instance = format!("{}${}", template.name, tid);
+            let thread = lower_thread(&mut b, pool, ThreadId(tid), &instance, template, &env)?;
+            b.add_thread(thread);
+            tid += 1;
+        }
+    }
+    Ok(b.build(pool))
+}
+
+/// Registers a variable and its initial condition.
+fn declare(b: &mut ProgramBuilder, pool: &mut TermPool, v: VarId, decl: &VarDecl) {
+    match decl.init {
+        Init::Const(k) => b.add_global(v, k),
+        Init::ConstBool(value) => b.add_global(v, i128::from(value)),
+        Init::Nondet => {
+            b.add_global_nondet(v);
+            if decl.ty == Type::Bool {
+                let lo = pool.ge_const(v, 0);
+                let hi = pool.le_const(v, 1);
+                let range = pool.and([lo, hi]);
+                b.add_init_constraint(range);
+            }
+        }
+    }
+}
+
+type Env = HashMap<String, (VarId, Type)>;
+
+/// Lowers an integer expression (typecheck guarantees linearity).
+fn int_expr(e: &Expr, env: &Env) -> LinExpr {
+    match e {
+        Expr::Int(n) => LinExpr::constant(*n),
+        Expr::Var(name) => LinExpr::var(env[name].0),
+        Expr::Neg(inner) => int_expr(inner, env).scale(-1),
+        Expr::Bin(BinOp::Add, a, b) => int_expr(a, env).add(&int_expr(b, env)),
+        Expr::Bin(BinOp::Sub, a, b) => int_expr(a, env).sub(&int_expr(b, env)),
+        Expr::Bin(BinOp::Mul, a, b) => match a.const_int() {
+            Some(k) => int_expr(b, env).scale(k),
+            None => int_expr(a, env).scale(b.const_int().expect("typecheck enforced linearity")),
+        },
+        other => unreachable!("not an integer expression: {other}"),
+    }
+}
+
+/// Lowers a boolean expression to a formula (`*` becomes `true`).
+fn bool_term(pool: &mut TermPool, e: &Expr, env: &Env) -> TermId {
+    match e {
+        Expr::Bool(true) | Expr::Nondet => TermPool::TRUE,
+        Expr::Bool(false) => TermPool::FALSE,
+        Expr::Var(name) => {
+            // Boolean variable: b ⇔ b ≥ 1 (booleans are {0,1} integers).
+            pool.ge_const(env[name].0, 1)
+        }
+        Expr::Not(inner) => {
+            let t = bool_term(pool, inner, env);
+            pool.not(t)
+        }
+        Expr::Bin(op, a, b) => match op {
+            BinOp::And => {
+                let (ta, tb) = (bool_term(pool, a, env), bool_term(pool, b, env));
+                pool.and([ta, tb])
+            }
+            BinOp::Or => {
+                let (ta, tb) = (bool_term(pool, a, env), bool_term(pool, b, env));
+                pool.or([ta, tb])
+            }
+            BinOp::Eq => pool.eq(&int_expr(a, env), &int_expr(b, env)),
+            BinOp::Ne => pool.ne(&int_expr(a, env), &int_expr(b, env)),
+            BinOp::Lt => pool.lt(&int_expr(a, env), &int_expr(b, env)),
+            BinOp::Le => pool.le(&int_expr(a, env), &int_expr(b, env)),
+            BinOp::Gt => pool.gt(&int_expr(a, env), &int_expr(b, env)),
+            BinOp::Ge => pool.ge(&int_expr(a, env), &int_expr(b, env)),
+            BinOp::Add | BinOp::Sub | BinOp::Mul => {
+                unreachable!("not a boolean expression")
+            }
+        },
+        other => unreachable!("not a boolean expression: {other}"),
+    }
+}
+
+/// The alternative simple-step sequences of one non-control statement
+/// (bool assignments and bool havoc branch).
+fn simple_steps(pool: &mut TermPool, stmt: &Stmt, env: &Env) -> Vec<Vec<SimpleStmt>> {
+    match stmt {
+        Stmt::Skip => vec![vec![]],
+        Stmt::Assume(e) => {
+            let g = bool_term(pool, e, env);
+            vec![vec![SimpleStmt::Assume(g)]]
+        }
+        Stmt::Havoc(x) => {
+            let (v, ty) = env[x];
+            match ty {
+                Type::Int => vec![vec![SimpleStmt::Havoc(v)]],
+                Type::Bool => vec![
+                    vec![SimpleStmt::Assign(v, LinExpr::constant(0))],
+                    vec![SimpleStmt::Assign(v, LinExpr::constant(1))],
+                ],
+            }
+        }
+        Stmt::Assign(x, e) => {
+            let (v, ty) = env[x];
+            match ty {
+                Type::Int => vec![vec![SimpleStmt::Assign(v, int_expr(e, env))]],
+                Type::Bool => match e {
+                    Expr::Bool(value) => {
+                        vec![vec![SimpleStmt::Assign(v, LinExpr::constant(i128::from(*value)))]]
+                    }
+                    Expr::Nondet => vec![
+                        vec![SimpleStmt::Assign(v, LinExpr::constant(0))],
+                        vec![SimpleStmt::Assign(v, LinExpr::constant(1))],
+                    ],
+                    _ => {
+                        let g = bool_term(pool, e, env);
+                        let ng = pool.not(g);
+                        vec![
+                            vec![
+                                SimpleStmt::Assume(g),
+                                SimpleStmt::Assign(v, LinExpr::constant(1)),
+                            ],
+                            vec![
+                                SimpleStmt::Assume(ng),
+                                SimpleStmt::Assign(v, LinExpr::constant(0)),
+                            ],
+                        ]
+                    }
+                },
+            }
+        }
+        other => unreachable!("not a simple statement: {}", other.label()),
+    }
+}
+
+/// Internal paths of an `atomic` block: `(normal, failing)`.
+#[allow(clippy::type_complexity)]
+fn atomic_paths(
+    pool: &mut TermPool,
+    stmts: &[Stmt],
+    env: &Env,
+) -> Result<(Vec<Vec<SimpleStmt>>, Vec<Vec<SimpleStmt>>), Error> {
+    let mut normal: Vec<Vec<SimpleStmt>> = vec![vec![]];
+    let mut failing: Vec<Vec<SimpleStmt>> = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            Stmt::Skip | Stmt::Assume(_) | Stmt::Havoc(_) | Stmt::Assign(_, _) => {
+                let alts = simple_steps(pool, stmt, env);
+                normal = cross(&normal, &alts);
+            }
+            Stmt::Assert(e) => {
+                let g = bool_term(pool, e, env);
+                let ng = pool.not(g);
+                for p in &normal {
+                    let mut f = p.clone();
+                    f.push(SimpleStmt::Assume(ng));
+                    failing.push(f);
+                }
+                for p in &mut normal {
+                    p.push(SimpleStmt::Assume(g));
+                }
+            }
+            Stmt::If(c, then_branch, else_branch) => {
+                let (g, ng) = if matches!(c, Expr::Nondet) {
+                    (TermPool::TRUE, TermPool::TRUE)
+                } else {
+                    let g = bool_term(pool, c, env);
+                    let ng = pool.not(g);
+                    (g, ng)
+                };
+                let (tn, tf) = atomic_paths(pool, then_branch, env)?;
+                let (en, ef) = atomic_paths(pool, else_branch, env)?;
+                let then_prefix = cross(&normal, &[vec![SimpleStmt::Assume(g)]]);
+                let else_prefix = cross(&normal, &[vec![SimpleStmt::Assume(ng)]]);
+                failing.extend(cross(&then_prefix, &tf));
+                failing.extend(cross(&else_prefix, &ef));
+                let mut merged = cross(&then_prefix, &tn);
+                merged.extend(cross(&else_prefix, &en));
+                normal = merged;
+            }
+            Stmt::Atomic(inner) => {
+                let (inner_n, inner_f) = atomic_paths(pool, inner, env)?;
+                failing.extend(cross(&normal, &inner_f));
+                normal = cross(&normal, &inner_n);
+            }
+            Stmt::While(_, _) => unreachable!("typecheck rejects while inside atomic"),
+        }
+        if normal.len() + failing.len() > MAX_ATOMIC_PATHS {
+            return Err(Error {
+                line: 0,
+                col: 0,
+                message: format!(
+                    "atomic block expands to more than {MAX_ATOMIC_PATHS} internal paths"
+                ),
+            });
+        }
+    }
+    Ok((normal, failing))
+}
+
+fn cross(prefixes: &[Vec<SimpleStmt>], suffixes: &[Vec<SimpleStmt>]) -> Vec<Vec<SimpleStmt>> {
+    let mut out = Vec::with_capacity(prefixes.len() * suffixes.len());
+    for p in prefixes {
+        for s in suffixes {
+            let mut path = p.clone();
+            path.extend(s.iter().cloned());
+            out.push(path);
+        }
+    }
+    out
+}
+
+/// Provisional CFG under construction, with a union-find over locations so
+/// that branch exits can be merged without ε-edges.
+struct CfgSketch {
+    parent: Vec<usize>,
+    edges: Vec<(usize, program::concurrent::LetterId, usize)>,
+    error: Option<usize>,
+}
+
+impl CfgSketch {
+    fn new() -> CfgSketch {
+        CfgSketch {
+            parent: Vec::new(),
+            edges: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn fresh(&mut self) -> usize {
+        self.parent.push(self.parent.len());
+        self.parent.len() - 1
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn merge(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+
+    fn edge(&mut self, from: usize, letter: program::concurrent::LetterId, to: usize) {
+        self.edges.push((from, letter, to));
+    }
+
+    fn error_loc(&mut self) -> usize {
+        match self.error {
+            Some(e) => e,
+            None => {
+                let e = self.fresh();
+                self.error = Some(e);
+                e
+            }
+        }
+    }
+}
+
+fn lower_thread(
+    b: &mut ProgramBuilder,
+    pool: &mut TermPool,
+    tid: ThreadId,
+    instance: &str,
+    template: &ThreadDecl,
+    env: &Env,
+) -> Result<Thread, Error> {
+    let mut sketch = CfgSketch::new();
+    let entry = sketch.fresh();
+    // Initialize nondeterministic-looking locals? Locals are registered as
+    // program globals with their own initial condition, so nothing to do.
+    let exit = lower_block(b, pool, tid, &mut sketch, &template.body, entry, env)?;
+
+    // Canonicalize locations and build the DFA.
+    let mut ids: HashMap<usize, StateId> = HashMap::new();
+    let mut builder = DfaBuilder::new();
+    let mut canon = |sketch: &mut CfgSketch, loc: usize, builder: &mut DfaBuilder<_>| {
+        let root = sketch.find(loc);
+        *ids.entry(root).or_insert_with(|| builder.add_state(false))
+    };
+    let entry_id = canon(&mut sketch, entry, &mut builder);
+    let exit_id = canon(&mut sketch, exit, &mut builder);
+    builder.set_accepting(exit_id, true);
+    let edges = sketch.edges.clone();
+    for (from, letter, to) in edges {
+        let f = canon(&mut sketch, from, &mut builder);
+        let t = canon(&mut sketch, to, &mut builder);
+        builder.add_transition(f, letter, t);
+    }
+    let mut errors = BitSet::new(builder.num_states().max(1));
+    if let Some(e) = sketch.error {
+        let e_id = canon(&mut sketch, e, &mut builder);
+        // The bitset may need to grow if the error state was just created.
+        let mut grown = BitSet::new(builder.num_states());
+        for i in errors.iter() {
+            grown.insert(i);
+        }
+        errors = grown;
+        errors.insert(e_id.index());
+    }
+    // Ensure capacity matches the final state count.
+    if errors.capacity() < builder.num_states() {
+        let mut grown = BitSet::new(builder.num_states());
+        for i in errors.iter() {
+            grown.insert(i);
+        }
+        errors = grown;
+    }
+    Ok(Thread::new(instance, builder.build(entry_id), errors))
+}
+
+/// Lowers a statement sequence from `entry`, returning the exit location.
+fn lower_block(
+    b: &mut ProgramBuilder,
+    pool: &mut TermPool,
+    tid: ThreadId,
+    sketch: &mut CfgSketch,
+    stmts: &[Stmt],
+    entry: usize,
+    env: &Env,
+) -> Result<usize, Error> {
+    let mut current = entry;
+    for stmt in stmts {
+        current = lower_stmt(b, pool, tid, sketch, stmt, current, env)?;
+    }
+    Ok(current)
+}
+
+fn lower_stmt(
+    b: &mut ProgramBuilder,
+    pool: &mut TermPool,
+    tid: ThreadId,
+    sketch: &mut CfgSketch,
+    stmt: &Stmt,
+    entry: usize,
+    env: &Env,
+) -> Result<usize, Error> {
+    match stmt {
+        Stmt::Skip => Ok(entry),
+        Stmt::Assume(_) | Stmt::Havoc(_) | Stmt::Assign(_, _) => {
+            let paths = simple_steps(pool, stmt, env);
+            let letter = b.add_statement(Statement::atomic(tid, &stmt.label(), paths, pool));
+            let next = sketch.fresh();
+            sketch.edge(entry, letter, next);
+            Ok(next)
+        }
+        Stmt::Assert(e) => {
+            let g = bool_term(pool, e, env);
+            let ng = pool.not(g);
+            let ok = b.add_statement(Statement::simple(
+                tid,
+                &format!("[ok] {}", stmt.label()),
+                SimpleStmt::Assume(g),
+                pool,
+            ));
+            let bad = b.add_statement(Statement::simple(
+                tid,
+                &format!("[fail] {}", stmt.label()),
+                SimpleStmt::Assume(ng),
+                pool,
+            ));
+            let next = sketch.fresh();
+            let err = sketch.error_loc();
+            sketch.edge(entry, ok, next);
+            sketch.edge(entry, bad, err);
+            Ok(next)
+        }
+        Stmt::If(c, then_branch, else_branch) => {
+            let (g, ng) = if matches!(c, Expr::Nondet) {
+                (TermPool::TRUE, TermPool::TRUE)
+            } else {
+                let g = bool_term(pool, c, env);
+                let ng = pool.not(g);
+                (g, ng)
+            };
+            let then_letter = b.add_statement(Statement::simple(
+                tid,
+                &format!("[then] assume {c}"),
+                SimpleStmt::Assume(g),
+                pool,
+            ));
+            let else_letter = b.add_statement(Statement::simple(
+                tid,
+                &format!("[else] assume !({c})"),
+                SimpleStmt::Assume(ng),
+                pool,
+            ));
+            let t0 = sketch.fresh();
+            let e0 = sketch.fresh();
+            sketch.edge(entry, then_letter, t0);
+            sketch.edge(entry, else_letter, e0);
+            let t_exit = lower_block(b, pool, tid, sketch, then_branch, t0, env)?;
+            let e_exit = lower_block(b, pool, tid, sketch, else_branch, e0, env)?;
+            sketch.merge(t_exit, e_exit);
+            Ok(t_exit)
+        }
+        Stmt::While(c, body) => {
+            let (g, ng) = if matches!(c, Expr::Nondet) {
+                (TermPool::TRUE, TermPool::TRUE)
+            } else {
+                let g = bool_term(pool, c, env);
+                let ng = pool.not(g);
+                (g, ng)
+            };
+            let enter = b.add_statement(Statement::simple(
+                tid,
+                &format!("[loop] assume {c}"),
+                SimpleStmt::Assume(g),
+                pool,
+            ));
+            let leave = b.add_statement(Statement::simple(
+                tid,
+                &format!("[exit] assume !({c})"),
+                SimpleStmt::Assume(ng),
+                pool,
+            ));
+            let body0 = sketch.fresh();
+            let after = sketch.fresh();
+            sketch.edge(entry, enter, body0);
+            sketch.edge(entry, leave, after);
+            let body_exit = lower_block(b, pool, tid, sketch, body, body0, env)?;
+            sketch.merge(body_exit, entry);
+            Ok(after)
+        }
+        Stmt::Atomic(body) => {
+            let (normal, failing) = atomic_paths(pool, body, env)?;
+            let next = sketch.fresh();
+            debug_assert!(!normal.is_empty());
+            let letter = b.add_statement(Statement::atomic(tid, &stmt.label(), normal, pool));
+            sketch.edge(entry, letter, next);
+            if !failing.is_empty() {
+                let err = sketch.error_loc();
+                let fail_letter = b.add_statement(Statement::atomic(
+                    tid,
+                    &format!("[fail] {}", stmt.label()),
+                    failing,
+                    pool,
+                ));
+                sketch.edge(entry, fail_letter, err);
+            }
+            Ok(next)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+    use program::concurrent::Spec;
+    use program::interp::{Interpreter, SearchResult};
+
+    #[test]
+    fn straight_line_thread() {
+        let mut pool = TermPool::new();
+        let p = compile(
+            "var x: int = 0; thread t { x := x + 1; x := x + 2; } spawn t;",
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(p.num_threads(), 1);
+        assert_eq!(p.thread(ThreadId(0)).size(), 3);
+        assert_eq!(p.num_letters(), 2);
+        // Interpreter reaches x = 3.
+        let interp = Interpreter::new(&p);
+        match interp.search(&pool, Spec::PrePost, 100) {
+            SearchResult::ErrorReachable(trace) => assert_eq!(trace.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn assert_creates_error_location() {
+        let mut pool = TermPool::new();
+        let p = compile(
+            "var x: int = 0; thread t { assert x == 0; } spawn t;",
+            &mut pool,
+        )
+        .unwrap();
+        let t = p.thread(ThreadId(0));
+        assert!(t.has_error_locations());
+        assert_eq!(p.asserting_threads(), vec![ThreadId(0)]);
+    }
+
+    #[test]
+    fn if_branches_merge() {
+        let mut pool = TermPool::new();
+        let p = compile(
+            "var x: int = 0; var y: int = 0;
+             thread t { if (x == 0) { y := 1; } else { y := 2; } y := y + 1; } spawn t;",
+            &mut pool,
+        )
+        .unwrap();
+        // Locations: entry, then0, else0, join(=after assigns), after-incr.
+        // The join must be shared: total 5 states, 5 letters.
+        assert_eq!(p.thread(ThreadId(0)).size(), 5);
+        assert_eq!(p.num_letters(), 5);
+    }
+
+    #[test]
+    fn while_loops_back() {
+        let mut pool = TermPool::new();
+        let p = compile(
+            "var x: int = 0; thread t { while (x < 3) { x := x + 1; } } spawn t;",
+            &mut pool,
+        )
+        .unwrap();
+        let t = p.thread(ThreadId(0));
+        // entry (loop head), body0, after. Body exit merges with entry.
+        assert_eq!(t.size(), 3);
+        // Interpreter: x counts to 3 then exits.
+        let interp = Interpreter::new(&p);
+        match interp.search(&pool, Spec::PrePost, 1000) {
+            SearchResult::ErrorReachable(trace) => {
+                assert_eq!(trace.len(), 3 * 2 + 1) // 3×(enter, incr) + exit
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn atomic_with_if_is_one_letter() {
+        let mut pool = TermPool::new();
+        let p = compile(
+            "var p: int = 1; var ev: bool = false;
+             thread t { atomic { p := p - 1; if (p == 0) { ev := true; } } } spawn t;",
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(p.num_letters(), 1);
+        let stmt = p.statement(program::concurrent::LetterId(0));
+        assert_eq!(stmt.paths().len(), 2);
+    }
+
+    #[test]
+    fn atomic_with_assert_makes_two_letters() {
+        let mut pool = TermPool::new();
+        let p = compile(
+            "var x: int = 0; thread t { atomic { x := x + 1; assert x == 1; } } spawn t;",
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(p.num_letters(), 2, "normal + failing letter");
+        assert!(p.thread(ThreadId(0)).has_error_locations());
+    }
+
+    #[test]
+    fn spawn_instantiates_locals_apart() {
+        let mut pool = TermPool::new();
+        let p = compile(
+            "var g: int = 0; thread t { local c: int = 5; c := c + 1; g := g + c; } spawn t * 2;",
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(p.num_threads(), 2);
+        // 2 locals + 1 global.
+        assert_eq!(p.globals().len(), 3);
+        // The two instances' first statements write different variables.
+        let s0 = p.statement(program::concurrent::LetterId(0));
+        let s1 = p.statement(program::concurrent::LetterId(2));
+        assert_ne!(s0.writes(), s1.writes());
+    }
+
+    #[test]
+    fn nondet_bool_assignment() {
+        let mut pool = TermPool::new();
+        let p = compile(
+            "var f: bool; thread t { f := *; assert f || !f; } spawn t;",
+            &mut pool,
+        )
+        .unwrap();
+        let stmt = p.statement(program::concurrent::LetterId(0));
+        assert_eq!(stmt.paths().len(), 2);
+        let _ = p;
+    }
+
+    #[test]
+    fn bool_assignment_from_comparison() {
+        let mut pool = TermPool::new();
+        let p = compile(
+            "var x: int = 3; var f: bool; thread t { f := x > 2; } spawn t;",
+            &mut pool,
+        )
+        .unwrap();
+        let interp = Interpreter::new(&p);
+        let init = &interp.initial_states()[0];
+        let succs = interp.step(&pool, init, program::concurrent::LetterId(0));
+        assert_eq!(succs.len(), 1);
+        let f = pool.var("f");
+        assert_eq!(succs[0].value(f), 1);
+    }
+
+    #[test]
+    fn nondet_initializer_is_unconstrained() {
+        let mut pool = TermPool::new();
+        let p = compile("var x: int = *; thread t { skip; } spawn t;", &mut pool).unwrap();
+        assert!(p.init_values().get(&pool.var("x")).is_none());
+    }
+}

@@ -1,0 +1,503 @@
+//! Recursive-descent parser for CPL.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Spanned, Tok};
+use crate::Error;
+
+/// Parses a CPL compilation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its position.
+pub fn parse(source: &str) -> Result<Ast, Error> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.unit()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let s = &self.tokens[self.pos];
+        (s.line, s.col)
+    }
+
+    fn error(&self, message: String) -> Error {
+        let (line, col) = self.here();
+        Error { line, col, message }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, expected: &Tok) -> Result<(), Error> {
+        if self.peek() == expected {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {expected}, found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, Error> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn unit(&mut self) -> Result<Ast, Error> {
+        let mut ast = Ast {
+            name: "cpl-program".to_owned(),
+            ..Ast::default()
+        };
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::Var => ast.globals.push(self.var_decl()?),
+                Tok::Requires => {
+                    self.bump();
+                    ast.requires = Some(self.expr()?);
+                    self.eat(&Tok::Semi)?;
+                }
+                Tok::Ensures => {
+                    self.bump();
+                    ast.ensures = Some(self.expr()?);
+                    self.eat(&Tok::Semi)?;
+                }
+                Tok::Thread => ast.threads.push(self.thread_decl()?),
+                Tok::Spawn => ast.spawns.push(self.spawn()?),
+                other => {
+                    return Err(self.error(format!(
+                        "expected a declaration (`var`, `thread`, `spawn`, `requires`, `ensures`), found {other}"
+                    )))
+                }
+            }
+        }
+        Ok(ast)
+    }
+
+    fn var_decl(&mut self) -> Result<VarDecl, Error> {
+        self.eat(&Tok::Var)?;
+        self.var_decl_tail()
+    }
+
+    /// `NAME : TYPE (= INIT)? ;` — shared by `var` and `local`.
+    fn var_decl_tail(&mut self) -> Result<VarDecl, Error> {
+        let name = self.ident()?;
+        self.eat(&Tok::Colon)?;
+        let ty = match self.bump() {
+            Tok::IntType => Type::Int,
+            Tok::BoolType => Type::Bool,
+            other => return Err(self.error(format!("expected a type, found {other}"))),
+        };
+        let init = if self.peek() == &Tok::Eq {
+            self.bump();
+            match (ty, self.peek().clone()) {
+                (_, Tok::Star) => {
+                    self.bump();
+                    Init::Nondet
+                }
+                (Type::Bool, Tok::True) => {
+                    self.bump();
+                    Init::ConstBool(true)
+                }
+                (Type::Bool, Tok::False) => {
+                    self.bump();
+                    Init::ConstBool(false)
+                }
+                (Type::Int, _) => {
+                    let e = self.expr()?;
+                    let value = e.const_int().ok_or_else(|| {
+                        self.error("initializer must be a constant expression".to_owned())
+                    })?;
+                    Init::Const(value)
+                }
+                (Type::Bool, other) => {
+                    return Err(
+                        self.error(format!("expected `true`, `false` or `*`, found {other}"))
+                    )
+                }
+            }
+        } else {
+            // Default initial values: 0 / false.
+            match ty {
+                Type::Int => Init::Const(0),
+                Type::Bool => Init::ConstBool(false),
+            }
+        };
+        self.eat(&Tok::Semi)?;
+        Ok(VarDecl { name, ty, init })
+    }
+
+    fn thread_decl(&mut self) -> Result<ThreadDecl, Error> {
+        self.eat(&Tok::Thread)?;
+        let name = self.ident()?;
+        self.eat(&Tok::LBrace)?;
+        let mut locals = Vec::new();
+        while self.peek() == &Tok::Local {
+            self.bump();
+            locals.push(self.var_decl_tail()?);
+        }
+        let body = self.block_body()?;
+        Ok(ThreadDecl { name, locals, body })
+    }
+
+    fn spawn(&mut self) -> Result<Spawn, Error> {
+        self.eat(&Tok::Spawn)?;
+        let template = self.ident()?;
+        let count = if self.peek() == &Tok::Star {
+            self.bump();
+            match self.bump() {
+                Tok::Int(n) if n >= 1 && n <= u32::MAX as i128 => n as u32,
+                other => {
+                    return Err(self.error(format!("expected a positive count, found {other}")))
+                }
+            }
+        } else {
+            1
+        };
+        self.eat(&Tok::Semi)?;
+        Ok(Spawn { template, count })
+    }
+
+    /// Statements until the closing `}` (which is consumed).
+    fn block_body(&mut self) -> Result<Vec<Stmt>, Error> {
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return Err(self.error("unexpected end of input inside a block".to_owned()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.eat(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, Error> {
+        self.eat(&Tok::LBrace)?;
+        self.block_body()
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Error> {
+        match self.peek().clone() {
+            Tok::Skip => {
+                self.bump();
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Skip)
+            }
+            Tok::Havoc => {
+                self.bump();
+                let x = self.ident()?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Havoc(x))
+            }
+            Tok::Assume => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Assume(e))
+            }
+            Tok::Assert => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Assert(e))
+            }
+            Tok::If => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let c = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let then_branch = self.block()?;
+                let else_branch = if self.peek() == &Tok::Else {
+                    self.bump();
+                    if self.peek() == &Tok::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(c, then_branch, else_branch))
+            }
+            Tok::While => {
+                self.bump();
+                self.eat(&Tok::LParen)?;
+                let c = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While(c, body))
+            }
+            Tok::Atomic => {
+                self.bump();
+                let body = self.block()?;
+                Ok(Stmt::Atomic(body))
+            }
+            Tok::Ident(name) if self.peek2() == &Tok::Assign => {
+                self.bump();
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&Tok::Semi)?;
+                Ok(Stmt::Assign(name, e))
+            }
+            other => Err(self.error(format!("expected a statement, found {other}"))),
+        }
+    }
+
+    // --- expressions (precedence climbing) --------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Error> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &Tok::AndAnd {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, Error> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => BinOp::Eq,
+            Tok::NotEq => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, Error> {
+        let mut lhs = self.unary_expr()?;
+        while self.peek() == &Tok::Star {
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(BinOp::Mul, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Error> {
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+            }
+            Tok::Not => {
+                self.bump();
+                Ok(Expr::Not(Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, Error> {
+        match self.peek().clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            Tok::Star => {
+                self.bump();
+                Ok(Expr::Nondet)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bluetooth_skeleton() {
+        let src = r#"
+            var pendingIo: int = 1;
+            var stoppingFlag: bool = false;
+            var stoppingEvent: bool = false;
+            var stopped: bool = false;
+
+            thread user {
+                while (*) {
+                    atomic { assume !stoppingFlag; pendingIo := pendingIo + 1; }
+                    assert !stopped;
+                    atomic {
+                        pendingIo := pendingIo - 1;
+                        if (pendingIo == 0) { stoppingEvent := true; }
+                    }
+                }
+            }
+
+            thread stop {
+                stoppingFlag := true;
+                atomic {
+                    pendingIo := pendingIo - 1;
+                    if (pendingIo == 0) { stoppingEvent := true; }
+                }
+                assume stoppingEvent;
+                stopped := true;
+            }
+
+            spawn user * 2;
+            spawn stop;
+        "#;
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.globals.len(), 4);
+        assert_eq!(ast.threads.len(), 2);
+        assert_eq!(ast.num_instances(), 3);
+        let user = ast.template("user").unwrap();
+        assert_eq!(user.body.len(), 1);
+        let Stmt::While(Expr::Nondet, body) = &user.body[0] else {
+            panic!("expected while(*)");
+        };
+        assert_eq!(body.len(), 3);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = "var g: int = 0; thread t { g := 1 + 2 * 3; assume g == 7 || g < 0 && g > -10; }
+                   spawn t;";
+        let ast = parse(src).unwrap();
+        let t = ast.template("t").unwrap();
+        let Stmt::Assign(_, e) = &t.body[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        assert_eq!(e.const_int(), Some(7));
+        let Stmt::Assume(cond) = &t.body[1] else {
+            panic!()
+        };
+        // || binds weaker than &&.
+        let Expr::Bin(BinOp::Or, _, rhs) = cond else {
+            panic!("expected top-level ||, got {cond:?}")
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn locals_and_defaults() {
+        let src = "thread t { local c: int; local f: bool = true; skip; } spawn t;";
+        let ast = parse(src).unwrap();
+        let t = ast.template("t").unwrap();
+        assert_eq!(t.locals.len(), 2);
+        assert_eq!(t.locals[0].init, Init::Const(0));
+        assert_eq!(t.locals[1].init, Init::ConstBool(true));
+    }
+
+    #[test]
+    fn nondet_initializer() {
+        let src = "var x: int = *; thread t { skip; } spawn t;";
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.globals[0].init, Init::Nondet);
+    }
+
+    #[test]
+    fn requires_ensures() {
+        let src = "var x: int; requires x >= 0; ensures x >= 1; thread t { x := x + 1; } spawn t;";
+        let ast = parse(src).unwrap();
+        assert!(ast.requires.is_some());
+        assert!(ast.ensures.is_some());
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let src = "var x: int; thread t { if (x == 0) { skip; } else if (x == 1) { skip; } else { skip; } }
+                   spawn t;";
+        let ast = parse(src).unwrap();
+        let t = ast.template("t").unwrap();
+        let Stmt::If(_, _, else1) = &t.body[0] else {
+            panic!()
+        };
+        assert!(matches!(else1[0], Stmt::If(_, _, _)));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("var x int;").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected `:`"));
+        let err2 = parse("thread t { x = 3; }").unwrap_err();
+        assert!(err2.message.contains("statement"), "{err2}");
+    }
+
+    #[test]
+    fn spawn_count_validation() {
+        assert!(parse("thread t { skip; } spawn t * 0;").is_err());
+        let ast = parse("thread t { skip; } spawn t * 4;").unwrap();
+        assert_eq!(ast.spawns[0].count, 4);
+    }
+}

@@ -1,0 +1,155 @@
+//! Pretty-printer: renders an [`Ast`] back to parseable CPL source.
+//!
+//! `parse(print(ast)) == ast` (up to expression parenthesization, which
+//! the printer makes explicit) — checked by the round-trip property test.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a full compilation unit as CPL source.
+pub fn to_source(ast: &Ast) -> String {
+    let mut out = String::new();
+    for g in &ast.globals {
+        let _ = writeln!(out, "var {};", decl(g));
+    }
+    if let Some(pre) = &ast.requires {
+        let _ = writeln!(out, "requires {};", expr(pre));
+    }
+    if let Some(post) = &ast.ensures {
+        let _ = writeln!(out, "ensures {};", expr(post));
+    }
+    for t in &ast.threads {
+        let _ = writeln!(out, "thread {} {{", t.name);
+        for l in &t.locals {
+            let _ = writeln!(out, "    local {};", decl(l));
+        }
+        for s in &t.body {
+            stmt(&mut out, s, 1);
+        }
+        out.push_str("}\n");
+    }
+    for s in &ast.spawns {
+        if s.count == 1 {
+            let _ = writeln!(out, "spawn {};", s.template);
+        } else {
+            let _ = writeln!(out, "spawn {} * {};", s.template, s.count);
+        }
+    }
+    out
+}
+
+fn decl(v: &VarDecl) -> String {
+    let init = match &v.init {
+        Init::Const(k) if *k < 0 => format!(" = (0 - {})", -k),
+        Init::Const(k) => format!(" = {k}"),
+        Init::ConstBool(b) => format!(" = {b}"),
+        Init::Nondet => " = *".to_owned(),
+    };
+    format!("{}: {}{init}", v.name, v.ty)
+}
+
+/// Fully parenthesized expression rendering (round-trip safe).
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(n) if *n < 0 => format!("(0 - {})", -n),
+        Expr::Int(n) => n.to_string(),
+        Expr::Bool(b) => b.to_string(),
+        Expr::Var(v) => v.clone(),
+        Expr::Neg(inner) => format!("(-{})", expr(inner)),
+        Expr::Not(inner) => format!("(!{})", expr(inner)),
+        Expr::Bin(op, a, b) => format!("({} {} {})", expr(a), op.symbol(), expr(b)),
+        Expr::Nondet => "*".to_owned(),
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, depth: usize) {
+    let pad = "    ".repeat(depth);
+    match s {
+        Stmt::Assign(x, e) => {
+            let _ = writeln!(out, "{pad}{x} := {};", expr(e));
+        }
+        Stmt::Havoc(x) => {
+            let _ = writeln!(out, "{pad}havoc {x};");
+        }
+        Stmt::Assume(e) => {
+            let _ = writeln!(out, "{pad}assume {};", expr(e));
+        }
+        Stmt::Assert(e) => {
+            let _ = writeln!(out, "{pad}assert {};", expr(e));
+        }
+        Stmt::Skip => {
+            let _ = writeln!(out, "{pad}skip;");
+        }
+        Stmt::If(c, then_branch, else_branch) => {
+            let _ = writeln!(out, "{pad}if ({}) {{", expr(c));
+            for s in then_branch {
+                stmt(out, s, depth + 1);
+            }
+            if else_branch.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_branch {
+                    stmt(out, s, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While(c, body) => {
+            let _ = writeln!(out, "{pad}while ({}) {{", expr(c));
+            for s in body {
+                stmt(out, s, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Atomic(body) => {
+            let _ = writeln!(out, "{pad}atomic {{");
+            for s in body {
+                stmt(out, s, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trips_bluetooth_style_source() {
+        let src = r#"
+            var pendingIo: int = 1;
+            var stoppingFlag: bool = false;
+            thread user {
+                local n: int = *;
+                while (*) {
+                    atomic { assume !stoppingFlag; pendingIo := pendingIo + 1; }
+                    if (pendingIo == 0) { n := n - 1; } else { skip; }
+                }
+            }
+            spawn user * 3;
+        "#;
+        let ast = parse(src).unwrap();
+        let printed = to_source(&ast);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        assert_eq!(ast, reparsed, "\n{printed}");
+    }
+
+    #[test]
+    fn negative_literals_round_trip() {
+        let src = "var x: int = 0; thread t { x := 0 - 5; assume x < 0 - 1; } spawn t;";
+        let ast = parse(src).unwrap();
+        let printed = to_source(&ast);
+        assert_eq!(ast, parse(&printed).unwrap());
+    }
+
+    #[test]
+    fn requires_ensures_round_trip() {
+        let src = "var x: int; requires x >= 0 && x <= 9; ensures x == 1; thread t { x := 1; } spawn t;";
+        let ast = parse(src).unwrap();
+        let printed = to_source(&ast);
+        assert_eq!(ast, parse(&printed).unwrap());
+    }
+}

@@ -1,0 +1,303 @@
+//! Static checks: declaration/scoping rules, types, linearity of
+//! arithmetic, and the structural restrictions of `atomic` blocks.
+
+use crate::ast::*;
+use crate::Error;
+use std::collections::HashMap;
+
+/// Checks `ast`; returns the first error found.
+///
+/// # Errors
+///
+/// Undeclared/duplicate variables, type mismatches, nonlinear
+/// multiplication, `while` inside `atomic`, unknown spawn templates, or a
+/// program spawning no threads.
+pub fn check(ast: &Ast) -> Result<(), Error> {
+    let mut checker = Checker {
+        globals: HashMap::new(),
+    };
+    for g in &ast.globals {
+        if checker.globals.insert(g.name.clone(), g.ty).is_some() {
+            return Err(err(format!("duplicate global variable `{}`", g.name)));
+        }
+        check_init(g)?;
+    }
+    if let Some(pre) = &ast.requires {
+        checker.expect_bool(pre, &checker.globals.clone())?;
+    }
+    if let Some(post) = &ast.ensures {
+        checker.expect_bool(post, &checker.globals.clone())?;
+    }
+    let mut template_names = Vec::new();
+    for t in &ast.threads {
+        if template_names.contains(&t.name) {
+            return Err(err(format!("duplicate thread template `{}`", t.name)));
+        }
+        template_names.push(t.name.clone());
+        let mut env = checker.globals.clone();
+        for l in &t.locals {
+            if env.insert(l.name.clone(), l.ty).is_some() {
+                return Err(err(format!(
+                    "local `{}` shadows another variable in thread `{}`",
+                    l.name, t.name
+                )));
+            }
+            check_init(l)?;
+        }
+        checker.check_block(&t.body, &env, false)?;
+    }
+    if ast.spawns.is_empty() {
+        return Err(err("program spawns no threads".to_owned()));
+    }
+    for s in &ast.spawns {
+        if ast.template(&s.template).is_none() {
+            return Err(err(format!("spawn of undefined template `{}`", s.template)));
+        }
+    }
+    Ok(())
+}
+
+fn err(message: String) -> Error {
+    Error {
+        line: 0,
+        col: 0,
+        message,
+    }
+}
+
+fn check_init(v: &VarDecl) -> Result<(), Error> {
+    match (v.ty, &v.init) {
+        (Type::Int, Init::Const(_)) | (Type::Bool, Init::ConstBool(_)) | (_, Init::Nondet) => {
+            Ok(())
+        }
+        _ => Err(err(format!(
+            "initializer of `{}` does not match its type",
+            v.name
+        ))),
+    }
+}
+
+struct Checker {
+    globals: HashMap<String, Type>,
+}
+
+impl Checker {
+    fn check_block(
+        &self,
+        stmts: &[Stmt],
+        env: &HashMap<String, Type>,
+        inside_atomic: bool,
+    ) -> Result<(), Error> {
+        for s in stmts {
+            self.check_stmt(s, env, inside_atomic)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(
+        &self,
+        stmt: &Stmt,
+        env: &HashMap<String, Type>,
+        inside_atomic: bool,
+    ) -> Result<(), Error> {
+        match stmt {
+            Stmt::Skip => Ok(()),
+            Stmt::Havoc(x) => {
+                self.lookup(x, env)?;
+                Ok(())
+            }
+            Stmt::Assign(x, e) => {
+                let ty = self.lookup(x, env)?;
+                match ty {
+                    Type::Int => self.expect_int(e, env),
+                    Type::Bool => match e {
+                        Expr::Nondet => Ok(()),
+                        _ => self.expect_bool(e, env),
+                    },
+                }
+            }
+            Stmt::Assume(e) | Stmt::Assert(e) => self.expect_bool(e, env),
+            Stmt::If(c, then_branch, else_branch) => {
+                self.expect_bool(c, env)?;
+                self.check_block(then_branch, env, inside_atomic)?;
+                self.check_block(else_branch, env, inside_atomic)
+            }
+            Stmt::While(c, body) => {
+                if inside_atomic {
+                    return Err(err("`while` is not allowed inside `atomic`".to_owned()));
+                }
+                self.expect_bool(c, env)?;
+                self.check_block(body, env, false)
+            }
+            Stmt::Atomic(body) => self.check_block(body, env, true),
+        }
+    }
+
+    fn lookup(&self, name: &str, env: &HashMap<String, Type>) -> Result<Type, Error> {
+        env.get(name)
+            .copied()
+            .ok_or_else(|| err(format!("undeclared variable `{name}`")))
+    }
+
+    fn type_of(&self, e: &Expr, env: &HashMap<String, Type>) -> Result<Type, Error> {
+        match e {
+            Expr::Int(_) => Ok(Type::Int),
+            Expr::Bool(_) => Ok(Type::Bool),
+            Expr::Nondet => Ok(Type::Bool),
+            Expr::Var(v) => self.lookup(v, env),
+            Expr::Neg(inner) => {
+                self.expect_int(inner, env)?;
+                Ok(Type::Int)
+            }
+            Expr::Not(inner) => {
+                self.expect_bool(inner, env)?;
+                Ok(Type::Bool)
+            }
+            Expr::Bin(op, a, b) => match op {
+                BinOp::Add | BinOp::Sub => {
+                    self.expect_int(a, env)?;
+                    self.expect_int(b, env)?;
+                    Ok(Type::Int)
+                }
+                BinOp::Mul => {
+                    self.expect_int(a, env)?;
+                    self.expect_int(b, env)?;
+                    if a.const_int().is_none() && b.const_int().is_none() {
+                        Err(err(
+                            "nonlinear multiplication: one operand must be constant".to_owned(),
+                        ))
+                    } else {
+                        Ok(Type::Int)
+                    }
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    self.expect_int(a, env)?;
+                    self.expect_int(b, env)?;
+                    Ok(Type::Bool)
+                }
+                BinOp::And | BinOp::Or => {
+                    self.expect_bool(a, env)?;
+                    self.expect_bool(b, env)?;
+                    Ok(Type::Bool)
+                }
+            },
+        }
+    }
+
+    fn expect_int(&self, e: &Expr, env: &HashMap<String, Type>) -> Result<(), Error> {
+        if matches!(e, Expr::Nondet) {
+            return Err(err(
+                "`*` is not an integer expression; use `havoc x;` instead".to_owned(),
+            ));
+        }
+        match self.type_of(e, env)? {
+            Type::Int => Ok(()),
+            Type::Bool => Err(err(format!("expected an int expression, found bool: {e}"))),
+        }
+    }
+
+    fn expect_bool(&self, e: &Expr, env: &HashMap<String, Type>) -> Result<(), Error> {
+        match self.type_of(e, env)? {
+            Type::Bool => Ok(()),
+            Type::Int => Err(err(format!("expected a bool expression, found int: {e}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_src(src: &str) -> Result<(), Error> {
+        check(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        check_src(
+            "var x: int = 0; var f: bool;
+             thread t { local c: int = 1; if (f && x < 3) { x := x + c; } assert x >= 0; }
+             spawn t * 2;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared() {
+        assert!(check_src("thread t { y := 1; } spawn t;")
+            .unwrap_err()
+            .message
+            .contains("undeclared"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_shadowing() {
+        assert!(check_src("var x: int; var x: int; thread t { skip; } spawn t;")
+            .unwrap_err()
+            .message
+            .contains("duplicate global"));
+        assert!(check_src("var x: int; thread t { local x: int; skip; } spawn t;")
+            .unwrap_err()
+            .message
+            .contains("shadows"));
+    }
+
+    #[test]
+    fn rejects_type_mismatches() {
+        assert!(check_src("var x: int; thread t { x := true; } spawn t;").is_err());
+        assert!(check_src("var f: bool; thread t { f := 3; } spawn t;").is_err());
+        assert!(check_src("var x: int; thread t { assume x; } spawn t;").is_err());
+        assert!(check_src("var f: bool; thread t { assume f + 1 > 0; } spawn t;").is_err());
+    }
+
+    #[test]
+    fn rejects_nonlinear_multiplication() {
+        assert!(check_src("var x: int; var y: int; thread t { x := x * y; } spawn t;")
+            .unwrap_err()
+            .message
+            .contains("nonlinear"));
+        check_src("var x: int; thread t { x := 2 * x + (1 + 2) * x; } spawn t;").unwrap();
+    }
+
+    #[test]
+    fn rejects_while_inside_atomic() {
+        assert!(check_src(
+            "var x: int; thread t { atomic { while (x < 3) { x := x + 1; } } } spawn t;"
+        )
+        .unwrap_err()
+        .message
+        .contains("atomic"));
+    }
+
+    #[test]
+    fn allows_assert_and_if_inside_atomic() {
+        check_src(
+            "var x: int; thread t { atomic { if (x == 0) { x := 1; } assert x >= 1; } } spawn t;",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_spawn_and_empty_program() {
+        assert!(check_src("thread t { skip; } spawn u;")
+            .unwrap_err()
+            .message
+            .contains("undefined template"));
+        assert!(check_src("thread t { skip; }").unwrap_err().message.contains("spawns no"));
+    }
+
+    #[test]
+    fn rejects_int_nondet_expr() {
+        assert!(check_src("var x: int; thread t { x := * + 1; } spawn t;").is_err());
+        // but bool assignment from * is fine
+        check_src("var f: bool; thread t { f := *; } spawn t;").unwrap();
+    }
+
+    #[test]
+    fn checks_requires_ensures() {
+        assert!(check_src("var x: int; requires x; thread t { skip; } spawn t;").is_err());
+        check_src("var x: int; requires x > 0; ensures x > 1; thread t { x := x + 1; } spawn t;")
+            .unwrap();
+    }
+}

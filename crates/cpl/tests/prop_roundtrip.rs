@@ -1,0 +1,124 @@
+//! Property test: `parse ∘ to_source` is the identity on random ASTs, and
+//! every well-typed random program compiles.
+
+use cpl::ast::*;
+use cpl::parser::parse;
+use cpl::print::to_source;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid keywords: prefix with 'v'.
+    "[a-z]{0,6}".prop_map(|s| format!("v{s}"))
+}
+
+fn int_expr(vars: Vec<String>) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0i128..100).prop_map(Expr::Int),
+        proptest::sample::select(vars).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Sub, a, b)),
+            (0i128..5, inner.clone()).prop_map(|(k, e)| Expr::bin(BinOp::Mul, Expr::Int(k), e)),
+            inner.prop_map(|e| Expr::Neg(Box::new(e))),
+        ]
+    })
+}
+
+fn bool_expr(vars: Vec<String>) -> impl Strategy<Value = Expr> {
+    let cmp = prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ];
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Bool),
+        (cmp, int_expr(vars.clone()), int_expr(vars)).prop_map(|(op, a, b)| Expr::bin(op, a, b)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::And, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Or, a, b)),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn statement(vars: Vec<String>) -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        Just(Stmt::Skip),
+        proptest::sample::select(vars.clone()).prop_map(Stmt::Havoc),
+        (proptest::sample::select(vars.clone()), int_expr(vars.clone()))
+            .prop_map(|(x, e)| Stmt::Assign(x, e)),
+        bool_expr(vars.clone()).prop_map(Stmt::Assume),
+        bool_expr(vars.clone()).prop_map(Stmt::Assert),
+    ];
+    let vars2 = vars.clone();
+    leaf.prop_recursive(2, 12, 3, move |inner| {
+        let body = proptest::collection::vec(inner.clone(), 0..3);
+        prop_oneof![
+            (bool_expr(vars2.clone()), body.clone(), body.clone())
+                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            (bool_expr(vars2.clone()), body.clone()).prop_map(|(c, b)| Stmt::While(c, b)),
+        ]
+    })
+}
+
+fn program() -> impl Strategy<Value = Ast> {
+    let vars: Vec<String> = (0..3).map(|i| format!("g{i}")).collect();
+    let globals: Vec<VarDecl> = vars
+        .iter()
+        .map(|name| VarDecl {
+            name: name.clone(),
+            ty: Type::Int,
+            init: Init::Const(0),
+        })
+        .collect();
+    (
+        proptest::collection::vec(statement(vars.clone()), 1..4),
+        1u32..3,
+        ident(),
+    )
+        .prop_map(move |(body, count, tname)| Ast {
+            name: "cpl-program".to_owned(),
+            globals: globals.clone(),
+            requires: None,
+            ensures: None,
+            threads: vec![ThreadDecl {
+                name: tname.clone(),
+                locals: vec![],
+                body,
+            }],
+            spawns: vec![Spawn {
+                template: tname,
+                count,
+            }],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_round_trip(ast in program()) {
+        let printed = to_source(&ast);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed source does not parse: {e}\n{printed}"));
+        prop_assert_eq!(&ast, &reparsed, "\n{}", printed);
+    }
+
+    #[test]
+    fn well_typed_random_programs_compile(ast in program()) {
+        let printed = to_source(&ast);
+        let mut pool = smt::term::TermPool::new();
+        // All generated programs are well-typed by construction.
+        let program = cpl::compile(&printed, &mut pool)
+            .unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        prop_assert!(program.num_threads() >= 1);
+        prop_assert_eq!(program.size() >= 1, true);
+    }
+}

@@ -1,0 +1,450 @@
+//! The concurrent program `P = T1 ∥ … ∥ Tn` and its interleaving product.
+//!
+//! The interleaving product automaton (§3 of the paper) is *never built
+//! eagerly* by the verifier — its size is exponential in the number of
+//! threads. [`Program`] exposes on-demand navigation ([`Program::step`],
+//! [`Program::enabled`]); the explicit construction
+//! ([`Program::explicit_product`]) exists for tests and for the
+//! language-theoretic experiments of §4.
+
+pub use crate::thread::LetterId;
+use crate::stmt::Statement;
+use crate::thread::{Thread, ThreadId};
+use automata::dfa::{Dfa, DfaBuilder, StateId};
+use smt::linear::VarId;
+use smt::term::{TermId, TermPool};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A state of the interleaving product: one control location per thread.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProductState(pub Vec<StateId>);
+
+impl ProductState {
+    /// The location of thread `t`.
+    pub fn location(&self, t: ThreadId) -> StateId {
+        self.0[t.index()]
+    }
+}
+
+impl fmt::Debug for ProductState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, l) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", l.index())?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// Which words of the product count as accepted — i.e. what the verifier
+/// must prove about them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Spec {
+    /// Accept when *all* threads are at their exit; prove `post` there
+    /// (given `pre` initially). This is the paper's formal setting.
+    PrePost,
+    /// Accept when the given thread is at one of its error locations;
+    /// prove such states unreachable. This is the `assert` setting used by
+    /// the benchmarks (footnote 4: one analysis per asserting thread).
+    ErrorOf(ThreadId),
+}
+
+/// A concurrent program: threads, the global statement alphabet, initial
+/// condition and pre/post specification.
+#[derive(Clone, Debug)]
+pub struct Program {
+    threads: Vec<Thread>,
+    statements: Vec<Statement>,
+    globals: Vec<VarId>,
+    init_formula: TermId,
+    init_values: HashMap<VarId, i128>,
+    pre: TermId,
+    post: TermId,
+    name: String,
+}
+
+impl Program {
+    /// Starts building a program.
+    pub fn builder(name: &str) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.to_owned(),
+            threads: Vec::new(),
+            statements: Vec::new(),
+            globals: Vec::new(),
+            init_formula: TermPool::TRUE,
+            init_values: HashMap::new(),
+            init_constraints: Vec::new(),
+            pre: TermPool::TRUE,
+            post: TermPool::TRUE,
+        }
+    }
+
+    /// The program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The threads.
+    pub fn threads(&self) -> &[Thread] {
+        &self.threads
+    }
+
+    /// The thread with id `t`.
+    pub fn thread(&self, t: ThreadId) -> &Thread {
+        &self.threads[t.index()]
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The statement behind letter `l`.
+    pub fn statement(&self, l: LetterId) -> &Statement {
+        &self.statements[l.index()]
+    }
+
+    /// The owning thread of letter `l`.
+    pub fn thread_of(&self, l: LetterId) -> ThreadId {
+        self.statements[l.index()].thread()
+    }
+
+    /// Size of the global alphabet.
+    pub fn num_letters(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// All letters.
+    pub fn letters(&self) -> impl Iterator<Item = LetterId> {
+        (0..self.statements.len() as u32).map(LetterId)
+    }
+
+    /// The global program variables.
+    pub fn globals(&self) -> &[VarId] {
+        &self.globals
+    }
+
+    /// The initial condition as a formula.
+    pub fn init_formula(&self) -> TermId {
+        self.init_formula
+    }
+
+    /// Concrete initial values (for the interpreter); variables initialized
+    /// nondeterministically are absent.
+    pub fn init_values(&self) -> &HashMap<VarId, i128> {
+        &self.init_values
+    }
+
+    /// The precondition.
+    pub fn pre(&self) -> TermId {
+        self.pre
+    }
+
+    /// The postcondition.
+    pub fn post(&self) -> TermId {
+        self.post
+    }
+
+    /// `size(P) = Σ |Ti|` (§3).
+    pub fn size(&self) -> usize {
+        self.threads.iter().map(Thread::size).sum()
+    }
+
+    /// The initial product state.
+    pub fn initial_state(&self) -> ProductState {
+        ProductState(self.threads.iter().map(Thread::entry).collect())
+    }
+
+    /// `δ(q, l)` of the interleaving product.
+    pub fn step(&self, q: &ProductState, l: LetterId) -> Option<ProductState> {
+        let t = self.thread_of(l);
+        let next = self.threads[t.index()].cfg().step(q.location(t), l)?;
+        let mut locs = q.0.clone();
+        locs[t.index()] = next;
+        Some(ProductState(locs))
+    }
+
+    /// Letters enabled at `q`, in increasing letter order.
+    pub fn enabled(&self, q: &ProductState) -> Vec<LetterId> {
+        let mut out: Vec<LetterId> = self
+            .threads
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| t.cfg().enabled(q.location(ThreadId(i as u32))))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Letters of thread `t` enabled at `q`.
+    pub fn enabled_in_thread(&self, q: &ProductState, t: ThreadId) -> Vec<LetterId> {
+        self.threads[t.index()]
+            .cfg()
+            .enabled(q.location(t))
+            .collect()
+    }
+
+    /// Whether `q` is accepting for `spec`.
+    pub fn is_accepting(&self, q: &ProductState, spec: Spec) -> bool {
+        match spec {
+            Spec::PrePost => self
+                .threads
+                .iter()
+                .enumerate()
+                .all(|(i, t)| t.is_exit(q.location(ThreadId(i as u32)))),
+            Spec::ErrorOf(t) => self.threads[t.index()].is_error(q.location(t)),
+        }
+    }
+
+    /// The threads that contain asserts (error locations).
+    pub fn asserting_threads(&self) -> Vec<ThreadId> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.has_error_locations())
+            .map(|(i, _)| ThreadId(i as u32))
+            .collect()
+    }
+
+    /// Runs a word through the product from the initial state.
+    pub fn run(&self, word: &[LetterId]) -> Option<ProductState> {
+        let mut q = self.initial_state();
+        for &l in word {
+            q = self.step(&q, l)?;
+        }
+        Some(q)
+    }
+
+    /// Builds the explicit interleaving product DFA for `spec`.
+    ///
+    /// Exponential in the number of threads — intended for tests and the
+    /// reduction-size experiments only.
+    pub fn explicit_product(&self, spec: Spec) -> Dfa<LetterId> {
+        let mut builder = DfaBuilder::new();
+        let mut ids: HashMap<ProductState, StateId> = HashMap::new();
+        let init = self.initial_state();
+        let init_id = builder.add_state(self.is_accepting(&init, spec));
+        ids.insert(init.clone(), init_id);
+        let mut work = vec![init];
+        while let Some(q) = work.pop() {
+            let from = ids[&q];
+            for l in self.enabled(&q) {
+                let next = self.step(&q, l).expect("enabled letter steps");
+                let to = match ids.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = builder.add_state(self.is_accepting(&next, spec));
+                        ids.insert(next.clone(), id);
+                        work.push(next);
+                        id
+                    }
+                };
+                builder.add_transition(from, l, to);
+            }
+        }
+        builder.build(init_id)
+    }
+}
+
+/// Incremental constructor for [`Program`]; validates thread/letter
+/// consistency at [`ProgramBuilder::build`].
+#[derive(Clone, Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    threads: Vec<Thread>,
+    statements: Vec<Statement>,
+    globals: Vec<VarId>,
+    init_formula: TermId,
+    init_values: HashMap<VarId, i128>,
+    init_constraints: Vec<TermId>,
+    pre: TermId,
+    post: TermId,
+}
+
+impl ProgramBuilder {
+    /// Registers a statement, returning its letter.
+    pub fn add_statement(&mut self, stmt: Statement) -> LetterId {
+        self.statements.push(stmt);
+        LetterId(self.statements.len() as u32 - 1)
+    }
+
+    /// Adds a thread (must be added in `ThreadId` order).
+    pub fn add_thread(&mut self, thread: Thread) -> ThreadId {
+        self.threads.push(thread);
+        ThreadId(self.threads.len() as u32 - 1)
+    }
+
+    /// Declares a global variable with a concrete initial value.
+    pub fn add_global(&mut self, v: VarId, init: i128) {
+        self.globals.push(v);
+        self.init_values.insert(v, init);
+    }
+
+    /// Declares a global variable with a nondeterministic initial value
+    /// (unconstrained by the initial condition).
+    pub fn add_global_nondet(&mut self, v: VarId) {
+        self.globals.push(v);
+    }
+
+    /// Adds an extra conjunct to the initial condition (e.g. `0 ≤ b ≤ 1`
+    /// for a nondeterministically initialized boolean).
+    pub fn add_init_constraint(&mut self, constraint: TermId) {
+        self.init_constraints.push(constraint);
+    }
+
+    /// Sets the pre/postcondition pair.
+    pub fn set_pre_post(&mut self, pre: TermId, post: TermId) {
+        self.pre = pre;
+        self.post = post;
+    }
+
+    /// Finalizes the program, computing the initial-condition formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread's CFG uses a letter owned by another thread or an
+    /// out-of-range letter.
+    pub fn build(mut self, pool: &mut TermPool) -> Program {
+        for (i, t) in self.threads.iter().enumerate() {
+            for l in t.letters() {
+                assert!(
+                    l.index() < self.statements.len(),
+                    "thread {} uses unknown letter {l:?}",
+                    t.name()
+                );
+                assert_eq!(
+                    self.statements[l.index()].thread(),
+                    ThreadId(i as u32),
+                    "thread {} uses a letter owned by another thread",
+                    t.name()
+                );
+            }
+        }
+        let mut conjuncts: Vec<TermId> = self
+            .globals
+            .iter()
+            .filter_map(|v| self.init_values.get(v).map(|&k| (*v, k)))
+            .map(|(v, k)| pool.eq_const(v, k))
+            .collect();
+        conjuncts.extend(self.init_constraints.iter().copied());
+        self.init_formula = pool.and(conjuncts);
+        Program {
+            threads: self.threads,
+            statements: self.statements,
+            globals: self.globals,
+            init_formula: self.init_formula,
+            init_values: self.init_values,
+            pre: self.pre,
+            post: self.post,
+            name: self.name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::SimpleStmt;
+    use automata::bitset::BitSet;
+    use automata::dfa::DfaBuilder;
+    use smt::linear::LinExpr;
+
+    /// Two threads, each a single increment of its own counter.
+    pub(crate) fn two_increments(pool: &mut TermPool) -> Program {
+        let mut b = Program::builder("two-increments");
+        let x = pool.var("x");
+        let y = pool.var("y");
+        b.add_global(x, 0);
+        b.add_global(y, 0);
+        let lx = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "x := x + 1",
+            SimpleStmt::Assign(x, LinExpr::var(x).add(&LinExpr::constant(1))),
+            pool,
+        ));
+        let ly = b.add_statement(Statement::simple(
+            ThreadId(1),
+            "y := y + 1",
+            SimpleStmt::Assign(y, LinExpr::var(y).add(&LinExpr::constant(1))),
+            pool,
+        ));
+        for (l, _) in [(lx, "t0"), (ly, "t1")] {
+            let mut cfg = DfaBuilder::new();
+            let entry = cfg.add_state(false);
+            let exit = cfg.add_state(true);
+            cfg.add_transition(entry, l, exit);
+            b.add_thread(Thread::new("inc", cfg.build(entry), BitSet::new(2)));
+        }
+        b.build(pool)
+    }
+
+    #[test]
+    fn product_navigation() {
+        let mut pool = TermPool::new();
+        let p = two_increments(&mut pool);
+        assert_eq!(p.num_threads(), 2);
+        assert_eq!(p.size(), 4);
+        let q0 = p.initial_state();
+        assert_eq!(p.enabled(&q0), vec![LetterId(0), LetterId(1)]);
+        let q1 = p.step(&q0, LetterId(0)).unwrap();
+        assert_eq!(p.enabled(&q1), vec![LetterId(1)]);
+        let q2 = p.step(&q1, LetterId(1)).unwrap();
+        assert!(p.is_accepting(&q2, Spec::PrePost));
+        assert!(!p.is_accepting(&q1, Spec::PrePost));
+        assert!(p.step(&q2, LetterId(0)).is_none());
+    }
+
+    #[test]
+    fn run_words() {
+        let mut pool = TermPool::new();
+        let p = two_increments(&mut pool);
+        assert!(p.run(&[LetterId(0), LetterId(1)]).is_some());
+        assert!(p.run(&[LetterId(1), LetterId(0)]).is_some());
+        assert!(p.run(&[LetterId(0), LetterId(0)]).is_none());
+    }
+
+    #[test]
+    fn explicit_product_is_diamond() {
+        let mut pool = TermPool::new();
+        let p = two_increments(&mut pool);
+        let d = p.explicit_product(Spec::PrePost);
+        assert_eq!(d.num_states(), 4);
+        assert!(d.accepts([LetterId(0), LetterId(1)].iter().copied()));
+        assert!(d.accepts([LetterId(1), LetterId(0)].iter().copied()));
+        assert!(!d.accepts([LetterId(0)].iter().copied()));
+    }
+
+    #[test]
+    fn init_formula_from_values() {
+        let mut pool = TermPool::new();
+        let p = two_increments(&mut pool);
+        let x = pool.var("x");
+        let expected = pool.eq_const(x, 0);
+        assert!(smt::entails(&mut pool, p.init_formula(), expected));
+    }
+
+    #[test]
+    #[should_panic(expected = "owned by another thread")]
+    fn wrong_letter_ownership_panics() {
+        let mut pool = TermPool::new();
+        let mut b = Program::builder("bad");
+        let x = pool.var("x");
+        let l = b.add_statement(Statement::simple(
+            ThreadId(1), // claims thread 1
+            "x := 0",
+            SimpleStmt::Assign(x, LinExpr::constant(0)),
+            &pool,
+        ));
+        let mut cfg = DfaBuilder::new();
+        let entry = cfg.add_state(false);
+        let exit = cfg.add_state(true);
+        cfg.add_transition(entry, l, exit);
+        // ... but is used by thread 0.
+        b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(2)));
+        let _ = b.build(&mut pool);
+    }
+}

@@ -1,0 +1,360 @@
+//! Concrete explicit-state interpreter and bounded model checker.
+//!
+//! Used for differential testing: the SMT-based verifier and this
+//! enumerative checker must agree on small instances. Nondeterminism
+//! (`havoc`, nondeterministic branches) is resolved by branching over a
+//! finite *havoc domain*, so the interpreter under-approximates the real
+//! semantics — sufficient to confirm bugs, never to prove correctness.
+
+use crate::concurrent::{LetterId, Program, Spec};
+use crate::stmt::SimpleStmt;
+use automata::dfa::StateId;
+use smt::linear::VarId;
+use smt::term::TermPool;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// A concrete configuration: control locations plus variable values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConcreteState {
+    /// Per-thread control locations.
+    pub locs: Vec<StateId>,
+    /// Variable valuation (absent ⇒ 0).
+    pub values: BTreeMap<VarId, i128>,
+}
+
+impl ConcreteState {
+    /// The value of `v` (0 if unassigned).
+    pub fn value(&self, v: VarId) -> i128 {
+        self.values.get(&v).copied().unwrap_or(0)
+    }
+}
+
+/// Result of a bounded search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SearchResult {
+    /// An error location of the spec's thread is reachable; witness trace.
+    ErrorReachable(Vec<LetterId>),
+    /// No error found within the explored bound.
+    NoErrorFound {
+        /// Number of distinct states explored.
+        explored: usize,
+        /// `true` if the search exhausted the state space (under the havoc
+        /// domain), `false` if it stopped at the bound.
+        exhaustive: bool,
+    },
+}
+
+/// Explicit-state interpreter for a program.
+#[derive(Clone, Debug)]
+pub struct Interpreter<'p> {
+    program: &'p Program,
+    /// Values substituted for `havoc` (and nondeterministic inits).
+    havoc_domain: Vec<i128>,
+}
+
+impl<'p> Interpreter<'p> {
+    /// Creates an interpreter with the default havoc domain `{0, 1}`.
+    pub fn new(program: &'p Program) -> Interpreter<'p> {
+        Interpreter {
+            program,
+            havoc_domain: vec![0, 1],
+        }
+    }
+
+    /// Overrides the havoc domain.
+    pub fn with_havoc_domain(mut self, domain: Vec<i128>) -> Interpreter<'p> {
+        assert!(!domain.is_empty(), "havoc domain must be nonempty");
+        self.havoc_domain = domain;
+        self
+    }
+
+    /// The initial states (branching over nondeterministic initials).
+    pub fn initial_states(&self) -> Vec<ConcreteState> {
+        let locs: Vec<StateId> = self
+            .program
+            .threads()
+            .iter()
+            .map(|t| t.entry())
+            .collect();
+        let mut states = vec![ConcreteState {
+            locs,
+            values: BTreeMap::new(),
+        }];
+        for &v in self.program.globals() {
+            match self.program.init_values().get(&v) {
+                Some(&k) => {
+                    for s in &mut states {
+                        s.values.insert(v, k);
+                    }
+                }
+                None => {
+                    // Nondeterministic init: branch over the havoc domain.
+                    let mut next = Vec::with_capacity(states.len() * self.havoc_domain.len());
+                    for s in states {
+                        for &k in &self.havoc_domain {
+                            let mut s2 = s.clone();
+                            s2.values.insert(v, k);
+                            next.push(s2);
+                        }
+                    }
+                    states = next;
+                }
+            }
+        }
+        states
+    }
+
+    /// All successor states of `state` under letter `l` (empty if the
+    /// letter is disabled or all paths block).
+    pub fn step(
+        &self,
+        pool: &TermPool,
+        state: &ConcreteState,
+        l: LetterId,
+    ) -> Vec<ConcreteState> {
+        let t = self.program.thread_of(l);
+        let Some(next_loc) = self
+            .program
+            .thread(t)
+            .cfg()
+            .step(state.locs[t.index()], l)
+        else {
+            return Vec::new();
+        };
+        let stmt = self.program.statement(l);
+        let mut out = Vec::new();
+        for path in stmt.paths() {
+            let mut frontier = vec![state.values.clone()];
+            for s in path {
+                let mut next = Vec::new();
+                for values in frontier {
+                    match s {
+                        SimpleStmt::Assume(g) => {
+                            let v = values.clone();
+                            if pool.eval(*g, &|var| v.get(&var).copied().unwrap_or(0)) {
+                                next.push(values);
+                            }
+                        }
+                        SimpleStmt::Assign(x, e) => {
+                            let val = e.eval(|var| values.get(&var).copied().unwrap_or(0));
+                            let mut values = values;
+                            values.insert(*x, val);
+                            next.push(values);
+                        }
+                        SimpleStmt::Havoc(x) => {
+                            for &k in &self.havoc_domain {
+                                let mut values = values.clone();
+                                values.insert(*x, k);
+                                next.push(values);
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            for values in frontier {
+                let mut locs = state.locs.clone();
+                locs[t.index()] = next_loc;
+                out.push(ConcreteState { locs, values });
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Breadth-first search for a reachable accepting state of `spec`,
+    /// bounded by `max_states` distinct states.
+    pub fn search(&self, pool: &TermPool, spec: Spec, max_states: usize) -> SearchResult {
+        let mut visited: HashSet<ConcreteState> = HashSet::new();
+        let mut queue: VecDeque<(ConcreteState, Vec<LetterId>)> = VecDeque::new();
+        for s in self.initial_states() {
+            if visited.insert(s.clone()) {
+                queue.push_back((s, Vec::new()));
+            }
+        }
+        let mut exhaustive = true;
+        while let Some((state, trace)) = queue.pop_front() {
+            if self.is_accepting(&state, spec) {
+                return SearchResult::ErrorReachable(trace);
+            }
+            if visited.len() >= max_states {
+                exhaustive = false;
+                continue;
+            }
+            for l in self.enabled(&state) {
+                for succ in self.step(pool, &state, l) {
+                    if visited.insert(succ.clone()) {
+                        let mut t = trace.clone();
+                        t.push(l);
+                        queue.push_back((succ, t));
+                    }
+                }
+            }
+        }
+        SearchResult::NoErrorFound {
+            explored: visited.len(),
+            exhaustive,
+        }
+    }
+
+    /// Replays `trace`, branching over havoc values; returns `true` if some
+    /// resolution of the nondeterminism completes the whole trace.
+    pub fn replay(&self, pool: &TermPool, trace: &[LetterId]) -> bool {
+        let mut frontier = self.initial_states();
+        for &l in trace {
+            let mut next = Vec::new();
+            for s in &frontier {
+                next.extend(self.step(pool, s, l));
+            }
+            next.sort();
+            next.dedup();
+            frontier = next;
+            if frontier.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn enabled(&self, state: &ConcreteState) -> Vec<LetterId> {
+        let mut out = Vec::new();
+        for (i, t) in self.program.threads().iter().enumerate() {
+            out.extend(t.cfg().enabled(state.locs[i]));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn is_accepting(&self, state: &ConcreteState, spec: Spec) -> bool {
+        match spec {
+            Spec::PrePost => self
+                .program
+                .threads()
+                .iter()
+                .enumerate()
+                .all(|(i, t)| t.is_exit(state.locs[i])),
+            Spec::ErrorOf(t) => self.program.thread(t).is_error(state.locs[t.index()]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::{SimpleStmt, Statement};
+    use crate::thread::{Thread, ThreadId};
+    use automata::bitset::BitSet;
+    use automata::dfa::DfaBuilder;
+    use smt::linear::LinExpr;
+
+    /// One thread: x := x + 1; assert x ≤ bound (via error edge).
+    fn incr_assert_program(pool: &mut TermPool, init: i128, bound: i128) -> Program {
+        let mut b = Program::builder("incr");
+        let x = pool.var("x");
+        b.add_global(x, init);
+        let incr = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "x := x + 1",
+            SimpleStmt::Assign(x, LinExpr::var(x).add(&LinExpr::constant(1))),
+            pool,
+        ));
+        let ok_guard = pool.le_const(x, bound);
+        let bad_guard = pool.not(ok_guard);
+        let ok = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "assume x <= bound",
+            SimpleStmt::Assume(ok_guard),
+            pool,
+        ));
+        let bad = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "assume x > bound",
+            SimpleStmt::Assume(bad_guard),
+            pool,
+        ));
+        let mut cfg = DfaBuilder::new();
+        let q0 = cfg.add_state(false);
+        let q1 = cfg.add_state(false);
+        let exit = cfg.add_state(true);
+        let err = cfg.add_state(false);
+        cfg.add_transition(q0, incr, q1);
+        cfg.add_transition(q1, ok, exit);
+        cfg.add_transition(q1, bad, err);
+        let mut errors = BitSet::new(4);
+        errors.insert(err.index());
+        b.add_thread(Thread::new("main", cfg.build(q0), errors));
+        b.build(pool)
+    }
+
+    #[test]
+    fn safe_instance_has_no_error() {
+        let mut pool = TermPool::new();
+        let p = incr_assert_program(&mut pool, 0, 5);
+        let interp = Interpreter::new(&p);
+        match interp.search(&pool, Spec::ErrorOf(ThreadId(0)), 1000) {
+            SearchResult::NoErrorFound { exhaustive, .. } => assert!(exhaustive),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn buggy_instance_finds_witness() {
+        let mut pool = TermPool::new();
+        let p = incr_assert_program(&mut pool, 5, 5); // 5+1 > 5
+        let interp = Interpreter::new(&p);
+        match interp.search(&pool, Spec::ErrorOf(ThreadId(0)), 1000) {
+            SearchResult::ErrorReachable(trace) => {
+                assert_eq!(trace.len(), 2);
+                assert!(interp.replay(&pool, &trace));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_rejects_blocked_traces() {
+        let mut pool = TermPool::new();
+        let p = incr_assert_program(&mut pool, 0, 5);
+        let interp = Interpreter::new(&p);
+        // The "bad" branch (letter 2) is infeasible from init 0.
+        assert!(!interp.replay(&pool, &[LetterId(0), LetterId(2)]));
+        assert!(interp.replay(&pool, &[LetterId(0), LetterId(1)]));
+    }
+
+    #[test]
+    fn havoc_branches_over_domain() {
+        let mut pool = TermPool::new();
+        let mut b = Program::builder("h");
+        let x = pool.var("x");
+        b.add_global(x, 0);
+        let h = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "havoc x",
+            SimpleStmt::Havoc(x),
+            &pool,
+        ));
+        let mut cfg = DfaBuilder::new();
+        let q0 = cfg.add_state(false);
+        let exit = cfg.add_state(true);
+        cfg.add_transition(q0, h, exit);
+        b.add_thread(Thread::new("t", cfg.build(q0), BitSet::new(2)));
+        let p = b.build(&mut pool);
+        let interp = Interpreter::new(&p).with_havoc_domain(vec![7, 8, 9]);
+        let init = &interp.initial_states()[0];
+        let succs = interp.step(&pool, init, LetterId(0));
+        let values: Vec<i128> = succs.iter().map(|s| s.value(x)).collect();
+        assert_eq!(values, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn pre_post_spec_accepts_at_exit() {
+        let mut pool = TermPool::new();
+        let p = incr_assert_program(&mut pool, 0, 5);
+        let interp = Interpreter::new(&p);
+        match interp.search(&pool, Spec::PrePost, 1000) {
+            SearchResult::ErrorReachable(trace) => assert_eq!(trace.len(), 2),
+            other => panic!("exit should be reachable: {other:?}"),
+        }
+    }
+}

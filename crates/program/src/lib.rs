@@ -1,0 +1,31 @@
+//! The concurrent program model of the paper (§3).
+//!
+//! A concurrent program `P = T1 ∥ … ∥ Tn` is a fixed list of threads, each
+//! given as a control-flow DFA over a *global alphabet of statements*: one
+//! letter per statement, with the statements of different threads disjoint
+//! by construction (each [`stmt::Statement`] carries its owning thread).
+//!
+//! * [`stmt`] — statements as transition formulas: `assume`, assignments,
+//!   `havoc`, and `atomic` blocks (a whole block is a single letter whose
+//!   relation is the disjunction over its internal paths);
+//! * [`var`] — program variables, SSA version tracking;
+//! * [`thread`] / [`concurrent`] — thread CFGs and the interleaving
+//!   product (explored on demand: the exponential product is never built
+//!   unless explicitly requested for tests);
+//! * [`commutativity`] — the three-level commutativity oracle (syntactic,
+//!   semantic, conditional/proof-sensitive) with caching;
+//! * [`interp`] — a concrete explicit-state interpreter and bounded model
+//!   checker used for differential testing and witness validation.
+
+pub mod commutativity;
+pub mod concurrent;
+pub mod interp;
+pub mod stmt;
+pub mod thread;
+pub mod var;
+
+pub use commutativity::CommutativityOracle;
+pub use concurrent::{LetterId, ProductState, Program, ProgramBuilder, Spec};
+pub use stmt::{SimpleStmt, Statement};
+pub use thread::{Thread, ThreadId};
+pub use var::Versions;

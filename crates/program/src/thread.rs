@@ -1,0 +1,168 @@
+//! Threads as control-flow DFAs over the global statement alphabet.
+//!
+//! Per §3 of the paper, a thread is a DFA whose states are control
+//! locations, with a distinguished entry (initial state) and exit (the only
+//! accepting state). For `assert`-style specifications threads additionally
+//! carry *error locations*: locations reached by the failing branch of an
+//! assert, with no outgoing edges.
+
+use automata::bitset::BitSet;
+use automata::dfa::{Dfa, StateId};
+use std::fmt;
+
+/// Index of a thread within a program.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The thread index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Index of a statement in the program's global alphabet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LetterId(pub u32);
+
+impl LetterId {
+    /// The letter index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LetterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for LetterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A thread: a named control-flow DFA with optional error locations.
+///
+/// The DFA's initial state is the entry location `ℓ_init`; its accepting
+/// states are the exit location(s).
+#[derive(Clone, Debug)]
+pub struct Thread {
+    name: String,
+    cfg: Dfa<LetterId>,
+    error_locations: BitSet,
+}
+
+impl Thread {
+    /// Wraps a control-flow DFA as a thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an error location has outgoing edges.
+    pub fn new(name: &str, cfg: Dfa<LetterId>, error_locations: BitSet) -> Thread {
+        for loc in error_locations.iter() {
+            assert_eq!(
+                cfg.enabled(StateId(loc as u32)).count(),
+                0,
+                "error locations must be terminal"
+            );
+        }
+        Thread {
+            name: name.to_owned(),
+            cfg,
+            error_locations,
+        }
+    }
+
+    /// The thread's name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The control-flow DFA.
+    pub fn cfg(&self) -> &Dfa<LetterId> {
+        &self.cfg
+    }
+
+    /// The entry location.
+    pub fn entry(&self) -> StateId {
+        self.cfg.initial()
+    }
+
+    /// Whether `loc` is an exit location.
+    pub fn is_exit(&self, loc: StateId) -> bool {
+        self.cfg.is_accepting(loc)
+    }
+
+    /// Whether `loc` is an error location.
+    pub fn is_error(&self, loc: StateId) -> bool {
+        self.error_locations.contains(loc.index())
+    }
+
+    /// Whether the thread has any error location (i.e. contains asserts).
+    pub fn has_error_locations(&self) -> bool {
+        !self.error_locations.is_empty()
+    }
+
+    /// Number of control locations — the thread's size `|Ti|` (§3).
+    pub fn size(&self) -> usize {
+        self.cfg.num_states()
+    }
+
+    /// The letters labelling this thread's edges, sorted.
+    pub fn letters(&self) -> Vec<LetterId> {
+        self.cfg.alphabet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata::dfa::DfaBuilder;
+
+    #[test]
+    fn thread_wraps_cfg() {
+        let mut b = DfaBuilder::new();
+        let entry = b.add_state(false);
+        let exit = b.add_state(true);
+        let err = b.add_state(false);
+        b.add_transition(entry, LetterId(0), exit);
+        b.add_transition(entry, LetterId(1), err);
+        let mut errors = BitSet::new(3);
+        errors.insert(err.index());
+        let t = Thread::new("worker", b.build(entry), errors);
+        assert_eq!(t.name(), "worker");
+        assert_eq!(t.size(), 3);
+        assert!(t.is_exit(exit));
+        assert!(t.is_error(err));
+        assert!(!t.is_error(entry));
+        assert!(t.has_error_locations());
+        assert_eq!(t.letters(), vec![LetterId(0), LetterId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "error locations must be terminal")]
+    fn error_location_with_edges_panics() {
+        let mut b = DfaBuilder::new();
+        let entry = b.add_state(false);
+        let exit = b.add_state(true);
+        b.add_transition(entry, LetterId(0), exit);
+        let mut errors = BitSet::new(2);
+        errors.insert(entry.index());
+        let _ = Thread::new("bad", b.build(entry), errors);
+    }
+}

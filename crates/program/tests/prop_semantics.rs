@@ -1,0 +1,198 @@
+//! Differential property tests of statement semantics: the concrete
+//! interpreter, the SSA relation encoding and the strongest-postcondition
+//! engine must agree.
+//!
+//! For a random statement `s` and a random concrete pre-state `σ`:
+//!
+//! * every interpreter successor `σ'` satisfies the SSA encoding of `s`
+//!   (with pre/post versions pinned to `σ`/`σ'`);
+//! * every interpreter successor of a state satisfying `φ` satisfies
+//!   `post_image(φ, s)` — i.e. sp over-approximates the concrete step;
+//! * if the interpreter has *no* successor (blocking assume), the SSA
+//!   encoding is unsatisfiable when pinned to `σ`.
+
+use proptest::prelude::*;
+use program::concurrent::{LetterId, Program};
+use program::interp::Interpreter;
+use program::stmt::{SimpleStmt, Statement};
+use program::thread::{Thread, ThreadId};
+use program::var::Versions;
+use smt::cube::Dnf;
+use smt::linear::{LinExpr, VarId};
+use smt::solver::check;
+use smt::term::{TermId, TermPool};
+use automata::bitset::BitSet;
+use automata::dfa::DfaBuilder;
+
+const NUM_VARS: usize = 3;
+
+/// Description of one random simple step.
+#[derive(Clone, Debug)]
+enum StepDesc {
+    AssignConst(usize, i128),
+    AssignLinear(usize, usize, i128), // x := y + k
+    Havoc(usize),
+    AssumeLe(usize, i128),
+    AssumeEq(usize, usize), // x == y
+}
+
+fn step_desc() -> impl Strategy<Value = StepDesc> {
+    prop_oneof![
+        (0..NUM_VARS, -3i128..=3).prop_map(|(x, k)| StepDesc::AssignConst(x, k)),
+        (0..NUM_VARS, 0..NUM_VARS, -2i128..=2)
+            .prop_map(|(x, y, k)| StepDesc::AssignLinear(x, y, k)),
+        (0..NUM_VARS).prop_map(StepDesc::Havoc),
+        (0..NUM_VARS, -2i128..=4).prop_map(|(x, k)| StepDesc::AssumeLe(x, k)),
+        (0..NUM_VARS, 0..NUM_VARS).prop_map(|(x, y)| StepDesc::AssumeEq(x, y)),
+    ]
+}
+
+/// A statement: 1–2 paths, each 1–3 steps (path count > 1 models atomic
+/// branching).
+fn stmt_desc() -> impl Strategy<Value = Vec<Vec<StepDesc>>> {
+    proptest::collection::vec(proptest::collection::vec(step_desc(), 1..=3), 1..=2)
+}
+
+fn build(
+    pool: &mut TermPool,
+    desc: &[Vec<StepDesc>],
+    initial: &[i128],
+) -> (Program, Vec<VarId>) {
+    let vars: Vec<VarId> = (0..NUM_VARS).map(|i| pool.var(&format!("x{i}"))).collect();
+    let lower = |pool: &mut TermPool, s: &StepDesc| -> SimpleStmt {
+        match *s {
+            StepDesc::AssignConst(x, k) => SimpleStmt::Assign(vars[x], LinExpr::constant(k)),
+            StepDesc::AssignLinear(x, y, k) => SimpleStmt::Assign(
+                vars[x],
+                LinExpr::var(vars[y]).add(&LinExpr::constant(k)),
+            ),
+            StepDesc::Havoc(x) => SimpleStmt::Havoc(vars[x]),
+            StepDesc::AssumeLe(x, k) => {
+                let g = pool.le_const(vars[x], k);
+                SimpleStmt::Assume(g)
+            }
+            StepDesc::AssumeEq(x, y) => {
+                let g = pool.eq(&LinExpr::var(vars[x]), &LinExpr::var(vars[y]));
+                SimpleStmt::Assume(g)
+            }
+        }
+    };
+    let paths: Vec<Vec<SimpleStmt>> = desc
+        .iter()
+        .map(|p| p.iter().map(|s| lower(pool, s)).collect())
+        .collect();
+    let mut b = Program::builder("prop");
+    for (i, &v) in vars.iter().enumerate() {
+        b.add_global(v, initial[i]);
+    }
+    let stmt = Statement::atomic(ThreadId(0), "s", paths, pool);
+    let letter = b.add_statement(stmt);
+    let mut cfg = DfaBuilder::new();
+    let entry = cfg.add_state(false);
+    let exit = cfg.add_state(true);
+    cfg.add_transition(entry, letter, exit);
+    b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(2)));
+    (b.build(pool), vars)
+}
+
+/// Pins SSA variables to pre/post values.
+fn pin(
+    pool: &mut TermPool,
+    vars: &[VarId],
+    versions: &Versions,
+    pre: &[i128],
+    post: &[i128],
+) -> Vec<TermId> {
+    let mut out = Vec::new();
+    for (i, &v) in vars.iter().enumerate() {
+        out.push(pool.eq_const(v, pre[i]));
+        let current = versions.current(v);
+        if current != v {
+            out.push(pool.eq_const(current, post[i]));
+        } else {
+            // Unwritten: post must equal pre for the state to be a real
+            // successor — enforced by the caller's successor states.
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interpreter_successors_satisfy_ssa_encoding(
+        desc in stmt_desc(),
+        initial in proptest::collection::vec(-2i128..=2, NUM_VARS),
+    ) {
+        let mut pool = TermPool::new();
+        let (p, vars) = build(&mut pool, &desc, &initial);
+        let interp = Interpreter::new(&p).with_havoc_domain(vec![-1, 0, 2]);
+        let init_state = interp.initial_states().remove(0);
+        let succs = interp.step(&pool, &init_state, LetterId(0));
+
+        let mut versions = Versions::new();
+        let stmt = p.statement(LetterId(0)).clone();
+        let formula = stmt.encode_ssa(&mut pool, &mut versions);
+
+        let has_havoc = desc
+            .iter()
+            .any(|p| p.iter().any(|s| matches!(s, StepDesc::Havoc(_))));
+        if succs.is_empty() && !has_havoc {
+            // Blocked: the encoding pinned to the pre-state is unsat.
+            // (Only meaningful without havoc — the interpreter explores a
+            // finite havoc domain and thus under-approximates.)
+            let mut assertions = vec![formula];
+            for (i, &v) in vars.iter().enumerate() {
+                assertions.push(pool.eq_const(v, initial[i]));
+            }
+            prop_assert!(
+                check(&mut pool, &assertions).is_unsat(),
+                "blocked concretely but SSA-satisfiable"
+            );
+        }
+        for succ in &succs {
+            let post: Vec<i128> = vars.iter().map(|&v| succ.value(v)).collect();
+            let mut assertions = vec![formula];
+            assertions.extend(pin(&mut pool, &vars, &versions, &initial, &post));
+            prop_assert!(
+                check(&mut pool, &assertions).is_sat(),
+                "concrete successor {post:?} violates the SSA encoding"
+            );
+        }
+    }
+
+    #[test]
+    fn post_image_over_approximates_concrete_step(
+        desc in stmt_desc(),
+        initial in proptest::collection::vec(-2i128..=2, NUM_VARS),
+    ) {
+        let mut pool = TermPool::new();
+        let (p, vars) = build(&mut pool, &desc, &initial);
+        let interp = Interpreter::new(&p).with_havoc_domain(vec![-1, 0, 2]);
+        let init_state = interp.initial_states().remove(0);
+        let succs = interp.step(&pool, &init_state, LetterId(0));
+
+        // φ = exact initial state.
+        let phi = {
+            let eqs: Vec<TermId> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| pool.eq_const(v, initial[i]))
+                .collect();
+            pool.and(eqs)
+        };
+        let stmt = p.statement(LetterId(0)).clone();
+        let state = Dnf::from_term(&pool, phi);
+        let (post, _exact) = stmt.post_image(&mut pool, &state);
+        let post_term = post.to_term(&mut pool);
+        for succ in &succs {
+            let value = |v: VarId| succ.value(v);
+            prop_assert!(
+                pool.eval(post_term, &value),
+                "successor escapes post_image: {:?}",
+                succ.values
+            );
+        }
+    }
+}

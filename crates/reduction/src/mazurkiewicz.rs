@@ -1,0 +1,304 @@
+//! Mazurkiewicz trace equivalence (§4).
+//!
+//! Two words are equivalent iff one can be reached from the other by
+//! repeatedly swapping adjacent *commuting* letters. Equivalence is decided
+//! without enumerating swaps: `u ∼ v` iff they have the same letter
+//! multiset and, for every pair of *dependent* (non-commuting) letters, the
+//! same relative order of occurrences — checked by projecting both words
+//! onto each dependent letter pair (the standard projection lemma for trace
+//! monoids).
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::hash::Hash;
+
+/// Decides `u ∼ v` under the commutativity predicate `commute`.
+///
+/// `commute` must be symmetric and irreflexive-in-effect (a letter never
+/// commutes with itself — letters of the same thread never commute in the
+/// program setting).
+///
+/// # Example
+///
+/// ```
+/// use reduction::mazurkiewicz::equivalent;
+///
+/// // a and b commute; c commutes with nothing.
+/// let commute = |x: char, y: char| (x, y) == ('a', 'b') || (x, y) == ('b', 'a');
+/// assert!(equivalent(&['a', 'b', 'c'], &['b', 'a', 'c'], commute));
+/// assert!(!equivalent(&['a', 'c', 'b'], &['c', 'a', 'b'], commute));
+/// ```
+pub fn equivalent<L: Copy + Eq + Ord + Hash>(
+    u: &[L],
+    v: &[L],
+    commute: impl Fn(L, L) -> bool,
+) -> bool {
+    if u.len() != v.len() {
+        return false;
+    }
+    // Same multiset.
+    let mut count: HashMap<L, isize> = HashMap::new();
+    for &a in u {
+        *count.entry(a).or_insert(0) += 1;
+    }
+    for &b in v {
+        *count.entry(b).or_insert(0) -= 1;
+    }
+    if count.values().any(|&c| c != 0) {
+        return false;
+    }
+    // Same projection onto every dependent letter pair (including (a, a)).
+    let letters: BTreeSet<L> = u.iter().copied().collect();
+    for &a in &letters {
+        for &b in &letters {
+            if a > b {
+                continue;
+            }
+            if a != b && commute(a, b) {
+                continue;
+            }
+            let pu: Vec<L> = u.iter().copied().filter(|&x| x == a || x == b).collect();
+            let pv: Vec<L> = v.iter().copied().filter(|&x| x == a || x == b).collect();
+            if pu != pv {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Enumerates the full equivalence class of `word` by BFS over adjacent
+/// swaps. Exponential — for tests on short words only.
+pub fn equivalence_class<L: Copy + Eq + Ord + Hash>(
+    word: &[L],
+    commute: impl Fn(L, L) -> bool,
+) -> Vec<Vec<L>> {
+    let mut seen: BTreeSet<Vec<L>> = BTreeSet::new();
+    let mut queue: VecDeque<Vec<L>> = VecDeque::new();
+    seen.insert(word.to_vec());
+    queue.push_back(word.to_vec());
+    while let Some(w) = queue.pop_front() {
+        for i in 0..w.len().saturating_sub(1) {
+            let (a, b) = (w[i], w[i + 1]);
+            if a != b && commute(a, b) {
+                let mut s = w.clone();
+                s.swap(i, i + 1);
+                if seen.insert(s.clone()) {
+                    queue.push_back(s);
+                }
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// The Foata normal form of a word: the unique factorization into maximal
+/// "steps" (sets of pairwise-commuting letters, each depending on some
+/// letter of the previous step), with each step sorted. Two words are
+/// Mazurkiewicz-equivalent iff their Foata normal forms coincide — an
+/// alternative decision procedure used to cross-check [`equivalent`].
+///
+/// # Example
+///
+/// ```
+/// use reduction::mazurkiewicz::foata_normal_form;
+///
+/// let commute = |x: char, y: char| (x, y) == ('a', 'b') || (x, y) == ('b', 'a');
+/// let nf1 = foata_normal_form(&['a', 'b', 'c'], commute);
+/// let nf2 = foata_normal_form(&['b', 'a', 'c'], commute);
+/// assert_eq!(nf1, nf2);
+/// assert_eq!(nf1, vec![vec!['a', 'b'], vec!['c']]);
+/// ```
+pub fn foata_normal_form<L: Copy + Eq + Ord + Hash>(
+    word: &[L],
+    commute: impl Fn(L, L) -> bool,
+) -> Vec<Vec<L>> {
+    let mut steps: Vec<Vec<L>> = Vec::new();
+    for &a in word {
+        // Find the deepest step a can join: a must commute with everything
+        // in every later step, and either depend on something in the step
+        // before its home, or land in step 0.
+        let mut target = steps.len();
+        while target > 0 {
+            let step = &steps[target - 1];
+            if step.iter().any(|&b| a == b || !commute(a, b)) {
+                break;
+            }
+            target -= 1;
+        }
+        if target == steps.len() {
+            steps.push(vec![a]);
+        } else {
+            let pos = steps[target].binary_search(&a).unwrap_or_else(|p| p);
+            steps[target].insert(pos, a);
+        }
+    }
+    steps
+}
+
+/// Checks that `reduced` is a *sound reduction* of `full` up to the given
+/// length bound: `reduced ⊆ full` and every word of `full` has an
+/// equivalent representative in `reduced`. Returns the first offending word
+/// (`Err`) or `Ok(())`.
+pub fn check_reduction_sound<L: Copy + Eq + Ord + Hash + std::fmt::Debug>(
+    full: &[Vec<L>],
+    reduced: &[Vec<L>],
+    commute: impl Fn(L, L) -> bool + Copy,
+) -> Result<(), Vec<L>> {
+    for w in reduced {
+        if !full.contains(w) {
+            return Err(w.clone());
+        }
+    }
+    for w in full {
+        if !reduced.iter().any(|r| equivalent(w, r, commute)) {
+            return Err(w.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Checks language-minimality up to the bound: no two distinct words of
+/// `reduced` are equivalent. Returns an offending pair if any.
+pub fn check_reduction_minimal<L: Copy + Eq + Ord + Hash + Clone>(
+    reduced: &[Vec<L>],
+    commute: impl Fn(L, L) -> bool + Copy,
+) -> Result<(), (Vec<L>, Vec<L>)> {
+    for (i, u) in reduced.iter().enumerate() {
+        for v in &reduced[i + 1..] {
+            if equivalent(u, v, commute) {
+                return Err((u.clone(), v.clone()));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab_commute(x: char, y: char) -> bool {
+        matches!((x, y), ('a', 'b') | ('b', 'a'))
+    }
+
+    #[test]
+    fn basic_equivalence() {
+        assert!(equivalent(&['a', 'b'], &['b', 'a'], ab_commute));
+        assert!(!equivalent(&['a', 'b'], &['a', 'b', 'a'], ab_commute));
+        assert!(equivalent::<char>(&[], &[], ab_commute));
+        assert!(!equivalent(&['a', 'a', 'b'], &['a', 'b', 'b'], ab_commute));
+    }
+
+    #[test]
+    fn dependence_blocks_swaps() {
+        // c is dependent on everything.
+        assert!(!equivalent(&['a', 'c'], &['c', 'a'], ab_commute));
+        // but commuting letters can move across non-adjacent positions.
+        assert!(equivalent(
+            &['a', 'a', 'b', 'b'],
+            &['b', 'b', 'a', 'a'],
+            ab_commute
+        ));
+    }
+
+    #[test]
+    fn projection_catches_subtle_inequivalence() {
+        // Same multiset, same ab-order freedom, but c-relative order differs.
+        assert!(!equivalent(
+            &['a', 'c', 'b'],
+            &['b', 'c', 'a'],
+            ab_commute
+        ));
+    }
+
+    #[test]
+    fn class_enumeration_matches_pairwise_check() {
+        let word = ['a', 'b', 'c', 'a', 'b'];
+        let class = equivalence_class(&word, ab_commute);
+        // All class members are pairwise equivalent to the original.
+        for w in &class {
+            assert!(equivalent(&word, w, ab_commute), "{w:?}");
+        }
+        // And everything equivalent (within same-length permutations of the
+        // multiset) is in the class.
+        let mut sorted = word.to_vec();
+        sorted.sort_unstable();
+        let mut perms = vec![];
+        permute(&mut sorted.clone(), 0, &mut perms);
+        for p in perms {
+            let in_class = class.contains(&p);
+            assert_eq!(in_class, equivalent(&word, &p, ab_commute), "{p:?}");
+        }
+    }
+
+    fn permute(items: &mut Vec<char>, k: usize, out: &mut Vec<Vec<char>>) {
+        if k == items.len() {
+            if !out.contains(items) {
+                out.push(items.clone());
+            }
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, out);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn foata_characterizes_equivalence() {
+        // Over random-ish words, equality of Foata normal forms must agree
+        // with the projection-based equivalence check.
+        let alphabet = ['a', 'b', 'c'];
+        let mut words: Vec<Vec<char>> = vec![vec![]];
+        for _ in 0..4 {
+            let mut next = Vec::new();
+            for w in &words {
+                for &l in &alphabet {
+                    let mut v = w.clone();
+                    v.push(l);
+                    next.push(v);
+                }
+            }
+            words = next;
+        }
+        for u in &words {
+            for v in &words {
+                let eq = equivalent(u, v, ab_commute);
+                let foata_eq =
+                    foata_normal_form(u, ab_commute) == foata_normal_form(v, ab_commute);
+                assert_eq!(eq, foata_eq, "{u:?} vs {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn foata_steps_are_maximal_commuting_sets() {
+        let nf = foata_normal_form(&['c', 'a', 'b', 'a'], ab_commute);
+        // c first (depends on nothing before it), then {a, b}, then {a}.
+        assert_eq!(nf, vec![vec!['c'], vec!['a', 'b'], vec!['a']]);
+    }
+
+    #[test]
+    fn soundness_checker() {
+        let full = vec![vec!['a', 'b'], vec!['b', 'a']];
+        let reduced_ok = vec![vec!['a', 'b']];
+        let reduced_bad: Vec<Vec<char>> = vec![];
+        assert!(check_reduction_sound(&full, &reduced_ok, ab_commute).is_ok());
+        assert_eq!(
+            check_reduction_sound(&full, &reduced_bad, ab_commute),
+            Err(vec!['a', 'b'])
+        );
+        // Reduction must be a subset.
+        let not_subset = vec![vec!['z']];
+        assert!(check_reduction_sound(&full, &not_subset, ab_commute).is_err());
+    }
+
+    #[test]
+    fn minimality_checker() {
+        let minimal = vec![vec!['a', 'b']];
+        assert!(check_reduction_minimal(&minimal, ab_commute).is_ok());
+        let redundant = vec![vec!['a', 'b'], vec!['b', 'a']];
+        assert!(check_reduction_minimal(&redundant, ab_commute).is_err());
+    }
+}

@@ -1,0 +1,474 @@
+//! Weakly persistent membranes via conflict SCCs — Algorithm 1 (§7.1).
+//!
+//! For a product state `q`, a *weakly persistent* set of enabled letters
+//! may soundly be the only ones explored, provided it is also a *membrane*
+//! (every nonempty accepted word from `q` contains one of its letters,
+//! §6.1). Algorithm 1 computes such sets in polynomial time:
+//!
+//! 1. precompute the location-level conflict relation `ℓi ⇝ ℓj` (an edge
+//!    when a current action of thread `i` fails to commute with a *future*
+//!    action of thread `j`),
+//! 2. per state, build the conflict graph over active threads, adding
+//!    preference-order edges for compatibility with `⋖`,
+//! 3. select a topologically maximal (sink) SCC — or, in `assert` mode,
+//!    the conflict-closure of the asserting thread, which guarantees the
+//!    membrane property (footnote 4).
+
+use crate::order::{OrderContext, PreferenceOrder};
+use automata::bitset::BitSet;
+use automata::dfa::StateId;
+use program::commutativity::CommutativityOracle;
+use program::concurrent::{LetterId, ProductState, Program};
+use program::thread::ThreadId;
+use smt::term::TermPool;
+
+/// Which membrane discipline to use (determined by the specification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MembraneMode {
+    /// Pre/post specification: accepted words end with *all* threads at
+    /// exit, so any nonempty conflict-closed set of active threads is a
+    /// membrane. A sink SCC is selected.
+    Terminal,
+    /// Assert specification for the given thread: accepted words end with
+    /// this thread at an error location, so the membrane must contain the
+    /// thread's enabled actions. The conflict-closure of the thread is
+    /// selected.
+    ErrorThread(ThreadId),
+}
+
+/// Precomputed conflict information for a program, reusable across all
+/// proof-check rounds.
+#[derive(Clone, Debug)]
+pub struct PersistentSets {
+    /// `noncommute[a]` = letters that do NOT (unconditionally) commute
+    /// with `a`.
+    noncommute: Vec<BitSet>,
+    /// `future_letters[t][loc]` = letters enabled at any location reachable
+    /// from `loc` within thread `t` (including `loc` itself).
+    future_letters: Vec<Vec<BitSet>>,
+}
+
+impl PersistentSets {
+    /// Precomputes the conflict relation (`O(size(P)²)` letter-pair checks,
+    /// all cached in the oracle).
+    pub fn new(
+        pool: &mut TermPool,
+        program: &Program,
+        oracle: &mut CommutativityOracle,
+    ) -> PersistentSets {
+        let n_letters = program.num_letters();
+        let mut noncommute = vec![BitSet::new(n_letters); n_letters];
+        for a in program.letters() {
+            for b in program.letters() {
+                if a.index() <= b.index() && !oracle.commute(pool, program, a, b) {
+                    noncommute[a.index()].insert(b.index());
+                    noncommute[b.index()].insert(a.index());
+                }
+            }
+        }
+        let future_letters = program
+            .threads()
+            .iter()
+            .map(|t| {
+                let cfg = t.cfg();
+                let n = cfg.num_states();
+                let mut fut = vec![BitSet::new(n_letters); n];
+                // Fixpoint: fut(ℓ) = enabled(ℓ) ∪ ⋃ fut(successors).
+                let mut changed = true;
+                while changed {
+                    changed = false;
+                    for loc in 0..n {
+                        let mut acc = fut[loc].clone();
+                        for (l, succ) in cfg.edges(StateId(loc as u32)) {
+                            acc.insert(l.index());
+                            let succ_set = fut[succ.index()].clone();
+                            acc.union_with(&succ_set);
+                        }
+                        if acc != fut[loc] {
+                            fut[loc] = acc;
+                            changed = true;
+                        }
+                    }
+                }
+                fut
+            })
+            .collect();
+        PersistentSets {
+            noncommute,
+            future_letters,
+        }
+    }
+
+    /// The location-level conflict relation `ℓi ⇝ ℓj` (threads must
+    /// differ): an enabled action of `ℓi` fails to commute with an action
+    /// enabled at some `Tj`-location reachable from `ℓj`.
+    pub fn conflicts(
+        &self,
+        program: &Program,
+        ti: ThreadId,
+        li: StateId,
+        tj: ThreadId,
+        lj: StateId,
+    ) -> bool {
+        debug_assert_ne!(ti, tj);
+        let future = &self.future_letters[tj.index()][lj.index()];
+        program
+            .thread(ti)
+            .cfg()
+            .enabled(li)
+            .any(|a| !self.noncommute[a.index()].is_disjoint_from(future))
+    }
+
+    /// Algorithm 1: a weakly persistent membrane at `q`, compatible with
+    /// the preference order in context `ctx`, as a set of enabled letters.
+    ///
+    /// Returns the empty set when no accepted word can start at `q`
+    /// (e.g. the asserting thread has terminated) — everything may be
+    /// pruned.
+    pub fn compute(
+        &self,
+        program: &Program,
+        q: &ProductState,
+        order: &dyn PreferenceOrder,
+        ctx: OrderContext,
+        mode: MembraneMode,
+    ) -> Vec<LetterId> {
+        let n = program.num_threads();
+        let active: Vec<usize> = (0..n)
+            .filter(|&i| {
+                program
+                    .thread(ThreadId(i as u32))
+                    .cfg()
+                    .enabled(q.location(ThreadId(i as u32)))
+                    .next()
+                    .is_some()
+            })
+            .collect();
+        if active.is_empty() {
+            return Vec::new();
+        }
+        // conflicts ⊆ active²: (i, j) when ℓi ⇝ ℓj, or thread j has an
+        // enabled letter preferred over one of thread i's (compatibility).
+        let edge = |i: usize, j: usize| -> bool {
+            let (ti, tj) = (ThreadId(i as u32), ThreadId(j as u32));
+            if self.conflicts(program, ti, q.location(ti), tj, q.location(tj)) {
+                return true;
+            }
+            program.enabled_in_thread(q, tj).iter().any(|&a| {
+                program
+                    .enabled_in_thread(q, ti)
+                    .iter()
+                    .any(|&b| order.less(ctx, a, b, program))
+            })
+        };
+
+        let selected: Vec<usize> = match mode {
+            MembraneMode::ErrorThread(t) => {
+                if !active.contains(&t.index()) {
+                    // The asserting thread cannot move again: if it is not
+                    // already at an error location, no accepted word starts
+                    // here and the entire subtree may be pruned.
+                    return Vec::new();
+                }
+                // Conflict-closure of {t}: follow edges transitively.
+                let mut closure = vec![t.index()];
+                let mut work = vec![t.index()];
+                while let Some(i) = work.pop() {
+                    for &j in &active {
+                        if !closure.contains(&j) && edge(i, j) {
+                            closure.push(j);
+                            work.push(j);
+                        }
+                    }
+                }
+                closure
+            }
+            MembraneMode::Terminal => sink_scc(&active, edge),
+        };
+
+        let mut letters: Vec<LetterId> = selected
+            .iter()
+            .flat_map(|&i| program.enabled_in_thread(q, ThreadId(i as u32)))
+            .collect();
+        letters.sort_unstable();
+        letters
+    }
+}
+
+/// Tarjan SCC over the given nodes, returning a topologically maximal
+/// (sink) component — deterministically the one containing the smallest
+/// node among all sinks.
+fn sink_scc(nodes: &[usize], edge: impl Fn(usize, usize) -> bool) -> Vec<usize> {
+    // Small n: Kosaraju-style with explicit adjacency is simplest.
+    let n = nodes.len();
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .filter(|&j| j != i && edge(nodes[i], nodes[j]))
+                .collect()
+        })
+        .collect();
+    // Tarjan.
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comp_of = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan to avoid recursion limits.
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call = vec![Frame::Enter(root)];
+        while let Some(frame) = call.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut ei) => {
+                    let mut descended = false;
+                    while ei < adj[v].len() {
+                        let w = adj[v][ei];
+                        ei += 1;
+                        if index[w] == usize::MAX {
+                            call.push(Frame::Resume(v, ei));
+                            call.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        let cid = comps.len();
+                        for &w in &comp {
+                            comp_of[w] = cid;
+                        }
+                        comps.push(comp);
+                    }
+                    // Propagate low to parent.
+                    if let Some(Frame::Resume(p, _)) = call.last() {
+                        let p = *p;
+                        low[p] = low[p].min(low[v]);
+                    }
+                }
+            }
+        }
+    }
+    // Sinks: components with no edge to another component.
+    let is_sink = |cid: usize| -> bool {
+        comps[cid].iter().all(|&v| {
+            adj[v].iter().all(|&w| comp_of[w] == cid)
+        })
+    };
+    let sink = (0..comps.len())
+        .filter(|&c| is_sink(c))
+        .min_by_key(|&c| comps[c].iter().map(|&v| nodes[v]).min().unwrap_or(usize::MAX))
+        .expect("a finite digraph has a sink SCC");
+    let mut out: Vec<usize> = comps[sink].iter().map(|&v| nodes[v]).collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::order::SeqOrder;
+    use program::commutativity::CommutativityLevel;
+    use program::stmt::{SimpleStmt, Statement};
+    use program::thread::Thread;
+    use automata::dfa::DfaBuilder;
+    use smt::linear::LinExpr;
+
+    /// n independent single-step threads (full commutativity).
+    fn independent(pool: &mut TermPool, n: u32) -> Program {
+        let mut b = Program::builder("ind");
+        let mut letters = Vec::new();
+        for t in 0..n {
+            let v = pool.var(&format!("x{t}"));
+            b.add_global(v, 0);
+            letters.push(b.add_statement(Statement::simple(
+                ThreadId(t),
+                &format!("w{t}"),
+                SimpleStmt::Assign(v, LinExpr::constant(1)),
+                pool,
+            )));
+        }
+        for t in 0..n as usize {
+            let mut cfg = DfaBuilder::new();
+            let entry = cfg.add_state(false);
+            let exit = cfg.add_state(true);
+            cfg.add_transition(entry, letters[t], exit);
+            b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(2)));
+        }
+        b.build(pool)
+    }
+
+    #[test]
+    fn independent_threads_give_singleton_persistent_set() {
+        let mut pool = TermPool::new();
+        let p = independent(&mut pool, 4);
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Syntactic);
+        let ps = PersistentSets::new(&mut pool, &p, &mut oracle);
+        let q = p.initial_state();
+        let m = ps.compute(&p, &q, &SeqOrder::new(), 0, MembraneMode::Terminal);
+        // Under seq order, only thread 0's action is explored.
+        assert_eq!(m, vec![LetterId(0)]);
+    }
+
+    #[test]
+    fn conflicting_threads_are_closed_over() {
+        // Threads 0 and 1 write the same variable; thread 2 independent.
+        let mut pool = TermPool::new();
+        let mut b = Program::builder("c");
+        let x = pool.var("x");
+        let z = pool.var("z");
+        b.add_global(x, 0);
+        b.add_global(z, 0);
+        let specs: Vec<(ThreadId, VarSpec)> = vec![
+            (ThreadId(0), VarSpec(x, 1)),
+            (ThreadId(1), VarSpec(x, 2)),
+            (ThreadId(2), VarSpec(z, 1)),
+        ];
+        struct VarSpec(smt::VarId, i128);
+        let mut letters = Vec::new();
+        for (t, VarSpec(v, k)) in &specs {
+            letters.push(b.add_statement(Statement::simple(
+                *t,
+                "w",
+                SimpleStmt::Assign(*v, LinExpr::constant(*k)),
+                &pool,
+            )));
+        }
+        for l in &letters {
+            let mut cfg = DfaBuilder::new();
+            let entry = cfg.add_state(false);
+            let exit = cfg.add_state(true);
+            cfg.add_transition(entry, *l, exit);
+            b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(2)));
+        }
+        let p = b.build(&mut pool);
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+        let ps = PersistentSets::new(&mut pool, &p, &mut oracle);
+        let q = p.initial_state();
+        let m = ps.compute(&p, &q, &SeqOrder::new(), 0, MembraneMode::Terminal);
+        // Threads 0 and 1 conflict, so both must be in the set; thread 2
+        // need not be — but seq-order compatibility pulls in thread 0/1
+        // over thread 2 only if 2 is selected. The sink SCC containing the
+        // smallest thread is {0,1}.
+        assert_eq!(m, vec![LetterId(0), LetterId(1)]);
+    }
+
+    #[test]
+    fn error_mode_includes_asserting_thread() {
+        let mut pool = TermPool::new();
+        let p = independent(&mut pool, 3);
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Syntactic);
+        let ps = PersistentSets::new(&mut pool, &p, &mut oracle);
+        let q = p.initial_state();
+        // If thread 2 is the asserting one, its action must be present even
+        // though thread 0 would otherwise be the sink.
+        let m = ps.compute(&p, &q, &SeqOrder::new(), 0, MembraneMode::ErrorThread(ThreadId(2)));
+        assert!(m.contains(&LetterId(2)));
+    }
+
+    #[test]
+    fn error_mode_prunes_when_asserting_thread_done() {
+        let mut pool = TermPool::new();
+        let p = independent(&mut pool, 2);
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Syntactic);
+        let ps = PersistentSets::new(&mut pool, &p, &mut oracle);
+        // Advance thread 1 to its exit.
+        let q0 = p.initial_state();
+        let q1 = p.step(&q0, LetterId(1)).unwrap();
+        let m = ps.compute(&p, &q1, &SeqOrder::new(), 0, MembraneMode::ErrorThread(ThreadId(1)));
+        assert!(m.is_empty(), "no accepted word can start once t1 exited");
+    }
+
+    #[test]
+    fn future_conflicts_are_seen() {
+        // Thread 1's FIRST action is independent of thread 0, but its
+        // SECOND action writes thread 0's variable: the conflict relation
+        // must look into the future.
+        let mut pool = TermPool::new();
+        let mut b = Program::builder("future");
+        let x = pool.var("x");
+        let y = pool.var("y");
+        b.add_global(x, 0);
+        b.add_global(y, 0);
+        let l0 = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "x := 1",
+            SimpleStmt::Assign(x, LinExpr::constant(1)),
+            &pool,
+        ));
+        let l1a = b.add_statement(Statement::simple(
+            ThreadId(1),
+            "y := 1",
+            SimpleStmt::Assign(y, LinExpr::constant(1)),
+            &pool,
+        ));
+        let l1b = b.add_statement(Statement::simple(
+            ThreadId(1),
+            "x := 2",
+            SimpleStmt::Assign(x, LinExpr::constant(2)),
+            &pool,
+        ));
+        {
+            let mut cfg = DfaBuilder::new();
+            let entry = cfg.add_state(false);
+            let exit = cfg.add_state(true);
+            cfg.add_transition(entry, l0, exit);
+            b.add_thread(Thread::new("t0", cfg.build(entry), BitSet::new(2)));
+        }
+        {
+            let mut cfg = DfaBuilder::new();
+            let entry = cfg.add_state(false);
+            let mid = cfg.add_state(false);
+            let exit = cfg.add_state(true);
+            cfg.add_transition(entry, l1a, mid);
+            cfg.add_transition(mid, l1b, exit);
+            b.add_thread(Thread::new("t1", cfg.build(entry), BitSet::new(3)));
+        }
+        let p = b.build(&mut pool);
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+        let ps = PersistentSets::new(&mut pool, &p, &mut oracle);
+        // ℓ0 of thread 0 conflicts with thread 1's entry location (future
+        // x := 2).
+        assert!(ps.conflicts(
+            &p,
+            ThreadId(0),
+            p.thread(ThreadId(0)).entry(),
+            ThreadId(1),
+            p.thread(ThreadId(1)).entry()
+        ));
+        let q = p.initial_state();
+        let m = ps.compute(&p, &q, &SeqOrder::new(), 0, MembraneMode::Terminal);
+        // Both threads are in conflict: both actions kept.
+        assert_eq!(m, vec![LetterId(0), LetterId(1)]);
+    }
+}

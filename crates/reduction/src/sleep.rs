@@ -1,0 +1,226 @@
+//! The sleep set automaton `S⋖(A)` (§5, Def. 5.1).
+//!
+//! Given a DFA `A` with a closed language, a preference order `⋖` and a
+//! commutativity relation, the sleep set automaton recognizes *exactly* the
+//! lexicographic reduction `red_lex(⋖)(L(A))` (Thm. 5.3): for each
+//! Mazurkiewicz class of `L(A)`, precisely its ⋖-minimal representative.
+//!
+//! States are `(q, S, ctx)` where `S ⊆ Σ` is the sleep set and `ctx` the
+//! preference-order context (trivial for non-positional orders). The
+//! construction prunes edges labelled by sleeping letters and may duplicate
+//! input states (unrolling) — that is what makes the result language-
+//! minimal, at the price of *useless states* that §6's persistent sets
+//! remove.
+
+use crate::order::{OrderContext, PreferenceOrder};
+use automata::bitset::BitSet;
+use automata::dfa::{Dfa, DfaBuilder, StateId};
+use program::commutativity::CommutativityOracle;
+use program::concurrent::{LetterId, Program};
+use smt::term::TermPool;
+use std::collections::HashMap;
+
+/// Builds the explicit sleep set automaton of `input` (a DFA over the
+/// program's alphabet — typically its interleaving product or a fragment).
+///
+/// The commutativity relation is the oracle's *unconditional* relation.
+/// The result recognizes the lexicographic reduction of `L(input)` induced
+/// by `order`.
+pub fn sleep_set_automaton(
+    pool: &mut TermPool,
+    program: &Program,
+    input: &Dfa<LetterId>,
+    order: &dyn PreferenceOrder,
+    oracle: &mut CommutativityOracle,
+) -> Dfa<LetterId> {
+    type SleepState = (StateId, BitSet, OrderContext);
+
+    let num_letters = program.num_letters();
+    let mut builder = DfaBuilder::new();
+    let mut ids: HashMap<SleepState, StateId> = HashMap::new();
+
+    let start: SleepState = (input.initial(), BitSet::new(num_letters), 0);
+    let start_id = builder.add_state(input.is_accepting(start.0));
+    ids.insert(start.clone(), start_id);
+    let mut work = vec![start];
+
+    while let Some((q, sleep, ctx)) = work.pop() {
+        let from = ids[&(q, sleep.clone(), ctx)];
+        let enabled: Vec<LetterId> = input.enabled(q).collect();
+        for &a in &enabled {
+            if sleep.contains(a.index()) {
+                continue; // pruned: a smaller equivalent representative exists
+            }
+            let target = input.step(q, a).expect("enabled letter steps");
+            // S' = {b ∈ enabled(q) | (b ∈ S ∨ b <q a) ∧ a ↷↷ b}
+            let mut next_sleep = BitSet::new(num_letters);
+            for &b in &enabled {
+                let earlier = sleep.contains(b.index()) || order.less(ctx, b, a, program);
+                if earlier && oracle.commute(pool, program, a, b) {
+                    next_sleep.insert(b.index());
+                }
+            }
+            let next_ctx = order.step(ctx, a, program);
+            let key: SleepState = (target, next_sleep, next_ctx);
+            let to = match ids.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = builder.add_state(input.is_accepting(target));
+                    ids.insert(key.clone(), id);
+                    work.push(key);
+                    id
+                }
+            };
+            builder.add_transition(from, a, to);
+        }
+    }
+    builder.build(start_id)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::mazurkiewicz::{check_reduction_minimal, check_reduction_sound};
+    use crate::order::{RandomOrder, SeqOrder};
+    use automata::explore::accepted_words;
+    use program::commutativity::CommutativityLevel;
+    use program::concurrent::Spec;
+    use program::stmt::{SimpleStmt, Statement};
+    use program::thread::{Thread, ThreadId};
+    use automata::dfa::DfaBuilder as CfgBuilder;
+
+    /// n threads, each writing its own variable k times — full commutativity
+    /// across threads.
+    fn independent_program(pool: &mut TermPool, n: u32, k: u32) -> Program {
+        let mut b = Program::builder("independent");
+        let mut letters = Vec::new();
+        for t in 0..n {
+            let v = pool.var(&format!("x{t}"));
+            b.add_global(v, 0);
+            let mut ls = Vec::new();
+            for s in 0..k {
+                ls.push(b.add_statement(Statement::simple(
+                    ThreadId(t),
+                    &format!("t{t}s{s}"),
+                    SimpleStmt::Havoc(v),
+                    pool,
+                )));
+            }
+            letters.push(ls);
+        }
+        for t in 0..n as usize {
+            let mut cfg = CfgBuilder::new();
+            let mut prev = cfg.add_state(k == 0);
+            let entry = prev;
+            for s in 0..k as usize {
+                let next = cfg.add_state(s + 1 == k as usize);
+                cfg.add_transition(prev, letters[t][s], next);
+                prev = next;
+            }
+            b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(k as usize + 1)));
+        }
+        b.build(pool)
+    }
+
+    /// Figure 3's shape: two threads with letters {a1, b1} and {a2, b2},
+    /// ai/bj commute across threads... here all cross-thread letters
+    /// commute (distinct variables).
+    #[test]
+    fn figure3_sleep_set_prunes_paths_not_states() {
+        let mut pool = TermPool::new();
+        let p = independent_program(&mut pool, 2, 2);
+        let product = p.explicit_product(Spec::PrePost);
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Syntactic);
+        let sleep = sleep_set_automaton(&mut pool, &p, &product, &SeqOrder::new(), &mut oracle);
+        // Exactly one representative per class: the full language of 2+2
+        // interleavings is C(4,2) = 6 words; the reduction keeps 1.
+        let full = accepted_words(&product, 4);
+        assert_eq!(full.len(), 6);
+        let reduced = accepted_words(&sleep, 4);
+        assert_eq!(reduced.len(), 1, "full commutativity: single class");
+        // Under seq order the representative is thread 0 first.
+        assert_eq!(
+            reduced[0],
+            vec![LetterId(0), LetterId(1), LetterId(2), LetterId(3)]
+        );
+    }
+
+    #[test]
+    fn sleep_reduction_is_sound_and_minimal() {
+        let mut pool = TermPool::new();
+        let p = independent_program(&mut pool, 3, 1);
+        let product = p.explicit_product(Spec::PrePost);
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Syntactic);
+        for order in [
+            Box::new(SeqOrder::new()) as Box<dyn PreferenceOrder>,
+            Box::new(RandomOrder::new(3)),
+        ] {
+            let sleep =
+                sleep_set_automaton(&mut pool, &p, &product, order.as_ref(), &mut oracle);
+            let full = accepted_words(&product, 3);
+            let reduced = accepted_words(&sleep, 3);
+            let commute = |a: LetterId, b: LetterId| {
+                p.thread_of(a) != p.thread_of(b) // independent program: all cross-thread commute
+            };
+            check_reduction_sound(&full, &reduced, commute).expect("sound");
+            check_reduction_minimal(&reduced, commute).expect("minimal");
+            assert_eq!(reduced.len(), 1);
+        }
+    }
+
+    #[test]
+    fn dependent_letters_are_not_pruned() {
+        // Two threads writing the SAME variable: nothing commutes, the
+        // reduction is the full language.
+        let mut pool = TermPool::new();
+        let mut b = Program::builder("conflict");
+        let x = pool.var("x");
+        b.add_global(x, 0);
+        let l0 = b.add_statement(Statement::simple(
+            ThreadId(0),
+            "x := 1",
+            SimpleStmt::Assign(x, smt::LinExpr::constant(1)),
+            &pool,
+        ));
+        let l1 = b.add_statement(Statement::simple(
+            ThreadId(1),
+            "x := 2",
+            SimpleStmt::Assign(x, smt::LinExpr::constant(2)),
+            &pool,
+        ));
+        for l in [l0, l1] {
+            let mut cfg = CfgBuilder::new();
+            let entry = cfg.add_state(false);
+            let exit = cfg.add_state(true);
+            cfg.add_transition(entry, l, exit);
+            b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(2)));
+        }
+        let p = b.build(&mut pool);
+        let product = p.explicit_product(Spec::PrePost);
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+        let sleep = sleep_set_automaton(&mut pool, &p, &product, &SeqOrder::new(), &mut oracle);
+        assert_eq!(accepted_words(&sleep, 2).len(), 2, "both orders kept");
+    }
+
+    #[test]
+    fn sleep_states_can_exceed_input_states() {
+        // Unrolling duplicates states (the paper notes sleep sets do not
+        // reduce the state count).
+        let mut pool = TermPool::new();
+        let p = independent_program(&mut pool, 2, 2);
+        let product = p.explicit_product(Spec::PrePost);
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Syntactic);
+        let sleep = sleep_set_automaton(&mut pool, &p, &product, &SeqOrder::new(), &mut oracle);
+        assert!(
+            sleep.num_states() >= product.num_states() - 2,
+            "sleep construction does not shrink the state space: {} vs {}",
+            sleep.num_states(),
+            product.num_states()
+        );
+        // And it contains useless (non-co-reachable) states — the problem
+        // persistent sets solve (§6).
+        let useless = sleep.num_states() - sleep.trim().num_states();
+        assert!(useless > 0, "expected sleep-set-blocked states");
+    }
+}

@@ -1,0 +1,152 @@
+//! The §6.1 membrane theory: Figure 4's two counterexamples showing that
+//! *weakly persistent* sets alone allow unsound pruning on general
+//! automata (Prop 6.5: the pruned edge set must also be a membrane), and
+//! that Algorithm 1's sets are membranes on actual programs.
+
+use automata::bitset::BitSet;
+use automata::dfa::{Dfa, DfaBuilder};
+use automata::explore::accepted_words;
+use program::commutativity::{CommutativityLevel, CommutativityOracle};
+use program::concurrent::{LetterId, Program};
+use program::stmt::{SimpleStmt, Statement};
+use program::thread::{Thread, ThreadId};
+use reduction::mazurkiewicz::check_reduction_sound;
+use reduction::order::SeqOrder;
+use reduction::persistent::{MembraneMode, PersistentSets};
+use smt::linear::LinExpr;
+use smt::term::TermPool;
+
+/// Letters as plain chars; full commutativity between 'a's and 'b'.
+fn commute(x: char, y: char) -> bool {
+    x != y
+}
+
+/// Figure 4(b): language {ab, b} (and a dead a-successor continuation).
+/// The set {a} is weakly persistent at the initial state but NOT a
+/// membrane; pruning the b-edge loses the class of the word "b".
+#[test]
+fn figure_4b_weakly_persistent_pruning_is_unsound_without_membrane() {
+    // q0 --a--> q1 --b--> q2(acc);  q0 --b--> q3(acc)
+    let mut b = DfaBuilder::new();
+    let q0 = b.add_state(false);
+    let q1 = b.add_state(false);
+    let q2 = b.add_state(true);
+    let q3 = b.add_state(true);
+    b.add_transition(q0, 'a', q1);
+    b.add_transition(q1, 'b', q2);
+    b.add_transition(q0, 'b', q3);
+    let full: Dfa<char> = b.build(q0);
+
+    // Weak persistence of {a} at q0: every accepted word from q0 either
+    // starts with a ∈ M, or is "b" whose only letter commutes with a —
+    // the quantifier in Def. 6.1 is vacuously satisfied.
+    // Membrane: FAILS — "b" contains no letter of {a}.
+    // Prune accordingly: drop the b-edge at q0.
+    let mut p = DfaBuilder::new();
+    let p0 = p.add_state(false);
+    let p1 = p.add_state(false);
+    let p2 = p.add_state(true);
+    p.add_transition(p0, 'a', p1);
+    p.add_transition(p1, 'b', p2);
+    let pruned: Dfa<char> = p.build(p0);
+
+    let full_words = accepted_words(&full, 3);
+    let pruned_words = accepted_words(&pruned, 3);
+    let verdict = check_reduction_sound(&full_words, &pruned_words, commute);
+    assert_eq!(
+        verdict,
+        Err(vec!['b']),
+        "the class of the word b must be reported unrepresented"
+    );
+}
+
+/// Figure 4(a), the ignoring problem: two states in an a-cycle, each with
+/// a b-exit. Persistent sets {a1} and {a2} at the two states prune *all*
+/// b-transitions — the pruned automaton accepts nothing although the
+/// original language is nonempty.
+#[test]
+fn figure_4a_ignoring_problem() {
+    // s0 --a1--> s1 --a2--> s0 (cycle); s0 --b--> acc; s1 --b--> acc.
+    let mut b = DfaBuilder::new();
+    let s0 = b.add_state(false);
+    let s1 = b.add_state(false);
+    let acc = b.add_state(true);
+    b.add_transition(s0, 'x', s1); // a1
+    b.add_transition(s1, 'y', s0); // a2
+    b.add_transition(s0, 'b', acc);
+    b.add_transition(s1, 'b', acc);
+    let full: Dfa<char> = b.build(s0);
+
+    // Prune b everywhere (the persistent sets {a1}/{a2} allow it when b
+    // commutes with both, because no accepted word is ever reached to
+    // contradict weak persistence... which is exactly the ignoring
+    // problem).
+    let mut p = DfaBuilder::new();
+    let t0 = p.add_state(false);
+    let t1 = p.add_state(false);
+    p.add_transition(t0, 'x', t1);
+    p.add_transition(t1, 'y', t0);
+    let pruned: Dfa<char> = p.build(t0);
+
+    assert!(!full.is_empty());
+    assert!(pruned.is_empty(), "all accepting paths pruned");
+    let verdict = check_reduction_sound(
+        &accepted_words(&full, 3),
+        &accepted_words(&pruned, 3),
+        |x: char, y: char| (x == 'b') != (y == 'b') || commute(x, y),
+    );
+    assert!(verdict.is_err(), "the empty language is not a reduction");
+}
+
+/// Algorithm 1 on a *program* with the Figure 4(b) shape: thread 0 may
+/// stop after one step (the "b" word corresponds to the other thread
+/// finishing first). The computed membrane keeps enough edges that the
+/// reduction stays sound.
+#[test]
+fn algorithm_1_sets_are_membranes_on_programs() {
+    let mut pool = TermPool::new();
+    let mut b = Program::builder("fig4-program");
+    let x = pool.var("x");
+    let y = pool.var("y");
+    b.add_global(x, 0);
+    b.add_global(y, 0);
+    let a_letter = b.add_statement(Statement::simple(
+        ThreadId(0),
+        "a",
+        SimpleStmt::Assign(x, LinExpr::constant(1)),
+        &pool,
+    ));
+    let b_letter = b.add_statement(Statement::simple(
+        ThreadId(1),
+        "b",
+        SimpleStmt::Assign(y, LinExpr::constant(1)),
+        &pool,
+    ));
+    {
+        let mut cfg = DfaBuilder::new();
+        let entry = cfg.add_state(true); // may stop immediately
+        let exit = cfg.add_state(true);
+        cfg.add_transition(entry, a_letter, exit);
+        b.add_thread(Thread::new("t0", cfg.build(entry), BitSet::new(2)));
+    }
+    {
+        let mut cfg = DfaBuilder::new();
+        let entry = cfg.add_state(false);
+        let exit = cfg.add_state(true);
+        cfg.add_transition(entry, b_letter, exit);
+        b.add_thread(Thread::new("t1", cfg.build(entry), BitSet::new(2)));
+    }
+    let p = b.build(&mut pool);
+    let mut oracle = CommutativityOracle::new(CommutativityLevel::Syntactic);
+    let ps = PersistentSets::new(&mut pool, &p, &mut oracle);
+    let q0 = p.initial_state();
+    let m = ps.compute(&p, &q0, &SeqOrder::new(), 0, MembraneMode::Terminal);
+    // The membrane must be nonempty; under the Terminal mode every
+    // accepted word (both threads end at an accepting location) passes
+    // through the active threads' actions.
+    assert!(!m.is_empty());
+    // Whichever single thread is chosen, its letter is on every accepted
+    // word's path... for this program both threads must still move, so any
+    // conflict-closed set of active threads is a membrane.
+    assert!(m.contains(&LetterId(0)) || m.contains(&LetterId(1)));
+}

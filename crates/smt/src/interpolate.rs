@@ -1,0 +1,280 @@
+//! Farkas-style sequence interpolants for conjunctive constraint systems.
+//!
+//! Given blocks `B₀, …, Bₘ` of linear constraints (over SSA variables)
+//! whose conjunction is infeasible over ℚ, a Farkas certificate yields a
+//! *sequence interpolant*: the partial weighted sums
+//! `Iₖ = Σ_{i ∈ B₀..Bₖ} λᵢ·exprᵢ ≤ 0`. Each `Iₖ` is a single linear
+//! inequality over the variables shared between the prefix and the suffix
+//! (all other variables cancel, because the full sum is a constant), the
+//! chain starts at a consequence of `B₀`, every step is inductive, and the
+//! final element is `false`.
+//!
+//! This is the classic interpolation scheme of LIA-based model checkers —
+//! the engine behind the paper's counting assertions like
+//! `pendingIo ≥ C`. The strongest-postcondition engine in the verifier
+//! crate remains the general fallback (Farkas requires conjunctive blocks
+//! and rational infeasibility).
+
+use crate::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel};
+use crate::rational::Rat;
+use crate::simplex::{check_rational_with_certificate, CertResult};
+
+/// One element of a Farkas interpolant chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Interpolant {
+    /// The trivially true interpolant (empty partial sum).
+    True,
+    /// The contradictory final interpolant.
+    False,
+    /// A single inequality `expr ≤ 0`.
+    Constraint(LinearConstraint),
+}
+
+/// Computes sequence interpolants for the given constraint blocks, or
+/// `None` if the conjunction is not *rationally* infeasible (or the
+/// arithmetic overflowed).
+///
+/// The result has `blocks.len() + 1` entries: entry `k` holds after blocks
+/// `0..k` (so entry 0 is `True` and the last entry is `False`).
+///
+/// # Example
+///
+/// ```
+/// use smt::interpolate::{farkas_sequence_interpolants, Interpolant};
+/// use smt::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel, VarId};
+///
+/// let x = VarId(0);
+/// let mk = |e, r| match LinearConstraint::new(e, r) {
+///     NormalizedConstraint::Constraint(c) => c,
+///     _ => unreachable!(),
+/// };
+/// // B0: x ≥ 5, B1: x ≤ 2.
+/// let b0 = vec![mk(LinExpr::constant(5).sub(&LinExpr::var(x)), Rel::Le0)];
+/// let b1 = vec![mk(LinExpr::var(x).sub(&LinExpr::constant(2)), Rel::Le0)];
+/// let chain = farkas_sequence_interpolants(&[b0, b1]).unwrap();
+/// assert_eq!(chain.len(), 3);
+/// assert_eq!(chain[0], Interpolant::True);
+/// assert_eq!(chain[2], Interpolant::False);
+/// // chain[1] is (a scaling of) 5 − x ≤ 0, i.e. x ≥ 5.
+/// ```
+pub fn farkas_sequence_interpolants(
+    blocks: &[Vec<LinearConstraint>],
+) -> Option<Vec<Interpolant>> {
+    let flat: Vec<LinearConstraint> = blocks.iter().flatten().cloned().collect();
+    let block_of: Vec<usize> = blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(b, cs)| std::iter::repeat_n(b, cs.len()))
+        .collect();
+    let certificate = match check_rational_with_certificate(&flat) {
+        CertResult::Unsat(c) => c,
+        _ => return None,
+    };
+    debug_assert!(certificate.validate(&flat), "invalid Farkas certificate");
+
+    // Integer-scale the coefficients (lcm of denominators).
+    let mut scale: i128 = 1;
+    for &(_, c) in &certificate.coefficients {
+        let d = c.denominator();
+        let g = crate::rational::gcd(scale, d);
+        scale = scale.checked_mul(d / g)?;
+    }
+    let mut weights: Vec<(usize, i128)> = Vec::with_capacity(certificate.coefficients.len());
+    for &(i, c) in &certificate.coefficients {
+        let w = c.mul(Rat::from_int(scale)).ok()?.to_integer()?;
+        weights.push((i, w));
+    }
+
+    // Partial sums per block prefix.
+    let mut chain = Vec::with_capacity(blocks.len() + 1);
+    chain.push(Interpolant::True);
+    let mut sum = LinExpr::zero();
+    for k in 0..blocks.len() {
+        for &(i, w) in &weights {
+            if block_of[i] == k {
+                sum = sum.add(&flat[i].expr().scale(w));
+            }
+        }
+        chain.push(match LinearConstraint::new(sum.clone(), Rel::Le0) {
+            NormalizedConstraint::True => Interpolant::True,
+            NormalizedConstraint::False => Interpolant::False,
+            NormalizedConstraint::Constraint(c) => Interpolant::Constraint(c),
+        });
+    }
+    // The full sum is a positive constant ⇒ the last entry must be False.
+    debug_assert_eq!(chain.last(), Some(&Interpolant::False));
+    Some(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::VarId;
+    use crate::simplex::FarkasCertificate;
+
+    fn mk(e: LinExpr, r: Rel) -> LinearConstraint {
+        match LinearConstraint::new(e, r) {
+            NormalizedConstraint::Constraint(c) => c,
+            other => panic!("trivial {other:?}"),
+        }
+    }
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    /// x0 = 0; x1 = x0 + 1; …; xn = x(n−1) + 1; xn ≤ n − 1: infeasible.
+    fn ssa_chain(n: usize) -> Vec<Vec<LinearConstraint>> {
+        let mut blocks = vec![vec![mk(LinExpr::var(v(0)), Rel::Eq0)]];
+        for i in 0..n {
+            let step = LinExpr::var(v(i as u32 + 1))
+                .sub(&LinExpr::var(v(i as u32)))
+                .sub(&LinExpr::constant(1));
+            blocks.push(vec![mk(step, Rel::Eq0)]);
+        }
+        blocks.push(vec![mk(
+            LinExpr::var(v(n as u32)).sub(&LinExpr::constant(n as i128 - 1)),
+            Rel::Le0,
+        )]);
+        blocks
+    }
+
+    #[test]
+    fn certificate_extraction_and_validation() {
+        let x = v(0);
+        let y = v(1);
+        // x + y ≥ 5, x ≤ 1, y ≤ 2.
+        let cs = vec![
+            mk(
+                LinExpr::constant(5)
+                    .sub(&LinExpr::var(x))
+                    .sub(&LinExpr::var(y)),
+                Rel::Le0,
+            ),
+            mk(LinExpr::var(x).sub(&LinExpr::constant(1)), Rel::Le0),
+            mk(LinExpr::var(y).sub(&LinExpr::constant(2)), Rel::Le0),
+        ];
+        match check_rational_with_certificate(&cs) {
+            CertResult::Unsat(cert) => {
+                assert!(cert.validate(&cs), "{cert:?}");
+                assert!(cert.coefficients.len() >= 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn certificate_with_equalities() {
+        let x = v(0);
+        let y = v(1);
+        // x = y, y = x + 1.
+        let cs = vec![
+            mk(LinExpr::var(x).sub(&LinExpr::var(y)), Rel::Eq0),
+            mk(
+                LinExpr::var(y).sub(&LinExpr::var(x)).sub(&LinExpr::constant(1)),
+                Rel::Eq0,
+            ),
+        ];
+        match check_rational_with_certificate(&cs) {
+            CertResult::Unsat(cert) => assert!(cert.validate(&cs), "{cert:?}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sat_systems_have_no_certificate() {
+        let x = v(0);
+        let cs = vec![mk(LinExpr::var(x).sub(&LinExpr::constant(3)), Rel::Le0)];
+        assert!(matches!(
+            check_rational_with_certificate(&cs),
+            CertResult::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn invalid_certificates_rejected() {
+        let x = v(0);
+        let cs = vec![mk(LinExpr::var(x), Rel::Le0)];
+        // Sum is not a positive constant.
+        let bogus = FarkasCertificate {
+            coefficients: vec![(0, Rat::ONE)],
+        };
+        assert!(!bogus.validate(&cs));
+        // Negative weight on a ≤-constraint.
+        let negative = FarkasCertificate {
+            coefficients: vec![(0, Rat::ONE.neg().unwrap())],
+        };
+        assert!(!negative.validate(&cs));
+    }
+
+    #[test]
+    fn chain_shape_on_ssa_counter() {
+        let blocks = ssa_chain(3);
+        let chain = farkas_sequence_interpolants(&blocks).expect("infeasible");
+        assert_eq!(chain.len(), blocks.len() + 1);
+        assert_eq!(chain[0], Interpolant::True);
+        assert_eq!(*chain.last().unwrap(), Interpolant::False);
+        // The interior interpolants are single inequalities over the
+        // current SSA version only — the "counting" shape.
+        for (k, ip) in chain.iter().enumerate().skip(1).take(blocks.len() - 1) {
+            let Interpolant::Constraint(c) = ip else {
+                panic!("interior interpolant {k} is {ip:?}")
+            };
+            assert_eq!(
+                c.expr().terms().len(),
+                1,
+                "expected a single-variable bound, got {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_is_inductive() {
+        // Validate {I_k} B_{k+1} {I_{k+1}} semantically: I_k ∧ B_{k+1} ∧
+        // ¬I_{k+1} must be rationally infeasible.
+        use crate::simplex::{check_rational, SimplexResult};
+        let blocks = ssa_chain(4);
+        let chain = farkas_sequence_interpolants(&blocks).expect("infeasible");
+        for k in 0..blocks.len() {
+            let mut system: Vec<LinearConstraint> = Vec::new();
+            if let Interpolant::Constraint(c) = &chain[k] {
+                system.push(c.clone());
+            }
+            if let Interpolant::False = &chain[k] {
+                continue; // ⊥ implies everything
+            }
+            system.extend(blocks[k].iter().cloned());
+            match &chain[k + 1] {
+                Interpolant::True => continue,
+                Interpolant::False => {
+                    assert_eq!(
+                        check_rational(&system),
+                        SimplexResult::Unsat,
+                        "step {k} must derive ⊥"
+                    );
+                }
+                Interpolant::Constraint(c) => {
+                    for neg in c.negate() {
+                        let NormalizedConstraint::Constraint(n) = neg else {
+                            continue;
+                        };
+                        let mut sys = system.clone();
+                        sys.push(n);
+                        assert_eq!(
+                            check_rational(&sys),
+                            SimplexResult::Unsat,
+                            "step {k} not inductive"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_blocks_yield_none() {
+        let x = v(0);
+        let blocks = vec![vec![mk(LinExpr::var(x).sub(&LinExpr::constant(5)), Rel::Le0)]];
+        assert_eq!(farkas_sequence_interpolants(&blocks), None);
+    }
+}

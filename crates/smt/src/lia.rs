@@ -1,0 +1,274 @@
+//! Integer feasibility: rational simplex plus branch-and-bound.
+//!
+//! A conjunction of [`LinearConstraint`]s is first checked over ℚ. If the
+//! rational model is integral we are done; otherwise we branch on a
+//! fractional variable (`x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`) up to a node budget.
+//! Rational infeasibility soundly implies integer infeasibility; budget
+//! exhaustion yields [`LiaResult::Unknown`], which callers must treat
+//! conservatively.
+
+use crate::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel, VarId};
+
+use crate::simplex::{check_rational, SimplexResult};
+use std::collections::HashMap;
+
+/// Outcome of an integer feasibility check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LiaResult {
+    /// Feasible with an integer model.
+    Sat(HashMap<VarId, i128>),
+    /// Infeasible over ℤ.
+    Unsat,
+    /// Budget exhausted or arithmetic overflow — no verdict.
+    Unknown,
+}
+
+impl LiaResult {
+    /// `true` for [`LiaResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, LiaResult::Sat(_))
+    }
+
+    /// `true` for [`LiaResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, LiaResult::Unsat)
+    }
+}
+
+/// Default branch-and-bound node budget.
+pub const DEFAULT_BB_BUDGET: usize = 2_000;
+
+/// Checks integer feasibility of the conjunction of `constraints`.
+///
+/// # Example
+///
+/// ```
+/// use smt::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel, VarId};
+/// use smt::lia::{check_integer, LiaResult};
+///
+/// let x = VarId(0);
+/// let mk = |e, r| match LinearConstraint::new(e, r) {
+///     NormalizedConstraint::Constraint(c) => c,
+///     _ => unreachable!(),
+/// };
+/// // 2x = 1 normalizes straight to unsat; try 2x = y ∧ y = 3 ∧ 0 ≤ x ≤ 2:
+/// let y = VarId(1);
+/// let c1 = mk(LinExpr::var(x).scale(2).sub(&LinExpr::var(y)), Rel::Eq0);
+/// let c2 = mk(LinExpr::var(y).sub(&LinExpr::constant(3)), Rel::Eq0);
+/// let c3 = mk(LinExpr::constant(0).sub(&LinExpr::var(x)), Rel::Le0);
+/// let c4 = mk(LinExpr::var(x).sub(&LinExpr::constant(2)), Rel::Le0);
+/// assert_eq!(check_integer(&[c1, c2, c3, c4]), LiaResult::Unsat);
+/// ```
+pub fn check_integer(constraints: &[LinearConstraint]) -> LiaResult {
+    let mut budget = DEFAULT_BB_BUDGET;
+    branch_and_bound(constraints.to_vec(), &mut budget)
+}
+
+/// As [`check_integer`] with an explicit branch-and-bound node budget.
+pub fn check_integer_with_budget(constraints: &[LinearConstraint], mut budget: usize) -> LiaResult {
+    branch_and_bound(constraints.to_vec(), &mut budget)
+}
+
+fn branch_and_bound(constraints: Vec<LinearConstraint>, budget: &mut usize) -> LiaResult {
+    if *budget == 0 {
+        return LiaResult::Unknown;
+    }
+    *budget -= 1;
+    match check_rational(&constraints) {
+        SimplexResult::Unsat => LiaResult::Unsat,
+        SimplexResult::Unknown => LiaResult::Unknown,
+        SimplexResult::Sat(model) => {
+            // Find a fractional variable.
+            let fractional = model
+                .iter()
+                .filter(|(_, v)| !v.is_integer())
+                .min_by_key(|(var, _)| **var);
+            match fractional {
+                None => LiaResult::Sat(
+                    model
+                        .into_iter()
+                        .map(|(v, r)| (v, r.to_integer().expect("integral model")))
+                        .collect(),
+                ),
+                Some((&var, &val)) => {
+                    // Branch x ≤ ⌊v⌋, then x ≥ ⌈v⌉.
+                    let floor = val.floor();
+                    let ceil = val.ceil();
+                    let left = bound_constraint(var, floor, BoundKind::Upper);
+                    let right = bound_constraint(var, ceil, BoundKind::Lower);
+
+                    let mut saw_unknown = false;
+                    for extra in [left, right] {
+                        let mut cs = constraints.clone();
+                        match extra {
+                            NormalizedConstraint::True => {
+                                // Bound is trivially true — cannot happen for
+                                // a genuinely fractional value, but keep the
+                                // branch sound by re-solving unchanged would
+                                // loop; treat as unknown instead.
+                                saw_unknown = true;
+                                continue;
+                            }
+                            NormalizedConstraint::False => continue,
+                            NormalizedConstraint::Constraint(c) => cs.push(c),
+                        }
+                        match branch_and_bound(cs, budget) {
+                            LiaResult::Sat(m) => return LiaResult::Sat(m),
+                            LiaResult::Unsat => {}
+                            LiaResult::Unknown => saw_unknown = true,
+                        }
+                    }
+                    if saw_unknown {
+                        LiaResult::Unknown
+                    } else {
+                        LiaResult::Unsat
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum BoundKind {
+    Upper,
+    Lower,
+}
+
+fn bound_constraint(var: VarId, k: i128, kind: BoundKind) -> NormalizedConstraint {
+    let e = match kind {
+        BoundKind::Upper => LinExpr::var(var).sub(&LinExpr::constant(k)),
+        BoundKind::Lower => LinExpr::constant(k).sub(&LinExpr::var(var)),
+    };
+    LinearConstraint::new(e, Rel::Le0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(e: LinExpr, r: Rel) -> LinearConstraint {
+        match LinearConstraint::new(e, r) {
+            NormalizedConstraint::Constraint(c) => c,
+            other => panic!("trivial {other:?}"),
+        }
+    }
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+
+    fn le(e: LinExpr, k: i128) -> LinearConstraint {
+        mk(e.sub(&LinExpr::constant(k)), Rel::Le0)
+    }
+    fn ge(e: LinExpr, k: i128) -> LinearConstraint {
+        mk(LinExpr::constant(k).sub(&e), Rel::Le0)
+    }
+    fn eq(e: LinExpr, k: i128) -> LinearConstraint {
+        mk(e.sub(&LinExpr::constant(k)), Rel::Eq0)
+    }
+
+    #[test]
+    fn integral_model_direct() {
+        let cs = [ge(LinExpr::var(x()), 2), le(LinExpr::var(x()), 2)];
+        match check_integer(&cs) {
+            LiaResult::Sat(m) => assert_eq!(m[&x()], 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn branching_finds_integer_point() {
+        // 2x + 2y = 6, x ≥ 1, y ≥ 1 → (1, 2) etc.; rational vertex may be
+        // fractional depending on pivoting but integers exist.
+        let cs = [
+            eq(LinExpr::var(x()).scale(2).add(&LinExpr::var(y()).scale(2)), 6),
+            ge(LinExpr::var(x()), 1),
+            ge(LinExpr::var(y()), 1),
+        ];
+        match check_integer(&cs) {
+            LiaResult::Sat(m) => {
+                assert_eq!(2 * m[&x()] + 2 * m[&y()], 6);
+                assert!(m[&x()] >= 1 && m[&y()] >= 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rational_sat_integer_unsat() {
+        // 2x = 2y + 1 is normalized away, so use: 1 ≤ 2x ≤ 1 via two
+        // inequalities that *don't* normalize jointly:
+        // 2x ≥ 1 ⇒ x ≥ 1 (tightened), 2x ≤ 1 ⇒ x ≤ 0 (tightened).
+        // Tightening already resolves it — good; check the result is unsat.
+        let cs = [
+            ge(LinExpr::var(x()).scale(2), 1),
+            le(LinExpr::var(x()).scale(2), 1),
+        ];
+        assert_eq!(check_integer(&cs), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn branch_and_bound_gap() {
+        // x + y = 1, 3 ≤ 3x − 3y... use: 2x + 4y = 5 has no integer
+        // solution but constructing it directly is normalized to unsat by
+        // the gcd check. A genuine B&B case: x ≥ 0, y ≥ 0,
+        // 3x + 3y ≤ 4 (⇒ x + y ≤ 1 after tightening), 2x + 2y ≥ 1
+        // (⇒ x + y ≥ 1), so x + y = 1: integral points exist (1,0).
+        let cs = [
+            ge(LinExpr::var(x()), 0),
+            ge(LinExpr::var(y()), 0),
+            le(LinExpr::var(x()).scale(3).add(&LinExpr::var(y()).scale(3)), 4),
+            ge(LinExpr::var(x()).scale(2).add(&LinExpr::var(y()).scale(2)), 1),
+        ];
+        assert!(check_integer(&cs).is_sat());
+    }
+
+    #[test]
+    fn mixed_coefficient_unsat_needs_branching() {
+        // 0 ≤ x ≤ 1, 0 ≤ y ≤ 1, 2x + 2y = 2 has solutions (1,0),(0,1);
+        // adding x = y forces x = y = 1/2 over ℚ → integer unsat.
+        let cs = [
+            ge(LinExpr::var(x()), 0),
+            le(LinExpr::var(x()), 1),
+            ge(LinExpr::var(y()), 0),
+            le(LinExpr::var(y()), 1),
+            eq(LinExpr::var(x()).add(&LinExpr::var(y())), 1),
+            eq(LinExpr::var(x()).sub(&LinExpr::var(y())), 0),
+        ];
+        assert_eq!(check_integer(&cs), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_unknown() {
+        let cs = [
+            eq(LinExpr::var(x()).add(&LinExpr::var(y())), 1),
+            eq(LinExpr::var(x()).sub(&LinExpr::var(y())), 0),
+        ];
+        assert_eq!(check_integer_with_budget(&cs, 0), LiaResult::Unknown);
+    }
+
+    #[test]
+    fn empty_is_sat() {
+        assert!(check_integer(&[]).is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_all_constraints() {
+        let cs = [
+            ge(LinExpr::var(x()).add(&LinExpr::var(y())), 7),
+            le(LinExpr::var(x()).sub(&LinExpr::var(y())), -1),
+            le(LinExpr::var(y()), 10),
+        ];
+        match check_integer(&cs) {
+            LiaResult::Sat(m) => {
+                for c in &cs {
+                    assert!(c.eval(|v| m[&v]), "model violates {c:?}");
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

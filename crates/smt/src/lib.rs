@@ -1,0 +1,57 @@
+//! A self-contained SMT solver for quantifier-free linear integer
+//! arithmetic (QF-LIA), built for the sound-sequentialization verifier.
+//!
+//! The paper's tool discharges three kinds of queries through an SMT
+//! solver, all over linear integer arithmetic:
+//!
+//! 1. **trace feasibility** — is the SSA encoding of a counterexample trace
+//!    satisfiable? ([`solver::check`], exact via simplex + branch-and-bound)
+//! 2. **Hoare triple validity / entailment** — does a candidate assertion
+//!    survive a statement? ([`solver::entails`], [`solver::is_valid`])
+//! 3. **(conditional) commutativity** — do `a;b` and `b;a` have the same
+//!    transition semantics under a context assertion φ?
+//!    ([`solver::equivalent`])
+//!
+//! The crate is layered bottom-up:
+//!
+//! * [`rational`] — checked `i128` rationals for the simplex core;
+//! * [`linear`] — linear expressions and normalized constraints (the atom
+//!   language; negation is integer-exact and eliminated at construction);
+//! * [`term`] — hash-consed, negation-free formulas over those atoms;
+//! * [`simplex`] — rational feasibility (Dutertre–de Moura general simplex);
+//! * [`lia`] — integer feasibility via branch-and-bound;
+//! * [`solver`] — DPLL(T) over the monotone formula structure;
+//! * [`unsat_core`] — deletion-based cores (drives trace slicing);
+//! * [`cube`] — cubes/DNF with variable elimination (drives strongest-
+//!   postcondition interpolation).
+//!
+//! All verdicts are conservative: `Unknown` results (budget exhaustion or
+//! `i128` overflow) are never reported as `Sat`/`Unsat`.
+//!
+//! # Example
+//!
+//! ```
+//! use smt::term::TermPool;
+//! use smt::solver::{check, entails};
+//!
+//! let mut pool = TermPool::new();
+//! let pending = pool.var("pendingIo");
+//! let ge2 = pool.ge_const(pending, 2);
+//! let ge1 = pool.ge_const(pending, 1);
+//! assert!(entails(&mut pool, ge2, ge1));
+//! assert!(check(&mut pool, &[ge2]).is_sat());
+//! ```
+
+pub mod cube;
+pub mod interpolate;
+pub mod lia;
+pub mod linear;
+pub mod rational;
+pub mod simplex;
+pub mod solver;
+pub mod term;
+pub mod unsat_core;
+
+pub use linear::{LinExpr, LinearConstraint, Rel, VarId};
+pub use solver::{check, entails, equivalent, is_valid, Model, SatResult};
+pub use term::{Term, TermId, TermPool};

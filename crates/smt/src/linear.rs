@@ -1,0 +1,522 @@
+//! Linear integer expressions and constraints — the atom language of the
+//! solver.
+//!
+//! Program expressions lower to [`LinExpr`] (an integer-coefficient linear
+//! combination of variables plus a constant); atomic formulas are
+//! [`LinearConstraint`]s of the form `e ≤ 0` or `e = 0`. Strict
+//! inequalities and negations are eliminated at construction using the
+//! integrality of the variables (`¬(e ≤ 0) ⇔ 1 − e ≤ 0`), so downstream
+//! components never see a negated atom.
+
+use crate::rational::gcd;
+use std::fmt;
+
+/// An interned integer variable.
+///
+/// Variables are created by [`crate::term::TermPool::var`] /
+/// [`crate::term::TermPool::fresh_var`]; the id indexes the pool's name
+/// table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable's index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + k` with `i128` coefficients.
+///
+/// Terms are kept sorted by variable with no zero coefficients, so equal
+/// expressions are structurally equal.
+///
+/// # Example
+///
+/// ```
+/// use smt::linear::{LinExpr, VarId};
+///
+/// let x = VarId(0);
+/// let y = VarId(1);
+/// let e = LinExpr::var(x).add(&LinExpr::var(y).scale(2)).add(&LinExpr::constant(3));
+/// assert_eq!(e.coeff(x), 1);
+/// assert_eq!(e.coeff(y), 2);
+/// assert_eq!(e.constant_term(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    /// `(variable, coefficient)`, sorted by variable, coefficients nonzero.
+    terms: Vec<(VarId, i128)>,
+    constant: i128,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// The constant expression `k`.
+    pub fn constant(k: i128) -> LinExpr {
+        LinExpr {
+            terms: Vec::new(),
+            constant: k,
+        }
+    }
+
+    /// The expression `x`.
+    pub fn var(x: VarId) -> LinExpr {
+        LinExpr {
+            terms: vec![(x, 1)],
+            constant: 0,
+        }
+    }
+
+    /// Builds an expression from raw parts; terms are normalized.
+    pub fn from_terms(terms: impl IntoIterator<Item = (VarId, i128)>, constant: i128) -> LinExpr {
+        let mut e = LinExpr::constant(constant);
+        for (v, c) in terms {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    /// The coefficient of `x` (zero if absent).
+    pub fn coeff(&self, x: VarId) -> i128 {
+        self.terms
+            .binary_search_by_key(&x, |&(v, _)| v)
+            .map(|i| self.terms[i].1)
+            .unwrap_or(0)
+    }
+
+    /// The constant part `k`.
+    pub fn constant_term(&self) -> i128 {
+        self.constant
+    }
+
+    /// The `(variable, coefficient)` pairs in variable order.
+    pub fn terms(&self) -> &[(VarId, i128)] {
+        &self.terms
+    }
+
+    /// `true` if the expression is a constant (no variables).
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The variables with nonzero coefficient, in order.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().map(|&(v, _)| v)
+    }
+
+    /// `true` if `x` occurs with nonzero coefficient.
+    pub fn mentions(&self, x: VarId) -> bool {
+        self.coeff(x) != 0
+    }
+
+    fn add_term(&mut self, x: VarId, c: i128) {
+        if c == 0 {
+            return;
+        }
+        match self.terms.binary_search_by_key(&x, |&(v, _)| v) {
+            Ok(i) => {
+                self.terms[i].1 += c;
+                if self.terms[i].1 == 0 {
+                    self.terms.remove(i);
+                }
+            }
+            Err(i) => self.terms.insert(i, (x, c)),
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for &(v, c) in &other.terms {
+            out.add_term(v, c);
+        }
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// `c · self`.
+    pub fn scale(&self, c: i128) -> LinExpr {
+        if c == 0 {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            terms: self.terms.iter().map(|&(v, k)| (v, k * c)).collect(),
+            constant: self.constant * c,
+        }
+    }
+
+    /// Replaces `x` by `replacement` (which must not mention `x`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `replacement` mentions `x`.
+    pub fn substitute(&self, x: VarId, replacement: &LinExpr) -> LinExpr {
+        debug_assert!(!replacement.mentions(x), "substitution must eliminate the variable");
+        let c = self.coeff(x);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.add_term(x, -c);
+        out.add(&replacement.scale(c))
+    }
+
+    /// Renames variables through `f` (used for SSA indexing). `f` must be
+    /// injective on the variables of `self`.
+    pub fn rename(&self, mut f: impl FnMut(VarId) -> VarId) -> LinExpr {
+        LinExpr::from_terms(self.terms.iter().map(|&(v, c)| (f(v), c)), self.constant)
+    }
+
+    /// Evaluates under `value`, a total assignment of the mentioned vars.
+    pub fn eval(&self, mut value: impl FnMut(VarId) -> i128) -> i128 {
+        self.terms
+            .iter()
+            .map(|&(v, c)| c * value(v))
+            .sum::<i128>()
+            + self.constant
+    }
+
+    /// The gcd of the variable coefficients (0 for constants).
+    pub fn coeff_gcd(&self) -> i128 {
+        self.terms.iter().fold(0, |g, &(_, c)| gcd(g, c))
+    }
+}
+
+impl fmt::Debug for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "{}", self.constant);
+        }
+        for (i, &(v, c)) in self.terms.iter().enumerate() {
+            if i == 0 {
+                if c == 1 {
+                    write!(f, "{v:?}")?;
+                } else if c == -1 {
+                    write!(f, "-{v:?}")?;
+                } else {
+                    write!(f, "{c}*{v:?}")?;
+                }
+            } else if c > 0 {
+                if c == 1 {
+                    write!(f, " + {v:?}")?;
+                } else {
+                    write!(f, " + {c}*{v:?}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - {v:?}")?;
+            } else {
+                write!(f, " - {}*{v:?}", -c)?;
+            }
+        }
+        match self.constant.signum() {
+            1 => write!(f, " + {}", self.constant),
+            -1 => write!(f, " - {}", -self.constant),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Relation of a [`LinearConstraint`]: `e ≤ 0` or `e = 0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rel {
+    /// `expr ≤ 0`.
+    Le0,
+    /// `expr = 0`.
+    Eq0,
+}
+
+/// The result of normalizing a constraint: trivially true/false constraints
+/// collapse to booleans.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NormalizedConstraint {
+    /// The constraint holds for every assignment.
+    True,
+    /// The constraint holds for no assignment.
+    False,
+    /// A nontrivial constraint.
+    Constraint(LinearConstraint),
+}
+
+/// An atomic linear constraint `expr REL 0` over integer variables.
+///
+/// Constructed in *normalized* form: coefficients are divided by their gcd
+/// (with floor-tightening of the constant for `≤`, and a divisibility check
+/// for `=` that can expose unsatisfiability).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LinearConstraint {
+    expr: LinExpr,
+    rel: Rel,
+}
+
+impl LinearConstraint {
+    /// Normalizes `expr rel 0`.
+    ///
+    /// Tightening uses integrality: `2x − 3 ≤ 0` becomes `x − 1 ≤ 0`, and
+    /// `2x − 3 = 0` becomes [`NormalizedConstraint::False`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use smt::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel, VarId};
+    ///
+    /// let x = VarId(0);
+    /// let e = LinExpr::var(x).scale(2).add(&LinExpr::constant(-3));
+    /// match LinearConstraint::new(e, Rel::Le0) {
+    ///     NormalizedConstraint::Constraint(c) => {
+    ///         assert_eq!(c.expr().coeff(x), 1);
+    ///         assert_eq!(c.expr().constant_term(), -1); // x ≤ 3/2 tightens to x ≤ 1
+    ///     }
+    ///     other => panic!("unexpected {other:?}"),
+    /// }
+    /// ```
+    #[allow(clippy::new_ret_no_self)] // normalization can collapse to ⊤/⊥
+    pub fn new(expr: LinExpr, rel: Rel) -> NormalizedConstraint {
+        if expr.is_constant() {
+            let k = expr.constant_term();
+            let holds = match rel {
+                Rel::Le0 => k <= 0,
+                Rel::Eq0 => k == 0,
+            };
+            return if holds {
+                NormalizedConstraint::True
+            } else {
+                NormalizedConstraint::False
+            };
+        }
+        let g = expr.coeff_gcd();
+        debug_assert!(g > 0);
+        let expr = if g > 1 {
+            match rel {
+                Rel::Le0 => {
+                    // Σ (cᵢ/g)·xᵢ ≤ floor(−k/g) · (−1): e ≤ 0 ⇔ Σcx ≤ −k
+                    // ⇔ Σ(c/g)x ≤ floor(−k/g) ⇔ Σ(c/g)x − floor(−k/g) ≤ 0.
+                    let k = expr.constant_term();
+                    let tightened = -((-k).div_euclid(g));
+                    LinExpr::from_terms(
+                        expr.terms().iter().map(|&(v, c)| (v, c / g)),
+                        tightened,
+                    )
+                }
+                Rel::Eq0 => {
+                    let k = expr.constant_term();
+                    if k.rem_euclid(g) != 0 {
+                        return NormalizedConstraint::False;
+                    }
+                    LinExpr::from_terms(expr.terms().iter().map(|&(v, c)| (v, c / g)), k / g)
+                }
+            }
+        } else {
+            expr
+        };
+        NormalizedConstraint::Constraint(LinearConstraint { expr, rel })
+    }
+
+    /// The negation `¬(expr rel 0)`, exact over the integers.
+    ///
+    /// `¬(e ≤ 0)` is the single constraint `1 − e ≤ 0`; `¬(e = 0)` is the
+    /// *disjunction* `e + 1 ≤ 0 ∨ 1 − e ≤ 0`, hence a `Vec`.
+    pub fn negate(&self) -> Vec<NormalizedConstraint> {
+        match self.rel {
+            Rel::Le0 => {
+                let neg = LinExpr::constant(1).sub(&self.expr);
+                vec![LinearConstraint::new(neg, Rel::Le0)]
+            }
+            Rel::Eq0 => {
+                let lt = self.expr.add(&LinExpr::constant(1));
+                let gt = LinExpr::constant(1).sub(&self.expr);
+                vec![
+                    LinearConstraint::new(lt, Rel::Le0),
+                    LinearConstraint::new(gt, Rel::Le0),
+                ]
+            }
+        }
+    }
+
+    /// The left-hand expression.
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The relation.
+    pub fn rel(&self) -> Rel {
+        self.rel
+    }
+
+    /// Evaluates the constraint under a total assignment.
+    pub fn eval(&self, value: impl FnMut(VarId) -> i128) -> bool {
+        let v = self.expr.eval(value);
+        match self.rel {
+            Rel::Le0 => v <= 0,
+            Rel::Eq0 => v == 0,
+        }
+    }
+
+    /// Substitutes `x := replacement` and re-normalizes.
+    pub fn substitute(&self, x: VarId, replacement: &LinExpr) -> NormalizedConstraint {
+        LinearConstraint::new(self.expr.substitute(x, replacement), self.rel)
+    }
+
+    /// Renames variables through `f` (must be injective on the constraint's
+    /// variables).
+    pub fn rename(&self, f: impl FnMut(VarId) -> VarId) -> LinearConstraint {
+        LinearConstraint {
+            expr: self.expr.rename(f),
+            rel: self.rel,
+        }
+    }
+}
+
+impl fmt::Debug for LinearConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rel = match self.rel {
+            Rel::Le0 => "<=",
+            Rel::Eq0 => "==",
+        };
+        write!(f, "{:?} {rel} 0", self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+
+    #[test]
+    fn expr_arithmetic_and_normal_form() {
+        let e = LinExpr::var(x())
+            .add(&LinExpr::var(x()))
+            .sub(&LinExpr::var(x()).scale(2));
+        assert!(e.is_constant());
+        assert_eq!(e, LinExpr::zero());
+        let f = LinExpr::var(x()).add(&LinExpr::var(y()).scale(-3)).add(&LinExpr::constant(7));
+        assert_eq!(f.coeff(x()), 1);
+        assert_eq!(f.coeff(y()), -3);
+        assert_eq!(f.coeff(VarId(9)), 0);
+    }
+
+    #[test]
+    fn substitute_eliminates() {
+        // x + 2y, x := y - 1  →  3y - 1
+        let e = LinExpr::var(x()).add(&LinExpr::var(y()).scale(2));
+        let r = LinExpr::var(y()).sub(&LinExpr::constant(1));
+        let s = e.substitute(x(), &r);
+        assert_eq!(s.coeff(y()), 3);
+        assert_eq!(s.constant_term(), -1);
+        assert!(!s.mentions(x()));
+    }
+
+    #[test]
+    fn eval_expr() {
+        let e = LinExpr::from_terms([(x(), 2), (y(), -1)], 5);
+        assert_eq!(e.eval(|v| if v == x() { 3 } else { 4 }), 2 * 3 - 4 + 5);
+    }
+
+    #[test]
+    fn constraint_tightening_le() {
+        // 2x - 3 <= 0  ⇔  x <= 1
+        let e = LinExpr::var(x()).scale(2).sub(&LinExpr::constant(3));
+        let NormalizedConstraint::Constraint(c) = LinearConstraint::new(e, Rel::Le0) else {
+            panic!("expected constraint")
+        };
+        assert_eq!(c.expr().coeff(x()), 1);
+        assert_eq!(c.expr().constant_term(), -1);
+    }
+
+    #[test]
+    fn constraint_divisibility_eq() {
+        // 2x - 3 = 0 is unsatisfiable over ℤ.
+        let e = LinExpr::var(x()).scale(2).sub(&LinExpr::constant(3));
+        assert_eq!(LinearConstraint::new(e, Rel::Eq0), NormalizedConstraint::False);
+        // 2x - 4 = 0  ⇔  x - 2 = 0
+        let e = LinExpr::var(x()).scale(2).sub(&LinExpr::constant(4));
+        let NormalizedConstraint::Constraint(c) = LinearConstraint::new(e, Rel::Eq0) else {
+            panic!("expected constraint")
+        };
+        assert_eq!(c.expr().constant_term(), -2);
+    }
+
+    #[test]
+    fn trivial_constraints_collapse() {
+        assert_eq!(
+            LinearConstraint::new(LinExpr::constant(-5), Rel::Le0),
+            NormalizedConstraint::True
+        );
+        assert_eq!(
+            LinearConstraint::new(LinExpr::constant(5), Rel::Le0),
+            NormalizedConstraint::False
+        );
+        assert_eq!(
+            LinearConstraint::new(LinExpr::zero(), Rel::Eq0),
+            NormalizedConstraint::True
+        );
+    }
+
+    #[test]
+    fn negation_is_exact_over_integers() {
+        // ¬(x ≤ 0) = (1 - x ≤ 0), i.e. x ≥ 1.
+        let NormalizedConstraint::Constraint(c) =
+            LinearConstraint::new(LinExpr::var(x()), Rel::Le0)
+        else {
+            panic!()
+        };
+        let neg = c.negate();
+        assert_eq!(neg.len(), 1);
+        let NormalizedConstraint::Constraint(n) = &neg[0] else {
+            panic!()
+        };
+        assert!(n.eval(|_| 1));
+        assert!(!n.eval(|_| 0));
+        // Exactness: for every integer value, exactly one of c, ¬c holds.
+        for v in -3..=3 {
+            assert_ne!(c.eval(|_| v), n.eval(|_| v));
+        }
+    }
+
+    #[test]
+    fn negation_of_equality_splits() {
+        let NormalizedConstraint::Constraint(c) =
+            LinearConstraint::new(LinExpr::var(x()).sub(&LinExpr::constant(2)), Rel::Eq0)
+        else {
+            panic!()
+        };
+        let neg = c.negate();
+        assert_eq!(neg.len(), 2);
+        for v in -1..=5 {
+            let holds_neg = neg.iter().any(|n| match n {
+                NormalizedConstraint::Constraint(n) => n.eval(|_| v),
+                NormalizedConstraint::True => true,
+                NormalizedConstraint::False => false,
+            });
+            assert_eq!(holds_neg, v != 2, "at {v}");
+        }
+    }
+
+    #[test]
+    fn debug_formats() {
+        let e = LinExpr::from_terms([(x(), 1), (y(), -2)], 3);
+        assert_eq!(format!("{e:?}"), "v0 - 2*v1 + 3");
+        assert_eq!(format!("{:?}", LinExpr::zero()), "0");
+    }
+}

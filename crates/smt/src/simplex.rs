@@ -1,0 +1,533 @@
+//! Feasibility of conjunctions of linear constraints over ℚ, via the
+//! general simplex procedure of Dutertre & de Moura (the algorithm used by
+//! most SMT solvers' arithmetic cores).
+//!
+//! Each input constraint `Σ cᵢxᵢ + k ⋈ 0` becomes a *slack variable*
+//! `s = Σ cᵢxᵢ` bounded by `−k` (upper bound for `≤`, both bounds for `=`).
+//! Program variables are unbounded. The procedure pivots with Bland's rule,
+//! which guarantees termination.
+
+use crate::linear::{LinearConstraint, Rel, VarId};
+use crate::rational::{ArithmeticOverflow, Rat};
+use std::collections::HashMap;
+
+/// Outcome of a rational feasibility check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimplexResult {
+    /// Feasible; a satisfying rational assignment for the program variables.
+    Sat(HashMap<VarId, Rat>),
+    /// Infeasible over ℚ (hence over ℤ).
+    Unsat,
+    /// Arithmetic overflow — no verdict.
+    Unknown,
+}
+
+/// Checks feasibility over ℚ of the conjunction of `constraints`.
+///
+/// # Example
+///
+/// ```
+/// use smt::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel, VarId};
+/// use smt::simplex::{check_rational, SimplexResult};
+///
+/// let x = VarId(0);
+/// let mk = |e, r| match LinearConstraint::new(e, r) {
+///     NormalizedConstraint::Constraint(c) => c,
+///     _ => unreachable!(),
+/// };
+/// // x ≥ 1 ∧ x ≤ 0 is infeasible.
+/// let c1 = mk(LinExpr::constant(1).sub(&LinExpr::var(x)), Rel::Le0);
+/// let c2 = mk(LinExpr::var(x), Rel::Le0);
+/// assert_eq!(check_rational(&[c1, c2]), SimplexResult::Unsat);
+/// ```
+pub fn check_rational(constraints: &[LinearConstraint]) -> SimplexResult {
+    match Tableau::new(constraints).and_then(|mut t| {
+        t.check()?;
+        Ok(t.feasible.then(|| t.model()))
+    }) {
+        Ok(Some(model)) => SimplexResult::Sat(model),
+        Ok(None) => SimplexResult::Unsat,
+        Err(ArithmeticOverflow) => SimplexResult::Unknown,
+    }
+}
+
+/// A Farkas certificate of rational infeasibility: coefficients `λᵢ` such
+/// that `Σ λᵢ·exprᵢ` is a *positive constant* while every `exprᵢ ⋈ 0`
+/// requires it to be ≤ 0. Coefficients of `≤`-constraints are nonnegative;
+/// equality constraints may take either sign.
+///
+/// Certificates drive Farkas-style sequence interpolation
+/// ([`crate::interpolate`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FarkasCertificate {
+    /// `(constraint index, coefficient)` pairs, coefficient ≠ 0.
+    pub coefficients: Vec<(usize, Rat)>,
+}
+
+impl FarkasCertificate {
+    /// Checks the certificate against the constraints it was produced for:
+    /// the weighted sum must have no variables and a positive constant, and
+    /// `≤`-constraints must carry nonnegative weights.
+    pub fn validate(&self, constraints: &[LinearConstraint]) -> bool {
+        use crate::linear::LinExpr;
+        let mut sum = LinExpr::zero();
+        let mut scale = Rat::ONE;
+        // Common denominator so we can work in integers.
+        for &(_, c) in &self.coefficients {
+            scale = match scale.mul(Rat::from_int(c.denominator())) {
+                Ok(s) => s,
+                Err(_) => return false,
+            };
+        }
+        let Some(scale) = scale.to_integer() else {
+            return false;
+        };
+        for &(i, c) in &self.coefficients {
+            let Some(weight) = c.mul(Rat::from_int(scale)).ok().and_then(Rat::to_integer)
+            else {
+                return false;
+            };
+            if constraints[i].rel() == Rel::Le0 && weight < 0 {
+                return false;
+            }
+            sum = sum.add(&constraints[i].expr().scale(weight));
+        }
+        sum.is_constant() && sum.constant_term() > 0
+    }
+}
+
+/// Result of [`check_rational_with_certificate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertResult {
+    /// Feasible over ℚ with a model.
+    Sat(HashMap<VarId, Rat>),
+    /// Infeasible, with a Farkas certificate.
+    Unsat(FarkasCertificate),
+    /// Arithmetic overflow.
+    Unknown,
+}
+
+/// As [`check_rational`], additionally returning a Farkas certificate on
+/// infeasibility.
+pub fn check_rational_with_certificate(constraints: &[LinearConstraint]) -> CertResult {
+    let outcome = Tableau::new(constraints).and_then(|mut t| {
+        t.check()?;
+        if t.feasible {
+            Ok(CertResult::Sat(t.model()))
+        } else {
+            Ok(CertResult::Unsat(
+                t.extract_certificate().ok_or(ArithmeticOverflow)?,
+            ))
+        }
+    });
+    match outcome {
+        Ok(r) => r,
+        Err(ArithmeticOverflow) => CertResult::Unknown,
+    }
+}
+
+/// Internal solver variable: program variables first, then slacks.
+type SVar = usize;
+
+struct Tableau {
+    /// Total number of solver variables.
+    n: usize,
+    /// Number of program variables (prefix of the solver variables).
+    n_program: usize,
+    /// Map program `VarId` → solver index, and its inverse prefix.
+    var_ids: Vec<VarId>,
+    /// Lower/upper bounds per solver variable.
+    lower: Vec<Option<Rat>>,
+    upper: Vec<Option<Rat>>,
+    /// Current assignment β.
+    beta: Vec<Rat>,
+    /// `basic[i]` = solver var owned by row i; `row_of[v]` = its row.
+    basic: Vec<SVar>,
+    row_of: Vec<Option<usize>>,
+    /// Dense tableau rows over all solver variables: for basic `b` with row
+    /// `r`, `x_b = Σ_j rows[r][j]·x_j` where the sum ranges over nonbasic
+    /// variables (entries of basic variables are kept at zero).
+    rows: Vec<Vec<Rat>>,
+    feasible: bool,
+    /// Set when `check` fails: the violating basic variable, whether its
+    /// upper bound was violated, and a snapshot of its row.
+    conflict: Option<(SVar, bool, Vec<Rat>)>,
+}
+
+impl Tableau {
+    fn new(constraints: &[LinearConstraint]) -> Result<Tableau, ArithmeticOverflow> {
+        // Collect program variables.
+        let mut var_index: HashMap<VarId, usize> = HashMap::new();
+        let mut var_ids: Vec<VarId> = Vec::new();
+        for c in constraints {
+            for v in c.expr().vars() {
+                var_index.entry(v).or_insert_with(|| {
+                    var_ids.push(v);
+                    var_ids.len() - 1
+                });
+            }
+        }
+        let n_program = var_ids.len();
+        let n = n_program + constraints.len();
+
+        let mut lower: Vec<Option<Rat>> = vec![None; n];
+        let mut upper: Vec<Option<Rat>> = vec![None; n];
+        let mut rows: Vec<Vec<Rat>> = Vec::with_capacity(constraints.len());
+        let mut basic: Vec<SVar> = Vec::with_capacity(constraints.len());
+        let mut row_of: Vec<Option<usize>> = vec![None; n];
+
+        for (i, c) in constraints.iter().enumerate() {
+            let slack = n_program + i;
+            let mut row = vec![Rat::ZERO; n];
+            for &(v, coeff) in c.expr().terms() {
+                row[var_index[&v]] = Rat::from_int(coeff);
+            }
+            let bound = Rat::from_int(-c.expr().constant_term());
+            match c.rel() {
+                Rel::Le0 => upper[slack] = Some(bound),
+                Rel::Eq0 => {
+                    lower[slack] = Some(bound);
+                    upper[slack] = Some(bound);
+                }
+            }
+            row_of[slack] = Some(rows.len());
+            rows.push(row);
+            basic.push(slack);
+        }
+
+        Ok(Tableau {
+            n,
+            n_program,
+            var_ids,
+            lower,
+            upper,
+            beta: vec![Rat::ZERO; n],
+            basic,
+            row_of,
+            rows,
+            feasible: true,
+            conflict: None,
+        })
+    }
+
+    fn recompute_basic_values(&mut self) -> Result<(), ArithmeticOverflow> {
+        for r in 0..self.rows.len() {
+            let b = self.basic[r];
+            let mut v = Rat::ZERO;
+            for j in 0..self.n {
+                let c = self.rows[r][j];
+                if !c.is_zero() {
+                    v = v.add(c.mul(self.beta[j])?)?;
+                }
+            }
+            self.beta[b] = v;
+        }
+        Ok(())
+    }
+
+    fn is_nonbasic(&self, v: SVar) -> bool {
+        self.row_of[v].is_none()
+    }
+
+    fn violates_lower(&self, v: SVar) -> bool {
+        self.lower[v].is_some_and(|l| self.beta[v] < l)
+    }
+
+    fn violates_upper(&self, v: SVar) -> bool {
+        self.upper[v].is_some_and(|u| self.beta[v] > u)
+    }
+
+    fn can_increase(&self, v: SVar) -> bool {
+        self.upper[v].is_none_or(|u| self.beta[v] < u)
+    }
+
+    fn can_decrease(&self, v: SVar) -> bool {
+        self.lower[v].is_none_or(|l| self.beta[v] > l)
+    }
+
+    /// Main check loop (Bland's rule: smallest-index selection).
+    fn check(&mut self) -> Result<(), ArithmeticOverflow> {
+        self.recompute_basic_values()?;
+        loop {
+            // Smallest violating basic variable.
+            let Some(b) = (0..self.n)
+                .filter(|&v| !self.is_nonbasic(v))
+                .find(|&v| self.violates_lower(v) || self.violates_upper(v))
+            else {
+                self.feasible = true;
+                return Ok(());
+            };
+            let r = self.row_of[b].expect("basic var has a row");
+            let increase = self.violates_lower(b);
+            let target = if increase {
+                self.lower[b].expect("violated lower bound exists")
+            } else {
+                self.upper[b].expect("violated upper bound exists")
+            };
+
+            // Smallest suitable nonbasic variable.
+            let mut pivot_col: Option<SVar> = None;
+            for j in 0..self.n {
+                if !self.is_nonbasic(j) {
+                    continue;
+                }
+                let a = self.rows[r][j];
+                if a.is_zero() {
+                    continue;
+                }
+                let suitable = if increase {
+                    (a.signum() > 0 && self.can_increase(j))
+                        || (a.signum() < 0 && self.can_decrease(j))
+                } else {
+                    (a.signum() > 0 && self.can_decrease(j))
+                        || (a.signum() < 0 && self.can_increase(j))
+                };
+                if suitable {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = pivot_col else {
+                self.feasible = false;
+                self.conflict = Some((b, !increase, self.rows[r].clone()));
+                return Ok(());
+            };
+            self.pivot_and_update(r, b, j, target)?;
+        }
+    }
+
+    /// Sets `x_b := target` by moving `x_j`, then pivots `b` out and `j` in.
+    #[allow(clippy::needless_range_loop)] // dense-row pivoting reads clearest with indices
+    fn pivot_and_update(
+        &mut self,
+        r: usize,
+        b: SVar,
+        j: SVar,
+        target: Rat,
+    ) -> Result<(), ArithmeticOverflow> {
+        let a = self.rows[r][j];
+        let theta = target.sub(self.beta[b])?.div(a)?;
+        self.beta[b] = target;
+        self.beta[j] = self.beta[j].add(theta)?;
+        // Update other basic variables' values.
+        for rr in 0..self.rows.len() {
+            if rr == r {
+                continue;
+            }
+            let coeff = self.rows[rr][j];
+            if !coeff.is_zero() {
+                let bb = self.basic[rr];
+                self.beta[bb] = self.beta[bb].add(coeff.mul(theta)?)?;
+            }
+        }
+        // Pivot: solve row r for x_j:
+        // x_b = Σ a_k x_k  ⇒  x_j = (x_b − Σ_{k≠j} a_k x_k) / a_j
+        let inv = Rat::ONE.div(a)?;
+        let mut new_row = vec![Rat::ZERO; self.n];
+        new_row[b] = inv;
+        for k in 0..self.n {
+            if k == j || k == b {
+                continue;
+            }
+            let c = self.rows[r][k];
+            if !c.is_zero() {
+                new_row[k] = c.mul(inv)?.neg()?;
+            }
+        }
+        self.rows[r] = new_row;
+        self.basic[r] = j;
+        self.row_of[j] = Some(r);
+        self.row_of[b] = None;
+        // Substitute x_j into the other rows.
+        for rr in 0..self.rows.len() {
+            if rr == r {
+                continue;
+            }
+            let c = self.rows[rr][j];
+            if c.is_zero() {
+                continue;
+            }
+            self.rows[rr][j] = Rat::ZERO;
+            for k in 0..self.n {
+                let add = c.mul(self.rows[r][k])?;
+                if !add.is_zero() {
+                    self.rows[rr][k] = self.rows[rr][k].add(add)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the Farkas certificate from the recorded conflict row.
+    ///
+    /// In a conflict row every nonzero nonbasic column is a slack variable
+    /// stuck at a bound (program variables are unbounded, hence always
+    /// pivotable), and each slack corresponds 1:1 to an input constraint.
+    fn extract_certificate(&self) -> Option<FarkasCertificate> {
+        let (basic, upper_violated, row) = self.conflict.as_ref()?;
+        let cons_idx = |v: SVar| v - self.n_program;
+        let mut coefficients: Vec<(usize, Rat)> = Vec::new();
+        let b_coeff = if *upper_violated {
+            Rat::ONE
+        } else {
+            Rat::ONE.neg().ok()?
+        };
+        coefficients.push((cons_idx(*basic), b_coeff));
+        for (j, &a) in row.iter().enumerate() {
+            if a.is_zero() || !self.is_nonbasic(j) || j == *basic {
+                continue;
+            }
+            debug_assert!(
+                j >= self.n_program,
+                "conflict row has a pivotable program-variable column"
+            );
+            let coeff = if *upper_violated { a.neg().ok()? } else { a };
+            coefficients.push((cons_idx(j), coeff));
+        }
+        Some(FarkasCertificate { coefficients })
+    }
+
+    fn model(&self) -> HashMap<VarId, Rat> {
+        (0..self.n_program)
+            .map(|i| (self.var_ids[i], self.beta[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{LinExpr, NormalizedConstraint};
+
+    fn cons(e: LinExpr, r: Rel) -> LinearConstraint {
+        match LinearConstraint::new(e, r) {
+            NormalizedConstraint::Constraint(c) => c,
+            other => panic!("trivial constraint {other:?}"),
+        }
+    }
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+
+    /// e ≤ k as constraint.
+    fn le(e: LinExpr, k: i128) -> LinearConstraint {
+        cons(e.sub(&LinExpr::constant(k)), Rel::Le0)
+    }
+    /// e ≥ k.
+    fn ge(e: LinExpr, k: i128) -> LinearConstraint {
+        cons(LinExpr::constant(k).sub(&e), Rel::Le0)
+    }
+    /// e = k.
+    fn eq(e: LinExpr, k: i128) -> LinearConstraint {
+        cons(e.sub(&LinExpr::constant(k)), Rel::Eq0)
+    }
+
+    fn assert_sat_model(cs: &[LinearConstraint]) {
+        match check_rational(cs) {
+            SimplexResult::Sat(m) => {
+                for c in cs {
+                    // Verify the model satisfies every constraint over ℚ.
+                    let mut v = Rat::from_int(c.expr().constant_term());
+                    for &(var, coeff) in c.expr().terms() {
+                        v = v
+                            .add(Rat::from_int(coeff).mul(m[&var]).unwrap())
+                            .unwrap();
+                    }
+                    let ok = match c.rel() {
+                        Rel::Le0 => v <= Rat::ZERO,
+                        Rel::Eq0 => v == Rat::ZERO,
+                    };
+                    assert!(ok, "model violates {c:?} (value {v:?})");
+                }
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn satisfiable_box() {
+        assert_sat_model(&[ge(LinExpr::var(x()), 1), le(LinExpr::var(x()), 5)]);
+    }
+
+    #[test]
+    fn unsat_interval() {
+        let cs = [ge(LinExpr::var(x()), 3), le(LinExpr::var(x()), 2)];
+        assert_eq!(check_rational(&cs), SimplexResult::Unsat);
+    }
+
+    #[test]
+    fn equality_chain_unsat() {
+        // x = y, y = x + 1
+        let cs = [
+            eq(LinExpr::var(x()).sub(&LinExpr::var(y())), 0),
+            eq(LinExpr::var(y()).sub(&LinExpr::var(x())), 1),
+        ];
+        assert_eq!(check_rational(&cs), SimplexResult::Unsat);
+    }
+
+    #[test]
+    fn equality_chain_sat() {
+        // x = 2, y = x + 3, y ≤ 5
+        assert_sat_model(&[
+            eq(LinExpr::var(x()), 2),
+            eq(LinExpr::var(y()).sub(&LinExpr::var(x())), 3),
+            le(LinExpr::var(y()), 5),
+        ]);
+    }
+
+    #[test]
+    fn two_var_polytope() {
+        // x + y ≤ 4, x − y ≤ 0, x ≥ 1 → e.g. (1, 3).
+        assert_sat_model(&[
+            le(LinExpr::var(x()).add(&LinExpr::var(y())), 4),
+            le(LinExpr::var(x()).sub(&LinExpr::var(y())), 0),
+            ge(LinExpr::var(x()), 1),
+        ]);
+    }
+
+    #[test]
+    fn farkas_style_unsat() {
+        // x + y ≥ 5, x ≤ 1, y ≤ 2  → 5 ≤ x + y ≤ 3, unsat.
+        let cs = [
+            ge(LinExpr::var(x()).add(&LinExpr::var(y())), 5),
+            le(LinExpr::var(x()), 1),
+            le(LinExpr::var(y()), 2),
+        ];
+        assert_eq!(check_rational(&cs), SimplexResult::Unsat);
+    }
+
+    #[test]
+    fn unbounded_is_sat() {
+        assert_sat_model(&[ge(LinExpr::var(x()), 1_000_000)]);
+    }
+
+    #[test]
+    fn empty_input_is_sat() {
+        assert_eq!(check_rational(&[]), SimplexResult::Sat(HashMap::new()));
+    }
+
+    #[test]
+    fn degenerate_pivoting_terminates() {
+        // A system that forces several pivots: x ≥ 0, y ≥ 0,
+        // x + y ≤ 0, x − y = 0  →  only (0,0).
+        assert_sat_model(&[
+            ge(LinExpr::var(x()), 0),
+            ge(LinExpr::var(y()), 0),
+            le(LinExpr::var(x()).add(&LinExpr::var(y())), 0),
+            eq(LinExpr::var(x()).sub(&LinExpr::var(y())), 0),
+        ]);
+    }
+
+    #[test]
+    fn redundant_constraints() {
+        assert_sat_model(&[
+            ge(LinExpr::var(x()), 1),
+            ge(LinExpr::var(x()), 1),
+            ge(LinExpr::var(x()).scale(1), 0),
+        ]);
+    }
+}

@@ -1,0 +1,413 @@
+//! Lazy DPLL(T): boolean search over the negation-free formula structure
+//! with LIA theory checks.
+//!
+//! Because formulas are *monotone* in their atoms (negation was compiled
+//! away at construction, see [`crate::term`]), the boolean search never
+//! needs to assert the negation of an atom: branching an atom to `false`
+//! merely declines to use it, and any theory model for the atoms branched
+//! to `true` satisfies the whole formula. This makes the solver short and
+//! obviously sound.
+
+use crate::lia::{check_integer_with_budget, LiaResult};
+use crate::linear::{LinearConstraint, VarId};
+use crate::simplex::{check_rational, SimplexResult};
+use crate::term::{Term, TermId, TermPool};
+use std::collections::HashMap;
+
+/// A satisfying integer assignment. Variables not mentioned by any
+/// constraint default to `0`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<VarId, i128>,
+}
+
+impl Model {
+    /// Creates a model from explicit values.
+    pub fn from_values(values: HashMap<VarId, i128>) -> Model {
+        Model { values }
+    }
+
+    /// The value of `v` (0 when unconstrained).
+    pub fn value(&self, v: VarId) -> i128 {
+        self.values.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Iterates over the explicitly assigned variables.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, i128)> + '_ {
+        self.values.iter().map(|(&v, &k)| (v, k))
+    }
+}
+
+/// Outcome of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Solver budget exhausted or arithmetic overflow.
+    Unknown,
+}
+
+impl SatResult {
+    /// `true` for [`SatResult::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// `true` for [`SatResult::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+}
+
+/// Tunable solver limits and counters.
+#[derive(Clone, Debug)]
+pub struct SolverConfig {
+    /// Branch-and-bound node budget per theory check.
+    pub bb_budget: usize,
+    /// Maximum DPLL branch nodes before giving up.
+    pub dpll_budget: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            bb_budget: 2_000,
+            dpll_budget: 100_000,
+        }
+    }
+}
+
+/// Checks satisfiability of the conjunction of `assertions`.
+///
+/// # Example
+///
+/// ```
+/// use smt::term::TermPool;
+/// use smt::solver::check;
+///
+/// let mut pool = TermPool::new();
+/// let x = pool.var("x");
+/// let a = pool.ge_const(x, 1);
+/// let b = pool.le_const(x, 0);
+/// assert!(check(&mut pool, &[a]).is_sat());
+/// assert!(check(&mut pool, &[a, b]).is_unsat());
+/// ```
+pub fn check(pool: &mut TermPool, assertions: &[TermId]) -> SatResult {
+    check_with_config(pool, assertions, &SolverConfig::default())
+}
+
+/// As [`check`], with explicit limits.
+pub fn check_with_config(
+    pool: &mut TermPool,
+    assertions: &[TermId],
+    config: &SolverConfig,
+) -> SatResult {
+    let formula = pool.and(assertions.iter().copied());
+    let mut search = Search {
+        pool,
+        config,
+        budget: config.dpll_budget,
+        saw_unknown: false,
+    };
+    let mut fixed = Vec::new();
+    match search.dpll(formula, &mut fixed) {
+        Some(model) => SatResult::Sat(model),
+        None if search.saw_unknown => SatResult::Unknown,
+        None => SatResult::Unsat,
+    }
+}
+
+/// `true` iff `antecedent → consequent` is valid (reported conservatively:
+/// `Unknown` counts as *not* entailed).
+pub fn entails(pool: &mut TermPool, antecedent: TermId, consequent: TermId) -> bool {
+    let neg = pool.not(consequent);
+    check(pool, &[antecedent, neg]).is_unsat()
+}
+
+/// `true` iff `t` is valid (conservative under `Unknown`).
+pub fn is_valid(pool: &mut TermPool, t: TermId) -> bool {
+    let neg = pool.not(t);
+    check(pool, &[neg]).is_unsat()
+}
+
+/// `true` iff `a` and `b` are logically equivalent (conservative).
+pub fn equivalent(pool: &mut TermPool, a: TermId, b: TermId) -> bool {
+    entails(pool, a, b) && entails(pool, b, a)
+}
+
+struct Search<'a> {
+    pool: &'a mut TermPool,
+    config: &'a SolverConfig,
+    budget: usize,
+    saw_unknown: bool,
+}
+
+impl Search<'_> {
+    /// Recursive DPLL. `fixed` is the conjunction of atoms branched true.
+    fn dpll(&mut self, formula: TermId, fixed: &mut Vec<LinearConstraint>) -> Option<Model> {
+        if self.budget == 0 {
+            self.saw_unknown = true;
+            return None;
+        }
+        self.budget -= 1;
+        match self.pool.term(formula) {
+            Term::False => None,
+            Term::True => {
+                match check_integer_with_budget(fixed, self.config.bb_budget) {
+                    LiaResult::Sat(values) => Some(Model::from_values(values)),
+                    LiaResult::Unsat => None,
+                    LiaResult::Unknown => {
+                        self.saw_unknown = true;
+                        None
+                    }
+                }
+            }
+            _ => {
+                // Unit propagation: conjuncts that are atoms must hold.
+                if let Term::And(children) = self.pool.term(formula) {
+                    let units: Vec<TermId> = children
+                        .iter()
+                        .copied()
+                        .filter(|&c| matches!(self.pool.term(c), Term::Atom(_)))
+                        .collect();
+                    if !units.is_empty() {
+                        let saved = fixed.len();
+                        let mut f = formula;
+                        for u in units {
+                            if let Term::Atom(c) = self.pool.term(u) {
+                                fixed.push(c.clone());
+                            }
+                            f = assign(self.pool, f, u, true);
+                        }
+                        let result = if self.prune(fixed) {
+                            None
+                        } else {
+                            self.dpll(f, fixed)
+                        };
+                        fixed.truncate(saved);
+                        return result;
+                    }
+                }
+                // Branch on the first atom in the formula.
+                let atom = first_atom(self.pool, formula).expect("non-constant formula has an atom");
+                let Term::Atom(constraint) = self.pool.term(atom).clone() else {
+                    unreachable!("first_atom returns an atom");
+                };
+                // Try atom = true.
+                let f_true = assign(self.pool, formula, atom, true);
+                fixed.push(constraint);
+                if !self.prune(fixed) {
+                    if let Some(m) = self.dpll(f_true, fixed) {
+                        fixed.pop();
+                        return Some(m);
+                    }
+                }
+                fixed.pop();
+                // Try atom = false (monotone: no negation needed).
+                let f_false = assign(self.pool, formula, atom, false);
+                self.dpll(f_false, fixed)
+            }
+        }
+    }
+
+    /// Cheap rational pruning of the current partial conjunction.
+    fn prune(&mut self, fixed: &[LinearConstraint]) -> bool {
+        matches!(check_rational(fixed), SimplexResult::Unsat)
+    }
+}
+
+/// Replaces every occurrence of the atom `atom` in `formula` by the given
+/// constant and re-simplifies.
+fn assign(pool: &mut TermPool, formula: TermId, atom: TermId, value: bool) -> TermId {
+    let replacement = if value { TermPool::TRUE } else { TermPool::FALSE };
+    let mut memo = HashMap::new();
+    assign_rec(pool, formula, atom, replacement, &mut memo)
+}
+
+fn assign_rec(
+    pool: &mut TermPool,
+    formula: TermId,
+    atom: TermId,
+    replacement: TermId,
+    memo: &mut HashMap<TermId, TermId>,
+) -> TermId {
+    if formula == atom {
+        return replacement;
+    }
+    if let Some(&r) = memo.get(&formula) {
+        return r;
+    }
+    let result = match pool.term(formula).clone() {
+        Term::True | Term::False | Term::Atom(_) => formula,
+        Term::And(children) => {
+            let mapped: Vec<TermId> = children
+                .iter()
+                .map(|&c| assign_rec(pool, c, atom, replacement, memo))
+                .collect();
+            pool.and(mapped)
+        }
+        Term::Or(children) => {
+            let mapped: Vec<TermId> = children
+                .iter()
+                .map(|&c| assign_rec(pool, c, atom, replacement, memo))
+                .collect();
+            pool.or(mapped)
+        }
+    };
+    memo.insert(formula, result);
+    result
+}
+
+/// The first atom (in DFS order) of `formula`, if any.
+fn first_atom(pool: &TermPool, formula: TermId) -> Option<TermId> {
+    match pool.term(formula) {
+        Term::True | Term::False => None,
+        Term::Atom(_) => Some(formula),
+        Term::And(children) | Term::Or(children) => {
+            children.iter().find_map(|&c| first_atom(pool, c))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinExpr;
+
+    #[test]
+    fn conjunction_sat_and_model() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        let y = p.var("y");
+        let a = p.ge_const(x, 3);
+        let sum = LinExpr::var(x).add(&LinExpr::var(y));
+        let b = p.eq(&sum, &LinExpr::constant(5));
+        match check(&mut p, &[a, b]) {
+            SatResult::Sat(m) => {
+                assert!(m.value(x) >= 3);
+                assert_eq!(m.value(x) + m.value(y), 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjunction_explores_branches() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        // (x ≤ 0 ∨ x ≥ 10) ∧ x ≥ 5  → x ≥ 10 branch.
+        let low = p.le_const(x, 0);
+        let high = p.ge_const(x, 10);
+        let disj = p.or([low, high]);
+        let five = p.ge_const(x, 5);
+        match check(&mut p, &[disj, five]) {
+            SatResult::Sat(m) => assert!(m.value(x) >= 10),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_through_disjunction() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        // (x ≤ 0 ∨ x ≥ 10) ∧ 3 ≤ x ≤ 7 → unsat.
+        let low = p.le_const(x, 0);
+        let high = p.ge_const(x, 10);
+        let disj = p.or([low, high]);
+        let a = p.ge_const(x, 3);
+        let b = p.le_const(x, 7);
+        assert!(check(&mut p, &[disj, a, b]).is_unsat());
+    }
+
+    #[test]
+    fn model_satisfies_formula_eval() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        let y = p.var("y");
+        let a = p.ne(&LinExpr::var(x), &LinExpr::var(y));
+        let b = p.le_const(x, 2);
+        let c = p.ge_const(y, 2);
+        let f = p.and([a, b, c]);
+        match check(&mut p, &[f]) {
+            SatResult::Sat(m) => assert!(p.eval(f, &|v| m.value(v))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn entailment_and_validity() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        let ge5 = p.ge_const(x, 5);
+        let ge3 = p.ge_const(x, 3);
+        assert!(entails(&mut p, ge5, ge3));
+        assert!(!entails(&mut p, ge3, ge5));
+        let taut = p.or([ge3, TermPool::TRUE]);
+        assert!(is_valid(&mut p, taut));
+        let lt3 = p.not(ge3);
+        let excluded_middle = p.or([ge3, lt3]);
+        assert!(is_valid(&mut p, excluded_middle));
+    }
+
+    #[test]
+    fn equivalence() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        // x ≥ 1 ⇔ x > 0 over ℤ (the pool normalizes both to the same atom,
+        // so also test a structurally different pair).
+        let a = p.ge_const(x, 1);
+        let b = p.gt(&LinExpr::var(x), &LinExpr::constant(0));
+        assert!(equivalent(&mut p, a, b));
+        let c = p.ge_const(x, 2);
+        assert!(!equivalent(&mut p, a, c));
+    }
+
+    #[test]
+    fn empty_assertions_are_sat() {
+        let mut p = TermPool::new();
+        assert!(check(&mut p, &[]).is_sat());
+    }
+
+    #[test]
+    fn false_assertion_unsat() {
+        let mut p = TermPool::new();
+        assert!(check(&mut p, &[TermPool::FALSE]).is_unsat());
+    }
+
+    #[test]
+    fn nested_disjunction_of_equalities() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        let y = p.var("y");
+        // (x = 1 ∨ x = 2) ∧ (y = x + 10) ∧ y ≥ 12 → x = 2, y = 12.
+        let x1 = p.eq_const(x, 1);
+        let x2 = p.eq_const(x, 2);
+        let xd = p.or([x1, x2]);
+        let lhs = LinExpr::var(y);
+        let rhs = LinExpr::var(x).add(&LinExpr::constant(10));
+        let link = p.eq(&lhs, &rhs);
+        let y12 = p.ge_const(y, 12);
+        match check(&mut p, &[xd, link, y12]) {
+            SatResult::Sat(m) => {
+                assert_eq!(m.value(x), 2);
+                assert_eq!(m.value(y), 12);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_budget_reports_unknown() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        let a = p.ge_const(x, 0);
+        let b = p.le_const(x, 10);
+        let cfg = SolverConfig {
+            bb_budget: 2000,
+            dpll_budget: 0,
+        };
+        assert_eq!(check_with_config(&mut p, &[a, b], &cfg), SatResult::Unknown);
+    }
+}

@@ -1,0 +1,110 @@
+//! Deletion-based unsat cores.
+//!
+//! The refinement loop slices counterexample traces to the statements that
+//! actually participate in the infeasibility (treating the rest as havoc),
+//! which is what makes the generated Floyd/Hoare assertions small — the
+//! `pendingIo ≥ C ∧ ¬stoppingEvent` family of the paper's §2 arises from
+//! exactly this slicing. The core is computed by deletion: drop each
+//! assertion in turn and keep it only if the rest becomes satisfiable.
+
+use crate::solver::{check, SatResult};
+use crate::term::{TermId, TermPool};
+
+/// Computes a (locally minimal) unsat core of `assertions`.
+///
+/// Returns the *indices* of a subset whose conjunction is still
+/// unsatisfiable, or `None` if the input is not proven unsatisfiable in the
+/// first place (including `Unknown` verdicts).
+///
+/// The result is subset-minimal with respect to single deletions: removing
+/// any one returned index makes the conjunction satisfiable or unknown.
+///
+/// # Example
+///
+/// ```
+/// use smt::term::TermPool;
+/// use smt::unsat_core::unsat_core;
+///
+/// let mut pool = TermPool::new();
+/// let x = pool.var("x");
+/// let y = pool.var("y");
+/// let a = pool.ge_const(x, 5);   // relevant
+/// let b = pool.le_const(y, 100); // irrelevant
+/// let c = pool.le_const(x, 2);   // relevant
+/// let core = unsat_core(&mut pool, &[a, b, c]).unwrap();
+/// assert_eq!(core, vec![0, 2]);
+/// ```
+pub fn unsat_core(pool: &mut TermPool, assertions: &[TermId]) -> Option<Vec<usize>> {
+    if !check(pool, assertions).is_unsat() {
+        return None;
+    }
+    let mut kept: Vec<usize> = (0..assertions.len()).collect();
+    let mut i = 0;
+    while i < kept.len() {
+        let candidate: Vec<TermId> = kept
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &k)| assertions[k])
+            .collect();
+        if matches!(check(pool, &candidate), SatResult::Unsat) {
+            kept.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Some(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_drops_irrelevant_assertions() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        let noise: Vec<TermId> = (0..5)
+            .map(|i| {
+                let v = p.var(&format!("n{i}"));
+                p.ge_const(v, i)
+            })
+            .collect();
+        let mut assertions = noise.clone();
+        assertions.push(p.eq_const(x, 1)); // index 5
+        assertions.push(p.eq_const(x, 2)); // index 6
+        let core = unsat_core(&mut p, &assertions).unwrap();
+        assert_eq!(core, vec![5, 6]);
+    }
+
+    #[test]
+    fn sat_input_has_no_core() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        let a = p.ge_const(x, 0);
+        assert_eq!(unsat_core(&mut p, &[a]), None);
+    }
+
+    #[test]
+    fn core_of_false_is_single() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        let a = p.ge_const(x, 0);
+        let core = unsat_core(&mut p, &[a, TermPool::FALSE]).unwrap();
+        assert_eq!(core, vec![1]);
+    }
+
+    #[test]
+    fn core_through_disjunction() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        // (x ≤ 0 ∨ x ≥ 10), x ≥ 1, x ≤ 9: all three are needed.
+        let low = p.le_const(x, 0);
+        let high = p.ge_const(x, 10);
+        let disj = p.or([low, high]);
+        let a = p.ge_const(x, 1);
+        let b = p.le_const(x, 9);
+        let core = unsat_core(&mut p, &[disj, a, b]).unwrap();
+        assert_eq!(core, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests: the DPLL(T) solver, the simplex/branch-and-bound stack
+//! and DNF projection are compared against brute-force enumeration over a
+//! bounded integer box.
+
+use proptest::prelude::*;
+use smt::cube::Dnf;
+use smt::linear::{LinExpr, VarId};
+use smt::solver::{check, SatResult};
+use smt::term::{TermId, TermPool};
+
+/// Number of variables used by generated formulas.
+const NUM_VARS: usize = 3;
+/// Enumeration box: each variable ranges over `-BOX..=BOX`.
+const BOX: i128 = 4;
+
+/// A tiny recursive formula AST we can generate with proptest and then
+/// lower into the pool.
+#[derive(Clone, Debug)]
+enum F {
+    Le(Vec<i128>, i128),
+    Eq(Vec<i128>, i128),
+    And(Box<F>, Box<F>),
+    Or(Box<F>, Box<F>),
+    Not(Box<F>),
+}
+
+fn coeffs() -> impl Strategy<Value = Vec<i128>> {
+    proptest::collection::vec(-3i128..=3, NUM_VARS)
+}
+
+fn formula() -> impl Strategy<Value = F> {
+    let leaf = prop_oneof![
+        (coeffs(), -6i128..=6).prop_map(|(c, k)| F::Le(c, k)),
+        (coeffs(), -6i128..=6).prop_map(|(c, k)| F::Eq(c, k)),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| F::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| F::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn lower(pool: &mut TermPool, vars: &[VarId], f: &F) -> TermId {
+    match f {
+        F::Le(cs, k) => {
+            let e = LinExpr::from_terms(
+                cs.iter().enumerate().map(|(i, &c)| (vars[i], c)),
+                -*k,
+            );
+            pool.atom(e, smt::Rel::Le0)
+        }
+        F::Eq(cs, k) => {
+            let e = LinExpr::from_terms(
+                cs.iter().enumerate().map(|(i, &c)| (vars[i], c)),
+                -*k,
+            );
+            pool.atom(e, smt::Rel::Eq0)
+        }
+        F::And(a, b) => {
+            let (ta, tb) = (lower(pool, vars, a), lower(pool, vars, b));
+            pool.and([ta, tb])
+        }
+        F::Or(a, b) => {
+            let (ta, tb) = (lower(pool, vars, a), lower(pool, vars, b));
+            pool.or([ta, tb])
+        }
+        F::Not(a) => {
+            let t = lower(pool, vars, a);
+            pool.not(t)
+        }
+    }
+}
+
+/// Enumerates the box and returns a model if one satisfies `t`.
+fn brute_force(pool: &TermPool, vars: &[VarId], t: TermId) -> Option<Vec<i128>> {
+    let mut assignment = vec![-BOX; NUM_VARS];
+    loop {
+        let value = |v: VarId| {
+            vars.iter()
+                .position(|&w| w == v)
+                .map(|i| assignment[i])
+                .unwrap_or(0)
+        };
+        if pool.eval(t, &value) {
+            return Some(assignment);
+        }
+        // Increment odometer.
+        let mut i = 0;
+        loop {
+            if i == NUM_VARS {
+                return None;
+            }
+            assignment[i] += 1;
+            if assignment[i] <= BOX {
+                break;
+            }
+            assignment[i] = -BOX;
+            i += 1;
+        }
+    }
+}
+
+/// Restricts all variables to the enumeration box so that sat verdicts are
+/// comparable to brute force.
+fn boxed(pool: &mut TermPool, vars: &[VarId], t: TermId) -> TermId {
+    let mut parts = vec![t];
+    for &v in vars {
+        parts.push(pool.ge_const(v, -BOX));
+        parts.push(pool.le_const(v, BOX));
+    }
+    pool.and(parts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver agrees with brute force on the bounded box.
+    #[test]
+    fn solver_matches_brute_force(f in formula()) {
+        let mut pool = TermPool::new();
+        let vars: Vec<VarId> = (0..NUM_VARS).map(|i| pool.var(&format!("v{i}"))).collect();
+        let t = lower(&mut pool, &vars, &f);
+        let boxed_t = boxed(&mut pool, &vars, t);
+        let expected = brute_force(&pool, &vars, boxed_t);
+        match check(&mut pool, &[boxed_t]) {
+            SatResult::Sat(m) => {
+                prop_assert!(expected.is_some(), "solver sat but brute force unsat");
+                // The model must actually satisfy the formula.
+                prop_assert!(pool.eval(boxed_t, &|v| m.value(v)));
+            }
+            SatResult::Unsat => prop_assert!(expected.is_none(), "solver unsat but {expected:?} works"),
+            SatResult::Unknown => {} // conservative verdicts are allowed
+        }
+    }
+
+    /// Double negation is identity on the interned DAG.
+    #[test]
+    fn double_negation(f in formula()) {
+        let mut pool = TermPool::new();
+        let vars: Vec<VarId> = (0..NUM_VARS).map(|i| pool.var(&format!("v{i}"))).collect();
+        let t = lower(&mut pool, &vars, &f);
+        let nt = pool.not(t);
+        let nnt = pool.not(nt);
+        prop_assert_eq!(nnt, t);
+    }
+
+    /// Negation complements evaluation everywhere in the box.
+    #[test]
+    fn negation_complements_eval(f in formula(), point in proptest::collection::vec(-BOX..=BOX, NUM_VARS)) {
+        let mut pool = TermPool::new();
+        let vars: Vec<VarId> = (0..NUM_VARS).map(|i| pool.var(&format!("v{i}"))).collect();
+        let t = lower(&mut pool, &vars, &f);
+        let nt = pool.not(t);
+        let value = |v: VarId| {
+            vars.iter().position(|&w| w == v).map(|i| point[i]).unwrap_or(0)
+        };
+        prop_assert_ne!(pool.eval(t, &value), pool.eval(nt, &value));
+    }
+
+    /// DNF conversion preserves evaluation at every box point when exact,
+    /// and over-approximates otherwise.
+    #[test]
+    fn dnf_preserves_or_weakens(f in formula(), point in proptest::collection::vec(-BOX..=BOX, NUM_VARS)) {
+        let mut pool = TermPool::new();
+        let vars: Vec<VarId> = (0..NUM_VARS).map(|i| pool.var(&format!("v{i}"))).collect();
+        let t = lower(&mut pool, &vars, &f);
+        let dnf = Dnf::from_term(&pool, t);
+        let back = dnf.to_term(&mut pool);
+        let value = |v: VarId| {
+            vars.iter().position(|&w| w == v).map(|i| point[i]).unwrap_or(0)
+        };
+        let orig = pool.eval(t, &value);
+        let converted = pool.eval(back, &value);
+        if dnf.is_exact() {
+            prop_assert_eq!(orig, converted);
+        } else {
+            prop_assert!(!orig || converted, "over-approximation must not lose models");
+        }
+    }
+
+    /// Eliminating a variable yields a formula implied by the original
+    /// (∃-projection is an upper bound) at every box point.
+    #[test]
+    fn elimination_over_approximates(f in formula(), point in proptest::collection::vec(-BOX..=BOX, NUM_VARS)) {
+        let mut pool = TermPool::new();
+        let vars: Vec<VarId> = (0..NUM_VARS).map(|i| pool.var(&format!("v{i}"))).collect();
+        let t = lower(&mut pool, &vars, &f);
+        let dnf = Dnf::from_term(&pool, t);
+        let projected = dnf.eliminate(vars[0]);
+        let back = projected.to_term(&mut pool);
+        let value = |v: VarId| {
+            vars.iter().position(|&w| w == v).map(|i| point[i]).unwrap_or(0)
+        };
+        if pool.eval(t, &value) {
+            prop_assert!(pool.eval(back, &value), "projection must contain the original");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Language-theoretic exploration of reductions (§4–§6): builds the
+//! paper's Figure 2(a) program, computes its reduction under several
+//! preference orders, and prints sizes and sample representatives.
+//!
+//! Run: `cargo run --release --example explore_reductions`
+
+use seqver::automata::explore::accepted_words;
+use seqver::cpl;
+use seqver::program::commutativity::{CommutativityLevel, CommutativityOracle};
+use seqver::program::concurrent::Spec;
+use seqver::reduction::order::{LockstepOrder, PreferenceOrder, RandomOrder, SeqOrder};
+use seqver::reduction::reduce::{reduction_automaton, ReductionConfig};
+use seqver::smt::TermPool;
+
+fn main() {
+    // Figure 2a: two threads looping a_i b_i with exit c_i, on private
+    // variables — full commutativity across threads.
+    let source = r#"
+        var p0: int = 0;
+        var p1: int = 0;
+        thread left  { while (*) { p0 := 1; p0 := 2; } p0 := 3; }
+        thread right { while (*) { p1 := 1; p1 := 2; } p1 := 3; }
+        spawn left;
+        spawn right;
+    "#;
+    let mut pool = TermPool::new();
+    let program = cpl::compile(source, &mut pool).expect("valid CPL");
+    let product = program.explicit_product(Spec::PrePost);
+    println!(
+        "interleaving product: {} states, {} transitions, {} words of length ≤ 6",
+        product.num_states(),
+        product.num_transitions(),
+        accepted_words(&product, 6).len()
+    );
+
+    let orders: Vec<Box<dyn PreferenceOrder>> = vec![
+        Box::new(SeqOrder::new()),
+        Box::new(LockstepOrder::new()),
+        Box::new(RandomOrder::new(1)),
+        Box::new(RandomOrder::new(2)),
+    ];
+    for order in &orders {
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+        let reduction = reduction_automaton(
+            &mut pool,
+            &program,
+            Spec::PrePost,
+            order.as_ref(),
+            &mut oracle,
+            ReductionConfig::default(),
+        );
+        let words = accepted_words(&reduction, 6);
+        println!();
+        println!(
+            "order {:10} → reduction: {} states, {} transitions, {} words of length ≤ 6",
+            order.name(),
+            reduction.num_states(),
+            reduction.num_transitions(),
+            words.len()
+        );
+        for w in words.iter().take(3) {
+            let rendered: Vec<String> = w
+                .iter()
+                .map(|&l| program.statement(l).label().to_owned())
+                .collect();
+            println!("  representative: {}", rendered.join(" ; "));
+        }
+    }
+    println!();
+    println!("Each order keeps exactly one representative per Mazurkiewicz class —");
+    println!("which one differs, and that is what drives proof simplicity (§2, Fig 1c).");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: compile a small concurrent program and verify it.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use seqver::cpl;
+use seqver::gemcutter::verify::{verify, Verdict, VerifierConfig};
+use seqver::smt::TermPool;
+
+fn main() {
+    let source = r#"
+        // Two workers increment a shared counter behind a spinlock; a
+        // checker asserts the final value once both are done.
+        var lock: int = 0;
+        var counter: int = 0;
+        var done: int = 0;
+
+        thread worker {
+            atomic { assume lock == 0; lock := 1; }
+            counter := counter + 1;
+            lock := 0;
+            atomic { done := done + 1; }
+        }
+
+        thread checker {
+            assume done == 2;
+            assert counter == 2;
+        }
+
+        spawn worker * 2;
+        spawn checker;
+    "#;
+
+    let mut pool = TermPool::new();
+    let program = cpl::compile(source, &mut pool).expect("valid CPL");
+    println!(
+        "program `{}`: {} threads, {} statements, size(P) = {}",
+        program.name(),
+        program.num_threads(),
+        program.num_letters(),
+        program.size()
+    );
+
+    let config = VerifierConfig::gemcutter_seq();
+    let outcome = verify(&mut pool, &program, &config);
+    match &outcome.verdict {
+        Verdict::Correct => println!("verdict: CORRECT"),
+        Verdict::Incorrect { trace } => {
+            println!("verdict: INCORRECT — witness:");
+            for &l in trace {
+                println!("  {}", program.statement(l).label());
+            }
+        }
+        Verdict::Unknown { reason } => println!("verdict: UNKNOWN ({reason})"),
+    }
+    println!(
+        "stats: {} refinement rounds, proof size {}, {} visited states, {:?}",
+        outcome.stats.rounds,
+        outcome.stats.proof_size,
+        outcome.stats.visited_states,
+        outcome.stats.time
+    );
+}

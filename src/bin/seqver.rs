@@ -1,0 +1,255 @@
+//! `seqver` — command-line front end of the verifier.
+//!
+//! ```text
+//! seqver verify <file.cpl> [--order seq|lockstep|rand:<seed>|prio:<p0,p1,...>] [--config NAME]
+//!                          [--no-proof-sensitivity] [--max-rounds N] [--portfolio]
+//! seqver info   <file.cpl>
+//! seqver reduce <file.cpl> [--order ...] [--dot]
+//! ```
+
+use seqver::automata::dot::to_dot;
+use seqver::cpl;
+use seqver::gemcutter::portfolio::{default_portfolio, portfolio_verify};
+use seqver::gemcutter::verify::{verify, OrderSpec, Verdict, VerifierConfig};
+use seqver::program::commutativity::{CommutativityLevel, CommutativityOracle};
+use seqver::program::concurrent::{Program, Spec};
+use seqver::reduction::reduce::{reduction_automaton, ReductionConfig};
+use seqver::smt::TermPool;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  seqver verify <file.cpl> [--order seq|lockstep|rand:<seed>] [--config gemcutter|automizer|sleep|persistent]
+                           [--no-proof-sensitivity] [--max-rounds N] [--portfolio]
+  seqver info   <file.cpl>
+  seqver reduce <file.cpl> [--order seq|lockstep|rand:<seed>] [--dot]";
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let (command, rest) = args.split_first().ok_or("missing command")?;
+    match command.as_str() {
+        "verify" => cmd_verify(rest),
+        "info" => cmd_info(rest),
+        "reduce" => cmd_reduce(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load(path: &str, pool: &mut TermPool) -> Result<Program, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    cpl::compile(&source, pool).map_err(|e| format!("{path}:{e}"))
+}
+
+fn parse_order(spec: &str) -> Result<OrderSpec, String> {
+    match spec {
+        "seq" => Ok(OrderSpec::Seq),
+        "lockstep" => Ok(OrderSpec::Lockstep),
+        other => {
+            if let Some(seed) = other.strip_prefix("rand:") {
+                return seed
+                    .parse()
+                    .map(OrderSpec::Random)
+                    .map_err(|_| format!("invalid seed in `{other}`"));
+            }
+            if let Some(perm) = other.strip_prefix("prio:") {
+                let table: Result<Vec<u32>, _> = perm.split(',').map(str::parse).collect();
+                return table
+                    .map(OrderSpec::Priority)
+                    .map_err(|_| format!("invalid priority table in `{other}`"));
+            }
+            Err(format!("unknown order `{other}`"))
+        }
+    }
+}
+
+struct Flags {
+    file: String,
+    order: Option<OrderSpec>,
+    config: String,
+    proof_sensitive: bool,
+    max_rounds: Option<usize>,
+    portfolio: bool,
+    dot: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        file: String::new(),
+        order: None,
+        config: "gemcutter".to_owned(),
+        proof_sensitive: true,
+        max_rounds: None,
+        portfolio: false,
+        dot: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--order" => {
+                let v = it.next().ok_or("--order needs a value")?;
+                flags.order = Some(parse_order(v)?);
+            }
+            "--config" => {
+                flags.config = it.next().ok_or("--config needs a value")?.clone();
+            }
+            "--no-proof-sensitivity" => flags.proof_sensitive = false,
+            "--max-rounds" => {
+                let v = it.next().ok_or("--max-rounds needs a value")?;
+                flags.max_rounds = Some(v.parse().map_err(|_| "invalid --max-rounds")?);
+            }
+            "--portfolio" => flags.portfolio = true,
+            "--dot" => flags.dot = true,
+            other if !other.starts_with("--") && flags.file.is_empty() => {
+                flags.file = other.to_owned();
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if flags.file.is_empty() {
+        return Err("missing input file".to_owned());
+    }
+    Ok(flags)
+}
+
+fn build_config(flags: &Flags) -> Result<VerifierConfig, String> {
+    let mut config = match flags.config.as_str() {
+        "gemcutter" => VerifierConfig::gemcutter_seq(),
+        "automizer" => VerifierConfig::automizer(),
+        "sleep" => VerifierConfig::sleep_only(),
+        "persistent" => VerifierConfig::persistent_only(),
+        other => return Err(format!("unknown config `{other}`")),
+    };
+    if let Some(order) = &flags.order {
+        config.order = order.clone();
+        config.name = format!("{}-{}", flags.config, order.name());
+    }
+    if !flags.proof_sensitive {
+        config = config.without_proof_sensitivity();
+    }
+    if let Some(r) = flags.max_rounds {
+        config.max_rounds = r;
+    }
+    Ok(config)
+}
+
+fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let mut pool = TermPool::new();
+    let program = load(&flags.file, &mut pool)?;
+    let (verdict, stats, config_name) = if flags.portfolio {
+        let result = portfolio_verify(&mut pool, &program, &default_portfolio(), true);
+        let name = result.winner.clone().unwrap_or_else(|| "portfolio".into());
+        (result.outcome.verdict, result.outcome.stats, name)
+    } else {
+        let config = build_config(&flags)?;
+        let outcome = verify(&mut pool, &program, &config);
+        (outcome.verdict, outcome.stats, config.name)
+    };
+    println!(
+        "{}: {} threads, {} statements (config: {config_name})",
+        program.name(),
+        program.num_threads(),
+        program.num_letters()
+    );
+    let code = match &verdict {
+        Verdict::Correct => {
+            println!("verdict: CORRECT");
+            ExitCode::SUCCESS
+        }
+        Verdict::Incorrect { trace } => {
+            println!(
+                "verdict: INCORRECT — witness interleaving ({} context switches):",
+                seqver::gemcutter::trace::context_switches(&program, trace)
+            );
+            print!("{}", seqver::gemcutter::trace::render_columns(&program, trace));
+            ExitCode::from(1)
+        }
+        Verdict::Unknown { reason } => {
+            println!("verdict: UNKNOWN — {reason}");
+            ExitCode::from(3)
+        }
+    };
+    println!(
+        "rounds={} proof_size={} visited={} hoare_checks={} time={:?}",
+        stats.rounds, stats.proof_size, stats.visited_states, stats.hoare_checks, stats.time
+    );
+    Ok(code)
+}
+
+fn cmd_info(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let mut pool = TermPool::new();
+    let program = load(&flags.file, &mut pool)?;
+    println!("name:        {}", program.name());
+    println!("threads:     {}", program.num_threads());
+    for (i, t) in program.threads().iter().enumerate() {
+        println!(
+            "  T{i} `{}`: {} locations{}",
+            t.name(),
+            t.size(),
+            if t.has_error_locations() {
+                ", has asserts"
+            } else {
+                ""
+            }
+        );
+    }
+    println!("statements:  {}", program.num_letters());
+    println!("globals:     {}", program.globals().len());
+    println!("size(P):     {}", program.size());
+    println!("pre:         {}", pool.display(program.pre()));
+    println!("post:        {}", pool.display(program.post()));
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_reduce(args: &[String]) -> Result<ExitCode, String> {
+    let flags = parse_flags(args)?;
+    let mut pool = TermPool::new();
+    let program = load(&flags.file, &mut pool)?;
+    let order = flags.order.clone().unwrap_or(OrderSpec::Seq).build();
+    let spec = match program.asserting_threads().first() {
+        Some(&t) => Spec::ErrorOf(t),
+        None => Spec::PrePost,
+    };
+    let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+    let product = program.explicit_product(spec);
+    let reduction = reduction_automaton(
+        &mut pool,
+        &program,
+        spec,
+        order.as_ref(),
+        &mut oracle,
+        ReductionConfig::default(),
+    );
+    println!(
+        "product:   {} states, {} transitions",
+        product.num_states(),
+        product.num_transitions()
+    );
+    println!(
+        "reduction: {} states, {} transitions (order {})",
+        reduction.num_states(),
+        reduction.num_transitions(),
+        order.name()
+    );
+    if flags.dot {
+        println!("{}", to_dot(&reduction, &format!("{}-reduction", program.name())));
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,89 @@
+//! Cross-crate integration: the full pipeline (CPL → program → reduction →
+//! verifier) on corpus benchmarks, across configurations, checked against
+//! ground truth.
+
+use seqver::bench_suite::{self, Expected};
+use seqver::gemcutter::verify::{verify, Verdict, VerifierConfig};
+use seqver::smt::TermPool;
+
+/// The fast subset used by integration tests (full corpus runs in the
+/// bench harness binaries).
+fn fast_corpus() -> Vec<bench_suite::Benchmark> {
+    bench_suite::all()
+        .into_iter()
+        .filter(|b| !b.name.ends_with("-3") && !b.name.ends_with("-4"))
+        .collect()
+}
+
+fn check_against_ground_truth(config: &VerifierConfig) {
+    for b in fast_corpus() {
+        let mut pool = TermPool::new();
+        let p = b.compile(&mut pool);
+        let outcome = verify(&mut pool, &p, config);
+        match (&outcome.verdict, b.expected) {
+            (Verdict::Correct, Expected::Safe) => {}
+            (Verdict::Incorrect { .. }, Expected::Unsafe) => {}
+            (Verdict::Unknown { reason }, _) => {
+                panic!("{} [{}]: unknown ({reason})", b.name, config.name)
+            }
+            (v, e) => panic!("{} [{}]: verdict {v:?} vs expected {e:?}", b.name, config.name),
+        }
+    }
+}
+
+#[test]
+fn gemcutter_seq_matches_ground_truth() {
+    check_against_ground_truth(&VerifierConfig::gemcutter_seq());
+}
+
+#[test]
+fn gemcutter_lockstep_matches_ground_truth() {
+    check_against_ground_truth(&VerifierConfig::gemcutter_lockstep());
+}
+
+#[test]
+fn gemcutter_random_matches_ground_truth() {
+    check_against_ground_truth(&VerifierConfig::gemcutter_random(1));
+}
+
+#[test]
+fn sleep_only_matches_ground_truth() {
+    check_against_ground_truth(&VerifierConfig::sleep_only());
+}
+
+#[test]
+fn persistent_only_matches_ground_truth() {
+    check_against_ground_truth(&VerifierConfig::persistent_only());
+}
+
+#[test]
+fn automizer_baseline_matches_ground_truth() {
+    check_against_ground_truth(&VerifierConfig::automizer());
+}
+
+#[test]
+fn proof_sensitivity_off_matches_ground_truth() {
+    check_against_ground_truth(&VerifierConfig::gemcutter_seq().without_proof_sensitivity());
+}
+
+#[test]
+fn buggy_witnesses_replay_concretely() {
+    use seqver::program::interp::Interpreter;
+    for b in fast_corpus() {
+        if b.expected != Expected::Unsafe {
+            continue;
+        }
+        let mut pool = TermPool::new();
+        let p = b.compile(&mut pool);
+        let outcome = verify(&mut pool, &p, &VerifierConfig::gemcutter_seq());
+        let Verdict::Incorrect { trace } = &outcome.verdict else {
+            panic!("{}: bug not found", b.name);
+        };
+        let interp = Interpreter::new(&p).with_havoc_domain(vec![0, 1, 2, 3, 10]);
+        assert!(
+            interp.replay(&pool, trace),
+            "{}: SMT witness does not replay concretely",
+            b.name
+        );
+    }
+}

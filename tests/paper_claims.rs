@@ -1,0 +1,166 @@
+//! Direct checks of the paper's headline claims on the motivating example
+//! and on the theory (§2, §4–§7).
+
+use seqver::automata::explore::accepted_words;
+use seqver::bench_suite::generators::{bluetooth, bluetooth_buggy};
+use seqver::cpl;
+use seqver::gemcutter::verify::{verify, Verdict, VerifierConfig};
+use seqver::program::commutativity::{CommutativityLevel, CommutativityOracle};
+use seqver::program::concurrent::Spec;
+use seqver::reduction::mazurkiewicz::{check_reduction_minimal, check_reduction_sound};
+use seqver::reduction::order::{LockstepOrder, PreferenceOrder, RandomOrder, SeqOrder};
+use seqver::reduction::reduce::{reduction_automaton, ReductionConfig};
+use seqver::smt::TermPool;
+
+/// §2: the corrected bluetooth driver is verified for every preference
+/// order, and under the lockstep order the number of refinement rounds
+/// stays constant as users are added (the paper reports a constant 3
+/// rounds / 12 assertions for its tool).
+#[test]
+fn bluetooth_lockstep_rounds_stay_constant() {
+    let mut rounds = Vec::new();
+    for n in 1..=4usize {
+        let mut pool = TermPool::new();
+        let p = cpl::compile(&bluetooth(n), &mut pool).unwrap();
+        let outcome = verify(&mut pool, &p, &VerifierConfig::gemcutter_lockstep());
+        assert!(outcome.verdict.is_correct(), "n={n}: {:?}", outcome.verdict);
+        rounds.push(outcome.stats.rounds);
+    }
+    let min = *rounds.iter().min().unwrap();
+    let max = *rounds.iter().max().unwrap();
+    assert!(
+        max - min <= 1,
+        "lockstep rounds should stay (near-)constant, got {rounds:?}"
+    );
+}
+
+/// §2: the original KISS driver's bug is found, and the witness ends in
+/// the failing assert.
+#[test]
+fn bluetooth_bug_is_found_with_failing_assert_witness() {
+    let mut pool = TermPool::new();
+    let p = cpl::compile(&bluetooth_buggy(1), &mut pool).unwrap();
+    let outcome = verify(&mut pool, &p, &VerifierConfig::gemcutter_seq());
+    let Verdict::Incorrect { trace } = &outcome.verdict else {
+        panic!("KISS bug not found: {:?}", outcome.verdict);
+    };
+    let last = *trace.last().expect("nonempty witness");
+    assert!(
+        p.statement(last).label().contains("fail"),
+        "witness must end in the failing assert edge"
+    );
+}
+
+/// §4/Thm 5.3 + Thm 6.6 on a program with *conditional* structure: every
+/// preference order yields a sound and minimal reduction of the product
+/// language (bounded check).
+#[test]
+fn reductions_of_cpl_programs_are_sound_and_minimal() {
+    let source = r#"
+        var a: int = 0;
+        var b: int = 0;
+        thread left  { a := 1; a := 2; }
+        thread right { b := 1; b := 2; }
+        spawn left;
+        spawn right;
+    "#;
+    let mut pool = TermPool::new();
+    let p = cpl::compile(source, &mut pool).unwrap();
+    let product = p.explicit_product(Spec::PrePost);
+    let full_words = accepted_words(&product, 4);
+    assert_eq!(full_words.len(), 6, "C(4,2) interleavings");
+    let orders: Vec<Box<dyn PreferenceOrder>> = vec![
+        Box::new(SeqOrder::new()),
+        Box::new(LockstepOrder::new()),
+        Box::new(RandomOrder::new(7)),
+        Box::new(RandomOrder::new(8)),
+    ];
+    for order in &orders {
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+        let red = reduction_automaton(
+            &mut pool,
+            &p,
+            Spec::PrePost,
+            order.as_ref(),
+            &mut oracle,
+            ReductionConfig::default(),
+        );
+        let red_words = accepted_words(&red, 4);
+        let commute = |x, y| p.thread_of(x) != p.thread_of(y);
+        check_reduction_sound(&full_words, &red_words, commute)
+            .unwrap_or_else(|w| panic!("{}: unsound, missing {w:?}", order.name()));
+        check_reduction_minimal(&red_words, commute)
+            .unwrap_or_else(|(u, v)| panic!("{}: redundant {u:?}/{v:?}", order.name()));
+        assert_eq!(red_words.len(), 1, "{}: full commutativity → one class", order.name());
+    }
+}
+
+/// §7: proof-sensitive commutativity never changes verdicts, only costs.
+#[test]
+fn proof_sensitivity_preserves_verdicts() {
+    for n in 1..=3usize {
+        let mut pool = TermPool::new();
+        let p = cpl::compile(&bluetooth(n), &mut pool).unwrap();
+        let with_ps = verify(&mut pool, &p, &VerifierConfig::gemcutter_seq());
+        let mut pool2 = TermPool::new();
+        let p2 = cpl::compile(&bluetooth(n), &mut pool2).unwrap();
+        let without_ps = verify(
+            &mut pool2,
+            &p2,
+            &VerifierConfig::gemcutter_seq().without_proof_sensitivity(),
+        );
+        assert!(with_ps.verdict.is_correct());
+        assert!(without_ps.verdict.is_correct());
+    }
+}
+
+/// §2's conditional commutativity fact, checked directly: `enter` of one
+/// user and the `exit` block of another commute under `pendingIo > 1` but
+/// not unconditionally.
+#[test]
+fn enter_exit_conditional_commutativity() {
+    let mut pool = TermPool::new();
+    let p = cpl::compile(&bluetooth(2), &mut pool).unwrap();
+    // Find an `enter` atomic of thread 0 and an `exit` atomic of thread 1.
+    let enter = p
+        .letters()
+        .find(|&l| {
+            p.thread_of(l).index() == 0 && p.statement(l).label().contains("pendingIo + 1")
+        })
+        .expect("enter letter");
+    let exit = p
+        .letters()
+        .find(|&l| {
+            p.thread_of(l).index() == 1 && p.statement(l).label().contains("pendingIo - 1")
+        })
+        .expect("exit letter");
+    let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+    assert!(
+        !oracle.commute(&mut pool, &p, enter, exit),
+        "enter/exit must not commute unconditionally"
+    );
+    let pending = pool.var("pendingIo");
+    let gt1 = pool.ge_const(pending, 2);
+    assert!(
+        oracle.commute_under(&mut pool, &p, gt1, enter, exit),
+        "enter/exit commute under pendingIo > 1 (§2)"
+    );
+}
+
+/// The baseline and GemCutter agree on verdicts wherever both conclude.
+#[test]
+fn baseline_and_gemcutter_agree() {
+    for src in [bluetooth(1), bluetooth_buggy(1)] {
+        let mut pool = TermPool::new();
+        let p = cpl::compile(&src, &mut pool).unwrap();
+        let gem = verify(&mut pool, &p, &VerifierConfig::gemcutter_seq());
+        let mut pool2 = TermPool::new();
+        let p2 = cpl::compile(&src, &mut pool2).unwrap();
+        let auto = verify(&mut pool2, &p2, &VerifierConfig::automizer());
+        assert_eq!(
+            gem.verdict.is_correct(),
+            auto.verdict.is_correct(),
+            "verdict disagreement"
+        );
+    }
+}

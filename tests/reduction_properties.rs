@@ -1,0 +1,179 @@
+//! Property-based tests of the central soundness/minimality theorems on
+//! *randomly generated* concurrent programs (Thm 5.3 / Thm 6.6).
+//!
+//! Programs are random DAG-threads over a mix of shared and private
+//! variables; commutativity is decided semantically. For every preference
+//! order, the combined reduction must (1) be a subset of the product
+//! language, (2) contain a representative of every Mazurkiewicz class of
+//! bounded length, and (3) contain no two equivalent words.
+
+use proptest::prelude::*;
+use seqver::automata::bitset::BitSet;
+use seqver::automata::dfa::DfaBuilder;
+use seqver::automata::explore::accepted_words;
+use seqver::program::commutativity::{CommutativityLevel, CommutativityOracle};
+use seqver::program::concurrent::{LetterId, Program, Spec};
+use seqver::program::stmt::{SimpleStmt, Statement};
+use seqver::program::thread::{Thread, ThreadId};
+use seqver::reduction::mazurkiewicz::{check_reduction_minimal, equivalent};
+use seqver::reduction::order::{LockstepOrder, PreferenceOrder, RandomOrder, SeqOrder};
+use seqver::reduction::reduce::{reduction_automaton, ReductionConfig};
+use seqver::smt::linear::LinExpr;
+use seqver::smt::TermPool;
+
+/// A random simple statement description: which variable (0..3, where 0–1
+/// are shared between threads) and what operation.
+#[derive(Clone, Debug)]
+struct StmtDesc {
+    var: usize,
+    op: u8, // 0: := k, 1: += 1, 2: havoc
+}
+
+fn stmt_desc() -> impl Strategy<Value = StmtDesc> {
+    (0usize..4, 0u8..3).prop_map(|(var, op)| StmtDesc { var, op })
+}
+
+/// 2–3 threads with 1–3 statements each.
+fn program_desc() -> impl Strategy<Value = Vec<Vec<StmtDesc>>> {
+    proptest::collection::vec(proptest::collection::vec(stmt_desc(), 1..=3), 2..=3)
+}
+
+fn build_program(pool: &mut TermPool, desc: &[Vec<StmtDesc>]) -> Program {
+    let mut b = Program::builder("random");
+    // Variables 0–1 shared; per thread t, vars 2–3 are private copies.
+    let shared: Vec<_> = (0..2).map(|i| pool.var(&format!("s{i}"))).collect();
+    for &v in &shared {
+        b.add_global(v, 0);
+    }
+    let mut letters_per_thread = Vec::new();
+    for (t, stmts) in desc.iter().enumerate() {
+        let private: Vec<_> = (0..2).map(|i| pool.var(&format!("p{t}_{i}"))).collect();
+        for &v in &private {
+            b.add_global(v, 0);
+        }
+        let mut letters = Vec::new();
+        for (s, d) in stmts.iter().enumerate() {
+            let var = if d.var < 2 {
+                shared[d.var]
+            } else {
+                private[d.var - 2]
+            };
+            let stmt = match d.op {
+                0 => SimpleStmt::Assign(var, LinExpr::constant(s as i128)),
+                1 => SimpleStmt::Assign(var, LinExpr::var(var).add(&LinExpr::constant(1))),
+                _ => SimpleStmt::Havoc(var),
+            };
+            letters.push(b.add_statement(Statement::simple(
+                ThreadId(t as u32),
+                &format!("t{t}s{s}"),
+                stmt,
+                pool,
+            )));
+        }
+        letters_per_thread.push(letters);
+    }
+    for letters in &letters_per_thread {
+        let mut cfg = DfaBuilder::new();
+        let mut prev = cfg.add_state(letters.is_empty());
+        let entry = prev;
+        for (i, &l) in letters.iter().enumerate() {
+            let next = cfg.add_state(i + 1 == letters.len());
+            cfg.add_transition(prev, l, next);
+            prev = next;
+        }
+        b.add_thread(Thread::new(
+            "t",
+            cfg.build(entry),
+            BitSet::new(letters.len() + 1),
+        ));
+    }
+    b.build(pool)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn combined_reduction_sound_and_minimal(desc in program_desc(), seed in 0u64..100) {
+        let mut pool = TermPool::new();
+        let p = build_program(&mut pool, &desc);
+        let product = p.explicit_product(Spec::PrePost);
+        let bound = desc.iter().map(Vec::len).sum::<usize>();
+        let full_words = accepted_words(&product, bound);
+
+        // Semantic commutativity relation, reused for the Mazurkiewicz check.
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+        let letters: Vec<LetterId> = p.letters().collect();
+        let mut commute_table = vec![vec![false; letters.len()]; letters.len()];
+        for &a in &letters {
+            for &bb in &letters {
+                commute_table[a.index()][bb.index()] =
+                    oracle.commute(&mut pool, &p, a, bb);
+            }
+        }
+        let commute = |a: LetterId, b: LetterId| commute_table[a.index()][b.index()];
+
+        let orders: Vec<Box<dyn PreferenceOrder>> = vec![
+            Box::new(SeqOrder::new()),
+            Box::new(LockstepOrder::new()),
+            Box::new(RandomOrder::new(seed)),
+        ];
+        for order in &orders {
+            let red = reduction_automaton(
+                &mut pool,
+                &p,
+                Spec::PrePost,
+                order.as_ref(),
+                &mut oracle,
+                ReductionConfig::default(),
+            );
+            let red_words = accepted_words(&red, bound);
+            // (1) subset
+            for w in &red_words {
+                prop_assert!(
+                    full_words.contains(w),
+                    "{}: reduction word outside the product: {w:?}",
+                    order.name()
+                );
+            }
+            // (2) every class represented (all words have the same length
+            // here, so the bound is exact)
+            for w in &full_words {
+                prop_assert!(
+                    red_words.iter().any(|r| equivalent(w, r, commute)),
+                    "{}: class of {w:?} unrepresented",
+                    order.name()
+                );
+            }
+            // (3) minimality
+            prop_assert!(
+                check_reduction_minimal(&red_words, commute).is_ok(),
+                "{}: two equivalent representatives",
+                order.name()
+            );
+        }
+    }
+
+    /// Sleep-only and combined recognize the same reduction (Thm 6.6).
+    #[test]
+    fn pi_reduction_preserves_language(desc in program_desc()) {
+        let mut pool = TermPool::new();
+        let p = build_program(&mut pool, &desc);
+        let bound = desc.iter().map(Vec::len).sum::<usize>();
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+        let sleep_only = reduction_automaton(
+            &mut pool, &p, Spec::PrePost, &SeqOrder::new(), &mut oracle,
+            ReductionConfig { use_sleep: true, use_persistent: false, max_states: 100_000 },
+        );
+        let combined = reduction_automaton(
+            &mut pool, &p, Spec::PrePost, &SeqOrder::new(), &mut oracle,
+            ReductionConfig::default(),
+        );
+        let mut a = accepted_words(&sleep_only, bound);
+        let mut b = accepted_words(&combined, bound);
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        prop_assert!(combined.num_states() <= sleep_only.num_states());
+    }
+}
