@@ -128,14 +128,7 @@ mod tests {
     #[test]
     fn accepted_words_of_a_star_b() {
         let words = accepted_words(&a_star_b(), 3);
-        assert_eq!(
-            words,
-            vec![
-                vec!['b'],
-                vec!['a', 'b'],
-                vec!['a', 'a', 'b'],
-            ]
-        );
+        assert_eq!(words, vec![vec!['b'], vec!['a', 'b'], vec!['a', 'a', 'b'],]);
     }
 
     #[test]
@@ -157,7 +150,10 @@ mod tests {
         bld.add_transition(q0, 'b', q1);
         let just_b = bld.build(q0);
         assert!(!bounded_equal(&a_star_b(), &just_b, 2));
-        assert!(bounded_equal(&a_star_b(), &just_b, 1), "equal up to length 1");
+        assert!(
+            bounded_equal(&a_star_b(), &just_b, 1),
+            "equal up to length 1"
+        );
     }
 
     #[test]

@@ -172,7 +172,10 @@ impl<L: Copy + Eq + Ord + Hash> NfaBuilder<L> {
     ///
     /// Panics if no initial state was added.
     pub fn build(self) -> Nfa<L> {
-        assert!(!self.initial.is_empty(), "NFA needs at least one initial state");
+        assert!(
+            !self.initial.is_empty(),
+            "NFA needs at least one initial state"
+        );
         let mut accepting = BitSet::new(self.accepting.len().max(1));
         for (i, &acc) in self.accepting.iter().enumerate() {
             if acc {

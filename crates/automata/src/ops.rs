@@ -113,7 +113,10 @@ pub fn are_equivalent<L: Copy + Eq + Ord + Hash>(a: &Dfa<L>, b: &Dfa<L>) -> bool
 
 /// A shortest word in `L(a) \ L(b)`, if any — the counterexample to
 /// inclusion the refinement loop feeds back to the interpolation engine.
-pub fn inclusion_counterexample<L: Copy + Eq + Ord + Hash>(a: &Dfa<L>, b: &Dfa<L>) -> Option<Vec<L>> {
+pub fn inclusion_counterexample<L: Copy + Eq + Ord + Hash>(
+    a: &Dfa<L>,
+    b: &Dfa<L>,
+) -> Option<Vec<L>> {
     let diff = product(a, b, AcceptMode::FirstNotSecond);
     crate::explore::shortest_accepted_word(&diff)
 }
@@ -152,7 +155,8 @@ mod tests {
     fn intersection_semantics() {
         let i = intersection(&even_a(), &ends_in_b());
         for w in enumerate_words(&['a', 'b'], 6) {
-            let expect = even_a().accepts(w.iter().copied()) && ends_in_b().accepts(w.iter().copied());
+            let expect =
+                even_a().accepts(w.iter().copied()) && ends_in_b().accepts(w.iter().copied());
             assert_eq!(i.accepts(w.iter().copied()), expect, "word {w:?}");
         }
     }

@@ -53,10 +53,7 @@ fn nfa_desc(max_states: usize) -> impl Strategy<Value = Vec<(bool, Vec<Vec<usize
         proptest::collection::vec(
             (
                 any::<bool>(),
-                proptest::collection::vec(
-                    proptest::collection::vec(0..n, 0..=2),
-                    ALPHABET.len(),
-                ),
+                proptest::collection::vec(proptest::collection::vec(0..n, 0..=2), ALPHABET.len()),
             ),
             n,
         )

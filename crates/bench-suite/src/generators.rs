@@ -671,116 +671,16 @@ spawn dec;
     )
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use smt::term::TermPool;
-
-    #[test]
-    fn all_generators_produce_valid_cpl() {
-        let sources = vec![
-            bluetooth(1),
-            bluetooth(3),
-            bluetooth_buggy(1),
-            shared_counter(2, 2, 4),
-            spinlock(2, true),
-            spinlock(3, false),
-            peterson(true),
-            peterson(false),
-            producer_consumer(2, true),
-            producer_consumer(2, false),
-            fib_bench(2, 8),
-            split_read_modify_write(),
-            flag_handshake(),
-            flag_handshake_buggy(),
-            count_up_down(2),
-            count_up_down_buggy(2),
-            parallel_add(2),
-            lockstep_flags(3),
-            ticket_lock(),
-            max_of_locals(2),
-        ];
-        for src in sources {
-            let mut pool = TermPool::new();
-            cpl::compile(&src, &mut pool).unwrap_or_else(|e| panic!("{e}\n---\n{src}"));
-        }
-    }
-
-    #[test]
-    fn fib_bench_ground_truth_via_interpreter() {
-        use program::concurrent::Spec;
-        use program::interp::{Interpreter, SearchResult};
-        use program::thread::ThreadId;
-        // iters = 2: max reachable i is 8.
-        for (bound, safe) in [(8, true), (7, false)] {
-            let mut pool = TermPool::new();
-            let p = cpl::compile(&fib_bench(2, bound), &mut pool).unwrap();
-            let interp = Interpreter::new(&p);
-            let result = interp.search(&pool, Spec::ErrorOf(ThreadId(0)), 1_000_000);
-            match (safe, result) {
-                (true, SearchResult::NoErrorFound { exhaustive: true, .. }) => {}
-                (false, SearchResult::ErrorReachable(_)) => {}
-                (s, r) => panic!("bound {bound}: expected safe={s}, got {r:?}"),
-            }
-        }
-    }
-
-    #[test]
-    fn buggy_variants_have_reachable_errors() {
-        use program::concurrent::Spec;
-        use program::interp::{Interpreter, SearchResult};
-        for src in [
-            bluetooth_buggy(1),
-            peterson(false),
-            split_read_modify_write(),
-            flag_handshake_buggy(),
-            count_up_down_buggy(2),
-            producer_consumer(2, false),
-            spinlock(2, false),
-        ] {
-            let mut pool = TermPool::new();
-            let p = cpl::compile(&src, &mut pool).unwrap();
-            let t = p.asserting_threads()[0];
-            let interp = Interpreter::new(&p);
-            match interp.search(&pool, Spec::ErrorOf(t), 3_000_000) {
-                SearchResult::ErrorReachable(_) => {}
-                other => panic!("no bug found: {other:?}\n{src}"),
-            }
-        }
-    }
-
-    #[test]
-    fn safe_variants_have_no_reachable_errors() {
-        use program::concurrent::Spec;
-        use program::interp::{Interpreter, SearchResult};
-        for src in [
-            peterson(true),
-            flag_handshake(),
-            count_up_down(2),
-            spinlock(2, true),
-            ticket_lock(),
-            lockstep_flags(2),
-            shared_counter(2, 1, 2),
-        ] {
-            let mut pool = TermPool::new();
-            let p = cpl::compile(&src, &mut pool).unwrap();
-            let t = p.asserting_threads()[0];
-            // Havoc domain covers the guards used by the corpus.
-            let interp = Interpreter::new(&p).with_havoc_domain(vec![0, 1, 2, 3, 10]);
-            match interp.search(&pool, Spec::ErrorOf(t), 3_000_000) {
-                SearchResult::NoErrorFound { exhaustive: true, .. } => {}
-                other => panic!("unexpected: {other:?}\n{src}"),
-            }
-        }
-    }
-}
-
 /// A single-phase barrier: workers register arrival, wait for everyone,
 /// then mark the phase done; a checker asserts that once anyone passed the
 /// barrier, all `n` workers had arrived. The buggy variant waits for
 /// `n − 1` arrivals (a classic off-by-one). **Safe iff `correct`.**
 pub fn barrier(n: usize, correct: bool) -> String {
-    let wait_for = if correct { n } else { n.saturating_sub(1).max(1) };
+    let wait_for = if correct {
+        n
+    } else {
+        n.saturating_sub(1).max(1)
+    };
     format!(
         "// Counting barrier.
 var arrived: int = 0;
@@ -840,4 +740,115 @@ spawn user;
 spawn other;
 "
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt::term::TermPool;
+
+    #[test]
+    fn all_generators_produce_valid_cpl() {
+        let sources = vec![
+            bluetooth(1),
+            bluetooth(3),
+            bluetooth_buggy(1),
+            shared_counter(2, 2, 4),
+            spinlock(2, true),
+            spinlock(3, false),
+            peterson(true),
+            peterson(false),
+            producer_consumer(2, true),
+            producer_consumer(2, false),
+            fib_bench(2, 8),
+            split_read_modify_write(),
+            flag_handshake(),
+            flag_handshake_buggy(),
+            count_up_down(2),
+            count_up_down_buggy(2),
+            parallel_add(2),
+            lockstep_flags(3),
+            ticket_lock(),
+            max_of_locals(2),
+        ];
+        for src in sources {
+            let mut pool = TermPool::new();
+            cpl::compile(&src, &mut pool).unwrap_or_else(|e| panic!("{e}\n---\n{src}"));
+        }
+    }
+
+    #[test]
+    fn fib_bench_ground_truth_via_interpreter() {
+        use program::concurrent::Spec;
+        use program::interp::{Interpreter, SearchResult};
+        use program::thread::ThreadId;
+        // iters = 2: max reachable i is 8.
+        for (bound, safe) in [(8, true), (7, false)] {
+            let mut pool = TermPool::new();
+            let p = cpl::compile(&fib_bench(2, bound), &mut pool).unwrap();
+            let interp = Interpreter::new(&p);
+            let result = interp.search(&pool, Spec::ErrorOf(ThreadId(0)), 1_000_000);
+            match (safe, result) {
+                (
+                    true,
+                    SearchResult::NoErrorFound {
+                        exhaustive: true, ..
+                    },
+                ) => {}
+                (false, SearchResult::ErrorReachable(_)) => {}
+                (s, r) => panic!("bound {bound}: expected safe={s}, got {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn buggy_variants_have_reachable_errors() {
+        use program::concurrent::Spec;
+        use program::interp::{Interpreter, SearchResult};
+        for src in [
+            bluetooth_buggy(1),
+            peterson(false),
+            split_read_modify_write(),
+            flag_handshake_buggy(),
+            count_up_down_buggy(2),
+            producer_consumer(2, false),
+            spinlock(2, false),
+        ] {
+            let mut pool = TermPool::new();
+            let p = cpl::compile(&src, &mut pool).unwrap();
+            let t = p.asserting_threads()[0];
+            let interp = Interpreter::new(&p);
+            match interp.search(&pool, Spec::ErrorOf(t), 3_000_000) {
+                SearchResult::ErrorReachable(_) => {}
+                other => panic!("no bug found: {other:?}\n{src}"),
+            }
+        }
+    }
+
+    #[test]
+    fn safe_variants_have_no_reachable_errors() {
+        use program::concurrent::Spec;
+        use program::interp::{Interpreter, SearchResult};
+        for src in [
+            peterson(true),
+            flag_handshake(),
+            count_up_down(2),
+            spinlock(2, true),
+            ticket_lock(),
+            lockstep_flags(2),
+            shared_counter(2, 1, 2),
+        ] {
+            let mut pool = TermPool::new();
+            let p = cpl::compile(&src, &mut pool).unwrap();
+            let t = p.asserting_threads()[0];
+            // Havoc domain covers the guards used by the corpus.
+            let interp = Interpreter::new(&p).with_havoc_domain(vec![0, 1, 2, 3, 10]);
+            match interp.search(&pool, Spec::ErrorOf(t), 3_000_000) {
+                SearchResult::NoErrorFound {
+                    exhaustive: true, ..
+                } => {}
+                other => panic!("unexpected: {other:?}\n{src}"),
+            }
+        }
+    }
 }

@@ -1,13 +1,13 @@
 //! Cost of the commutativity oracle levels (§8: a cheap syntactic check
 //! backed by an SMT-based semantic/conditional check).
 
+use automata::bitset::BitSet;
+use automata::dfa::DfaBuilder;
 use criterion::{criterion_group, criterion_main, Criterion};
 use program::commutativity::{CommutativityLevel, CommutativityOracle};
 use program::concurrent::{LetterId, Program};
 use program::stmt::{SimpleStmt, Statement};
 use program::thread::{Thread, ThreadId};
-use automata::bitset::BitSet;
-use automata::dfa::DfaBuilder;
 use smt::linear::LinExpr;
 use smt::term::TermPool;
 use std::hint::black_box;

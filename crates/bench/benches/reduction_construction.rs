@@ -35,7 +35,11 @@ fn independent(pool: &mut TermPool, n: u32, k: u32) -> Program {
             cfg.add_transition(prev, l, next);
             prev = next;
         }
-        b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(k as usize + 1)));
+        b.add_thread(Thread::new(
+            "t",
+            cfg.build(entry),
+            BitSet::new(k as usize + 1),
+        ));
     }
     b.build(pool)
 }

@@ -92,5 +92,10 @@ fn bench_unsat_core(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ssa_chains, bench_disjunctions, bench_unsat_core);
+criterion_group!(
+    benches,
+    bench_ssa_chains,
+    bench_disjunctions,
+    bench_unsat_core
+);
 criterion_main!(benches);

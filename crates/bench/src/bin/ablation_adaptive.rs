@@ -29,8 +29,11 @@ fn main() {
         // emulation; cost = sum over members).
         let race = portfolio_verify(&mut pool, &p, &default_portfolio(), false);
         let race_total_rounds: usize = race.members.iter().map(|(_, o)| o.stats.rounds).sum();
-        let race_total_visited: usize =
-            race.members.iter().map(|(_, o)| o.stats.visited_states).sum();
+        let race_total_visited: usize = race
+            .members
+            .iter()
+            .map(|(_, o)| o.stats.visited_states)
+            .sum();
 
         let mut pool2 = TermPool::new();
         let p2 = b.compile(&mut pool2);
@@ -44,11 +47,13 @@ fn main() {
         };
         assert!(
             !matches!(&race.outcome.verdict, v if !ok(v) && !matches!(v, Verdict::Unknown{..})),
-            "race wrong on {}", b.name
+            "race wrong on {}",
+            b.name
         );
         assert!(
             !matches!(&adaptive.verdict, v if !ok(v) && !matches!(v, Verdict::Unknown{..})),
-            "adaptive wrong on {}", b.name
+            "adaptive wrong on {}",
+            b.name
         );
         race_solved += usize::from(ok(&race.outcome.verdict));
         adaptive_solved += usize::from(ok(&adaptive.verdict));
@@ -58,7 +63,10 @@ fn main() {
         adaptive_visited += adaptive.stats.visited_states;
         println!(
             "{:26} {:>14} {:>14} {:>12} {:>12}",
-            b.name, race_total_rounds, adaptive.stats.rounds, race_total_visited,
+            b.name,
+            race_total_rounds,
+            adaptive.stats.rounds,
+            race_total_visited,
             adaptive.stats.visited_states
         );
     }

@@ -36,5 +36,7 @@ fn main() {
         .map(|r| r.outcome.stats.interpolation.farkas_chains)
         .sum();
     println!("\nCounterexamples interpolated via Farkas certificates: {farkas_hits}");
-    println!("(The rest fell back to sp-chains: disjunctive atomic blocks or ℤ-only infeasibility.)");
+    println!(
+        "(The rest fell back to sp-chains: disjunctive atomic blocks or ℤ-only infeasibility.)"
+    );
 }

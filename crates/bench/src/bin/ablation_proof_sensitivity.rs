@@ -21,8 +21,14 @@ fn main() {
     #[allow(clippy::type_complexity)]
     let rows: [(&str, Box<dyn Fn(&bench::Run) -> bool>); 3] = [
         ("total", Box::new(|_: &bench::Run| true)),
-        ("SV-COMP", Box::new(|r: &bench::Run| r.suite == Suite::SvComp)),
-        ("Weaver", Box::new(|r: &bench::Run| r.suite == Suite::Weaver)),
+        (
+            "SV-COMP",
+            Box::new(|r: &bench::Run| r.suite == Suite::SvComp),
+        ),
+        (
+            "Weaver",
+            Box::new(|r: &bench::Run| r.suite == Suite::Weaver),
+        ),
     ];
     println!(
         "{:10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10} {:>12} {:>12}",

@@ -50,9 +50,7 @@ fn main() {
         println!();
     }
     println!();
-    println!(
-        "Paper shape: different preference orders give substantially different proof sizes;"
-    );
+    println!("Paper shape: different preference orders give substantially different proof sizes;");
     println!("with conditional commutativity the seq-order proof grows only mildly with n");
     println!("(the paper's tool reports a constant 12 assertions / 3 rounds).");
     if seq_sizes.len() >= 2 {

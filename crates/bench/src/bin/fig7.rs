@@ -36,10 +36,17 @@ fn main() {
             continue;
         }
         total += 1;
-        let mark = if g.expected == Expected::Safe { "+" } else { "x" };
+        let mark = if g.expected == Expected::Safe {
+            "+"
+        } else {
+            "x"
+        };
         let (ra, rg) = (a.outcome.stats.rounds, g.outcome.stats.rounds);
         let (pa, pg) = (a.outcome.stats.proof_size, g.outcome.stats.proof_size);
-        println!("{:24} {mark:>5} {ra:>14} {rg:>14} {pa:>14} {pg:>14}", g.name);
+        println!(
+            "{:24} {mark:>5} {ra:>14} {rg:>14} {pa:>14} {pg:>14}",
+            g.name
+        );
         if rg < ra {
             round_wins += 1;
         } else if rg == ra {
@@ -55,5 +62,7 @@ fn main() {
     println!(
         "GemCutter needs fewer rounds on {round_wins}/{total} (ties {round_ties}); smaller proofs on {proof_wins}/{total} (ties {proof_ties})."
     );
-    println!("Paper shape: most points lie on or below the diagonal (factors up to 25×/65× there).");
+    println!(
+        "Paper shape: most points lie on or below the diagonal (factors up to 25×/65× there)."
+    );
 }

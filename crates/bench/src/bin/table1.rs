@@ -40,7 +40,10 @@ fn main() {
         .map(|(r, _)| r)
         .collect();
 
-    for (suite, suite_name) in [(Suite::SvComp, "SV-COMP-like"), (Suite::Weaver, "Weaver-like")] {
+    for (suite, suite_name) in [
+        (Suite::SvComp, "SV-COMP-like"),
+        (Suite::Weaver, "Weaver-like"),
+    ] {
         println!("== {suite_name} benchmarks ==");
         print_block("Automizer", &automizer, suite);
         print_block("GemCutter", &gemcutter, suite);
@@ -50,7 +53,12 @@ fn main() {
     // Headline comparison.
     let a_total = Aggregate::of(automizer.iter(), |_| true);
     let g_total = Aggregate::of(gemcutter.iter(), |_| true);
-    println!("Overall: Automizer solves {}, GemCutter solves {} (of {})", a_total.count, g_total.count, corpus.len());
+    println!(
+        "Overall: Automizer solves {}, GemCutter solves {} (of {})",
+        a_total.count,
+        g_total.count,
+        corpus.len()
+    );
     assert!(
         g_total.count >= a_total.count,
         "paper shape: GemCutter solves at least as many programs"

@@ -1,12 +1,14 @@
 //! **Table 2**: proof size for successfully verified correct programs and
 //! time per refinement round for all successfully analysed programs —
-//! Automizer vs. four GemCutter variants (portfolio, sleep-only,
-//! persistent-only, lockstep).
+//! Automizer vs. five GemCutter variants (portfolio, sleep-only,
+//! persistent-only, lockstep, and the multi-threaded shared-proof
+//! parallel portfolio).
 //!
 //! Run: `cargo run --release -p bench --bin table2`
 
-use bench::{run_config, run_portfolio, Aggregate, Run};
+use bench::{run_config, run_parallel, run_portfolio, Aggregate, Run};
 use bench_suite::{Expected, Suite};
+use gemcutter::portfolio::ParallelConfig;
 use gemcutter::verify::VerifierConfig;
 
 struct Column {
@@ -61,7 +63,10 @@ fn main() {
         },
         Column {
             name: "portfolio",
-            runs: run_portfolio(&corpus, false).into_iter().map(|(r, _)| r).collect(),
+            runs: run_portfolio(&corpus, false)
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect(),
         },
         Column {
             name: "sleep",
@@ -75,6 +80,13 @@ fn main() {
             name: "lockstep",
             runs: run_config(&corpus, &VerifierConfig::gemcutter_lockstep()),
         },
+        Column {
+            name: "parallel",
+            runs: run_parallel(&corpus, &[], &ParallelConfig::default())
+                .into_iter()
+                .map(|(r, _)| r)
+                .collect(),
+        },
     ];
 
     print!("  {:12}", "");
@@ -85,13 +97,25 @@ fn main() {
 
     println!("Proof size for successfully verified correct programs (avg #assertions)");
     print_row("total", &proof_size_row(&cols, None), " ");
-    print_row("- SV-COMP", &proof_size_row(&cols, Some(Suite::SvComp)), " ");
+    print_row(
+        "- SV-COMP",
+        &proof_size_row(&cols, Some(Suite::SvComp)),
+        " ",
+    );
     print_row("- Weaver", &proof_size_row(&cols, Some(Suite::Weaver)), " ");
 
     println!("Time per refinement round (in s) for successfully analysed programs");
     print_row("total", &time_per_round_row(&cols, None), "s");
-    print_row("- SV-COMP", &time_per_round_row(&cols, Some(Suite::SvComp)), "s");
-    print_row("- Weaver", &time_per_round_row(&cols, Some(Suite::Weaver)), "s");
+    print_row(
+        "- SV-COMP",
+        &time_per_round_row(&cols, Some(Suite::SvComp)),
+        "s",
+    );
+    print_row(
+        "- Weaver",
+        &time_per_round_row(&cols, Some(Suite::Weaver)),
+        "s",
+    );
 
     // Paper shape: the portfolio's average proof size beats the baseline's.
     let total = proof_size_row(&cols, None);

@@ -5,14 +5,14 @@
 //!
 //! Run: `cargo run --release -p bench --bin thm_linear_size`
 
+use automata::bitset::BitSet;
+use automata::dfa::DfaBuilder;
 use program::commutativity::{CommutativityLevel, CommutativityOracle};
 use program::concurrent::{Program, Spec};
 use program::stmt::{SimpleStmt, Statement};
 use program::thread::{Thread, ThreadId};
 use reduction::order::SeqOrder;
 use reduction::reduce::{reduction_automaton, ReductionConfig};
-use automata::bitset::BitSet;
-use automata::dfa::DfaBuilder;
 use smt::linear::LinExpr;
 use smt::term::TermPool;
 
@@ -36,7 +36,11 @@ fn independent(pool: &mut TermPool, n: u32, k: u32) -> Program {
             cfg.add_transition(prev, l, next);
             prev = next;
         }
-        b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(k as usize + 1)));
+        b.add_thread(Thread::new(
+            "t",
+            cfg.build(entry),
+            BitSet::new(k as usize + 1),
+        ));
     }
     b.build(pool)
 }

@@ -6,7 +6,9 @@
 //! portfolio model, and plain-text table/series formatting.
 
 use bench_suite::{Benchmark, Expected, Suite};
-use gemcutter::portfolio::{default_portfolio, portfolio_verify};
+use gemcutter::portfolio::{
+    default_portfolio, parallel_verify, portfolio_verify, EngineReport, ParallelConfig,
+};
 use gemcutter::verify::{verify, Outcome, Verdict, VerifierConfig};
 use smt::term::TermPool;
 
@@ -113,6 +115,50 @@ pub fn run_portfolio(benchmarks: &[Benchmark], full: bool) -> Vec<(Run, Vec<(Str
                 run.expected
             );
             (run, result.members)
+        })
+        .collect()
+}
+
+/// Runs the **multi-threaded shared-proof portfolio** on `benchmarks`:
+/// every preference order refines on its own OS thread, exchanging newly
+/// discovered assertions through the coordinator. `configs` defaults to
+/// the five §8 orders when empty.
+pub fn run_parallel(
+    benchmarks: &[Benchmark],
+    configs: &[VerifierConfig],
+    pcfg: &ParallelConfig,
+) -> Vec<(Run, Vec<EngineReport>)> {
+    let default_configs;
+    let configs = if configs.is_empty() {
+        default_configs = default_portfolio();
+        &default_configs
+    } else {
+        configs
+    };
+    benchmarks
+        .iter()
+        .map(|b| {
+            let mut pool = TermPool::new();
+            let p = b.compile(&mut pool);
+            let result = parallel_verify(&pool, &p, configs, pcfg);
+            let run = Run {
+                name: b.name.clone(),
+                suite: b.suite,
+                expected: b.expected,
+                config: result
+                    .winner
+                    .clone()
+                    .unwrap_or_else(|| "parallel".to_owned()),
+                outcome: result.outcome.clone(),
+            };
+            assert!(
+                !run.contradicts_ground_truth(),
+                "SOUNDNESS BUG on {}: {:?} but expected {:?}",
+                run.name,
+                run.outcome.verdict,
+                run.expected
+            );
+            (run, result.engines)
         })
         .collect()
 }

@@ -23,6 +23,8 @@ use reduction::order::{OrderContext, PreferenceOrder};
 use reduction::persistent::{MembraneMode, PersistentSets};
 use smt::term::{TermId, TermPool};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Result of one proof-check round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -33,6 +35,9 @@ pub enum CheckResult {
     Counterexample(Vec<LetterId>),
     /// The state budget was exhausted.
     LimitReached,
+    /// The round was aborted by the [`CheckConfig::stop`] flag (another
+    /// portfolio member already concluded).
+    Cancelled,
 }
 
 /// Per-round exploration counters (the paper's memory proxy).
@@ -45,7 +50,7 @@ pub struct CheckStats {
 }
 
 /// Switches for the proof check.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CheckConfig {
     /// Apply sleep sets.
     pub use_sleep: bool,
@@ -55,6 +60,11 @@ pub struct CheckConfig {
     pub proof_sensitive: bool,
     /// Abort the round after visiting this many states.
     pub max_visited: usize,
+    /// Cooperative cancellation: when present and set to `true`, the DFS
+    /// aborts at its next iteration with [`CheckResult::Cancelled`]. Shared
+    /// between all members of a parallel portfolio so the first conclusive
+    /// verdict stops the losers mid-round.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 /// Cross-round cache of useless states (§7.2).
@@ -210,10 +220,7 @@ pub fn check_proof(
                 }
                 // Deterministic DFS order: most preferred letter first.
                 explore.sort_by_key(|&l| order.rank(ctx, l, program));
-                visited.insert(
-                    (q.clone(), phi, sleep.clone(), ctx),
-                    VisitStatus::OnStack,
-                );
+                visited.insert((q.clone(), phi, sleep.clone(), ctx), VisitStatus::OnStack);
                 Some(Frame {
                     q,
                     phi,
@@ -243,6 +250,11 @@ pub fn check_proof(
     while let Some(frame) = stack.last_mut() {
         if stats.visited > config.max_visited {
             return CheckResult::LimitReached;
+        }
+        if let Some(stop) = &config.stop {
+            if stop.load(Ordering::Relaxed) {
+                return CheckResult::Cancelled;
+            }
         }
         if frame.next >= frame.explore.len() {
             // Subtree done: pop, record, propagate taint.
@@ -312,16 +324,27 @@ pub fn check_proof(
             None => {}
         }
         // Cross-round cache.
-        if useless.is_useless(&next_q, &next_sleep, next_ctx, proof.assertion_set(next_phi)) {
+        if useless.is_useless(
+            &next_q,
+            &next_sleep,
+            next_ctx,
+            proof.assertion_set(next_phi),
+        ) {
             stats.cache_skips += 1;
             visited.insert(key, VisitStatus::DoneClean);
             continue;
         }
-        let trace_prefix: Vec<LetterId> = stack
-            .iter()
-            .filter_map(|f| f.via)
-            .collect();
-        if let Some(f) = enter!(next_q, next_phi, next_sleep, next_ctx, Some(a), trace_prefix) { stack.push(f) }
+        let trace_prefix: Vec<LetterId> = stack.iter().filter_map(|f| f.via).collect();
+        if let Some(f) = enter!(
+            next_q,
+            next_phi,
+            next_sleep,
+            next_ctx,
+            Some(a),
+            trace_prefix
+        ) {
+            stack.push(f)
+        }
     }
     CheckResult::Proven
 }

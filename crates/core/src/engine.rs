@@ -22,7 +22,12 @@ use program::commutativity::CommutativityOracle;
 use program::concurrent::{LetterId, Program, Spec};
 use reduction::order::PreferenceOrder;
 use reduction::persistent::PersistentSets;
-use smt::term::TermPool;
+use smt::term::{TermId, TermPool};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Outcome of a single refinement round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,6 +40,60 @@ pub enum RoundOutcome {
     Refined,
     /// This engine cannot continue (budget, solver incompleteness, …).
     GaveUp(String),
+    /// The round was aborted by the shared stop flag (another portfolio
+    /// member already concluded).
+    Cancelled,
+}
+
+/// A bounded memory of recently seen counterexample traces.
+///
+/// A refinement round that reproduces *any* recently seen trace is stuck:
+/// the proof grew but the preference order keeps steering the check into a
+/// cycle of counterexamples it cannot refute further. Comparing only
+/// against the immediately preceding trace misses period-2 (and longer)
+/// cycles, so we keep a bounded set of trace hashes.
+#[derive(Clone, Debug, Default)]
+pub struct TraceHistory {
+    seen: HashSet<u64>,
+    order: VecDeque<u64>,
+}
+
+/// How many recent traces a [`TraceHistory`] remembers.
+const TRACE_HISTORY_CAPACITY: usize = 64;
+
+impl TraceHistory {
+    /// An empty history.
+    pub fn new() -> TraceHistory {
+        TraceHistory::default()
+    }
+
+    /// Records `trace`; returns `true` iff it was already in the history
+    /// (i.e. refinement is cycling). Evicts the oldest entry beyond
+    /// [`TRACE_HISTORY_CAPACITY`].
+    pub fn record(&mut self, trace: &[LetterId]) -> bool {
+        let mut hasher = DefaultHasher::new();
+        trace.hash(&mut hasher);
+        let h = hasher.finish();
+        if !self.seen.insert(h) {
+            return true;
+        }
+        self.order.push_back(h);
+        if self.order.len() > TRACE_HISTORY_CAPACITY {
+            let evicted = self.order.pop_front().expect("nonempty");
+            self.seen.remove(&evicted);
+        }
+        false
+    }
+
+    /// Number of remembered traces.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when no trace has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
 }
 
 /// Cumulative per-engine counters.
@@ -66,7 +125,11 @@ pub struct Engine {
     useless: UselessCache,
     check_config: CheckConfig,
     interpolation: InterpolationMode,
-    last_trace: Option<Vec<LetterId>>,
+    history: TraceHistory,
+    /// Assertions added to the proof by this engine's refinements since the
+    /// last [`Engine::take_new_assertions`] call — the shareable increment a
+    /// portfolio coordinator broadcasts to the other members.
+    pending_broadcast: Vec<TermId>,
 }
 
 impl Engine {
@@ -94,15 +157,29 @@ impl Engine {
                 use_persistent: config.use_persistent,
                 proof_sensitive: config.proof_sensitive,
                 max_visited: config.max_visited_per_round,
+                stop: None,
             },
             interpolation: config.interpolation,
-            last_trace: None,
+            history: TraceHistory::new(),
+            pending_broadcast: Vec::new(),
         }
     }
 
     /// The specification this engine checks.
     pub fn spec(&self) -> Spec {
         self.spec
+    }
+
+    /// Installs a shared cancellation flag: when it becomes `true`, the
+    /// engine's proof-check rounds abort with [`RoundOutcome::Cancelled`].
+    pub fn set_stop(&mut self, stop: Arc<AtomicBool>) {
+        self.check_config.stop = Some(stop);
+    }
+
+    /// Drains the assertions this engine added to the proof since the last
+    /// call (newly discovered program facts, in discovery order).
+    pub fn take_new_assertions(&mut self) -> Vec<TermId> {
+        std::mem::take(&mut self.pending_broadcast)
     }
 
     /// Runs one proof-check round against `proof` and, on an uncovered
@@ -132,11 +209,10 @@ impl Engine {
         self.stats.cache_skips += round_stats.cache_skips;
         match result {
             CheckResult::Proven => RoundOutcome::Proven,
-            CheckResult::LimitReached => {
-                RoundOutcome::GaveUp("state budget exhausted".to_owned())
-            }
+            CheckResult::LimitReached => RoundOutcome::GaveUp("state budget exhausted".to_owned()),
+            CheckResult::Cancelled => RoundOutcome::Cancelled,
             CheckResult::Counterexample(trace) => {
-                if self.last_trace.as_ref() == Some(&trace) {
+                if self.history.record(&trace) {
                     return RoundOutcome::GaveUp("refinement made no progress".to_owned());
                 }
                 let analysis = analyze_trace_with_mode(
@@ -154,9 +230,10 @@ impl Engine {
                     }
                     TraceResult::Infeasible { chain } => {
                         for a in chain {
-                            proof.add_assertion(a);
+                            if proof.add_assertion(a) {
+                                self.pending_broadcast.push(a);
+                            }
                         }
-                        self.last_trace = Some(trace);
                         RoundOutcome::Refined
                     }
                 }
@@ -205,6 +282,57 @@ mod tests {
         b.build(pool)
     }
 
+    /// Period-2 cycle: alternating between two traces must be detected as
+    /// non-progress. The old implementation only compared against the
+    /// immediately preceding trace and looped forever on `t1, t2, t1, …`.
+    #[test]
+    fn trace_history_detects_period_two_cycle() {
+        let mut h = TraceHistory::new();
+        let t1 = [LetterId(0), LetterId(1)];
+        let t2 = [LetterId(1), LetterId(0)];
+        assert!(!h.record(&t1), "first sighting");
+        assert!(!h.record(&t2), "different trace");
+        assert!(h.record(&t1), "period-2 repeat must be caught");
+        assert!(h.record(&t2), "period-2 repeat must be caught");
+    }
+
+    #[test]
+    fn trace_history_bounded_eviction() {
+        let mut h = TraceHistory::new();
+        let trace = |i: u32| [LetterId(i), LetterId(i + 1)];
+        for i in 0..(TRACE_HISTORY_CAPACITY as u32) {
+            assert!(!h.record(&trace(i)));
+        }
+        assert_eq!(h.len(), TRACE_HISTORY_CAPACITY);
+        // One more evicts the oldest...
+        assert!(!h.record(&trace(1_000)));
+        assert_eq!(h.len(), TRACE_HISTORY_CAPACITY);
+        // ...so the first trace is forgotten, while a recent one is not.
+        assert!(!h.record(&trace(0)), "evicted trace is no longer a repeat");
+        assert!(h.record(&trace(17)), "recent trace is still remembered");
+    }
+
+    /// End-to-end regression: a round that reproduces an earlier — not
+    /// necessarily the immediately preceding — counterexample gives up
+    /// instead of looping. We seed the history as if the trace the first
+    /// round will find had been seen two rounds ago (with a different trace
+    /// in between), which the old single-`last_trace` check missed.
+    #[test]
+    fn engine_gives_up_on_cycling_counterexamples() {
+        let mut pool = TermPool::new();
+        let p = counter(&mut pool, 5);
+        let config = VerifierConfig::gemcutter_seq();
+        let mut engine = Engine::new(&mut pool, &p, Spec::ErrorOf(ThreadId(0)), &config);
+        // The first check round finds the shortest error path `incr; bad`.
+        assert!(!engine.history.record(&[LetterId(0), LetterId(1)]));
+        assert!(!engine.history.record(&[LetterId(1), LetterId(0)]));
+        let mut proof = ProofAutomaton::new();
+        assert_eq!(
+            engine.round(&mut pool, &p, &mut proof),
+            RoundOutcome::GaveUp("refinement made no progress".to_owned())
+        );
+    }
+
     #[test]
     fn engine_steps_to_proven() {
         let mut pool = TermPool::new();
@@ -213,7 +341,10 @@ mod tests {
         let mut engine = Engine::new(&mut pool, &p, Spec::ErrorOf(ThreadId(0)), &config);
         let mut proof = ProofAutomaton::new();
         // Round 1: empty proof → counterexample → refined.
-        assert_eq!(engine.round(&mut pool, &p, &mut proof), RoundOutcome::Refined);
+        assert_eq!(
+            engine.round(&mut pool, &p, &mut proof),
+            RoundOutcome::Refined
+        );
         assert!(proof.proof_size() > 0);
         // Eventually proven.
         let mut outcome = RoundOutcome::Refined;

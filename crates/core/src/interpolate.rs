@@ -71,7 +71,14 @@ pub fn analyze_trace(
     spec: Spec,
     stats: &mut InterpolationStats,
 ) -> TraceResult {
-    analyze_trace_with_mode(pool, program, trace, spec, InterpolationMode::SpChain, stats)
+    analyze_trace_with_mode(
+        pool,
+        program,
+        trace,
+        spec,
+        InterpolationMode::SpChain,
+        stats,
+    )
 }
 
 /// As [`analyze_trace`], with an explicit interpolation engine.
@@ -129,9 +136,15 @@ pub fn analyze_trace_with_mode(
     // 2b. Farkas interpolation (single-inequality assertions), when the
     //     trace is conjunctive and rationally infeasible.
     if mode == InterpolationMode::Farkas {
-        if let Some(chain) =
-            farkas_chain(pool, trace, spec, &init_conjuncts, &stmt_blocks, &blocks, &snapshots)
-        {
+        if let Some(chain) = farkas_chain(
+            pool,
+            trace,
+            spec,
+            &init_conjuncts,
+            &stmt_blocks,
+            &blocks,
+            &snapshots,
+        ) {
             stats.farkas_chains += 1;
             return TraceResult::Infeasible { chain };
         }
@@ -216,10 +229,7 @@ fn farkas_chain(
 
 /// The constraints of a purely conjunctive formula (`None` if it contains
 /// a disjunction or is `false`).
-fn conjunctive_constraints(
-    pool: &TermPool,
-    t: TermId,
-) -> Option<Vec<smt::LinearConstraint>> {
+fn conjunctive_constraints(pool: &TermPool, t: TermId) -> Option<Vec<smt::LinearConstraint>> {
     use smt::term::Term;
     match pool.term(t) {
         Term::True => Some(Vec::new()),
@@ -288,10 +298,10 @@ fn sp_chain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use program::stmt::Statement;
-    use program::thread::{Thread, ThreadId};
     use automata::bitset::BitSet;
     use automata::dfa::DfaBuilder;
+    use program::stmt::Statement;
+    use program::thread::{Thread, ThreadId};
     use smt::linear::LinExpr;
 
     /// One thread: (x := x + 1)^k ; [assume x > bound → error].
@@ -339,7 +349,13 @@ mod tests {
         let mut pool = TermPool::new();
         let (p, trace) = bounded_counter(&mut pool, 2, 5); // x = 2, not > 5
         let mut stats = InterpolationStats::default();
-        match analyze_trace(&mut pool, &p, &trace, Spec::ErrorOf(ThreadId(0)), &mut stats) {
+        match analyze_trace(
+            &mut pool,
+            &p,
+            &trace,
+            Spec::ErrorOf(ThreadId(0)),
+            &mut stats,
+        ) {
             TraceResult::Infeasible { chain } => {
                 assert_eq!(chain.len(), trace.len() + 1);
                 assert_eq!(*chain.last().unwrap(), TermPool::FALSE);
@@ -368,7 +384,13 @@ mod tests {
         let (p, trace) = bounded_counter(&mut pool, 3, 2); // x = 3 > 2: bug
         let mut stats = InterpolationStats::default();
         assert_eq!(
-            analyze_trace(&mut pool, &p, &trace, Spec::ErrorOf(ThreadId(0)), &mut stats),
+            analyze_trace(
+                &mut pool,
+                &p,
+                &trace,
+                Spec::ErrorOf(ThreadId(0)),
+                &mut stats
+            ),
             TraceResult::Feasible
         );
     }
@@ -425,7 +447,13 @@ mod tests {
         let p = b.build(&mut pool);
         let trace = vec![incr, irrelevant, bad];
         let mut stats = InterpolationStats::default();
-        match analyze_trace(&mut pool, &p, &trace, Spec::ErrorOf(ThreadId(0)), &mut stats) {
+        match analyze_trace(
+            &mut pool,
+            &p,
+            &trace,
+            Spec::ErrorOf(ThreadId(0)),
+            &mut stats,
+        ) {
             TraceResult::Infeasible { chain } => {
                 assert_eq!(stats.sliced_statements, 1, "noise := 7 sliced away");
                 // The interpolants never mention `noise`.

@@ -39,5 +39,8 @@ pub mod proof;
 pub mod trace;
 pub mod verify;
 
-pub use portfolio::{portfolio_verify, PortfolioOutcome};
-pub use verify::{verify, Outcome, OrderSpec, RunStats, Verdict, VerifierConfig};
+pub use portfolio::{
+    adaptive_verify, default_portfolio, parallel_verify, portfolio_verify, EngineReport,
+    EngineStatus, ParallelConfig, ParallelOutcome, PortfolioOutcome,
+};
+pub use verify::{verify, OrderSpec, Outcome, RunStats, Verdict, VerifierConfig};

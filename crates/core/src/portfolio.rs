@@ -1,19 +1,33 @@
-//! The preference-order portfolio of §8.
+//! The preference-order portfolio of §8 — sequential, adaptive, and
+//! multi-threaded shared-proof variants.
 //!
 //! The paper's headline GemCutter numbers aggregate, per benchmark, the
 //! best result among five preference orders: `seq`, `lockstep`, and three
 //! seeded random orders. The portfolio conceptually runs them in parallel
 //! and terminates as soon as any order terminates; sequential execution
-//! here records every order's outcome and reports the *winner* (earliest
-//! conclusive verdict), with the parallel-model CPU time being the
-//! winner's own time.
+//! here ([`portfolio_verify`]) records every order's outcome and reports
+//! the *winner* (earliest conclusive verdict), with the parallel-model CPU
+//! time being the winner's own time.
+//!
+//! [`adaptive_verify`] interleaves the orders single-threaded over one
+//! shared proof. [`parallel_verify`] is the true multi-threaded variant:
+//! each engine runs refinement rounds on its own OS thread with its own
+//! [`TermPool`], and a coordinator relays newly discovered assertions
+//! between them as pool-independent [`ExportedTerm`]s (see
+//! [`smt::transfer`]), so every engine still benefits from every other
+//! engine's refinements.
 
-use crate::engine::{Engine, RoundOutcome};
+use crate::engine::{Engine, EngineStats, RoundOutcome};
 use crate::proof::ProofAutomaton;
 use crate::verify::{verify, Outcome, RunStats, Verdict, VerifierConfig};
-use program::concurrent::{Program, Spec};
+use program::concurrent::{LetterId, Program, Spec};
 use smt::term::TermPool;
-use std::time::Instant;
+use smt::transfer::ExportedTerm;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The five orders evaluated in §8.
 pub fn default_portfolio() -> Vec<VerifierConfig> {
@@ -59,8 +73,9 @@ pub fn portfolio_verify(
             // members run, pick the conclusive one with minimal time.
             winner = match winner {
                 None => Some(members.len() - 1),
-                Some(w) if members.last().expect("just pushed").1.stats.time
-                    < members[w].1.stats.time =>
+                Some(w)
+                    if members.last().expect("just pushed").1.stats.time
+                        < members[w].1.stats.time =>
                 {
                     Some(members.len() - 1)
                 }
@@ -158,7 +173,7 @@ pub fn adaptive_verify(
                     return (outcome, Some(name));
                 }
                 RoundOutcome::Refined => {}
-                RoundOutcome::GaveUp(_) => alive.retain(|&i| i != idx),
+                RoundOutcome::GaveUp(_) | RoundOutcome::Cancelled => alive.retain(|&i| i != idx),
             }
         }
     }
@@ -188,4 +203,631 @@ fn finish(
     stats.proof_size = stats.proof_size.max(shared.proof_size());
     stats.time = start.elapsed();
     stats
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded shared-proof portfolio
+// ---------------------------------------------------------------------------
+
+/// Configuration of [`parallel_verify`].
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Exchange assertions at round barriers, applied in engine-index
+    /// order, so that repeated runs are bit-for-bit reproducible (verdict,
+    /// per-engine round counts and proof sizes). The default free-running
+    /// mode exchanges assertions as soon as they are discovered and lets
+    /// the fastest engine win the race.
+    pub deterministic: bool,
+    /// Per-engine refinement-round budget (per spec).
+    pub max_rounds_per_engine: usize,
+    /// Per-engine wall-clock budget, checked between rounds; an engine
+    /// over budget gives up without poisoning the run. In deterministic
+    /// mode a budget makes round counts machine-dependent, so leave it
+    /// `None` there when reproducibility matters.
+    pub wall_clock_budget: Option<Duration>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            deterministic: false,
+            max_rounds_per_engine: 60,
+            wall_clock_budget: None,
+        }
+    }
+}
+
+/// How one engine of a [`parallel_verify`] run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineStatus {
+    /// This engine produced the winning verdict.
+    Won,
+    /// Another engine concluded first; this one was stopped.
+    Lost,
+    /// The engine gave up (budget, solver incompleteness, non-progress).
+    GaveUp(String),
+    /// The engine thread panicked; the run continued without it.
+    Panicked(String),
+}
+
+/// Per-engine summary of a [`parallel_verify`] run, one per `(spec,
+/// engine)` pair in spec-major order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineReport {
+    /// The engine's configuration name.
+    pub name: String,
+    /// Index of the analyzed spec (one per asserting thread).
+    pub spec: usize,
+    /// Refinement rounds this engine executed.
+    pub rounds: usize,
+    /// Final size of this engine's proof automaton.
+    pub proof_size: usize,
+    /// How the engine ended.
+    pub status: EngineStatus,
+}
+
+/// Result of [`parallel_verify`].
+#[derive(Clone, Debug)]
+pub struct ParallelOutcome {
+    /// Verdict plus counters aggregated over all engines and specs.
+    pub outcome: Outcome,
+    /// Name of the engine that produced the verdict, if conclusive.
+    pub winner: Option<String>,
+    /// Per-engine reports in spec-major, engine-index order.
+    pub engines: Vec<EngineReport>,
+}
+
+/// Worker → coordinator messages.
+enum WorkerMsg {
+    /// Free-running: a refinement produced new assertions to share.
+    Refined {
+        engine: usize,
+        batch: Vec<ExportedTerm>,
+    },
+    /// Deterministic: the engine finished its round and waits at the
+    /// barrier (`batch` is empty when the round added nothing).
+    RoundDone {
+        engine: usize,
+        batch: Vec<ExportedTerm>,
+    },
+    /// The engine is done (conclusive, gave up, stopped, or panicked).
+    Exit(Box<WorkerExit>),
+}
+
+/// Coordinator → worker messages.
+enum CoordMsg {
+    /// Assertions discovered by other engines; in deterministic mode also
+    /// the barrier release starting the next round.
+    Assertions(Vec<Vec<ExportedTerm>>),
+    /// Stop and report (deterministic mode; free-running uses the flag).
+    Stop,
+}
+
+/// Terminal state of one worker.
+struct WorkerExit {
+    engine: usize,
+    verdict: WorkerVerdict,
+    stats: EngineStats,
+    proof_size: usize,
+    hoare_checks: usize,
+}
+
+enum WorkerVerdict {
+    Proven,
+    Bug(Vec<LetterId>),
+    GaveUp(String),
+    Cancelled,
+    Panicked(String),
+}
+
+/// The **multi-threaded shared-proof portfolio**: one OS thread per
+/// configuration, each with a private [`TermPool`] clone and proof
+/// automaton, exchanging newly discovered assertions through the
+/// coordinator as pool-independent [`ExportedTerm`]s.
+///
+/// The first engine to reach a conclusive verdict wins; the others are
+/// cancelled through a shared stop flag checked inside the proof-check
+/// DFS. A panicking or over-budget engine is dropped gracefully — its
+/// report records the failure and the remaining engines keep running.
+///
+/// With [`ParallelConfig::deterministic`] the engines run in lockstep:
+/// the coordinator collects each round's assertion batches, orders them by
+/// engine index, and broadcasts them at the next round barrier, making
+/// verdict, per-engine round counts and proof sizes reproducible across
+/// runs regardless of thread scheduling.
+pub fn parallel_verify(
+    pool: &TermPool,
+    program: &Program,
+    configs: &[VerifierConfig],
+    pcfg: &ParallelConfig,
+) -> ParallelOutcome {
+    assert!(!configs.is_empty(), "portfolio needs at least one member");
+    let start = Instant::now();
+    let specs: Vec<Spec> = {
+        let asserting = program.asserting_threads();
+        if asserting.is_empty() {
+            vec![Spec::PrePost]
+        } else {
+            asserting.into_iter().map(Spec::ErrorOf).collect()
+        }
+    };
+    let mut stats = RunStats::default();
+    let mut reports: Vec<EngineReport> = Vec::new();
+    let mut winner: Option<String> = None;
+    for (spec_idx, &spec) in specs.iter().enumerate() {
+        let phase = run_spec_parallel(pool, program, spec, configs, pcfg);
+        for exit in &phase.exits {
+            stats.rounds += exit.stats.rounds;
+            stats.visited_states += exit.stats.visited;
+            stats.max_round_visited = stats.max_round_visited.max(exit.stats.max_round_visited);
+            stats.cache_skips += exit.stats.cache_skips;
+            stats.hoare_checks += exit.hoare_checks;
+            stats.proof_size = stats.proof_size.max(exit.proof_size);
+            stats.interpolation.feasibility_checks += exit.stats.interpolation.feasibility_checks;
+            stats.interpolation.sliced_statements += exit.stats.interpolation.sliced_statements;
+            stats.interpolation.farkas_chains += exit.stats.interpolation.farkas_chains;
+        }
+        let winner_idx = phase.winner;
+        for exit in &phase.exits {
+            let status = match &exit.verdict {
+                WorkerVerdict::Proven | WorkerVerdict::Bug(_)
+                    if winner_idx == Some(exit.engine) =>
+                {
+                    EngineStatus::Won
+                }
+                // A conclusive verdict that lost the race (free-running
+                // mode can have several finishers) still "lost".
+                WorkerVerdict::Proven | WorkerVerdict::Bug(_) => EngineStatus::Lost,
+                WorkerVerdict::GaveUp(r) => EngineStatus::GaveUp(r.clone()),
+                WorkerVerdict::Cancelled => EngineStatus::Lost,
+                WorkerVerdict::Panicked(m) => EngineStatus::Panicked(m.clone()),
+            };
+            reports.push(EngineReport {
+                name: configs[exit.engine].name.clone(),
+                spec: spec_idx,
+                rounds: exit.stats.rounds,
+                proof_size: exit.proof_size,
+                status,
+            });
+        }
+        match phase.verdict {
+            Verdict::Correct => {
+                winner = winner_idx.map(|i| configs[i].name.clone());
+            }
+            other => {
+                stats.time = start.elapsed();
+                return ParallelOutcome {
+                    outcome: Outcome {
+                        verdict: other,
+                        stats,
+                    },
+                    winner: winner_idx.map(|i| configs[i].name.clone()),
+                    engines: reports,
+                };
+            }
+        }
+    }
+    stats.time = start.elapsed();
+    ParallelOutcome {
+        outcome: Outcome {
+            verdict: Verdict::Correct,
+            stats,
+        },
+        winner,
+        engines: reports,
+    }
+}
+
+/// Result of one spec phase of [`parallel_verify`].
+struct PhaseResult {
+    verdict: Verdict,
+    winner: Option<usize>,
+    /// One exit per engine, sorted by engine index.
+    exits: Vec<WorkerExit>,
+}
+
+fn run_spec_parallel(
+    pool: &TermPool,
+    program: &Program,
+    spec: Spec,
+    configs: &[VerifierConfig],
+    pcfg: &ParallelConfig,
+) -> PhaseResult {
+    let n = configs.len();
+    let stop = Arc::new(AtomicBool::new(false));
+    let (to_coord, from_workers) = channel::<WorkerMsg>();
+    let mut to_workers: Vec<Sender<CoordMsg>> = Vec::with_capacity(n);
+    let mut worker_rx: Vec<Option<Receiver<CoordMsg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = channel::<CoordMsg>();
+        to_workers.push(tx);
+        worker_rx.push(Some(rx));
+    }
+
+    std::thread::scope(|scope| {
+        for (idx, config) in configs.iter().enumerate() {
+            let rx = worker_rx[idx].take().expect("receiver unclaimed");
+            let tx = to_coord.clone();
+            let stop = Arc::clone(&stop);
+            let mut worker_pool = pool.clone();
+            scope.spawn(move || {
+                let exit = catch_unwind(AssertUnwindSafe(|| {
+                    worker_loop(
+                        &mut worker_pool,
+                        program,
+                        spec,
+                        config,
+                        pcfg,
+                        idx,
+                        &rx,
+                        &tx,
+                        &stop,
+                    )
+                }))
+                .unwrap_or_else(|payload| {
+                    Box::new(WorkerExit {
+                        engine: idx,
+                        verdict: WorkerVerdict::Panicked(panic_message(payload)),
+                        stats: EngineStats::default(),
+                        proof_size: 0,
+                        hoare_checks: 0,
+                    })
+                });
+                // The coordinator may already be gone when the run was
+                // decided; a failed send is fine then.
+                let _ = tx.send(WorkerMsg::Exit(exit));
+            });
+        }
+        drop(to_coord);
+
+        if pcfg.deterministic {
+            coordinate_lockstep(n, pcfg, &from_workers, &to_workers)
+        } else {
+            coordinate_free_running(n, pcfg, &from_workers, &to_workers, &stop)
+        }
+    })
+}
+
+/// One engine's thread body: round loop with assertion import/export.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    pool: &mut TermPool,
+    program: &Program,
+    spec: Spec,
+    config: &VerifierConfig,
+    pcfg: &ParallelConfig,
+    idx: usize,
+    rx: &Receiver<CoordMsg>,
+    tx: &Sender<WorkerMsg>,
+    stop: &Arc<AtomicBool>,
+) -> Box<WorkerExit> {
+    let start = Instant::now();
+    let mut engine = Engine::new(pool, program, spec, config);
+    if !pcfg.deterministic {
+        engine.set_stop(Arc::clone(stop));
+    }
+    let mut proof = ProofAutomaton::new();
+    let exit = |engine: &Engine, proof: &ProofAutomaton, verdict: WorkerVerdict| {
+        Box::new(WorkerExit {
+            engine: idx,
+            verdict,
+            stats: engine.stats,
+            proof_size: proof.proof_size(),
+            hoare_checks: proof.stats().hoare_checks,
+        })
+    };
+    loop {
+        // Absorb assertions from the other engines. Free-running: drain
+        // whatever has arrived. Deterministic: block at the barrier.
+        if pcfg.deterministic {
+            match rx.recv() {
+                Ok(CoordMsg::Assertions(batches)) => {
+                    for batch in &batches {
+                        import_batch(pool, &mut proof, batch);
+                    }
+                }
+                Ok(CoordMsg::Stop) | Err(_) => {
+                    return exit(&engine, &proof, WorkerVerdict::Cancelled);
+                }
+            }
+        } else {
+            while let Ok(msg) = rx.try_recv() {
+                match msg {
+                    CoordMsg::Assertions(batches) => {
+                        for batch in &batches {
+                            import_batch(pool, &mut proof, batch);
+                        }
+                    }
+                    CoordMsg::Stop => {
+                        return exit(&engine, &proof, WorkerVerdict::Cancelled);
+                    }
+                }
+            }
+            if stop.load(Ordering::Relaxed) {
+                return exit(&engine, &proof, WorkerVerdict::Cancelled);
+            }
+        }
+        // Per-engine budgets (graceful: the engine just gives up).
+        if engine.stats.rounds >= pcfg.max_rounds_per_engine {
+            return exit(
+                &engine,
+                &proof,
+                WorkerVerdict::GaveUp(format!(
+                    "no proof within {} rounds",
+                    pcfg.max_rounds_per_engine
+                )),
+            );
+        }
+        if let Some(budget) = pcfg.wall_clock_budget {
+            if start.elapsed() >= budget {
+                return exit(
+                    &engine,
+                    &proof,
+                    WorkerVerdict::GaveUp("wall-clock budget exhausted".to_owned()),
+                );
+            }
+        }
+        match engine.round(pool, program, &mut proof) {
+            RoundOutcome::Refined => {
+                let batch: Vec<ExportedTerm> = engine
+                    .take_new_assertions()
+                    .into_iter()
+                    .map(|t| pool.export(t))
+                    .collect();
+                let msg = if pcfg.deterministic {
+                    WorkerMsg::RoundDone { engine: idx, batch }
+                } else {
+                    WorkerMsg::Refined { engine: idx, batch }
+                };
+                if tx.send(msg).is_err() {
+                    return exit(&engine, &proof, WorkerVerdict::Cancelled);
+                }
+            }
+            RoundOutcome::Proven => return exit(&engine, &proof, WorkerVerdict::Proven),
+            RoundOutcome::Bug(trace) => return exit(&engine, &proof, WorkerVerdict::Bug(trace)),
+            RoundOutcome::GaveUp(reason) => {
+                return exit(&engine, &proof, WorkerVerdict::GaveUp(reason))
+            }
+            RoundOutcome::Cancelled => return exit(&engine, &proof, WorkerVerdict::Cancelled),
+        }
+    }
+}
+
+fn import_batch(pool: &mut TermPool, proof: &mut ProofAutomaton, batch: &[ExportedTerm]) {
+    for t in batch {
+        let id = pool.import(t);
+        proof.add_assertion(id);
+    }
+}
+
+/// Deterministic coordinator: full round barriers, assertion batches
+/// merged and broadcast in engine-index order, lowest conclusive engine
+/// index wins.
+fn coordinate_lockstep(
+    n: usize,
+    pcfg: &ParallelConfig,
+    from_workers: &Receiver<WorkerMsg>,
+    to_workers: &[Sender<CoordMsg>],
+) -> PhaseResult {
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut exits: Vec<Option<WorkerExit>> = (0..n).map(|_| None).collect();
+    // Batches discovered in the previous round, indexed by engine.
+    let mut pending: Vec<Vec<ExportedTerm>> = vec![Vec::new(); n];
+    loop {
+        let living: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+        if living.is_empty() {
+            break;
+        }
+        // Release the barrier: everyone gets the same ordered batch list.
+        let broadcast: Vec<Vec<ExportedTerm>> =
+            pending.iter().filter(|b| !b.is_empty()).cloned().collect();
+        pending.iter_mut().for_each(Vec::clear);
+        for &i in &living {
+            // A failed send means the worker already exited; its Exit
+            // message is collected below.
+            let _ = to_workers[i].send(CoordMsg::Assertions(broadcast.clone()));
+        }
+        // Collect one reply per living worker.
+        let mut replies = 0;
+        let mut concluded: Vec<usize> = Vec::new();
+        while replies < living.len() {
+            match from_workers.recv() {
+                Ok(WorkerMsg::RoundDone { engine, batch }) => {
+                    replies += 1;
+                    pending[engine] = batch;
+                }
+                Ok(WorkerMsg::Refined { engine, batch }) => {
+                    // Not expected in lockstep mode, but harmless.
+                    replies += 1;
+                    pending[engine] = batch;
+                }
+                Ok(WorkerMsg::Exit(exit)) => {
+                    replies += 1;
+                    let i = exit.engine;
+                    alive[i] = false;
+                    if matches!(exit.verdict, WorkerVerdict::Proven | WorkerVerdict::Bug(_)) {
+                        concluded.push(i);
+                    }
+                    exits[i] = Some(*exit);
+                }
+                Err(_) => break, // all senders dropped: every worker exited
+            }
+        }
+        if let Some(&winner) = concluded.iter().min() {
+            // Stop the survivors and collect their exits.
+            for &i in &living {
+                if alive[i] {
+                    let _ = to_workers[i].send(CoordMsg::Stop);
+                }
+            }
+            drain_exits(from_workers, &mut exits, &mut alive);
+            let exit = exits[winner].as_ref().expect("winner exited");
+            let verdict = match &exit.verdict {
+                WorkerVerdict::Proven => Verdict::Correct,
+                WorkerVerdict::Bug(trace) => Verdict::Incorrect {
+                    trace: trace.clone(),
+                },
+                _ => unreachable!("concluded is conclusive"),
+            };
+            return PhaseResult {
+                verdict,
+                winner: Some(winner),
+                exits: seal_exits(exits),
+            };
+        }
+    }
+    let reason = give_up_reason(&exits, pcfg);
+    PhaseResult {
+        verdict: Verdict::Unknown { reason },
+        winner: None,
+        exits: seal_exits(exits),
+    }
+}
+
+/// Free-running coordinator: relays assertion batches as they arrive; the
+/// first conclusive exit wins and flips the stop flag.
+fn coordinate_free_running(
+    n: usize,
+    pcfg: &ParallelConfig,
+    from_workers: &Receiver<WorkerMsg>,
+    to_workers: &[Sender<CoordMsg>],
+    stop: &Arc<AtomicBool>,
+) -> PhaseResult {
+    let deadline = pcfg.wall_clock_budget.map(|b| Instant::now() + b);
+    let mut exits: Vec<Option<WorkerExit>> = (0..n).map(|_| None).collect();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut winner: Option<usize> = None;
+    // Kick the workers off: the first message releases nothing in
+    // free-running mode (workers don't block), so nothing to send here.
+    while alive.iter().any(|&a| a) {
+        let msg = match deadline {
+            Some(d) => {
+                let remaining = d
+                    .checked_duration_since(Instant::now())
+                    .unwrap_or(Duration::ZERO);
+                match from_workers.recv_timeout(remaining.max(Duration::from_millis(1))) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Global budget: stop everyone, then keep draining.
+                        stop.store(true, Ordering::Relaxed);
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            None => match from_workers.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            },
+        };
+        match msg {
+            WorkerMsg::Refined { engine, batch } | WorkerMsg::RoundDone { engine, batch } => {
+                if batch.is_empty() {
+                    continue;
+                }
+                for (i, sender) in to_workers.iter().enumerate() {
+                    if i != engine && alive[i] {
+                        let _ = sender.send(CoordMsg::Assertions(vec![batch.clone()]));
+                    }
+                }
+            }
+            WorkerMsg::Exit(exit) => {
+                let i = exit.engine;
+                alive[i] = false;
+                if winner.is_none()
+                    && matches!(exit.verdict, WorkerVerdict::Proven | WorkerVerdict::Bug(_))
+                {
+                    winner = Some(i);
+                    stop.store(true, Ordering::Relaxed);
+                }
+                exits[i] = Some(*exit);
+            }
+        }
+    }
+    drain_exits(from_workers, &mut exits, &mut alive);
+    match winner {
+        Some(w) => {
+            let exit = exits[w].as_ref().expect("winner exited");
+            let verdict = match &exit.verdict {
+                WorkerVerdict::Proven => Verdict::Correct,
+                WorkerVerdict::Bug(trace) => Verdict::Incorrect {
+                    trace: trace.clone(),
+                },
+                _ => unreachable!("winner is conclusive"),
+            };
+            PhaseResult {
+                verdict,
+                winner: Some(w),
+                exits: seal_exits(exits),
+            }
+        }
+        None => PhaseResult {
+            verdict: Verdict::Unknown {
+                reason: give_up_reason(&exits, pcfg),
+            },
+            winner: None,
+            exits: seal_exits(exits),
+        },
+    }
+}
+
+/// Receives the remaining `Exit` messages after a stop was requested.
+fn drain_exits(
+    from_workers: &Receiver<WorkerMsg>,
+    exits: &mut [Option<WorkerExit>],
+    alive: &mut [bool],
+) {
+    while alive.iter().any(|&a| a) {
+        match from_workers.recv() {
+            Ok(WorkerMsg::Exit(exit)) => {
+                let i = exit.engine;
+                alive[i] = false;
+                exits[i] = Some(*exit);
+            }
+            Ok(_) => {}      // late refinement chatter
+            Err(_) => break, // all workers gone without exits (can't happen)
+        }
+    }
+}
+
+/// Replaces any missing exit with a placeholder and sorts by engine index.
+fn seal_exits(exits: Vec<Option<WorkerExit>>) -> Vec<WorkerExit> {
+    exits
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| {
+            e.unwrap_or(WorkerExit {
+                engine: i,
+                verdict: WorkerVerdict::Panicked("engine vanished without a report".to_owned()),
+                stats: EngineStats::default(),
+                proof_size: 0,
+                hoare_checks: 0,
+            })
+        })
+        .collect()
+}
+
+/// Human-readable reason when no engine concluded.
+fn give_up_reason(exits: &[Option<WorkerExit>], pcfg: &ParallelConfig) -> String {
+    let all_budget = exits.iter().flatten().all(
+        |e| matches!(&e.verdict, WorkerVerdict::GaveUp(r) if r.starts_with("no proof within")),
+    );
+    if all_budget {
+        format!(
+            "no proof within {} rounds on any engine",
+            pcfg.max_rounds_per_engine
+        )
+    } else {
+        "every portfolio engine gave up".to_owned()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "engine thread panicked".to_owned()
+    }
 }

@@ -216,12 +216,7 @@ impl ProofAutomaton {
 
     /// ψ with the letter's written variables renamed to their primed
     /// versions (memoized).
-    fn rename_post(
-        &mut self,
-        pool: &mut TermPool,
-        l: LetterId,
-        psi: TermId,
-    ) -> TermId {
+    fn rename_post(&mut self, pool: &mut TermPool, l: LetterId, psi: TermId) -> TermId {
         if let Some(&r) = self.renamed_post.get(&(l, psi)) {
             return r;
         }
@@ -246,6 +241,23 @@ impl ProofAutomaton {
         let psi_primed = self.rename_post(pool, l, psi);
         let neg = pool.not(psi_primed);
         check(pool, &[phi_conj, rel, neg]).is_unsat()
+    }
+
+    /// Validity of the Hoare triple `{pre} l {post}`: no execution of
+    /// statement `l` from a `pre`-state reaches a `¬post`-state. This is
+    /// the exact solver query the proof automaton's transitions are built
+    /// from, exposed so tests can validate interpolant chains (each
+    /// consecutive pair of a sequence interpolant must form a valid triple
+    /// with the trace statement between them).
+    pub fn hoare_triple_valid(
+        &mut self,
+        pool: &mut TermPool,
+        program: &Program,
+        pre: TermId,
+        l: LetterId,
+        post: TermId,
+    ) -> bool {
+        self.hoare_valid(pool, program, pre, l, post)
     }
 
     /// `δ(Φ, a)`: the state of all assertions valid after executing `a`
@@ -292,10 +304,10 @@ impl Default for ProofAutomaton {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use program::stmt::{SimpleStmt, Statement};
-    use program::thread::{Thread, ThreadId};
     use automata::bitset::BitSet;
     use automata::dfa::DfaBuilder;
+    use program::stmt::{SimpleStmt, Statement};
+    use program::thread::{Thread, ThreadId};
     use smt::linear::LinExpr;
 
     /// One thread: x := x + 1.

@@ -8,7 +8,10 @@
 //! comparison against Ultimate Automizer.
 
 use crate::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
-use crate::interpolate::{analyze_trace_with_mode, InterpolationMode, InterpolationStats, TraceResult};
+use crate::engine::TraceHistory;
+use crate::interpolate::{
+    analyze_trace_with_mode, InterpolationMode, InterpolationStats, TraceResult,
+};
 use crate::proof::ProofAutomaton;
 use program::commutativity::{CommutativityLevel, CommutativityOracle};
 use program::concurrent::{LetterId, Program, Spec};
@@ -282,8 +285,9 @@ fn verify_spec(
         use_persistent: config.use_persistent,
         proof_sensitive: config.proof_sensitive,
         max_visited: config.max_visited_per_round,
+        stop: None,
     };
-    let mut last_trace: Option<Vec<LetterId>> = None;
+    let mut history = TraceHistory::new();
 
     for _round in 0..config.max_rounds {
         stats.rounds += 1;
@@ -315,8 +319,15 @@ fn verify_spec(
                     ),
                 }
             }
+            CheckResult::Cancelled => {
+                return Verdict::Unknown {
+                    reason: "cancelled".to_owned(),
+                }
+            }
             CheckResult::Counterexample(trace) => {
-                if last_trace.as_ref() == Some(&trace) {
+                // Any recently seen trace (not just the previous round's)
+                // means the refinement is cycling.
+                if history.record(&trace) {
                     return Verdict::Unknown {
                         reason: "refinement made no progress".to_owned(),
                     };
@@ -342,7 +353,6 @@ fn verify_spec(
                         stats.proof_size = stats.proof_size.max(proof.proof_size());
                     }
                 }
-                last_trace = Some(trace);
             }
         }
     }

@@ -3,7 +3,10 @@
 
 use automata::bitset::BitSet;
 use automata::dfa::DfaBuilder;
-use gemcutter::portfolio::{adaptive_verify, default_portfolio, portfolio_verify};
+use gemcutter::portfolio::{
+    adaptive_verify, default_portfolio, parallel_verify, portfolio_verify, EngineStatus,
+    ParallelConfig,
+};
 use gemcutter::verify::{verify, OrderSpec, Verdict, VerifierConfig};
 use program::concurrent::Program;
 use program::stmt::{SimpleStmt, Statement};
@@ -43,8 +46,18 @@ fn two_inc(pool: &mut TermPool, bound: i128) -> Program {
         SimpleStmt::Assume(all_done),
         pool,
     ));
-    let ok = b.add_statement(Statement::simple(ThreadId(2), "ok", SimpleStmt::Assume(ok_guard), pool));
-    let bad = b.add_statement(Statement::simple(ThreadId(2), "bad", SimpleStmt::Assume(bad_guard), pool));
+    let ok = b.add_statement(Statement::simple(
+        ThreadId(2),
+        "ok",
+        SimpleStmt::Assume(ok_guard),
+        pool,
+    ));
+    let bad = b.add_statement(Statement::simple(
+        ThreadId(2),
+        "bad",
+        SimpleStmt::Assume(bad_guard),
+        pool,
+    ));
     let mut cfg = DfaBuilder::new();
     let q0 = cfg.add_state(false);
     let q1 = cfg.add_state(false);
@@ -138,6 +151,100 @@ fn adaptive_respects_round_budget() {
     assert!(matches!(outcome.verdict, Verdict::Unknown { .. }));
     assert!(winner.is_none());
     assert_eq!(outcome.stats.rounds, 1);
+}
+
+#[test]
+fn parallel_portfolio_agrees_with_sequential() {
+    for deterministic in [false, true] {
+        for bound in [2i128, 1] {
+            let mut pool = TermPool::new();
+            let p = two_inc(&mut pool, bound);
+            let pcfg = ParallelConfig {
+                deterministic,
+                ..ParallelConfig::default()
+            };
+            let result = parallel_verify(&pool, &p, &default_portfolio(), &pcfg);
+            if bound == 2 {
+                assert!(
+                    result.outcome.verdict.is_correct(),
+                    "det={deterministic}: {:?}",
+                    result.outcome.verdict
+                );
+            } else {
+                assert!(
+                    matches!(result.outcome.verdict, Verdict::Incorrect { .. }),
+                    "det={deterministic}: {:?}",
+                    result.outcome.verdict
+                );
+            }
+            assert!(result.winner.is_some(), "conclusive run names a winner");
+            assert_eq!(result.engines.len(), default_portfolio().len());
+            let wins = result
+                .engines
+                .iter()
+                .filter(|r| r.status == EngineStatus::Won)
+                .count();
+            assert_eq!(wins, 1, "exactly one winner per spec phase");
+            assert!(result.outcome.stats.rounds > 0);
+        }
+    }
+}
+
+#[test]
+fn parallel_zero_wall_clock_budget_degrades_gracefully() {
+    let mut pool = TermPool::new();
+    let p = two_inc(&mut pool, 2);
+    let pcfg = ParallelConfig {
+        wall_clock_budget: Some(std::time::Duration::ZERO),
+        ..ParallelConfig::default()
+    };
+    let result = parallel_verify(&pool, &p, &default_portfolio(), &pcfg);
+    // Every engine runs out of budget before its first round; the run
+    // still terminates cleanly with Unknown instead of hanging/panicking.
+    assert!(matches!(result.outcome.verdict, Verdict::Unknown { .. }));
+    assert!(result.winner.is_none());
+    for report in &result.engines {
+        assert!(
+            matches!(report.status, EngineStatus::GaveUp(_) | EngineStatus::Lost),
+            "{:?}",
+            report.status
+        );
+    }
+}
+
+#[test]
+fn parallel_round_budget_degrades_gracefully() {
+    let mut pool = TermPool::new();
+    let p = two_inc(&mut pool, 2);
+    let pcfg = ParallelConfig {
+        deterministic: true,
+        max_rounds_per_engine: 1,
+        ..ParallelConfig::default()
+    };
+    let result = parallel_verify(&pool, &p, &default_portfolio(), &pcfg);
+    assert!(matches!(result.outcome.verdict, Verdict::Unknown { .. }));
+    for report in &result.engines {
+        assert!(report.rounds <= 1, "round budget respected: {report:?}");
+    }
+}
+
+#[test]
+fn parallel_deterministic_runs_are_reproducible() {
+    let reference: Vec<_> = (0..3)
+        .map(|_| {
+            let mut pool = TermPool::new();
+            let p = two_inc(&mut pool, 2);
+            let pcfg = ParallelConfig {
+                deterministic: true,
+                ..ParallelConfig::default()
+            };
+            let r = parallel_verify(&pool, &p, &default_portfolio(), &pcfg);
+            (r.outcome.verdict.is_correct(), r.winner, r.engines)
+        })
+        .collect();
+    assert_eq!(reference[0], reference[1]);
+    assert_eq!(reference[0], reference[2]);
+    assert!(reference[0].0, "two_inc(2) is safe");
 }
 
 #[test]

@@ -64,7 +64,11 @@ fn counter_program(pool: &mut TermPool, n: u32, k: i128, bound: i128) -> Program
         let entry = cfg.add_state(false);
         let exit = cfg.add_state(true);
         cfg.add_transition(entry, worker_letters[t], exit);
-        b.add_thread(Thread::new(&format!("worker{t}"), cfg.build(entry), BitSet::new(2)));
+        b.add_thread(Thread::new(
+            &format!("worker{t}"),
+            cfg.build(entry),
+            BitSet::new(2),
+        ));
     }
     {
         let mut cfg = DfaBuilder::new();
@@ -115,7 +119,12 @@ fn mutex_program(pool: &mut TermPool, broken: bool) -> Program {
         ));
         let one = pool.eq_const(critical, 1);
         let not_one = pool.not(one);
-        let ok = b.add_statement(Statement::simple(ThreadId(t), "assert", SimpleStmt::Assume(one), pool));
+        let ok = b.add_statement(Statement::simple(
+            ThreadId(t),
+            "assert",
+            SimpleStmt::Assume(one),
+            pool,
+        ));
         let bad = b.add_statement(Statement::simple(
             ThreadId(t),
             "assert fails",
@@ -209,7 +218,12 @@ fn verifier_agrees_with_explicit_state_search() {
         let interp = Interpreter::new(&p);
         let search = interp.search(&pool, Spec::ErrorOf(ThreadId(n)), 100_000);
         match (&outcome.verdict, &search) {
-            (Verdict::Correct, SearchResult::NoErrorFound { exhaustive: true, .. }) => {}
+            (
+                Verdict::Correct,
+                SearchResult::NoErrorFound {
+                    exhaustive: true, ..
+                },
+            ) => {}
             (Verdict::Incorrect { .. }, SearchResult::ErrorReachable(_)) => {}
             other => panic!("disagreement on n={n} k={k} bound={bound}: {other:?}"),
         }
@@ -242,7 +256,12 @@ fn independent_workers(pool: &mut TermPool, n: u32) -> Program {
     b.add_global(y, 0);
     let zero = pool.eq_const(y, 0);
     let nonzero = pool.not(zero);
-    let ok = b.add_statement(Statement::simple(ThreadId(0), "assert ok", SimpleStmt::Assume(zero), pool));
+    let ok = b.add_statement(Statement::simple(
+        ThreadId(0),
+        "assert ok",
+        SimpleStmt::Assume(zero),
+        pool,
+    ));
     let bad = b.add_statement(Statement::simple(
         ThreadId(0),
         "assert fails",

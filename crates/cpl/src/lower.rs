@@ -175,7 +175,10 @@ fn simple_steps(pool: &mut TermPool, stmt: &Stmt, env: &Env) -> Vec<Vec<SimpleSt
                 Type::Int => vec![vec![SimpleStmt::Assign(v, int_expr(e, env))]],
                 Type::Bool => match e {
                     Expr::Bool(value) => {
-                        vec![vec![SimpleStmt::Assign(v, LinExpr::constant(i128::from(*value)))]]
+                        vec![vec![SimpleStmt::Assign(
+                            v,
+                            LinExpr::constant(i128::from(*value)),
+                        )]]
                     }
                     Expr::Nondet => vec![
                         vec![SimpleStmt::Assign(v, LinExpr::constant(0))],

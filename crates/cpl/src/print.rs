@@ -147,7 +147,8 @@ mod tests {
 
     #[test]
     fn requires_ensures_round_trip() {
-        let src = "var x: int; requires x >= 0 && x <= 9; ensures x == 1; thread t { x := 1; } spawn t;";
+        let src =
+            "var x: int; requires x >= 0 && x <= 9; ensures x == 1; thread t { x := 1; } spawn t;";
         let ast = parse(src).unwrap();
         let printed = to_source(&ast);
         assert_eq!(ast, parse(&printed).unwrap());

@@ -233,14 +233,18 @@ mod tests {
 
     #[test]
     fn rejects_duplicates_and_shadowing() {
-        assert!(check_src("var x: int; var x: int; thread t { skip; } spawn t;")
-            .unwrap_err()
-            .message
-            .contains("duplicate global"));
-        assert!(check_src("var x: int; thread t { local x: int; skip; } spawn t;")
-            .unwrap_err()
-            .message
-            .contains("shadows"));
+        assert!(
+            check_src("var x: int; var x: int; thread t { skip; } spawn t;")
+                .unwrap_err()
+                .message
+                .contains("duplicate global")
+        );
+        assert!(
+            check_src("var x: int; thread t { local x: int; skip; } spawn t;")
+                .unwrap_err()
+                .message
+                .contains("shadows")
+        );
     }
 
     #[test]
@@ -253,10 +257,12 @@ mod tests {
 
     #[test]
     fn rejects_nonlinear_multiplication() {
-        assert!(check_src("var x: int; var y: int; thread t { x := x * y; } spawn t;")
-            .unwrap_err()
-            .message
-            .contains("nonlinear"));
+        assert!(
+            check_src("var x: int; var y: int; thread t { x := x * y; } spawn t;")
+                .unwrap_err()
+                .message
+                .contains("nonlinear")
+        );
         check_src("var x: int; thread t { x := 2 * x + (1 + 2) * x; } spawn t;").unwrap();
     }
 
@@ -284,7 +290,10 @@ mod tests {
             .unwrap_err()
             .message
             .contains("undefined template"));
-        assert!(check_src("thread t { skip; }").unwrap_err().message.contains("spawns no"));
+        assert!(check_src("thread t { skip; }")
+            .unwrap_err()
+            .message
+            .contains("spawns no"));
     }
 
     #[test]

@@ -52,7 +52,10 @@ fn statement(vars: Vec<String>) -> impl Strategy<Value = Stmt> {
     let leaf = prop_oneof![
         Just(Stmt::Skip),
         proptest::sample::select(vars.clone()).prop_map(Stmt::Havoc),
-        (proptest::sample::select(vars.clone()), int_expr(vars.clone()))
+        (
+            proptest::sample::select(vars.clone()),
+            int_expr(vars.clone())
+        )
             .prop_map(|(x, e)| Stmt::Assign(x, e)),
         bool_expr(vars.clone()).prop_map(Stmt::Assume),
         bool_expr(vars.clone()).prop_map(Stmt::Assert),

@@ -7,8 +7,8 @@
 //! ([`Program::explicit_product`]) exists for tests and for the
 //! language-theoretic experiments of §4.
 
-pub use crate::thread::LetterId;
 use crate::stmt::Statement;
+pub use crate::thread::LetterId;
 use crate::thread::{Thread, ThreadId};
 use automata::dfa::{Dfa, DfaBuilder, StateId};
 use smt::linear::VarId;

@@ -70,12 +70,7 @@ impl<'p> Interpreter<'p> {
 
     /// The initial states (branching over nondeterministic initials).
     pub fn initial_states(&self) -> Vec<ConcreteState> {
-        let locs: Vec<StateId> = self
-            .program
-            .threads()
-            .iter()
-            .map(|t| t.entry())
-            .collect();
+        let locs: Vec<StateId> = self.program.threads().iter().map(|t| t.entry()).collect();
         let mut states = vec![ConcreteState {
             locs,
             values: BTreeMap::new(),
@@ -106,19 +101,9 @@ impl<'p> Interpreter<'p> {
 
     /// All successor states of `state` under letter `l` (empty if the
     /// letter is disabled or all paths block).
-    pub fn step(
-        &self,
-        pool: &TermPool,
-        state: &ConcreteState,
-        l: LetterId,
-    ) -> Vec<ConcreteState> {
+    pub fn step(&self, pool: &TermPool, state: &ConcreteState, l: LetterId) -> Vec<ConcreteState> {
         let t = self.program.thread_of(l);
-        let Some(next_loc) = self
-            .program
-            .thread(t)
-            .cfg()
-            .step(state.locs[t.index()], l)
-        else {
+        let Some(next_loc) = self.program.thread(t).cfg().step(state.locs[t.index()], l) else {
             return Vec::new();
         };
         let stmt = self.program.statement(l);

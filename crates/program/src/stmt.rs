@@ -207,10 +207,8 @@ impl Statement {
                         continue;
                     };
                     let lhs = LinExpr::var(*x);
-                    let eq = smt::linear::LinearConstraint::new(
-                        lhs.sub(&e_old),
-                        smt::linear::Rel::Eq0,
-                    );
+                    let eq =
+                        smt::linear::LinearConstraint::new(lhs.sub(&e_old), smt::linear::Rel::Eq0);
                     let mut c = shifted;
                     if !c.add(eq) {
                         continue;
@@ -257,8 +255,7 @@ impl Statement {
         pool: &mut TermPool,
         primed: &HashMap<VarId, VarId>,
     ) -> (TermId, Vec<VarId>) {
-        let identity: HashMap<VarId, VarId> =
-            self.accesses().iter().map(|&v| (v, v)).collect();
+        let identity: HashMap<VarId, VarId> = self.accesses().iter().map(|&v| (v, v)).collect();
         let mut disjuncts = Vec::with_capacity(self.paths.len());
         let mut aux = Vec::new();
         for path in &self.paths {
@@ -490,10 +487,7 @@ mod tests {
                     SimpleStmt::Assume(p_zero),
                     SimpleStmt::Assign(ev, LinExpr::constant(1)),
                 ],
-                vec![
-                    SimpleStmt::Assign(p, dec),
-                    SimpleStmt::Assume(p_nonzero),
-                ],
+                vec![SimpleStmt::Assign(p, dec), SimpleStmt::Assume(p_nonzero)],
             ],
             &pool,
         );

@@ -11,18 +11,18 @@
 //! * if the interpreter has *no* successor (blocking assume), the SSA
 //!   encoding is unsatisfiable when pinned to `σ`.
 
-use proptest::prelude::*;
+use automata::bitset::BitSet;
+use automata::dfa::DfaBuilder;
 use program::concurrent::{LetterId, Program};
 use program::interp::Interpreter;
 use program::stmt::{SimpleStmt, Statement};
 use program::thread::{Thread, ThreadId};
 use program::var::Versions;
+use proptest::prelude::*;
 use smt::cube::Dnf;
 use smt::linear::{LinExpr, VarId};
 use smt::solver::check;
 use smt::term::{TermId, TermPool};
-use automata::bitset::BitSet;
-use automata::dfa::DfaBuilder;
 
 const NUM_VARS: usize = 3;
 
@@ -53,19 +53,14 @@ fn stmt_desc() -> impl Strategy<Value = Vec<Vec<StepDesc>>> {
     proptest::collection::vec(proptest::collection::vec(step_desc(), 1..=3), 1..=2)
 }
 
-fn build(
-    pool: &mut TermPool,
-    desc: &[Vec<StepDesc>],
-    initial: &[i128],
-) -> (Program, Vec<VarId>) {
+fn build(pool: &mut TermPool, desc: &[Vec<StepDesc>], initial: &[i128]) -> (Program, Vec<VarId>) {
     let vars: Vec<VarId> = (0..NUM_VARS).map(|i| pool.var(&format!("x{i}"))).collect();
     let lower = |pool: &mut TermPool, s: &StepDesc| -> SimpleStmt {
         match *s {
             StepDesc::AssignConst(x, k) => SimpleStmt::Assign(vars[x], LinExpr::constant(k)),
-            StepDesc::AssignLinear(x, y, k) => SimpleStmt::Assign(
-                vars[x],
-                LinExpr::var(vars[y]).add(&LinExpr::constant(k)),
-            ),
+            StepDesc::AssignLinear(x, y, k) => {
+                SimpleStmt::Assign(vars[x], LinExpr::var(vars[y]).add(&LinExpr::constant(k)))
+            }
             StepDesc::Havoc(x) => SimpleStmt::Havoc(vars[x]),
             StepDesc::AssumeLe(x, k) => {
                 let g = pool.le_const(vars[x], k);

@@ -204,11 +204,7 @@ mod tests {
     #[test]
     fn projection_catches_subtle_inequivalence() {
         // Same multiset, same ab-order freedom, but c-relative order differs.
-        assert!(!equivalent(
-            &['a', 'c', 'b'],
-            &['b', 'c', 'a'],
-            ab_commute
-        ));
+        assert!(!equivalent(&['a', 'c', 'b'], &['b', 'c', 'a'], ab_commute));
     }
 
     #[test]
@@ -265,8 +261,7 @@ mod tests {
         for u in &words {
             for v in &words {
                 let eq = equivalent(u, v, ab_commute);
-                let foata_eq =
-                    foata_normal_form(u, ab_commute) == foata_normal_form(v, ab_commute);
+                let foata_eq = foata_normal_form(u, ab_commute) == foata_normal_form(v, ab_commute);
                 assert_eq!(eq, foata_eq, "{u:?} vs {v:?}");
             }
         }

@@ -171,11 +171,7 @@ impl PreferenceOrder for PriorityOrder {
 
     fn rank(&self, _ctx: OrderContext, letter: LetterId, program: &Program) -> u64 {
         let thread = program.thread_of(letter).0 as usize;
-        let rank = self
-            .priority
-            .get(thread)
-            .copied()
-            .unwrap_or(thread as u32) as u64;
+        let rank = self.priority.get(thread).copied().unwrap_or(thread as u32) as u64;
         (rank << 32) | letter.0 as u64
     }
 }
@@ -231,10 +227,10 @@ impl PreferenceOrder for RandomOrder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use program::stmt::{SimpleStmt, Statement};
-    use program::thread::{Thread, ThreadId};
     use automata::bitset::BitSet;
     use automata::dfa::DfaBuilder;
+    use program::stmt::{SimpleStmt, Statement};
+    use program::thread::{Thread, ThreadId};
     use smt::term::TermPool;
 
     /// Three threads with two letters each.
@@ -291,9 +287,7 @@ mod tests {
         ];
         for o in &orders {
             for ctx in 0..4u64 {
-                let mut ranks: Vec<u64> = (0..6u32)
-                    .map(|l| o.rank(ctx, LetterId(l), &p))
-                    .collect();
+                let mut ranks: Vec<u64> = (0..6u32).map(|l| o.rank(ctx, LetterId(l), &p)).collect();
                 ranks.sort_unstable();
                 ranks.dedup();
                 assert_eq!(ranks.len(), 6, "order {} ctx {ctx}", o.name());
@@ -309,8 +303,14 @@ mod tests {
         assert!(o.less(0, LetterId(0), LetterId(2), &p));
         // After a step of thread 0 (letter 0), thread 0 goes last.
         let ctx = o.step(0, LetterId(0), &p);
-        assert!(o.less(ctx, LetterId(2), LetterId(0), &p), "thread 1 now preferred");
-        assert!(o.less(ctx, LetterId(4), LetterId(0), &p), "thread 2 now preferred");
+        assert!(
+            o.less(ctx, LetterId(2), LetterId(0), &p),
+            "thread 1 now preferred"
+        );
+        assert!(
+            o.less(ctx, LetterId(4), LetterId(0), &p),
+            "thread 2 now preferred"
+        );
         // After a step of thread 1, thread 2 is first, thread 1 last.
         let ctx2 = o.step(ctx, LetterId(2), &p);
         assert!(o.less(ctx2, LetterId(4), LetterId(2), &p));

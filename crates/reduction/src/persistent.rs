@@ -280,13 +280,19 @@ fn sink_scc(nodes: &[usize], edge: impl Fn(usize, usize) -> bool) -> Vec<usize> 
     }
     // Sinks: components with no edge to another component.
     let is_sink = |cid: usize| -> bool {
-        comps[cid].iter().all(|&v| {
-            adj[v].iter().all(|&w| comp_of[w] == cid)
-        })
+        comps[cid]
+            .iter()
+            .all(|&v| adj[v].iter().all(|&w| comp_of[w] == cid))
     };
     let sink = (0..comps.len())
         .filter(|&c| is_sink(c))
-        .min_by_key(|&c| comps[c].iter().map(|&v| nodes[v]).min().unwrap_or(usize::MAX))
+        .min_by_key(|&c| {
+            comps[c]
+                .iter()
+                .map(|&v| nodes[v])
+                .min()
+                .unwrap_or(usize::MAX)
+        })
         .expect("a finite digraph has a sink SCC");
     let mut out: Vec<usize> = comps[sink].iter().map(|&v| nodes[v]).collect();
     out.sort_unstable();
@@ -298,10 +304,10 @@ fn sink_scc(nodes: &[usize], edge: impl Fn(usize, usize) -> bool) -> Vec<usize> 
 mod tests {
     use super::*;
     use crate::order::SeqOrder;
+    use automata::dfa::DfaBuilder;
     use program::commutativity::CommutativityLevel;
     use program::stmt::{SimpleStmt, Statement};
     use program::thread::Thread;
-    use automata::dfa::DfaBuilder;
     use smt::linear::LinExpr;
 
     /// n independent single-step threads (full commutativity).
@@ -392,7 +398,13 @@ mod tests {
         let q = p.initial_state();
         // If thread 2 is the asserting one, its action must be present even
         // though thread 0 would otherwise be the sink.
-        let m = ps.compute(&p, &q, &SeqOrder::new(), 0, MembraneMode::ErrorThread(ThreadId(2)));
+        let m = ps.compute(
+            &p,
+            &q,
+            &SeqOrder::new(),
+            0,
+            MembraneMode::ErrorThread(ThreadId(2)),
+        );
         assert!(m.contains(&LetterId(2)));
     }
 
@@ -405,7 +417,13 @@ mod tests {
         // Advance thread 1 to its exit.
         let q0 = p.initial_state();
         let q1 = p.step(&q0, LetterId(1)).unwrap();
-        let m = ps.compute(&p, &q1, &SeqOrder::new(), 0, MembraneMode::ErrorThread(ThreadId(1)));
+        let m = ps.compute(
+            &p,
+            &q1,
+            &SeqOrder::new(),
+            0,
+            MembraneMode::ErrorThread(ThreadId(1)),
+        );
         assert!(m.is_empty(), "no accepted word can start once t1 exited");
     }
 

@@ -134,11 +134,11 @@ mod tests {
     use super::*;
     use crate::mazurkiewicz::{check_reduction_minimal, check_reduction_sound};
     use crate::order::{LockstepOrder, RandomOrder, SeqOrder};
+    use automata::dfa::DfaBuilder as CfgBuilder;
     use automata::explore::{accepted_words, bounded_equal};
     use program::commutativity::CommutativityLevel;
     use program::stmt::{SimpleStmt, Statement};
     use program::thread::{Thread, ThreadId};
-    use automata::dfa::DfaBuilder as CfgBuilder;
     use smt::linear::LinExpr;
 
     /// n threads, each a single private write (full commutativity).
@@ -376,7 +376,11 @@ mod tests {
         );
         let commute = full_commute(&p);
         let bound = 6;
-        check_reduction_sound(&accepted_words(&full, bound), &accepted_words(&red, bound), commute)
-            .expect("π-reduction alone is sound");
+        check_reduction_sound(
+            &accepted_words(&full, bound),
+            &accepted_words(&red, bound),
+            commute,
+        )
+        .expect("π-reduction alone is sound");
     }
 }

@@ -83,12 +83,12 @@ mod tests {
     use super::*;
     use crate::mazurkiewicz::{check_reduction_minimal, check_reduction_sound};
     use crate::order::{RandomOrder, SeqOrder};
+    use automata::dfa::DfaBuilder as CfgBuilder;
     use automata::explore::accepted_words;
     use program::commutativity::CommutativityLevel;
     use program::concurrent::Spec;
     use program::stmt::{SimpleStmt, Statement};
     use program::thread::{Thread, ThreadId};
-    use automata::dfa::DfaBuilder as CfgBuilder;
 
     /// n threads, each writing its own variable k times — full commutativity
     /// across threads.
@@ -118,7 +118,11 @@ mod tests {
                 cfg.add_transition(prev, letters[t][s], next);
                 prev = next;
             }
-            b.add_thread(Thread::new("t", cfg.build(entry), BitSet::new(k as usize + 1)));
+            b.add_thread(Thread::new(
+                "t",
+                cfg.build(entry),
+                BitSet::new(k as usize + 1),
+            ));
         }
         b.build(pool)
     }
@@ -156,8 +160,7 @@ mod tests {
             Box::new(SeqOrder::new()) as Box<dyn PreferenceOrder>,
             Box::new(RandomOrder::new(3)),
         ] {
-            let sleep =
-                sleep_set_automaton(&mut pool, &p, &product, order.as_ref(), &mut oracle);
+            let sleep = sleep_set_automaton(&mut pool, &p, &product, order.as_ref(), &mut oracle);
             let full = accepted_words(&product, 3);
             let reduced = accepted_words(&sleep, 3);
             let commute = |a: LetterId, b: LetterId| {

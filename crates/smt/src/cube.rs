@@ -36,9 +36,7 @@ impl Cube {
 
     /// Builds a cube from constraints; returns `None` if any is trivially
     /// false after normalization.
-    pub fn from_constraints(
-        cs: impl IntoIterator<Item = NormalizedConstraint>,
-    ) -> Option<Cube> {
+    pub fn from_constraints(cs: impl IntoIterator<Item = NormalizedConstraint>) -> Option<Cube> {
         let mut cube = Cube::tautology();
         for c in cs {
             if !cube.add(c) {
@@ -355,11 +353,7 @@ impl Dnf {
         let cubes = std::mem::take(&mut self.cubes);
         let mut kept: Vec<Cube> = Vec::new();
         for c in cubes {
-            if kept
-                .iter()
-                .any(|k| c.syntactically_implies(k) && &c != k)
-                || kept.contains(&c)
-            {
+            if kept.iter().any(|k| c.syntactically_implies(k) && &c != k) || kept.contains(&c) {
                 continue;
             }
             kept.retain(|k| !(k.syntactically_implies(&c) && *k != c));
@@ -386,10 +380,9 @@ impl Dnf {
             })
             .cloned()
             .collect();
-        let merged = Cube::from_constraints(
-            common.into_iter().map(NormalizedConstraint::Constraint),
-        )
-        .expect("constraints from existing cubes are not trivially false");
+        let merged =
+            Cube::from_constraints(common.into_iter().map(NormalizedConstraint::Constraint))
+                .expect("constraints from existing cubes are not trivially false");
         self.cubes = vec![merged];
         self.exact = false;
     }

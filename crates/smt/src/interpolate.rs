@@ -57,9 +57,7 @@ pub enum Interpolant {
 /// assert_eq!(chain[2], Interpolant::False);
 /// // chain[1] is (a scaling of) 5 − x ≤ 0, i.e. x ≥ 5.
 /// ```
-pub fn farkas_sequence_interpolants(
-    blocks: &[Vec<LinearConstraint>],
-) -> Option<Vec<Interpolant>> {
+pub fn farkas_sequence_interpolants(blocks: &[Vec<LinearConstraint>]) -> Option<Vec<Interpolant>> {
     let flat: Vec<LinearConstraint> = blocks.iter().flatten().cloned().collect();
     let block_of: Vec<usize> = blocks
         .iter()
@@ -171,7 +169,9 @@ mod tests {
         let cs = vec![
             mk(LinExpr::var(x).sub(&LinExpr::var(y)), Rel::Eq0),
             mk(
-                LinExpr::var(y).sub(&LinExpr::var(x)).sub(&LinExpr::constant(1)),
+                LinExpr::var(y)
+                    .sub(&LinExpr::var(x))
+                    .sub(&LinExpr::constant(1)),
                 Rel::Eq0,
             ),
         ];
@@ -274,7 +274,10 @@ mod tests {
     #[test]
     fn feasible_blocks_yield_none() {
         let x = v(0);
-        let blocks = vec![vec![mk(LinExpr::var(x).sub(&LinExpr::constant(5)), Rel::Le0)]];
+        let blocks = vec![vec![mk(
+            LinExpr::var(x).sub(&LinExpr::constant(5)),
+            Rel::Le0,
+        )]];
         assert_eq!(farkas_sequence_interpolants(&blocks), None);
     }
 }

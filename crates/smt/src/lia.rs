@@ -184,7 +184,10 @@ mod tests {
         // 2x + 2y = 6, x ≥ 1, y ≥ 1 → (1, 2) etc.; rational vertex may be
         // fractional depending on pivoting but integers exist.
         let cs = [
-            eq(LinExpr::var(x()).scale(2).add(&LinExpr::var(y()).scale(2)), 6),
+            eq(
+                LinExpr::var(x()).scale(2).add(&LinExpr::var(y()).scale(2)),
+                6,
+            ),
             ge(LinExpr::var(x()), 1),
             ge(LinExpr::var(y()), 1),
         ];
@@ -220,8 +223,14 @@ mod tests {
         let cs = [
             ge(LinExpr::var(x()), 0),
             ge(LinExpr::var(y()), 0),
-            le(LinExpr::var(x()).scale(3).add(&LinExpr::var(y()).scale(3)), 4),
-            ge(LinExpr::var(x()).scale(2).add(&LinExpr::var(y()).scale(2)), 1),
+            le(
+                LinExpr::var(x()).scale(3).add(&LinExpr::var(y()).scale(3)),
+                4,
+            ),
+            ge(
+                LinExpr::var(x()).scale(2).add(&LinExpr::var(y()).scale(2)),
+                1,
+            ),
         ];
         assert!(check_integer(&cs).is_sat());
     }

@@ -50,8 +50,10 @@ pub mod rational;
 pub mod simplex;
 pub mod solver;
 pub mod term;
+pub mod transfer;
 pub mod unsat_core;
 
 pub use linear::{LinExpr, LinearConstraint, Rel, VarId};
 pub use solver::{check, entails, equivalent, is_valid, Model, SatResult};
 pub use term::{Term, TermId, TermPool};
+pub use transfer::ExportedTerm;

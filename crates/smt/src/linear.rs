@@ -167,7 +167,10 @@ impl LinExpr {
     ///
     /// Panics (debug builds) if `replacement` mentions `x`.
     pub fn substitute(&self, x: VarId, replacement: &LinExpr) -> LinExpr {
-        debug_assert!(!replacement.mentions(x), "substitution must eliminate the variable");
+        debug_assert!(
+            !replacement.mentions(x),
+            "substitution must eliminate the variable"
+        );
         let c = self.coeff(x);
         if c == 0 {
             return self.clone();
@@ -185,11 +188,7 @@ impl LinExpr {
 
     /// Evaluates under `value`, a total assignment of the mentioned vars.
     pub fn eval(&self, mut value: impl FnMut(VarId) -> i128) -> i128 {
-        self.terms
-            .iter()
-            .map(|&(v, c)| c * value(v))
-            .sum::<i128>()
-            + self.constant
+        self.terms.iter().map(|&(v, c)| c * value(v)).sum::<i128>() + self.constant
     }
 
     /// The gcd of the variable coefficients (0 for constants).
@@ -308,10 +307,7 @@ impl LinearConstraint {
                     // ⇔ Σ(c/g)x ≤ floor(−k/g) ⇔ Σ(c/g)x − floor(−k/g) ≤ 0.
                     let k = expr.constant_term();
                     let tightened = -((-k).div_euclid(g));
-                    LinExpr::from_terms(
-                        expr.terms().iter().map(|&(v, c)| (v, c / g)),
-                        tightened,
-                    )
+                    LinExpr::from_terms(expr.terms().iter().map(|&(v, c)| (v, c / g)), tightened)
                 }
                 Rel::Eq0 => {
                     let k = expr.constant_term();
@@ -410,7 +406,9 @@ mod tests {
             .sub(&LinExpr::var(x()).scale(2));
         assert!(e.is_constant());
         assert_eq!(e, LinExpr::zero());
-        let f = LinExpr::var(x()).add(&LinExpr::var(y()).scale(-3)).add(&LinExpr::constant(7));
+        let f = LinExpr::var(x())
+            .add(&LinExpr::var(y()).scale(-3))
+            .add(&LinExpr::constant(7));
         assert_eq!(f.coeff(x()), 1);
         assert_eq!(f.coeff(y()), -3);
         assert_eq!(f.coeff(VarId(9)), 0);
@@ -448,7 +446,10 @@ mod tests {
     fn constraint_divisibility_eq() {
         // 2x - 3 = 0 is unsatisfiable over ℤ.
         let e = LinExpr::var(x()).scale(2).sub(&LinExpr::constant(3));
-        assert_eq!(LinearConstraint::new(e, Rel::Eq0), NormalizedConstraint::False);
+        assert_eq!(
+            LinearConstraint::new(e, Rel::Eq0),
+            NormalizedConstraint::False
+        );
         // 2x - 4 = 0  ⇔  x - 2 = 0
         let e = LinExpr::var(x()).scale(2).sub(&LinExpr::constant(4));
         let NormalizedConstraint::Constraint(c) = LinearConstraint::new(e, Rel::Eq0) else {

@@ -127,7 +127,12 @@ impl Rat {
         let num = self
             .num
             .checked_mul(other.den)
-            .and_then(|a| other.num.checked_mul(self.den).and_then(|b| a.checked_add(b)))
+            .and_then(|a| {
+                other
+                    .num
+                    .checked_mul(self.den)
+                    .and_then(|b| a.checked_add(b))
+            })
             .ok_or(ArithmeticOverflow)?;
         let den = self.den.checked_mul(other.den).ok_or(ArithmeticOverflow)?;
         Rat::new(num, den)

@@ -83,8 +83,7 @@ impl FarkasCertificate {
             return false;
         };
         for &(i, c) in &self.coefficients {
-            let Some(weight) = c.mul(Rat::from_int(scale)).ok().and_then(Rat::to_integer)
-            else {
+            let Some(weight) = c.mul(Rat::from_int(scale)).ok().and_then(Rat::to_integer) else {
                 return false;
             };
             if constraints[i].rel() == Rel::Le0 && weight < 0 {
@@ -433,9 +432,7 @@ mod tests {
                     // Verify the model satisfies every constraint over ℚ.
                     let mut v = Rat::from_int(c.expr().constant_term());
                     for &(var, coeff) in c.expr().terms() {
-                        v = v
-                            .add(Rat::from_int(coeff).mul(m[&var]).unwrap())
-                            .unwrap();
+                        v = v.add(Rat::from_int(coeff).mul(m[&var]).unwrap()).unwrap();
                     }
                     let ok = match c.rel() {
                         Rel::Le0 => v <= Rat::ZERO,

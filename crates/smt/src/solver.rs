@@ -154,16 +154,14 @@ impl Search<'_> {
         self.budget -= 1;
         match self.pool.term(formula) {
             Term::False => None,
-            Term::True => {
-                match check_integer_with_budget(fixed, self.config.bb_budget) {
-                    LiaResult::Sat(values) => Some(Model::from_values(values)),
-                    LiaResult::Unsat => None,
-                    LiaResult::Unknown => {
-                        self.saw_unknown = true;
-                        None
-                    }
+            Term::True => match check_integer_with_budget(fixed, self.config.bb_budget) {
+                LiaResult::Sat(values) => Some(Model::from_values(values)),
+                LiaResult::Unsat => None,
+                LiaResult::Unknown => {
+                    self.saw_unknown = true;
+                    None
                 }
-            }
+            },
             _ => {
                 // Unit propagation: conjuncts that are atoms must hold.
                 if let Term::And(children) = self.pool.term(formula) {
@@ -191,7 +189,8 @@ impl Search<'_> {
                     }
                 }
                 // Branch on the first atom in the formula.
-                let atom = first_atom(self.pool, formula).expect("non-constant formula has an atom");
+                let atom =
+                    first_atom(self.pool, formula).expect("non-constant formula has an atom");
                 let Term::Atom(constraint) = self.pool.term(atom).clone() else {
                     unreachable!("first_atom returns an atom");
                 };
@@ -221,7 +220,11 @@ impl Search<'_> {
 /// Replaces every occurrence of the atom `atom` in `formula` by the given
 /// constant and re-simplifies.
 fn assign(pool: &mut TermPool, formula: TermId, atom: TermId, value: bool) -> TermId {
-    let replacement = if value { TermPool::TRUE } else { TermPool::FALSE };
+    let replacement = if value {
+        TermPool::TRUE
+    } else {
+        TermPool::FALSE
+    };
     let mut memo = HashMap::new();
     assign_rec(pool, formula, atom, replacement, &mut memo)
 }

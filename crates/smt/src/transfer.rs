@@ -1,0 +1,216 @@
+//! Cross-pool term translation.
+//!
+//! [`TermId`]s are indices into one [`TermPool`]'s hash-cons table, so they
+//! are meaningless in any other pool. To ship assertions between engines that
+//! run on separate threads — each with its own pool — a term is *exported*
+//! into the pool-independent [`ExportedTerm`] representation (variables are
+//! identified by name, constraints by their coefficient lists) and
+//! *imported* on the receiving side, re-interning variables and re-running
+//! the pool's normalizing constructors.
+//!
+//! The representation is plain data (`String`/`i128`/`Vec`), hence `Send`,
+//! which is what lets assertion chains cross an `mpsc` channel in the
+//! parallel portfolio.
+
+use crate::linear::{LinExpr, Rel};
+use crate::term::{Term, TermId, TermPool};
+
+/// A pool-independent serialization of a term.
+///
+/// Structurally mirrors [`Term`], but atoms carry variable *names* instead of
+/// pool-relative [`crate::VarId`]s, and connectives own their children
+/// instead of referencing interned ids.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ExportedTerm {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A linear constraint `sum(coeff * var) + constant REL 0`.
+    Atom {
+        /// Named variables with their coefficients, in the exporting pool's
+        /// normalized order.
+        coeffs: Vec<(String, i128)>,
+        /// The constant term of the linear expression.
+        constant: i128,
+        /// The constraint relation (`≤ 0` or `= 0`).
+        rel: Rel,
+    },
+    /// Conjunction of the children.
+    And(Vec<ExportedTerm>),
+    /// Disjunction of the children.
+    Or(Vec<ExportedTerm>),
+}
+
+impl TermPool {
+    /// Serializes `id` into a pool-independent [`ExportedTerm`].
+    pub fn export(&self, id: TermId) -> ExportedTerm {
+        match self.term(id) {
+            Term::True => ExportedTerm::True,
+            Term::False => ExportedTerm::False,
+            Term::Atom(c) => {
+                // Pool-internal coefficient order follows VarId numbering,
+                // which differs between pools; sort by name so structurally
+                // equal terms export identically from any pool.
+                let mut coeffs: Vec<_> = c
+                    .expr()
+                    .terms()
+                    .iter()
+                    .map(|&(v, k)| (self.var_name(v).to_owned(), k))
+                    .collect();
+                coeffs.sort();
+                ExportedTerm::Atom {
+                    coeffs,
+                    constant: c.expr().constant_term(),
+                    rel: c.rel(),
+                }
+            }
+            Term::And(children) => {
+                ExportedTerm::And(children.iter().map(|&c| self.export(c)).collect())
+            }
+            Term::Or(children) => {
+                ExportedTerm::Or(children.iter().map(|&c| self.export(c)).collect())
+            }
+        }
+    }
+
+    /// Re-interns an [`ExportedTerm`] in this pool.
+    ///
+    /// Variables are resolved by name (created on first sight), and the
+    /// normalizing `atom`/`and`/`or` constructors run again, so the result is
+    /// hash-consed exactly as if the term had been built here natively. In
+    /// particular `import(export(t)) == t` within one pool.
+    pub fn import(&mut self, term: &ExportedTerm) -> TermId {
+        match term {
+            ExportedTerm::True => TermPool::TRUE,
+            ExportedTerm::False => TermPool::FALSE,
+            ExportedTerm::Atom {
+                coeffs,
+                constant,
+                rel,
+            } => {
+                let resolved: Vec<_> = coeffs
+                    .iter()
+                    .map(|(name, k)| (self.var(name), *k))
+                    .collect();
+                self.atom(LinExpr::from_terms(resolved, *constant), *rel)
+            }
+            ExportedTerm::And(children) => {
+                let ids: Vec<_> = children.iter().map(|c| self.import(c)).collect();
+                self.and(ids)
+            }
+            ExportedTerm::Or(children) => {
+                let ids: Vec<_> = children.iter().map(|c| self.import(c)).collect();
+                self.or(ids)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{check, SatResult};
+
+    fn sample_term(pool: &mut TermPool) -> TermId {
+        let x = pool.var("x");
+        let y = pool.var("y");
+        let a = pool.le(&LinExpr::var(x), &LinExpr::constant(5));
+        let b = pool.ge(
+            &LinExpr::var(y),
+            &LinExpr::var(x).add(&LinExpr::constant(1)),
+        );
+        let c = pool.eq_const(x, 3);
+        let ab = pool.and([a, b]);
+        pool.or([ab, c])
+    }
+
+    #[test]
+    fn exported_term_is_send_and_static() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<ExportedTerm>();
+    }
+
+    #[test]
+    fn round_trip_same_pool_is_identity() {
+        let mut pool = TermPool::new();
+        let t = sample_term(&mut pool);
+        let exported = pool.export(t);
+        assert_eq!(pool.import(&exported), t);
+        assert_eq!(pool.import(&ExportedTerm::True), TermPool::TRUE);
+        assert_eq!(pool.import(&ExportedTerm::False), TermPool::FALSE);
+    }
+
+    #[test]
+    fn round_trip_across_pools_preserves_structure() {
+        let mut a = TermPool::new();
+        let t = sample_term(&mut a);
+        let exported = a.export(t);
+
+        // A pool with a different variable numbering: interning unrelated
+        // variables first shifts every VarId the import will allocate.
+        let mut b = TermPool::new();
+        b.var("unrelated");
+        b.var("y"); // note: y before x, opposite of pool `a`
+        let imported = b.import(&exported);
+
+        assert_eq!(b.export(imported), exported);
+        // Shipping the term back into the original pool reproduces `t`
+        // exactly (hash-consing makes this an id-level identity).
+        assert_eq!(a.import(&b.export(imported)), t);
+    }
+
+    #[test]
+    fn round_trip_preserves_satisfiability() {
+        let mut a = TermPool::new();
+        let x = a.var("x");
+        let y = a.var("y");
+
+        // Satisfiable: x <= 5 && y = x + 1.
+        let sat1 = a.le(&LinExpr::var(x), &LinExpr::constant(5));
+        let sat2 = a.eq(
+            &LinExpr::var(y),
+            &LinExpr::var(x).add(&LinExpr::constant(1)),
+        );
+        // Unsatisfiable: x <= 2 && x >= 4.
+        let unsat1 = a.le(&LinExpr::var(x), &LinExpr::constant(2));
+        let unsat2 = a.ge(&LinExpr::var(x), &LinExpr::constant(4));
+
+        let mut b = TermPool::new();
+        b.var("z"); // shift variable numbering
+        let (s1, s2, u1, u2) = (
+            b.import(&a.export(sat1)),
+            b.import(&a.export(sat2)),
+            b.import(&a.export(unsat1)),
+            b.import(&a.export(unsat2)),
+        );
+
+        assert!(matches!(check(&mut b, &[s1, s2]), SatResult::Sat(_)));
+        assert!(matches!(check(&mut b, &[u1, u2]), SatResult::Unsat));
+        // Same verdicts as in the original pool.
+        assert!(matches!(check(&mut a, &[sat1, sat2]), SatResult::Sat(_)));
+        assert!(matches!(check(&mut a, &[unsat1, unsat2]), SatResult::Unsat));
+    }
+
+    #[test]
+    fn import_rebuilds_through_normalizing_constructors() {
+        // A hand-built ExportedTerm whose atom is not normalized (gcd 2) and
+        // whose conjunction contains `true`: import must normalize both.
+        let raw = ExportedTerm::And(vec![
+            ExportedTerm::True,
+            ExportedTerm::Atom {
+                coeffs: vec![("v".into(), 2)],
+                constant: -4,
+                rel: Rel::Le0,
+            },
+        ]);
+        let mut pool = TermPool::new();
+        let id = pool.import(&raw);
+        // 2v - 4 <= 0 normalizes to v - 2 <= 0, and the `true` conjunct drops.
+        assert_eq!(pool.display(id), {
+            let v = pool.var("v");
+            let expect = pool.le_const(v, 2);
+            pool.display(expect)
+        });
+    }
+}

@@ -45,17 +45,11 @@ fn formula() -> impl Strategy<Value = F> {
 fn lower(pool: &mut TermPool, vars: &[VarId], f: &F) -> TermId {
     match f {
         F::Le(cs, k) => {
-            let e = LinExpr::from_terms(
-                cs.iter().enumerate().map(|(i, &c)| (vars[i], c)),
-                -*k,
-            );
+            let e = LinExpr::from_terms(cs.iter().enumerate().map(|(i, &c)| (vars[i], c)), -*k);
             pool.atom(e, smt::Rel::Le0)
         }
         F::Eq(cs, k) => {
-            let e = LinExpr::from_terms(
-                cs.iter().enumerate().map(|(i, &c)| (vars[i], c)),
-                -*k,
-            );
+            let e = LinExpr::from_terms(cs.iter().enumerate().map(|(i, &c)| (vars[i], c)), -*k);
             pool.atom(e, smt::Rel::Eq0)
         }
         F::And(a, b) => {

@@ -39,7 +39,10 @@ fn main() {
             interp.replay(&pool, trace),
             "{name}: witness does not replay!"
         );
-        println!("  witness ({} steps) replays in the interpreter ✓", trace.len());
+        println!(
+            "  witness ({} steps) replays in the interpreter ✓",
+            trace.len()
+        );
         for (member, outcome) in &result.members {
             let status = match &outcome.verdict {
                 Verdict::Incorrect { .. } => format!(

@@ -3,13 +3,16 @@
 //! ```text
 //! seqver verify <file.cpl> [--order seq|lockstep|rand:<seed>|prio:<p0,p1,...>] [--config NAME]
 //!                          [--no-proof-sensitivity] [--max-rounds N] [--portfolio]
+//!                          [--parallel] [--deterministic]
 //! seqver info   <file.cpl>
 //! seqver reduce <file.cpl> [--order ...] [--dot]
 //! ```
 
 use seqver::automata::dot::to_dot;
 use seqver::cpl;
-use seqver::gemcutter::portfolio::{default_portfolio, portfolio_verify};
+use seqver::gemcutter::portfolio::{
+    default_portfolio, parallel_verify, portfolio_verify, ParallelConfig,
+};
 use seqver::gemcutter::verify::{verify, OrderSpec, Verdict, VerifierConfig};
 use seqver::program::commutativity::{CommutativityLevel, CommutativityOracle};
 use seqver::program::concurrent::{Program, Spec};
@@ -33,8 +36,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   seqver verify <file.cpl> [--order seq|lockstep|rand:<seed>] [--config gemcutter|automizer|sleep|persistent]
                            [--no-proof-sensitivity] [--max-rounds N] [--portfolio]
+                           [--parallel] [--deterministic]
   seqver info   <file.cpl>
-  seqver reduce <file.cpl> [--order seq|lockstep|rand:<seed>] [--dot]";
+  seqver reduce <file.cpl> [--order seq|lockstep|rand:<seed>] [--dot]
+
+  --portfolio      race the five §8 preference orders sequentially
+  --parallel       multi-threaded shared-proof portfolio (one engine per
+                   preference order; assertions are exchanged between them)
+  --deterministic  with --parallel: lockstep rounds with engine-index-ordered
+                   assertion merges, reproducible across runs";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (command, rest) = args.split_first().ok_or("missing command")?;
@@ -51,8 +61,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn load(path: &str, pool: &mut TermPool) -> Result<Program, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     cpl::compile(&source, pool).map_err(|e| format!("{path}:{e}"))
 }
 
@@ -85,6 +94,8 @@ struct Flags {
     proof_sensitive: bool,
     max_rounds: Option<usize>,
     portfolio: bool,
+    parallel: bool,
+    deterministic: bool,
     dot: bool,
 }
 
@@ -96,6 +107,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         proof_sensitive: true,
         max_rounds: None,
         portfolio: false,
+        parallel: false,
+        deterministic: false,
         dot: false,
     };
     let mut it = args.iter();
@@ -114,6 +127,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.max_rounds = Some(v.parse().map_err(|_| "invalid --max-rounds")?);
             }
             "--portfolio" => flags.portfolio = true,
+            "--parallel" => flags.parallel = true,
+            "--deterministic" => flags.deterministic = true,
             "--dot" => flags.dot = true,
             other if !other.starts_with("--") && flags.file.is_empty() => {
                 flags.file = other.to_owned();
@@ -152,7 +167,24 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     let mut pool = TermPool::new();
     let program = load(&flags.file, &mut pool)?;
-    let (verdict, stats, config_name) = if flags.portfolio {
+    if flags.deterministic && !flags.parallel {
+        return Err("--deterministic requires --parallel".to_owned());
+    }
+    let (verdict, stats, config_name) = if flags.parallel {
+        let mut pcfg = ParallelConfig {
+            deterministic: flags.deterministic,
+            ..ParallelConfig::default()
+        };
+        if let Some(r) = flags.max_rounds {
+            pcfg.max_rounds_per_engine = r;
+        }
+        let result = parallel_verify(&pool, &program, &default_portfolio(), &pcfg);
+        let name = result
+            .winner
+            .clone()
+            .unwrap_or_else(|| "parallel-portfolio".into());
+        (result.outcome.verdict, result.outcome.stats, name)
+    } else if flags.portfolio {
         let result = portfolio_verify(&mut pool, &program, &default_portfolio(), true);
         let name = result.winner.clone().unwrap_or_else(|| "portfolio".into());
         (result.outcome.verdict, result.outcome.stats, name)
@@ -177,7 +209,10 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
                 "verdict: INCORRECT — witness interleaving ({} context switches):",
                 seqver::gemcutter::trace::context_switches(&program, trace)
             );
-            print!("{}", seqver::gemcutter::trace::render_columns(&program, trace));
+            print!(
+                "{}",
+                seqver::gemcutter::trace::render_columns(&program, trace)
+            );
             ExitCode::from(1)
         }
         Verdict::Unknown { reason } => {
@@ -249,7 +284,10 @@ fn cmd_reduce(args: &[String]) -> Result<ExitCode, String> {
         order.name()
     );
     if flags.dot {
-        println!("{}", to_dot(&reduction, &format!("{}-reduction", program.name())));
+        println!(
+            "{}",
+            to_dot(&reduction, &format!("{}-reduction", program.name()))
+        );
     }
     Ok(ExitCode::SUCCESS)
 }

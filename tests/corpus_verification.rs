@@ -26,7 +26,10 @@ fn check_against_ground_truth(config: &VerifierConfig) {
             (Verdict::Unknown { reason }, _) => {
                 panic!("{} [{}]: unknown ({reason})", b.name, config.name)
             }
-            (v, e) => panic!("{} [{}]: verdict {v:?} vs expected {e:?}", b.name, config.name),
+            (v, e) => panic!(
+                "{} [{}]: verdict {v:?} vs expected {e:?}",
+                b.name, config.name
+            ),
         }
     }
 }

@@ -91,7 +91,12 @@ fn reductions_of_cpl_programs_are_sound_and_minimal() {
             .unwrap_or_else(|w| panic!("{}: unsound, missing {w:?}", order.name()));
         check_reduction_minimal(&red_words, commute)
             .unwrap_or_else(|(u, v)| panic!("{}: redundant {u:?}/{v:?}", order.name()));
-        assert_eq!(red_words.len(), 1, "{}: full commutativity → one class", order.name());
+        assert_eq!(
+            red_words.len(),
+            1,
+            "{}: full commutativity → one class",
+            order.name()
+        );
     }
 }
 
@@ -124,15 +129,11 @@ fn enter_exit_conditional_commutativity() {
     // Find an `enter` atomic of thread 0 and an `exit` atomic of thread 1.
     let enter = p
         .letters()
-        .find(|&l| {
-            p.thread_of(l).index() == 0 && p.statement(l).label().contains("pendingIo + 1")
-        })
+        .find(|&l| p.thread_of(l).index() == 0 && p.statement(l).label().contains("pendingIo + 1"))
         .expect("enter letter");
     let exit = p
         .letters()
-        .find(|&l| {
-            p.thread_of(l).index() == 1 && p.statement(l).label().contains("pendingIo - 1")
-        })
+        .find(|&l| p.thread_of(l).index() == 1 && p.statement(l).label().contains("pendingIo - 1"))
         .expect("exit letter");
     let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
     assert!(

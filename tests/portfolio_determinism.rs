@@ -1,0 +1,61 @@
+//! Determinism of the parallel portfolio's lockstep mode: with
+//! `deterministic: true`, [`parallel_verify`] must be a pure function of
+//! the program and the engine list — verdict, winner, per-engine round
+//! counts and proof sizes identical across repeated runs, regardless of
+//! thread scheduling.
+
+use seqver::bench_suite;
+use seqver::gemcutter::portfolio::{parallel_verify, ParallelConfig};
+use seqver::gemcutter::verify::VerifierConfig;
+use seqver::smt::TermPool;
+
+/// The four-engine portfolio the determinism contract is tested with:
+/// three fixed orders plus two seeded random orders.
+fn engines() -> Vec<VerifierConfig> {
+    vec![
+        VerifierConfig::gemcutter_seq(),
+        VerifierConfig::gemcutter_lockstep(),
+        VerifierConfig::gemcutter_random(1),
+        VerifierConfig::gemcutter_random(2),
+    ]
+}
+
+/// Runs the deterministic parallel portfolio 5 times on `name` and
+/// asserts every run reproduces the first one exactly.
+fn assert_reproducible(name: &str) {
+    let bench = bench_suite::all()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("benchmark {name} not in the suite"));
+    let configs = engines();
+    let pcfg = ParallelConfig {
+        deterministic: true,
+        ..ParallelConfig::default()
+    };
+
+    let mut reference = None;
+    for run in 0..5 {
+        let mut pool = TermPool::new();
+        let p = bench.compile(&mut pool);
+        let result = parallel_verify(&pool, &p, &configs, &pcfg);
+        let fingerprint = (
+            result.outcome.verdict.clone(),
+            result.winner.clone(),
+            result.engines.clone(),
+        );
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(first) => assert_eq!(*first, fingerprint, "{name}: run {run} diverged from run 0"),
+        }
+    }
+}
+
+#[test]
+fn deterministic_parallel_is_reproducible_on_peterson() {
+    assert_reproducible("peterson");
+}
+
+#[test]
+fn deterministic_parallel_is_reproducible_on_dekker() {
+    assert_reproducible("dekker");
+}

@@ -1,0 +1,183 @@
+//! Differential testing of the verification entry points on randomly
+//! generated concurrent programs: the plain single-order loop
+//! ([`verify`]), the single-threaded shared-proof portfolio
+//! ([`adaptive_verify`]) and the multi-threaded parallel portfolio
+//! ([`parallel_verify`], deterministic mode) must never contradict each
+//! other's conclusive verdicts, and every reported bug trace must replay
+//! as feasible under exact trace analysis.
+
+use proptest::prelude::*;
+use seqver::automata::bitset::BitSet;
+use seqver::automata::dfa::DfaBuilder;
+use seqver::gemcutter::interpolate::{
+    analyze_trace_with_mode, InterpolationMode, InterpolationStats, TraceResult,
+};
+use seqver::gemcutter::portfolio::{adaptive_verify, parallel_verify, ParallelConfig};
+use seqver::gemcutter::verify::{verify, Verdict, VerifierConfig};
+use seqver::program::concurrent::{LetterId, Program, Spec};
+use seqver::program::stmt::{SimpleStmt, Statement};
+use seqver::program::thread::{Thread, ThreadId};
+use seqver::smt::linear::LinExpr;
+use seqver::smt::TermPool;
+
+/// A random simple statement description: which variable (0..3, where 0–1
+/// are shared between threads) and what operation.
+#[derive(Clone, Debug)]
+struct StmtDesc {
+    var: usize,
+    op: u8, // 0: := k, 1: += 1, 2: havoc
+}
+
+fn stmt_desc() -> impl Strategy<Value = StmtDesc> {
+    (0usize..4, 0u8..3).prop_map(|(var, op)| StmtDesc { var, op })
+}
+
+/// 2–3 threads with 1–3 statements each.
+fn program_desc() -> impl Strategy<Value = Vec<Vec<StmtDesc>>> {
+    proptest::collection::vec(proptest::collection::vec(stmt_desc(), 1..=3), 2..=3)
+}
+
+/// Builds the random program with an error guard `assume s0 > bound`
+/// appended to thread 0, so every generated program has an asserting
+/// thread and the corpus mixes safe and unsafe instances.
+fn build_program(pool: &mut TermPool, desc: &[Vec<StmtDesc>], bound: i128) -> Program {
+    let mut b = Program::builder("random");
+    let shared: Vec<_> = (0..2).map(|i| pool.var(&format!("s{i}"))).collect();
+    for &v in &shared {
+        b.add_global(v, 0);
+    }
+    let mut letters_per_thread = Vec::new();
+    for (t, stmts) in desc.iter().enumerate() {
+        let private: Vec<_> = (0..2).map(|i| pool.var(&format!("p{t}_{i}"))).collect();
+        for &v in &private {
+            b.add_global(v, 0);
+        }
+        let mut letters = Vec::new();
+        for (s, d) in stmts.iter().enumerate() {
+            let var = if d.var < 2 {
+                shared[d.var]
+            } else {
+                private[d.var - 2]
+            };
+            let stmt = match d.op {
+                0 => SimpleStmt::Assign(var, LinExpr::constant(s as i128)),
+                1 => SimpleStmt::Assign(var, LinExpr::var(var).add(&LinExpr::constant(1))),
+                _ => SimpleStmt::Havoc(var),
+            };
+            letters.push(b.add_statement(Statement::simple(
+                ThreadId(t as u32),
+                &format!("t{t}s{s}"),
+                stmt,
+                pool,
+            )));
+        }
+        letters_per_thread.push(letters);
+    }
+    let le = pool.le_const(shared[0], bound);
+    let violated = pool.not(le);
+    let guard = b.add_statement(Statement::simple(
+        ThreadId(0),
+        "assert-fail",
+        SimpleStmt::Assume(violated),
+        pool,
+    ));
+    for (t, letters) in letters_per_thread.iter().enumerate() {
+        let mut cfg = DfaBuilder::new();
+        let mut prev = cfg.add_state(letters.is_empty());
+        let entry = prev;
+        for (i, &l) in letters.iter().enumerate() {
+            let next = cfg.add_state(i + 1 == letters.len());
+            cfg.add_transition(prev, l, next);
+            prev = next;
+        }
+        let mut errors = BitSet::new(letters.len() + 2);
+        if t == 0 {
+            // Thread 0 carries the assertion: its exit has an edge into an
+            // error location guarded by the violated condition.
+            let err = cfg.add_state(false);
+            cfg.add_transition(prev, guard, err);
+            errors.insert(err.index());
+        }
+        b.add_thread(Thread::new("t", cfg.build(entry), errors));
+    }
+    b.build(pool)
+}
+
+/// The portfolio used by the differential runs (kept small: the random
+/// programs are tiny and three orders cover the interesting diversity).
+fn configs(seed: u64) -> Vec<VerifierConfig> {
+    vec![
+        VerifierConfig::gemcutter_seq(),
+        VerifierConfig::gemcutter_lockstep(),
+        VerifierConfig::gemcutter_random(seed),
+    ]
+}
+
+/// Replays `trace` through exact feasibility analysis.
+fn replay_is_feasible(pool: &mut TermPool, program: &Program, trace: &[LetterId]) -> bool {
+    let mut stats = InterpolationStats::default();
+    matches!(
+        analyze_trace_with_mode(
+            pool,
+            program,
+            trace,
+            Spec::ErrorOf(ThreadId(0)),
+            InterpolationMode::SpChain,
+            &mut stats,
+        ),
+        TraceResult::Feasible
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn verification_entry_points_agree(
+        desc in program_desc(),
+        bound in 0i128..4,
+        seed in 0u64..100,
+    ) {
+        let mut pool = TermPool::new();
+        let p = build_program(&mut pool, &desc, bound);
+        let configs = configs(seed);
+
+        // (name, verdict) from every entry point.
+        let mut verdicts: Vec<(String, Verdict)> = Vec::new();
+        for config in &configs {
+            let outcome = verify(&mut pool, &p, config);
+            verdicts.push((format!("verify/{}", config.name), outcome.verdict));
+        }
+        let (adaptive, _) = adaptive_verify(&mut pool, &p, &configs, 300);
+        verdicts.push(("adaptive".to_owned(), adaptive.verdict));
+        let pcfg = ParallelConfig { deterministic: true, ..ParallelConfig::default() };
+        let parallel = parallel_verify(&pool, &p, &configs, &pcfg);
+        verdicts.push(("parallel-det".to_owned(), parallel.outcome.verdict));
+
+        // No two conclusive verdicts may contradict.
+        let correct: Vec<&str> = verdicts
+            .iter()
+            .filter(|(_, v)| matches!(v, Verdict::Correct))
+            .map(|(n, _)| n.as_str())
+            .collect();
+        let incorrect: Vec<&str> = verdicts
+            .iter()
+            .filter(|(_, v)| matches!(v, Verdict::Incorrect { .. }))
+            .map(|(n, _)| n.as_str())
+            .collect();
+        prop_assert!(
+            correct.is_empty() || incorrect.is_empty(),
+            "contradiction: {correct:?} proved safe, {incorrect:?} found bugs ({desc:?}, bound {bound})"
+        );
+
+        // Every reported bug trace replays as feasible.
+        for (name, verdict) in &verdicts {
+            if let Verdict::Incorrect { trace } = verdict {
+                prop_assert!(
+                    replay_is_feasible(&mut pool, &p, trace),
+                    "{name}: reported trace does not replay as feasible"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! A small, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The workspace's registry mirror is not reachable from the build
+//! environment, so this crate vendors the *API subset the tests actually
+//! use*: `Strategy` with `prop_map`/`prop_flat_map`/`prop_recursive`,
+//! range and tuple strategies, `Just`, `any::<bool>()`, simple
+//! string-pattern strategies, `collection::vec`, `option::of`,
+//! `sample::select`, and the `proptest!`/`prop_oneof!`/`prop_assert*!`
+//! macros. Generation is driven by a deterministic splitmix64 PRNG; there
+//! is no shrinking — failures report the generated case number, and the
+//! fixed seed makes every run reproducible.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator driving all strategies.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A reproducible generator; the same seed yields the same cases.
+        pub fn deterministic(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// The next 64 pseudo-random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (0 when `n == 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform value in `0..n` over 128 bits (0 when `n == 0`).
+        pub fn below_u128(&mut self, n: u128) -> u128 {
+            if n == 0 {
+                return 0;
+            }
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            wide % n
+        }
+    }
+
+    /// Per-test configuration (only the case count is honored).
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` generated inputs.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A value generator. Unlike real proptest there is no shrinking: a
+    /// strategy is just a reproducible sampling function.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> SBox<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            SBox::new(move |rng| s.generate(rng))
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> SBox<U>
+        where
+            Self: Sized + 'static,
+            F: Fn(Self::Value) -> U + 'static,
+        {
+            let s = self;
+            SBox::new(move |rng| f(s.generate(rng)))
+        }
+
+        /// Generates a value, builds a second strategy from it, and draws
+        /// from that.
+        fn prop_flat_map<S2, F>(self, f: F) -> SBox<S2::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2 + 'static,
+        {
+            let s = self;
+            SBox::new(move |rng| f(s.generate(rng)).generate(rng))
+        }
+
+        /// Builds recursive structures: `recurse` wraps the strategy for
+        /// one more level, applied up to `depth` times, mixing the leaf
+        /// back in so shallow values keep appearing.
+        fn prop_recursive<F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> SBox<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(SBox<Self::Value>) -> SBox<Self::Value>,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat);
+                let l = leaf.clone();
+                strat = SBox::new(move |rng| {
+                    if rng.below(3) == 0 {
+                        l.generate(rng)
+                    } else {
+                        deeper.generate(rng)
+                    }
+                });
+            }
+            strat
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct SBox<T> {
+        sample: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> SBox<T> {
+        /// Wraps a sampling function.
+        pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> SBox<T> {
+            SBox { sample: Rc::new(f) }
+        }
+    }
+
+    impl<T> Clone for SBox<T> {
+        fn clone(&self) -> SBox<T> {
+            SBox {
+                sample: Rc::clone(&self.sample),
+            }
+        }
+    }
+
+    impl<T> Strategy for SBox<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.sample)(rng)
+        }
+    }
+
+    /// Uniform choice among `options` (the `prop_oneof!` backend).
+    pub fn one_of<T: 'static>(options: Vec<SBox<T>>) -> SBox<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        SBox::new(move |rng| {
+            let i = rng.below(options.len() as u64) as usize;
+            options[i].generate(rng)
+        })
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let off = rng.below_u128(span) as i128;
+                    (self.start as i128).wrapping_add(off) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                    let off = rng.below_u128(span) as i128;
+                    (lo as i128).wrapping_add(off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128);
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+    }
+
+    /// String strategies from a pattern: a `&str` strategy generates
+    /// strings matching a small regex subset — literal characters,
+    /// character classes `[a-z0-9_]` (with ranges), and the quantifiers
+    /// `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded repeats cap at 8).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a class or a literal character.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed character class")
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // Optional quantifier.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad quantifier"),
+                        n.trim().parse::<usize>().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && chars[i] == '?' {
+                i += 1;
+                (0, 1)
+            } else if i < chars.len() && chars[i] == '*' {
+                i += 1;
+                (0, 8)
+            } else if i < chars.len() && chars[i] == '+' {
+                i += 1;
+                (1, 8)
+            } else {
+                (1, 1)
+            };
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                let k = rng.below(alphabet.len() as u64) as usize;
+                out.push(alphabet[k]);
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::SBox;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary + 'static>() -> SBox<T> {
+        SBox::new(|rng| T::arbitrary(rng))
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{SBox, Strategy};
+
+    /// Anything usable as a `collection::vec` size: a fixed length or a
+    /// (half-open or inclusive) range of lengths.
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// A vector of values drawn from `element`, with a length drawn from
+    /// `size`.
+    pub fn vec<S>(element: S, size: impl IntoSizeRange) -> SBox<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let (lo, hi) = size.bounds();
+        SBox::new(move |rng| {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+pub mod option {
+    use crate::strategy::{SBox, Strategy};
+
+    /// `Option<T>` values: `Some` three times out of four.
+    pub fn of<S>(inner: S) -> SBox<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        SBox::new(move |rng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.generate(rng))
+            }
+        })
+    }
+}
+
+pub mod sample {
+    use crate::strategy::SBox;
+
+    /// Uniform choice of one element of `options` (cloned).
+    pub fn select<T: Clone + 'static>(options: Vec<T>) -> SBox<T> {
+        assert!(!options.is_empty(), "sample::select needs options");
+        SBox::new(move |rng| {
+            let i = rng.below(options.len() as u64) as usize;
+            options[i].clone()
+        })
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, SBox, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategy arms (all generating the same type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(0x5eed);
+            for __case in 0..__config.cases {
+                let __case: u32 = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..1000 {
+            let v = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (-2i128..=2).generate(&mut rng);
+            assert!((-2..=2).contains(&w));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let strat = crate::collection::vec(0u8..5, 0..4);
+        let mut a = TestRng::deterministic(9);
+        let mut b = TestRng::deterministic(9);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy() {
+        let mut rng = TestRng::deterministic(2);
+        for _ in 0..200 {
+            let s = "[a-z]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Clone, Debug)]
+        enum T {
+            Leaf(u8),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(n) => {
+                    assert!(*n < 10);
+                    1
+                }
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::deterministic(3);
+        for _ in 0..100 {
+            assert!(depth(&strat.generate(&mut rng)) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates(x in 0usize..10, flag in any::<bool>()) {
+            prop_assert!(x < 10);
+            let _ = flag;
+        }
+    }
+}
