@@ -46,12 +46,12 @@ fn main() {
             )
         };
         assert!(
-            !matches!(&race.outcome.verdict, v if !ok(v) && !matches!(v, Verdict::Unknown{..})),
+            !matches!(&race.outcome.verdict, v if !ok(v) && !matches!(v, Verdict::GaveUp(_))),
             "race wrong on {}",
             b.name
         );
         assert!(
-            !matches!(&adaptive.verdict, v if !ok(v) && !matches!(v, Verdict::Unknown{..})),
+            !matches!(&adaptive.verdict, v if !ok(v) && !matches!(v, Verdict::GaveUp(_))),
             "adaptive wrong on {}",
             b.name
         );

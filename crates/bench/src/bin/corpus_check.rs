@@ -16,7 +16,7 @@ fn main() {
         for run in run_config(&corpus, config) {
             let verdict = match (&run.outcome.verdict, run.successful()) {
                 (_, true) => "OK",
-                (Verdict::Unknown { .. }, _) => {
+                (Verdict::GaveUp(_), _) => {
                     unknowns += 1;
                     "UNKNOWN"
                 }

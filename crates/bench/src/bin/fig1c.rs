@@ -44,7 +44,7 @@ fn main() {
                     }
                 }
                 Verdict::Incorrect { .. } => print!(" {:>18}", "BUG?!"),
-                Verdict::Unknown { .. } => print!(" {:>18}", "unknown"),
+                Verdict::GaveUp(_) => print!(" {:>18}", "gave-up"),
             }
         }
         println!();

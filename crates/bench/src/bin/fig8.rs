@@ -21,7 +21,7 @@ fn main() {
         // Fastest conclusive member.
         let best = members
             .iter()
-            .filter(|(_, o)| !matches!(o.verdict, Verdict::Unknown { .. }))
+            .filter(|(_, o)| !matches!(o.verdict, Verdict::GaveUp(_)))
             .min_by(|(_, a), (_, b)| a.stats.time.cmp(&b.stats.time));
         let Some((name, _)) = best else { continue };
         let bucket = if run.expected == Expected::Safe {

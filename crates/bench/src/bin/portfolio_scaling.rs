@@ -7,9 +7,11 @@
 //! Run: `cargo run --release -p bench --bin portfolio_scaling`
 //! (`SEQVER_QUICK=1` restricts to the small instances.)
 
+use gemcutter::govern::Category;
 use gemcutter::portfolio::{adaptive_verify, default_portfolio, parallel_verify, ParallelConfig};
 use gemcutter::verify::Verdict;
 use smt::term::TermPool;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Engine counts to scale over (prefixes of the §8 portfolio).
@@ -27,10 +29,11 @@ fn main() {
     for n in ENGINE_COUNTS {
         print!(" {:>11}", format!("par({n})"));
     }
-    println!(" {:>9}", "speedup");
+    println!(" {:>9} {:>16}", "speedup", "give-up");
 
     let mut parallel4_wins = 0usize;
     let mut measured = 0usize;
+    let mut give_ups: BTreeMap<Category, usize> = BTreeMap::new();
     for b in &corpus {
         // Baseline: single-threaded adaptive portfolio over a shared proof.
         let mut pool = TermPool::new();
@@ -38,9 +41,22 @@ fn main() {
         let t0 = Instant::now();
         let (adaptive, _) = adaptive_verify(&mut pool, &p, &configs, 600);
         let adaptive_time = t0.elapsed();
-        if matches!(adaptive.verdict, Verdict::Unknown { .. }) || adaptive.stats.rounds < MIN_ROUNDS
-        {
-            continue; // trivial or inconclusive: no sharing to measure
+        if let Verdict::GaveUp(g) = &adaptive.verdict {
+            // Inconclusive: record the resource category instead of timings.
+            *give_ups.entry(g.category).or_insert(0) += 1;
+            let dashes = ENGINE_COUNTS.map(|_| format!(" {:>11}", "-")).concat();
+            println!(
+                "  {:24} {:>9} {:>7}{dashes} {:>9} {:>16}",
+                b.name,
+                "-",
+                adaptive.stats.rounds,
+                "-",
+                g.category.name()
+            );
+            continue;
+        }
+        if adaptive.stats.rounds < MIN_ROUNDS {
+            continue; // trivial: no sharing to measure
         }
         measured += 1;
 
@@ -72,11 +88,21 @@ fn main() {
             print!(" {:>9.1}ms", t.as_secs_f64() * 1e3);
         }
         println!(
-            " {:>8.2}x",
-            adaptive_time.as_secs_f64() / par4.as_secs_f64().max(1e-9)
+            " {:>8.2}x {:>16}",
+            adaptive_time.as_secs_f64() / par4.as_secs_f64().max(1e-9),
+            "-"
         );
     }
     println!();
+    if give_ups.is_empty() {
+        println!("give-ups by category: none");
+    } else {
+        let tally: Vec<String> = give_ups
+            .iter()
+            .map(|(cat, n)| format!("{}={n}", cat.name()))
+            .collect();
+        println!("give-ups by category: {}", tally.join(" "));
+    }
     println!(
         "parallel(4) beat the single-threaded adaptive portfolio on {parallel4_wins}/{measured} multi-round benchmarks"
     );

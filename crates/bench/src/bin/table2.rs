@@ -8,8 +8,9 @@
 
 use bench::{run_config, run_parallel, run_portfolio, Aggregate, Run};
 use bench_suite::{Expected, Suite};
+use gemcutter::govern::Category;
 use gemcutter::portfolio::ParallelConfig;
-use gemcutter::verify::VerifierConfig;
+use gemcutter::verify::{Verdict, VerifierConfig};
 
 struct Column {
     name: &'static str,
@@ -48,6 +49,31 @@ fn print_row(label: &str, values: &[f64], unit: &str) {
     print!("  {label:12}");
     for v in values {
         print!(" {v:>10.3}{unit}");
+    }
+    println!();
+}
+
+/// Count of runs that gave up with `category`, per column. `None` counts
+/// give-ups outside the categories listed in the table.
+fn give_up_row(cols: &[Column], category: Option<Category>, listed: &[Category]) -> Vec<usize> {
+    cols.iter()
+        .map(|c| {
+            c.runs
+                .iter()
+                .filter(|r| match (&r.outcome.verdict, category) {
+                    (Verdict::GaveUp(g), Some(cat)) => g.category == cat,
+                    (Verdict::GaveUp(g), None) => !listed.contains(&g.category),
+                    _ => false,
+                })
+                .count()
+        })
+        .collect()
+}
+
+fn print_count_row(label: &str, values: &[usize]) {
+    print!("  {label:16}");
+    for v in values {
+        print!(" {v:>11}");
     }
     println!();
 }
@@ -116,6 +142,19 @@ fn main() {
         &time_per_round_row(&cols, Some(Suite::Weaver)),
         "s",
     );
+
+    println!("Give-ups per resource category (count of inconclusive runs)");
+    let listed = [
+        Category::Deadline,
+        Category::SimplexPivots,
+        Category::DfsStates,
+        Category::Rounds,
+        Category::UnknownTheory,
+    ];
+    for cat in listed {
+        print_count_row(cat.name(), &give_up_row(&cols, Some(cat), &listed));
+    }
+    print_count_row("other", &give_up_row(&cols, None, &listed));
 
     // Paper shape: the portfolio's average proof size beats the baseline's.
     let total = proof_size_row(&cols, None);

@@ -15,6 +15,7 @@
 //!   the same `(q, S, ctx)` and a superset of assertions (sound by
 //!   monotonicity of proof-sensitive commutativity, §7.2).
 
+use crate::govern::{Category, GiveUp};
 use crate::proof::{ProofAutomaton, ProofStateId};
 use automata::bitset::BitSet;
 use program::commutativity::CommutativityOracle;
@@ -23,8 +24,6 @@ use reduction::order::{OrderContext, PreferenceOrder};
 use reduction::persistent::{MembraneMode, PersistentSets};
 use smt::term::{TermId, TermPool};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 /// Result of one proof-check round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -35,9 +34,10 @@ pub enum CheckResult {
     Counterexample(Vec<LetterId>),
     /// The state budget was exhausted.
     LimitReached,
-    /// The round was aborted by the [`CheckConfig::stop`] flag (another
-    /// portfolio member already concluded).
-    Cancelled,
+    /// The round was aborted by the pool's resource governor: deadline,
+    /// step budget, cooperative cancellation (another portfolio member
+    /// concluded) or an injected fault. The give-up carries the cause.
+    Interrupted(GiveUp),
 }
 
 /// Per-round exploration counters (the paper's memory proxy).
@@ -60,11 +60,17 @@ pub struct CheckConfig {
     pub proof_sensitive: bool,
     /// Abort the round after visiting this many states.
     pub max_visited: usize,
-    /// Cooperative cancellation: when present and set to `true`, the DFS
-    /// aborts at its next iteration with [`CheckResult::Cancelled`]. Shared
-    /// between all members of a parallel portfolio so the first conclusive
-    /// verdict stops the losers mid-round.
-    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig {
+            use_sleep: true,
+            use_persistent: true,
+            proof_sensitive: true,
+            max_visited: usize::MAX,
+        }
+    }
 }
 
 /// Cross-round cache of useless states (§7.2).
@@ -171,6 +177,7 @@ pub fn check_proof(
     config: &CheckConfig,
     stats: &mut CheckStats,
 ) -> CheckResult {
+    let governor = pool.governor().clone();
     let membrane_mode = match spec {
         Spec::PrePost => MembraneMode::Terminal,
         Spec::ErrorOf(t) => MembraneMode::ErrorThread(t),
@@ -251,10 +258,11 @@ pub fn check_proof(
         if stats.visited > config.max_visited {
             return CheckResult::LimitReached;
         }
-        if let Some(stop) = &config.stop {
-            if stop.load(Ordering::Relaxed) {
-                return CheckResult::Cancelled;
-            }
+        // One DFS state per iteration; the charge also observes the
+        // deadline, cancellation flag and any injected fault, so a round
+        // aborts mid-DFS rather than between rounds.
+        if let Err(give_up) = governor.charge(Category::DfsStates) {
+            return CheckResult::Interrupted(give_up);
         }
         if frame.next >= frame.explore.len() {
             // Subtree done: pop, record, propagate taint.

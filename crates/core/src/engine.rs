@@ -13,6 +13,7 @@
 //! based on partial verification efforts").
 
 use crate::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
+use crate::govern::{Category, GiveUp};
 use crate::interpolate::{
     analyze_trace_with_mode, InterpolationMode, InterpolationStats, TraceResult,
 };
@@ -26,8 +27,6 @@ use smt::term::{TermId, TermPool};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::AtomicBool;
-use std::sync::Arc;
 
 /// Outcome of a single refinement round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,10 +37,11 @@ pub enum RoundOutcome {
     Bug(Vec<LetterId>),
     /// The counterexample was refuted; new assertions were added.
     Refined,
-    /// This engine cannot continue (budget, solver incompleteness, …).
-    GaveUp(String),
-    /// The round was aborted by the shared stop flag (another portfolio
-    /// member already concluded).
+    /// This engine cannot continue (budget, solver incompleteness,
+    /// deadline, injected fault, …). The give-up carries the category.
+    GaveUp(GiveUp),
+    /// The round was aborted by the shared cancellation flag (another
+    /// portfolio member already concluded).
     Cancelled,
 }
 
@@ -157,7 +157,6 @@ impl Engine {
                 use_persistent: config.use_persistent,
                 proof_sensitive: config.proof_sensitive,
                 max_visited: config.max_visited_per_round,
-                stop: None,
             },
             interpolation: config.interpolation,
             history: TraceHistory::new(),
@@ -168,12 +167,6 @@ impl Engine {
     /// The specification this engine checks.
     pub fn spec(&self) -> Spec {
         self.spec
-    }
-
-    /// Installs a shared cancellation flag: when it becomes `true`, the
-    /// engine's proof-check rounds abort with [`RoundOutcome::Cancelled`].
-    pub fn set_stop(&mut self, stop: Arc<AtomicBool>) {
-        self.check_config.stop = Some(stop);
     }
 
     /// Drains the assertions this engine added to the proof since the last
@@ -209,11 +202,19 @@ impl Engine {
         self.stats.cache_skips += round_stats.cache_skips;
         match result {
             CheckResult::Proven => RoundOutcome::Proven,
-            CheckResult::LimitReached => RoundOutcome::GaveUp("state budget exhausted".to_owned()),
-            CheckResult::Cancelled => RoundOutcome::Cancelled,
+            CheckResult::LimitReached => {
+                RoundOutcome::GaveUp(GiveUp::new(Category::DfsStates, "state budget exhausted"))
+            }
+            CheckResult::Interrupted(g) if g.category == Category::Cancelled => {
+                RoundOutcome::Cancelled
+            }
+            CheckResult::Interrupted(g) => RoundOutcome::GaveUp(g),
             CheckResult::Counterexample(trace) => {
                 if self.history.record(&trace) {
-                    return RoundOutcome::GaveUp("refinement made no progress".to_owned());
+                    return RoundOutcome::GaveUp(GiveUp::new(
+                        Category::NonProgress,
+                        "refinement made no progress",
+                    ));
                 }
                 let analysis = analyze_trace_with_mode(
                     pool,
@@ -225,8 +226,12 @@ impl Engine {
                 );
                 match analysis {
                     TraceResult::Feasible => RoundOutcome::Bug(trace),
+                    // The governor may be the true cause of an undecided
+                    // feasibility check; attribute it if so.
                     TraceResult::Unknown => {
-                        RoundOutcome::GaveUp("trace feasibility undecided".to_owned())
+                        RoundOutcome::GaveUp(pool.governor().give_up().unwrap_or_else(|| {
+                            GiveUp::new(Category::UnknownTheory, "trace feasibility undecided")
+                        }))
                     }
                     TraceResult::Infeasible { chain } => {
                         for a in chain {
@@ -329,7 +334,10 @@ mod tests {
         let mut proof = ProofAutomaton::new();
         assert_eq!(
             engine.round(&mut pool, &p, &mut proof),
-            RoundOutcome::GaveUp("refinement made no progress".to_owned())
+            RoundOutcome::GaveUp(GiveUp::new(
+                Category::NonProgress,
+                "refinement made no progress"
+            ))
         );
     }
 

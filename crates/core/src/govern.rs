@@ -1,0 +1,176 @@
+//! Resource governance for verification runs: building and installing
+//! [`ResourceGovernor`]s, and the give-up taxonomy surfaced in verdicts.
+//!
+//! The governor primitive lives in [`smt::resource`] (the solver crate is
+//! the bottom of the dependency stack and its loops are the hottest charge
+//! sites); this module re-exports it and adds the verifier-level
+//! configuration: [`GovernorConfig`] describes *relative* limits (a
+//! deadline duration, per-category budgets, a fault plan) that
+//! [`GovernorConfig::build`] turns into a live governor whose deadline
+//! starts counting immediately.
+//!
+//! Sound degradation invariants (enforced by the charge sites, tested by
+//! `tests/fault_soundness.rs`):
+//!
+//! * unknown commutativity ⇒ treated as **dependent** (reduction shrinks,
+//!   never grows);
+//! * unknown infeasibility ⇒ the trace is **not refuted** (no spurious
+//!   `Incorrect`), and equally never reported feasible (no spurious bug);
+//! * unknown Hoare validity ⇒ the assertion is **not used** by the proof;
+//! * any tripped governor ⇒ the verdict downgrades to
+//!   [`Verdict::GaveUp`](crate::verify::Verdict::GaveUp) — never to
+//!   `Correct`.
+
+pub use smt::resource::{
+    Category, FaultKind, FaultPlan, FaultSite, GiveUp, GovernorBuilder, ResourceGovernor,
+};
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Relative resource limits for one verification run. `Default` is fully
+/// unlimited; [`GovernorConfig::build`] then returns the free
+/// [`ResourceGovernor::unlimited`] handle.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GovernorConfig {
+    /// Wall-clock budget for the whole run (polled inside solver loops and
+    /// the proof-check DFS, not just between rounds).
+    pub deadline: Option<Duration>,
+    /// Total simplex pivots across the run.
+    pub simplex_pivot_budget: Option<u64>,
+    /// Total DPLL branch decisions across the run.
+    pub dpll_decision_budget: Option<u64>,
+    /// Total branch-and-bound nodes across the run.
+    pub branch_node_budget: Option<u64>,
+    /// Total proof-check DFS states across the run.
+    pub dfs_state_budget: Option<u64>,
+    /// Deterministic fault-injection plan (empty = none).
+    pub fault_plan: FaultPlan,
+}
+
+impl GovernorConfig {
+    /// A config with only a wall-clock deadline.
+    pub fn with_deadline(deadline: Duration) -> GovernorConfig {
+        GovernorConfig {
+            deadline: Some(deadline),
+            ..GovernorConfig::default()
+        }
+    }
+
+    /// `true` when nothing is limited or injected — building would be a
+    /// no-op.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.simplex_pivot_budget.is_none()
+            && self.dpll_decision_budget.is_none()
+            && self.branch_node_budget.is_none()
+            && self.dfs_state_budget.is_none()
+            && self.fault_plan.is_empty()
+    }
+
+    /// Builds a governor; a configured deadline starts counting now.
+    pub fn build(&self) -> ResourceGovernor {
+        self.builder()
+            .map_or_else(ResourceGovernor::unlimited, GovernorBuilder::build)
+    }
+
+    /// As [`GovernorConfig::build`], sharing `cancel` as the cooperative
+    /// cancellation token (always governed, even if otherwise unlimited,
+    /// so the token is actually observed).
+    pub fn build_with_cancel(&self, cancel: Arc<AtomicBool>) -> ResourceGovernor {
+        self.builder()
+            .unwrap_or_default()
+            .cancel_token(cancel)
+            .build()
+    }
+
+    fn builder(&self) -> Option<GovernorBuilder> {
+        if self.is_unlimited() {
+            return None;
+        }
+        let mut b = GovernorBuilder::default()
+            .deadline_opt(self.deadline)
+            .fault_plan(self.fault_plan.clone());
+        for (category, budget) in [
+            (Category::SimplexPivots, self.simplex_pivot_budget),
+            (Category::DpllDecisions, self.dpll_decision_budget),
+            (Category::BranchNodes, self.branch_node_budget),
+            (Category::DfsStates, self.dfs_state_budget),
+        ] {
+            if let Some(n) = budget {
+                b = b.budget(category, n);
+            }
+        }
+        Some(b)
+    }
+}
+
+/// Renders a `catch_unwind` payload (used to contain injected panics).
+pub fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn unlimited_config_builds_noop_governor() {
+        let cfg = GovernorConfig::default();
+        assert!(cfg.is_unlimited());
+        assert!(!cfg.build().is_governed());
+    }
+
+    #[test]
+    fn budgets_reach_the_governor() {
+        let cfg = GovernorConfig {
+            simplex_pivot_budget: Some(3),
+            ..GovernorConfig::default()
+        };
+        let g = cfg.build();
+        assert!(g.is_governed());
+        for _ in 0..3 {
+            assert!(g.charge(Category::SimplexPivots).is_ok());
+        }
+        assert_eq!(
+            g.charge(Category::SimplexPivots).unwrap_err().category,
+            Category::SimplexPivots
+        );
+    }
+
+    #[test]
+    fn cancel_token_is_always_governed() {
+        let token = Arc::new(AtomicBool::new(false));
+        let g = GovernorConfig::default().build_with_cancel(Arc::clone(&token));
+        assert!(g.is_governed());
+        assert!(g.charge(Category::DfsStates).is_ok());
+        token.store(true, Ordering::Relaxed);
+        assert_eq!(
+            g.charge(Category::DfsStates).unwrap_err().category,
+            Category::Cancelled
+        );
+    }
+
+    #[test]
+    fn fault_plan_round_trips_through_config() {
+        let cfg = GovernorConfig {
+            fault_plan: FaultPlan::parse("rounds:2:unknown").unwrap(),
+            ..GovernorConfig::default()
+        };
+        assert!(!cfg.is_unlimited());
+        let g = cfg.build();
+        assert!(g.charge(Category::Rounds).is_ok());
+        assert_eq!(
+            g.charge(Category::Rounds).unwrap_err().category,
+            Category::InjectedFault
+        );
+    }
+}

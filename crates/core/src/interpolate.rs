@@ -186,7 +186,7 @@ fn farkas_chain(
     all_blocks: &[TermId],
     snapshots: &[std::collections::HashMap<smt::VarId, smt::VarId>],
 ) -> Option<Vec<TermId>> {
-    use smt::interpolate::{farkas_sequence_interpolants, Interpolant};
+    use smt::interpolate::{farkas_sequence_interpolants_governed, Interpolant};
 
     // Block 0: all init conjuncts; blocks 1..=n: statements; PrePost adds
     // the ¬post block at the end.
@@ -203,7 +203,8 @@ fn farkas_chain(
         let neg_post_block = all_blocks.last().expect("PrePost appends ¬post");
         farkas_blocks.push(conjunctive_constraints(pool, *neg_post_block)?);
     }
-    let raw = farkas_sequence_interpolants(&farkas_blocks)?;
+    let governor = pool.governor().clone();
+    let raw = farkas_sequence_interpolants_governed(&farkas_blocks, &governor)?;
 
     // Positions 0..=trace.len() map to raw[1..=trace.len()+1].
     let mut chain = Vec::with_capacity(trace.len() + 1);

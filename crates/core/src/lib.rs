@@ -14,6 +14,8 @@
 //! * [`check`] — the on-the-fly proof check (Algorithm 2), with the §7.2
 //!   cross-round useless-state cache;
 //! * [`mod@verify`] — the refinement loop, configuration and statistics;
+//! * [`govern`] — resource governance (deadlines, step budgets,
+//!   cancellation, deterministic fault injection);
 //! * [`portfolio`] — the multi-preference-order portfolio of §8.
 //!
 //! # Example
@@ -26,19 +28,21 @@
 //! match outcome.verdict {
 //!     Verdict::Correct => println!("proved in {} rounds", outcome.stats.rounds),
 //!     Verdict::Incorrect { .. } => println!("bug found"),
-//!     Verdict::Unknown { .. } => println!("gave up"),
+//!     Verdict::GaveUp(g) => println!("gave up: {g}"),
 //! }
 //! # }
 //! ```
 
 pub mod check;
 pub mod engine;
+pub mod govern;
 pub mod interpolate;
 pub mod portfolio;
 pub mod proof;
 pub mod trace;
 pub mod verify;
 
+pub use govern::{Category, FaultKind, FaultPlan, GiveUp, GovernorConfig, ResourceGovernor};
 pub use portfolio::{
     adaptive_verify, default_portfolio, parallel_verify, portfolio_verify, EngineReport,
     EngineStatus, ParallelConfig, ParallelOutcome, PortfolioOutcome,

@@ -18,6 +18,7 @@
 //! engine's refinements.
 
 use crate::engine::{Engine, EngineStats, RoundOutcome};
+use crate::govern::{Category, GiveUp};
 use crate::proof::ProofAutomaton;
 use crate::verify::{verify, Outcome, RunStats, Verdict, VerifierConfig};
 use program::concurrent::{LetterId, Program, Spec};
@@ -66,7 +67,7 @@ pub fn portfolio_verify(
     let mut winner: Option<usize> = None;
     for config in configs {
         let outcome = verify(pool, program, config);
-        let conclusive = !matches!(outcome.verdict, Verdict::Unknown { .. });
+        let conclusive = !matches!(outcome.verdict, Verdict::GaveUp(_));
         members.push((config.name.clone(), outcome));
         if conclusive {
             // Parallel model: the fastest conclusive member wins. When all
@@ -132,21 +133,28 @@ pub fn adaptive_verify(
         let mut shared = ProofAutomaton::new();
         let mut alive: Vec<usize> = (0..engines.len()).collect();
         let mut total_rounds = 0usize;
+        let mut first_give_up: Option<GiveUp> = None;
         loop {
             if alive.is_empty() {
+                let verdict = Verdict::GaveUp(match &first_give_up {
+                    Some(g) => GiveUp::new(
+                        g.category,
+                        format!("every portfolio engine gave up (e.g. {})", g.reason),
+                    ),
+                    None => GiveUp::new(Category::Cancelled, "every portfolio engine gave up"),
+                });
                 let outcome = Outcome {
-                    verdict: Verdict::Unknown {
-                        reason: "every portfolio engine gave up".to_owned(),
-                    },
+                    verdict,
                     stats: finish(stats, &engines, &shared, start),
                 };
                 return (outcome, None);
             }
             if total_rounds >= max_total_rounds {
                 let outcome = Outcome {
-                    verdict: Verdict::Unknown {
-                        reason: format!("no proof within {max_total_rounds} shared rounds"),
-                    },
+                    verdict: Verdict::gave_up(
+                        Category::Rounds,
+                        format!("no proof within {max_total_rounds} shared rounds"),
+                    ),
                     stats: finish(stats, &engines, &shared, start),
                 };
                 return (outcome, None);
@@ -173,7 +181,11 @@ pub fn adaptive_verify(
                     return (outcome, Some(name));
                 }
                 RoundOutcome::Refined => {}
-                RoundOutcome::GaveUp(_) | RoundOutcome::Cancelled => alive.retain(|&i| i != idx),
+                RoundOutcome::GaveUp(g) => {
+                    first_give_up.get_or_insert(g);
+                    alive.retain(|&i| i != idx);
+                }
+                RoundOutcome::Cancelled => alive.retain(|&i| i != idx),
             }
         }
     }
@@ -220,10 +232,12 @@ pub struct ParallelConfig {
     pub deterministic: bool,
     /// Per-engine refinement-round budget (per spec).
     pub max_rounds_per_engine: usize,
-    /// Per-engine wall-clock budget, checked between rounds; an engine
-    /// over budget gives up without poisoning the run. In deterministic
-    /// mode a budget makes round counts machine-dependent, so leave it
-    /// `None` there when reproducibility matters.
+    /// Per-engine wall-clock budget, enforced *inside* queries through
+    /// each worker's resource-governor deadline (and re-checked between
+    /// rounds as a backstop); an engine over budget gives up without
+    /// poisoning the run. In deterministic mode a budget makes round
+    /// counts machine-dependent, so leave it `None` there when
+    /// reproducibility matters.
     pub wall_clock_budget: Option<Duration>,
 }
 
@@ -245,7 +259,7 @@ pub enum EngineStatus {
     /// Another engine concluded first; this one was stopped.
     Lost,
     /// The engine gave up (budget, solver incompleteness, non-progress).
-    GaveUp(String),
+    GaveUp(GiveUp),
     /// The engine thread panicked; the run continued without it.
     Panicked(String),
 }
@@ -315,7 +329,7 @@ struct WorkerExit {
 enum WorkerVerdict {
     Proven,
     Bug(Vec<LetterId>),
-    GaveUp(String),
+    GaveUp(GiveUp),
     Cancelled,
     Panicked(String),
 }
@@ -378,7 +392,7 @@ pub fn parallel_verify(
                 // A conclusive verdict that lost the race (free-running
                 // mode can have several finishers) still "lost".
                 WorkerVerdict::Proven | WorkerVerdict::Bug(_) => EngineStatus::Lost,
-                WorkerVerdict::GaveUp(r) => EngineStatus::GaveUp(r.clone()),
+                WorkerVerdict::GaveUp(g) => EngineStatus::GaveUp(g.clone()),
                 WorkerVerdict::Cancelled => EngineStatus::Lost,
                 WorkerVerdict::Panicked(m) => EngineStatus::Panicked(m.clone()),
             };
@@ -502,10 +516,21 @@ fn worker_loop(
     stop: &Arc<AtomicBool>,
 ) -> Box<WorkerExit> {
     let start = Instant::now();
-    let mut engine = Engine::new(pool, program, spec, config);
-    if !pcfg.deterministic {
-        engine.set_stop(Arc::clone(stop));
+    // Each worker gets its own governor: the run's budgets and fault plan,
+    // the portfolio wall-clock budget as an in-query deadline, and (in
+    // free-running mode) the shared stop flag as the cancellation token so
+    // a losing engine aborts mid-query instead of finishing its round.
+    let mut gcfg = config.govern.clone();
+    if gcfg.deadline.is_none() {
+        gcfg.deadline = pcfg.wall_clock_budget;
     }
+    let governor = if pcfg.deterministic {
+        gcfg.build()
+    } else {
+        gcfg.build_with_cancel(Arc::clone(stop))
+    };
+    pool.set_governor(governor);
+    let mut engine = Engine::new(pool, program, spec, config);
     let mut proof = ProofAutomaton::new();
     let exit = |engine: &Engine, proof: &ProofAutomaton, verdict: WorkerVerdict| {
         Box::new(WorkerExit {
@@ -552,9 +577,9 @@ fn worker_loop(
             return exit(
                 &engine,
                 &proof,
-                WorkerVerdict::GaveUp(format!(
-                    "no proof within {} rounds",
-                    pcfg.max_rounds_per_engine
+                WorkerVerdict::GaveUp(GiveUp::new(
+                    Category::Rounds,
+                    format!("no proof within {} rounds", pcfg.max_rounds_per_engine),
                 )),
             );
         }
@@ -563,7 +588,10 @@ fn worker_loop(
                 return exit(
                     &engine,
                     &proof,
-                    WorkerVerdict::GaveUp("wall-clock budget exhausted".to_owned()),
+                    WorkerVerdict::GaveUp(GiveUp::new(
+                        Category::Deadline,
+                        "wall-clock budget exhausted",
+                    )),
                 );
             }
         }
@@ -585,8 +613,8 @@ fn worker_loop(
             }
             RoundOutcome::Proven => return exit(&engine, &proof, WorkerVerdict::Proven),
             RoundOutcome::Bug(trace) => return exit(&engine, &proof, WorkerVerdict::Bug(trace)),
-            RoundOutcome::GaveUp(reason) => {
-                return exit(&engine, &proof, WorkerVerdict::GaveUp(reason))
+            RoundOutcome::GaveUp(give_up) => {
+                return exit(&engine, &proof, WorkerVerdict::GaveUp(give_up))
             }
             RoundOutcome::Cancelled => return exit(&engine, &proof, WorkerVerdict::Cancelled),
         }
@@ -676,9 +704,8 @@ fn coordinate_lockstep(
             };
         }
     }
-    let reason = give_up_reason(&exits, pcfg);
     PhaseResult {
-        verdict: Verdict::Unknown { reason },
+        verdict: Verdict::GaveUp(give_up_record(&exits, pcfg, false)),
         winner: None,
         exits: seal_exits(exits),
     }
@@ -697,6 +724,7 @@ fn coordinate_free_running(
     let mut exits: Vec<Option<WorkerExit>> = (0..n).map(|_| None).collect();
     let mut alive: Vec<bool> = vec![true; n];
     let mut winner: Option<usize> = None;
+    let mut budget_stop = false;
     // Kick the workers off: the first message releases nothing in
     // free-running mode (workers don't block), so nothing to send here.
     while alive.iter().any(|&a| a) {
@@ -709,6 +737,7 @@ fn coordinate_free_running(
                     Ok(m) => m,
                     Err(RecvTimeoutError::Timeout) => {
                         // Global budget: stop everyone, then keep draining.
+                        budget_stop = true;
                         stop.store(true, Ordering::Relaxed);
                         continue;
                     }
@@ -762,9 +791,7 @@ fn coordinate_free_running(
             }
         }
         None => PhaseResult {
-            verdict: Verdict::Unknown {
-                reason: give_up_reason(&exits, pcfg),
-            },
+            verdict: Verdict::GaveUp(give_up_record(&exits, pcfg, budget_stop)),
             winner: None,
             exits: seal_exits(exits),
         },
@@ -807,27 +834,55 @@ fn seal_exits(exits: Vec<Option<WorkerExit>>) -> Vec<WorkerExit> {
         .collect()
 }
 
-/// Human-readable reason when no engine concluded.
-fn give_up_reason(exits: &[Option<WorkerExit>], pcfg: &ParallelConfig) -> String {
-    let all_budget = exits.iter().flatten().all(
-        |e| matches!(&e.verdict, WorkerVerdict::GaveUp(r) if r.starts_with("no proof within")),
-    );
+/// Structured give-up when no engine concluded. If every engine simply
+/// ran out of refinement rounds that is the aggregate cause; otherwise the
+/// first give-up in engine-index order (deterministic) names the category.
+/// `budget_stop` records that the coordinator stopped the pool because the
+/// global wall-clock budget expired — the root cause when every engine
+/// only reports `cancelled`.
+fn give_up_record(
+    exits: &[Option<WorkerExit>],
+    pcfg: &ParallelConfig,
+    budget_stop: bool,
+) -> GiveUp {
+    let all_budget = exits
+        .iter()
+        .flatten()
+        .all(|e| matches!(&e.verdict, WorkerVerdict::GaveUp(g) if g.category == Category::Rounds));
     if all_budget {
-        format!(
-            "no proof within {} rounds on any engine",
-            pcfg.max_rounds_per_engine
-        )
-    } else {
-        "every portfolio engine gave up".to_owned()
+        return GiveUp::new(
+            Category::Rounds,
+            format!(
+                "no proof within {} rounds on any engine",
+                pcfg.max_rounds_per_engine
+            ),
+        );
+    }
+    // Prefer a root-cause category: an engine cancelled by the shared stop
+    // flag only echoes whichever engine tripped first, so a `cancelled`
+    // exit must not mask a deadline/budget exit elsewhere in the pool.
+    let give_ups = || {
+        exits.iter().flatten().filter_map(|e| match &e.verdict {
+            WorkerVerdict::GaveUp(g) => Some(g),
+            _ => None,
+        })
+    };
+    let root_cause = give_ups().find(|g| g.category != Category::Cancelled);
+    if root_cause.is_none() && budget_stop {
+        return GiveUp::new(
+            Category::Deadline,
+            "global wall-clock budget exhausted before any engine concluded",
+        );
+    }
+    match root_cause.or_else(|| give_ups().next()) {
+        Some(g) => GiveUp::new(
+            g.category,
+            format!("every portfolio engine gave up (e.g. {})", g.reason),
+        ),
+        None => GiveUp::new(Category::Cancelled, "every portfolio engine gave up"),
     }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "engine thread panicked".to_owned()
-    }
+    crate::govern::panic_reason(payload.as_ref())
 }

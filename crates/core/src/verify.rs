@@ -9,6 +9,7 @@
 
 use crate::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
 use crate::engine::TraceHistory;
+use crate::govern::{panic_reason, Category, GiveUp, GovernorConfig, ResourceGovernor};
 use crate::interpolate::{
     analyze_trace_with_mode, InterpolationMode, InterpolationStats, TraceResult,
 };
@@ -18,6 +19,7 @@ use program::concurrent::{LetterId, Program, Spec};
 use reduction::order::{LockstepOrder, PreferenceOrder, PriorityOrder, RandomOrder, SeqOrder};
 use reduction::persistent::PersistentSets;
 use smt::term::TermPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Which preference order to instantiate (§8 evaluates these three
@@ -80,6 +82,9 @@ pub struct VerifierConfig {
     pub max_rounds: usize,
     /// Maximum visited states per proof-check round.
     pub max_visited_per_round: usize,
+    /// Resource governance: deadline, run-wide step budgets and fault
+    /// injection. Unlimited by default.
+    pub govern: GovernorConfig,
 }
 
 impl VerifierConfig {
@@ -95,6 +100,7 @@ impl VerifierConfig {
             interpolation: InterpolationMode::SpChain,
             max_rounds: 60,
             max_visited_per_round: 400_000,
+            govern: GovernorConfig::default(),
         }
     }
 
@@ -175,14 +181,17 @@ pub enum Verdict {
         /// The violating trace (letters of the program alphabet).
         trace: Vec<LetterId>,
     },
-    /// The verifier gave up.
-    Unknown {
-        /// Human-readable reason (budget, solver incompleteness, …).
-        reason: String,
-    },
+    /// The verifier gave up: resource exhaustion, solver incompleteness,
+    /// cancellation or an injected fault — categorized in the record.
+    GaveUp(GiveUp),
 }
 
 impl Verdict {
+    /// A give-up verdict from a category and reason.
+    pub fn gave_up(category: Category, reason: impl Into<String>) -> Verdict {
+        Verdict::GaveUp(GiveUp::new(category, reason))
+    }
+
     /// `true` for [`Verdict::Correct`].
     pub fn is_correct(&self) -> bool {
         matches!(self, Verdict::Correct)
@@ -191,6 +200,14 @@ impl Verdict {
     /// `true` for [`Verdict::Incorrect`].
     pub fn is_incorrect(&self) -> bool {
         matches!(self, Verdict::Incorrect { .. })
+    }
+
+    /// The give-up record, for [`Verdict::GaveUp`].
+    pub fn give_up(&self) -> Option<&GiveUp> {
+        match self {
+            Verdict::GaveUp(g) => Some(g),
+            _ => None,
+        }
     }
 }
 
@@ -241,7 +258,25 @@ pub struct Outcome {
 /// (footnote 4 of the paper); programs without asserts are verified
 /// against their pre/postcondition pair.
 pub fn verify(pool: &mut TermPool, program: &Program, config: &VerifierConfig) -> Outcome {
+    verify_governed(pool, program, config, config.govern.build())
+}
+
+/// As [`verify`], with an explicitly built governor — the parallel
+/// portfolio builds per-worker governors sharing one cancellation token.
+///
+/// The governor is installed on `pool` for the duration of the run (so
+/// every solver query charges it) and the previous governor is restored
+/// before returning. Injected panics are contained here and reported as
+/// [`Verdict::GaveUp`] with [`Category::InjectedFault`].
+pub fn verify_governed(
+    pool: &mut TermPool,
+    program: &Program,
+    config: &VerifierConfig,
+    governor: ResourceGovernor,
+) -> Outcome {
     let start = Instant::now();
+    let previous = pool.governor().clone();
+    pool.set_governor(governor.clone());
     let mut stats = RunStats::default();
     let specs: Vec<Spec> = {
         let asserting = program.asserting_threads();
@@ -253,7 +288,22 @@ pub fn verify(pool: &mut TermPool, program: &Program, config: &VerifierConfig) -
     };
     let mut verdict = Verdict::Correct;
     for spec in specs {
-        let v = verify_spec(pool, program, spec, config, &mut stats);
+        let v = catch_unwind(AssertUnwindSafe(|| {
+            verify_spec(pool, program, spec, config, &mut stats)
+        }))
+        .unwrap_or_else(|payload| {
+            Verdict::GaveUp(
+                governor
+                    .give_up()
+                    .filter(|g| g.category == Category::InjectedFault)
+                    .unwrap_or_else(|| {
+                        GiveUp::new(
+                            Category::InjectedFault,
+                            format!("panic contained: {}", panic_reason(payload.as_ref())),
+                        )
+                    }),
+            )
+        });
         match v {
             Verdict::Correct => {}
             other => {
@@ -262,6 +312,7 @@ pub fn verify(pool: &mut TermPool, program: &Program, config: &VerifierConfig) -
             }
         }
     }
+    pool.set_governor(previous);
     stats.time = start.elapsed();
     Outcome { verdict, stats }
 }
@@ -285,11 +336,14 @@ fn verify_spec(
         use_persistent: config.use_persistent,
         proof_sensitive: config.proof_sensitive,
         max_visited: config.max_visited_per_round,
-        stop: None,
     };
     let mut history = TraceHistory::new();
+    let governor = pool.governor().clone();
 
     for _round in 0..config.max_rounds {
+        if let Err(g) = governor.charge(Category::Rounds) {
+            return Verdict::GaveUp(g);
+        }
         stats.rounds += 1;
         let mut round_stats = CheckStats::default();
         let result = check_proof(
@@ -312,25 +366,20 @@ fn verify_spec(
         match result {
             CheckResult::Proven => return Verdict::Correct,
             CheckResult::LimitReached => {
-                return Verdict::Unknown {
-                    reason: format!(
+                return Verdict::gave_up(
+                    Category::DfsStates,
+                    format!(
                         "state budget exhausted ({} states)",
                         config.max_visited_per_round
                     ),
-                }
+                )
             }
-            CheckResult::Cancelled => {
-                return Verdict::Unknown {
-                    reason: "cancelled".to_owned(),
-                }
-            }
+            CheckResult::Interrupted(g) => return Verdict::GaveUp(g),
             CheckResult::Counterexample(trace) => {
                 // Any recently seen trace (not just the previous round's)
                 // means the refinement is cycling.
                 if history.record(&trace) {
-                    return Verdict::Unknown {
-                        reason: "refinement made no progress".to_owned(),
-                    };
+                    return Verdict::gave_up(Category::NonProgress, "refinement made no progress");
                 }
                 match analyze_trace_with_mode(
                     pool,
@@ -341,10 +390,12 @@ fn verify_spec(
                     &mut stats.interpolation,
                 ) {
                     TraceResult::Feasible => return Verdict::Incorrect { trace },
+                    // Attribute to the governor when it is the real cause
+                    // of the undecided feasibility check.
                     TraceResult::Unknown => {
-                        return Verdict::Unknown {
-                            reason: "trace feasibility undecided".to_owned(),
-                        }
+                        return Verdict::GaveUp(governor.give_up().unwrap_or_else(|| {
+                            GiveUp::new(Category::UnknownTheory, "trace feasibility undecided")
+                        }))
                     }
                     TraceResult::Infeasible { chain } => {
                         for a in chain {
@@ -356,7 +407,8 @@ fn verify_spec(
             }
         }
     }
-    Verdict::Unknown {
-        reason: format!("no proof within {} refinement rounds", config.max_rounds),
-    }
+    Verdict::gave_up(
+        Category::Rounds,
+        format!("no proof within {} refinement rounds", config.max_rounds),
+    )
 }

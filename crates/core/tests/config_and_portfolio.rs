@@ -148,7 +148,7 @@ fn adaptive_respects_round_budget() {
     let p = two_inc(&mut pool, 2);
     let (outcome, winner) = adaptive_verify(&mut pool, &p, &default_portfolio(), 1);
     // One shared round cannot finish this program.
-    assert!(matches!(outcome.verdict, Verdict::Unknown { .. }));
+    assert!(matches!(outcome.verdict, Verdict::GaveUp(_)));
     assert!(winner.is_none());
     assert_eq!(outcome.stats.rounds, 1);
 }
@@ -200,8 +200,8 @@ fn parallel_zero_wall_clock_budget_degrades_gracefully() {
     };
     let result = parallel_verify(&pool, &p, &default_portfolio(), &pcfg);
     // Every engine runs out of budget before its first round; the run
-    // still terminates cleanly with Unknown instead of hanging/panicking.
-    assert!(matches!(result.outcome.verdict, Verdict::Unknown { .. }));
+    // still terminates cleanly with a give-up instead of hanging/panicking.
+    assert!(matches!(result.outcome.verdict, Verdict::GaveUp(_)));
     assert!(result.winner.is_none());
     for report in &result.engines {
         assert!(
@@ -222,7 +222,10 @@ fn parallel_round_budget_degrades_gracefully() {
         ..ParallelConfig::default()
     };
     let result = parallel_verify(&pool, &p, &default_portfolio(), &pcfg);
-    assert!(matches!(result.outcome.verdict, Verdict::Unknown { .. }));
+    match &result.outcome.verdict {
+        Verdict::GaveUp(g) => assert_eq!(g.category, gemcutter::Category::Rounds, "{g}"),
+        other => panic!("expected round-budget give-up, got {other:?}"),
+    }
     for report in &result.engines {
         assert!(report.rounds <= 1, "round budget respected: {report:?}");
     }

@@ -1,0 +1,222 @@
+//! Resource-governor integration tests: in-query deadlines bound
+//! wall-clock overshoot, step budgets and injected faults degrade to
+//! structured give-ups, and none of it can flip a verdict to Correct.
+
+use automata::bitset::BitSet;
+use automata::dfa::DfaBuilder;
+use gemcutter::govern::{Category, FaultPlan, GovernorConfig};
+use gemcutter::verify::{verify, Verdict, VerifierConfig};
+use program::concurrent::Program;
+use program::stmt::{SimpleStmt, Statement};
+use program::thread::{Thread, ThreadId};
+use smt::linear::LinExpr;
+use smt::term::TermPool;
+use std::time::{Duration, Instant};
+
+/// `threads` workers each increment a shared counter `steps` times; a
+/// checker waits for everyone and asserts the total. With `safe` the
+/// bound is exact (provable); otherwise it is one too small (buggy).
+fn chain_inc(pool: &mut TermPool, threads: u32, steps: usize, safe: bool) -> Program {
+    let mut b = Program::builder("chain-inc");
+    let c = pool.var("c");
+    let done = pool.var("done");
+    b.add_global(c, 0);
+    b.add_global(done, 0);
+    for t in 0..threads {
+        let mut cfg = DfaBuilder::new();
+        let mut prev = cfg.add_state(false);
+        let entry = prev;
+        for s in 0..steps {
+            let last = s + 1 == steps;
+            let mut path = vec![SimpleStmt::Assign(
+                c,
+                LinExpr::var(c).add(&LinExpr::constant(1)),
+            )];
+            if last {
+                path.push(SimpleStmt::Assign(
+                    done,
+                    LinExpr::var(done).add(&LinExpr::constant(1)),
+                ));
+            }
+            let l = b.add_statement(Statement::atomic(ThreadId(t), "inc", vec![path], pool));
+            let next = cfg.add_state(last);
+            cfg.add_transition(prev, l, next);
+            prev = next;
+        }
+        b.add_thread(Thread::new("inc", cfg.build(entry), BitSet::new(steps + 1)));
+    }
+    let total = (threads as i128) * (steps as i128);
+    let bound = if safe { total } else { total - 1 };
+    let all_done = pool.ge_const(done, threads as i128);
+    let ok_guard = pool.le_const(c, bound);
+    let bad_guard = pool.not(ok_guard);
+    let checker = ThreadId(threads);
+    let wait = b.add_statement(Statement::simple(
+        checker,
+        "await",
+        SimpleStmt::Assume(all_done),
+        pool,
+    ));
+    let ok = b.add_statement(Statement::simple(
+        checker,
+        "ok",
+        SimpleStmt::Assume(ok_guard),
+        pool,
+    ));
+    let bad = b.add_statement(Statement::simple(
+        checker,
+        "bad",
+        SimpleStmt::Assume(bad_guard),
+        pool,
+    ));
+    let mut cfg = DfaBuilder::new();
+    let q0 = cfg.add_state(false);
+    let q1 = cfg.add_state(false);
+    let exit = cfg.add_state(true);
+    let err = cfg.add_state(false);
+    cfg.add_transition(q0, wait, q1);
+    cfg.add_transition(q1, ok, exit);
+    cfg.add_transition(q1, bad, err);
+    let mut errors = BitSet::new(4);
+    errors.insert(err.index());
+    b.add_thread(Thread::new("checker", cfg.build(q0), errors));
+    b.build(pool)
+}
+
+fn governed(govern: GovernorConfig) -> VerifierConfig {
+    VerifierConfig {
+        govern,
+        ..VerifierConfig::gemcutter_seq()
+    }
+}
+
+/// Satellite 1 regression: an adversarial query (big proof-check DFS and
+/// many solver calls) must not overshoot a small wall-clock deadline by
+/// more than the polling tolerance — the deadline has to fire *inside*
+/// the query, not between refinement rounds.
+#[test]
+fn deadline_bounds_overshoot_within_polling_tolerance() {
+    const DEADLINE: Duration = Duration::from_millis(50);
+    const TOLERANCE: Duration = Duration::from_millis(250);
+    let mut pool = TermPool::new();
+    // Large enough that an ungoverned run takes far longer than the
+    // deadline + tolerance (a seven-thread product with ~50 letters).
+    let p = chain_inc(&mut pool, 6, 6, true);
+    let config = governed(GovernorConfig::with_deadline(DEADLINE));
+    let start = Instant::now();
+    let outcome = verify(&mut pool, &p, &config);
+    let elapsed = start.elapsed();
+    match &outcome.verdict {
+        Verdict::GaveUp(g) => assert_eq!(g.category, Category::Deadline, "{g}"),
+        other => panic!("expected a deadline give-up, got {other:?} after {elapsed:?}"),
+    }
+    assert!(
+        elapsed <= DEADLINE + TOLERANCE,
+        "deadline overshoot: {elapsed:?} for a {DEADLINE:?} budget"
+    );
+}
+
+#[test]
+fn step_budget_gives_up_with_its_category() {
+    let mut pool = TermPool::new();
+    let p = chain_inc(&mut pool, 2, 2, true);
+    let config = governed(GovernorConfig {
+        dfs_state_budget: Some(5),
+        ..GovernorConfig::default()
+    });
+    let outcome = verify(&mut pool, &p, &config);
+    match &outcome.verdict {
+        Verdict::GaveUp(g) => assert_eq!(g.category, Category::DfsStates, "{g}"),
+        other => panic!("expected a dfs-states give-up, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_unknown_fault_gives_up() {
+    let mut pool = TermPool::new();
+    let p = chain_inc(&mut pool, 2, 2, true);
+    let config = governed(GovernorConfig {
+        fault_plan: FaultPlan::parse("dfs-states:3:unknown").unwrap(),
+        ..GovernorConfig::default()
+    });
+    let outcome = verify(&mut pool, &p, &config);
+    match &outcome.verdict {
+        Verdict::GaveUp(g) => assert_eq!(g.category, Category::InjectedFault, "{g}"),
+        other => panic!("expected an injected-fault give-up, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_timeout_fault_reads_as_deadline() {
+    let mut pool = TermPool::new();
+    let p = chain_inc(&mut pool, 2, 2, true);
+    let config = governed(GovernorConfig {
+        fault_plan: FaultPlan::parse("dfs-states:3:timeout").unwrap(),
+        ..GovernorConfig::default()
+    });
+    let outcome = verify(&mut pool, &p, &config);
+    match &outcome.verdict {
+        Verdict::GaveUp(g) => assert_eq!(g.category, Category::Deadline, "{g}"),
+        other => panic!("expected a deadline give-up, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_panic_is_contained() {
+    let mut pool = TermPool::new();
+    let p = chain_inc(&mut pool, 2, 2, true);
+    let config = governed(GovernorConfig {
+        fault_plan: FaultPlan::parse("dfs-states:3:panic").unwrap(),
+        ..GovernorConfig::default()
+    });
+    // The injected panic must be caught inside `verify`, not unwind here.
+    let outcome = verify(&mut pool, &p, &config);
+    match &outcome.verdict {
+        Verdict::GaveUp(g) => assert_eq!(g.category, Category::InjectedFault, "{g}"),
+        other => panic!("expected an injected-fault give-up, got {other:?}"),
+    }
+    // The pool's governor was restored: the next run is unlimited again.
+    let clean = verify(&mut pool, &p, &VerifierConfig::gemcutter_seq());
+    assert!(clean.verdict.is_correct(), "{:?}", clean.verdict);
+}
+
+#[test]
+fn faults_never_flip_a_buggy_program_to_correct() {
+    for spec in [
+        "simplex-pivots:1:unknown",
+        "dpll-decisions:1:unknown",
+        "branch-nodes:1:unknown",
+        "dfs-states:1:unknown",
+        "dfs-states:10:timeout",
+        "dfs-states:10:panic",
+        "simplex-pivots:50:unknown",
+    ] {
+        let mut pool = TermPool::new();
+        let p = chain_inc(&mut pool, 2, 2, false);
+        let config = governed(GovernorConfig {
+            fault_plan: FaultPlan::parse(spec).unwrap(),
+            ..GovernorConfig::default()
+        });
+        let outcome = verify(&mut pool, &p, &config);
+        assert!(
+            !outcome.verdict.is_correct(),
+            "fault `{spec}` flipped a buggy program to Correct"
+        );
+    }
+}
+
+#[test]
+fn fault_injection_replays_identically() {
+    let run = || {
+        let mut pool = TermPool::new();
+        let p = chain_inc(&mut pool, 2, 2, true);
+        let config = governed(GovernorConfig {
+            fault_plan: FaultPlan::parse("dfs-states:7:unknown").unwrap(),
+            ..GovernorConfig::default()
+        });
+        format!("{:?}", verify(&mut pool, &p, &config).verdict)
+    };
+    let first = run();
+    assert_eq!(first, run(), "fault injection must be deterministic");
+    assert_eq!(first, run());
+}

@@ -32,13 +32,31 @@ use std::collections::HashMap;
 /// Maximum number of internal paths of a single `atomic` block.
 const MAX_ATOMIC_PATHS: usize = 64;
 
+/// Maximum number of thread instances across all `spawn` declarations.
+/// The verifier explores interleavings of all threads, so an adversarial
+/// `spawn t * 4000000000;` must be rejected up front instead of looping
+/// until memory runs out.
+const MAX_THREADS: u32 = 256;
+
+/// An ill-typed construct reaching lowering. The typechecker rejects these
+/// first, but lowering re-checks instead of panicking so that a checker
+/// gap on adversarial input degrades to a diagnostic, never an abort.
+fn ill_typed(message: impl Into<String>) -> Error {
+    Error {
+        line: 0,
+        col: 0,
+        message: message.into(),
+    }
+}
+
 /// Lowers a typechecked AST into a program.
 ///
 /// # Errors
 ///
 /// Returns an error if an `atomic` block explodes past
-/// `MAX_ATOMIC_PATHS` (64) internal paths — the only check not already
-/// done by [`crate::typecheck`].
+/// `MAX_ATOMIC_PATHS` (64) internal paths, if more than [`MAX_THREADS`]
+/// instances are spawned, or if an ill-typed construct slipped past the
+/// typechecker (defense in depth — lowering never panics on input).
 pub fn lower(ast: &Ast, pool: &mut TermPool) -> Result<Program, Error> {
     let mut b = Program::builder(&ast.name);
     let mut genv: HashMap<String, (VarId, Type)> = HashMap::new();
@@ -48,20 +66,26 @@ pub fn lower(ast: &Ast, pool: &mut TermPool) -> Result<Program, Error> {
         genv.insert(g.name.clone(), (v, g.ty));
     }
     let pre = match &ast.requires {
-        Some(e) => bool_term(pool, e, &genv),
+        Some(e) => bool_term(pool, e, &genv)?,
         None => TermPool::TRUE,
     };
     let post = match &ast.ensures {
-        Some(e) => bool_term(pool, e, &genv),
+        Some(e) => bool_term(pool, e, &genv)?,
         None => TermPool::TRUE,
     };
     b.set_pre_post(pre, post);
 
+    let total: u64 = ast.spawns.iter().map(|s| u64::from(s.count)).sum();
+    if total > u64::from(MAX_THREADS) {
+        return Err(ill_typed(format!(
+            "program spawns {total} threads, more than the {MAX_THREADS} supported"
+        )));
+    }
     let mut tid = 0u32;
     for spawn in &ast.spawns {
         let template = ast
             .template(&spawn.template)
-            .expect("typecheck validated spawn targets");
+            .ok_or_else(|| ill_typed(format!("spawn of undeclared thread `{}`", spawn.template)))?;
         for _ in 0..spawn.count {
             let mut env = genv.clone();
             for l in &template.locals {
@@ -98,96 +122,108 @@ fn declare(b: &mut ProgramBuilder, pool: &mut TermPool, v: VarId, decl: &VarDecl
 
 type Env = HashMap<String, (VarId, Type)>;
 
+/// Resolves a variable, erroring (not panicking) on undeclared names.
+fn lookup(env: &Env, name: &str) -> Result<(VarId, Type), Error> {
+    env.get(name)
+        .copied()
+        .ok_or_else(|| ill_typed(format!("undeclared variable `{name}`")))
+}
+
 /// Lowers an integer expression (typecheck guarantees linearity).
-fn int_expr(e: &Expr, env: &Env) -> LinExpr {
+fn int_expr(e: &Expr, env: &Env) -> Result<LinExpr, Error> {
     match e {
-        Expr::Int(n) => LinExpr::constant(*n),
-        Expr::Var(name) => LinExpr::var(env[name].0),
-        Expr::Neg(inner) => int_expr(inner, env).scale(-1),
-        Expr::Bin(BinOp::Add, a, b) => int_expr(a, env).add(&int_expr(b, env)),
-        Expr::Bin(BinOp::Sub, a, b) => int_expr(a, env).sub(&int_expr(b, env)),
+        Expr::Int(n) => Ok(LinExpr::constant(*n)),
+        Expr::Var(name) => Ok(LinExpr::var(lookup(env, name)?.0)),
+        Expr::Neg(inner) => Ok(int_expr(inner, env)?.scale(-1)),
+        Expr::Bin(BinOp::Add, a, b) => Ok(int_expr(a, env)?.add(&int_expr(b, env)?)),
+        Expr::Bin(BinOp::Sub, a, b) => Ok(int_expr(a, env)?.sub(&int_expr(b, env)?)),
         Expr::Bin(BinOp::Mul, a, b) => match a.const_int() {
-            Some(k) => int_expr(b, env).scale(k),
-            None => int_expr(a, env).scale(b.const_int().expect("typecheck enforced linearity")),
+            Some(k) => Ok(int_expr(b, env)?.scale(k)),
+            None => match b.const_int() {
+                Some(k) => Ok(int_expr(a, env)?.scale(k)),
+                None => Err(ill_typed(format!("non-linear multiplication: {e}"))),
+            },
         },
-        other => unreachable!("not an integer expression: {other}"),
+        other => Err(ill_typed(format!("not an integer expression: {other}"))),
     }
 }
 
 /// Lowers a boolean expression to a formula (`*` becomes `true`).
-fn bool_term(pool: &mut TermPool, e: &Expr, env: &Env) -> TermId {
+fn bool_term(pool: &mut TermPool, e: &Expr, env: &Env) -> Result<TermId, Error> {
     match e {
-        Expr::Bool(true) | Expr::Nondet => TermPool::TRUE,
-        Expr::Bool(false) => TermPool::FALSE,
+        Expr::Bool(true) | Expr::Nondet => Ok(TermPool::TRUE),
+        Expr::Bool(false) => Ok(TermPool::FALSE),
         Expr::Var(name) => {
             // Boolean variable: b ⇔ b ≥ 1 (booleans are {0,1} integers).
-            pool.ge_const(env[name].0, 1)
+            Ok(pool.ge_const(lookup(env, name)?.0, 1))
         }
         Expr::Not(inner) => {
-            let t = bool_term(pool, inner, env);
-            pool.not(t)
+            let t = bool_term(pool, inner, env)?;
+            Ok(pool.not(t))
         }
         Expr::Bin(op, a, b) => match op {
             BinOp::And => {
-                let (ta, tb) = (bool_term(pool, a, env), bool_term(pool, b, env));
-                pool.and([ta, tb])
+                let (ta, tb) = (bool_term(pool, a, env)?, bool_term(pool, b, env)?);
+                Ok(pool.and([ta, tb]))
             }
             BinOp::Or => {
-                let (ta, tb) = (bool_term(pool, a, env), bool_term(pool, b, env));
-                pool.or([ta, tb])
+                let (ta, tb) = (bool_term(pool, a, env)?, bool_term(pool, b, env)?);
+                Ok(pool.or([ta, tb]))
             }
-            BinOp::Eq => pool.eq(&int_expr(a, env), &int_expr(b, env)),
-            BinOp::Ne => pool.ne(&int_expr(a, env), &int_expr(b, env)),
-            BinOp::Lt => pool.lt(&int_expr(a, env), &int_expr(b, env)),
-            BinOp::Le => pool.le(&int_expr(a, env), &int_expr(b, env)),
-            BinOp::Gt => pool.gt(&int_expr(a, env), &int_expr(b, env)),
-            BinOp::Ge => pool.ge(&int_expr(a, env), &int_expr(b, env)),
+            BinOp::Eq => Ok(pool.eq(&int_expr(a, env)?, &int_expr(b, env)?)),
+            BinOp::Ne => Ok(pool.ne(&int_expr(a, env)?, &int_expr(b, env)?)),
+            BinOp::Lt => Ok(pool.lt(&int_expr(a, env)?, &int_expr(b, env)?)),
+            BinOp::Le => Ok(pool.le(&int_expr(a, env)?, &int_expr(b, env)?)),
+            BinOp::Gt => Ok(pool.gt(&int_expr(a, env)?, &int_expr(b, env)?)),
+            BinOp::Ge => Ok(pool.ge(&int_expr(a, env)?, &int_expr(b, env)?)),
             BinOp::Add | BinOp::Sub | BinOp::Mul => {
-                unreachable!("not a boolean expression")
+                Err(ill_typed(format!("not a boolean expression: {e}")))
             }
         },
-        other => unreachable!("not a boolean expression: {other}"),
+        other => Err(ill_typed(format!("not a boolean expression: {other}"))),
     }
 }
 
 /// The alternative simple-step sequences of one non-control statement
 /// (bool assignments and bool havoc branch).
-fn simple_steps(pool: &mut TermPool, stmt: &Stmt, env: &Env) -> Vec<Vec<SimpleStmt>> {
+fn simple_steps(
+    pool: &mut TermPool,
+    stmt: &Stmt,
+    env: &Env,
+) -> Result<Vec<Vec<SimpleStmt>>, Error> {
     match stmt {
-        Stmt::Skip => vec![vec![]],
+        Stmt::Skip => Ok(vec![vec![]]),
         Stmt::Assume(e) => {
-            let g = bool_term(pool, e, env);
-            vec![vec![SimpleStmt::Assume(g)]]
+            let g = bool_term(pool, e, env)?;
+            Ok(vec![vec![SimpleStmt::Assume(g)]])
         }
         Stmt::Havoc(x) => {
-            let (v, ty) = env[x];
-            match ty {
+            let (v, ty) = lookup(env, x)?;
+            Ok(match ty {
                 Type::Int => vec![vec![SimpleStmt::Havoc(v)]],
                 Type::Bool => vec![
                     vec![SimpleStmt::Assign(v, LinExpr::constant(0))],
                     vec![SimpleStmt::Assign(v, LinExpr::constant(1))],
                 ],
-            }
+            })
         }
         Stmt::Assign(x, e) => {
-            let (v, ty) = env[x];
+            let (v, ty) = lookup(env, x)?;
             match ty {
-                Type::Int => vec![vec![SimpleStmt::Assign(v, int_expr(e, env))]],
+                Type::Int => Ok(vec![vec![SimpleStmt::Assign(v, int_expr(e, env)?)]]),
                 Type::Bool => match e {
-                    Expr::Bool(value) => {
-                        vec![vec![SimpleStmt::Assign(
-                            v,
-                            LinExpr::constant(i128::from(*value)),
-                        )]]
-                    }
-                    Expr::Nondet => vec![
+                    Expr::Bool(value) => Ok(vec![vec![SimpleStmt::Assign(
+                        v,
+                        LinExpr::constant(i128::from(*value)),
+                    )]]),
+                    Expr::Nondet => Ok(vec![
                         vec![SimpleStmt::Assign(v, LinExpr::constant(0))],
                         vec![SimpleStmt::Assign(v, LinExpr::constant(1))],
-                    ],
+                    ]),
                     _ => {
-                        let g = bool_term(pool, e, env);
+                        let g = bool_term(pool, e, env)?;
                         let ng = pool.not(g);
-                        vec![
+                        Ok(vec![
                             vec![
                                 SimpleStmt::Assume(g),
                                 SimpleStmt::Assign(v, LinExpr::constant(1)),
@@ -196,12 +232,15 @@ fn simple_steps(pool: &mut TermPool, stmt: &Stmt, env: &Env) -> Vec<Vec<SimpleSt
                                 SimpleStmt::Assume(ng),
                                 SimpleStmt::Assign(v, LinExpr::constant(0)),
                             ],
-                        ]
+                        ])
                     }
                 },
             }
         }
-        other => unreachable!("not a simple statement: {}", other.label()),
+        other => Err(ill_typed(format!(
+            "not a simple statement: {}",
+            other.label()
+        ))),
     }
 }
 
@@ -217,11 +256,11 @@ fn atomic_paths(
     for stmt in stmts {
         match stmt {
             Stmt::Skip | Stmt::Assume(_) | Stmt::Havoc(_) | Stmt::Assign(_, _) => {
-                let alts = simple_steps(pool, stmt, env);
+                let alts = simple_steps(pool, stmt, env)?;
                 normal = cross(&normal, &alts);
             }
             Stmt::Assert(e) => {
-                let g = bool_term(pool, e, env);
+                let g = bool_term(pool, e, env)?;
                 let ng = pool.not(g);
                 for p in &normal {
                     let mut f = p.clone();
@@ -236,7 +275,7 @@ fn atomic_paths(
                 let (g, ng) = if matches!(c, Expr::Nondet) {
                     (TermPool::TRUE, TermPool::TRUE)
                 } else {
-                    let g = bool_term(pool, c, env);
+                    let g = bool_term(pool, c, env)?;
                     let ng = pool.not(g);
                     (g, ng)
                 };
@@ -255,7 +294,9 @@ fn atomic_paths(
                 failing.extend(cross(&normal, &inner_f));
                 normal = cross(&normal, &inner_n);
             }
-            Stmt::While(_, _) => unreachable!("typecheck rejects while inside atomic"),
+            Stmt::While(_, _) => {
+                return Err(ill_typed("while inside atomic block"));
+            }
         }
         if normal.len() + failing.len() > MAX_ATOMIC_PATHS {
             return Err(Error {
@@ -416,14 +457,14 @@ fn lower_stmt(
     match stmt {
         Stmt::Skip => Ok(entry),
         Stmt::Assume(_) | Stmt::Havoc(_) | Stmt::Assign(_, _) => {
-            let paths = simple_steps(pool, stmt, env);
+            let paths = simple_steps(pool, stmt, env)?;
             let letter = b.add_statement(Statement::atomic(tid, &stmt.label(), paths, pool));
             let next = sketch.fresh();
             sketch.edge(entry, letter, next);
             Ok(next)
         }
         Stmt::Assert(e) => {
-            let g = bool_term(pool, e, env);
+            let g = bool_term(pool, e, env)?;
             let ng = pool.not(g);
             let ok = b.add_statement(Statement::simple(
                 tid,
@@ -447,7 +488,7 @@ fn lower_stmt(
             let (g, ng) = if matches!(c, Expr::Nondet) {
                 (TermPool::TRUE, TermPool::TRUE)
             } else {
-                let g = bool_term(pool, c, env);
+                let g = bool_term(pool, c, env)?;
                 let ng = pool.not(g);
                 (g, ng)
             };
@@ -476,7 +517,7 @@ fn lower_stmt(
             let (g, ng) = if matches!(c, Expr::Nondet) {
                 (TermPool::TRUE, TermPool::TRUE)
             } else {
-                let g = bool_term(pool, c, env);
+                let g = bool_term(pool, c, env)?;
                 let ng = pool.not(g);
                 (g, ng)
             };

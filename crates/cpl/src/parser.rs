@@ -11,16 +11,34 @@ use crate::Error;
 /// Returns the first lexical or syntactic error with its position.
 pub fn parse(source: &str) -> Result<Ast, Error> {
     let tokens = tokenize(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     p.unit()
 }
+
+/// Maximum combined nesting depth of statements and expressions.
+/// Adversarial input (`((((((…` or thousands of nested `if`s) must produce
+/// a diagnostic, never overflow the parser's stack.
+const MAX_NEST_DEPTH: usize = 200;
 
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
+    fn enter(&mut self) -> Result<(), Error> {
+        self.depth += 1;
+        if self.depth > MAX_NEST_DEPTH {
+            return Err(self.error(format!("input nested deeper than {MAX_NEST_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn peek(&self) -> &Tok {
         &self.tokens[self.pos].tok
     }
@@ -200,6 +218,13 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt, Error> {
+        self.enter()?;
+        let stmt = self.stmt_inner();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, Error> {
         match self.peek().clone() {
             Tok::Skip => {
                 self.bump();
@@ -269,7 +294,10 @@ impl Parser {
     // --- expressions (precedence climbing) --------------------------------
 
     fn expr(&mut self) -> Result<Expr, Error> {
-        self.or_expr()
+        self.enter()?;
+        let e = self.or_expr();
+        self.depth -= 1;
+        e
     }
 
     fn or_expr(&mut self) -> Result<Expr, Error> {
@@ -333,17 +361,20 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> Result<Expr, Error> {
-        match self.peek() {
+        self.enter()?;
+        let e = match self.peek() {
             Tok::Minus => {
                 self.bump();
-                Ok(Expr::Neg(Box::new(self.unary_expr()?)))
+                self.unary_expr().map(|e| Expr::Neg(Box::new(e)))
             }
             Tok::Not => {
                 self.bump();
-                Ok(Expr::Not(Box::new(self.unary_expr()?)))
+                self.unary_expr().map(|e| Expr::Not(Box::new(e)))
             }
             _ => self.primary(),
-        }
+        };
+        self.depth -= 1;
+        e
     }
 
     fn primary(&mut self) -> Result<Expr, Error> {

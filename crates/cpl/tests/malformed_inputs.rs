@@ -1,0 +1,149 @@
+//! Robustness corpus: no CPL input — however malformed or adversarial —
+//! may panic the frontend. Every input must come back as `Ok(program)` or
+//! a structured `Err(Error)` diagnostic.
+
+use cpl::compile;
+use smt::term::TermPool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Compiles `src` inside `catch_unwind`, panicking the *test* (with the
+/// input attached) only if the frontend itself panicked.
+fn must_not_panic(name: &str, src: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut pool = TermPool::new();
+        compile(src, &mut pool).map(|p| p.name().to_owned())
+    }));
+    assert!(
+        result.is_ok(),
+        "frontend panicked on malformed input `{name}`:\n{src}"
+    );
+}
+
+#[test]
+fn malformed_corpus_never_panics() {
+    let corpus: &[(&str, String)] = &[
+        ("empty", String::new()),
+        ("garbage", "@#$%^&*".to_owned()),
+        ("truncated-thread", "thread t {".to_owned()),
+        ("truncated-var", "var x".to_owned()),
+        ("truncated-expr", "var x: int = ;".to_owned()),
+        ("stray-close", "}}}}".to_owned()),
+        (
+            "keyword-soup",
+            "var thread spawn assert if while".to_owned(),
+        ),
+        (
+            "huge-int-literal",
+            format!("var x: int = {};", "9".repeat(60)),
+        ),
+        (
+            "int-literal-overflow-expr",
+            "var x: int; thread t { x := 170141183460469231731687303715884105728; } spawn t;"
+                .to_owned(),
+        ),
+        (
+            "deep-parens",
+            format!(
+                "var x: int = {}1{};",
+                "(".repeat(100_000),
+                ")".repeat(100_000)
+            ),
+        ),
+        (
+            "deep-negation",
+            format!(
+                "var b: bool; thread t {{ b := {}b; }} spawn t;",
+                "!".repeat(100_000)
+            ),
+        ),
+        ("deep-if-nesting", {
+            let mut s = String::from("var x: int; thread t { ");
+            s.push_str(&"if (*) { ".repeat(10_000));
+            s.push_str("skip; ");
+            s.push_str(&"} ".repeat(10_000));
+            s.push_str("} spawn t;");
+            s
+        }),
+        (
+            "spawn-bomb",
+            "thread t { skip; } spawn t * 4000000000;".to_owned(),
+        ),
+        ("spawn-zero", "thread t { skip; } spawn t * 0;".to_owned()),
+        ("spawn-undeclared", "spawn ghost;".to_owned()),
+        (
+            "undeclared-var",
+            "thread t { nosuchvar := 1; } spawn t;".to_owned(),
+        ),
+        (
+            "undeclared-in-assert",
+            "thread t { assert ghost > 0; } spawn t;".to_owned(),
+        ),
+        (
+            "type-confusion",
+            "var b: bool; thread t { b := b + 1; } spawn t;".to_owned(),
+        ),
+        (
+            "nonlinear-multiplication",
+            "var x: int; var y: int; thread t { x := x * y; } spawn t;".to_owned(),
+        ),
+        (
+            "bool-arithmetic-guard",
+            "var b: bool; thread t { if (b + b) { skip; } } spawn t;".to_owned(),
+        ),
+        (
+            "while-inside-atomic",
+            "var x: int; thread t { atomic { while (x < 3) { x := x + 1; } } } spawn t;".to_owned(),
+        ),
+        ("atomic-path-explosion", {
+            let mut s = String::from("var b: bool; thread t { atomic { ");
+            s.push_str(&"b := !b || b; ".repeat(32));
+            s.push_str("} } spawn t;");
+            s
+        }),
+        (
+            "requires-undeclared",
+            "requires ghost == 0; thread t { skip; } spawn t;".to_owned(),
+        ),
+        (
+            "non-constant-initializer",
+            "var x: int; var y: int = x + 1; thread t { skip; } spawn t;".to_owned(),
+        ),
+        ("unterminated-comment-ish", "var x: int; //".to_owned()),
+        (
+            "non-ascii",
+            "var ⊥: int; thread t { skip; } spawn t;".to_owned(),
+        ),
+        ("nul-bytes", "var x\0: int;\0".to_owned()),
+    ];
+    for (name, src) in corpus {
+        must_not_panic(name, src);
+    }
+}
+
+#[test]
+fn deep_nesting_is_a_diagnostic_not_a_crash() {
+    let mut pool = TermPool::new();
+    let src = format!(
+        "var x: int = {}1{};",
+        "(".repeat(100_000),
+        ")".repeat(100_000)
+    );
+    let err = compile(&src, &mut pool).expect_err("deep nesting must be rejected");
+    assert!(
+        err.message.contains("nested deeper"),
+        "unexpected diagnostic: {}",
+        err.message
+    );
+}
+
+#[test]
+fn spawn_bomb_is_a_diagnostic_not_a_hang() {
+    let mut pool = TermPool::new();
+    let err = compile("thread t { skip; } spawn t * 4000000000;", &mut pool)
+        .expect_err("spawn bomb must be rejected");
+    assert!(
+        err.message.contains("threads"),
+        "unexpected diagnostic: {}",
+        err.message
+    );
+}

@@ -17,7 +17,8 @@
 
 use crate::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel};
 use crate::rational::Rat;
-use crate::simplex::{check_rational_with_certificate, CertResult};
+use crate::resource::ResourceGovernor;
+use crate::simplex::{check_rational_with_certificate_governed, CertResult};
 
 /// One element of a Farkas interpolant chain.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,13 +59,23 @@ pub enum Interpolant {
 /// // chain[1] is (a scaling of) 5 − x ≤ 0, i.e. x ≥ 5.
 /// ```
 pub fn farkas_sequence_interpolants(blocks: &[Vec<LinearConstraint>]) -> Option<Vec<Interpolant>> {
+    farkas_sequence_interpolants_governed(blocks, &ResourceGovernor::unlimited())
+}
+
+/// As [`farkas_sequence_interpolants`], charging `governor` inside the
+/// certificate-producing simplex run. A tripped governor yields `None`,
+/// which callers already treat as "no Farkas chain available".
+pub fn farkas_sequence_interpolants_governed(
+    blocks: &[Vec<LinearConstraint>],
+    governor: &ResourceGovernor,
+) -> Option<Vec<Interpolant>> {
     let flat: Vec<LinearConstraint> = blocks.iter().flatten().cloned().collect();
     let block_of: Vec<usize> = blocks
         .iter()
         .enumerate()
         .flat_map(|(b, cs)| std::iter::repeat_n(b, cs.len()))
         .collect();
-    let certificate = match check_rational_with_certificate(&flat) {
+    let certificate = match check_rational_with_certificate_governed(&flat, governor) {
         CertResult::Unsat(c) => c,
         _ => return None,
     };
@@ -108,7 +119,7 @@ pub fn farkas_sequence_interpolants(blocks: &[Vec<LinearConstraint>]) -> Option<
 mod tests {
     use super::*;
     use crate::linear::VarId;
-    use crate::simplex::FarkasCertificate;
+    use crate::simplex::{check_rational_with_certificate, FarkasCertificate};
 
     fn mk(e: LinExpr, r: Rel) -> LinearConstraint {
         match LinearConstraint::new(e, r) {

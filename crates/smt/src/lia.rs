@@ -9,7 +9,8 @@
 
 use crate::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel, VarId};
 
-use crate::simplex::{check_rational, SimplexResult};
+use crate::resource::{Category, ResourceGovernor};
+use crate::simplex::{check_rational_governed, SimplexResult};
 use std::collections::HashMap;
 
 /// Outcome of an integer feasibility check.
@@ -60,21 +61,40 @@ pub const DEFAULT_BB_BUDGET: usize = 2_000;
 /// assert_eq!(check_integer(&[c1, c2, c3, c4]), LiaResult::Unsat);
 /// ```
 pub fn check_integer(constraints: &[LinearConstraint]) -> LiaResult {
-    let mut budget = DEFAULT_BB_BUDGET;
-    branch_and_bound(constraints.to_vec(), &mut budget)
+    check_integer_governed(
+        constraints,
+        DEFAULT_BB_BUDGET,
+        &ResourceGovernor::unlimited(),
+    )
 }
 
 /// As [`check_integer`] with an explicit branch-and-bound node budget.
-pub fn check_integer_with_budget(constraints: &[LinearConstraint], mut budget: usize) -> LiaResult {
-    branch_and_bound(constraints.to_vec(), &mut budget)
+pub fn check_integer_with_budget(constraints: &[LinearConstraint], budget: usize) -> LiaResult {
+    check_integer_governed(constraints, budget, &ResourceGovernor::unlimited())
 }
 
-fn branch_and_bound(constraints: Vec<LinearConstraint>, budget: &mut usize) -> LiaResult {
-    if *budget == 0 {
+/// As [`check_integer_with_budget`], charging `governor` one
+/// [`Category::BranchNodes`] unit per branch-and-bound node (and
+/// [`Category::SimplexPivots`] inside each relaxation). A tripped governor
+/// aborts the search with [`LiaResult::Unknown`].
+pub fn check_integer_governed(
+    constraints: &[LinearConstraint],
+    mut budget: usize,
+    governor: &ResourceGovernor,
+) -> LiaResult {
+    branch_and_bound(constraints.to_vec(), &mut budget, governor)
+}
+
+fn branch_and_bound(
+    constraints: Vec<LinearConstraint>,
+    budget: &mut usize,
+    governor: &ResourceGovernor,
+) -> LiaResult {
+    if *budget == 0 || governor.charge(Category::BranchNodes).is_err() {
         return LiaResult::Unknown;
     }
     *budget -= 1;
-    match check_rational(&constraints) {
+    match check_rational_governed(&constraints, governor) {
         SimplexResult::Unsat => LiaResult::Unsat,
         SimplexResult::Unknown => LiaResult::Unknown,
         SimplexResult::Sat(model) => {
@@ -112,7 +132,7 @@ fn branch_and_bound(constraints: Vec<LinearConstraint>, budget: &mut usize) -> L
                             NormalizedConstraint::False => continue,
                             NormalizedConstraint::Constraint(c) => cs.push(c),
                         }
-                        match branch_and_bound(cs, budget) {
+                        match branch_and_bound(cs, budget, governor) {
                             LiaResult::Sat(m) => return LiaResult::Sat(m),
                             LiaResult::Unsat => {}
                             LiaResult::Unknown => saw_unknown = true,
@@ -257,6 +277,22 @@ mod tests {
             eq(LinExpr::var(x()).sub(&LinExpr::var(y())), 0),
         ];
         assert_eq!(check_integer_with_budget(&cs, 0), LiaResult::Unknown);
+    }
+
+    #[test]
+    fn governor_node_budget_is_unknown() {
+        let cs = [
+            eq(LinExpr::var(x()).add(&LinExpr::var(y())), 1),
+            eq(LinExpr::var(x()).sub(&LinExpr::var(y())), 0),
+        ];
+        let g = ResourceGovernor::builder()
+            .budget(Category::BranchNodes, 1)
+            .build();
+        assert_eq!(
+            check_integer_governed(&cs, DEFAULT_BB_BUDGET, &g),
+            LiaResult::Unknown
+        );
+        assert_eq!(g.give_up().unwrap().category, Category::BranchNodes);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod interpolate;
 pub mod lia;
 pub mod linear;
 pub mod rational;
+pub mod resource;
 pub mod simplex;
 pub mod solver;
 pub mod term;
@@ -54,6 +55,7 @@ pub mod transfer;
 pub mod unsat_core;
 
 pub use linear::{LinExpr, LinearConstraint, Rel, VarId};
+pub use resource::{Category, FaultKind, FaultPlan, GiveUp, GovernorBuilder, ResourceGovernor};
 pub use solver::{check, entails, equivalent, is_valid, Model, SatResult};
 pub use term::{Term, TermId, TermPool};
 pub use transfer::ExportedTerm;

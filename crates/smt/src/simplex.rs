@@ -9,7 +9,24 @@
 
 use crate::linear::{LinearConstraint, Rel, VarId};
 use crate::rational::{ArithmeticOverflow, Rat};
+use crate::resource::{Category, ResourceGovernor};
 use std::collections::HashMap;
+
+/// Why the tableau abandoned a check: `i128` overflow, or a tripped
+/// resource governor (pivot budget, deadline, cancellation, injected
+/// fault). Both degrade to `Unknown`; the governor's `GiveUp` record
+/// carries the precise cause for reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Halt {
+    Overflow,
+    Interrupted,
+}
+
+impl From<ArithmeticOverflow> for Halt {
+    fn from(_: ArithmeticOverflow) -> Halt {
+        Halt::Overflow
+    }
+}
 
 /// Outcome of a rational feasibility check.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -41,13 +58,27 @@ pub enum SimplexResult {
 /// assert_eq!(check_rational(&[c1, c2]), SimplexResult::Unsat);
 /// ```
 pub fn check_rational(constraints: &[LinearConstraint]) -> SimplexResult {
-    match Tableau::new(constraints).and_then(|mut t| {
-        t.check()?;
-        Ok(t.feasible.then(|| t.model()))
-    }) {
+    check_rational_governed(constraints, &ResourceGovernor::unlimited())
+}
+
+/// As [`check_rational`], charging `governor` one
+/// [`Category::SimplexPivots`] unit per pivot iteration. A tripped
+/// governor aborts mid-check with [`SimplexResult::Unknown`]; the
+/// governor's give-up record carries the cause.
+pub fn check_rational_governed(
+    constraints: &[LinearConstraint],
+    governor: &ResourceGovernor,
+) -> SimplexResult {
+    let outcome = Tableau::new(constraints)
+        .map_err(Halt::from)
+        .and_then(|mut t| {
+            t.check(governor)?;
+            Ok(t.feasible.then(|| t.model()))
+        });
+    match outcome {
         Ok(Some(model)) => SimplexResult::Sat(model),
         Ok(None) => SimplexResult::Unsat,
-        Err(ArithmeticOverflow) => SimplexResult::Unknown,
+        Err(_) => SimplexResult::Unknown,
     }
 }
 
@@ -109,19 +140,29 @@ pub enum CertResult {
 /// As [`check_rational`], additionally returning a Farkas certificate on
 /// infeasibility.
 pub fn check_rational_with_certificate(constraints: &[LinearConstraint]) -> CertResult {
-    let outcome = Tableau::new(constraints).and_then(|mut t| {
-        t.check()?;
-        if t.feasible {
-            Ok(CertResult::Sat(t.model()))
-        } else {
-            Ok(CertResult::Unsat(
-                t.extract_certificate().ok_or(ArithmeticOverflow)?,
-            ))
-        }
-    });
+    check_rational_with_certificate_governed(constraints, &ResourceGovernor::unlimited())
+}
+
+/// As [`check_rational_with_certificate`], charging `governor` per pivot.
+pub fn check_rational_with_certificate_governed(
+    constraints: &[LinearConstraint],
+    governor: &ResourceGovernor,
+) -> CertResult {
+    let outcome = Tableau::new(constraints)
+        .map_err(Halt::from)
+        .and_then(|mut t| {
+            t.check(governor)?;
+            if t.feasible {
+                Ok(CertResult::Sat(t.model()))
+            } else {
+                Ok(CertResult::Unsat(
+                    t.extract_certificate().ok_or(Halt::Overflow)?,
+                ))
+            }
+        });
     match outcome {
         Ok(r) => r,
-        Err(ArithmeticOverflow) => CertResult::Unknown,
+        Err(_) => CertResult::Unknown,
     }
 }
 
@@ -245,9 +286,12 @@ impl Tableau {
     }
 
     /// Main check loop (Bland's rule: smallest-index selection).
-    fn check(&mut self) -> Result<(), ArithmeticOverflow> {
+    fn check(&mut self, governor: &ResourceGovernor) -> Result<(), Halt> {
         self.recompute_basic_values()?;
         loop {
+            if governor.charge(Category::SimplexPivots).is_err() {
+                return Err(Halt::Interrupted);
+            }
             // Smallest violating basic variable.
             let Some(b) = (0..self.n)
                 .filter(|&v| !self.is_nonbasic(v))
@@ -517,6 +561,28 @@ mod tests {
             le(LinExpr::var(x()).add(&LinExpr::var(y())), 0),
             eq(LinExpr::var(x()).sub(&LinExpr::var(y())), 0),
         ]);
+    }
+
+    #[test]
+    fn pivot_budget_degrades_to_unknown() {
+        // x + y ≥ 5, x ≤ 1, y ≤ 2 needs several pivots to refute.
+        let cs = [
+            ge(LinExpr::var(x()).add(&LinExpr::var(y())), 5),
+            le(LinExpr::var(x()), 1),
+            le(LinExpr::var(y()), 2),
+        ];
+        let g = ResourceGovernor::builder()
+            .budget(Category::SimplexPivots, 1)
+            .build();
+        assert_eq!(check_rational_governed(&cs, &g), SimplexResult::Unknown);
+        assert_eq!(g.give_up().unwrap().category, Category::SimplexPivots);
+        // Ungoverned, the same system is decided exactly.
+        assert_eq!(check_rational(&cs), SimplexResult::Unsat);
+        // A tripped governor also downgrades certificate queries.
+        assert_eq!(
+            check_rational_with_certificate_governed(&cs, &g),
+            CertResult::Unknown
+        );
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! to `true` satisfies the whole formula. This makes the solver short and
 //! obviously sound.
 
-use crate::lia::{check_integer_with_budget, LiaResult};
+use crate::lia::{check_integer_governed, LiaResult};
 use crate::linear::{LinearConstraint, VarId};
-use crate::simplex::{check_rational, SimplexResult};
+use crate::resource::{Category, ResourceGovernor};
+use crate::simplex::{check_rational_governed, SimplexResult};
 use crate::term::{Term, TermId, TermPool};
 use std::collections::HashMap;
 
@@ -105,11 +106,13 @@ pub fn check_with_config(
     config: &SolverConfig,
 ) -> SatResult {
     let formula = pool.and(assertions.iter().copied());
+    let governor = pool.governor().clone();
     let mut search = Search {
         pool,
         config,
         budget: config.dpll_budget,
         saw_unknown: false,
+        governor,
     };
     let mut fixed = Vec::new();
     match search.dpll(formula, &mut fixed) {
@@ -142,26 +145,31 @@ struct Search<'a> {
     config: &'a SolverConfig,
     budget: usize,
     saw_unknown: bool,
+    /// Cloned from the pool once per query; charged per DPLL decision and
+    /// forwarded into the theory layers.
+    governor: ResourceGovernor,
 }
 
 impl Search<'_> {
     /// Recursive DPLL. `fixed` is the conjunction of atoms branched true.
     fn dpll(&mut self, formula: TermId, fixed: &mut Vec<LinearConstraint>) -> Option<Model> {
-        if self.budget == 0 {
+        if self.budget == 0 || self.governor.charge(Category::DpllDecisions).is_err() {
             self.saw_unknown = true;
             return None;
         }
         self.budget -= 1;
         match self.pool.term(formula) {
             Term::False => None,
-            Term::True => match check_integer_with_budget(fixed, self.config.bb_budget) {
-                LiaResult::Sat(values) => Some(Model::from_values(values)),
-                LiaResult::Unsat => None,
-                LiaResult::Unknown => {
-                    self.saw_unknown = true;
-                    None
+            Term::True => {
+                match check_integer_governed(fixed, self.config.bb_budget, &self.governor) {
+                    LiaResult::Sat(values) => Some(Model::from_values(values)),
+                    LiaResult::Unsat => None,
+                    LiaResult::Unknown => {
+                        self.saw_unknown = true;
+                        None
+                    }
                 }
-            },
+            }
             _ => {
                 // Unit propagation: conjuncts that are atoms must hold.
                 if let Term::And(children) = self.pool.term(formula) {
@@ -213,7 +221,10 @@ impl Search<'_> {
 
     /// Cheap rational pruning of the current partial conjunction.
     fn prune(&mut self, fixed: &[LinearConstraint]) -> bool {
-        matches!(check_rational(fixed), SimplexResult::Unsat)
+        matches!(
+            check_rational_governed(fixed, &self.governor),
+            SimplexResult::Unsat
+        )
     }
 }
 
@@ -399,6 +410,29 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn pool_governor_interrupts_query() {
+        let mut p = TermPool::new();
+        let x = p.var("x");
+        let a = p.ge_const(x, 0);
+        let b = p.le_const(x, 10);
+        p.set_governor(
+            ResourceGovernor::builder()
+                .budget(Category::DpllDecisions, 0)
+                .build(),
+        );
+        assert_eq!(check(&mut p, &[a, b]), SatResult::Unknown);
+        assert_eq!(
+            p.governor().give_up().unwrap().category,
+            Category::DpllDecisions
+        );
+        // Entailment degrades conservatively: a tripped governor can only
+        // make `entails` answer "not entailed", never "entailed".
+        assert!(!entails(&mut p, a, a));
+        p.set_governor(ResourceGovernor::unlimited());
+        assert!(check(&mut p, &[a, b]).is_sat());
     }
 
     #[test]

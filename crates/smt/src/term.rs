@@ -7,6 +7,7 @@
 //! and cube extraction simple.
 
 use crate::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel, VarId};
+use crate::resource::ResourceGovernor;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -67,6 +68,9 @@ pub struct TermPool {
     var_names: Vec<String>,
     var_intern: HashMap<String, VarId>,
     negation_cache: HashMap<TermId, TermId>,
+    /// The resource governor charged by every solver query routed through
+    /// this pool (defaults to [`ResourceGovernor::unlimited`]).
+    governor: ResourceGovernor,
 }
 
 impl TermPool {
@@ -107,6 +111,20 @@ impl TermPool {
     /// Number of distinct interned terms.
     pub fn num_terms(&self) -> usize {
         self.terms.len()
+    }
+
+    // ---- resource governance ---------------------------------------------
+
+    /// Installs `governor`: every subsequent solver query routed through
+    /// this pool charges it. Pass [`ResourceGovernor::unlimited`] to
+    /// remove governance.
+    pub fn set_governor(&mut self, governor: ResourceGovernor) {
+        self.governor = governor;
+    }
+
+    /// The governor charged by queries through this pool.
+    pub fn governor(&self) -> &ResourceGovernor {
+        &self.governor
     }
 
     // ---- variables -------------------------------------------------------

@@ -50,7 +50,7 @@ fn main() {
                     outcome.stats.rounds, outcome.stats.time
                 ),
                 Verdict::Correct => "WRONG (claims correct)".to_owned(),
-                Verdict::Unknown { reason } => format!("unknown: {reason}"),
+                Verdict::GaveUp(give_up) => format!("gave up: {give_up}"),
             };
             println!("    {member:22} {status}");
         }

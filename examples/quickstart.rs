@@ -50,7 +50,7 @@ fn main() {
                 println!("  {}", program.statement(l).label());
             }
         }
-        Verdict::Unknown { reason } => println!("verdict: UNKNOWN ({reason})"),
+        Verdict::GaveUp(give_up) => println!("verdict: GAVE-UP {give_up}"),
     }
     println!(
         "stats: {} refinement rounds, proof size {}, {} visited states, {:?}",

@@ -4,12 +4,14 @@
 //! seqver verify <file.cpl> [--order seq|lockstep|rand:<seed>|prio:<p0,p1,...>] [--config NAME]
 //!                          [--no-proof-sensitivity] [--max-rounds N] [--portfolio]
 //!                          [--parallel] [--deterministic]
+//!                          [--timeout DUR] [--steps CAT=N] [--faults SPEC]
 //! seqver info   <file.cpl>
 //! seqver reduce <file.cpl> [--order ...] [--dot]
 //! ```
 
 use seqver::automata::dot::to_dot;
 use seqver::cpl;
+use seqver::gemcutter::govern::{Category, FaultPlan, GovernorConfig};
 use seqver::gemcutter::portfolio::{
     default_portfolio, parallel_verify, portfolio_verify, ParallelConfig,
 };
@@ -37,6 +39,7 @@ const USAGE: &str = "usage:
   seqver verify <file.cpl> [--order seq|lockstep|rand:<seed>] [--config gemcutter|automizer|sleep|persistent]
                            [--no-proof-sensitivity] [--max-rounds N] [--portfolio]
                            [--parallel] [--deterministic]
+                           [--timeout DUR] [--steps CAT=N] [--faults SPEC]
   seqver info   <file.cpl>
   seqver reduce <file.cpl> [--order seq|lockstep|rand:<seed>] [--dot]
 
@@ -44,7 +47,15 @@ const USAGE: &str = "usage:
   --parallel       multi-threaded shared-proof portfolio (one engine per
                    preference order; assertions are exchanged between them)
   --deterministic  with --parallel: lockstep rounds with engine-index-ordered
-                   assertion merges, reproducible across runs";
+                   assertion merges, reproducible across runs
+  --timeout DUR    wall-clock deadline polled inside solver loops and the
+                   proof-check DFS (e.g. 500ms, 1s, 2m); on expiry the run
+                   ends with verdict GAVE-UP, exit code 3
+  --steps CAT=N    step budget for one governor category (repeatable), e.g.
+                   --steps simplex-pivots=10000 --steps dfs-states=50000
+  --faults SPEC    deterministic fault injection for robustness testing:
+                   comma-separated CATEGORY:N:KIND sites, KIND one of
+                   unknown|timeout|panic, e.g. simplex-pivots:100:unknown";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (command, rest) = args.split_first().ok_or("missing command")?;
@@ -97,6 +108,45 @@ struct Flags {
     parallel: bool,
     deterministic: bool,
     dot: bool,
+    govern: GovernorConfig,
+}
+
+/// Parses `500ms`, `1s`, `2m`, or a bare number of seconds.
+fn parse_duration(spec: &str) -> Result<std::time::Duration, String> {
+    let bad = || format!("invalid duration `{spec}` (expected e.g. 500ms, 1s, 2m)");
+    let (digits, unit) = match spec.find(|c: char| !c.is_ascii_digit()) {
+        Some(0) | None if spec.is_empty() => return Err(bad()),
+        Some(split) => spec.split_at(split),
+        None => (spec, "s"),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    match unit {
+        "ms" => Ok(std::time::Duration::from_millis(n)),
+        "s" => Ok(std::time::Duration::from_secs(n)),
+        "m" => Ok(std::time::Duration::from_secs(n * 60)),
+        _ => Err(bad()),
+    }
+}
+
+/// Parses a `--steps CAT=N` budget assignment into the governor config.
+fn parse_steps(govern: &mut GovernorConfig, spec: &str) -> Result<(), String> {
+    let (cat, n) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("invalid --steps `{spec}` (expected CATEGORY=N)"))?;
+    let category =
+        Category::parse(cat).ok_or_else(|| format!("unknown budget category `{cat}`"))?;
+    let budget: u64 = n
+        .parse()
+        .map_err(|_| format!("invalid budget in --steps `{spec}`"))?;
+    let slot = match category {
+        Category::SimplexPivots => &mut govern.simplex_pivot_budget,
+        Category::DpllDecisions => &mut govern.dpll_decision_budget,
+        Category::BranchNodes => &mut govern.branch_node_budget,
+        Category::DfsStates => &mut govern.dfs_state_budget,
+        other => return Err(format!("category `{other}` has no step budget")),
+    };
+    *slot = Some(budget);
+    Ok(())
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -110,6 +160,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         parallel: false,
         deterministic: false,
         dot: false,
+        govern: GovernorConfig::default(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -130,6 +181,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--parallel" => flags.parallel = true,
             "--deterministic" => flags.deterministic = true,
             "--dot" => flags.dot = true,
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs a value")?;
+                flags.govern.deadline = Some(parse_duration(v)?);
+            }
+            "--steps" => {
+                let v = it.next().ok_or("--steps needs a value")?;
+                parse_steps(&mut flags.govern, v)?;
+            }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a value")?;
+                flags.govern.fault_plan = FaultPlan::parse(v)?;
+            }
             other if !other.starts_with("--") && flags.file.is_empty() => {
                 flags.file = other.to_owned();
             }
@@ -160,7 +223,17 @@ fn build_config(flags: &Flags) -> Result<VerifierConfig, String> {
     if let Some(r) = flags.max_rounds {
         config.max_rounds = r;
     }
+    config.govern = flags.govern.clone();
     Ok(config)
+}
+
+/// The portfolio members with the CLI's resource limits applied to each.
+fn governed_portfolio(flags: &Flags) -> Vec<VerifierConfig> {
+    let mut members = default_portfolio();
+    for member in &mut members {
+        member.govern = flags.govern.clone();
+    }
+    members
 }
 
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
@@ -173,19 +246,20 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     let (verdict, stats, config_name) = if flags.parallel {
         let mut pcfg = ParallelConfig {
             deterministic: flags.deterministic,
+            wall_clock_budget: flags.govern.deadline,
             ..ParallelConfig::default()
         };
         if let Some(r) = flags.max_rounds {
             pcfg.max_rounds_per_engine = r;
         }
-        let result = parallel_verify(&pool, &program, &default_portfolio(), &pcfg);
+        let result = parallel_verify(&pool, &program, &governed_portfolio(&flags), &pcfg);
         let name = result
             .winner
             .clone()
             .unwrap_or_else(|| "parallel-portfolio".into());
         (result.outcome.verdict, result.outcome.stats, name)
     } else if flags.portfolio {
-        let result = portfolio_verify(&mut pool, &program, &default_portfolio(), true);
+        let result = portfolio_verify(&mut pool, &program, &governed_portfolio(&flags), true);
         let name = result.winner.clone().unwrap_or_else(|| "portfolio".into());
         (result.outcome.verdict, result.outcome.stats, name)
     } else {
@@ -215,8 +289,8 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
             );
             ExitCode::from(1)
         }
-        Verdict::Unknown { reason } => {
-            println!("verdict: UNKNOWN — {reason}");
+        Verdict::GaveUp(give_up) => {
+            println!("verdict: GAVE-UP {give_up}");
             ExitCode::from(3)
         }
     };

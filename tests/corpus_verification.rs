@@ -23,8 +23,8 @@ fn check_against_ground_truth(config: &VerifierConfig) {
         match (&outcome.verdict, b.expected) {
             (Verdict::Correct, Expected::Safe) => {}
             (Verdict::Incorrect { .. }, Expected::Unsafe) => {}
-            (Verdict::Unknown { reason }, _) => {
-                panic!("{} [{}]: unknown ({reason})", b.name, config.name)
+            (Verdict::GaveUp(give_up), _) => {
+                panic!("{} [{}]: gave up ({give_up})", b.name, config.name)
             }
             (v, e) => panic!(
                 "{} [{}]: verdict {v:?} vs expected {e:?}",

@@ -1,0 +1,168 @@
+//! Property battery for sound degradation under deterministic fault
+//! injection: whatever fault plan is active,
+//!
+//! * a buggy program is never reported `Correct`;
+//! * a correct program is only ever `Correct` or `GaveUp` (a fault can
+//!   cost completeness, never soundness);
+//! * replaying the same plan on the same program gives a bit-identical
+//!   verdict (injection is indexed by call count, not by time or RNG).
+
+use proptest::prelude::*;
+use seqver::automata::bitset::BitSet;
+use seqver::automata::dfa::DfaBuilder;
+use seqver::gemcutter::govern::{Category, FaultKind, FaultPlan, GovernorConfig};
+use seqver::gemcutter::verify::{verify, Verdict, VerifierConfig};
+use seqver::program::concurrent::Program;
+use seqver::program::stmt::{SimpleStmt, Statement};
+use seqver::program::thread::{Thread, ThreadId};
+use seqver::smt::linear::LinExpr;
+use seqver::smt::TermPool;
+
+/// Two threads of `steps` increments plus a checker asserting the total
+/// is at most `bound`: safe iff `bound >= 2 * steps`.
+fn inc_program(pool: &mut TermPool, steps: usize, bound: i128) -> Program {
+    let mut b = Program::builder("inc");
+    let c = pool.var("c");
+    let done = pool.var("done");
+    b.add_global(c, 0);
+    b.add_global(done, 0);
+    for t in 0..2u32 {
+        let mut cfg = DfaBuilder::new();
+        let mut prev = cfg.add_state(false);
+        let entry = prev;
+        for s in 0..steps {
+            let last = s + 1 == steps;
+            let mut path = vec![SimpleStmt::Assign(
+                c,
+                LinExpr::var(c).add(&LinExpr::constant(1)),
+            )];
+            if last {
+                path.push(SimpleStmt::Assign(
+                    done,
+                    LinExpr::var(done).add(&LinExpr::constant(1)),
+                ));
+            }
+            let l = b.add_statement(Statement::atomic(ThreadId(t), "inc", vec![path], pool));
+            let next = cfg.add_state(last);
+            cfg.add_transition(prev, l, next);
+            prev = next;
+        }
+        b.add_thread(Thread::new("inc", cfg.build(entry), BitSet::new(steps + 1)));
+    }
+    let all_done = pool.ge_const(done, 2);
+    let ok_guard = pool.le_const(c, bound);
+    let bad_guard = pool.not(ok_guard);
+    let wait = b.add_statement(Statement::simple(
+        ThreadId(2),
+        "await",
+        SimpleStmt::Assume(all_done),
+        pool,
+    ));
+    let ok = b.add_statement(Statement::simple(
+        ThreadId(2),
+        "ok",
+        SimpleStmt::Assume(ok_guard),
+        pool,
+    ));
+    let bad = b.add_statement(Statement::simple(
+        ThreadId(2),
+        "bad",
+        SimpleStmt::Assume(bad_guard),
+        pool,
+    ));
+    let mut cfg = DfaBuilder::new();
+    let q0 = cfg.add_state(false);
+    let q1 = cfg.add_state(false);
+    let exit = cfg.add_state(true);
+    let err = cfg.add_state(false);
+    cfg.add_transition(q0, wait, q1);
+    cfg.add_transition(q1, ok, exit);
+    cfg.add_transition(q1, bad, err);
+    let mut errors = BitSet::new(4);
+    errors.insert(err.index());
+    b.add_thread(Thread::new("checker", cfg.build(q0), errors));
+    b.build(pool)
+}
+
+/// A random fault plan over the four step categories, with sites early
+/// enough (small `at`) that they usually fire on these small programs.
+fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec((0u8..4, 1u64..40, 0u8..3), 1..=3).prop_map(|sites| {
+        let mut plan = FaultPlan::new();
+        for (cat, at, kind) in sites {
+            let category = match cat {
+                0 => Category::SimplexPivots,
+                1 => Category::DpllDecisions,
+                2 => Category::BranchNodes,
+                _ => Category::DfsStates,
+            };
+            let kind = match kind {
+                0 => FaultKind::Unknown,
+                1 => FaultKind::Timeout,
+                _ => FaultKind::Panic,
+            };
+            plan = plan.with(category, at, kind);
+        }
+        plan
+    })
+}
+
+fn run_with_plan(steps: usize, bound: i128, plan: &FaultPlan) -> Verdict {
+    let mut pool = TermPool::new();
+    let p = inc_program(&mut pool, steps, bound);
+    let config = VerifierConfig {
+        govern: GovernorConfig {
+            fault_plan: plan.clone(),
+            ..GovernorConfig::default()
+        },
+        ..VerifierConfig::gemcutter_seq()
+    };
+    verify(&mut pool, &p, &config).verdict
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn buggy_programs_are_never_correct_under_faults(
+        plan in fault_plan(),
+        steps in 1usize..3,
+    ) {
+        // bound = 2*steps - 1: one increment too tight, always buggy.
+        let verdict = run_with_plan(steps, 2 * steps as i128 - 1, &plan);
+        prop_assert!(
+            !verdict.is_correct(),
+            "fault plan `{}` flipped a buggy program to Correct",
+            plan.spec()
+        );
+    }
+
+    #[test]
+    fn safe_programs_are_correct_or_gave_up_under_faults(
+        plan in fault_plan(),
+        steps in 1usize..3,
+    ) {
+        let verdict = run_with_plan(steps, 2 * steps as i128, &plan);
+        prop_assert!(
+            matches!(verdict, Verdict::Correct | Verdict::GaveUp(_)),
+            "fault plan `{}` produced {verdict:?} on a safe program",
+            plan.spec()
+        );
+    }
+
+    #[test]
+    fn fault_plans_replay_bit_for_bit(
+        plan in fault_plan(),
+        steps in 1usize..3,
+        safe_flag in 0u8..2,
+    ) {
+        let safe = safe_flag == 1;
+        let bound = if safe { 2 * steps as i128 } else { 2 * steps as i128 - 1 };
+        let first = format!("{:?}", run_with_plan(steps, bound, &plan));
+        let second = format!("{:?}", run_with_plan(steps, bound, &plan));
+        prop_assert_eq!(
+            &first, &second,
+            "fault plan `{}` did not replay deterministically", plan.spec()
+        );
+    }
+}

@@ -142,7 +142,6 @@ fn validate_chains(pool: &mut TermPool, program: &Program, mode: InterpolationMo
         use_persistent: true,
         proof_sensitive: config.proof_sensitive,
         max_visited: 100_000,
-        stop: None,
     };
     let mut istats = InterpolationStats::default();
     let mut validated = 0;
