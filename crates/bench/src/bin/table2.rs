@@ -6,11 +6,17 @@
 //!
 //! Run: `cargo run --release -p bench --bin table2`
 
-use bench::{run_config, run_parallel, run_portfolio, Aggregate, Run};
+use bench::{run_config, run_parallel, run_portfolio, run_supervised, Aggregate, Run};
 use bench_suite::{Expected, Suite};
 use gemcutter::govern::Category;
 use gemcutter::portfolio::ParallelConfig;
+use gemcutter::supervise::RetryPolicy;
 use gemcutter::verify::{Verdict, VerifierConfig};
+
+/// DFS-state budget for the supervised column's *first* attempt. Tight
+/// enough that the harder corpus programs give up initially, so the
+/// escalation ladder (and its recycle hit rate) has something to show.
+const SUPERVISED_DFS_BUDGET: u64 = 400;
 
 struct Column {
     name: &'static str,
@@ -82,6 +88,12 @@ fn main() {
     let corpus = bench::corpus();
     println!("Table 2: proof size and proof-check efficiency per configuration\n");
 
+    let mut tight = VerifierConfig::gemcutter_seq();
+    tight.name = "supervised".to_owned();
+    tight.govern.dfs_state_budget = Some(SUPERVISED_DFS_BUDGET);
+    let policy = RetryPolicy::with_retries(3).escalating_by(4);
+    let supervised = run_supervised(&corpus, &tight, policy);
+
     let cols = vec![
         Column {
             name: "automizer",
@@ -112,6 +124,10 @@ fn main() {
                 .into_iter()
                 .map(|(r, _)| r)
                 .collect(),
+        },
+        Column {
+            name: "supervised",
+            runs: supervised.iter().map(|s| s.run.clone()).collect(),
         },
     ];
 
@@ -155,6 +171,38 @@ fn main() {
         print_count_row(cat.name(), &give_up_row(&cols, Some(cat), &listed));
     }
     print_count_row("other", &give_up_row(&cols, None, &listed));
+
+    // Restart supervision: retries used and recycle hit rate under a tight
+    // first-attempt budget (the `supervised` column above).
+    println!();
+    println!(
+        "Restart supervision (dfs-states budget {SUPERVISED_DFS_BUDGET}, retries {}, escalate {}x)",
+        policy.max_retries, policy.step_factor
+    );
+    let retried: Vec<_> = supervised.iter().filter(|s| s.retries_used > 0).collect();
+    let converted = retried.iter().filter(|s| s.run.successful()).count();
+    let with_recycling = supervised.iter().filter(|s| s.hit_rate > 0.0).count();
+    println!(
+        "  programs escalated: {} of {} ({} converted to a conclusive verdict)",
+        retried.len(),
+        supervised.len(),
+        converted
+    );
+    println!("  programs with recycle hit rate > 0: {with_recycling}");
+    println!(
+        "  {:24} {:>8} {:>9} {:>8} {:>9}",
+        "", "retries", "recycled", "skipped", "hit rate"
+    );
+    for s in &retried {
+        println!(
+            "  {:24} {:>8} {:>9} {:>8} {:>8.0}%",
+            s.run.name,
+            s.retries_used,
+            s.recycled,
+            s.rounds_skipped,
+            s.hit_rate * 100.0
+        );
+    }
 
     // Paper shape: the portfolio's average proof size beats the baseline's.
     let total = proof_size_row(&cols, None);

@@ -9,6 +9,7 @@ use bench_suite::{Benchmark, Expected, Suite};
 use gemcutter::portfolio::{
     default_portfolio, parallel_verify, portfolio_verify, EngineReport, ParallelConfig,
 };
+use gemcutter::supervise::{supervised_verify, RetryPolicy, SuperviseConfig};
 use gemcutter::verify::{verify, Outcome, Verdict, VerifierConfig};
 use smt::term::TermPool;
 
@@ -159,6 +160,64 @@ pub fn run_parallel(
                 run.expected
             );
             (run, result.engines)
+        })
+        .collect()
+}
+
+/// The result of one supervised (restart-ladder) run: the plain [`Run`]
+/// plus the supervision counters the recovery tables report.
+#[derive(Clone, Debug)]
+pub struct SupervisedRun {
+    /// The final-attempt outcome, comparable to any other [`Run`].
+    pub run: Run,
+    /// Attempts beyond the first (0 = converged without restarting).
+    pub retries_used: usize,
+    /// Assertions recycled into the final attempt's initial proof.
+    pub recycled: usize,
+    /// Refinement rounds whose work the final attempt did not repeat.
+    pub rounds_skipped: usize,
+    /// `rounds_skipped / (rounds_skipped + final-attempt rounds)`.
+    pub hit_rate: f64,
+}
+
+/// Runs `benchmarks` under `config` wrapped in the restart supervisor
+/// with `policy` (escalation ladder + proof recycling, no checkpointing).
+///
+/// # Panics
+///
+/// Panics if any verdict contradicts the ground truth (soundness bug).
+pub fn run_supervised(
+    benchmarks: &[Benchmark],
+    config: &VerifierConfig,
+    policy: RetryPolicy,
+) -> Vec<SupervisedRun> {
+    benchmarks
+        .iter()
+        .map(|b| {
+            let mut pool = TermPool::new();
+            let p = b.compile(&mut pool);
+            let sup = supervised_verify(&mut pool, &p, config, &SuperviseConfig::retrying(policy));
+            let run = Run {
+                name: b.name.clone(),
+                suite: b.suite,
+                expected: b.expected,
+                config: config.name.clone(),
+                outcome: sup.outcome.clone(),
+            };
+            assert!(
+                !run.contradicts_ground_truth(),
+                "SOUNDNESS BUG on {}: {:?} but expected {:?}",
+                run.name,
+                run.outcome.verdict,
+                run.expected
+            );
+            SupervisedRun {
+                run,
+                retries_used: sup.retries_used(),
+                recycled: sup.recycled_assertions,
+                rounds_skipped: sup.rounds_skipped,
+                hit_rate: sup.recycle_hit_rate(),
+            }
         })
         .collect()
 }

@@ -85,6 +85,37 @@ impl GovernorConfig {
             .build()
     }
 
+    /// The config after `attempt` escalation steps of the supervisor's
+    /// retry ladder: the deadline stretches by `deadline_factor^attempt`
+    /// and every configured step budget by `step_factor^attempt`
+    /// (saturating). The fault plan is dropped on retries (`attempt > 0`):
+    /// injected faults model the crash that *caused* the restart, so a
+    /// recovery attempt runs clean — otherwise the same charge index would
+    /// re-fire the same fault forever and no ladder could ever converge.
+    pub fn escalated(
+        &self,
+        attempt: u32,
+        deadline_factor: u32,
+        step_factor: u32,
+    ) -> GovernorConfig {
+        let stretch_time =
+            |d: Duration| d.saturating_mul(deadline_factor.saturating_pow(attempt).max(1));
+        let stretch_steps =
+            |n: u64| n.saturating_mul(u64::from(step_factor.saturating_pow(attempt).max(1)));
+        GovernorConfig {
+            deadline: self.deadline.map(stretch_time),
+            simplex_pivot_budget: self.simplex_pivot_budget.map(stretch_steps),
+            dpll_decision_budget: self.dpll_decision_budget.map(stretch_steps),
+            branch_node_budget: self.branch_node_budget.map(stretch_steps),
+            dfs_state_budget: self.dfs_state_budget.map(stretch_steps),
+            fault_plan: if attempt == 0 {
+                self.fault_plan.clone()
+            } else {
+                FaultPlan::new()
+            },
+        }
+    }
+
     fn builder(&self) -> Option<GovernorBuilder> {
         if self.is_unlimited() {
             return None;
@@ -104,6 +135,45 @@ impl GovernorConfig {
         }
         Some(b)
     }
+}
+
+/// A give-up attributed to the engine (configuration) that produced it —
+/// the unit of the supervisor's give-up history. The supervisor dedupes
+/// history entries by `(engine, category)` so an escalated retry that
+/// trips over the same root cause again is not double-reported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributedGiveUp {
+    /// Name of the engine/configuration that gave up.
+    pub engine: String,
+    /// The give-up record.
+    pub give_up: GiveUp,
+}
+
+impl AttributedGiveUp {
+    /// Creates an attributed give-up.
+    pub fn new(engine: impl Into<String>, give_up: GiveUp) -> AttributedGiveUp {
+        AttributedGiveUp {
+            engine: engine.into(),
+            give_up,
+        }
+    }
+
+    /// The dedupe key: two records with the same key describe the same
+    /// root cause observed twice.
+    pub fn key(&self) -> (&str, Category) {
+        (&self.engine, self.give_up.category)
+    }
+}
+
+/// Appends `entry` to `history` unless an entry with the same
+/// `(engine, category)` key is already present (satellite of the retry
+/// ladder: escalated attempts must not double-report one root cause).
+pub fn push_give_up_deduped(history: &mut Vec<AttributedGiveUp>, entry: AttributedGiveUp) -> bool {
+    if history.iter().any(|e| e.key() == entry.key()) {
+        return false;
+    }
+    history.push(entry);
+    true
 }
 
 /// Renders a `catch_unwind` payload (used to contain injected panics).
@@ -157,6 +227,25 @@ mod tests {
             g.charge(Category::DfsStates).unwrap_err().category,
             Category::Cancelled
         );
+    }
+
+    #[test]
+    fn escalation_stretches_budgets_and_drops_faults() {
+        let base = GovernorConfig {
+            deadline: Some(Duration::from_millis(100)),
+            simplex_pivot_budget: Some(10),
+            dfs_state_budget: Some(u64::MAX - 1),
+            fault_plan: FaultPlan::parse("rounds:2:unknown").unwrap(),
+            ..GovernorConfig::default()
+        };
+        let attempt0 = base.escalated(0, 4, 4);
+        assert_eq!(attempt0, base, "attempt 0 is the configured run");
+        let attempt2 = base.escalated(2, 4, 3);
+        assert_eq!(attempt2.deadline, Some(Duration::from_millis(1600)));
+        assert_eq!(attempt2.simplex_pivot_budget, Some(90));
+        assert_eq!(attempt2.dfs_state_budget, Some(u64::MAX), "saturates");
+        assert!(attempt2.fault_plan.is_empty(), "retries run clean");
+        assert_eq!(attempt2.dpll_decision_budget, None, "unset stays unset");
     }
 
     #[test]

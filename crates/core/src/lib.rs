@@ -16,7 +16,10 @@
 //! * [`mod@verify`] — the refinement loop, configuration and statistics;
 //! * [`govern`] — resource governance (deadlines, step budgets,
 //!   cancellation, deterministic fault injection);
-//! * [`portfolio`] — the multi-preference-order portfolio of §8.
+//! * [`portfolio`] — the multi-preference-order portfolio of §8;
+//! * [`supervise`] — restart supervision: proof-recycling escalation
+//!   ladders and crash-safe checkpoint/resume;
+//! * [`snapshot`] — the versioned on-disk checkpoint format.
 //!
 //! # Example
 //!
@@ -39,12 +42,22 @@ pub mod govern;
 pub mod interpolate;
 pub mod portfolio;
 pub mod proof;
+pub mod snapshot;
+pub mod supervise;
 pub mod trace;
 pub mod verify;
 
-pub use govern::{Category, FaultKind, FaultPlan, GiveUp, GovernorConfig, ResourceGovernor};
+pub use govern::{
+    push_give_up_deduped, AttributedGiveUp, Category, FaultKind, FaultPlan, GiveUp, GovernorConfig,
+    ResourceGovernor,
+};
 pub use portfolio::{
     adaptive_verify, default_portfolio, parallel_verify, portfolio_verify, EngineReport,
     EngineStatus, ParallelConfig, ParallelOutcome, PortfolioOutcome,
 };
-pub use verify::{verify, OrderSpec, Outcome, RunStats, Verdict, VerifierConfig};
+pub use snapshot::{program_fingerprint, Snapshot};
+pub use supervise::{
+    supervised_parallel_verify, supervised_verify, AttemptReport, RetryPolicy, SuperviseConfig,
+    SupervisedOutcome, SupervisedParallelOutcome,
+};
+pub use verify::{specs_of, verify, OrderSpec, Outcome, RunStats, Verdict, VerifierConfig};

@@ -20,10 +20,11 @@
 use crate::engine::{Engine, EngineStats, RoundOutcome};
 use crate::govern::{Category, GiveUp};
 use crate::proof::ProofAutomaton;
-use crate::verify::{verify, Outcome, RunStats, Verdict, VerifierConfig};
+use crate::verify::{specs_of, verify, Outcome, RunStats, Verdict, VerifierConfig};
 use program::concurrent::{LetterId, Program, Spec};
 use smt::term::TermPool;
 use smt::transfer::ExportedTerm;
+use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -116,14 +117,7 @@ pub fn adaptive_verify(
     assert!(!configs.is_empty(), "portfolio needs at least one member");
     let start = Instant::now();
     let mut stats = RunStats::default();
-    let specs: Vec<Spec> = {
-        let asserting = program.asserting_threads();
-        if asserting.is_empty() {
-            vec![Spec::PrePost]
-        } else {
-            asserting.into_iter().map(Spec::ErrorOf).collect()
-        }
-    };
+    let specs = specs_of(program);
     let mut winner: Option<String> = None;
     'specs: for spec in specs {
         let mut engines: Vec<Engine> = configs
@@ -239,6 +233,12 @@ pub struct ParallelConfig {
     /// counts machine-dependent, so leave it `None` there when
     /// reproducibility matters.
     pub wall_clock_budget: Option<Duration>,
+    /// Recycled proof assertions seeded into every worker's proof
+    /// automaton before its first round — how the restart supervisor
+    /// replays a failed attempt's partial proof. Seeds are candidate
+    /// assertions only (every use is re-validated by a Hoare query), so
+    /// stale seeds cost completeness, never soundness.
+    pub seed: Vec<ExportedTerm>,
 }
 
 impl Default for ParallelConfig {
@@ -247,6 +247,7 @@ impl Default for ParallelConfig {
             deterministic: false,
             max_rounds_per_engine: 60,
             wall_clock_budget: None,
+            seed: Vec::new(),
         }
     }
 }
@@ -289,6 +290,10 @@ pub struct ParallelOutcome {
     pub winner: Option<String>,
     /// Per-engine reports in spec-major, engine-index order.
     pub engines: Vec<EngineReport>,
+    /// Union of every worker's proof assertions at exit (deduped, in
+    /// spec-major, engine-index order) — what the restart supervisor
+    /// recycles into the next attempt's [`ParallelConfig::seed`].
+    pub harvest: Vec<ExportedTerm>,
 }
 
 /// Worker → coordinator messages.
@@ -324,6 +329,9 @@ struct WorkerExit {
     stats: EngineStats,
     proof_size: usize,
     hoare_checks: usize,
+    /// The worker's full proof at exit, exported pool-independently — the
+    /// harvest the restart supervisor recycles into the next attempt.
+    assertions: Vec<ExportedTerm>,
 }
 
 enum WorkerVerdict {
@@ -357,19 +365,21 @@ pub fn parallel_verify(
 ) -> ParallelOutcome {
     assert!(!configs.is_empty(), "portfolio needs at least one member");
     let start = Instant::now();
-    let specs: Vec<Spec> = {
-        let asserting = program.asserting_threads();
-        if asserting.is_empty() {
-            vec![Spec::PrePost]
-        } else {
-            asserting.into_iter().map(Spec::ErrorOf).collect()
-        }
-    };
+    let specs = specs_of(program);
     let mut stats = RunStats::default();
     let mut reports: Vec<EngineReport> = Vec::new();
     let mut winner: Option<String> = None;
+    let mut harvest: Vec<ExportedTerm> = Vec::new();
+    let mut harvested: HashSet<ExportedTerm> = HashSet::new();
     for (spec_idx, &spec) in specs.iter().enumerate() {
         let phase = run_spec_parallel(pool, program, spec, configs, pcfg);
+        for exit in &phase.exits {
+            for t in &exit.assertions {
+                if harvested.insert(t.clone()) {
+                    harvest.push(t.clone());
+                }
+            }
+        }
         for exit in &phase.exits {
             stats.rounds += exit.stats.rounds;
             stats.visited_states += exit.stats.visited;
@@ -417,6 +427,7 @@ pub fn parallel_verify(
                     },
                     winner: winner_idx.map(|i| configs[i].name.clone()),
                     engines: reports,
+                    harvest,
                 };
             }
         }
@@ -429,6 +440,7 @@ pub fn parallel_verify(
         },
         winner,
         engines: reports,
+        harvest,
     }
 }
 
@@ -485,6 +497,7 @@ fn run_spec_parallel(
                         stats: EngineStats::default(),
                         proof_size: 0,
                         hoare_checks: 0,
+                        assertions: Vec::new(),
                     })
                 });
                 // The coordinator may already be gone when the run was
@@ -532,15 +545,20 @@ fn worker_loop(
     pool.set_governor(governor);
     let mut engine = Engine::new(pool, program, spec, config);
     let mut proof = ProofAutomaton::new();
-    let exit = |engine: &Engine, proof: &ProofAutomaton, verdict: WorkerVerdict| {
-        Box::new(WorkerExit {
-            engine: idx,
-            verdict,
-            stats: engine.stats,
-            proof_size: proof.proof_size(),
-            hoare_checks: proof.stats().hoare_checks,
-        })
-    };
+    // Replay the supervisor's recycled assertions (if any) before the
+    // first round; they are candidates like any broadcast batch.
+    import_batch(pool, &mut proof, &pcfg.seed);
+    let exit =
+        |pool: &TermPool, engine: &Engine, proof: &ProofAutomaton, verdict: WorkerVerdict| {
+            Box::new(WorkerExit {
+                engine: idx,
+                verdict,
+                stats: engine.stats,
+                proof_size: proof.proof_size(),
+                hoare_checks: proof.stats().hoare_checks,
+                assertions: proof.assertions().iter().map(|&t| pool.export(t)).collect(),
+            })
+        };
     loop {
         // Absorb assertions from the other engines. Free-running: drain
         // whatever has arrived. Deterministic: block at the barrier.
@@ -552,7 +570,7 @@ fn worker_loop(
                     }
                 }
                 Ok(CoordMsg::Stop) | Err(_) => {
-                    return exit(&engine, &proof, WorkerVerdict::Cancelled);
+                    return exit(pool, &engine, &proof, WorkerVerdict::Cancelled);
                 }
             }
         } else {
@@ -564,17 +582,18 @@ fn worker_loop(
                         }
                     }
                     CoordMsg::Stop => {
-                        return exit(&engine, &proof, WorkerVerdict::Cancelled);
+                        return exit(pool, &engine, &proof, WorkerVerdict::Cancelled);
                     }
                 }
             }
             if stop.load(Ordering::Relaxed) {
-                return exit(&engine, &proof, WorkerVerdict::Cancelled);
+                return exit(pool, &engine, &proof, WorkerVerdict::Cancelled);
             }
         }
         // Per-engine budgets (graceful: the engine just gives up).
         if engine.stats.rounds >= pcfg.max_rounds_per_engine {
             return exit(
+                pool,
                 &engine,
                 &proof,
                 WorkerVerdict::GaveUp(GiveUp::new(
@@ -586,6 +605,7 @@ fn worker_loop(
         if let Some(budget) = pcfg.wall_clock_budget {
             if start.elapsed() >= budget {
                 return exit(
+                    pool,
                     &engine,
                     &proof,
                     WorkerVerdict::GaveUp(GiveUp::new(
@@ -608,15 +628,19 @@ fn worker_loop(
                     WorkerMsg::Refined { engine: idx, batch }
                 };
                 if tx.send(msg).is_err() {
-                    return exit(&engine, &proof, WorkerVerdict::Cancelled);
+                    return exit(pool, &engine, &proof, WorkerVerdict::Cancelled);
                 }
             }
-            RoundOutcome::Proven => return exit(&engine, &proof, WorkerVerdict::Proven),
-            RoundOutcome::Bug(trace) => return exit(&engine, &proof, WorkerVerdict::Bug(trace)),
-            RoundOutcome::GaveUp(give_up) => {
-                return exit(&engine, &proof, WorkerVerdict::GaveUp(give_up))
+            RoundOutcome::Proven => return exit(pool, &engine, &proof, WorkerVerdict::Proven),
+            RoundOutcome::Bug(trace) => {
+                return exit(pool, &engine, &proof, WorkerVerdict::Bug(trace))
             }
-            RoundOutcome::Cancelled => return exit(&engine, &proof, WorkerVerdict::Cancelled),
+            RoundOutcome::GaveUp(give_up) => {
+                return exit(pool, &engine, &proof, WorkerVerdict::GaveUp(give_up))
+            }
+            RoundOutcome::Cancelled => {
+                return exit(pool, &engine, &proof, WorkerVerdict::Cancelled)
+            }
         }
     }
 }
@@ -689,17 +713,26 @@ fn coordinate_lockstep(
                 }
             }
             drain_exits(from_workers, &mut exits, &mut alive);
-            let exit = exits[winner].as_ref().expect("winner exited");
-            let verdict = match &exit.verdict {
-                WorkerVerdict::Proven => Verdict::Correct,
-                WorkerVerdict::Bug(trace) => Verdict::Incorrect {
+            // The winner index came from a received Exit message, so its
+            // record is normally present; degrade to a give-up rather
+            // than panicking the pool if it somehow is not.
+            let verdict = match exits[winner].as_ref().map(|e| &e.verdict) {
+                Some(WorkerVerdict::Proven) => Verdict::Correct,
+                Some(WorkerVerdict::Bug(trace)) => Verdict::Incorrect {
                     trace: trace.clone(),
                 },
-                _ => unreachable!("concluded is conclusive"),
+                _ => Verdict::GaveUp(GiveUp::new(
+                    Category::Cancelled,
+                    format!("worker lost: winning engine {winner} has no exit report"),
+                )),
+            };
+            let winner = match verdict {
+                Verdict::GaveUp(_) => None,
+                _ => Some(winner),
             };
             return PhaseResult {
                 verdict,
-                winner: Some(winner),
+                winner,
                 exits: seal_exits(exits),
             };
         }
@@ -776,17 +809,25 @@ fn coordinate_free_running(
     drain_exits(from_workers, &mut exits, &mut alive);
     match winner {
         Some(w) => {
-            let exit = exits[w].as_ref().expect("winner exited");
-            let verdict = match &exit.verdict {
-                WorkerVerdict::Proven => Verdict::Correct,
-                WorkerVerdict::Bug(trace) => Verdict::Incorrect {
+            // As in lockstep mode: a missing winner record degrades to a
+            // give-up instead of panicking the pool.
+            let verdict = match exits[w].as_ref().map(|e| &e.verdict) {
+                Some(WorkerVerdict::Proven) => Verdict::Correct,
+                Some(WorkerVerdict::Bug(trace)) => Verdict::Incorrect {
                     trace: trace.clone(),
                 },
-                _ => unreachable!("winner is conclusive"),
+                _ => Verdict::GaveUp(GiveUp::new(
+                    Category::Cancelled,
+                    format!("worker lost: winning engine {w} has no exit report"),
+                )),
+            };
+            let winner = match verdict {
+                Verdict::GaveUp(_) => None,
+                _ => Some(w),
             };
             PhaseResult {
                 verdict,
-                winner: Some(w),
+                winner,
                 exits: seal_exits(exits),
             }
         }
@@ -811,26 +852,39 @@ fn drain_exits(
                 alive[i] = false;
                 exits[i] = Some(*exit);
             }
-            Ok(_) => {}      // late refinement chatter
-            Err(_) => break, // all workers gone without exits (can't happen)
+            Ok(_) => {} // late refinement chatter
+            // Disconnection with workers still marked alive: their exits
+            // are lost; seal_exits quarantines them as give-ups.
+            Err(_) => break,
         }
     }
 }
 
-/// Replaces any missing exit with a placeholder and sorts by engine index.
+/// The give-up recorded for a worker whose exit report never arrived
+/// (channel disconnected before the `Exit` message): the pool degrades
+/// gracefully — the lost worker is quarantined as a give-up instead of
+/// poisoning the run with a panic.
+fn worker_lost(engine: usize) -> WorkerExit {
+    WorkerExit {
+        engine,
+        verdict: WorkerVerdict::GaveUp(GiveUp::new(
+            Category::Cancelled,
+            format!("worker lost: engine {engine} exited without a report"),
+        )),
+        stats: EngineStats::default(),
+        proof_size: 0,
+        hoare_checks: 0,
+        assertions: Vec::new(),
+    }
+}
+
+/// Replaces any missing exit with a quarantine record and sorts by engine
+/// index.
 fn seal_exits(exits: Vec<Option<WorkerExit>>) -> Vec<WorkerExit> {
     exits
         .into_iter()
         .enumerate()
-        .map(|(i, e)| {
-            e.unwrap_or(WorkerExit {
-                engine: i,
-                verdict: WorkerVerdict::Panicked("engine vanished without a report".to_owned()),
-                stats: EngineStats::default(),
-                proof_size: 0,
-                hoare_checks: 0,
-            })
-        })
+        .map(|(i, e)| e.unwrap_or_else(|| worker_lost(i)))
         .collect()
 }
 

@@ -100,6 +100,12 @@ impl ProofAutomaton {
         self.assertions.len()
     }
 
+    /// The assertion pool in insertion order — what the supervisor harvests
+    /// (via [`smt::transfer`]) to recycle a partial proof across restarts.
+    pub fn assertions(&self) -> &[TermId] {
+        &self.assertions
+    }
+
     /// Adds an assertion (deduplicated); returns whether it was new.
     pub fn add_assertion(&mut self, assertion: TermId) -> bool {
         if assertion == TermPool::TRUE {

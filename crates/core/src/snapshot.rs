@@ -1,0 +1,321 @@
+//! Crash-safe verification snapshots.
+//!
+//! At round boundaries the supervised refinement loop serializes its
+//! resumable state — program fingerprint, cumulative round counter, the
+//! proof assertions accumulated for the in-progress spec (as
+//! pool-independent [`ExportedTerm`]s in their stable text form), the
+//! give-up history and the attempt counter — into a versioned text file.
+//! Writes go through a temp file plus `rename`, so a crash mid-write
+//! leaves either the previous complete snapshot or none at all, never a
+//! torn one; a trailing `end` marker additionally rejects truncated files.
+//!
+//! Resuming ([`Snapshot::load`] + `seqver --resume`) seeds a fresh engine's
+//! proof automaton with the recycled assertions. This is sound by
+//! construction: snapshot assertions are only ever *candidate* proof
+//! components — every transition of the proof automaton built from them is
+//! re-validated by a Hoare-triple solver query, so a corrupted or even
+//! adversarial snapshot can cost completeness (useless candidates), never
+//! soundness.
+
+use crate::govern::{AttributedGiveUp, Category, GiveUp};
+use program::concurrent::Program;
+use smt::term::TermPool;
+use smt::transfer::ExportedTerm;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::path::Path;
+
+/// Current snapshot format version; bumped on any incompatible change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The header line of a version-1 snapshot.
+const HEADER: &str = "seqver-snapshot v1";
+/// The trailing completeness marker.
+const FOOTER: &str = "end";
+
+/// A resumable checkpoint of a supervised verification run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Fingerprint of the program being verified (guards against resuming
+    /// a snapshot on a different input file).
+    pub program_hash: u64,
+    /// Name of the verifier configuration that produced the snapshot.
+    pub config_name: String,
+    /// Escalation-ladder attempt in progress when the snapshot was taken.
+    pub attempt: u32,
+    /// Number of specs (asserting threads) already proven.
+    pub specs_done: usize,
+    /// Refinement rounds completed so far — the work the recycled
+    /// assertions represent; a resumed run continues this counter.
+    pub rounds_completed: usize,
+    /// Give-up history accumulated across attempts (already deduped).
+    pub give_ups: Vec<AttributedGiveUp>,
+    /// Proof assertions of the in-progress spec, in discovery order.
+    pub assertions: Vec<ExportedTerm>,
+}
+
+/// A build-stable fingerprint of the program: name, thread structure and
+/// statement labels plus the pre/postcondition. `DefaultHasher::new()`
+/// uses fixed keys, so the fingerprint is identical across processes of
+/// the same build — exactly the guarantee checkpoint/resume needs.
+pub fn program_fingerprint(pool: &TermPool, program: &Program) -> u64 {
+    let mut h = DefaultHasher::new();
+    program.name().hash(&mut h);
+    program.num_threads().hash(&mut h);
+    for l in program.letters() {
+        program.thread_of(l).0.hash(&mut h);
+        program.statement(l).label().hash(&mut h);
+    }
+    for &v in program.globals() {
+        pool.var_name(v).hash(&mut h);
+    }
+    pool.display(program.pre()).hash(&mut h);
+    pool.display(program.post()).hash(&mut h);
+    h.finish()
+}
+
+/// Replaces characters that would break the line-oriented format.
+fn sanitize(s: &str) -> String {
+    s.replace(['\n', '\r', '\t'], " ")
+}
+
+impl Snapshot {
+    /// An empty snapshot for `program` (nothing verified yet).
+    pub fn empty(pool: &TermPool, program: &Program, config_name: &str) -> Snapshot {
+        Snapshot {
+            program_hash: program_fingerprint(pool, program),
+            config_name: config_name.to_owned(),
+            attempt: 0,
+            specs_done: 0,
+            rounds_completed: 0,
+            give_ups: Vec::new(),
+            assertions: Vec::new(),
+        }
+    }
+
+    /// `true` when the snapshot was taken for this exact program (same
+    /// fingerprint under the same build).
+    pub fn matches(&self, pool: &TermPool, program: &Program) -> bool {
+        self.program_hash == program_fingerprint(pool, program)
+    }
+
+    /// Renders the versioned text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("program-hash: {:016x}\n", self.program_hash));
+        out.push_str(&format!("config: {}\n", sanitize(&self.config_name)));
+        out.push_str(&format!("attempt: {}\n", self.attempt));
+        out.push_str(&format!("specs-done: {}\n", self.specs_done));
+        out.push_str(&format!("rounds: {}\n", self.rounds_completed));
+        for g in &self.give_ups {
+            out.push_str(&format!(
+                "give-up: {}\t{}\t{}\n",
+                g.give_up.category,
+                sanitize(&g.engine),
+                sanitize(&g.give_up.reason)
+            ));
+        }
+        for a in &self.assertions {
+            out.push_str(&format!("assertion: {}\n", a.to_text()));
+        }
+        out.push_str(FOOTER);
+        out.push('\n');
+        out
+    }
+
+    /// Parses the [`Snapshot::to_text`] form, rejecting version
+    /// mismatches, malformed lines and truncated files.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim_end() == HEADER => {}
+            Some(h) if h.starts_with("seqver-snapshot") => {
+                return Err(format!(
+                    "unsupported snapshot version `{h}` (this build reads v{SNAPSHOT_VERSION})"
+                ))
+            }
+            other => return Err(format!("not a seqver snapshot (first line {other:?})")),
+        }
+        let mut snapshot = Snapshot {
+            program_hash: 0,
+            config_name: String::new(),
+            attempt: 0,
+            specs_done: 0,
+            rounds_completed: 0,
+            give_ups: Vec::new(),
+            assertions: Vec::new(),
+        };
+        let mut complete = false;
+        let mut seen_hash = false;
+        for line in lines {
+            if complete {
+                return Err("content after the `end` marker".to_owned());
+            }
+            let line = line.trim_end();
+            if line == FOOTER {
+                complete = true;
+                continue;
+            }
+            let (key, value) = line
+                .split_once(": ")
+                .ok_or_else(|| format!("malformed snapshot line `{line}`"))?;
+            match key {
+                "program-hash" => {
+                    snapshot.program_hash = u64::from_str_radix(value, 16)
+                        .map_err(|_| format!("invalid program hash `{value}`"))?;
+                    seen_hash = true;
+                }
+                "config" => snapshot.config_name = value.to_owned(),
+                "attempt" => {
+                    snapshot.attempt = value
+                        .parse()
+                        .map_err(|_| format!("invalid attempt `{value}`"))?
+                }
+                "specs-done" => {
+                    snapshot.specs_done = value
+                        .parse()
+                        .map_err(|_| format!("invalid specs-done `{value}`"))?
+                }
+                "rounds" => {
+                    snapshot.rounds_completed = value
+                        .parse()
+                        .map_err(|_| format!("invalid rounds `{value}`"))?
+                }
+                "give-up" => {
+                    let mut fields = value.splitn(3, '\t');
+                    let (Some(cat), Some(engine), Some(reason)) =
+                        (fields.next(), fields.next(), fields.next())
+                    else {
+                        return Err(format!("malformed give-up line `{line}`"));
+                    };
+                    let category = Category::parse(cat)
+                        .ok_or_else(|| format!("unknown give-up category `{cat}`"))?;
+                    snapshot
+                        .give_ups
+                        .push(AttributedGiveUp::new(engine, GiveUp::new(category, reason)));
+                }
+                "assertion" => snapshot.assertions.push(ExportedTerm::parse(value)?),
+                other => return Err(format!("unknown snapshot key `{other}`")),
+            }
+        }
+        if !complete {
+            return Err("truncated snapshot (missing `end` marker)".to_owned());
+        }
+        if !seen_hash {
+            return Err("snapshot has no program-hash".to_owned());
+        }
+        Ok(snapshot)
+    }
+
+    /// Writes the snapshot to `path` crash-safely: the text goes to
+    /// `path.tmp` first and is moved into place with an atomic `rename`,
+    /// so readers only ever observe complete snapshots.
+    pub fn save_atomic(&self, path: &Path) -> Result<(), String> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_text())
+            .map_err(|e| format!("cannot write checkpoint `{}`: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            format!(
+                "cannot move checkpoint `{}` into place: {e}",
+                path.display()
+            )
+        })
+    }
+
+    /// Reads and parses a snapshot file.
+    pub fn load(path: &Path) -> Result<Snapshot, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read snapshot `{}`: {e}", path.display()))?;
+        Snapshot::parse(&text).map_err(|e| format!("invalid snapshot `{}`: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt::linear::Rel;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            program_hash: 0xdead_beef_0042_1337,
+            config_name: "gemcutter-seq".to_owned(),
+            attempt: 2,
+            specs_done: 1,
+            rounds_completed: 17,
+            give_ups: vec![
+                AttributedGiveUp::new(
+                    "gemcutter-seq",
+                    GiveUp::new(Category::Deadline, "wall-clock deadline exceeded"),
+                ),
+                AttributedGiveUp::new(
+                    "gemcutter-seq",
+                    GiveUp::new(Category::SimplexPivots, "budget exhausted after 11 steps"),
+                ),
+            ],
+            assertions: vec![
+                ExportedTerm::True,
+                ExportedTerm::Atom {
+                    coeffs: vec![("x".into(), 1), ("y|weird".into(), -2)],
+                    constant: 3,
+                    rel: Rel::Le0,
+                },
+                ExportedTerm::And(vec![ExportedTerm::False]),
+            ],
+        }
+    }
+
+    #[test]
+    fn text_round_trip_is_identity() {
+        let snap = sample();
+        let text = snap.to_text();
+        assert_eq!(Snapshot::parse(&text), Ok(snap));
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let text = sample().to_text();
+        // Drop the `end` marker: simulates a crash mid-write without the
+        // atomic rename (or a torn copy).
+        let truncated = text.trim_end().trim_end_matches(FOOTER);
+        let err = Snapshot::parse(truncated).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        // Cutting mid-assertion is also rejected.
+        let cut = &text[..text.len() / 2];
+        assert!(Snapshot::parse(cut).is_err());
+    }
+
+    #[test]
+    fn version_and_garbage_are_rejected() {
+        assert!(Snapshot::parse("seqver-snapshot v999\nend\n")
+            .unwrap_err()
+            .contains("version"));
+        assert!(Snapshot::parse("not a snapshot").is_err());
+        assert!(Snapshot::parse("").is_err());
+        // Missing hash.
+        assert!(Snapshot::parse("seqver-snapshot v1\nend\n")
+            .unwrap_err()
+            .contains("program-hash"));
+    }
+
+    #[test]
+    fn save_atomic_round_trips_and_leaves_no_tmp() {
+        let snap = sample();
+        let dir = std::env::temp_dir().join(format!("seqver-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        snap.save_atomic(&path).unwrap();
+        assert_eq!(Snapshot::load(&path).unwrap(), snap);
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp file renamed away"
+        );
+        // Overwrite with a newer snapshot: load sees the newest.
+        let mut newer = snap.clone();
+        newer.rounds_completed += 1;
+        newer.save_atomic(&path).unwrap();
+        assert_eq!(Snapshot::load(&path).unwrap().rounds_completed, 18);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

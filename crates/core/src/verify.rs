@@ -252,6 +252,18 @@ pub struct Outcome {
     pub stats: RunStats,
 }
 
+/// The specification list for `program`: one [`Spec::ErrorOf`] per
+/// asserting thread (footnote 4 of the paper), or the single
+/// pre/postcondition pair when no thread asserts.
+pub fn specs_of(program: &Program) -> Vec<Spec> {
+    let asserting = program.asserting_threads();
+    if asserting.is_empty() {
+        vec![Spec::PrePost]
+    } else {
+        asserting.into_iter().map(Spec::ErrorOf).collect()
+    }
+}
+
 /// Verifies `program` under `config`.
 ///
 /// Programs with asserts are analyzed once per asserting thread
@@ -278,14 +290,7 @@ pub fn verify_governed(
     let previous = pool.governor().clone();
     pool.set_governor(governor.clone());
     let mut stats = RunStats::default();
-    let specs: Vec<Spec> = {
-        let asserting = program.asserting_threads();
-        if asserting.is_empty() {
-            vec![Spec::PrePost]
-        } else {
-            asserting.into_iter().map(Spec::ErrorOf).collect()
-        }
-    };
+    let specs = specs_of(program);
     let mut verdict = Verdict::Correct;
     for spec in specs {
         let v = catch_unwind(AssertUnwindSafe(|| {

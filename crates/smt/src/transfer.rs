@@ -11,9 +11,17 @@
 //! The representation is plain data (`String`/`i128`/`Vec`), hence `Send`,
 //! which is what lets assertion chains cross an `mpsc` channel in the
 //! parallel portfolio.
+//!
+//! Beyond crossing threads, an [`ExportedTerm`] also crosses *processes*:
+//! [`ExportedTerm::to_text`] renders a stable, versionless s-expression
+//! line and [`ExportedTerm::parse`] reads it back. This is the on-disk
+//! format of the supervisor's crash-safe checkpoints — a harvested proof
+//! assertion written by one `seqver` process is re-imported bit-for-bit by
+//! the resuming one.
 
 use crate::linear::{LinExpr, Rel};
 use crate::term::{Term, TermId, TermPool};
+use std::fmt::Write as _;
 
 /// A pool-independent serialization of a term.
 ///
@@ -40,6 +48,239 @@ pub enum ExportedTerm {
     And(Vec<ExportedTerm>),
     /// Disjunction of the children.
     Or(Vec<ExportedTerm>),
+}
+
+/// Writes a variable name as a `|…|`-quoted token, escaping `\` and `|`.
+fn quote_name(out: &mut String, name: &str) {
+    out.push('|');
+    for c in name.chars() {
+        if c == '\\' || c == '|' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out.push('|');
+}
+
+fn rel_token(rel: Rel) -> &'static str {
+    match rel {
+        Rel::Le0 => "le0",
+        Rel::Eq0 => "eq0",
+    }
+}
+
+/// Token stream over the textual term format.
+struct Lexer<'a> {
+    rest: &'a str,
+}
+
+/// One token of the textual term format.
+#[derive(Debug, PartialEq, Eq)]
+enum Token {
+    Open,
+    Close,
+    /// A bare word: keyword, relation or integer.
+    Word(String),
+    /// A `|…|`-quoted variable name, unescaped.
+    Name(String),
+}
+
+impl<'a> Lexer<'a> {
+    fn new(s: &'a str) -> Lexer<'a> {
+        Lexer { rest: s }
+    }
+
+    fn next(&mut self) -> Result<Option<Token>, String> {
+        self.rest = self.rest.trim_start();
+        let mut chars = self.rest.chars();
+        let Some(first) = chars.next() else {
+            return Ok(None);
+        };
+        match first {
+            '(' => {
+                self.rest = &self.rest[1..];
+                Ok(Some(Token::Open))
+            }
+            ')' => {
+                self.rest = &self.rest[1..];
+                Ok(Some(Token::Close))
+            }
+            '|' => {
+                let mut name = String::new();
+                let mut consumed = 1; // opening '|'
+                let mut escaped = false;
+                for c in chars {
+                    consumed += c.len_utf8();
+                    if escaped {
+                        name.push(c);
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '|' {
+                        self.rest = &self.rest[consumed..];
+                        return Ok(Some(Token::Name(name)));
+                    } else {
+                        name.push(c);
+                    }
+                }
+                Err("unterminated |…| variable name".to_owned())
+            }
+            _ => {
+                let end = self
+                    .rest
+                    .find(|c: char| c.is_whitespace() || c == '(' || c == ')' || c == '|')
+                    .unwrap_or(self.rest.len());
+                let (word, rest) = self.rest.split_at(end);
+                self.rest = rest;
+                Ok(Some(Token::Word(word.to_owned())))
+            }
+        }
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), String> {
+        match self.next()? {
+            Some(t) if t == want => Ok(()),
+            other => Err(format!("expected {want:?}, found {other:?}")),
+        }
+    }
+}
+
+impl ExportedTerm {
+    /// Renders the term as a single-line s-expression, stable across
+    /// processes and releases:
+    ///
+    /// ```text
+    /// true | false
+    /// (atom le0|eq0 <constant> (|name| <coeff>)*)
+    /// (and <term>*) | (or <term>*)
+    /// ```
+    ///
+    /// Variable names are `|…|`-quoted with `\`-escapes, so arbitrary
+    /// names survive the round trip. [`ExportedTerm::parse`] inverts this
+    /// exactly: `parse(t.to_text()) == Ok(t)`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            ExportedTerm::True => out.push_str("true"),
+            ExportedTerm::False => out.push_str("false"),
+            ExportedTerm::Atom {
+                coeffs,
+                constant,
+                rel,
+            } => {
+                let _ = write!(out, "(atom {} {constant}", rel_token(*rel));
+                for (name, k) in coeffs {
+                    out.push_str(" (");
+                    quote_name(out, name);
+                    let _ = write!(out, " {k})");
+                }
+                out.push(')');
+            }
+            ExportedTerm::And(children) | ExportedTerm::Or(children) => {
+                out.push('(');
+                out.push_str(if matches!(self, ExportedTerm::And(_)) {
+                    "and"
+                } else {
+                    "or"
+                });
+                for c in children {
+                    out.push(' ');
+                    c.write(out);
+                }
+                out.push(')');
+            }
+        }
+    }
+
+    /// Parses the [`ExportedTerm::to_text`] format back.
+    pub fn parse(s: &str) -> Result<ExportedTerm, String> {
+        let mut lexer = Lexer::new(s);
+        let term = ExportedTerm::parse_term(&mut lexer)?;
+        match lexer.next()? {
+            None => Ok(term),
+            Some(t) => Err(format!("trailing input after term: {t:?}")),
+        }
+    }
+
+    fn parse_term(lexer: &mut Lexer<'_>) -> Result<ExportedTerm, String> {
+        match lexer.next()? {
+            Some(Token::Word(w)) if w == "true" => Ok(ExportedTerm::True),
+            Some(Token::Word(w)) if w == "false" => Ok(ExportedTerm::False),
+            Some(Token::Open) => {
+                let head = match lexer.next()? {
+                    Some(Token::Word(w)) => w,
+                    other => return Err(format!("expected atom/and/or, found {other:?}")),
+                };
+                match head.as_str() {
+                    "atom" => ExportedTerm::parse_atom(lexer),
+                    "and" | "or" => {
+                        let mut children = Vec::new();
+                        loop {
+                            let mut probe = Lexer { rest: lexer.rest };
+                            if probe.next()? == Some(Token::Close) {
+                                lexer.rest = probe.rest;
+                                break;
+                            }
+                            children.push(ExportedTerm::parse_term(lexer)?);
+                        }
+                        Ok(if head == "and" {
+                            ExportedTerm::And(children)
+                        } else {
+                            ExportedTerm::Or(children)
+                        })
+                    }
+                    other => Err(format!("unknown term head `{other}`")),
+                }
+            }
+            other => Err(format!("expected a term, found {other:?}")),
+        }
+    }
+
+    fn parse_atom(lexer: &mut Lexer<'_>) -> Result<ExportedTerm, String> {
+        let rel = match lexer.next()? {
+            Some(Token::Word(w)) if w == "le0" => Rel::Le0,
+            Some(Token::Word(w)) if w == "eq0" => Rel::Eq0,
+            other => return Err(format!("expected le0/eq0, found {other:?}")),
+        };
+        let constant: i128 = match lexer.next()? {
+            Some(Token::Word(w)) => w
+                .parse()
+                .map_err(|_| format!("invalid atom constant `{w}`"))?,
+            other => return Err(format!("expected atom constant, found {other:?}")),
+        };
+        let mut coeffs = Vec::new();
+        loop {
+            match lexer.next()? {
+                Some(Token::Close) => {
+                    return Ok(ExportedTerm::Atom {
+                        coeffs,
+                        constant,
+                        rel,
+                    })
+                }
+                Some(Token::Open) => {
+                    let name = match lexer.next()? {
+                        Some(Token::Name(n)) => n,
+                        other => return Err(format!("expected |name|, found {other:?}")),
+                    };
+                    let k: i128 = match lexer.next()? {
+                        Some(Token::Word(w)) => w
+                            .parse()
+                            .map_err(|_| format!("invalid coefficient `{w}`"))?,
+                        other => return Err(format!("expected coefficient, found {other:?}")),
+                    };
+                    lexer.expect(Token::Close)?;
+                    coeffs.push((name, k));
+                }
+                other => return Err(format!("expected (|name| coeff) or ), found {other:?}")),
+            }
+        }
+    }
 }
 
 impl TermPool {
@@ -190,6 +431,71 @@ mod tests {
         // Same verdicts as in the original pool.
         assert!(matches!(check(&mut a, &[sat1, sat2]), SatResult::Sat(_)));
         assert!(matches!(check(&mut a, &[unsat1, unsat2]), SatResult::Unsat));
+    }
+
+    #[test]
+    fn text_round_trip_is_identity() {
+        let mut pool = TermPool::new();
+        let t = sample_term(&mut pool);
+        let exported = pool.export(t);
+        let text = exported.to_text();
+        assert_eq!(ExportedTerm::parse(&text), Ok(exported.clone()));
+        // Through a fresh pool: text → term → import gives the same
+        // hash-consed id as importing the original export.
+        let mut b = TermPool::new();
+        let reparsed = ExportedTerm::parse(&text).unwrap();
+        assert_eq!(b.import(&reparsed), b.import(&exported));
+        assert_eq!(ExportedTerm::parse("true"), Ok(ExportedTerm::True));
+        assert_eq!(ExportedTerm::parse(" false "), Ok(ExportedTerm::False));
+    }
+
+    #[test]
+    fn text_round_trip_escapes_hostile_names() {
+        let hostile = ExportedTerm::Atom {
+            coeffs: vec![
+                ("pipe|in|name".into(), 1),
+                ("back\\slash".into(), -2),
+                ("sp ace (paren)".into(), 3),
+            ],
+            constant: -7,
+            rel: Rel::Eq0,
+        };
+        let text = hostile.to_text();
+        assert_eq!(ExportedTerm::parse(&text), Ok(hostile));
+    }
+
+    #[test]
+    fn text_round_trip_nested_connectives() {
+        let t = ExportedTerm::Or(vec![
+            ExportedTerm::And(vec![
+                ExportedTerm::True,
+                ExportedTerm::Atom {
+                    coeffs: vec![("x".into(), 1)],
+                    constant: -5,
+                    rel: Rel::Le0,
+                },
+            ]),
+            ExportedTerm::And(vec![]),
+            ExportedTerm::False,
+        ]);
+        assert_eq!(ExportedTerm::parse(&t.to_text()), Ok(t));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "(atom le0)",
+            "(atom le0 x)",
+            "(atom ge0 1)",
+            "(and true",
+            "(atom le0 1 (|x| 1)) trailing",
+            "(bogus)",
+            "(atom le0 1 (|unterminated 1))",
+            "true false",
+        ] {
+            assert!(ExportedTerm::parse(bad).is_err(), "accepted `{bad}`");
+        }
     }
 
     #[test]

@@ -15,12 +15,19 @@ use seqver::gemcutter::govern::{Category, FaultPlan, GovernorConfig};
 use seqver::gemcutter::portfolio::{
     default_portfolio, parallel_verify, portfolio_verify, ParallelConfig,
 };
+use seqver::gemcutter::snapshot::Snapshot;
+use seqver::gemcutter::supervise::{
+    supervised_parallel_verify, supervised_verify, RetryPolicy, SuperviseConfig,
+};
 use seqver::gemcutter::verify::{verify, OrderSpec, Verdict, VerifierConfig};
 use seqver::program::commutativity::{CommutativityLevel, CommutativityOracle};
 use seqver::program::concurrent::{Program, Spec};
 use seqver::reduction::reduce::{reduction_automaton, ReductionConfig};
 use seqver::smt::TermPool;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +47,8 @@ const USAGE: &str = "usage:
                            [--no-proof-sensitivity] [--max-rounds N] [--portfolio]
                            [--parallel] [--deterministic]
                            [--timeout DUR] [--steps CAT=N] [--faults SPEC]
+                           [--retries N] [--escalate Fx]
+                           [--checkpoint PATH] [--resume PATH]
   seqver info   <file.cpl>
   seqver reduce <file.cpl> [--order seq|lockstep|rand:<seed>] [--dot]
 
@@ -55,7 +64,18 @@ const USAGE: &str = "usage:
                    --steps simplex-pivots=10000 --steps dfs-states=50000
   --faults SPEC    deterministic fault injection for robustness testing:
                    comma-separated CATEGORY:N:KIND sites, KIND one of
-                   unknown|timeout|panic, e.g. simplex-pivots:100:unknown";
+                   unknown|timeout|panic, e.g. simplex-pivots:100:unknown
+  --retries N      restart supervision: on GAVE-UP, retry up to N times with
+                   escalated limits, recycling the partial proof of each
+                   failed attempt into the next (single runs and --parallel)
+  --escalate Fx    escalation factor per retry (default 2x): the --timeout
+                   deadline and --steps budgets stretch by F each attempt
+  --checkpoint P   write a crash-safe snapshot to P at every round boundary
+                   (single-engine runs only); SIGINT writes a final snapshot
+                   and exits 3
+  --resume P       continue a killed verification from snapshot P (same
+                   program and config; reaches the same verdict and
+                   cumulative round count as an uninterrupted run)";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (command, rest) = args.split_first().ok_or("missing command")?;
@@ -109,6 +129,10 @@ struct Flags {
     deterministic: bool,
     dot: bool,
     govern: GovernorConfig,
+    retries: u32,
+    escalate: Option<u32>,
+    checkpoint: Option<PathBuf>,
+    resume: Option<PathBuf>,
 }
 
 /// Parses `500ms`, `1s`, `2m`, or a bare number of seconds.
@@ -161,6 +185,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         deterministic: false,
         dot: false,
         govern: GovernorConfig::default(),
+        retries: 0,
+        escalate: None,
+        checkpoint: None,
+        resume: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -192,6 +220,22 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--faults" => {
                 let v = it.next().ok_or("--faults needs a value")?;
                 flags.govern.fault_plan = FaultPlan::parse(v)?;
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                flags.retries = v.parse().map_err(|_| "invalid --retries")?;
+            }
+            "--escalate" => {
+                let v = it.next().ok_or("--escalate needs a value")?;
+                flags.escalate = Some(RetryPolicy::parse_factor(v)?);
+            }
+            "--checkpoint" => {
+                let v = it.next().ok_or("--checkpoint needs a value")?;
+                flags.checkpoint = Some(PathBuf::from(v));
+            }
+            "--resume" => {
+                let v = it.next().ok_or("--resume needs a value")?;
+                flags.resume = Some(PathBuf::from(v));
             }
             other if !other.starts_with("--") && flags.file.is_empty() => {
                 flags.file = other.to_owned();
@@ -236,6 +280,46 @@ fn governed_portfolio(flags: &Flags) -> Vec<VerifierConfig> {
     members
 }
 
+/// SIGINT routing for checkpointed runs: the handler raises a flag the
+/// supervisor polls at round boundaries (write final checkpoint, exit 3).
+static INTERRUPT: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    if let Some(flag) = INTERRUPT.get() {
+        flag.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Installs the SIGINT hook and returns the flag it raises. Uses libc's
+/// `signal` directly (already linked through std) to avoid a dependency.
+#[cfg(unix)]
+fn install_sigint() -> Arc<AtomicBool> {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    let flag = Arc::clone(INTERRUPT.get_or_init(|| Arc::new(AtomicBool::new(false))));
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+    flag
+}
+
+#[cfg(not(unix))]
+fn install_sigint() -> Arc<AtomicBool> {
+    Arc::clone(INTERRUPT.get_or_init(|| Arc::new(AtomicBool::new(false))))
+}
+
+/// Supervision counters appended to the stats line.
+struct SupervisionReport {
+    attempts: usize,
+    recycled: usize,
+    rounds_skipped: usize,
+    hit_rate: f64,
+    interrupted: bool,
+    checkpoint_error: Option<String>,
+}
+
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     let flags = parse_flags(args)?;
     let mut pool = TermPool::new();
@@ -243,6 +327,24 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
     if flags.deterministic && !flags.parallel {
         return Err("--deterministic requires --parallel".to_owned());
     }
+    let supervised = flags.retries > 0
+        || flags.escalate.is_some()
+        || flags.checkpoint.is_some()
+        || flags.resume.is_some();
+    if (flags.checkpoint.is_some() || flags.resume.is_some()) && (flags.parallel || flags.portfolio)
+    {
+        return Err(
+            "--checkpoint/--resume need a single-engine run (no --portfolio/--parallel)".to_owned(),
+        );
+    }
+    if supervised && flags.portfolio {
+        return Err("--retries is not supported with --portfolio (use --parallel)".to_owned());
+    }
+    let mut policy = RetryPolicy::with_retries(flags.retries);
+    if let Some(f) = flags.escalate {
+        policy = policy.escalating_by(f);
+    }
+    let mut supervision: Option<SupervisionReport> = None;
     let (verdict, stats, config_name) = if flags.parallel {
         let mut pcfg = ParallelConfig {
             deterministic: flags.deterministic,
@@ -252,16 +354,71 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         if let Some(r) = flags.max_rounds {
             pcfg.max_rounds_per_engine = r;
         }
-        let result = parallel_verify(&pool, &program, &governed_portfolio(&flags), &pcfg);
-        let name = result
-            .winner
-            .clone()
-            .unwrap_or_else(|| "parallel-portfolio".into());
-        (result.outcome.verdict, result.outcome.stats, name)
+        if supervised {
+            let sup = supervised_parallel_verify(
+                &pool,
+                &program,
+                &governed_portfolio(&flags),
+                &pcfg,
+                &policy,
+            );
+            supervision = Some(SupervisionReport {
+                attempts: sup.attempts.len(),
+                recycled: sup.recycled_assertions,
+                rounds_skipped: sup.rounds_skipped,
+                hit_rate: sup.recycle_hit_rate(),
+                interrupted: false,
+                checkpoint_error: None,
+            });
+            let name = sup
+                .result
+                .winner
+                .clone()
+                .unwrap_or_else(|| "parallel-portfolio".into());
+            (sup.result.outcome.verdict, sup.result.outcome.stats, name)
+        } else {
+            let result = parallel_verify(&pool, &program, &governed_portfolio(&flags), &pcfg);
+            let name = result
+                .winner
+                .clone()
+                .unwrap_or_else(|| "parallel-portfolio".into());
+            (result.outcome.verdict, result.outcome.stats, name)
+        }
     } else if flags.portfolio {
         let result = portfolio_verify(&mut pool, &program, &governed_portfolio(&flags), true);
         let name = result.winner.clone().unwrap_or_else(|| "portfolio".into());
         (result.outcome.verdict, result.outcome.stats, name)
+    } else if supervised {
+        let config = build_config(&flags)?;
+        let resume = match &flags.resume {
+            Some(path) => {
+                let snap = Snapshot::load(path)?;
+                if !snap.matches(&pool, &program) {
+                    return Err(format!(
+                        "snapshot `{}` was taken for a different program",
+                        path.display()
+                    ));
+                }
+                Some(snap)
+            }
+            None => None,
+        };
+        let scfg = SuperviseConfig {
+            policy,
+            checkpoint: flags.checkpoint.clone(),
+            resume,
+            interrupt: flags.checkpoint.is_some().then(install_sigint),
+        };
+        let sup = supervised_verify(&mut pool, &program, &config, &scfg);
+        supervision = Some(SupervisionReport {
+            attempts: sup.attempts.len(),
+            recycled: sup.recycled_assertions,
+            rounds_skipped: sup.rounds_skipped,
+            hit_rate: sup.recycle_hit_rate(),
+            interrupted: sup.interrupted,
+            checkpoint_error: sup.checkpoint_error.clone(),
+        });
+        (sup.outcome.verdict, sup.outcome.stats, config.name)
     } else {
         let config = build_config(&flags)?;
         let outcome = verify(&mut pool, &program, &config);
@@ -298,6 +455,20 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         "rounds={} proof_size={} visited={} hoare_checks={} time={:?}",
         stats.rounds, stats.proof_size, stats.visited_states, stats.hoare_checks, stats.time
     );
+    if let Some(sup) = &supervision {
+        println!(
+            "attempts={} recycled={} rounds_skipped={} hit_rate={:.2}",
+            sup.attempts, sup.recycled, sup.rounds_skipped, sup.hit_rate
+        );
+        if sup.interrupted {
+            if let Some(path) = &flags.checkpoint {
+                println!("interrupted: checkpoint written to {}", path.display());
+            }
+        }
+        if let Some(e) = &sup.checkpoint_error {
+            eprintln!("warning: checkpointing degraded: {e}");
+        }
+    }
     Ok(code)
 }
 
