@@ -29,7 +29,7 @@ fn main() {
     for n in ENGINE_COUNTS {
         print!(" {:>11}", format!("par({n})"));
     }
-    println!(" {:>9} {:>16}", "speedup", "give-up");
+    println!(" {:>9} {:>8} {:>16}", "speedup", "qc-hit", "give-up");
 
     let mut parallel4_wins = 0usize;
     let mut measured = 0usize;
@@ -46,10 +46,11 @@ fn main() {
             *give_ups.entry(g.category).or_insert(0) += 1;
             let dashes = ENGINE_COUNTS.map(|_| format!(" {:>11}", "-")).concat();
             println!(
-                "  {:24} {:>9} {:>7}{dashes} {:>9} {:>16}",
+                "  {:24} {:>9} {:>7}{dashes} {:>9} {:>8} {:>16}",
                 b.name,
                 "-",
                 adaptive.stats.rounds,
+                "-",
                 "-",
                 g.category.name()
             );
@@ -61,12 +62,16 @@ fn main() {
         measured += 1;
 
         let mut times: Vec<Duration> = Vec::new();
+        // Hit rate of the widest parallel run: workers share one cache, so
+        // this shows the cross-engine reuse the scaling column buys.
+        let mut widest_hit_rate = f64::NAN;
         for &n in &ENGINE_COUNTS {
             let mut pool = TermPool::new();
             let p = b.compile(&mut pool);
             let t0 = Instant::now();
             let result = parallel_verify(&pool, &p, &configs[..n], &ParallelConfig::default());
             times.push(t0.elapsed());
+            widest_hit_rate = result.outcome.stats.qcache_hit_rate();
             assert_eq!(
                 result.outcome.verdict.is_correct(),
                 adaptive.verdict.is_correct(),
@@ -88,8 +93,9 @@ fn main() {
             print!(" {:>9.1}ms", t.as_secs_f64() * 1e3);
         }
         println!(
-            " {:>8.2}x {:>16}",
+            " {:>8.2}x {:>7.0}% {:>16}",
             adaptive_time.as_secs_f64() / par4.as_secs_f64().max(1e-9),
+            widest_hit_rate * 100.0,
             "-"
         );
     }

@@ -2,7 +2,11 @@
 //! time per refinement round for all successfully analysed programs —
 //! Automizer vs. five GemCutter variants (portfolio, sleep-only,
 //! persistent-only, lockstep, and the multi-threaded shared-proof
-//! parallel portfolio).
+//! parallel portfolio), plus the solver-level query-cache ablation
+//! (`seq` vs. `seq-nocache`). The ablation pair is asserted identical
+//! per benchmark (verdict, trace, rounds, proof size) and its measured
+//! time-per-round speedup and hit rates are emitted to
+//! `BENCH_qcache.json` for the perf trajectory.
 //!
 //! Run: `cargo run --release -p bench --bin table2`
 
@@ -84,6 +88,122 @@ fn print_count_row(label: &str, values: &[usize]) {
     println!();
 }
 
+/// Query-cache hit rate (hits / lookups) per column; NaN when a column
+/// never touched the cache (e.g. the `seq-nocache` ablation).
+fn hit_rate_row(cols: &[Column]) -> Vec<f64> {
+    cols.iter()
+        .map(|c| {
+            let (hits, misses) = c.runs.iter().fold((0u64, 0u64), |(h, m), r| {
+                (
+                    h + r.outcome.stats.qcache_hits,
+                    m + r.outcome.stats.qcache_misses,
+                )
+            });
+            if hits + misses == 0 {
+                f64::NAN
+            } else {
+                hits as f64 / (hits + misses) as f64
+            }
+        })
+        .collect()
+}
+
+/// Aggregated measurements of one ablation side for `BENCH_qcache.json`.
+struct CacheSide {
+    time_s: f64,
+    rounds: usize,
+    hoare_checks: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheSide {
+    fn of(runs: &[Run]) -> CacheSide {
+        let mut side = CacheSide {
+            time_s: 0.0,
+            rounds: 0,
+            hoare_checks: 0,
+            hits: 0,
+            misses: 0,
+        };
+        for r in runs {
+            side.time_s += r.time_s();
+            side.rounds += r.outcome.stats.rounds;
+            side.hoare_checks += r.outcome.stats.hoare_checks;
+            side.hits += r.outcome.stats.qcache_hits;
+            side.misses += r.outcome.stats.qcache_misses;
+        }
+        side
+    }
+
+    fn time_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            f64::NAN
+        } else {
+            self.time_s / self.rounds as f64
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+
+    fn json(&self, name: &str) -> String {
+        format!(
+            "    {{\"config\": \"{name}\", \"time_s\": {:.6}, \"rounds\": {}, \
+             \"time_per_round_s\": {:.6}, \"hoare_checks\": {}, \
+             \"qcache_hits\": {}, \"qcache_misses\": {}, \"hit_rate\": {:.4}}}",
+            self.time_s,
+            self.rounds,
+            self.time_per_round(),
+            self.hoare_checks,
+            self.hits,
+            self.misses,
+            self.hit_rate()
+        )
+    }
+}
+
+/// Asserts the ablation pair is observationally identical per benchmark:
+/// same verdict (including any counterexample trace), same round count,
+/// same final proof size — the cache may only change *who computes* a
+/// verdict, never the verdict. Also asserts the cache-off side really ran
+/// cache-free.
+fn assert_cache_identity(cached: &[Run], cold: &[Run]) {
+    assert_eq!(cached.len(), cold.len());
+    for (on, off) in cached.iter().zip(cold) {
+        assert_eq!(on.name, off.name);
+        assert_eq!(
+            on.outcome.verdict, off.outcome.verdict,
+            "QCACHE SOUNDNESS BUG on {}: verdict differs with cache on/off",
+            on.name
+        );
+        assert_eq!(
+            on.outcome.stats.rounds, off.outcome.stats.rounds,
+            "QCACHE DRIFT on {}: round count differs with cache on/off",
+            on.name
+        );
+        assert_eq!(
+            on.outcome.stats.proof_size, off.outcome.stats.proof_size,
+            "QCACHE DRIFT on {}: proof size differs with cache on/off",
+            on.name
+        );
+        assert_eq!(
+            (
+                off.outcome.stats.qcache_hits,
+                off.outcome.stats.qcache_misses
+            ),
+            (0, 0),
+            "cache-off run of {} touched the cache",
+            on.name
+        );
+    }
+}
+
 fn main() {
     let corpus = bench::corpus();
     println!("Table 2: proof size and proof-check efficiency per configuration\n");
@@ -94,10 +214,26 @@ fn main() {
     let policy = RetryPolicy::with_retries(3).escalating_by(4);
     let supervised = run_supervised(&corpus, &tight, policy);
 
+    // Query-cache ablation pair: the sequential configuration with the
+    // solver-level cache on (the default) and off.
+    let seq_runs = run_config(&corpus, &VerifierConfig::gemcutter_seq());
+    let mut nocache = VerifierConfig::gemcutter_seq().without_qcache();
+    nocache.name = "seq-nocache".to_owned();
+    let nocache_runs = run_config(&corpus, &nocache);
+    assert_cache_identity(&seq_runs, &nocache_runs);
+
     let cols = vec![
         Column {
             name: "automizer",
             runs: run_config(&corpus, &VerifierConfig::automizer()),
+        },
+        Column {
+            name: "seq",
+            runs: seq_runs,
+        },
+        Column {
+            name: "seq-nocache",
+            runs: nocache_runs,
         },
         Column {
             name: "portfolio",
@@ -159,6 +295,9 @@ fn main() {
         "s",
     );
 
+    println!("Query-cache hit rate (hits / lookups; NaN = cache disabled or untouched)");
+    print_row("total", &hit_rate_row(&cols), " ");
+
     println!("Give-ups per resource category (count of inconclusive runs)");
     let listed = [
         Category::Deadline,
@@ -206,9 +345,53 @@ fn main() {
 
     // Paper shape: the portfolio's average proof size beats the baseline's.
     let total = proof_size_row(&cols, None);
+    let col_idx = |name: &str| cols.iter().position(|c| c.name == name).expect("column");
     println!();
     println!(
         "Paper shape: portfolio avg proof size {:.1} vs automizer {:.1} (smaller is the paper's finding)",
-        total[1], total[0]
+        total[col_idx("portfolio")],
+        total[col_idx("automizer")]
     );
+
+    // Query-cache perf trajectory: aggregate the ablation pair, report the
+    // time-per-round speedup (total and Weaver-only) and persist the first
+    // BENCH_qcache.json entry. The identity assertion above already
+    // guarantees both sides did the same logical work.
+    let seq = &cols[col_idx("seq")].runs;
+    let cold = &cols[col_idx("seq-nocache")].runs;
+    let on = CacheSide::of(seq);
+    let off = CacheSide::of(cold);
+    let weaver = |runs: &[Run]| {
+        CacheSide::of(
+            &runs
+                .iter()
+                .filter(|r| r.suite == Suite::Weaver)
+                .cloned()
+                .collect::<Vec<_>>(),
+        )
+    };
+    let (on_w, off_w) = (weaver(seq), weaver(cold));
+    let speedup = off.time_per_round() / on.time_per_round();
+    let speedup_w = off_w.time_per_round() / on_w.time_per_round();
+    println!();
+    println!(
+        "Query-cache ablation: time/round {} (on) vs {} (off) — {speedup:.2}x, \
+         Weaver-only {speedup_w:.2}x, hit rate {:.1}%",
+        bench::fmt_time(on.time_per_round()),
+        bench::fmt_time(off.time_per_round()),
+        on.hit_rate() * 100.0
+    );
+    let json = format!(
+        "{{\n  \"corpus\": \"{}\",\n  \"benchmarks\": {},\n  \"identity\": true,\n  \
+         \"speedup_time_per_round\": {speedup:.4},\n  \
+         \"speedup_time_per_round_weaver\": {speedup_w:.4},\n  \"configs\": [\n{},\n{},\n{},\n{}\n  ]\n}}\n",
+        if std::env::var("SEQVER_QUICK").is_ok() { "quick" } else { "full" },
+        seq.len(),
+        on.json("gemcutter-seq"),
+        off.json("seq-nocache"),
+        on_w.json("gemcutter-seq/weaver"),
+        off_w.json("seq-nocache/weaver"),
+    );
+    std::fs::write("BENCH_qcache.json", json).expect("write BENCH_qcache.json");
+    println!("wrote BENCH_qcache.json");
 }

@@ -76,12 +76,19 @@ impl Default for CheckConfig {
 /// Cross-round cache of useless states (§7.2).
 ///
 /// A state is *useless* when no counterexample is reachable from it under
-/// the current (hence any stronger) proof. Keyed by `(q, S, ctx)`; a new
-/// state is skipped when its assertion set contains a recorded one.
+/// the current (hence any stronger) proof. Entries are bucketed by `q`
+/// and then `ctx`, so the per-visit probe on the DFS hot path borrows its
+/// way to one small bucket — no keys are cloned and no unrelated marked
+/// state is scanned. Within a bucket, a new state is skipped when some
+/// recorded entry has the same sleep set and an assertion subset.
 #[derive(Clone, Debug, Default)]
 pub struct UselessCache {
-    map: HashMap<(ProductState, BitSet, OrderContext), Vec<Vec<u32>>>,
+    map: HashMap<ProductState, HashMap<OrderContext, Vec<UselessEntry>>>,
 }
+
+/// One recorded useless state within a `(q, ctx)` bucket: its sleep set
+/// and the (sorted) proof-assertion indices it was useless under.
+type UselessEntry = (BitSet, Vec<u32>);
 
 impl UselessCache {
     /// An empty cache.
@@ -91,7 +98,11 @@ impl UselessCache {
 
     /// Total recorded entries.
     pub fn len(&self) -> usize {
-        self.map.values().map(Vec::len).sum()
+        self.map
+            .values()
+            .flat_map(|by_ctx| by_ctx.values())
+            .map(Vec::len)
+            .sum()
     }
 
     /// `true` if no entries are recorded.
@@ -107,18 +118,26 @@ impl UselessCache {
         assertions: &[u32],
     ) -> bool {
         self.map
-            .get(&(q.clone(), sleep.clone(), ctx))
-            .is_some_and(|sets| sets.iter().any(|s| is_subset(s, assertions)))
+            .get(q)
+            .and_then(|by_ctx| by_ctx.get(&ctx))
+            .is_some_and(|entries| {
+                entries
+                    .iter()
+                    .any(|(s, set)| s == sleep && is_subset(set, assertions))
+            })
     }
 
     fn mark(&mut self, q: ProductState, sleep: BitSet, ctx: OrderContext, assertions: Vec<u32>) {
-        let entry = self.map.entry((q, sleep, ctx)).or_default();
-        // Keep only minimal sets.
-        if entry.iter().any(|s| is_subset(s, &assertions)) {
+        let entry = self.map.entry(q).or_default().entry(ctx).or_default();
+        // Keep only minimal sets per sleep set.
+        if entry
+            .iter()
+            .any(|(s, set)| *s == sleep && is_subset(set, &assertions))
+        {
             return;
         }
-        entry.retain(|s| !is_subset(&assertions, s));
-        entry.push(assertions);
+        entry.retain(|(s, set)| !(*s == sleep && is_subset(&assertions, set)));
+        entry.push((sleep, assertions));
     }
 }
 

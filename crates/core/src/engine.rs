@@ -107,6 +107,14 @@ pub struct EngineStats {
     pub max_round_visited: usize,
     /// Useless-cache skips.
     pub cache_skips: usize,
+    /// Solver queries answered from the query cache during this engine's
+    /// rounds. With a shared cache under free-running parallel workers
+    /// this attribution is approximate (concurrent activity lands in the
+    /// round that observes it); pool-level totals are exact.
+    pub qcache_hits: u64,
+    /// Solver queries by this engine's rounds that solved cold (same
+    /// attribution caveat as `qcache_hits`).
+    pub qcache_misses: u64,
     /// Interpolation counters.
     pub interpolation: InterpolationStats,
 }
@@ -184,6 +192,7 @@ impl Engine {
         proof: &mut ProofAutomaton,
     ) -> RoundOutcome {
         self.stats.rounds += 1;
+        let cache_before = pool.query_cache().map(|c| c.stats());
         let mut round_stats = CheckStats::default();
         let result = check_proof(
             pool,
@@ -200,7 +209,7 @@ impl Engine {
         self.stats.visited += round_stats.visited;
         self.stats.max_round_visited = self.stats.max_round_visited.max(round_stats.visited);
         self.stats.cache_skips += round_stats.cache_skips;
-        match result {
+        let outcome = match result {
             CheckResult::Proven => RoundOutcome::Proven,
             CheckResult::LimitReached => {
                 RoundOutcome::GaveUp(GiveUp::new(Category::DfsStates, "state budget exhausted"))
@@ -211,39 +220,46 @@ impl Engine {
             CheckResult::Interrupted(g) => RoundOutcome::GaveUp(g),
             CheckResult::Counterexample(trace) => {
                 if self.history.record(&trace) {
-                    return RoundOutcome::GaveUp(GiveUp::new(
+                    RoundOutcome::GaveUp(GiveUp::new(
                         Category::NonProgress,
                         "refinement made no progress",
-                    ));
-                }
-                let analysis = analyze_trace_with_mode(
-                    pool,
-                    program,
-                    &trace,
-                    self.spec,
-                    self.interpolation,
-                    &mut self.stats.interpolation,
-                );
-                match analysis {
-                    TraceResult::Feasible => RoundOutcome::Bug(trace),
-                    // The governor may be the true cause of an undecided
-                    // feasibility check; attribute it if so.
-                    TraceResult::Unknown => {
-                        RoundOutcome::GaveUp(pool.governor().give_up().unwrap_or_else(|| {
-                            GiveUp::new(Category::UnknownTheory, "trace feasibility undecided")
-                        }))
-                    }
-                    TraceResult::Infeasible { chain } => {
-                        for a in chain {
-                            if proof.add_assertion(a) {
-                                self.pending_broadcast.push(a);
-                            }
+                    ))
+                } else {
+                    let analysis = analyze_trace_with_mode(
+                        pool,
+                        program,
+                        &trace,
+                        self.spec,
+                        self.interpolation,
+                        &mut self.stats.interpolation,
+                    );
+                    match analysis {
+                        TraceResult::Feasible => RoundOutcome::Bug(trace),
+                        // The governor may be the true cause of an undecided
+                        // feasibility check; attribute it if so.
+                        TraceResult::Unknown => {
+                            RoundOutcome::GaveUp(pool.governor().give_up().unwrap_or_else(|| {
+                                GiveUp::new(Category::UnknownTheory, "trace feasibility undecided")
+                            }))
                         }
-                        RoundOutcome::Refined
+                        TraceResult::Infeasible { chain } => {
+                            for a in chain {
+                                if proof.add_assertion(a) {
+                                    self.pending_broadcast.push(a);
+                                }
+                            }
+                            RoundOutcome::Refined
+                        }
                     }
                 }
             }
+        };
+        if let (Some(cache), Some(before)) = (pool.query_cache(), cache_before) {
+            let delta = cache.stats().since(&before);
+            self.stats.qcache_hits += delta.hits;
+            self.stats.qcache_misses += delta.misses;
         }
+        outcome
     }
 }
 

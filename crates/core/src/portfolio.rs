@@ -205,6 +205,10 @@ fn finish(
         stats.visited_states += e.stats.visited;
         stats.max_round_visited = stats.max_round_visited.max(e.stats.max_round_visited);
         stats.cache_skips += e.stats.cache_skips;
+        // Single-threaded rounds: per-engine deltas are disjoint, so the
+        // sum is exact.
+        stats.qcache_hits += e.stats.qcache_hits;
+        stats.qcache_misses += e.stats.qcache_misses;
     }
     stats.proof_size = stats.proof_size.max(shared.proof_size());
     stats.time = start.elapsed();
@@ -366,6 +370,11 @@ pub fn parallel_verify(
     assert!(!configs.is_empty(), "portfolio needs at least one member");
     let start = Instant::now();
     let specs = specs_of(program);
+    // Workers clone this pool, sharing its Arc-backed query cache; the
+    // pool-level snapshot delta is therefore the exact run total (summing
+    // the workers' own per-round deltas would double-count concurrent
+    // activity).
+    let cache_before = pool.query_cache().map(|c| c.stats());
     let mut stats = RunStats::default();
     let mut reports: Vec<EngineReport> = Vec::new();
     let mut winner: Option<String> = None;
@@ -420,6 +429,7 @@ pub fn parallel_verify(
             }
             other => {
                 stats.time = start.elapsed();
+                apply_cache_delta(&mut stats, pool, cache_before);
                 return ParallelOutcome {
                     outcome: Outcome {
                         verdict: other,
@@ -433,6 +443,7 @@ pub fn parallel_verify(
         }
     }
     stats.time = start.elapsed();
+    apply_cache_delta(&mut stats, pool, cache_before);
     ParallelOutcome {
         outcome: Outcome {
             verdict: Verdict::Correct,
@@ -441,6 +452,15 @@ pub fn parallel_verify(
         winner,
         engines: reports,
         harvest,
+    }
+}
+
+/// Attributes the shared query cache's activity since `before` to `stats`.
+fn apply_cache_delta(stats: &mut RunStats, pool: &TermPool, before: Option<smt::CacheStats>) {
+    if let (Some(cache), Some(before)) = (pool.query_cache(), before) {
+        let delta = cache.stats().since(&before);
+        stats.qcache_hits = delta.hits;
+        stats.qcache_misses = delta.misses;
     }
 }
 
@@ -543,6 +563,11 @@ fn worker_loop(
         gcfg.build_with_cancel(Arc::clone(stop))
     };
     pool.set_governor(governor);
+    if !config.use_qcache {
+        // Drop only this worker's handle; other workers sharing the cache
+        // keep theirs.
+        pool.take_query_cache();
+    }
     let mut engine = Engine::new(pool, program, spec, config);
     let mut proof = ProofAutomaton::new();
     // Replay the supervisor's recycled assertions (if any) before the

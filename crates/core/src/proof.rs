@@ -10,7 +10,7 @@
 
 use program::concurrent::{LetterId, Program};
 use smt::linear::VarId;
-use smt::solver::check;
+use smt::solver::{check, AssertionScope};
 use smt::term::{TermId, TermPool};
 use std::collections::HashMap;
 
@@ -48,7 +48,7 @@ struct LetterRelation {
     /// Relation formula over program vars (pre) and primed vars (post).
     formula: TermId,
     /// Written program var → primed var.
-    primed: Vec<(VarId, VarId)>,
+    primed: HashMap<VarId, VarId>,
 }
 
 /// The Floyd/Hoare proof automaton over a growing assertion pool.
@@ -175,13 +175,20 @@ impl ProofAutomaton {
             }
             _ => (Vec::new(), 0),
         };
-        while from < self.assertions.len() {
-            let a = self.assertions[from];
-            self.stats.hoare_checks += 1;
-            if smt::entails(pool, init, a) {
-                set.push(from as u32);
+        if from < self.assertions.len() {
+            // All entailment checks of this battery share the prefix
+            // `init`; the scope front-loads its satisfiability check and
+            // replays models, so most assertions cost an evaluation.
+            let mut scope = AssertionScope::new(pool, &[init]);
+            while from < self.assertions.len() {
+                let a = self.assertions[from];
+                self.stats.hoare_checks += 1;
+                let neg = pool.not(a);
+                if scope.check(pool, neg).is_unsat() {
+                    set.push(from as u32);
+                }
+                from += 1;
             }
-            from += 1;
         }
         set.sort_unstable();
         let id = self.intern_state(pool, set);
@@ -202,21 +209,16 @@ impl ProofAutomaton {
         if let Some(r) = self.relations.get(&l) {
             return r.formula;
         }
-        let stmt = program.statement(l).clone();
+        // `stmt` borrows `program`, which is disjoint from `self`/`pool`,
+        // so no clone of the statement is needed.
+        let stmt = program.statement(l);
         let primed: HashMap<VarId, VarId> = stmt
             .writes()
             .iter()
             .map(|&w| (w, self.primed_var(pool, w)))
             .collect();
         let (formula, _aux) = stmt.relation(pool, &primed);
-        let primed_vec: Vec<(VarId, VarId)> = primed.into_iter().collect();
-        self.relations.insert(
-            l,
-            LetterRelation {
-                formula,
-                primed: primed_vec,
-            },
-        );
+        self.relations.insert(l, LetterRelation { formula, primed });
         formula
     }
 
@@ -226,9 +228,8 @@ impl ProofAutomaton {
         if let Some(&r) = self.renamed_post.get(&(l, psi)) {
             return r;
         }
-        let primed = self.relations[&l].primed.clone();
-        let map: HashMap<VarId, VarId> = primed.into_iter().collect();
-        let renamed = pool.rename(psi, &move |v| map.get(&v).copied().unwrap_or(v));
+        let map = &self.relations[&l].primed;
+        let renamed = pool.rename(psi, &|v| map.get(&v).copied().unwrap_or(v));
         self.renamed_post.insert((l, psi), renamed);
         renamed
     }
@@ -287,12 +288,23 @@ impl ProofAutomaton {
             None => (Vec::new(), 0),
         };
         let phi_conj = self.states[s.index()].conj;
-        while from < total {
-            let psi = self.assertions[from];
-            if self.hoare_valid(pool, program, phi_conj, l, psi) {
-                set.push(from as u32);
+        if from < total {
+            // Every Hoare check of this battery shares the prefix
+            // `⋀Φ ∧ rel(l)`; build it once and assert each ¬ψ′ under a
+            // scope, so an unsatisfiable prefix or a reusable model
+            // answers without a cold solve per assertion.
+            let rel = self.relation(pool, program, l);
+            let mut scope = AssertionScope::new(pool, &[phi_conj, rel]);
+            while from < total {
+                let psi = self.assertions[from];
+                self.stats.hoare_checks += 1;
+                let psi_primed = self.rename_post(pool, l, psi);
+                let neg = pool.not(psi_primed);
+                if scope.check(pool, neg).is_unsat() {
+                    set.push(from as u32);
+                }
+                from += 1;
             }
-            from += 1;
         }
         set.sort_unstable();
         let succ = self.intern_state(pool, set);

@@ -32,6 +32,17 @@
 //! Hoare-triple query, and a bug verdict replays the trace exactly. A
 //! stale, foreign or even adversarial seed can therefore cost completeness
 //! (wasted candidate checks), never soundness.
+//!
+//! **Query-cache sharing across attempts.** The supervisor threads one
+//! `TermPool` through every attempt, so the pool's [`smt::qcache`] result
+//! cache survives restarts automatically: a Hoare or feasibility query a
+//! failed attempt already solved is a cache hit in every escalated retry
+//! (and, through [`parallel_verify`]'s pool clones, in every worker). This
+//! composes with proof recycling — recycled assertions skip refinement
+//! rounds, cached verdicts make the re-validation of whatever remains
+//! nearly free. Sharing is sound because the cache stores only definitive
+//! sat/unsat verdicts of canonical (pool-independent) formulas, never the
+//! `Unknown`/`GaveUp` outcomes a tripped governor produces.
 
 use crate::engine::{Engine, RoundOutcome};
 use crate::govern::{
@@ -527,6 +538,8 @@ fn run_spec(
         .max_round_visited
         .max(engine.stats.max_round_visited);
     state.stats.cache_skips += engine.stats.cache_skips;
+    state.stats.qcache_hits += engine.stats.qcache_hits;
+    state.stats.qcache_misses += engine.stats.qcache_misses;
     state.stats.hoare_checks += proof.stats().hoare_checks;
     state.stats.proof_size = state.stats.proof_size.max(proof.proof_size());
     state.stats.interpolation.feasibility_checks += engine.stats.interpolation.feasibility_checks;

@@ -85,6 +85,10 @@ pub struct VerifierConfig {
     /// Resource governance: deadline, run-wide step budgets and fault
     /// injection. Unlimited by default.
     pub govern: GovernorConfig,
+    /// Solver-level query memoization ([`smt::qcache`]). When disabled,
+    /// the pool's cache is removed for the duration of the run and every
+    /// query (and Hoare scope) solves cold — the measurement baseline.
+    pub use_qcache: bool,
 }
 
 impl VerifierConfig {
@@ -101,6 +105,7 @@ impl VerifierConfig {
             max_rounds: 60,
             max_visited_per_round: 400_000,
             govern: GovernorConfig::default(),
+            use_qcache: true,
         }
     }
 
@@ -169,6 +174,13 @@ impl VerifierConfig {
         self.name = format!("{}-farkas", self.name);
         self
     }
+
+    /// Disables solver-level query memoization (the `--no-qcache`
+    /// escape hatch and the perf baseline).
+    pub fn without_qcache(mut self) -> VerifierConfig {
+        self.use_qcache = false;
+        self
+    }
 }
 
 /// Verification verdict.
@@ -230,6 +242,10 @@ pub struct RunStats {
     pub time: Duration,
     /// Interpolation statistics.
     pub interpolation: InterpolationStats,
+    /// Solver queries answered from the query cache during this run.
+    pub qcache_hits: u64,
+    /// Solver queries that fell through to a real solve.
+    pub qcache_misses: u64,
 }
 
 impl RunStats {
@@ -239,6 +255,17 @@ impl RunStats {
             self.time
         } else {
             self.time / self.rounds as u32
+        }
+    }
+
+    /// Query-cache hit rate of this run (0 when the cache was off or
+    /// never consulted).
+    pub fn qcache_hit_rate(&self) -> f64 {
+        let total = self.qcache_hits + self.qcache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.qcache_hits as f64 / total as f64
         }
     }
 }
@@ -289,6 +316,16 @@ pub fn verify_governed(
     let start = Instant::now();
     let previous = pool.governor().clone();
     pool.set_governor(governor.clone());
+    // Honor `use_qcache`: a disabled run removes the pool's cache handle
+    // for its duration (restored below; the cache is Arc-shared, so other
+    // holders are unaffected). Counters are attributed to this run by
+    // snapshot deltas, since the cache may be shared across workers.
+    let saved_cache = if config.use_qcache {
+        None
+    } else {
+        pool.take_query_cache()
+    };
+    let cache_before = pool.query_cache().map(|c| c.stats());
     let mut stats = RunStats::default();
     let specs = specs_of(program);
     let mut verdict = Verdict::Correct;
@@ -318,6 +355,14 @@ pub fn verify_governed(
         }
     }
     pool.set_governor(previous);
+    if let (Some(cache), Some(before)) = (pool.query_cache(), cache_before) {
+        let delta = cache.stats().since(&before);
+        stats.qcache_hits = delta.hits;
+        stats.qcache_misses = delta.misses;
+    }
+    if let Some(cache) = saved_cache {
+        pool.set_query_cache(cache);
+    }
     stats.time = start.elapsed();
     Outcome { verdict, stats }
 }

@@ -21,6 +21,8 @@
 //! * [`simplex`] — rational feasibility (Dutertre–de Moura general simplex);
 //! * [`lia`] — integer feasibility via branch-and-bound;
 //! * [`solver`] — DPLL(T) over the monotone formula structure;
+//! * [`qcache`] — canonicalizing, cross-pool query-result memoization
+//!   consulted by [`solver::check`] (definitive verdicts only);
 //! * [`unsat_core`] — deletion-based cores (drives trace slicing);
 //! * [`cube`] — cubes/DNF with variable elimination (drives strongest-
 //!   postcondition interpolation).
@@ -46,6 +48,7 @@ pub mod cube;
 pub mod interpolate;
 pub mod lia;
 pub mod linear;
+pub mod qcache;
 pub mod rational;
 pub mod resource;
 pub mod simplex;
@@ -55,7 +58,8 @@ pub mod transfer;
 pub mod unsat_core;
 
 pub use linear::{LinExpr, LinearConstraint, Rel, VarId};
+pub use qcache::{CacheStats, QueryCache};
 pub use resource::{Category, FaultKind, FaultPlan, GiveUp, GovernorBuilder, ResourceGovernor};
-pub use solver::{check, entails, equivalent, is_valid, Model, SatResult};
+pub use solver::{check, entails, equivalent, is_valid, AssertionScope, Model, SatResult};
 pub use term::{Term, TermId, TermPool};
 pub use transfer::ExportedTerm;

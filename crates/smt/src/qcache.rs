@@ -1,0 +1,324 @@
+//! Solver-level query memoization: a canonicalizing, shareable result
+//! cache for [`crate::solver::check`].
+//!
+//! Every query is keyed by the **canonical form** of its assertion
+//! conjunction: the hash-consed formula is exported into the
+//! pool-independent [`ExportedTerm`] representation (variables by name,
+//! atoms with name-sorted coefficient lists) and the children of every
+//! `∧`/`∨` node are recursively sorted. Sorting is semantics-preserving
+//! (commutativity), and because the key no longer mentions pool-relative
+//! [`crate::TermId`]s, structurally equal queries from *different* pools
+//! share one cache line — which is what lets the parallel portfolio's
+//! workers and the restart supervisor's retry attempts reuse each other's
+//! verdicts.
+//!
+//! Soundness rules:
+//!
+//! * only definitive verdicts are stored — `Sat` (with its model, exported
+//!   by variable name) and `Unsat`. `Unknown` is **never** cached, so a
+//!   budget- or deadline-tripped governor cannot poison the cache;
+//! * `Sat` entries are re-validated on every hit by exact evaluation of
+//!   the queried formula under the imported model (see
+//!   [`crate::solver::check_with_config`]), so a hit can never claim more
+//!   than a fresh solve would;
+//! * sat/unsat of a canonical term is pool-independent, so cross-pool
+//!   sharing never changes a verdict, only who computes it first.
+//!
+//! The cache is an [`Arc`]-shared, sharded hash map with a bounded
+//! per-shard capacity (FIFO eviction) and atomic hit/miss/insert/evict
+//! counters. Cloning a [`QueryCache`] — or a [`crate::TermPool`] holding
+//! one — shares the underlying storage.
+
+use crate::transfer::ExportedTerm;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards. A power of two so the shard
+/// index is a cheap mask; 16 comfortably exceeds the portfolio width.
+const NUM_SHARDS: usize = 16;
+
+/// Default total capacity (entries across all shards).
+const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// A definitive cached verdict. `Unknown`/`GaveUp` outcomes are
+/// deliberately unrepresentable here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CachedVerdict {
+    /// Satisfiable, with the witnessing model exported by variable name
+    /// (pool-independent, re-validated on import).
+    Sat(Vec<(String, i128)>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+/// A point-in-time snapshot of the cache counters. Counters are
+/// monotone, so the difference of two snapshots gives the activity of an
+/// interval (see `RunStats` in the core crate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real solve.
+    pub misses: u64,
+    /// Definitive verdicts stored.
+    pub insertions: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when no lookup happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counter deltas since `earlier` (saturating, so a stale
+    /// snapshot can never underflow).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<ExportedTerm, CachedVerdict>,
+    /// Insertion order for FIFO eviction.
+    queue: VecDeque<ExportedTerm>,
+}
+
+struct CacheInner {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The sharded concurrent query cache. Cheap to clone (an [`Arc`]);
+/// clones share storage and counters.
+#[derive(Clone)]
+pub struct QueryCache {
+    inner: Arc<CacheInner>,
+}
+
+impl std::fmt::Debug for QueryCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCache")
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        QueryCache::new()
+    }
+}
+
+impl QueryCache {
+    /// A cache with the default capacity.
+    pub fn new() -> QueryCache {
+        QueryCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A cache bounded to roughly `capacity` entries (rounded up to a
+    /// multiple of the shard count; at least one entry per shard).
+    pub fn with_capacity(capacity: usize) -> QueryCache {
+        let capacity_per_shard = capacity.div_ceil(NUM_SHARDS).max(1);
+        QueryCache {
+            inner: Arc::new(CacheInner {
+                shards: (0..NUM_SHARDS)
+                    .map(|_| Mutex::new(Shard::default()))
+                    .collect(),
+                capacity_per_shard,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                insertions: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn shard(&self, key: &ExportedTerm) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.inner.shards[hasher.finish() as usize % NUM_SHARDS]
+    }
+
+    /// Looks up a canonical key. Does **not** count a hit or miss — the
+    /// solver calls [`QueryCache::note_hit`]/[`QueryCache::note_miss`]
+    /// after deciding whether the entry is actually usable (a `Sat` model
+    /// that fails re-validation is counted as a miss).
+    pub fn get(&self, key: &ExportedTerm) -> Option<CachedVerdict> {
+        self.shard(key)
+            .lock()
+            .expect("qcache shard")
+            .map
+            .get(key)
+            .cloned()
+    }
+
+    /// Records a lookup answered from the cache.
+    pub fn note_hit(&self) {
+        self.inner.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a lookup that fell through to a real solve.
+    pub fn note_miss(&self) {
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stores a definitive verdict, evicting the oldest entry of the
+    /// shard when full. (`Unknown` is unrepresentable in
+    /// [`CachedVerdict`] by construction.)
+    pub fn insert(&self, key: ExportedTerm, verdict: CachedVerdict) {
+        let mut shard = self.shard(&key).lock().expect("qcache shard");
+        if shard.map.insert(key.clone(), verdict).is_none() {
+            shard.queue.push_back(key);
+            self.inner.insertions.fetch_add(1, Ordering::Relaxed);
+            if shard.queue.len() > self.inner.capacity_per_shard {
+                if let Some(oldest) = shard.queue.pop_front() {
+                    shard.map.remove(&oldest);
+                    self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("qcache shard").map.len())
+            .sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the monotone counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            insertions: self.inner.insertions.load(Ordering::Relaxed),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Sorts the children of every `∧`/`∨` node recursively, producing the
+/// canonical pool-independent form used as the cache key. Atom
+/// coefficient lists are already name-sorted by the export; conjunction
+/// and disjunction are commutative, so reordering children preserves
+/// satisfiability exactly.
+pub fn canonicalize(term: &mut ExportedTerm) {
+    if let ExportedTerm::And(children) | ExportedTerm::Or(children) = term {
+        for c in children.iter_mut() {
+            canonicalize(c);
+        }
+        children.sort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Rel;
+
+    fn atom(name: &str, k: i128) -> ExportedTerm {
+        ExportedTerm::Atom {
+            coeffs: vec![(name.to_owned(), 1)],
+            constant: k,
+            rel: Rel::Le0,
+        }
+    }
+
+    #[test]
+    fn canonicalize_sorts_nested_children() {
+        let mut a = ExportedTerm::And(vec![atom("y", -1), atom("x", -2)]);
+        let mut b = ExportedTerm::And(vec![atom("x", -2), atom("y", -1)]);
+        canonicalize(&mut a);
+        canonicalize(&mut b);
+        assert_eq!(a, b);
+        let mut nested = ExportedTerm::Or(vec![
+            ExportedTerm::And(vec![atom("b", 0), atom("a", 0)]),
+            atom("c", 0),
+        ]);
+        let mut nested2 = ExportedTerm::Or(vec![
+            atom("c", 0),
+            ExportedTerm::And(vec![atom("a", 0), atom("b", 0)]),
+        ]);
+        canonicalize(&mut nested);
+        canonicalize(&mut nested2);
+        assert_eq!(nested, nested2);
+    }
+
+    #[test]
+    fn insert_get_and_counters() {
+        let cache = QueryCache::new();
+        let key = atom("x", -5);
+        assert_eq!(cache.get(&key), None);
+        cache.note_miss();
+        cache.insert(key.clone(), CachedVerdict::Unsat);
+        assert_eq!(cache.get(&key), Some(CachedVerdict::Unsat));
+        cache.note_hit();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = QueryCache::new();
+        let b = a.clone();
+        a.insert(atom("x", 0), CachedVerdict::Unsat);
+        assert_eq!(b.get(&atom("x", 0)), Some(CachedVerdict::Unsat));
+        b.note_hit();
+        assert_eq!(a.stats().hits, 1);
+    }
+
+    #[test]
+    fn eviction_bounds_size() {
+        let cache = QueryCache::with_capacity(NUM_SHARDS); // one entry per shard
+        for i in 0..200 {
+            cache.insert(atom("x", i), CachedVerdict::Unsat);
+        }
+        assert!(
+            cache.len() <= 2 * NUM_SHARDS,
+            "len {} unbounded",
+            cache.len()
+        );
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_queue() {
+        let cache = QueryCache::with_capacity(NUM_SHARDS);
+        for _ in 0..100 {
+            cache.insert(atom("x", 1), CachedVerdict::Unsat);
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

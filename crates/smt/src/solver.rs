@@ -10,9 +10,11 @@
 
 use crate::lia::{check_integer_governed, LiaResult};
 use crate::linear::{LinearConstraint, VarId};
+use crate::qcache::{self, CachedVerdict, QueryCache};
 use crate::resource::{Category, ResourceGovernor};
 use crate::simplex::{check_rational_governed, SimplexResult};
 use crate::term::{Term, TermId, TermPool};
+use crate::transfer::ExportedTerm;
 use std::collections::HashMap;
 
 /// A satisfying integer assignment. Variables not mentioned by any
@@ -106,19 +108,108 @@ pub fn check_with_config(
     config: &SolverConfig,
 ) -> SatResult {
     let formula = pool.and(assertions.iter().copied());
-    let governor = pool.governor().clone();
-    let mut search = Search {
-        pool,
-        config,
-        budget: config.dpll_budget,
-        saw_unknown: false,
-        governor,
+    // Memoization: trivially-constant formulas skip the cache entirely
+    // (both lookup and insert) and flow through the unchanged search, so
+    // governor charge sequences for them stay bit-identical to a
+    // cache-free build.
+    let cached = match pool.query_cache() {
+        Some(cache) if formula != TermPool::TRUE && formula != TermPool::FALSE => {
+            let cache = cache.clone();
+            let key = canonical_key(pool, formula);
+            match consult(pool, formula, &cache, &key) {
+                Some(result) => return result,
+                None => Some((cache, key)),
+            }
+        }
+        _ => None,
     };
-    let mut fixed = Vec::new();
-    match search.dpll(formula, &mut fixed) {
-        Some(model) => SatResult::Sat(model),
-        None if search.saw_unknown => SatResult::Unknown,
-        None => SatResult::Unsat,
+    let governor = pool.governor().clone();
+    let (outcome, saw_unknown) = {
+        let mut search = Search {
+            pool: &mut *pool,
+            config,
+            budget: config.dpll_budget,
+            saw_unknown: false,
+            governor,
+        };
+        let mut fixed = Vec::new();
+        (search.dpll(formula, &mut fixed), search.saw_unknown)
+    };
+    match outcome {
+        Some(model) => {
+            if let Some((cache, key)) = cached {
+                // A found model is definitive even if some branch gave up.
+                cache.insert(key, CachedVerdict::Sat(export_model(pool, &model)));
+            }
+            SatResult::Sat(model)
+        }
+        None if saw_unknown => SatResult::Unknown,
+        None => {
+            if let Some((cache, key)) = cached {
+                cache.insert(key, CachedVerdict::Unsat);
+            }
+            SatResult::Unsat
+        }
+    }
+}
+
+/// The pool-independent canonical cache key for `formula`.
+fn canonical_key(pool: &TermPool, formula: TermId) -> ExportedTerm {
+    let mut key = pool.export(formula);
+    qcache::canonicalize(&mut key);
+    key
+}
+
+/// Exports `model` by variable name for pool-independent storage.
+fn export_model(pool: &TermPool, model: &Model) -> Vec<(String, i128)> {
+    model
+        .iter()
+        .map(|(v, k)| (pool.var_name(v).to_owned(), k))
+        .collect()
+}
+
+/// Tries to answer the query from `cache`. A usable entry counts a hit
+/// and charges only a governor poll (deadlines and standing trips still
+/// fire, but no step budget is spent); anything else counts a miss and
+/// returns `None` so the caller solves for real.
+fn consult(
+    pool: &mut TermPool,
+    formula: TermId,
+    cache: &QueryCache,
+    key: &ExportedTerm,
+) -> Option<SatResult> {
+    let entry = cache.get(key);
+    match entry {
+        Some(CachedVerdict::Unsat) => {
+            cache.note_hit();
+            match pool.governor().poll() {
+                Ok(()) => Some(SatResult::Unsat),
+                Err(_) => Some(SatResult::Unknown),
+            }
+        }
+        Some(CachedVerdict::Sat(named)) => {
+            // Re-validate: the stored witness must satisfy *this* pool's
+            // formula under exact evaluation. (All named variables occur
+            // in the canonically-equal formula, so no fresh interning
+            // happens here.)
+            let values: HashMap<VarId, i128> =
+                named.iter().map(|(name, k)| (pool.var(name), *k)).collect();
+            let model = Model::from_values(values);
+            if pool.eval(formula, &|v| model.value(v)) {
+                cache.note_hit();
+                match pool.governor().poll() {
+                    Ok(()) => Some(SatResult::Sat(model)),
+                    Err(_) => Some(SatResult::Unknown),
+                }
+            } else {
+                cache.note_miss();
+                None
+            }
+        }
+        None => {
+            cache.note_miss();
+            None
+        }
     }
 }
 
@@ -138,6 +229,105 @@ pub fn is_valid(pool: &mut TermPool, t: TermId) -> bool {
 /// `true` iff `a` and `b` are logically equivalent (conservative).
 pub fn equivalent(pool: &mut TermPool, a: TermId, b: TermId) -> bool {
     entails(pool, a, b) && entails(pool, b, a)
+}
+
+/// How many satisfying models an [`AssertionScope`] retains for reuse.
+const SCOPE_MODEL_LIMIT: usize = 8;
+
+/// An incremental assertion scope: a fixed prefix conjunction checked
+/// against many per-call extra assertions, as in Hoare-triple batteries
+/// `{⋀Φ} l {ψ_i}` where every query shares the prefix `⋀Φ ∧ rel(l)`.
+///
+/// The scope front-loads work that is common to the whole battery:
+///
+/// * if the prefix alone is unsatisfiable, every scoped query is `Unsat`
+///   without solving (only a governor poll is charged);
+/// * satisfying models discovered along the way (bounded at
+///   [`SCOPE_MODEL_LIMIT`]) are replayed by exact evaluation against each
+///   new extra assertion — an evaluation, not a solve;
+/// * queries that fall through go to [`check`], whose conjunction
+///   flattens to exactly the same hash-consed formula a cold
+///   `check(&[prefix…, extra])` would build, so the query cache applies.
+///
+/// When the pool has no query cache (`--no-qcache`), the scope takes no
+/// shortcuts at all and every call is a plain [`check`] — bit-identical
+/// to the un-scoped baseline.
+#[derive(Debug)]
+pub struct AssertionScope {
+    prefix: TermId,
+    /// Shortcuts enabled (mirrors the pool's cache presence at creation).
+    incremental: bool,
+    /// The prefix alone is known unsatisfiable.
+    prefix_unsat: bool,
+    /// Recent models satisfying the prefix, newest last.
+    models: Vec<Model>,
+}
+
+impl AssertionScope {
+    /// Opens a scope over the conjunction of `prefix`. With shortcuts
+    /// enabled this performs one up-front satisfiability check of the
+    /// prefix; its verdict (and model, if any) is shared by every
+    /// subsequent [`AssertionScope::check`].
+    pub fn new(pool: &mut TermPool, prefix: &[TermId]) -> AssertionScope {
+        let prefix = pool.and(prefix.iter().copied());
+        let incremental = pool.query_cache().is_some();
+        let mut scope = AssertionScope {
+            prefix,
+            incremental,
+            prefix_unsat: false,
+            models: Vec::new(),
+        };
+        if scope.incremental {
+            if prefix == TermPool::FALSE {
+                scope.prefix_unsat = true;
+            } else {
+                match check(pool, &[prefix]) {
+                    SatResult::Unsat => scope.prefix_unsat = true,
+                    SatResult::Sat(m) => scope.models.push(m),
+                    SatResult::Unknown => {}
+                }
+            }
+        }
+        scope
+    }
+
+    /// Checks `prefix ∧ extra`.
+    pub fn check(&mut self, pool: &mut TermPool, extra: TermId) -> SatResult {
+        if !self.incremental {
+            return check(pool, &[self.prefix, extra]);
+        }
+        if self.prefix_unsat {
+            return match pool.governor().poll() {
+                Ok(()) => SatResult::Unsat,
+                Err(_) => SatResult::Unknown,
+            };
+        }
+        // Replay retained models (newest first) by exact evaluation.
+        let reusable =
+            self.models.iter().rev().find(|m| {
+                pool.eval(self.prefix, &|v| m.value(v)) && pool.eval(extra, &|v| m.value(v))
+            });
+        if let Some(model) = reusable {
+            let model = model.clone();
+            return match pool.governor().poll() {
+                Ok(()) => SatResult::Sat(model),
+                Err(_) => SatResult::Unknown,
+            };
+        }
+        let result = check(pool, &[self.prefix, extra]);
+        if let SatResult::Sat(model) = &result {
+            if self.models.len() == SCOPE_MODEL_LIMIT {
+                self.models.remove(0);
+            }
+            self.models.push(model.clone());
+        }
+        result
+    }
+
+    /// `true` when the prefix alone was proven unsatisfiable.
+    pub fn prefix_unsat(&self) -> bool {
+        self.prefix_unsat
+    }
 }
 
 struct Search<'a> {

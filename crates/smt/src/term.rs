@@ -7,6 +7,7 @@
 //! and cube extraction simple.
 
 use crate::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel, VarId};
+use crate::qcache::QueryCache;
 use crate::resource::ResourceGovernor;
 use std::collections::HashMap;
 use std::fmt;
@@ -71,6 +72,11 @@ pub struct TermPool {
     /// The resource governor charged by every solver query routed through
     /// this pool (defaults to [`ResourceGovernor::unlimited`]).
     governor: ResourceGovernor,
+    /// Optional query-result memoization consulted by the solver. Cloning
+    /// the pool shares the cache (it is `Arc`-backed), which is how the
+    /// parallel portfolio's workers and the supervisor's retry attempts
+    /// reuse each other's verdicts.
+    qcache: Option<QueryCache>,
 }
 
 impl TermPool {
@@ -81,6 +87,7 @@ impl TermPool {
         let f = pool.intern_term(Term::False);
         debug_assert_eq!(t, TermPool::TRUE);
         debug_assert_eq!(f, TermPool::FALSE);
+        pool.qcache = Some(QueryCache::new());
         pool
     }
 
@@ -125,6 +132,27 @@ impl TermPool {
     /// The governor charged by queries through this pool.
     pub fn governor(&self) -> &ResourceGovernor {
         &self.governor
+    }
+
+    // ---- query memoization -----------------------------------------------
+
+    /// The query cache consulted by solver calls through this pool, if
+    /// enabled. [`TermPool::new`] enables a fresh cache; disable with
+    /// [`TermPool::take_query_cache`].
+    pub fn query_cache(&self) -> Option<&QueryCache> {
+        self.qcache.as_ref()
+    }
+
+    /// Installs `cache` (shared storage: the handle is `Arc`-backed).
+    pub fn set_query_cache(&mut self, cache: QueryCache) {
+        self.qcache = Some(cache);
+    }
+
+    /// Removes and returns this pool's cache handle, disabling
+    /// memoization for subsequent queries. Other clones of the handle
+    /// keep working.
+    pub fn take_query_cache(&mut self) -> Option<QueryCache> {
+        self.qcache.take()
     }
 
     // ---- variables -------------------------------------------------------

@@ -28,7 +28,7 @@ use std::fmt::Write as _;
 /// Structurally mirrors [`Term`], but atoms carry variable *names* instead of
 /// pool-relative [`crate::VarId`]s, and connectives own their children
 /// instead of referencing interned ids.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExportedTerm {
     /// The constant `true`.
     True,

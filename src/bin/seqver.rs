@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! seqver verify <file.cpl> [--order seq|lockstep|rand:<seed>|prio:<p0,p1,...>] [--config NAME]
-//!                          [--no-proof-sensitivity] [--max-rounds N] [--portfolio]
+//!                          [--no-proof-sensitivity] [--no-qcache] [--max-rounds N] [--portfolio]
 //!                          [--parallel] [--deterministic]
 //!                          [--timeout DUR] [--steps CAT=N] [--faults SPEC]
 //! seqver info   <file.cpl>
@@ -44,7 +44,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   seqver verify <file.cpl> [--order seq|lockstep|rand:<seed>] [--config gemcutter|automizer|sleep|persistent]
-                           [--no-proof-sensitivity] [--max-rounds N] [--portfolio]
+                           [--no-proof-sensitivity] [--no-qcache] [--max-rounds N] [--portfolio]
                            [--parallel] [--deterministic]
                            [--timeout DUR] [--steps CAT=N] [--faults SPEC]
                            [--retries N] [--escalate Fx]
@@ -52,6 +52,8 @@ const USAGE: &str = "usage:
   seqver info   <file.cpl>
   seqver reduce <file.cpl> [--order seq|lockstep|rand:<seed>] [--dot]
 
+  --no-qcache      disable solver-level query memoization (escape hatch and
+                   measurement baseline; verdicts are identical either way)
   --portfolio      race the five §8 preference orders sequentially
   --parallel       multi-threaded shared-proof portfolio (one engine per
                    preference order; assertions are exchanged between them)
@@ -123,6 +125,7 @@ struct Flags {
     order: Option<OrderSpec>,
     config: String,
     proof_sensitive: bool,
+    qcache: bool,
     max_rounds: Option<usize>,
     portfolio: bool,
     parallel: bool,
@@ -179,6 +182,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         order: None,
         config: "gemcutter".to_owned(),
         proof_sensitive: true,
+        qcache: true,
         max_rounds: None,
         portfolio: false,
         parallel: false,
@@ -201,6 +205,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.config = it.next().ok_or("--config needs a value")?.clone();
             }
             "--no-proof-sensitivity" => flags.proof_sensitive = false,
+            "--no-qcache" => flags.qcache = false,
             "--max-rounds" => {
                 let v = it.next().ok_or("--max-rounds needs a value")?;
                 flags.max_rounds = Some(v.parse().map_err(|_| "invalid --max-rounds")?);
@@ -264,6 +269,9 @@ fn build_config(flags: &Flags) -> Result<VerifierConfig, String> {
     if !flags.proof_sensitive {
         config = config.without_proof_sensitivity();
     }
+    if !flags.qcache {
+        config = config.without_qcache();
+    }
     if let Some(r) = flags.max_rounds {
         config.max_rounds = r;
     }
@@ -276,6 +284,7 @@ fn governed_portfolio(flags: &Flags) -> Vec<VerifierConfig> {
     let mut members = default_portfolio();
     for member in &mut members {
         member.govern = flags.govern.clone();
+        member.use_qcache = flags.qcache;
     }
     members
 }
@@ -452,8 +461,15 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         }
     };
     println!(
-        "rounds={} proof_size={} visited={} hoare_checks={} time={:?}",
-        stats.rounds, stats.proof_size, stats.visited_states, stats.hoare_checks, stats.time
+        "rounds={} proof_size={} visited={} hoare_checks={} qcache_hits={} qcache_misses={} qcache_hit_rate={:.2} time={:?}",
+        stats.rounds,
+        stats.proof_size,
+        stats.visited_states,
+        stats.hoare_checks,
+        stats.qcache_hits,
+        stats.qcache_misses,
+        stats.qcache_hit_rate(),
+        stats.time
     );
     if let Some(sup) = &supervision {
         println!(

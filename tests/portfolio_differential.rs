@@ -180,4 +180,44 @@ proptest! {
             }
         }
     }
+
+    /// The query cache is a pure memoization layer: with it on or off,
+    /// every configuration must produce the identical verdict (including
+    /// the counterexample trace), the same number of refinement rounds
+    /// and the same final proof size.
+    #[test]
+    fn qcache_on_off_runs_are_identical(
+        desc in program_desc(),
+        bound in 0i128..4,
+        seed in 0u64..100,
+    ) {
+        for config in configs(seed) {
+            let mut cached_pool = TermPool::new();
+            let cached_program = build_program(&mut cached_pool, &desc, bound);
+            let cached = verify(&mut cached_pool, &cached_program, &config);
+
+            let mut cold_pool = TermPool::new();
+            let cold_program = build_program(&mut cold_pool, &desc, bound);
+            let cold_config = config.clone().without_qcache();
+            let cold = verify(&mut cold_pool, &cold_program, &cold_config);
+
+            prop_assert_eq!(
+                &cached.verdict, &cold.verdict,
+                "{}: verdict differs with cache on/off", config.name
+            );
+            prop_assert_eq!(
+                cached.stats.rounds, cold.stats.rounds,
+                "{}: round count differs with cache on/off", config.name
+            );
+            prop_assert_eq!(
+                cached.stats.proof_size, cold.stats.proof_size,
+                "{}: proof size differs with cache on/off", config.name
+            );
+            prop_assert_eq!(
+                (cold.stats.qcache_hits, cold.stats.qcache_misses),
+                (0, 0),
+                "{}: cache-off run must not touch the cache", config.name
+            );
+        }
+    }
 }
