@@ -16,6 +16,7 @@ use gemcutter::govern::Category;
 use gemcutter::portfolio::ParallelConfig;
 use gemcutter::supervise::RetryPolicy;
 use gemcutter::verify::{Verdict, VerifierConfig};
+use smt::SolverKind;
 
 /// DFS-state budget for the supervised column's *first* attempt. Tight
 /// enough that the harder corpus programs give up initially, so the
@@ -204,6 +205,33 @@ fn assert_cache_identity(cached: &[Run], cold: &[Run]) {
     }
 }
 
+/// Asserts the solver ablation pair is observationally identical per
+/// benchmark: the boolean search engine decides the same decision
+/// problems, so swapping CDCL for the legacy DPLL may change time, never
+/// the verdict, the counterexample handling, or the refinement
+/// trajectory (round count and final proof size).
+fn assert_solver_identity(cdcl: &[Run], dpll: &[Run]) {
+    assert_eq!(cdcl.len(), dpll.len());
+    for (new, old) in cdcl.iter().zip(dpll) {
+        assert_eq!(new.name, old.name);
+        assert_eq!(
+            new.outcome.verdict, old.outcome.verdict,
+            "SOLVER SOUNDNESS BUG on {}: verdict differs between cdcl and dpll",
+            new.name
+        );
+        assert_eq!(
+            new.outcome.stats.rounds, old.outcome.stats.rounds,
+            "SOLVER DRIFT on {}: round count differs between cdcl and dpll",
+            new.name
+        );
+        assert_eq!(
+            new.outcome.stats.proof_size, old.outcome.stats.proof_size,
+            "SOLVER DRIFT on {}: proof size differs between cdcl and dpll",
+            new.name
+        );
+    }
+}
+
 fn main() {
     let corpus = bench::corpus();
     println!("Table 2: proof size and proof-check efficiency per configuration\n");
@@ -222,6 +250,13 @@ fn main() {
     let nocache_runs = run_config(&corpus, &nocache);
     assert_cache_identity(&seq_runs, &nocache_runs);
 
+    // Solver ablation pair: the same sequential configuration with the
+    // legacy DPLL engine. `seq` above runs the default (CDCL).
+    let mut dpll = VerifierConfig::gemcutter_seq().with_solver(SolverKind::Dpll);
+    dpll.name = "seq-dpll".to_owned();
+    let dpll_runs = run_config(&corpus, &dpll);
+    assert_solver_identity(&seq_runs, &dpll_runs);
+
     let cols = vec![
         Column {
             name: "automizer",
@@ -234,6 +269,10 @@ fn main() {
         Column {
             name: "seq-nocache",
             runs: nocache_runs,
+        },
+        Column {
+            name: "seq-dpll",
+            runs: dpll_runs,
         },
         Column {
             name: "portfolio",
@@ -394,4 +433,34 @@ fn main() {
     );
     std::fs::write("BENCH_qcache.json", json).expect("write BENCH_qcache.json");
     println!("wrote BENCH_qcache.json");
+
+    // Solver-engine perf trajectory: CDCL (the `seq` default) vs the
+    // legacy DPLL on identical logical work (asserted above), reported as
+    // a time-per-round speedup and persisted to BENCH_cdcl.json.
+    let dpll_runs = &cols[col_idx("seq-dpll")].runs;
+    let cdcl_side = CacheSide::of(seq);
+    let dpll_side = CacheSide::of(dpll_runs);
+    let (cdcl_w, dpll_w) = (weaver(seq), weaver(dpll_runs));
+    let solver_speedup = dpll_side.time_per_round() / cdcl_side.time_per_round();
+    let solver_speedup_w = dpll_w.time_per_round() / cdcl_w.time_per_round();
+    println!();
+    println!(
+        "Solver ablation: time/round {} (cdcl) vs {} (dpll) — {solver_speedup:.2}x, \
+         Weaver-only {solver_speedup_w:.2}x",
+        bench::fmt_time(cdcl_side.time_per_round()),
+        bench::fmt_time(dpll_side.time_per_round()),
+    );
+    let json = format!(
+        "{{\n  \"corpus\": \"{}\",\n  \"benchmarks\": {},\n  \"identity\": true,\n  \
+         \"speedup_time_per_round\": {solver_speedup:.4},\n  \
+         \"speedup_time_per_round_weaver\": {solver_speedup_w:.4},\n  \"configs\": [\n{},\n{},\n{},\n{}\n  ]\n}}\n",
+        if std::env::var("SEQVER_QUICK").is_ok() { "quick" } else { "full" },
+        seq.len(),
+        cdcl_side.json("gemcutter-seq"),
+        dpll_side.json("seq-dpll"),
+        cdcl_w.json("gemcutter-seq/weaver"),
+        dpll_w.json("seq-dpll/weaver"),
+    );
+    std::fs::write("BENCH_cdcl.json", json).expect("write BENCH_cdcl.json");
+    println!("wrote BENCH_cdcl.json");
 }

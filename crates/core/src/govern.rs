@@ -39,8 +39,10 @@ pub struct GovernorConfig {
     pub deadline: Option<Duration>,
     /// Total simplex pivots across the run.
     pub simplex_pivot_budget: Option<u64>,
-    /// Total DPLL branch decisions across the run.
+    /// Total DPLL/CDCL branch decisions across the run.
     pub dpll_decision_budget: Option<u64>,
+    /// Total CDCL conflict analyses across the run.
+    pub cdcl_conflict_budget: Option<u64>,
     /// Total branch-and-bound nodes across the run.
     pub branch_node_budget: Option<u64>,
     /// Total proof-check DFS states across the run.
@@ -64,6 +66,7 @@ impl GovernorConfig {
         self.deadline.is_none()
             && self.simplex_pivot_budget.is_none()
             && self.dpll_decision_budget.is_none()
+            && self.cdcl_conflict_budget.is_none()
             && self.branch_node_budget.is_none()
             && self.dfs_state_budget.is_none()
             && self.fault_plan.is_empty()
@@ -106,6 +109,7 @@ impl GovernorConfig {
             deadline: self.deadline.map(stretch_time),
             simplex_pivot_budget: self.simplex_pivot_budget.map(stretch_steps),
             dpll_decision_budget: self.dpll_decision_budget.map(stretch_steps),
+            cdcl_conflict_budget: self.cdcl_conflict_budget.map(stretch_steps),
             branch_node_budget: self.branch_node_budget.map(stretch_steps),
             dfs_state_budget: self.dfs_state_budget.map(stretch_steps),
             fault_plan: if attempt == 0 {
@@ -126,6 +130,7 @@ impl GovernorConfig {
         for (category, budget) in [
             (Category::SimplexPivots, self.simplex_pivot_budget),
             (Category::DpllDecisions, self.dpll_decision_budget),
+            (Category::CdclConflicts, self.cdcl_conflict_budget),
             (Category::BranchNodes, self.branch_node_budget),
             (Category::DfsStates, self.dfs_state_budget),
         ] {

@@ -179,6 +179,10 @@ impl ProofAutomaton {
             // All entailment checks of this battery share the prefix
             // `init`; the scope front-loads its satisfiability check and
             // replays models, so most assertions cost an evaluation.
+            // Under the CDCL engine the scope also keeps one warm solver:
+            // the prefix is encoded once and each query push/pops an
+            // assertion level, reusing the simplex basis and any theory
+            // lemmas learned by earlier checks in the battery.
             let mut scope = AssertionScope::new(pool, &[init]);
             while from < self.assertions.len() {
                 let a = self.assertions[from];

@@ -19,6 +19,7 @@ use program::concurrent::{LetterId, Program, Spec};
 use reduction::order::{LockstepOrder, PreferenceOrder, PriorityOrder, RandomOrder, SeqOrder};
 use reduction::persistent::PersistentSets;
 use smt::term::TermPool;
+use smt::SolverKind;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -89,6 +90,11 @@ pub struct VerifierConfig {
     /// the pool's cache is removed for the duration of the run and every
     /// query (and Hoare scope) solves cold — the measurement baseline.
     pub use_qcache: bool,
+    /// Which boolean search engine answers SMT queries
+    /// ([`SolverKind::Cdcl`] by default; [`SolverKind::Dpll`] is the
+    /// legacy ablation baseline). Installed on the pool for the
+    /// duration of the run, like the governor and the query cache.
+    pub solver: SolverKind,
 }
 
 impl VerifierConfig {
@@ -106,6 +112,7 @@ impl VerifierConfig {
             max_visited_per_round: 400_000,
             govern: GovernorConfig::default(),
             use_qcache: true,
+            solver: SolverKind::default(),
         }
     }
 
@@ -179,6 +186,12 @@ impl VerifierConfig {
     /// escape hatch and the perf baseline).
     pub fn without_qcache(mut self) -> VerifierConfig {
         self.use_qcache = false;
+        self
+    }
+
+    /// Selects the SMT boolean search engine (`--solver=dpll|cdcl`).
+    pub fn with_solver(mut self, solver: SolverKind) -> VerifierConfig {
+        self.solver = solver;
         self
     }
 }
@@ -316,6 +329,8 @@ pub fn verify_governed(
     let start = Instant::now();
     let previous = pool.governor().clone();
     pool.set_governor(governor.clone());
+    let saved_solver = pool.solver_kind();
+    pool.set_solver_kind(config.solver);
     // Honor `use_qcache`: a disabled run removes the pool's cache handle
     // for its duration (restored below; the cache is Arc-shared, so other
     // holders are unaffected). Counters are attributed to this run by
@@ -355,6 +370,7 @@ pub fn verify_governed(
         }
     }
     pool.set_governor(previous);
+    pool.set_solver_kind(saved_solver);
     if let (Some(cache), Some(before)) = (pool.query_cache(), cache_before) {
         let delta = cache.stats().since(&before);
         stats.qcache_hits = delta.hits;

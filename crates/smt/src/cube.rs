@@ -11,7 +11,8 @@
 //! to a precise mode.
 
 use crate::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel, VarId};
-use crate::simplex::{check_rational, SimplexResult};
+use crate::resource::ResourceGovernor;
+use crate::simplex::{check_rational, IncrementalSimplex, SimplexResult, TheoryResult};
 use crate::term::{Term, TermId, TermPool};
 
 /// A conjunction of linear constraints. The empty cube is `true`.
@@ -344,8 +345,36 @@ impl Dnf {
     }
 
     /// Removes rationally inconsistent cubes (exact).
+    ///
+    /// A single incremental simplex is shared across all cubes: each cube
+    /// is asserted inside a mark/undo bracket, so slack rows for atoms
+    /// that recur across cubes (the common case after a cross-product
+    /// `and`) are created once and only their bounds churn. Overflow
+    /// (`Unknown`) keeps the cube — pruning is only ever an optimization.
     pub fn prune_inconsistent(&mut self) {
-        self.cubes.retain(Cube::is_rationally_consistent);
+        let gov = ResourceGovernor::unlimited();
+        let mut simplex = IncrementalSimplex::new();
+        self.cubes.retain(|cube| {
+            let mark = simplex.mark();
+            let mut verdict = None;
+            for (i, c) in cube.constraints().iter().enumerate() {
+                match simplex.assert_constraint(c, i as u32) {
+                    TheoryResult::Conflict(_) => {
+                        verdict = Some(false);
+                        break;
+                    }
+                    TheoryResult::Unknown => {
+                        verdict = Some(true);
+                        break;
+                    }
+                    TheoryResult::Ok => {}
+                }
+            }
+            let keep = verdict
+                .unwrap_or_else(|| !matches!(simplex.check(&gov), TheoryResult::Conflict(_)));
+            simplex.undo_to(mark);
+            keep
+        });
     }
 
     /// Drops cubes syntactically implied by another cube (exact).

@@ -3,6 +3,9 @@
 //! A conjunction of [`LinearConstraint`]s is first checked over ℚ. If the
 //! rational model is integral we are done; otherwise we branch on a
 //! fractional variable (`x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`) up to a node budget.
+//! Branch bounds are kept per variable and intersected, not stacked as
+//! extra constraints, so node size (and thus node cost) stays flat even
+//! on deep dives along unbounded directions.
 //! Rational infeasibility soundly implies integer infeasibility; budget
 //! exhaustion yields [`LiaResult::Unknown`], which callers must treat
 //! conservatively.
@@ -82,11 +85,69 @@ pub fn check_integer_governed(
     mut budget: usize,
     governor: &ResourceGovernor,
 ) -> LiaResult {
-    branch_and_bound(constraints.to_vec(), &mut budget, governor)
+    branch_and_bound(constraints, &BranchBounds::new(), &mut budget, governor)
+}
+
+/// Per-variable integer bounds accumulated by branching. Kept separate
+/// from the base constraints and *intersected* on each branch (rather
+/// than appending one constraint per branch) so that a deep dive — e.g.
+/// along an unbounded ray with no integer point — keeps every node the
+/// same size. With stacked constraints the tableau grows by one row per
+/// level and the node budget stops bounding wall-clock time.
+///
+/// Ordered map so constraint materialization (and hence simplex pivoting
+/// and the models it returns) is deterministic.
+type BranchBoundsMap = std::collections::BTreeMap<VarId, (Option<i128>, Option<i128>)>;
+
+#[derive(Clone)]
+struct BranchBounds(BranchBoundsMap);
+
+impl BranchBounds {
+    fn new() -> BranchBounds {
+        BranchBounds(BranchBoundsMap::new())
+    }
+
+    /// Intersects `var ≤ k` (Upper) or `var ≥ k` (Lower) into the map.
+    /// Returns `false` when the result is an empty interval, i.e. the
+    /// branch is infeasible outright.
+    fn tighten(&mut self, var: VarId, k: i128, kind: BoundKind) -> bool {
+        let (lo, hi) = self.0.entry(var).or_insert((None, None));
+        match kind {
+            BoundKind::Upper => *hi = Some(hi.map_or(k, |h| h.min(k))),
+            BoundKind::Lower => *lo = Some(lo.map_or(k, |l| l.max(k))),
+        }
+        match (*lo, *hi) {
+            (Some(l), Some(h)) => l <= h,
+            _ => true,
+        }
+    }
+
+    /// Materializes the bounds as constraints appended to `base`.
+    fn constraints(&self, base: &[LinearConstraint]) -> Vec<LinearConstraint> {
+        let mut cs = base.to_vec();
+        for (&v, &(lo, hi)) in &self.0 {
+            if let Some(l) = lo {
+                if let NormalizedConstraint::Constraint(c) =
+                    bound_constraint(v, l, BoundKind::Lower)
+                {
+                    cs.push(c);
+                }
+            }
+            if let Some(h) = hi {
+                if let NormalizedConstraint::Constraint(c) =
+                    bound_constraint(v, h, BoundKind::Upper)
+                {
+                    cs.push(c);
+                }
+            }
+        }
+        cs
+    }
 }
 
 fn branch_and_bound(
-    constraints: Vec<LinearConstraint>,
+    base: &[LinearConstraint],
+    bounds: &BranchBounds,
     budget: &mut usize,
     governor: &ResourceGovernor,
 ) -> LiaResult {
@@ -94,7 +155,7 @@ fn branch_and_bound(
         return LiaResult::Unknown;
     }
     *budget -= 1;
-    match check_rational_governed(&constraints, governor) {
+    match check_rational_governed(&bounds.constraints(base), governor) {
         SimplexResult::Unsat => LiaResult::Unsat,
         SimplexResult::Unknown => LiaResult::Unknown,
         SimplexResult::Sat(model) => {
@@ -112,27 +173,17 @@ fn branch_and_bound(
                 ),
                 Some((&var, &val)) => {
                     // Branch x ≤ ⌊v⌋, then x ≥ ⌈v⌉.
-                    let floor = val.floor();
-                    let ceil = val.ceil();
-                    let left = bound_constraint(var, floor, BoundKind::Upper);
-                    let right = bound_constraint(var, ceil, BoundKind::Lower);
-
                     let mut saw_unknown = false;
-                    for extra in [left, right] {
-                        let mut cs = constraints.clone();
-                        match extra {
-                            NormalizedConstraint::True => {
-                                // Bound is trivially true — cannot happen for
-                                // a genuinely fractional value, but keep the
-                                // branch sound by re-solving unchanged would
-                                // loop; treat as unknown instead.
-                                saw_unknown = true;
-                                continue;
-                            }
-                            NormalizedConstraint::False => continue,
-                            NormalizedConstraint::Constraint(c) => cs.push(c),
+                    for (k, kind) in [
+                        (val.floor(), BoundKind::Upper),
+                        (val.ceil(), BoundKind::Lower),
+                    ] {
+                        let mut tightened = bounds.clone();
+                        if !tightened.tighten(var, k, kind) {
+                            // Empty interval: the branch is infeasible.
+                            continue;
                         }
-                        match branch_and_bound(cs, budget, governor) {
+                        match branch_and_bound(base, &tightened, budget, governor) {
                             LiaResult::Sat(m) => return LiaResult::Sat(m),
                             LiaResult::Unsat => {}
                             LiaResult::Unknown => saw_unknown = true,
@@ -298,6 +349,49 @@ mod tests {
     #[test]
     fn empty_is_sat() {
         assert!(check_integer(&[]).is_sat());
+    }
+
+    #[test]
+    fn unbounded_ray_dive_stays_cheap() {
+        // ℚ-feasible but ℤ-infeasible along an unbounded ray: branching
+        // walks the ray one unit per level and never converges, so the
+        // node budget is the only exit. With stacked branch constraints
+        // each node grew the tableau by a row and the 2000-node default
+        // took hours; with intersected per-variable bounds it's instant.
+        // Regression for a hang found by the differential fuzz battery.
+        let z = VarId(2);
+        let cs = [
+            ge(
+                LinExpr::var(x())
+                    .sub(&LinExpr::var(y()))
+                    .add(&LinExpr::var(z).scale(2)),
+                6,
+            ),
+            eq(
+                LinExpr::var(x())
+                    .scale(-3)
+                    .add(&LinExpr::var(y()))
+                    .sub(&LinExpr::var(z).scale(2)),
+                -4,
+            ),
+            eq(
+                LinExpr::var(x())
+                    .scale(2)
+                    .sub(&LinExpr::var(y()).scale(3))
+                    .sub(&LinExpr::var(z)),
+                -6,
+            ),
+            le(LinExpr::var(x()).scale(2).add(&LinExpr::var(y())), 5),
+        ];
+        let start = std::time::Instant::now();
+        assert_eq!(
+            check_integer_with_budget(&cs, DEFAULT_BB_BUDGET),
+            LiaResult::Unknown
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "budgeted branch-and-bound must exit promptly"
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`term`] — hash-consed, negation-free formulas over those atoms;
 //! * [`simplex`] — rational feasibility (Dutertre–de Moura general simplex);
 //! * [`lia`] — integer feasibility via branch-and-bound;
-//! * [`solver`] — DPLL(T) over the monotone formula structure;
+//! * [`solver`] — boolean search over the monotone formula structure
+//!   (CDCL(T) by default, the legacy DPLL for ablation);
+//! * [`cdcl`] — the CDCL(T) engine: watched literals, 1UIP learning,
+//!   backjumping, theory propagation over an incremental simplex;
 //! * [`qcache`] — canonicalizing, cross-pool query-result memoization
 //!   consulted by [`solver::check`] (definitive verdicts only);
 //! * [`unsat_core`] — deletion-based cores (drives trace slicing);
@@ -44,6 +47,7 @@
 //! assert!(check(&mut pool, &[ge2]).is_sat());
 //! ```
 
+pub mod cdcl;
 pub mod cube;
 pub mod interpolate;
 pub mod lia;
@@ -57,9 +61,13 @@ pub mod term;
 pub mod transfer;
 pub mod unsat_core;
 
+pub use cdcl::{CdclOutcome, CdclSolver};
 pub use linear::{LinExpr, LinearConstraint, Rel, VarId};
 pub use qcache::{CacheStats, QueryCache};
 pub use resource::{Category, FaultKind, FaultPlan, GiveUp, GovernorBuilder, ResourceGovernor};
-pub use solver::{check, entails, equivalent, is_valid, AssertionScope, Model, SatResult};
+pub use simplex::{IncrementalSimplex, SimplexMark, TheoryResult};
+pub use solver::{
+    check, entails, equivalent, is_valid, AssertionScope, Model, SatResult, SolverKind,
+};
 pub use term::{Term, TermId, TermPool};
 pub use transfer::ExportedTerm;

@@ -24,6 +24,15 @@
 //! * sat/unsat of a canonical term is pool-independent, so cross-pool
 //!   sharing never changes a verdict, only who computes it first.
 //!
+//! The same rules make the cache **cross-engine**: the CDCL and legacy
+//! DPLL engines (see [`crate::solver::SolverKind`]) answer the same
+//! decision problem, so a verdict computed by either is a valid hit for
+//! the other — the key deliberately does not encode which engine solved
+//! it. The incremental [`crate::solver::AssertionScope`] engine consults
+//! the cache before each scoped solve and publishes its definitive
+//! verdicts back, so warm-start state and memoization compose rather
+//! than compete.
+//!
 //! The cache is an [`Arc`]-shared, sharded hash map with a bounded
 //! per-shard capacity (FIFO eviction) and atomic hit/miss/insert/evict
 //! counters. Cloning a [`QueryCache`] — or a [`crate::TermPool`] holding

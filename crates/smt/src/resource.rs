@@ -29,8 +29,14 @@ use std::time::{Duration, Instant};
 pub enum Category {
     /// Simplex pivot steps ([`crate::simplex`]).
     SimplexPivots,
-    /// DPLL branch decisions ([`crate::solver`]).
+    /// Boolean search decisions ([`crate::solver`]); charged by both the
+    /// legacy DPLL recursion (per branch node) and the CDCL engine (per
+    /// decision), so step budgets and fault plans keyed on this category
+    /// stay meaningful across `--solver` modes.
     DpllDecisions,
+    /// CDCL conflict analyses ([`crate::cdcl`]): one charge per learned
+    /// clause. Only the CDCL engine charges this category.
+    CdclConflicts,
     /// Branch-and-bound nodes ([`crate::lia`]).
     BranchNodes,
     /// Proof-check DFS states (the verifier's Algorithm 2 loop).
@@ -51,13 +57,14 @@ pub enum Category {
 }
 
 /// Number of categories (array sizing).
-const NCAT: usize = 10;
+const NCAT: usize = 11;
 
 impl Category {
     /// All categories, in declaration order.
     pub const ALL: [Category; NCAT] = [
         Category::SimplexPivots,
         Category::DpllDecisions,
+        Category::CdclConflicts,
         Category::BranchNodes,
         Category::DfsStates,
         Category::Rounds,
@@ -73,14 +80,15 @@ impl Category {
         match self {
             Category::SimplexPivots => 0,
             Category::DpllDecisions => 1,
-            Category::BranchNodes => 2,
-            Category::DfsStates => 3,
-            Category::Rounds => 4,
-            Category::Deadline => 5,
-            Category::Cancelled => 6,
-            Category::UnknownTheory => 7,
-            Category::NonProgress => 8,
-            Category::InjectedFault => 9,
+            Category::CdclConflicts => 2,
+            Category::BranchNodes => 3,
+            Category::DfsStates => 4,
+            Category::Rounds => 5,
+            Category::Deadline => 6,
+            Category::Cancelled => 7,
+            Category::UnknownTheory => 8,
+            Category::NonProgress => 9,
+            Category::InjectedFault => 10,
         }
     }
 
@@ -89,6 +97,7 @@ impl Category {
         match self {
             Category::SimplexPivots => "simplex-pivots",
             Category::DpllDecisions => "dpll-decisions",
+            Category::CdclConflicts => "cdcl-conflicts",
             Category::BranchNodes => "branch-nodes",
             Category::DfsStates => "dfs-states",
             Category::Rounds => "rounds",

@@ -8,6 +8,7 @@
 //! to `true` satisfies the whole formula. This makes the solver short and
 //! obviously sound.
 
+use crate::cdcl::{self, CdclOutcome, CdclSolver};
 use crate::lia::{check_integer_governed, LiaResult};
 use crate::linear::{LinearConstraint, VarId};
 use crate::qcache::{self, CachedVerdict, QueryCache};
@@ -16,6 +17,7 @@ use crate::simplex::{check_rational_governed, SimplexResult};
 use crate::term::{Term, TermId, TermPool};
 use crate::transfer::ExportedTerm;
 use std::collections::HashMap;
+use std::fmt;
 
 /// A satisfying integer assignment. Variables not mentioned by any
 /// constraint default to `0`.
@@ -64,13 +66,54 @@ impl SatResult {
     }
 }
 
+/// Which boolean search engine answers queries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// The legacy recursive DPLL with substitution-based branching
+    /// (kept for ablation behind `--solver=dpll`).
+    Dpll,
+    /// The CDCL(T) engine ([`crate::cdcl`]): watched literals, 1UIP
+    /// learning, backjumping, and an incremental simplex.
+    #[default]
+    Cdcl,
+}
+
+impl SolverKind {
+    /// Stable name (`"dpll"` / `"cdcl"`), the inverse of
+    /// [`SolverKind::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Dpll => "dpll",
+            SolverKind::Cdcl => "cdcl",
+        }
+    }
+
+    /// Parses a `--solver=` value.
+    pub fn parse(s: &str) -> Option<SolverKind> {
+        match s {
+            "dpll" => Some(SolverKind::Dpll),
+            "cdcl" => Some(SolverKind::Cdcl),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Tunable solver limits and counters.
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
     /// Branch-and-bound node budget per theory check.
     pub bb_budget: usize,
-    /// Maximum DPLL branch nodes before giving up.
+    /// Maximum boolean search steps (DPLL branch nodes / CDCL decisions)
+    /// before giving up.
     pub dpll_budget: usize,
+    /// The boolean search engine.
+    pub solver: SolverKind,
 }
 
 impl Default for SolverConfig {
@@ -78,6 +121,7 @@ impl Default for SolverConfig {
         SolverConfig {
             bb_budget: 2_000,
             dpll_budget: 100_000,
+            solver: SolverKind::default(),
         }
     }
 }
@@ -98,7 +142,11 @@ impl Default for SolverConfig {
 /// assert!(check(&mut pool, &[a, b]).is_unsat());
 /// ```
 pub fn check(pool: &mut TermPool, assertions: &[TermId]) -> SatResult {
-    check_with_config(pool, assertions, &SolverConfig::default())
+    let config = SolverConfig {
+        solver: pool.solver_kind(),
+        ..SolverConfig::default()
+    };
+    check_with_config(pool, assertions, &config)
 }
 
 /// As [`check`], with explicit limits.
@@ -124,16 +172,28 @@ pub fn check_with_config(
         _ => None,
     };
     let governor = pool.governor().clone();
-    let (outcome, saw_unknown) = {
-        let mut search = Search {
-            pool: &mut *pool,
-            config,
-            budget: config.dpll_budget,
-            saw_unknown: false,
-            governor,
-        };
-        let mut fixed = Vec::new();
-        (search.dpll(formula, &mut fixed), search.saw_unknown)
+    let (outcome, saw_unknown) = match config.solver {
+        SolverKind::Cdcl => {
+            let (values, saw_unknown) = cdcl::solve_formula(
+                pool,
+                formula,
+                config.bb_budget,
+                config.dpll_budget,
+                &governor,
+            );
+            (values.map(Model::from_values), saw_unknown)
+        }
+        SolverKind::Dpll => {
+            let mut search = Search {
+                pool: &mut *pool,
+                config,
+                budget: config.dpll_budget,
+                saw_unknown: false,
+                governor,
+            };
+            let mut fixed = Vec::new();
+            (search.dpll(formula, &mut fixed), search.saw_unknown)
+        }
     };
     match outcome {
         Some(model) => {
@@ -261,6 +321,75 @@ pub struct AssertionScope {
     prefix_unsat: bool,
     /// Recent models satisfying the prefix, newest last.
     models: Vec<Model>,
+    /// Persistent CDCL engine warm across the whole battery (only when
+    /// the pool's solver kind is [`SolverKind::Cdcl`] and shortcuts are
+    /// on): the prefix is asserted once, each extra rides in a pushed
+    /// scope, and theory lemmas plus the simplex basis carry over from
+    /// query to query.
+    engine: Option<ScopeEngine>,
+}
+
+/// The warm CDCL(T) battery behind an incremental [`AssertionScope`].
+#[derive(Debug, Default)]
+struct ScopeEngine {
+    solver: CdclSolver,
+    prefix_added: bool,
+}
+
+impl ScopeEngine {
+    /// Checks `prefix ∧ extra` on the persistent solver, with the same
+    /// query-cache protocol as a plain [`check`] (constants bypass the
+    /// cache, hits poll the governor, `Unknown` is never inserted).
+    fn check(
+        &mut self,
+        pool: &mut TermPool,
+        prefix: TermId,
+        extra: TermId,
+        config: &SolverConfig,
+    ) -> SatResult {
+        let formula = pool.and([prefix, extra]);
+        if formula == TermPool::TRUE || formula == TermPool::FALSE {
+            return check(pool, &[formula]);
+        }
+        let cached = match pool.query_cache() {
+            Some(cache) => {
+                let cache = cache.clone();
+                let key = canonical_key(pool, formula);
+                match consult(pool, formula, &cache, &key) {
+                    Some(result) => return result,
+                    None => Some((cache, key)),
+                }
+            }
+            None => None,
+        };
+        let governor = pool.governor().clone();
+        if !self.prefix_added {
+            self.solver.add_assertion(pool, prefix, 0);
+            self.prefix_added = true;
+        }
+        self.solver.push_scope();
+        self.solver.add_assertion(pool, extra, 1);
+        let out = self
+            .solver
+            .solve(&governor, config.bb_budget, config.dpll_budget);
+        self.solver.pop_scope();
+        match out {
+            CdclOutcome::Sat(values) => {
+                let model = Model::from_values(values);
+                if let Some((cache, key)) = cached {
+                    cache.insert(key, CachedVerdict::Sat(export_model(pool, &model)));
+                }
+                SatResult::Sat(model)
+            }
+            CdclOutcome::Unsat { .. } => {
+                if let Some((cache, key)) = cached {
+                    cache.insert(key, CachedVerdict::Unsat);
+                }
+                SatResult::Unsat
+            }
+            CdclOutcome::Unknown => SatResult::Unknown,
+        }
+    }
 }
 
 impl AssertionScope {
@@ -271,11 +400,14 @@ impl AssertionScope {
     pub fn new(pool: &mut TermPool, prefix: &[TermId]) -> AssertionScope {
         let prefix = pool.and(prefix.iter().copied());
         let incremental = pool.query_cache().is_some();
+        let engine =
+            (incremental && pool.solver_kind() == SolverKind::Cdcl).then(ScopeEngine::default);
         let mut scope = AssertionScope {
             prefix,
             incremental,
             prefix_unsat: false,
             models: Vec::new(),
+            engine,
         };
         if scope.incremental {
             if prefix == TermPool::FALSE {
@@ -314,7 +446,16 @@ impl AssertionScope {
                 Err(_) => SatResult::Unknown,
             };
         }
-        let result = check(pool, &[self.prefix, extra]);
+        let result = match &mut self.engine {
+            Some(engine) => {
+                let config = SolverConfig {
+                    solver: SolverKind::Cdcl,
+                    ..SolverConfig::default()
+                };
+                engine.check(pool, self.prefix, extra, &config)
+            }
+            None => check(pool, &[self.prefix, extra]),
+        };
         if let SatResult::Sat(model) = &result {
             if self.models.len() == SCOPE_MODEL_LIMIT {
                 self.models.remove(0);
@@ -631,10 +772,46 @@ mod tests {
         let x = p.var("x");
         let a = p.ge_const(x, 0);
         let b = p.le_const(x, 10);
-        let cfg = SolverConfig {
-            bb_budget: 2000,
-            dpll_budget: 0,
+        for solver in [SolverKind::Dpll, SolverKind::Cdcl] {
+            let cfg = SolverConfig {
+                bb_budget: 2000,
+                dpll_budget: 0,
+                solver,
+            };
+            assert_eq!(
+                check_with_config(&mut p, &[a, b], &cfg),
+                SatResult::Unknown,
+                "{solver}"
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_structured_formulas() {
+        let mut p = TermPool::new();
+        p.take_query_cache();
+        let x = p.var("x");
+        let y = p.var("y");
+        let low = p.le_const(x, 0);
+        let high = p.ge_const(x, 10);
+        let disj = p.or([low, high]);
+        let link = {
+            let lhs = LinExpr::var(y);
+            let rhs = LinExpr::var(x).add(&LinExpr::constant(1));
+            p.eq(&lhs, &rhs)
         };
-        assert_eq!(check_with_config(&mut p, &[a, b], &cfg), SatResult::Unknown);
+        let cap = p.le_const(y, 5);
+        for battery in [vec![disj], vec![disj, link], vec![disj, link, cap]] {
+            let mut results = Vec::new();
+            for solver in [SolverKind::Dpll, SolverKind::Cdcl] {
+                let cfg = SolverConfig {
+                    solver,
+                    ..SolverConfig::default()
+                };
+                results.push(check_with_config(&mut p, &battery, &cfg));
+            }
+            assert_eq!(results[0].is_sat(), results[1].is_sat(), "{battery:?}");
+            assert_eq!(results[0].is_unsat(), results[1].is_unsat(), "{battery:?}");
+        }
     }
 }

@@ -9,6 +9,7 @@
 use crate::linear::{LinExpr, LinearConstraint, NormalizedConstraint, Rel, VarId};
 use crate::qcache::QueryCache;
 use crate::resource::ResourceGovernor;
+use crate::solver::SolverKind;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -77,6 +78,10 @@ pub struct TermPool {
     /// parallel portfolio's workers and the supervisor's retry attempts
     /// reuse each other's verdicts.
     qcache: Option<QueryCache>,
+    /// Which boolean search engine answers queries routed through this
+    /// pool (defaults to [`SolverKind::Cdcl`]; `--solver=dpll` selects
+    /// the legacy search for ablation).
+    solver_kind: SolverKind,
 }
 
 impl TermPool {
@@ -132,6 +137,16 @@ impl TermPool {
     /// The governor charged by queries through this pool.
     pub fn governor(&self) -> &ResourceGovernor {
         &self.governor
+    }
+
+    /// Selects the boolean search engine for queries through this pool.
+    pub fn set_solver_kind(&mut self, kind: SolverKind) {
+        self.solver_kind = kind;
+    }
+
+    /// The boolean search engine used by queries through this pool.
+    pub fn solver_kind(&self) -> SolverKind {
+        self.solver_kind
     }
 
     // ---- query memoization -----------------------------------------------

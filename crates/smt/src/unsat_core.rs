@@ -6,8 +6,17 @@
 //! `pendingIo ≥ C ∧ ¬stoppingEvent` family of the paper's §2 arises from
 //! exactly this slicing. The core is computed by deletion: drop each
 //! assertion in turn and keep it only if the rest becomes satisfiable.
+//!
+//! Under the CDCL engine the deletion loop is accelerated by the
+//! refutation's own antecedent set: every clause carries the assertion
+//! indices it derives from (unioned through learned-clause resolutions),
+//! so the final conflict names a proven-unsat subset that certifies most
+//! deletion probes without a solver call. The certificate only skips
+//! probes whose outcome it decides, so the computed core is *identical*
+//! to the legacy loop's — trace slicing does not depend on the engine.
 
-use crate::solver::{check, SatResult};
+use crate::cdcl::{self, CdclOutcome};
+use crate::solver::{check, SatResult, SolverConfig, SolverKind};
 use crate::term::{TermId, TermPool};
 
 /// Computes a (locally minimal) unsat core of `assertions`.
@@ -35,6 +44,9 @@ use crate::term::{TermId, TermPool};
 /// assert_eq!(core, vec![0, 2]);
 /// ```
 pub fn unsat_core(pool: &mut TermPool, assertions: &[TermId]) -> Option<Vec<usize>> {
+    if pool.solver_kind() == SolverKind::Cdcl {
+        return cdcl_core(pool, assertions);
+    }
     if !check(pool, assertions).is_unsat() {
         return None;
     }
@@ -51,6 +63,55 @@ pub fn unsat_core(pool: &mut TermPool, assertions: &[TermId]) -> Option<Vec<usiz
             kept.remove(i);
         } else {
             i += 1;
+        }
+    }
+    Some(kept)
+}
+
+/// Refutes `terms` with the CDCL engine, returning the antecedent
+/// origins of the refutation — a sound (unsat) subset of `0..terms.len()`
+/// — or `None` on `Sat`/`Unknown`.
+fn cdcl_refute(pool: &TermPool, terms: &[TermId]) -> Option<Vec<u32>> {
+    let config = SolverConfig::default();
+    let governor = pool.governor().clone();
+    match cdcl::check_with_core(pool, terms, config.bb_budget, config.dpll_budget, &governor) {
+        CdclOutcome::Unsat { origins } => Some(origins),
+        _ => None,
+    }
+}
+
+/// The CDCL-engine core: produces **exactly** the same core as the
+/// legacy deletion loop (so the refinement trajectory is engine-
+/// independent), but uses the refutation's antecedent origins as an
+/// unsatisfiability certificate to skip most deletion probes.
+///
+/// Invariant: `seed` is a proven-unsat subset of `kept`. Probing an
+/// index outside `seed` must come back unsat (the certificate survives
+/// the deletion), so those indices are removed without a solver call —
+/// the decision matches what the legacy probe would conclude. Indices
+/// inside `seed` are genuinely probed; a successful probe refreshes the
+/// certificate from the probe's own refutation, keeping the invariant.
+fn cdcl_core(pool: &mut TermPool, assertions: &[TermId]) -> Option<Vec<usize>> {
+    let mut seed: Vec<usize> = cdcl_refute(pool, assertions)?
+        .into_iter()
+        .map(|o| o as usize)
+        .collect();
+    let mut kept: Vec<usize> = (0..assertions.len()).collect();
+    let mut i = 0;
+    while i < kept.len() {
+        let idx = kept[i];
+        if !seed.contains(&idx) {
+            kept.remove(i);
+            continue;
+        }
+        let rest: Vec<usize> = kept.iter().copied().filter(|&k| k != idx).collect();
+        let terms: Vec<TermId> = rest.iter().map(|&k| assertions[k]).collect();
+        match cdcl_refute(pool, &terms) {
+            Some(origins) => {
+                seed = origins.into_iter().map(|o| rest[o as usize]).collect();
+                kept.remove(i);
+            }
+            None => i += 1,
         }
     }
     Some(kept)
@@ -92,6 +153,83 @@ mod tests {
         let a = p.ge_const(x, 0);
         let core = unsat_core(&mut p, &[a, TermPool::FALSE]).unwrap();
         assert_eq!(core, vec![1]);
+    }
+
+    /// The CDCL seeding must not change observable behaviour: the core
+    /// is unsat on its own (cross-checked under the legacy engine) and
+    /// locally minimal — dropping any single member makes it sat.
+    #[test]
+    fn cdcl_core_is_sound_and_minimal() {
+        let mut p = TermPool::new();
+        assert_eq!(p.solver_kind(), SolverKind::Cdcl);
+        let x = p.var("x");
+        let y = p.var("y");
+        let mut assertions: Vec<TermId> = (0..8)
+            .map(|i| {
+                let v = p.var(&format!("n{i}"));
+                p.le_const(v, 10 + i)
+            })
+            .collect();
+        let low = p.le_const(x, 0);
+        let high = p.ge_const(x, 10);
+        assertions.push(p.or([low, high])); // 8
+        assertions.push(p.ge_const(x, 1)); // 9
+        assertions.push(p.le_const(x, 9)); // 10
+        assertions.push(p.ge_const(y, 3)); // 11: irrelevant
+        let core = unsat_core(&mut p, &assertions).unwrap();
+        assert_eq!(core, vec![8, 9, 10]);
+
+        let core_terms: Vec<TermId> = core.iter().map(|&i| assertions[i]).collect();
+        p.set_solver_kind(SolverKind::Dpll);
+        assert!(check(&mut p, &core_terms).is_unsat());
+        for skip in 0..core_terms.len() {
+            let rest: Vec<TermId> = core_terms
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != skip)
+                .map(|(_, &t)| t)
+                .collect();
+            assert!(check(&mut p, &rest).is_sat(), "core not minimal at {skip}");
+        }
+    }
+
+    /// Both engines agree on the final core for the same input.
+    #[test]
+    fn engines_agree_on_core() {
+        for kind in [SolverKind::Dpll, SolverKind::Cdcl] {
+            let mut p = TermPool::new();
+            p.set_solver_kind(kind);
+            let x = p.var("x");
+            let a = p.ge_const(x, 5);
+            let b = p.le_const(x, 2);
+            let noise = p.var("z");
+            let c = p.ge_const(noise, 0);
+            assert_eq!(unsat_core(&mut p, &[c, a, b]).unwrap(), vec![1, 2]);
+        }
+    }
+
+    /// With *redundant* assertions (two different formulas both implying
+    /// `x ≤ 0`) several minimal cores exist; the greedy deletion order —
+    /// not the CDCL refutation's antecedent choice — must decide which
+    /// survives, so the engines stay trajectory-identical.
+    #[test]
+    fn engines_agree_on_core_with_redundancy() {
+        let mut expected = None;
+        for kind in [SolverKind::Dpll, SolverKind::Cdcl] {
+            let mut p = TermPool::new();
+            p.set_solver_kind(kind);
+            let x = p.var("x");
+            let a = p.le_const(x, 0);
+            let tight = p.le_const(x, -5);
+            let b = p.or([a, tight]); // semantically x ≤ 0, distinct term
+            let c = p.ge_const(x, 1);
+            let core = unsat_core(&mut p, &[a, b, c]).unwrap();
+            match &expected {
+                None => expected = Some(core),
+                Some(e) => assert_eq!(&core, e, "core differs between engines"),
+            }
+        }
+        assert_eq!(expected.unwrap(), vec![1, 2], "greedy drops index 0 first");
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! seqver verify <file.cpl> [--order seq|lockstep|rand:<seed>|prio:<p0,p1,...>] [--config NAME]
-//!                          [--no-proof-sensitivity] [--no-qcache] [--max-rounds N] [--portfolio]
+//!                          [--no-proof-sensitivity] [--no-qcache] [--solver dpll|cdcl]
+//!                          [--max-rounds N] [--portfolio]
 //!                          [--parallel] [--deterministic]
 //!                          [--timeout DUR] [--steps CAT=N] [--faults SPEC]
 //! seqver info   <file.cpl>
@@ -23,7 +24,7 @@ use seqver::gemcutter::verify::{verify, OrderSpec, Verdict, VerifierConfig};
 use seqver::program::commutativity::{CommutativityLevel, CommutativityOracle};
 use seqver::program::concurrent::{Program, Spec};
 use seqver::reduction::reduce::{reduction_automaton, ReductionConfig};
-use seqver::smt::TermPool;
+use seqver::smt::{SolverKind, TermPool};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,7 +45,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   seqver verify <file.cpl> [--order seq|lockstep|rand:<seed>] [--config gemcutter|automizer|sleep|persistent]
-                           [--no-proof-sensitivity] [--no-qcache] [--max-rounds N] [--portfolio]
+                           [--no-proof-sensitivity] [--no-qcache] [--solver dpll|cdcl]
+                           [--max-rounds N] [--portfolio]
                            [--parallel] [--deterministic]
                            [--timeout DUR] [--steps CAT=N] [--faults SPEC]
                            [--retries N] [--escalate Fx]
@@ -54,6 +56,9 @@ const USAGE: &str = "usage:
 
   --no-qcache      disable solver-level query memoization (escape hatch and
                    measurement baseline; verdicts are identical either way)
+  --solver KIND    SMT boolean search engine: cdcl (default; watched
+                   literals, 1UIP learning, incremental simplex) or dpll
+                   (the legacy search, kept as the ablation baseline)
   --portfolio      race the five §8 preference orders sequentially
   --parallel       multi-threaded shared-proof portfolio (one engine per
                    preference order; assertions are exchanged between them)
@@ -126,6 +131,7 @@ struct Flags {
     config: String,
     proof_sensitive: bool,
     qcache: bool,
+    solver: SolverKind,
     max_rounds: Option<usize>,
     portfolio: bool,
     parallel: bool,
@@ -168,6 +174,7 @@ fn parse_steps(govern: &mut GovernorConfig, spec: &str) -> Result<(), String> {
     let slot = match category {
         Category::SimplexPivots => &mut govern.simplex_pivot_budget,
         Category::DpllDecisions => &mut govern.dpll_decision_budget,
+        Category::CdclConflicts => &mut govern.cdcl_conflict_budget,
         Category::BranchNodes => &mut govern.branch_node_budget,
         Category::DfsStates => &mut govern.dfs_state_budget,
         other => return Err(format!("category `{other}` has no step budget")),
@@ -183,6 +190,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         config: "gemcutter".to_owned(),
         proof_sensitive: true,
         qcache: true,
+        solver: SolverKind::default(),
         max_rounds: None,
         portfolio: false,
         parallel: false,
@@ -206,6 +214,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--no-proof-sensitivity" => flags.proof_sensitive = false,
             "--no-qcache" => flags.qcache = false,
+            "--solver" => {
+                let v = it.next().ok_or("--solver needs a value")?;
+                flags.solver = SolverKind::parse(v)
+                    .ok_or_else(|| format!("unknown solver `{v}` (expected dpll or cdcl)"))?;
+            }
             "--max-rounds" => {
                 let v = it.next().ok_or("--max-rounds needs a value")?;
                 flags.max_rounds = Some(v.parse().map_err(|_| "invalid --max-rounds")?);
@@ -272,6 +285,7 @@ fn build_config(flags: &Flags) -> Result<VerifierConfig, String> {
     if !flags.qcache {
         config = config.without_qcache();
     }
+    config = config.with_solver(flags.solver);
     if let Some(r) = flags.max_rounds {
         config.max_rounds = r;
     }
@@ -285,6 +299,7 @@ fn governed_portfolio(flags: &Flags) -> Vec<VerifierConfig> {
     for member in &mut members {
         member.govern = flags.govern.clone();
         member.use_qcache = flags.qcache;
+        member.solver = flags.solver;
     }
     members
 }
