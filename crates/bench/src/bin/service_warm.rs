@@ -1,0 +1,150 @@
+//! **Service warm-start study**: the same corpus submitted twice to a
+//! `seqver serve` daemon over loopback — once against an empty proof
+//! store, then again after a simulated restart on the persisted store.
+//! The second pass must reproduce every verdict bit for bit while serving
+//! definitive results straight from the store; the wall-clock ratio is
+//! the service-mode payoff of crash-safe persistence. Results are emitted
+//! to `BENCH_serve.json` for the perf trajectory.
+//!
+//! Run: `cargo run --release -p bench --bin service_warm`
+//! (`SEQVER_QUICK=1` restricts the corpus, as everywhere in the harness.)
+
+use bench::{corpus, fmt_time};
+use serve::client::Client;
+use serve::proto::{Status, VerifyOpts};
+use serve::server::{ServeConfig, Server};
+use std::io::Write;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// One daemon lifetime: bind on the store, serve one full corpus pass,
+/// drain. Returns the verdict lines and per-pass counters.
+struct Pass {
+    verdicts: Vec<String>,
+    store_hits: u64,
+    warm_starts: u64,
+    gave_up: u64,
+    time_s: f64,
+}
+
+fn run_pass(store: &std::path::Path, programs: &[(String, String)]) -> Pass {
+    let server = Server::bind(ServeConfig {
+        store_path: Some(store.to_path_buf()),
+        request_timeout: Duration::from_secs(120),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    for w in server.store_warnings() {
+        eprintln!("warning: {w}");
+    }
+    let addr = server.local_addr().expect("addr").to_string();
+    let shutdown = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client =
+        Client::connect_with_timeout(&addr, Duration::from_secs(300)).expect("connect");
+    let start = Instant::now();
+    let mut pass = Pass {
+        verdicts: Vec::new(),
+        store_hits: 0,
+        warm_starts: 0,
+        gave_up: 0,
+        time_s: 0.0,
+    };
+    for (name, source) in programs {
+        let resp = client
+            .verify_source(name, source, VerifyOpts::default())
+            .expect("response");
+        assert_eq!(resp.status, Some(Status::Ok), "{name}: {:?}", resp.reason);
+        if resp.store_hit {
+            pass.store_hits += 1;
+        }
+        if resp.warm_assertions > 0 {
+            pass.warm_starts += 1;
+        }
+        if resp.verdict_line().starts_with("GAVE-UP") {
+            pass.gave_up += 1;
+        }
+        pass.verdicts.push(resp.verdict_line());
+    }
+    pass.time_s = start.elapsed().as_secs_f64();
+    let _ = client.shutdown();
+    drop(client);
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("server thread").expect("clean drain");
+    pass
+}
+
+fn main() {
+    let programs: Vec<(String, String)> =
+        corpus().into_iter().map(|b| (b.name, b.source)).collect();
+    let quick = std::env::var("SEQVER_QUICK").is_ok();
+    let dir = std::env::temp_dir().join(format!("seqver-service-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = dir.join("proofs.store");
+
+    println!(
+        "service warm-start study ({} corpus, {} programs)",
+        if quick { "quick" } else { "full" },
+        programs.len()
+    );
+    let cold = run_pass(&store, &programs);
+    println!(
+        "  cold:  {}  (store-hits {}, warm-starts {}, gave-up {})",
+        fmt_time(cold.time_s),
+        cold.store_hits,
+        cold.warm_starts,
+        cold.gave_up
+    );
+    let warm = run_pass(&store, &programs);
+    println!(
+        "  warm:  {}  (store-hits {}, warm-starts {}, gave-up {})",
+        fmt_time(warm.time_s),
+        warm.store_hits,
+        warm.warm_starts,
+        warm.gave_up
+    );
+
+    let identity = cold.verdicts == warm.verdicts;
+    assert!(identity, "warm pass changed a verdict");
+    // Give-ups are deliberately never persisted, so only definitive
+    // verdicts can hit the store.
+    let definitive = programs.len() as u64 - cold.gave_up;
+    let hit_rate = if definitive == 0 {
+        0.0
+    } else {
+        warm.store_hits as f64 / definitive as f64
+    };
+    let speedup = if warm.time_s > 0.0 {
+        cold.time_s / warm.time_s
+    } else {
+        f64::NAN
+    };
+    println!("  identity: {identity}   warm hit rate {hit_rate:.4}   speedup {speedup:.2}x");
+    assert!(
+        warm.store_hits >= definitive,
+        "every definitive verdict must be a warm store hit"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"corpus\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    json.push_str(&format!("  \"benchmarks\": {},\n", programs.len()));
+    json.push_str(&format!("  \"identity\": {identity},\n"));
+    json.push_str(&format!("  \"cold_time_s\": {:.6},\n", cold.time_s));
+    json.push_str(&format!("  \"warm_time_s\": {:.6},\n", warm.time_s));
+    json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
+    json.push_str(&format!("  \"gave_up\": {},\n", cold.gave_up));
+    json.push_str(&format!("  \"warm_store_hits\": {},\n", warm.store_hits));
+    json.push_str(&format!("  \"warm_hit_rate\": {hit_rate:.4}\n"));
+    json.push_str("}\n");
+    let mut f = std::fs::File::create("BENCH_serve.json").expect("create BENCH_serve.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_serve.json");
+    println!("  wrote BENCH_serve.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -5,9 +5,12 @@
 //! proof assertions accumulated for the in-progress spec (as
 //! pool-independent [`ExportedTerm`]s in their stable text form), the
 //! give-up history and the attempt counter — into a versioned text file.
-//! Writes go through a temp file plus `rename`, so a crash mid-write
-//! leaves either the previous complete snapshot or none at all, never a
-//! torn one; a trailing `end` marker additionally rejects truncated files.
+//! Writes go through a temp file that is fsynced, renamed into place, and
+//! sealed with an fsync of the parent directory ([`write_atomic_durable`]),
+//! so even a power cut mid-write leaves either the previous complete
+//! snapshot or none at all, never a torn one; a `checksum` line over the
+//! body (verified on load) plus a trailing `end` marker additionally
+//! reject truncated or bit-rotted files.
 //!
 //! Resuming ([`Snapshot::load`] + `seqver --resume`) seeds a fresh engine's
 //! proof automaton with the recycled assertions. This is sound by
@@ -25,13 +28,57 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::path::Path;
 
-/// Current snapshot format version; bumped on any incompatible change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version; bumped on any incompatible change
+/// (v2 added the mandatory `checksum` line).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
-/// The header line of a version-1 snapshot.
-const HEADER: &str = "seqver-snapshot v1";
+/// The header line of a version-2 snapshot.
+const HEADER: &str = "seqver-snapshot v2";
 /// The trailing completeness marker.
 const FOOTER: &str = "end";
+
+/// FNV-1a (64-bit) over raw bytes: a small, build- and process-stable
+/// checksum for the line-oriented persistence formats (snapshots and the
+/// `seqver serve` proof store). Each step is `state ← (state ⊕ byte) × p`
+/// with an odd `p`, a bijection on `u64` for a fixed byte — so two inputs
+/// differing in one byte can never collide, which is exactly the
+/// single-sector-corruption case crash-safety cares about.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Writes `text` to `path` atomically **and durably**: the bytes go to
+/// `path.tmp`, which is fsynced before the atomic `rename`, and the parent
+/// directory is fsynced after it — so after a crash (even a power cut) a
+/// reader observes either the previous complete file or the new complete
+/// file, never a torn or empty one. The directory fsync is best-effort on
+/// platforms that cannot open directories; the file fsync is mandatory.
+pub fn write_atomic_durable(path: &Path, text: &str) -> Result<(), String> {
+    use std::io::Write as _;
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp)
+        .map_err(|e| format!("cannot create `{}`: {e}", tmp.display()))?;
+    file.write_all(text.as_bytes())
+        .map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
+    file.sync_all()
+        .map_err(|e| format!("cannot fsync `{}`: {e}", tmp.display()))?;
+    drop(file);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot move `{}` into place: {e}", path.display()))?;
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        // Make the rename itself durable. Opening a directory read-only
+        // works on unix; degrade silently where it does not.
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
 
 /// A resumable checkpoint of a supervised verification run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -99,11 +146,23 @@ impl Snapshot {
         self.program_hash == program_fingerprint(pool, program)
     }
 
-    /// Renders the versioned text form.
+    /// Renders the versioned text form. The second line is an explicit
+    /// `checksum` over everything after it (through the `end` marker),
+    /// verified by [`Snapshot::parse`].
     pub fn to_text(&self) -> String {
+        let body = self.body_text();
         let mut out = String::new();
         out.push_str(HEADER);
         out.push('\n');
+        out.push_str(&format!("checksum: {:016x}\n", fnv1a(body.as_bytes())));
+        out.push_str(&body);
+        out
+    }
+
+    /// The checksummed part of the text form (everything after the
+    /// `checksum` line, including the `end` marker).
+    fn body_text(&self) -> String {
+        let mut out = String::new();
         out.push_str(&format!("program-hash: {:016x}\n", self.program_hash));
         out.push_str(&format!("config: {}\n", sanitize(&self.config_name)));
         out.push_str(&format!("attempt: {}\n", self.attempt));
@@ -126,7 +185,8 @@ impl Snapshot {
     }
 
     /// Parses the [`Snapshot::to_text`] form, rejecting version
-    /// mismatches, malformed lines and truncated files.
+    /// mismatches, checksum mismatches, malformed lines and truncated
+    /// files.
     pub fn parse(text: &str) -> Result<Snapshot, String> {
         let mut lines = text.lines();
         match lines.next() {
@@ -138,6 +198,28 @@ impl Snapshot {
             }
             other => return Err(format!("not a seqver snapshot (first line {other:?})")),
         }
+        // The checksum line covers the rest of the file byte-for-byte.
+        let after_header = match text.split_once('\n') {
+            Some((_, rest)) => rest,
+            None => return Err("truncated snapshot (missing `end` marker)".to_owned()),
+        };
+        let (checksum_line, body) = after_header
+            .split_once('\n')
+            .ok_or_else(|| "truncated snapshot (missing `end` marker)".to_owned())?;
+        let declared = checksum_line
+            .trim_end()
+            .strip_prefix("checksum: ")
+            .ok_or_else(|| format!("missing checksum line (found `{checksum_line}`)"))?;
+        let declared = u64::from_str_radix(declared, 16)
+            .map_err(|_| format!("invalid checksum `{declared}`"))?;
+        let actual = fnv1a(body.as_bytes());
+        if declared != actual {
+            return Err(format!(
+                "checksum mismatch (declared {declared:016x}, computed {actual:016x}) — \
+                 the snapshot is corrupted"
+            ));
+        }
+        let lines = body.lines();
         let mut snapshot = Snapshot {
             program_hash: 0,
             config_name: String::new(),
@@ -209,19 +291,13 @@ impl Snapshot {
         Ok(snapshot)
     }
 
-    /// Writes the snapshot to `path` crash-safely: the text goes to
-    /// `path.tmp` first and is moved into place with an atomic `rename`,
-    /// so readers only ever observe complete snapshots.
+    /// Writes the snapshot to `path` crash-safely and durably (fsynced
+    /// temp file, atomic `rename`, fsynced parent directory — see
+    /// [`write_atomic_durable`]), so readers only ever observe complete
+    /// snapshots, even across a power cut.
     pub fn save_atomic(&self, path: &Path) -> Result<(), String> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_text())
-            .map_err(|e| format!("cannot write checkpoint `{}`: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, path).map_err(|e| {
-            format!(
-                "cannot move checkpoint `{}` into place: {e}",
-                path.display()
-            )
-        })
+        write_atomic_durable(path, &self.to_text())
+            .map_err(|e| format!("cannot write checkpoint: {e}"))
     }
 
     /// Reads and parses a snapshot file.
@@ -277,13 +353,28 @@ mod tests {
     fn truncated_snapshot_is_rejected() {
         let text = sample().to_text();
         // Drop the `end` marker: simulates a crash mid-write without the
-        // atomic rename (or a torn copy).
+        // atomic rename (or a torn copy). The checksum catches it first.
         let truncated = text.trim_end().trim_end_matches(FOOTER);
-        let err = Snapshot::parse(truncated).unwrap_err();
-        assert!(err.contains("truncated"), "{err}");
+        assert!(Snapshot::parse(truncated).is_err());
         // Cutting mid-assertion is also rejected.
         let cut = &text[..text.len() / 2];
         assert!(Snapshot::parse(cut).is_err());
+    }
+
+    #[test]
+    fn bit_rot_fails_the_checksum() {
+        let text = sample().to_text();
+        // Flip one byte anywhere in the body: the checksum must catch it.
+        let mut bytes = text.clone().into_bytes();
+        let idx = text.find("rounds: ").unwrap() + "rounds: ".len();
+        bytes[idx] = if bytes[idx] == b'9' { b'8' } else { b'9' };
+        let err = Snapshot::parse(std::str::from_utf8(&bytes).unwrap()).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        // A forged checksum line is also rejected.
+        let mut forged = text.clone().into_bytes();
+        let c = text.find("checksum: ").unwrap() + "checksum: ".len();
+        forged[c] = if forged[c] == b'0' { b'1' } else { b'0' };
+        assert!(Snapshot::parse(std::str::from_utf8(&forged).unwrap()).is_err());
     }
 
     #[test]
@@ -291,12 +382,39 @@ mod tests {
         assert!(Snapshot::parse("seqver-snapshot v999\nend\n")
             .unwrap_err()
             .contains("version"));
+        // Old v1 snapshots (no checksum) are a version mismatch, not a
+        // parse crash.
+        assert!(
+            Snapshot::parse("seqver-snapshot v1\nprogram-hash: 0\nend\n")
+                .unwrap_err()
+                .contains("version")
+        );
         assert!(Snapshot::parse("not a snapshot").is_err());
         assert!(Snapshot::parse("").is_err());
-        // Missing hash.
-        assert!(Snapshot::parse("seqver-snapshot v1\nend\n")
-            .unwrap_err()
-            .contains("program-hash"));
+        // Missing hash (with a correct checksum over the empty-ish body).
+        let body = "end\n";
+        let text = format!(
+            "{HEADER}\nchecksum: {:016x}\n{body}",
+            fnv1a(body.as_bytes())
+        );
+        assert!(Snapshot::parse(&text).unwrap_err().contains("program-hash"));
+        // Missing checksum line entirely.
+        assert!(
+            Snapshot::parse(&format!("{HEADER}\nprogram-hash: 0\nend\n"))
+                .unwrap_err()
+                .contains("checksum")
+        );
+    }
+
+    #[test]
+    fn fnv1a_detects_single_byte_changes() {
+        let a = b"record body line\n";
+        for i in 0..a.len() {
+            let mut b = a.to_vec();
+            b[i] ^= 0x40;
+            assert_ne!(fnv1a(a), fnv1a(&b), "flip at byte {i} collided");
+        }
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
     }
 
     #[test]

@@ -181,6 +181,12 @@ pub struct SupervisedOutcome {
     /// best-effort: an unwritable path degrades the run to unsupervised,
     /// it does not abort verification).
     pub checkpoint_error: Option<String>,
+    /// Every proof assertion the run accumulated, across all specs and
+    /// attempts, exported pool-independently in discovery order — what a
+    /// proof store persists so a re-submitted program warm-starts instead
+    /// of re-deriving its proof. Assertions are only ever *candidates* on
+    /// re-use (re-validated by Hoare queries), so recycling them is sound.
+    pub harvest: Vec<ExportedTerm>,
 }
 
 impl SupervisedOutcome {
@@ -231,6 +237,11 @@ struct SupervisorState {
     recycled: Vec<ExportedTerm>,
     recycled_set: HashSet<ExportedTerm>,
     give_ups: Vec<AttributedGiveUp>,
+    /// Everything harvested across all specs and attempts (deduped,
+    /// discovery order) — survives `clear_recycled` and is returned as
+    /// [`SupervisedOutcome::harvest`].
+    all_harvest: Vec<ExportedTerm>,
+    all_harvest_set: HashSet<ExportedTerm>,
 }
 
 impl SupervisorState {
@@ -246,12 +257,28 @@ impl SupervisorState {
     }
 
     /// Merges a proof's assertions into the recycled pool (deduped,
-    /// discovery order preserved).
+    /// discovery order preserved) and the run-wide harvest.
     fn harvest(&mut self, pool: &TermPool, proof: &ProofAutomaton) {
         for &id in proof.assertions() {
             let exported = pool.export(id);
             if self.recycled_set.insert(exported.clone()) {
-                self.recycled.push(exported);
+                self.recycled.push(exported.clone());
+            }
+            if self.all_harvest_set.insert(exported.clone()) {
+                self.all_harvest.push(exported);
+            }
+        }
+    }
+
+    /// Records a finished spec phase's proof in the run-wide harvest only
+    /// (the recycled pool stays untouched — a *successful* phase's
+    /// assertions must not leak into the next spec's seeds, exactly like
+    /// an unsupervised run).
+    fn harvest_all_only(&mut self, pool: &TermPool, proof: &ProofAutomaton) {
+        for &id in proof.assertions() {
+            let exported = pool.export(id);
+            if self.all_harvest_set.insert(exported.clone()) {
+                self.all_harvest.push(exported);
             }
         }
     }
@@ -319,6 +346,8 @@ pub fn supervised_verify(
         recycled: Vec::new(),
         recycled_set: HashSet::new(),
         give_ups: Vec::new(),
+        all_harvest: Vec::new(),
+        all_harvest_set: HashSet::new(),
     };
     let mut attempts: Vec<AttemptReport> = Vec::new();
 
@@ -342,6 +371,7 @@ pub fn supervised_verify(
                 rounds_skipped: 0,
                 interrupted: false,
                 checkpoint_error: None,
+                harvest: Vec::new(),
             };
         }
         state.attempt = snap.attempt;
@@ -459,6 +489,7 @@ pub fn supervised_verify(
         rounds_skipped,
         interrupted,
         checkpoint_error: state.checkpoint_error,
+        harvest: state.all_harvest,
     }
 }
 
@@ -532,6 +563,9 @@ fn run_spec(
             }
         }
     };
+    // Every spec end contributes to the run-wide harvest (give-up paths
+    // already did through `harvest`; this also covers Proven/Bug ends).
+    state.harvest_all_only(pool, &proof);
     state.stats.visited_states += engine.stats.visited;
     state.stats.max_round_visited = state
         .stats

@@ -1,0 +1,106 @@
+//! A small blocking client for the `seqver serve` protocol — what
+//! `seqver submit`, the recovery tests and the warm-start bench speak.
+
+use crate::proto::{
+    write_frame, Command, FrameEvent, FrameReader, Request, Response, VerifyOpts, MAX_FRAME,
+};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Socket read-timeout tick driving the response wait loop.
+const TICK: Duration = Duration::from_millis(25);
+
+/// One connection to a daemon. Requests are strictly
+/// send-one/receive-one, which is all the batch workloads need.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// How long to wait for each response before giving up.
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connects with a 60 s response timeout.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        Client::connect_with_timeout(addr, Duration::from_secs(60))
+    }
+
+    /// Connects with an explicit per-response timeout.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> Result<Client, String> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+        stream
+            .set_read_timeout(Some(TICK))
+            .map_err(|e| format!("cannot set read timeout: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            reader: FrameReader::new(MAX_FRAME),
+            timeout,
+        })
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        write_frame(&mut self.stream, &request.to_text())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let start = Instant::now();
+        loop {
+            match self
+                .reader
+                .read_frame(
+                    &mut self.stream,
+                    TICK.max(Duration::from_millis(100)),
+                    self.timeout,
+                )
+                .map_err(|e| format!("cannot read response: {e}"))?
+            {
+                FrameEvent::Frame(payload) => return Response::parse(&payload),
+                FrameEvent::Closed => {
+                    return Err("server closed the connection before responding".to_owned())
+                }
+                FrameEvent::Idle => {
+                    if start.elapsed() >= self.timeout {
+                        return Err(format!(
+                            "no response within {:?} (request `{}`)",
+                            self.timeout, request.id
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Verifies one CPL source.
+    pub fn verify_source(
+        &mut self,
+        id: &str,
+        source: &str,
+        opts: VerifyOpts,
+    ) -> Result<Response, String> {
+        self.request(&Request {
+            id: id.to_owned(),
+            cmd: Command::Verify {
+                source: source.to_owned(),
+                opts,
+            },
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Response, String> {
+        self.request(&Request::control("ping", Command::Ping))
+    }
+
+    /// Server counter snapshot, as `key=value` pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, String)>, String> {
+        Ok(self
+            .request(&Request::control("stats", Command::Stats))?
+            .info)
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<Response, String> {
+        self.request(&Request::control("shutdown", Command::Shutdown))
+    }
+}

@@ -1,0 +1,33 @@
+//! Verification as a service: the `seqver serve` daemon and everything it
+//! speaks and persists.
+//!
+//! The one-shot CLI rebuilds its proof library from nothing on every
+//! invocation. This crate turns the verifier into a long-running service
+//! whose proof state survives restarts and whose per-request failures stay
+//! contained — the serving-side analogue of the proof-transfer ideas the
+//! supervisor already uses *within* a process:
+//!
+//! * [`proto`] — the length-prefixed text wire protocol: framing with
+//!   slow-loris/oversize/malformed-input defenses, request and response
+//!   grammars.
+//! * [`store`] — the crash-safe persistent proof store: per-record
+//!   checksums over program fingerprints, harvested Floyd/Hoare assertions
+//!   and definitive verdicts, plus exported query-cache entries; written
+//!   atomically and durably after every request, loaded leniently so a
+//!   corrupted file degrades to a cold start, never a panic or a wrong
+//!   assertion.
+//! * [`server`] — the daemon: bounded-concurrency worker pool over a
+//!   `TcpListener`, admission control with explicit `busy` shedding,
+//!   panic quarantine, deadline/step budgets per request, and
+//!   SIGINT/SIGTERM draining.
+//! * [`client`] — a small blocking client used by `seqver submit`, the
+//!   benches and the tests.
+//!
+//! Everything is `std`-only: sockets are `std::net`, concurrency is the
+//! worker-thread idiom of `gemcutter::portfolio`, persistence rides on
+//! `gemcutter::snapshot`'s atomic durable writes.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod store;

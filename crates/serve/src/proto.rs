@@ -1,0 +1,791 @@
+//! The wire protocol of `seqver serve`: length-prefixed UTF-8 text frames
+//! carrying line-oriented request/response payloads.
+//!
+//! A frame is an ASCII decimal byte length, a newline, and exactly that
+//! many bytes of UTF-8 payload. The framing layer is where the daemon's
+//! first robustness line runs: declared lengths above [`MAX_FRAME`] are
+//! rejected before any allocation of that size, malformed length lines
+//! and non-UTF-8 payloads produce structured errors instead of panics,
+//! and [`FrameReader`] distinguishes a clean close at a frame boundary
+//! (an ordinary end of batch) from a mid-frame disconnect or a
+//! slow-loris stall (a peer trickling bytes to pin a connection —
+//! detected by a no-progress timeout and dropped).
+//!
+//! Payload grammars ([`Request`]/[`Response`]) are line-oriented
+//! `key: value` forms in the same family as the snapshot and store
+//! formats: trivially greppable on the wire, no external serializer, and
+//! every parse failure is an `Err`, never a panic.
+
+use std::io::{ErrorKind, Read, Write};
+use std::time::{Duration, Instant};
+
+/// Hard cap on a frame payload (1 MiB). Larger CPL sources do not exist
+/// in practice; anything above this is load, not work.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// First line of every request payload.
+pub const REQUEST_HEADER: &str = "seqver-request v1";
+/// First line of every response payload.
+pub const RESPONSE_HEADER: &str = "seqver-response v1";
+
+/// Longest accepted length line (digits + newline); `MAX_FRAME` needs 7.
+const MAX_LENGTH_LINE: usize = 20;
+
+/// How reading a frame failed. Every variant maps to "drop or error the
+/// connection" — none of them can take the daemon down.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Unparseable length line or non-UTF-8 payload.
+    Malformed(String),
+    /// Declared payload length exceeds the reader's cap.
+    Oversized(usize),
+    /// The peer disconnected mid-frame (a clean close *between* frames is
+    /// `Ok(None)`, not an error).
+    Disconnected,
+    /// Slow-loris defense: a frame was started but no byte arrived within
+    /// the stall timeout.
+    Stalled,
+    /// Any other socket error.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            FrameError::Oversized(n) => write!(f, "oversized frame ({n} bytes > {MAX_FRAME})"),
+            FrameError::Disconnected => write!(f, "peer disconnected mid-frame"),
+            FrameError::Stalled => write!(f, "frame stalled (no progress within the timeout)"),
+            FrameError::Io(m) => write!(f, "socket error: {m}"),
+        }
+    }
+}
+
+/// Writes one frame: decimal length, newline, payload — as a single
+/// write, so a frame never straddles two TCP segments by construction
+/// (two small writes would trigger the Nagle/delayed-ACK stall on every
+/// request).
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(format!("{}\n", payload.len()).as_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// What one [`FrameReader::read_frame`] call produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameEvent {
+    /// A complete frame payload.
+    Frame(String),
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+    /// No frame started within the idle timeout; the caller decides
+    /// whether to keep waiting (call again) or close the connection.
+    Idle,
+}
+
+/// Incremental frame reader over any byte stream.
+///
+/// The reader never blocks indefinitely *if the underlying stream has a
+/// read timeout* (the server sets a short `set_read_timeout` tick on
+/// every accepted socket): timeout ticks surface as
+/// `WouldBlock`/`TimedOut`, which the reader uses to enforce its own
+/// idle and stall clocks instead of trusting the peer to make progress.
+pub struct FrameReader {
+    /// Received-but-unconsumed bytes (at most one length line plus one
+    /// payload's worth).
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max_frame` as its payload cap.
+    pub fn new(max_frame: usize) -> FrameReader {
+        FrameReader {
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// A reader with the protocol-default [`MAX_FRAME`] cap.
+    pub fn with_default_cap() -> FrameReader {
+        FrameReader::new(MAX_FRAME)
+    }
+
+    /// Tries to extract one complete frame from the buffer. `Ok(None)`
+    /// means "need more bytes".
+    fn take_buffered(&mut self) -> Result<Option<String>, FrameError> {
+        let newline = self.buf.iter().position(|&b| b == b'\n');
+        let Some(nl) = newline else {
+            if self.buf.len() > MAX_LENGTH_LINE {
+                return Err(FrameError::Malformed(
+                    "length line exceeds 20 bytes without a newline".to_owned(),
+                ));
+            }
+            return Ok(None);
+        };
+        let digits = &self.buf[..nl];
+        if digits.is_empty() || !digits.iter().all(u8::is_ascii_digit) {
+            return Err(FrameError::Malformed(format!(
+                "invalid length line `{}`",
+                String::from_utf8_lossy(digits)
+            )));
+        }
+        let len: usize = std::str::from_utf8(digits)
+            .expect("ascii digits")
+            .parse()
+            .map_err(|_| FrameError::Malformed("length overflows usize".to_owned()))?;
+        if len > self.max_frame {
+            return Err(FrameError::Oversized(len));
+        }
+        if self.buf.len() < nl + 1 + len {
+            return Ok(None);
+        }
+        let payload: Vec<u8> = self.buf[nl + 1..nl + 1 + len].to_vec();
+        self.buf.drain(..nl + 1 + len);
+        String::from_utf8(payload)
+            .map(Some)
+            .map_err(|_| FrameError::Malformed("payload is not UTF-8".to_owned()))
+    }
+
+    /// `true` when bytes of an unfinished frame are pending.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads the next frame. A clean close or an idle expiry at a frame
+    /// boundary is an event, not an error; every anomaly is typed.
+    ///
+    /// `idle_timeout` bounds the wait for the *first* byte of the next
+    /// frame (expiry yields [`FrameEvent::Idle`], letting the caller poll
+    /// a shutdown flag between ticks); `stall_timeout` bounds the gap
+    /// between bytes once a frame has started (the slow-loris clock).
+    pub fn read_frame(
+        &mut self,
+        r: &mut impl Read,
+        idle_timeout: Duration,
+        stall_timeout: Duration,
+    ) -> Result<FrameEvent, FrameError> {
+        let mut last_progress = Instant::now();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(frame) = self.take_buffered()? {
+                return Ok(FrameEvent::Frame(frame));
+            }
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(FrameEvent::Closed)
+                    } else {
+                        Err(FrameError::Disconnected)
+                    };
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    last_progress = Instant::now();
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    let waited = last_progress.elapsed();
+                    if self.buf.is_empty() {
+                        if waited >= idle_timeout {
+                            return Ok(FrameEvent::Idle);
+                        }
+                    } else if waited >= stall_timeout {
+                        return Err(FrameError::Stalled);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e.to_string())),
+            }
+        }
+    }
+}
+
+/// Strips characters that would break the line-oriented payload forms.
+fn sanitize(s: &str) -> String {
+    s.replace(['\n', '\r', '\t'], " ")
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Per-request verification options (the request-level analogue of the
+/// CLI's `--timeout/--steps/--retries/--faults` flags).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerifyOpts {
+    /// Per-request wall-clock deadline (bounded by the server's own
+    /// request timeout; serialized in milliseconds).
+    pub timeout: Option<Duration>,
+    /// Escalation-ladder retries for this request.
+    pub retries: Option<u32>,
+    /// Per-category step budgets, as `category=N` specs.
+    pub steps: Vec<(String, u64)>,
+    /// Deterministic fault-injection plan (`CAT:N:KIND` spec) — the
+    /// isolation tests' way of making one request panic or hang on cue.
+    pub faults: Option<String>,
+}
+
+/// What a request asks the daemon to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Verify one CPL program.
+    Verify { source: String, opts: VerifyOpts },
+    /// Liveness probe.
+    Ping,
+    /// Server counter snapshot.
+    Stats,
+    /// Begin draining: stop accepting, finish in-flight work, flush the
+    /// store and exit 0.
+    Shutdown,
+}
+
+/// One request frame's payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: String,
+    pub cmd: Command,
+}
+
+impl Request {
+    /// A verify request with default options.
+    pub fn verify(id: &str, source: &str) -> Request {
+        Request {
+            id: id.to_owned(),
+            cmd: Command::Verify {
+                source: source.to_owned(),
+                opts: VerifyOpts::default(),
+            },
+        }
+    }
+
+    /// A control request (`ping`/`stats`/`shutdown`).
+    pub fn control(id: &str, cmd: Command) -> Request {
+        Request {
+            id: id.to_owned(),
+            cmd,
+        }
+    }
+
+    /// Renders the payload text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(REQUEST_HEADER);
+        out.push('\n');
+        out.push_str(&format!("id: {}\n", sanitize(&self.id)));
+        match &self.cmd {
+            Command::Ping => out.push_str("cmd: ping\n"),
+            Command::Stats => out.push_str("cmd: stats\n"),
+            Command::Shutdown => out.push_str("cmd: shutdown\n"),
+            Command::Verify { source, opts } => {
+                out.push_str("cmd: verify\n");
+                if let Some(t) = opts.timeout {
+                    out.push_str(&format!("timeout-ms: {}\n", t.as_millis()));
+                }
+                if let Some(r) = opts.retries {
+                    out.push_str(&format!("retries: {r}\n"));
+                }
+                for (cat, n) in &opts.steps {
+                    out.push_str(&format!("steps: {}={n}\n", sanitize(cat)));
+                }
+                if let Some(f) = &opts.faults {
+                    out.push_str(&format!("faults: {}\n", sanitize(f)));
+                }
+                // `program:` switches the grammar to raw source — it must
+                // be the last key.
+                out.push_str("program:\n");
+                out.push_str(source);
+            }
+        }
+        out
+    }
+
+    /// Parses the [`Request::to_text`] form. `Err` (never a panic) on
+    /// anything malformed.
+    pub fn parse(text: &str) -> Result<Request, String> {
+        let rest = text
+            .strip_prefix(REQUEST_HEADER)
+            .and_then(|r| r.strip_prefix('\n'))
+            .ok_or_else(|| format!("not a seqver request (expected `{REQUEST_HEADER}`)"))?;
+        let mut id = String::new();
+        let mut cmd_name = "verify".to_owned();
+        let mut opts = VerifyOpts::default();
+        let mut source: Option<String> = None;
+        let mut remaining = rest;
+        while !remaining.is_empty() {
+            if let Some(src) = remaining.strip_prefix("program:\n") {
+                source = Some(src.to_owned());
+                break;
+            }
+            let (line, tail) = remaining.split_once('\n').unwrap_or((remaining, ""));
+            remaining = tail;
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(": ")
+                .ok_or_else(|| format!("malformed request line `{line}`"))?;
+            match key {
+                "id" => id = value.to_owned(),
+                "cmd" => cmd_name = value.to_owned(),
+                "timeout-ms" => {
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| format!("invalid timeout-ms `{value}`"))?;
+                    opts.timeout = Some(Duration::from_millis(ms));
+                }
+                "retries" => {
+                    opts.retries = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("invalid retries `{value}`"))?,
+                    );
+                }
+                "steps" => {
+                    let (cat, n) = value
+                        .split_once('=')
+                        .ok_or_else(|| format!("invalid steps spec `{value}`"))?;
+                    let n: u64 = n
+                        .parse()
+                        .map_err(|_| format!("invalid steps budget `{value}`"))?;
+                    opts.steps.push((cat.to_owned(), n));
+                }
+                "faults" => opts.faults = Some(value.to_owned()),
+                other => return Err(format!("unknown request key `{other}`")),
+            }
+        }
+        let cmd = match cmd_name.as_str() {
+            "ping" => Command::Ping,
+            "stats" => Command::Stats,
+            "shutdown" => Command::Shutdown,
+            "verify" => Command::Verify {
+                source: source.ok_or("verify request has no `program:` section")?,
+                opts,
+            },
+            other => return Err(format!("unknown command `{other}`")),
+        };
+        Ok(Request { id, cmd })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Overall request status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// The request was served (its verdict may still be `GaveUp`).
+    Ok,
+    /// Load-shed at admission; retry after the hinted backoff.
+    Busy,
+    /// The request itself was defective (parse error, compile error,
+    /// contained panic) — siblings are unaffected.
+    Error,
+}
+
+/// A verification verdict in wire form. `Incorrect` carries the witness
+/// interleaving as statement letter indices so batch comparisons are
+/// bit-exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireVerdict {
+    Correct,
+    Incorrect(Vec<u32>),
+    GaveUp,
+}
+
+/// One response frame's payload.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: String,
+    pub status: Option<Status>,
+    pub verdict: Option<WireVerdict>,
+    /// Give-up category (as its display name) when the verdict gave up.
+    pub category: Option<String>,
+    /// Give-up reason or error message.
+    pub reason: Option<String>,
+    /// Refinement rounds the request took (stored rounds on a store hit).
+    pub rounds: u64,
+    /// Assertions seeded from the proof store into this run.
+    pub warm_assertions: u64,
+    /// The verdict was served directly from the persistent store.
+    pub store_hit: bool,
+    /// Wall-clock service time.
+    pub time_ms: u64,
+    /// Backoff hint accompanying a `busy` status.
+    pub retry_after_ms: Option<u64>,
+    /// Free-form `key=value` payload for `stats`/`ping` responses.
+    pub info: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A `busy` shed response with a backoff hint.
+    pub fn busy(id: &str, retry_after: Duration) -> Response {
+        Response {
+            id: id.to_owned(),
+            status: Some(Status::Busy),
+            retry_after_ms: Some(retry_after.as_millis() as u64),
+            ..Response::default()
+        }
+    }
+
+    /// An `error` response with a reason.
+    pub fn error(id: &str, reason: impl Into<String>) -> Response {
+        Response {
+            id: id.to_owned(),
+            status: Some(Status::Error),
+            reason: Some(reason.into()),
+            ..Response::default()
+        }
+    }
+
+    /// The canonical one-line rendering used by `seqver submit` and the
+    /// batch-comparison tests: stable, bit-exact per verdict.
+    pub fn verdict_line(&self) -> String {
+        match (self.status, &self.verdict) {
+            (Some(Status::Busy), _) => {
+                format!("BUSY retry-after-ms={}", self.retry_after_ms.unwrap_or(0))
+            }
+            (Some(Status::Error), _) => {
+                format!("ERROR: {}", self.reason.as_deref().unwrap_or("unknown"))
+            }
+            (_, Some(WireVerdict::Correct)) => "CORRECT".to_owned(),
+            (_, Some(WireVerdict::Incorrect(trace))) => {
+                let letters: Vec<String> = trace.iter().map(u32::to_string).collect();
+                format!("INCORRECT trace={}", letters.join(","))
+            }
+            (_, Some(WireVerdict::GaveUp)) => format!(
+                "GAVE-UP {}: {}",
+                self.category.as_deref().unwrap_or("?"),
+                self.reason.as_deref().unwrap_or("?")
+            ),
+            _ => "ERROR: empty response".to_owned(),
+        }
+    }
+
+    /// Renders the payload text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(RESPONSE_HEADER);
+        out.push('\n');
+        out.push_str(&format!("id: {}\n", sanitize(&self.id)));
+        let status = match self.status {
+            Some(Status::Busy) => "busy",
+            Some(Status::Error) => "error",
+            _ => "ok",
+        };
+        out.push_str(&format!("status: {status}\n"));
+        match &self.verdict {
+            Some(WireVerdict::Correct) => out.push_str("verdict: correct\n"),
+            Some(WireVerdict::Incorrect(trace)) => {
+                let letters: Vec<String> = trace.iter().map(u32::to_string).collect();
+                out.push_str(&format!("verdict: incorrect {}\n", letters.join(" ")));
+            }
+            Some(WireVerdict::GaveUp) => out.push_str("verdict: gave-up\n"),
+            None => {}
+        }
+        if let Some(c) = &self.category {
+            out.push_str(&format!("category: {}\n", sanitize(c)));
+        }
+        if let Some(r) = &self.reason {
+            out.push_str(&format!("reason: {}\n", sanitize(r)));
+        }
+        out.push_str(&format!("rounds: {}\n", self.rounds));
+        out.push_str(&format!("warm-assertions: {}\n", self.warm_assertions));
+        out.push_str(&format!("store-hit: {}\n", self.store_hit));
+        out.push_str(&format!("time-ms: {}\n", self.time_ms));
+        if let Some(ms) = self.retry_after_ms {
+            out.push_str(&format!("retry-after-ms: {ms}\n"));
+        }
+        for (k, v) in &self.info {
+            out.push_str(&format!("info: {}={}\n", sanitize(k), sanitize(v)));
+        }
+        out
+    }
+
+    /// Parses the [`Response::to_text`] form.
+    pub fn parse(text: &str) -> Result<Response, String> {
+        let rest = text
+            .strip_prefix(RESPONSE_HEADER)
+            .and_then(|r| r.strip_prefix('\n'))
+            .ok_or_else(|| format!("not a seqver response (expected `{RESPONSE_HEADER}`)"))?;
+        let mut resp = Response::default();
+        for line in rest.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(": ")
+                .ok_or_else(|| format!("malformed response line `{line}`"))?;
+            match key {
+                "id" => resp.id = value.to_owned(),
+                "status" => {
+                    resp.status = Some(match value {
+                        "ok" => Status::Ok,
+                        "busy" => Status::Busy,
+                        "error" => Status::Error,
+                        other => return Err(format!("unknown status `{other}`")),
+                    })
+                }
+                "verdict" => {
+                    resp.verdict = Some(if value == "correct" {
+                        WireVerdict::Correct
+                    } else if value == "gave-up" {
+                        WireVerdict::GaveUp
+                    } else if let Some(trace) = value.strip_prefix("incorrect") {
+                        let letters: Result<Vec<u32>, _> =
+                            trace.split_whitespace().map(str::parse).collect();
+                        WireVerdict::Incorrect(
+                            letters.map_err(|_| format!("invalid trace in `{value}`"))?,
+                        )
+                    } else {
+                        return Err(format!("unknown verdict `{value}`"));
+                    });
+                }
+                "category" => resp.category = Some(value.to_owned()),
+                "reason" => resp.reason = Some(value.to_owned()),
+                "rounds" => {
+                    resp.rounds = value
+                        .parse()
+                        .map_err(|_| format!("invalid rounds `{value}`"))?
+                }
+                "warm-assertions" => {
+                    resp.warm_assertions = value
+                        .parse()
+                        .map_err(|_| format!("invalid warm-assertions `{value}`"))?
+                }
+                "store-hit" => {
+                    resp.store_hit = value
+                        .parse()
+                        .map_err(|_| format!("invalid store-hit `{value}`"))?
+                }
+                "time-ms" => {
+                    resp.time_ms = value
+                        .parse()
+                        .map_err(|_| format!("invalid time-ms `{value}`"))?
+                }
+                "retry-after-ms" => {
+                    resp.retry_after_ms = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("invalid retry-after-ms `{value}`"))?,
+                    )
+                }
+                "info" => {
+                    let (k, v) = value
+                        .split_once('=')
+                        .ok_or_else(|| format!("malformed info line `{line}`"))?;
+                    resp.info.push((k.to_owned(), v.to_owned()));
+                }
+                other => return Err(format!("unknown response key `{other}`")),
+            }
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const FAST: Duration = Duration::from_millis(50);
+
+    #[test]
+    fn frame_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, "hello").unwrap();
+        write_frame(&mut wire, "").unwrap();
+        write_frame(&mut wire, "κόσμος").unwrap();
+        let mut r = Cursor::new(wire);
+        let mut fr = FrameReader::with_default_cap();
+        for expected in ["hello", "", "κόσμος"] {
+            assert_eq!(
+                fr.read_frame(&mut r, FAST, FAST).unwrap(),
+                FrameEvent::Frame(expected.to_owned())
+            );
+        }
+        assert_eq!(
+            fr.read_frame(&mut r, FAST, FAST).unwrap(),
+            FrameEvent::Closed
+        );
+    }
+
+    #[test]
+    fn malformed_oversized_and_truncated_frames_error() {
+        let mut fr = FrameReader::with_default_cap();
+        let mut r = Cursor::new(b"abc\nxxxx".to_vec());
+        assert!(matches!(
+            fr.read_frame(&mut r, FAST, FAST),
+            Err(FrameError::Malformed(_))
+        ));
+        let mut fr = FrameReader::with_default_cap();
+        let mut r = Cursor::new(format!("{}\n", MAX_FRAME + 1).into_bytes());
+        assert_eq!(
+            fr.read_frame(&mut r, FAST, FAST),
+            Err(FrameError::Oversized(MAX_FRAME + 1))
+        );
+        // EOF mid-payload: disconnected, not a clean close.
+        let mut fr = FrameReader::with_default_cap();
+        let mut r = Cursor::new(b"10\nabc".to_vec());
+        assert_eq!(
+            fr.read_frame(&mut r, FAST, FAST),
+            Err(FrameError::Disconnected)
+        );
+        // A length line that never ends.
+        let mut fr = FrameReader::with_default_cap();
+        let mut r = Cursor::new(vec![b'1'; 64]);
+        assert!(matches!(
+            fr.read_frame(&mut r, FAST, FAST),
+            Err(FrameError::Malformed(_))
+        ));
+        // Non-UTF-8 payload.
+        let mut fr = FrameReader::with_default_cap();
+        let mut r = Cursor::new(b"2\n\xff\xfe".to_vec());
+        assert!(matches!(
+            fr.read_frame(&mut r, FAST, FAST),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    /// A reader that yields its chunks then reports `WouldBlock` forever —
+    /// the shape of a slow-loris peer behind a socket read timeout.
+    struct Stalling {
+        chunks: Vec<Vec<u8>>,
+    }
+
+    impl Read for Stalling {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if let Some(chunk) = self.chunks.pop() {
+                buf[..chunk.len()].copy_from_slice(&chunk);
+                Ok(chunk.len())
+            } else {
+                std::thread::sleep(Duration::from_millis(1));
+                Err(std::io::Error::from(ErrorKind::WouldBlock))
+            }
+        }
+    }
+
+    #[test]
+    fn slow_loris_stalls_out_and_idle_closes_cleanly() {
+        // Mid-frame stall: frame started, never finished.
+        let mut fr = FrameReader::with_default_cap();
+        let mut r = Stalling {
+            chunks: vec![b"20\npartial".to_vec()],
+        };
+        assert_eq!(
+            fr.read_frame(&mut r, Duration::from_millis(30), Duration::from_millis(30)),
+            Err(FrameError::Stalled)
+        );
+        // Pure idleness at a frame boundary is an event the caller can
+        // act on (poll shutdown, enforce its own idle budget), not an
+        // error.
+        let mut fr = FrameReader::with_default_cap();
+        let mut r = Stalling { chunks: vec![] };
+        assert_eq!(
+            fr.read_frame(&mut r, Duration::from_millis(30), Duration::from_millis(30)),
+            Ok(FrameEvent::Idle)
+        );
+    }
+
+    #[test]
+    fn request_text_round_trips() {
+        let reqs = [
+            Request::verify(
+                "r-1",
+                "var x: int = 0;\nthread t { assert x >= 0; }\nspawn t;\n",
+            ),
+            Request {
+                id: "r-2".into(),
+                cmd: Command::Verify {
+                    source: "src".into(),
+                    opts: VerifyOpts {
+                        timeout: Some(Duration::from_millis(750)),
+                        retries: Some(2),
+                        steps: vec![("dfs-states".into(), 400), ("simplex-pivots".into(), 9)],
+                        faults: Some("simplex-pivots:3:panic".into()),
+                    },
+                },
+            },
+            Request::control("p", Command::Ping),
+            Request::control("s", Command::Stats),
+            Request::control("q", Command::Shutdown),
+        ];
+        for req in reqs {
+            assert_eq!(Request::parse(&req.to_text()), Ok(req));
+        }
+        for bad in [
+            "",
+            "nonsense",
+            "seqver-request v2\nid: x\ncmd: ping\n",
+            "seqver-request v1\nid: x\ncmd: verify\n", // no program
+            "seqver-request v1\nbadline\n",
+            "seqver-request v1\ncmd: explode\nprogram:\nx",
+        ] {
+            assert!(Request::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn response_text_round_trips() {
+        let resps = [
+            Response {
+                id: "r-1".into(),
+                status: Some(Status::Ok),
+                verdict: Some(WireVerdict::Correct),
+                rounds: 12,
+                warm_assertions: 3,
+                store_hit: true,
+                time_ms: 18,
+                ..Response::default()
+            },
+            Response {
+                id: "r-2".into(),
+                status: Some(Status::Ok),
+                verdict: Some(WireVerdict::Incorrect(vec![0, 4, 2])),
+                ..Response::default()
+            },
+            Response {
+                id: "r-3".into(),
+                status: Some(Status::Ok),
+                verdict: Some(WireVerdict::GaveUp),
+                category: Some("deadline".into()),
+                reason: Some("wall-clock deadline exceeded".into()),
+                ..Response::default()
+            },
+            Response::busy("r-4", Duration::from_millis(50)),
+            Response::error("r-5", "no such program"),
+            Response {
+                id: "r-6".into(),
+                status: Some(Status::Ok),
+                info: vec![("requests".into(), "7".into()), ("shed".into(), "1".into())],
+                ..Response::default()
+            },
+        ];
+        for resp in resps {
+            assert_eq!(Response::parse(&resp.to_text()), Ok(resp));
+        }
+        assert!(Response::parse("garbage").is_err());
+        assert!(Response::parse("seqver-response v1\nstatus: odd\n").is_err());
+    }
+
+    #[test]
+    fn verdict_lines_are_stable() {
+        let mut r = Response {
+            id: "x".into(),
+            status: Some(Status::Ok),
+            verdict: Some(WireVerdict::Incorrect(vec![1, 4, 2])),
+            ..Response::default()
+        };
+        assert_eq!(r.verdict_line(), "INCORRECT trace=1,4,2");
+        r.verdict = Some(WireVerdict::Correct);
+        assert_eq!(r.verdict_line(), "CORRECT");
+        assert_eq!(
+            Response::busy("x", Duration::from_millis(75)).verdict_line(),
+            "BUSY retry-after-ms=75"
+        );
+    }
+}

@@ -1,0 +1,552 @@
+//! The crash-safe persistent proof store behind `seqver serve`.
+//!
+//! One text file holds everything a daemon wants back after a restart:
+//! per-program **records** (fingerprint, definitive verdict, refinement
+//! round count, and the harvested Floyd/Hoare assertions in their
+//! pool-independent [`ExportedTerm`] text form) plus a bounded set of
+//! exported **query-cache entries** that pre-warm the solver-level
+//! memoization cache.
+//!
+//! Robustness contract:
+//!
+//! * **Atomic + durable writes** — the whole store is rendered and written
+//!   through [`gemcutter::snapshot::write_atomic_durable`] after every
+//!   served request (fsynced temp file, atomic rename, fsynced parent
+//!   directory), so a `kill -9` or power cut leaves the previous complete
+//!   store, never a torn one.
+//! * **Per-record checksums** — every record and every query-cache entry
+//!   carries an FNV-1a checksum over its own body *including the
+//!   fingerprint/key*, so a flipped bit anywhere (even one that would
+//!   re-home a record under the wrong program) drops exactly that entry.
+//! * **Lenient loading** — [`ProofStore::open`] never panics and never
+//!   fails: a missing file is a fresh store, a wrong version or missing
+//!   `end` marker is a cold start, and a corrupt record is dropped with a
+//!   warning while intact siblings survive. The worst corruption can do
+//!   is cost warm starts.
+//! * **Soundness regardless** — even a record that passes its checksum is
+//!   only ever *advice*: assertions are re-validated by Hoare queries when
+//!   seeded, query-cache `Sat` models are re-validated by evaluation, and
+//!   a stored verdict is only served for an exact fingerprint match of a
+//!   program this build already verified.
+
+use gemcutter::snapshot::{fnv1a, write_atomic_durable};
+use smt::qcache::CachedVerdict;
+use smt::transfer::ExportedTerm;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// First line of a store file.
+pub const STORE_HEADER: &str = "seqver-store v1";
+/// Trailing completeness marker.
+const FOOTER: &str = "end";
+
+/// A definitive verdict worth persisting. `GaveUp` outcomes are
+/// deliberately unrepresentable: they depend on the budgets of the run
+/// that produced them, so replaying one from disk could mask a verdict a
+/// better-resourced rerun would reach.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoredVerdict {
+    Correct,
+    /// The witness interleaving as statement letter indices.
+    Incorrect(Vec<u32>),
+}
+
+impl StoredVerdict {
+    fn to_line(&self) -> String {
+        match self {
+            StoredVerdict::Correct => "correct".to_owned(),
+            StoredVerdict::Incorrect(trace) => {
+                let letters: Vec<String> = trace.iter().map(u32::to_string).collect();
+                format!("incorrect {}", letters.join(" "))
+                    .trim_end()
+                    .to_owned()
+            }
+        }
+    }
+
+    fn parse(s: &str) -> Result<StoredVerdict, String> {
+        if s == "correct" {
+            return Ok(StoredVerdict::Correct);
+        }
+        if let Some(trace) = s.strip_prefix("incorrect") {
+            let letters: Result<Vec<u32>, _> = trace.split_whitespace().map(str::parse).collect();
+            return letters
+                .map(StoredVerdict::Incorrect)
+                .map_err(|_| format!("invalid trace in stored verdict `{s}`"));
+        }
+        Err(format!("unknown stored verdict `{s}`"))
+    }
+}
+
+/// One program's persisted result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreRecord {
+    /// [`gemcutter::snapshot::program_fingerprint`] of the program.
+    pub fingerprint: u64,
+    /// Program name — the near-duplicate warm-start key: a resubmitted
+    /// program whose fingerprint changed but whose name matches seeds
+    /// from this record's assertions.
+    pub name: String,
+    pub verdict: StoredVerdict,
+    /// Refinement rounds the original run took (reported on store hits).
+    pub rounds: u64,
+    /// Harvested proof assertions, discovery order.
+    pub assertions: Vec<ExportedTerm>,
+}
+
+impl StoreRecord {
+    /// The checksummed body: every line after the `record:` line through
+    /// `end-record`, exactly as written.
+    fn body(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name: {}\n", self.name.replace(['\n', '\r'], " ")));
+        out.push_str(&format!("verdict: {}\n", self.verdict.to_line()));
+        out.push_str(&format!("rounds: {}\n", self.rounds));
+        for a in &self.assertions {
+            out.push_str(&format!("assertion: {}\n", a.to_text()));
+        }
+        out.push_str("end-record\n");
+        out
+    }
+
+    /// Checksum over fingerprint *and* body, so a bit flip in the
+    /// `record:` header line (which would re-home the record under a
+    /// different program) is caught exactly like one in the body.
+    fn checksum(&self) -> u64 {
+        fnv1a(format!("{:016x}\n{}", self.fingerprint, self.body()).as_bytes())
+    }
+
+    fn to_text(&self) -> String {
+        format!(
+            "record: {:016x} {:016x}\n{}",
+            self.fingerprint,
+            self.checksum(),
+            self.body()
+        )
+    }
+
+    /// Parses one record given its header fields and body lines.
+    fn parse(fingerprint: u64, declared: u64, body: &str) -> Result<StoreRecord, String> {
+        let actual = fnv1a(format!("{fingerprint:016x}\n{body}").as_bytes());
+        if actual != declared {
+            return Err(format!(
+                "record {fingerprint:016x}: checksum mismatch (declared {declared:016x}, \
+                 computed {actual:016x})"
+            ));
+        }
+        let mut record = StoreRecord {
+            fingerprint,
+            name: String::new(),
+            verdict: StoredVerdict::Correct,
+            rounds: 0,
+            assertions: Vec::new(),
+        };
+        let mut seen_verdict = false;
+        for line in body.lines() {
+            if line == "end-record" {
+                break;
+            }
+            let (key, value) = line
+                .split_once(": ")
+                .ok_or_else(|| format!("malformed record line `{line}`"))?;
+            match key {
+                "name" => record.name = value.to_owned(),
+                "verdict" => {
+                    record.verdict = StoredVerdict::parse(value)?;
+                    seen_verdict = true;
+                }
+                "rounds" => {
+                    record.rounds = value
+                        .parse()
+                        .map_err(|_| format!("invalid rounds `{value}`"))?
+                }
+                "assertion" => record.assertions.push(ExportedTerm::parse(value)?),
+                other => return Err(format!("unknown record key `{other}`")),
+            }
+        }
+        if !seen_verdict {
+            return Err(format!("record {fingerprint:016x} has no verdict"));
+        }
+        Ok(record)
+    }
+}
+
+/// The in-memory store plus its optional backing file.
+#[derive(Debug, Default)]
+pub struct ProofStore {
+    path: Option<PathBuf>,
+    /// Insertion order, for stable rendering; at most one per fingerprint.
+    records: Vec<StoreRecord>,
+    by_fingerprint: HashMap<u64, usize>,
+    qcache_entries: Vec<(ExportedTerm, CachedVerdict)>,
+}
+
+impl ProofStore {
+    /// A store with no backing file (tests, `serve` without `--store`).
+    pub fn in_memory() -> ProofStore {
+        ProofStore::default()
+    }
+
+    /// Opens (or initializes) the store at `path`, leniently: the result
+    /// is always usable, and every piece of the file that had to be
+    /// dropped is described by a warning. Never panics, never errors.
+    pub fn open(path: &Path) -> (ProofStore, Vec<String>) {
+        let (mut store, warnings) = match std::fs::read_to_string(path) {
+            Ok(text) => ProofStore::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                (ProofStore::default(), Vec::new())
+            }
+            Err(e) => (
+                ProofStore::default(),
+                vec![format!(
+                    "cannot read store `{}`: {e}; starting cold",
+                    path.display()
+                )],
+            ),
+        };
+        store.path = Some(path.to_path_buf());
+        (store, warnings)
+    }
+
+    /// Parses a store file, dropping whatever does not verify. A bad
+    /// header/version or a missing `end` marker (truncation — impossible
+    /// under our own atomic writer, so the file is foreign or damaged)
+    /// degrades to a fully cold store.
+    pub fn parse(text: &str) -> (ProofStore, Vec<String>) {
+        let mut store = ProofStore::default();
+        let mut warnings = Vec::new();
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h == STORE_HEADER => {}
+            Some(h) => {
+                warnings.push(format!(
+                    "unsupported store header `{h}` (this build reads `{STORE_HEADER}`); \
+                     starting cold"
+                ));
+                return (store, warnings);
+            }
+            None => {
+                warnings.push("empty store file; starting cold".to_owned());
+                return (store, warnings);
+            }
+        }
+        if !text.lines().any(|l| l == FOOTER) {
+            warnings.push("store is truncated (no `end` marker); starting cold".to_owned());
+            return (ProofStore::default(), warnings);
+        }
+        let mut complete = false;
+        while let Some(line) = lines.next() {
+            if complete {
+                warnings.push("content after the `end` marker ignored".to_owned());
+                break;
+            }
+            if line == FOOTER {
+                complete = true;
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("record: ") {
+                // Collect the body through `end-record`, then verify.
+                let mut body = String::new();
+                let mut closed = false;
+                for body_line in lines.by_ref() {
+                    body.push_str(body_line);
+                    body.push('\n');
+                    if body_line == "end-record" {
+                        closed = true;
+                        break;
+                    }
+                    if body_line == FOOTER || body_line.starts_with("record: ") {
+                        break;
+                    }
+                }
+                if !closed {
+                    warnings.push(format!("unterminated record `{header}` dropped"));
+                    // The inner scan may have consumed the footer; it was
+                    // already sighted by the whole-file check above, so
+                    // parsing simply ends here.
+                    if body.contains(&format!("\n{FOOTER}\n"))
+                        || body.ends_with(&format!("{FOOTER}\n"))
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                match parse_record_header(header)
+                    .and_then(|(fp, sum)| StoreRecord::parse(fp, sum, &body))
+                {
+                    Ok(record) => store.insert(record),
+                    Err(e) => warnings.push(format!("store record dropped: {e}")),
+                }
+            } else if let Some(rest) = line.strip_prefix("qcache: ") {
+                match parse_qcache_line(rest) {
+                    Ok(entry) => store.qcache_entries.push(entry),
+                    Err(e) => warnings.push(format!("store qcache entry dropped: {e}")),
+                }
+            } else {
+                warnings.push(format!("unrecognized store line `{line}` ignored"));
+            }
+        }
+        (store, warnings)
+    }
+
+    /// Renders the whole store.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(STORE_HEADER);
+        out.push('\n');
+        for record in &self.records {
+            out.push_str(&record.to_text());
+        }
+        for (key, verdict) in &self.qcache_entries {
+            let body = format!("{}\t{}", verdict.to_text(), key.to_text());
+            out.push_str(&format!("qcache: {:016x} {body}\n", fnv1a(body.as_bytes())));
+        }
+        out.push_str(FOOTER);
+        out.push('\n');
+        out
+    }
+
+    /// Writes the store to its backing file atomically and durably; a
+    /// no-op for in-memory stores.
+    pub fn flush(&self) -> Result<(), String> {
+        match &self.path {
+            Some(path) => write_atomic_durable(path, &self.to_text()),
+            None => Ok(()),
+        }
+    }
+
+    /// Inserts (or replaces, by fingerprint) one record.
+    pub fn insert(&mut self, record: StoreRecord) {
+        match self.by_fingerprint.get(&record.fingerprint) {
+            Some(&i) => self.records[i] = record,
+            None => {
+                self.by_fingerprint
+                    .insert(record.fingerprint, self.records.len());
+                self.records.push(record);
+            }
+        }
+    }
+
+    /// The record for an exact program fingerprint, if present.
+    pub fn lookup(&self, fingerprint: u64) -> Option<&StoreRecord> {
+        self.by_fingerprint
+            .get(&fingerprint)
+            .map(|&i| &self.records[i])
+    }
+
+    /// Warm-start seeds for a program that misses by fingerprint:
+    /// assertions harvested from same-name records (near-duplicate
+    /// programs — edited sources keep their name), deduped in discovery
+    /// order. Sound to seed because every assertion is re-validated by
+    /// Hoare queries on use.
+    pub fn warm_assertions(&self, name: &str, fingerprint: u64) -> Vec<ExportedTerm> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for record in &self.records {
+            if record.name == name && record.fingerprint != fingerprint {
+                for a in &record.assertions {
+                    if seen.insert(a.clone()) {
+                        out.push(a.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Replaces the persisted query-cache working set.
+    pub fn set_qcache_entries(&mut self, entries: Vec<(ExportedTerm, CachedVerdict)>) {
+        self.qcache_entries = entries;
+    }
+
+    /// The persisted query-cache entries (imported on startup).
+    pub fn qcache_entries(&self) -> &[(ExportedTerm, CachedVerdict)] {
+        &self.qcache_entries
+    }
+
+    /// All records, insertion order.
+    pub fn records(&self) -> &[StoreRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+fn parse_record_header(header: &str) -> Result<(u64, u64), String> {
+    let (fp, sum) = header
+        .split_once(' ')
+        .ok_or_else(|| format!("malformed record header `{header}`"))?;
+    let fp = u64::from_str_radix(fp, 16).map_err(|_| format!("invalid fingerprint `{fp}`"))?;
+    let sum = u64::from_str_radix(sum, 16).map_err(|_| format!("invalid checksum `{sum}`"))?;
+    Ok((fp, sum))
+}
+
+fn parse_qcache_line(rest: &str) -> Result<(ExportedTerm, CachedVerdict), String> {
+    let (sum, body) = rest
+        .split_once(' ')
+        .ok_or_else(|| format!("malformed qcache line `{rest}`"))?;
+    let declared =
+        u64::from_str_radix(sum, 16).map_err(|_| format!("invalid qcache checksum `{sum}`"))?;
+    let actual = fnv1a(body.as_bytes());
+    if declared != actual {
+        return Err(format!(
+            "qcache entry checksum mismatch (declared {declared:016x}, computed {actual:016x})"
+        ));
+    }
+    let (verdict, key) = body
+        .split_once('\t')
+        .ok_or_else(|| format!("malformed qcache body `{body}`"))?;
+    Ok((ExportedTerm::parse(key)?, CachedVerdict::parse(verdict)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt::linear::Rel;
+
+    fn atom(name: &str, k: i128) -> ExportedTerm {
+        ExportedTerm::Atom {
+            coeffs: vec![(name.to_owned(), 1)],
+            constant: k,
+            rel: Rel::Le0,
+        }
+    }
+
+    fn sample() -> ProofStore {
+        let mut store = ProofStore::in_memory();
+        store.insert(StoreRecord {
+            fingerprint: 0x1111,
+            name: "counter".into(),
+            verdict: StoredVerdict::Correct,
+            rounds: 7,
+            assertions: vec![atom("x", -1), ExportedTerm::And(vec![atom("y", 2)])],
+        });
+        store.insert(StoreRecord {
+            fingerprint: 0x2222,
+            name: "counter-racy".into(),
+            verdict: StoredVerdict::Incorrect(vec![0, 3, 1]),
+            rounds: 2,
+            assertions: vec![],
+        });
+        store.set_qcache_entries(vec![
+            (atom("z", 5), CachedVerdict::Unsat),
+            (atom("w", -3), CachedVerdict::Sat(vec![("w".into(), 3)])),
+        ]);
+        store
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let store = sample();
+        let (reparsed, warnings) = ProofStore::parse(&store.to_text());
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(reparsed.records(), store.records());
+        assert_eq!(reparsed.qcache_entries(), store.qcache_entries());
+    }
+
+    #[test]
+    fn lookup_and_warm_assertions() {
+        let mut store = sample();
+        assert_eq!(store.lookup(0x1111).unwrap().rounds, 7);
+        assert!(store.lookup(0x9999).is_none());
+        // Same-name record with a different fingerprint contributes seeds.
+        assert_eq!(store.warm_assertions("counter", 0xdead).len(), 2);
+        // ... but an exact-fingerprint match does not (it is a store hit).
+        assert!(store.warm_assertions("counter", 0x1111).is_empty());
+        // Replacement by fingerprint, not duplication.
+        store.insert(StoreRecord {
+            fingerprint: 0x1111,
+            name: "counter".into(),
+            verdict: StoredVerdict::Correct,
+            rounds: 9,
+            assertions: vec![],
+        });
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.lookup(0x1111).unwrap().rounds, 9);
+    }
+
+    #[test]
+    fn corrupt_records_are_dropped_not_fatal() {
+        let store = sample();
+        let text = store.to_text();
+        // Flip a byte inside the first record's body.
+        let idx = text.find("rounds: 7").unwrap() + "rounds: ".len();
+        let mut bytes = text.clone().into_bytes();
+        bytes[idx] = b'8';
+        let (reparsed, warnings) = ProofStore::parse(std::str::from_utf8(&bytes).unwrap());
+        assert_eq!(reparsed.len(), 1, "only the damaged record is dropped");
+        assert!(reparsed.lookup(0x1111).is_none());
+        assert!(reparsed.lookup(0x2222).is_some());
+        assert!(!warnings.is_empty());
+    }
+
+    #[test]
+    fn truncation_and_bad_versions_cold_start() {
+        let text = sample().to_text();
+        for corrupt in [
+            &text[..text.len() - 5],   // missing `end`
+            &text[..text.len() / 2],   // cut mid-record
+            "",                        // empty
+            "seqver-store v99\nend\n", // future version
+            "not a store at all\n",    // garbage
+        ] {
+            let (store, warnings) = ProofStore::parse(corrupt);
+            assert!(store.is_empty(), "cold start expected for {corrupt:?}");
+            assert!(store.qcache_entries().is_empty());
+            assert!(!warnings.is_empty(), "warning expected for {corrupt:?}");
+        }
+    }
+
+    #[test]
+    fn flipped_fingerprint_is_caught() {
+        // A bit flip in the record header would re-home the record under a
+        // different program; the checksum covers the fingerprint.
+        let text = sample().to_text();
+        let flipped = text.replacen("record: 0000000000001111", "record: 0000000000001119", 1);
+        let (store, warnings) = ProofStore::parse(&flipped);
+        assert!(
+            store.lookup(0x1119).is_none(),
+            "re-homed record must not load"
+        );
+        assert!(store.lookup(0x1111).is_none());
+        assert!(warnings.iter().any(|w| w.contains("checksum")));
+    }
+
+    #[test]
+    fn corrupt_qcache_entries_are_dropped() {
+        let text = sample().to_text();
+        let broken = text.replacen("qcache: ", "qcache: 0000000000000000 x ", 1);
+        let (store, warnings) = ProofStore::parse(&broken);
+        assert!(store.qcache_entries().len() < 2);
+        assert!(!warnings.is_empty());
+    }
+
+    #[test]
+    fn open_missing_file_is_fresh_and_flush_round_trips() {
+        let dir = std::env::temp_dir().join(format!("seqver-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("proofs.store");
+        let (mut store, warnings) = ProofStore::open(&path);
+        assert!(store.is_empty() && warnings.is_empty());
+        store.insert(StoreRecord {
+            fingerprint: 42,
+            name: "p".into(),
+            verdict: StoredVerdict::Correct,
+            rounds: 1,
+            assertions: vec![atom("x", 0)],
+        });
+        store.flush().unwrap();
+        let (reopened, warnings) = ProofStore::open(&path);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(reopened.records(), store.records());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,246 @@
+//! Proof-store corruption battery: the persistent store behind
+//! `seqver serve` must load *leniently* no matter what happened to the
+//! file — a flipped bit, a truncation, an empty file or a foreign format
+//! may cost warm starts, but can never panic the daemon and can never
+//! smuggle in a record (or query-cache entry) that differs from one this
+//! build wrote. The properties here drive randomly generated stores
+//! through random byte-level damage and check exactly that.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use serve::store::{ProofStore, StoreRecord, StoredVerdict};
+use smt::linear::Rel;
+use smt::qcache::CachedVerdict;
+use smt::transfer::ExportedTerm;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn atom() -> SBox<ExportedTerm> {
+    (
+        vec(("[a-z]{1,4}", prop_oneof![-9i128..0, 1i128..9]), 0..3),
+        -1000i128..1000,
+        prop_oneof![Just(Rel::Le0), Just(Rel::Eq0)],
+    )
+        .prop_map(|(coeffs, constant, rel)| ExportedTerm::Atom {
+            coeffs,
+            constant,
+            rel,
+        })
+}
+
+/// Assertions as the harvester produces them: atoms, shallow conjunctions
+/// and disjunctions, and the boolean constants.
+fn term() -> SBox<ExportedTerm> {
+    prop_oneof![
+        atom(),
+        atom(),
+        Just(ExportedTerm::True),
+        Just(ExportedTerm::False),
+        vec(atom(), 0..3).prop_map(ExportedTerm::And),
+        vec(atom(), 0..3).prop_map(ExportedTerm::Or),
+    ]
+}
+
+fn verdict() -> SBox<StoredVerdict> {
+    prop_oneof![
+        Just(StoredVerdict::Correct).boxed(),
+        vec(any::<u32>(), 0..6).prop_map(StoredVerdict::Incorrect),
+    ]
+}
+
+fn record() -> SBox<StoreRecord> {
+    (
+        any::<u64>(),
+        "[a-z][a-z0-9-]{0,10}",
+        verdict(),
+        0u64..10_000,
+        vec(term(), 0..4),
+    )
+        .prop_map(
+            |(fingerprint, name, verdict, rounds, assertions)| StoreRecord {
+                fingerprint,
+                name,
+                verdict,
+                rounds,
+                assertions,
+            },
+        )
+}
+
+fn cached_verdict() -> SBox<CachedVerdict> {
+    prop_oneof![
+        Just(CachedVerdict::Unsat).boxed(),
+        vec(("[a-z]{1,4}", -50i128..50), 0..3).prop_map(CachedVerdict::Sat),
+    ]
+}
+
+fn store() -> SBox<ProofStore> {
+    (vec(record(), 0..5), vec((atom(), cached_verdict()), 0..4)).prop_map(|(records, qcache)| {
+        let mut store = ProofStore::in_memory();
+        for r in records {
+            store.insert(r);
+        }
+        store.set_qcache_entries(qcache);
+        store
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Every surviving record and query-cache entry must be byte-for-byte one
+/// the original store held — lenient loading may *drop*, never *invent or
+/// alter*.
+fn assert_no_wrong_content(original: &ProofStore, loaded: &ProofStore) {
+    for r in loaded.records() {
+        let source = original.lookup(r.fingerprint);
+        assert_eq!(
+            source,
+            Some(r),
+            "record {:016x} survived corruption with altered content",
+            r.fingerprint
+        );
+    }
+    for entry in loaded.qcache_entries() {
+        assert!(
+            original.qcache_entries().contains(entry),
+            "qcache entry survived corruption with altered content: {entry:?}"
+        );
+    }
+}
+
+/// Loads possibly-invalid bytes the way the daemon does: valid UTF-8 goes
+/// straight to the parser; invalid UTF-8 goes through a real file and
+/// [`ProofStore::open`], which must degrade to a cold start, not panic.
+fn load_damaged(bytes: &[u8]) -> (ProofStore, Vec<String>) {
+    match std::str::from_utf8(bytes) {
+        Ok(text) => ProofStore::parse(text),
+        Err(_) => {
+            static N: AtomicUsize = AtomicUsize::new(0);
+            let path = std::env::temp_dir().join(format!(
+                "seqver-corrupt-{}-{}.store",
+                std::process::id(),
+                N.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::write(&path, bytes).unwrap();
+            let loaded = ProofStore::open(&path);
+            let _ = std::fs::remove_file(&path);
+            loaded
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An undamaged store round-trips bit-identically, with no warnings.
+    #[test]
+    fn round_trip_is_identity(store in store()) {
+        let (reparsed, warnings) = ProofStore::parse(&store.to_text());
+        prop_assert!(warnings.is_empty(), "clean store warned: {warnings:?}");
+        prop_assert_eq!(reparsed.records(), store.records());
+        prop_assert_eq!(reparsed.qcache_entries(), store.qcache_entries());
+    }
+
+    /// A single flipped byte anywhere in the file never panics the loader
+    /// and never yields a record that differs from an original. (FNV-1a is
+    /// not cryptographic, but a one-byte substitution cannot preserve it.)
+    #[test]
+    fn byte_flip_never_yields_wrong_content(
+        store in store(),
+        position in any::<usize>(),
+        replacement in any::<u8>(),
+    ) {
+        let mut bytes = store.to_text().into_bytes();
+        let at = position % bytes.len();
+        if bytes[at] != replacement {
+            bytes[at] = replacement;
+            let (loaded, _warnings) = load_damaged(&bytes);
+            assert_no_wrong_content(&store, &loaded);
+        }
+    }
+
+    /// A burst of random damage (several flipped bytes) is no worse: still
+    /// no panic, still nothing invented.
+    #[test]
+    fn multi_byte_damage_never_yields_wrong_content(
+        store in store(),
+        flips in vec((any::<usize>(), any::<u8>()), 1..8),
+    ) {
+        let mut bytes = store.to_text().into_bytes();
+        for (position, replacement) in flips {
+            let at = position % bytes.len();
+            bytes[at] = replacement;
+        }
+        let (loaded, _warnings) = load_damaged(&bytes);
+        assert_no_wrong_content(&store, &loaded);
+    }
+
+    /// Truncation at any byte boundary loads leniently; when the `end`
+    /// completeness marker is gone the store cold-starts outright (the
+    /// atomic writer never produces such a file, so it is not trusted).
+    #[test]
+    fn truncation_degrades_to_cold_start(
+        store in store(),
+        cut in any::<usize>(),
+    ) {
+        let text = store.to_text();
+        let mut at = cut % (text.len() + 1);
+        while !text.is_char_boundary(at) {
+            at -= 1;
+        }
+        let truncated = &text[..at];
+        let (loaded, warnings) = ProofStore::parse(truncated);
+        assert_no_wrong_content(&store, &loaded);
+        if !truncated.lines().any(|l| l == "end") {
+            prop_assert!(
+                loaded.is_empty() && loaded.qcache_entries().is_empty(),
+                "store without its completeness marker must cold-start"
+            );
+            prop_assert!(!warnings.is_empty(), "cold start must be explained");
+        }
+    }
+
+    /// Foreign or future files never panic and never contribute records.
+    #[test]
+    fn foreign_files_cold_start(text in "[ -~\n]{0,200}") {
+        if !text.starts_with("seqver-store v1") {
+            let (loaded, _warnings) = ProofStore::parse(&text);
+            prop_assert!(loaded.is_empty());
+            prop_assert!(loaded.qcache_entries().is_empty());
+        }
+    }
+
+    /// The full disk path — durable flush, reopen — is also an identity.
+    #[test]
+    fn flush_and_reopen_is_identity(store in store()) {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "seqver-store-prop-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("proofs.store");
+        let (mut on_disk, warnings) = ProofStore::open(&path);
+        prop_assert!(warnings.is_empty());
+        for r in store.records() {
+            on_disk.insert(r.clone());
+        }
+        on_disk.set_qcache_entries(store.qcache_entries().to_vec());
+        on_disk.flush().unwrap();
+        let (reopened, warnings) = ProofStore::open(&path);
+        std::fs::remove_dir_all(&dir).unwrap();
+        prop_assert!(warnings.is_empty(), "{warnings:?}");
+        prop_assert_eq!(reopened.records(), store.records());
+        prop_assert_eq!(reopened.qcache_entries(), store.qcache_entries());
+    }
+}

@@ -34,9 +34,23 @@
 //! than compete.
 //!
 //! The cache is an [`Arc`]-shared, sharded hash map with a bounded
-//! per-shard capacity (FIFO eviction) and atomic hit/miss/insert/evict
-//! counters. Cloning a [`QueryCache`] — or a [`crate::TermPool`] holding
-//! one — shares the underlying storage.
+//! per-shard capacity and atomic hit/miss/insert/evict counters. Eviction
+//! is **second-chance** (a one-bit clock): every lookup sets the entry's
+//! referenced bit, and when a shard is over capacity the oldest entry is
+//! either evicted (bit clear) or given a second chance at the back of the
+//! queue (bit set, cleared in passing). Long-running daemons therefore
+//! keep their working set hot under a strict memory bound, instead of
+//! either leaking (unbounded growth) or churning it (plain FIFO evicting
+//! the entries that are hit every round). Cloning a [`QueryCache`] — or a
+//! [`crate::TermPool`] holding one — shares the underlying storage.
+//!
+//! For cross-*process* reuse (the `seqver serve` proof store), definitive
+//! entries can be exported as `(canonical key, verdict)` pairs
+//! ([`QueryCache::export_entries`]) whose verdicts have a stable text form
+//! ([`CachedVerdict::to_text`]/[`CachedVerdict::parse`]); re-importing on
+//! startup pre-warms a fresh cache. The same soundness rules apply: an
+//! imported `Sat` model is still re-validated on every hit, so a stale or
+//! corrupted entry costs a miss, never a wrong verdict.
 
 use crate::transfer::ExportedTerm;
 use std::collections::hash_map::DefaultHasher;
@@ -61,6 +75,86 @@ pub enum CachedVerdict {
     Sat(Vec<(String, i128)>),
     /// Unsatisfiable.
     Unsat,
+}
+
+impl CachedVerdict {
+    /// Renders the verdict as a single-line token stream, stable across
+    /// processes — the on-disk form used by the `seqver serve` proof
+    /// store: `unsat`, or `sat (|name| value)*` with the same
+    /// `|…|`-quoting (escaping `\` and `|`) as
+    /// [`crate::transfer::ExportedTerm::to_text`].
+    pub fn to_text(&self) -> String {
+        match self {
+            CachedVerdict::Unsat => "unsat".to_owned(),
+            CachedVerdict::Sat(model) => {
+                let mut out = String::from("sat");
+                for (name, v) in model {
+                    out.push_str(" (|");
+                    for c in name.chars() {
+                        if c == '\\' || c == '|' {
+                            out.push('\\');
+                        }
+                        out.push(c);
+                    }
+                    out.push_str(&format!("| {v})"));
+                }
+                out
+            }
+        }
+    }
+
+    /// Parses the [`CachedVerdict::to_text`] form back; inverse on every
+    /// well-formed input, `Err` (never a panic) on anything else.
+    pub fn parse(s: &str) -> Result<CachedVerdict, String> {
+        let s = s.trim();
+        if s == "unsat" {
+            return Ok(CachedVerdict::Unsat);
+        }
+        let Some(mut rest) = s.strip_prefix("sat") else {
+            return Err(format!("invalid cached verdict `{s}`"));
+        };
+        let mut model = Vec::new();
+        loop {
+            rest = rest.trim_start();
+            if rest.is_empty() {
+                return Ok(CachedVerdict::Sat(model));
+            }
+            rest = rest
+                .strip_prefix("(|")
+                .ok_or_else(|| format!("expected `(|` in cached model near `{rest}`"))?;
+            let mut name = String::new();
+            let mut escaped = false;
+            let mut consumed = 0;
+            let mut closed = false;
+            for c in rest.chars() {
+                consumed += c.len_utf8();
+                if escaped {
+                    name.push(c);
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '|' {
+                    closed = true;
+                    break;
+                } else {
+                    name.push(c);
+                }
+            }
+            if !closed {
+                return Err("unterminated |…| name in cached model".to_owned());
+            }
+            rest = &rest[consumed..];
+            let close = rest
+                .find(')')
+                .ok_or_else(|| format!("missing `)` in cached model near `{rest}`"))?;
+            let value: i128 = rest[..close]
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid model value `{}`", rest[..close].trim()))?;
+            model.push((name, value));
+            rest = &rest[close + 1..];
+        }
+    }
 }
 
 /// A point-in-time snapshot of the cache counters. Counters are
@@ -101,10 +195,17 @@ impl CacheStats {
     }
 }
 
+/// A cached verdict plus its second-chance clock bit.
+struct Entry {
+    verdict: CachedVerdict,
+    /// Set on every lookup; grants one round of immunity at eviction time.
+    referenced: bool,
+}
+
 #[derive(Default)]
 struct Shard {
-    map: HashMap<ExportedTerm, CachedVerdict>,
-    /// Insertion order for FIFO eviction.
+    map: HashMap<ExportedTerm, Entry>,
+    /// Clock order for second-chance eviction (oldest at the front).
     queue: VecDeque<ExportedTerm>,
 }
 
@@ -169,17 +270,16 @@ impl QueryCache {
         &self.inner.shards[hasher.finish() as usize % NUM_SHARDS]
     }
 
-    /// Looks up a canonical key. Does **not** count a hit or miss — the
-    /// solver calls [`QueryCache::note_hit`]/[`QueryCache::note_miss`]
-    /// after deciding whether the entry is actually usable (a `Sat` model
-    /// that fails re-validation is counted as a miss).
+    /// Looks up a canonical key, marking the entry as recently used (its
+    /// second-chance bit). Does **not** count a hit or miss — the solver
+    /// calls [`QueryCache::note_hit`]/[`QueryCache::note_miss`] after
+    /// deciding whether the entry is actually usable (a `Sat` model that
+    /// fails re-validation is counted as a miss).
     pub fn get(&self, key: &ExportedTerm) -> Option<CachedVerdict> {
-        self.shard(key)
-            .lock()
-            .expect("qcache shard")
-            .map
-            .get(key)
-            .cloned()
+        let mut shard = self.shard(key).lock().expect("qcache shard");
+        let entry = shard.map.get_mut(key)?;
+        entry.referenced = true;
+        Some(entry.verdict.clone())
     }
 
     /// Records a lookup answered from the cache.
@@ -192,18 +292,38 @@ impl QueryCache {
         self.inner.misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Stores a definitive verdict, evicting the oldest entry of the
-    /// shard when full. (`Unknown` is unrepresentable in
-    /// [`CachedVerdict`] by construction.)
+    /// Stores a definitive verdict, displacing a not-recently-used entry
+    /// by second chance when the shard is full. (`Unknown` is
+    /// unrepresentable in [`CachedVerdict`] by construction.)
     pub fn insert(&self, key: ExportedTerm, verdict: CachedVerdict) {
         let mut shard = self.shard(&key).lock().expect("qcache shard");
-        if shard.map.insert(key.clone(), verdict).is_none() {
+        let entry = Entry {
+            verdict,
+            referenced: false,
+        };
+        if shard.map.insert(key.clone(), entry).is_none() {
             shard.queue.push_back(key);
             self.inner.insertions.fetch_add(1, Ordering::Relaxed);
             if shard.queue.len() > self.inner.capacity_per_shard {
-                if let Some(oldest) = shard.queue.pop_front() {
-                    shard.map.remove(&oldest);
-                    self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                // Second-chance sweep: the oldest unreferenced entry goes;
+                // referenced entries are recycled once with the bit
+                // cleared. Terminates — every pass either evicts or clears
+                // a bit, and bits are not re-set while the lock is held.
+                while let Some(oldest) = shard.queue.pop_front() {
+                    match shard.map.get_mut(&oldest) {
+                        Some(e) if e.referenced => {
+                            e.referenced = false;
+                            shard.queue.push_back(oldest);
+                        }
+                        Some(_) => {
+                            shard.map.remove(&oldest);
+                            self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                        // Stale queue key (should not happen): drop it and
+                        // keep sweeping.
+                        None => {}
+                    }
                 }
             }
         }
@@ -221,6 +341,27 @@ impl QueryCache {
     /// `true` when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Exports up to `limit` cached `(canonical key, verdict)` pairs for
+    /// persistence, in shard order. The selection is a best-effort recent
+    /// working set (each shard contributes its newest clock entries
+    /// first), bounded so a persisted store file stays small.
+    pub fn export_entries(&self, limit: usize) -> Vec<(ExportedTerm, CachedVerdict)> {
+        let mut out = Vec::new();
+        let per_shard = limit.div_ceil(NUM_SHARDS).max(1);
+        for shard in &self.inner.shards {
+            let shard = shard.lock().expect("qcache shard");
+            for key in shard.queue.iter().rev().take(per_shard) {
+                if let Some(e) = shard.map.get(key) {
+                    out.push((key.clone(), e.verdict.clone()));
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// A snapshot of the monotone counters.
@@ -318,6 +459,72 @@ mod tests {
             cache.len()
         );
         assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn second_chance_protects_the_working_set() {
+        // One entry per shard; hammer one shard with inserts while a "hot"
+        // entry in it is looked up between inserts — second chance must
+        // keep the hot entry alive while cold entries churn.
+        let cache = QueryCache::with_capacity(NUM_SHARDS);
+        let hot = atom("hot", 0);
+        cache.insert(hot.clone(), CachedVerdict::Unsat);
+        let mut survivals = 0;
+        for i in 1..100 {
+            // Touch the hot entry (sets its referenced bit)…
+            if cache.get(&hot).is_some() {
+                survivals += 1;
+            }
+            // …then insert a cold entry; whatever shard it lands in may
+            // evict, but a referenced `hot` is recycled, not evicted.
+            cache.insert(atom("cold", i), CachedVerdict::Unsat);
+        }
+        assert_eq!(survivals, 99, "hot entry must survive the churn");
+        assert!(cache.get(&hot).is_some());
+        assert!(cache.stats().evictions > 0, "cold entries must churn");
+    }
+
+    #[test]
+    fn cached_verdict_text_round_trips() {
+        for v in [
+            CachedVerdict::Unsat,
+            CachedVerdict::Sat(vec![]),
+            CachedVerdict::Sat(vec![("x".into(), 3), ("y".into(), -12)]),
+            CachedVerdict::Sat(vec![
+                ("pipe|name".into(), 1),
+                ("back\\slash".into(), i128::MAX),
+            ]),
+        ] {
+            assert_eq!(CachedVerdict::parse(&v.to_text()), Ok(v));
+        }
+        for bad in [
+            "",
+            "satx",
+            "sat (|x| )",
+            "sat (|x 1)",
+            "sat (|x| 1",
+            "maybe",
+        ] {
+            assert!(CachedVerdict::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn export_entries_is_bounded_and_reimportable() {
+        let cache = QueryCache::new();
+        for i in 0..50 {
+            cache.insert(atom("x", i), CachedVerdict::Sat(vec![("x".into(), -i)]));
+        }
+        let exported = cache.export_entries(16);
+        assert!(exported.len() <= 16, "limit respected: {}", exported.len());
+        assert!(!exported.is_empty());
+        let fresh = QueryCache::new();
+        for (k, v) in &exported {
+            fresh.insert(k.clone(), v.clone());
+        }
+        for (k, v) in &exported {
+            assert_eq!(fresh.get(k).as_ref(), Some(v));
+        }
     }
 
     #[test]

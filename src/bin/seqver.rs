@@ -24,6 +24,9 @@ use seqver::gemcutter::verify::{verify, OrderSpec, Verdict, VerifierConfig};
 use seqver::program::commutativity::{CommutativityLevel, CommutativityOracle};
 use seqver::program::concurrent::{Program, Spec};
 use seqver::reduction::reduce::{reduction_automaton, ReductionConfig};
+use seqver::serve::client::Client;
+use seqver::serve::proto::{Status, VerifyOpts};
+use seqver::serve::server::{ServeConfig, Server};
 use seqver::smt::{SolverKind, TermPool};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -53,6 +56,12 @@ const USAGE: &str = "usage:
                            [--checkpoint PATH] [--resume PATH]
   seqver info   <file.cpl>
   seqver reduce <file.cpl> [--order seq|lockstep|rand:<seed>] [--dot]
+  seqver serve  [--addr HOST:PORT] [--store PATH] [--max-inflight N]
+                [--queue-depth N] [--request-timeout DUR] [--io-timeout DUR]
+                [--idle-timeout DUR] [--retries N] [--crash-after N]
+  seqver submit <file.cpl>... --addr HOST:PORT [--timeout DUR] [--steps CAT=N]
+                [--retries N] [--faults SPEC] [--retry-busy N]
+                [--stats] [--shutdown]
 
   --no-qcache      disable solver-level query memoization (escape hatch and
                    measurement baseline; verdicts are identical either way)
@@ -82,7 +91,33 @@ const USAGE: &str = "usage:
                    and exits 3
   --resume P       continue a killed verification from snapshot P (same
                    program and config; reaches the same verdict and
-                   cumulative round count as an uninterrupted run)";
+                   cumulative round count as an uninterrupted run)
+
+serve flags:
+  --addr A         bind address (default 127.0.0.1:0; the chosen port is
+                   printed as `listening on ADDR` at startup)
+  --store P        crash-safe persistent proof store: verdicts, harvested
+                   assertions and query-cache entries survive restarts and
+                   kill -9 (omitted: in-memory only)
+  --max-inflight N concurrent verification workers (default 4); admission
+                   control sheds `busy` beyond max-inflight + queue-depth
+  --queue-depth N  requests allowed to queue beyond the running ones
+                   (default 4)
+  --request-timeout DUR  per-request wall-clock ceiling (default 30s); a
+                   hanging or runaway request returns GAVE-UP, its worker
+                   survives
+  --io-timeout DUR mid-frame stall timeout (slow-loris defense) and socket
+                   write timeout (default 2s)
+  --idle-timeout DUR  idle connection close (default 30s)
+  --crash-after N  test aid: abort() after the N-th persisted verification
+                   (deterministic kill -9 for recovery drills)
+
+submit flags:
+  --addr A         daemon address (required)
+  --retry-busy N   on a `busy` shed, honor the server's retry-after hint
+                   up to N times before reporting BUSY (default 0)
+  --stats          print server counters after the batch
+  --shutdown       ask the daemon to drain and exit after the batch";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (command, rest) = args.split_first().ok_or("missing command")?;
@@ -90,6 +125,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "verify" => cmd_verify(rest),
         "info" => cmd_info(rest),
         "reduce" => cmd_reduce(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -334,6 +371,27 @@ fn install_sigint() -> Arc<AtomicBool> {
     Arc::clone(INTERRUPT.get_or_init(|| Arc::new(AtomicBool::new(false))))
 }
 
+/// Routes SIGINT *and* SIGTERM to `flag` — the daemon's drain trigger
+/// (stop accepting, finish in-flight requests, flush the store, exit 0).
+#[cfg(unix)]
+fn install_shutdown_signals(flag: Arc<AtomicBool>) {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let _ = INTERRUPT.set(flag);
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+        signal(SIGTERM, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_signals(flag: Arc<AtomicBool>) {
+    let _ = INTERRUPT.set(flag);
+}
+
 /// Supervision counters appended to the stats line.
 struct SupervisionReport {
     attempts: usize,
@@ -566,4 +624,141 @@ fn cmd_reduce(args: &[String]) -> Result<ExitCode, String> {
         );
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--store" => {
+                config.store_path = Some(PathBuf::from(it.next().ok_or("--store needs a value")?))
+            }
+            "--max-inflight" => {
+                let v = it.next().ok_or("--max-inflight needs a value")?;
+                config.max_inflight = v.parse().map_err(|_| "invalid --max-inflight")?;
+                if config.max_inflight == 0 {
+                    return Err("--max-inflight must be at least 1".to_owned());
+                }
+            }
+            "--queue-depth" => {
+                let v = it.next().ok_or("--queue-depth needs a value")?;
+                config.queue_depth = v.parse().map_err(|_| "invalid --queue-depth")?;
+            }
+            "--request-timeout" => {
+                let v = it.next().ok_or("--request-timeout needs a value")?;
+                config.request_timeout = parse_duration(v)?;
+            }
+            "--io-timeout" => {
+                let v = it.next().ok_or("--io-timeout needs a value")?;
+                config.io_timeout = parse_duration(v)?;
+            }
+            "--idle-timeout" => {
+                let v = it.next().ok_or("--idle-timeout needs a value")?;
+                config.idle_timeout = parse_duration(v)?;
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                config.retries = v.parse().map_err(|_| "invalid --retries")?;
+            }
+            "--crash-after" => {
+                let v = it.next().ok_or("--crash-after needs a value")?;
+                config.crash_after = Some(v.parse().map_err(|_| "invalid --crash-after")?);
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let server = Server::bind(config)?;
+    for warning in server.store_warnings() {
+        eprintln!("warning: {warning}");
+    }
+    install_shutdown_signals(server.shutdown_flag());
+    // Port 0 resolves at bind time; tests and scripts scrape this line.
+    println!("listening on {}", server.local_addr()?);
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run()?;
+    println!("drained: store flushed, exiting");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut addr: Option<String> = None;
+    let mut opts = VerifyOpts::default();
+    let mut retry_busy = 0u32;
+    let mut want_stats = false;
+    let mut want_shutdown = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().ok_or("--addr needs a value")?.clone()),
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs a value")?;
+                opts.timeout = Some(parse_duration(v)?);
+            }
+            "--steps" => {
+                let v = it.next().ok_or("--steps needs a value")?;
+                let (cat, n) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("invalid --steps `{v}` (expected CATEGORY=N)"))?;
+                let n: u64 = n
+                    .parse()
+                    .map_err(|_| format!("invalid budget in --steps `{v}`"))?;
+                opts.steps.push((cat.to_owned(), n));
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                opts.retries = Some(v.parse().map_err(|_| "invalid --retries")?);
+            }
+            "--faults" => opts.faults = Some(it.next().ok_or("--faults needs a value")?.clone()),
+            "--retry-busy" => {
+                let v = it.next().ok_or("--retry-busy needs a value")?;
+                retry_busy = v.parse().map_err(|_| "invalid --retry-busy")?;
+            }
+            "--stats" => want_stats = true,
+            "--shutdown" => want_shutdown = true,
+            other if !other.starts_with("--") => files.push(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let addr = addr.ok_or("submit needs --addr HOST:PORT")?;
+    if files.is_empty() && !want_stats && !want_shutdown {
+        return Err("missing input files".to_owned());
+    }
+    let mut client = Client::connect(&addr)?;
+    // 0 = all correct < 1 = some incorrect < 3 = gave-up/busy/error.
+    let mut worst = 0u8;
+    for (index, file) in files.iter().enumerate() {
+        let source =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+        let id = format!("{index}-{file}");
+        let mut response = client.verify_source(&id, &source, opts.clone())?;
+        // Honor the server's retry-after backoff guidance on sheds.
+        let mut retries_left = retry_busy;
+        while response.status == Some(Status::Busy) && retries_left > 0 {
+            let backoff = response.retry_after_ms.unwrap_or(50);
+            std::thread::sleep(std::time::Duration::from_millis(backoff));
+            retries_left -= 1;
+            response = client.verify_source(&id, &source, opts.clone())?;
+        }
+        let line = response.verdict_line();
+        println!("{file}: {line}");
+        worst = worst.max(match response.status {
+            Some(Status::Ok) if line == "CORRECT" => 0,
+            Some(Status::Ok) if line.starts_with("INCORRECT") => 1,
+            _ => 3,
+        });
+    }
+    if want_stats {
+        for (key, value) in client.stats()? {
+            println!("stat {key}={value}");
+        }
+    }
+    if want_shutdown {
+        client.shutdown()?;
+        println!("shutdown requested");
+    }
+    Ok(ExitCode::from(worst))
 }

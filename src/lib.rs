@@ -12,6 +12,7 @@
 //! | [`program`] | `program` | Concurrent program model, commutativity, interpreter |
 //! | [`reduction`] | `reduction` | Preference orders, sleep sets, persistent membranes |
 //! | [`gemcutter`] | `gemcutter` | The verifier: refinement loop + on-the-fly proof check |
+//! | [`serve`] | `serve` | Verification-as-a-service daemon: wire protocol, proof store, server, client |
 //! | [`bench_suite`] | `bench-suite` | The benchmark corpus |
 //!
 //! # Quickstart
@@ -39,4 +40,5 @@ pub use cpl;
 pub use gemcutter;
 pub use program;
 pub use reduction;
+pub use serve;
 pub use smt;
