@@ -1,0 +1,222 @@
+//! **Proof-store scaling study**: the per-verdict durability cost of the
+//! write-ahead journal against the rewrite-everything baseline it
+//! replaced, at a store already holding 1k records — exactly the regime
+//! the rewrite design degraded in, since every persisted verdict paid a
+//! full durable rewrite of the whole snapshot.
+//!
+//! Two measurements:
+//!
+//! 1. **Flush cost** — appending a batch of fresh records to a 1k-record
+//!    store. Rewrite mode pays its real per-record price (whole-snapshot
+//!    atomic durable write each time). Journal mode pays its real
+//!    per-record price under load: frames staged per record, one group
+//!    commit (a single fsync) per admission drain of `GROUP` requests,
+//!    which is what the daemon's commit leader does when workers pile up.
+//! 2. **Identity** — the same corpus served by a journal-mode daemon and
+//!    a `--no-journal` daemon must produce bit-identical verdict lines;
+//!    the journal is a performance change, never a semantic one.
+//!
+//! Results go to `BENCH_store.json` (CI gates on `.speedup >= 10` and
+//! `.identity == true`).
+//!
+//! Run: `cargo run --release -p bench --bin store_scaling`
+//! (`SEQVER_QUICK=1` shrinks the batch, as everywhere in the harness.)
+
+use serve::client::Client;
+use serve::proto::{Status, VerifyOpts};
+use serve::server::{ServeConfig, Server};
+use serve::store::{PersistMode, ProofStore, SharedStore, StoreRecord, StoredVerdict};
+use smt::linear::Rel;
+use smt::transfer::ExportedTerm;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Requests sharing one group-commit fsync — the daemon's admission drain
+/// under its default `max_inflight + queue_depth` load.
+const GROUP: usize = 8;
+
+/// A representative persisted verdict: a definitive result plus a few
+/// harvested assertions (what makes snapshot records non-trivially wide).
+fn record(i: u64) -> StoreRecord {
+    let atom = |k: i128| ExportedTerm::Atom {
+        coeffs: vec![("c".to_owned(), 1)],
+        constant: -k,
+        rel: Rel::Le0,
+    };
+    StoreRecord {
+        fingerprint: 0x5eed_0000_0000_0000 | i,
+        name: format!("bench-{}", i % 97),
+        verdict: if i.is_multiple_of(5) {
+            StoredVerdict::Incorrect(vec![1, 2, 3])
+        } else {
+            StoredVerdict::Correct
+        },
+        rounds: 3 + i % 7,
+        assertions: vec![
+            atom(i as i128 % 11),
+            atom(i as i128 % 13),
+            ExportedTerm::True,
+        ],
+    }
+}
+
+/// Opens a store holding `base` records, durably folded into the snapshot.
+fn populated(path: &Path, mode: PersistMode, base: u64) -> ProofStore {
+    let (mut store, warnings) = ProofStore::open_with(path, mode, Arc::default());
+    assert!(warnings.is_empty(), "{warnings:?}");
+    for i in 0..base {
+        store.insert(record(i));
+    }
+    store.flush().expect("fold base records");
+    store
+}
+
+/// Time appending `extra` records in rewrite mode: each append *is* a
+/// durable whole-snapshot rewrite — the pre-journal daemon's behavior.
+fn bench_rewrite(dir: &Path, base: u64, extra: u64) -> f64 {
+    let path = dir.join("rewrite.store");
+    let mut store = populated(&path, PersistMode::Rewrite, base);
+    let start = Instant::now();
+    for i in 0..extra {
+        store.append(record(base + i)).expect("rewrite append");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Time appending `extra` records in journal mode: frames staged per
+/// record, one group commit (one fsync) per `GROUP` of them.
+fn bench_journal(dir: &Path, base: u64, extra: u64) -> (f64, u64) {
+    let path = dir.join("journal.store");
+    let shared = SharedStore::new(populated(&path, PersistMode::Journal, base));
+    let start = Instant::now();
+    let mut i = 0;
+    while i < extra {
+        let mut last_seq = 0;
+        for _ in 0..GROUP.min((extra - i) as usize) {
+            last_seq = shared
+                .lock()
+                .append(record(base + i))
+                .expect("journal append");
+            i += 1;
+        }
+        shared.commit(last_seq).expect("group commit");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let fsyncs = shared.lock().stats().fsyncs;
+    // Appended records must actually be on disk: reopen and count.
+    drop(shared);
+    let (reopened, _warnings) = ProofStore::open(&path);
+    assert_eq!(
+        reopened.len() as u64,
+        base + extra,
+        "journal run lost records"
+    );
+    (elapsed, fsyncs)
+}
+
+/// Serves `programs` through one daemon lifetime with the journal on or
+/// off, returning the verdict lines.
+fn serve_corpus(store: &Path, journal: bool, programs: &[String]) -> Vec<String> {
+    let server = Server::bind(ServeConfig {
+        store_path: Some(store.to_path_buf()),
+        journal,
+        request_timeout: Duration::from_secs(120),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let shutdown = server.shutdown_flag();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client =
+        Client::connect_with_timeout(&addr, Duration::from_secs(300)).expect("connect");
+    let mut lines = Vec::new();
+    for (i, program) in programs.iter().enumerate() {
+        let resp = client
+            .verify_source(&format!("prog-{i}"), program, VerifyOpts::default())
+            .expect("response");
+        assert_eq!(resp.status, Some(Status::Ok), "{:?}", resp.reason);
+        lines.push(resp.verdict_line());
+    }
+    let _ = client.shutdown();
+    drop(client);
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("server thread").expect("clean drain");
+    lines
+}
+
+fn identity_corpus() -> Vec<String> {
+    let source = |incs: u32, bound: u32| {
+        format!(
+            "var c: int = 0;\n\
+             thread inc {{ c := c + 1; }}\n\
+             thread chk {{ assert c <= {bound}; }}\n\
+             spawn inc * {incs};\n\
+             spawn chk;\n"
+        )
+    };
+    vec![
+        source(1, 1),
+        source(2, 2),
+        source(1, 0),
+        source(3, 4),
+        source(2, 1),
+        source(4, 4),
+    ]
+}
+
+fn main() {
+    let quick = std::env::var("SEQVER_QUICK").is_ok();
+    let base: u64 = 1000;
+    let extra: u64 = if quick { 32 } else { 128 };
+    let dir = std::env::temp_dir().join(format!("seqver-store-scaling-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    println!("proof-store scaling study ({base} base records, {extra} appends)");
+    let rewrite_s = bench_rewrite(&dir, base, extra);
+    let (journal_s, fsyncs) = bench_journal(&dir, base, extra);
+    let speedup = if journal_s > 0.0 {
+        rewrite_s / journal_s
+    } else {
+        f64::NAN
+    };
+    println!(
+        "  rewrite: {:.1} ms/record   journal: {:.3} ms/record ({} fsyncs)   speedup {speedup:.1}x",
+        rewrite_s * 1000.0 / extra as f64,
+        journal_s * 1000.0 / extra as f64,
+        fsyncs,
+    );
+
+    let programs = identity_corpus();
+    let with_journal = serve_corpus(&dir.join("ident-journal.store"), true, &programs);
+    let without = serve_corpus(&dir.join("ident-rewrite.store"), false, &programs);
+    let identity = with_journal == without;
+    println!(
+        "  identity (journal on vs off, {} programs): {identity}",
+        programs.len()
+    );
+    assert!(
+        identity,
+        "the journal changed a verdict: {with_journal:?} vs {without:?}"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"base_records\": {base},\n"));
+    json.push_str(&format!("  \"appended\": {extra},\n"));
+    json.push_str(&format!("  \"group_commit\": {GROUP},\n"));
+    json.push_str(&format!("  \"rewrite_time_s\": {rewrite_s:.6},\n"));
+    json.push_str(&format!("  \"journal_time_s\": {journal_s:.6},\n"));
+    json.push_str(&format!("  \"journal_fsyncs\": {fsyncs},\n"));
+    json.push_str(&format!("  \"speedup\": {speedup:.4},\n"));
+    json.push_str(&format!("  \"identity\": {identity}\n"));
+    json.push_str("}\n");
+    let mut f = std::fs::File::create("BENCH_store.json").expect("create BENCH_store.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_store.json");
+    println!("  wrote BENCH_store.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -52,6 +52,127 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+// ---------------------------------------------------------------------------
+// Write-ahead-journal frames
+// ---------------------------------------------------------------------------
+//
+// Shared between the persistence layers that append rather than rewrite
+// (today: the `seqver serve` proof store's WAL). A frame is one
+// self-delimiting, individually checksummed unit:
+//
+// ```text
+// frame: <seq 016x> <checksum 016x> <len>\n<len bytes of body>
+// ```
+//
+// `seq` is a monotonically increasing sequence number (1-based), `len` a
+// decimal byte count, and `checksum` the FNV-1a of `"<seq 016x>\n<body>"`
+// — covering the sequence number, so a bit flip that would re-order or
+// re-home a frame is caught exactly like one in its body. The body must
+// end with a newline so frames concatenate into a readable text file.
+
+/// Hard cap on one journal frame body (16 MiB): a declared length above
+/// this is treated as corruption, not an allocation request.
+pub const MAX_FRAME_BODY: usize = 16 << 20;
+
+/// Renders one journal frame for `body` under sequence number `seq`.
+/// The body must be newline-terminated (debug-asserted).
+pub fn journal_frame(seq: u64, body: &str) -> String {
+    debug_assert!(body.ends_with('\n'), "frame bodies are newline-terminated");
+    let sum = fnv1a(format!("{seq:016x}\n{body}").as_bytes());
+    format!("frame: {seq:016x} {sum:016x} {}\n{body}", body.len())
+}
+
+/// One frame recovered from a journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalFrame {
+    pub seq: u64,
+    pub body: String,
+}
+
+/// The outcome of replaying a journal's byte stream: the longest valid
+/// frame prefix, where it ends, and why scanning stopped there.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalReplay {
+    /// Every frame of the valid prefix, in file order (sequence-number
+    /// discipline — staleness, duplication — is the caller's to apply).
+    pub frames: Vec<JournalFrame>,
+    /// Byte offset of the first bad frame: the truncation point that
+    /// discards the torn tail while keeping every valid frame.
+    pub valid_len: usize,
+    /// Why the scan stopped before the end of the input, if it did.
+    pub torn: Option<String>,
+}
+
+/// Scans `bytes` as a sequence of [`journal_frame`]s, stopping (without
+/// panicking, whatever the input) at the first frame that is torn,
+/// truncated, checksum-damaged or otherwise malformed. Everything before
+/// the stop point is returned; the tail is described, not trusted.
+pub fn replay_journal(bytes: &[u8]) -> JournalReplay {
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    let torn = loop {
+        if at == bytes.len() {
+            break None;
+        }
+        let rest = &bytes[at..];
+        let Some(nl) = rest.iter().take(128).position(|&b| b == b'\n') else {
+            break Some("unterminated frame header".to_owned());
+        };
+        let Ok(header) = std::str::from_utf8(&rest[..nl]) else {
+            break Some("frame header is not UTF-8".to_owned());
+        };
+        let Some(fields) = header.strip_prefix("frame: ") else {
+            break Some(format!("not a frame header: `{header}`"));
+        };
+        let mut parts = fields.split(' ');
+        let (Some(seq), Some(sum), Some(len), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            break Some(format!("malformed frame header `{header}`"));
+        };
+        let (Ok(seq), Ok(declared), Ok(len)) = (
+            u64::from_str_radix(seq, 16),
+            u64::from_str_radix(sum, 16),
+            len.parse::<usize>(),
+        ) else {
+            break Some(format!("malformed frame header `{header}`"));
+        };
+        if len > MAX_FRAME_BODY {
+            break Some(format!("frame body length {len} exceeds {MAX_FRAME_BODY}"));
+        }
+        let body_start = nl + 1;
+        if rest.len() < body_start + len {
+            break Some(format!(
+                "torn frame {seq:016x}: {} of {len} body bytes present",
+                rest.len() - body_start.min(rest.len())
+            ));
+        }
+        let Ok(body) = std::str::from_utf8(&rest[body_start..body_start + len]) else {
+            break Some(format!("frame {seq:016x} body is not UTF-8"));
+        };
+        if !body.ends_with('\n') {
+            break Some(format!("frame {seq:016x} body is not newline-terminated"));
+        }
+        let actual = fnv1a(format!("{seq:016x}\n{body}").as_bytes());
+        if actual != declared {
+            break Some(format!(
+                "frame {seq:016x}: checksum mismatch (declared {declared:016x}, \
+                 computed {actual:016x})"
+            ));
+        }
+        frames.push(JournalFrame {
+            seq,
+            body: body.to_owned(),
+        });
+        at += body_start + len;
+    };
+    JournalReplay {
+        frames,
+        valid_len: at,
+        torn,
+    }
+}
+
 /// Writes `text` to `path` atomically **and durably**: the bytes go to
 /// `path.tmp`, which is fsynced before the atomic `rename`, and the parent
 /// directory is fsynced after it — so after a crash (even a power cut) a
@@ -347,6 +468,90 @@ mod tests {
         let snap = sample();
         let text = snap.to_text();
         assert_eq!(Snapshot::parse(&text), Ok(snap));
+    }
+
+    #[test]
+    fn journal_frames_concatenate_and_replay() {
+        let mut journal = String::new();
+        journal.push_str(&journal_frame(1, "alpha\n"));
+        journal.push_str(&journal_frame(2, "beta\nwith two lines\n"));
+        journal.push_str(&journal_frame(3, "gamma\n"));
+        let replay = replay_journal(journal.as_bytes());
+        assert_eq!(replay.torn, None);
+        assert_eq!(replay.valid_len, journal.len());
+        assert_eq!(
+            replay.frames,
+            vec![
+                JournalFrame {
+                    seq: 1,
+                    body: "alpha\n".to_owned()
+                },
+                JournalFrame {
+                    seq: 2,
+                    body: "beta\nwith two lines\n".to_owned()
+                },
+                JournalFrame {
+                    seq: 3,
+                    body: "gamma\n".to_owned()
+                },
+            ]
+        );
+        // The empty journal is trivially whole.
+        let empty = replay_journal(b"");
+        assert_eq!(empty.frames, Vec::new());
+        assert_eq!((empty.valid_len, empty.torn), (0, None));
+    }
+
+    #[test]
+    fn torn_tail_stops_replay_at_the_last_whole_frame() {
+        let mut journal = String::new();
+        journal.push_str(&journal_frame(1, "alpha\n"));
+        let keep = journal.len();
+        journal.push_str(&journal_frame(2, "beta\n"));
+        // Chop mid-body: frame 2 is torn, frame 1 survives.
+        let cut = &journal.as_bytes()[..journal.len() - 3];
+        let replay = replay_journal(cut);
+        assert_eq!(replay.frames.len(), 1);
+        assert_eq!(replay.valid_len, keep);
+        let reason = replay.torn.expect("torn tail reported");
+        assert!(reason.contains("torn frame"), "{reason}");
+    }
+
+    #[test]
+    fn checksum_damage_and_reseqencing_are_caught() {
+        let frame = journal_frame(7, "payload\n");
+        // Flip one body byte: checksum mismatch.
+        let mut flipped = frame.clone().into_bytes();
+        let last = flipped.len() - 2;
+        flipped[last] ^= 0x01;
+        let replay = replay_journal(&flipped);
+        assert_eq!(replay.frames, Vec::new());
+        assert!(replay.torn.expect("reported").contains("checksum"));
+        // Re-home the frame under a different sequence number: the
+        // checksum covers `seq`, so this is caught like a body flip.
+        let rehomed = frame.replacen("0000000000000007", "0000000000000008", 1);
+        let replay = replay_journal(rehomed.as_bytes());
+        assert_eq!(replay.frames, Vec::new());
+        assert!(replay.torn.expect("reported").contains("checksum"));
+    }
+
+    #[test]
+    fn hostile_journal_headers_never_panic() {
+        for bytes in [
+            &b"frame: "[..],
+            b"frame: zz zz zz\nx\n",
+            b"frame: 0000000000000001 0000000000000002\nx\n",
+            b"frame: 0000000000000001 0000000000000002 3 4\nx\n",
+            b"frame: 0000000000000001 0000000000000002 99999999999999999999\nx\n",
+            b"not a frame at all\n",
+            b"\xff\xfe\xfd",
+            b"frame: 0000000000000001 0000000000000002 1000000000\n",
+        ] {
+            let replay = replay_journal(bytes);
+            assert_eq!(replay.frames, Vec::new());
+            assert_eq!(replay.valid_len, 0);
+            assert!(replay.torn.is_some(), "input {bytes:?} must report a tear");
+        }
     }
 
     #[test]

@@ -1,14 +1,89 @@
 //! A small blocking client for the `seqver serve` protocol — what
 //! `seqver submit`, the recovery tests and the warm-start bench speak.
+//!
+//! Busy-shed handling lives here too: [`BusyRetryPolicy`] turns the
+//! daemon's `retry-after-ms` hint into capped exponential backoff with
+//! deterministic seeded jitter and a total retry budget, so a fleet of
+//! clients retrying the same overload neither hot-spins nor stampedes in
+//! lockstep — and two runs with the same seed sleep the same schedule.
 
 use crate::proto::{
-    write_frame, Command, FrameEvent, FrameReader, Request, Response, VerifyOpts, MAX_FRAME,
+    write_frame, Command, FrameEvent, FrameReader, Request, Response, Status, VerifyOpts, MAX_FRAME,
 };
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 /// Socket read-timeout tick driving the response wait loop.
 const TICK: Duration = Duration::from_millis(25);
+
+/// How `busy` responses are retried: exponential backoff over the
+/// server's hint, capped per sleep, jittered deterministically from a
+/// seed, and bounded by a total sleep budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusyRetryPolicy {
+    /// Maximum retry attempts (0 = return the first `busy` as-is).
+    pub max_retries: u32,
+    /// Per-sleep ceiling for the exponential curve.
+    pub cap: Duration,
+    /// Total sleep budget across all retries of one request: once spent,
+    /// the last `busy` response is returned instead of sleeping again.
+    pub budget: Duration,
+    /// Jitter seed. Two clients with different seeds de-synchronize;
+    /// the same seed replays the same schedule bit for bit.
+    pub seed: u64,
+}
+
+impl Default for BusyRetryPolicy {
+    fn default() -> BusyRetryPolicy {
+        BusyRetryPolicy {
+            max_retries: 0,
+            cap: Duration::from_secs(2),
+            budget: Duration::from_secs(60),
+            seed: 0,
+        }
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer, used as a tiny
+/// deterministic PRNG for jitter (no `rand` dependency, no global state).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl BusyRetryPolicy {
+    /// The sleep before retry number `attempt` (0-based), given the
+    /// server's hint: `min(cap, hint * 2^attempt)` plus deterministic
+    /// jitter in `[0, delay/2]` derived from `(seed, attempt)`. Pure —
+    /// the whole schedule is testable without a clock.
+    pub fn backoff(&self, attempt: u32, hint: Duration) -> Duration {
+        // The protocol floors hints at 1 ms; floor again here so even a
+        // hand-built zero hint cannot produce a zero sleep.
+        let hint_ms = (hint.as_millis() as u64).max(1);
+        let exp = hint_ms.saturating_mul(1u64 << attempt.min(20));
+        let capped = exp.min((self.cap.as_millis() as u64).max(1));
+        let span = capped / 2;
+        let jitter = if span == 0 {
+            0
+        } else {
+            splitmix64(self.seed ^ u64::from(attempt).wrapping_mul(0x9e3779b97f4a7c15)) % (span + 1)
+        };
+        Duration::from_millis(capped + jitter)
+    }
+}
+
+/// What one retried request went through, for reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetryReport {
+    /// `busy` responses absorbed before the final response.
+    pub busy_retries: u32,
+    /// Total time slept across retries.
+    pub slept: Duration,
+    /// The retry budget ran out while the daemon was still busy.
+    pub budget_exhausted: bool,
+}
 
 /// One connection to a daemon. Requests are strictly
 /// send-one/receive-one, which is all the batch workloads need.
@@ -87,6 +162,35 @@ impl Client {
         })
     }
 
+    /// Verifies one CPL source, absorbing `busy` sheds under `policy`:
+    /// each `busy` response is followed by a capped, jittered exponential
+    /// sleep seeded from the hint, until the daemon admits the request or
+    /// the retry count/budget runs out (the last `busy` is then returned).
+    pub fn verify_with_retry(
+        &mut self,
+        id: &str,
+        source: &str,
+        opts: VerifyOpts,
+        policy: &BusyRetryPolicy,
+    ) -> Result<(Response, RetryReport), String> {
+        let mut report = RetryReport::default();
+        loop {
+            let response = self.verify_source(id, source, opts.clone())?;
+            if response.status != Some(Status::Busy) || report.busy_retries >= policy.max_retries {
+                return Ok((response, report));
+            }
+            let hint = Duration::from_millis(response.retry_after_ms.unwrap_or(1).max(1));
+            let delay = policy.backoff(report.busy_retries, hint);
+            if report.slept + delay > policy.budget {
+                report.budget_exhausted = true;
+                return Ok((response, report));
+            }
+            std::thread::sleep(delay);
+            report.slept += delay;
+            report.busy_retries += 1;
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<Response, String> {
         self.request(&Request::control("ping", Command::Ping))
@@ -102,5 +206,59 @@ impl Client {
     /// Asks the daemon to drain and exit.
     pub fn shutdown(&mut self) -> Result<Response, String> {
         self.request(&Request::control("shutdown", Command::Shutdown))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential_with_floor() {
+        let policy = BusyRetryPolicy {
+            cap: Duration::from_millis(800),
+            seed: 7,
+            ..BusyRetryPolicy::default()
+        };
+        let hint = Duration::from_millis(50);
+        let mut prev_base = 0u64;
+        for attempt in 0..12 {
+            let d = policy.backoff(attempt, hint);
+            let base = (50u64 << attempt.min(20)).min(800);
+            // base <= delay <= base + base/2 (jitter span).
+            assert!(d >= Duration::from_millis(base), "attempt {attempt}: {d:?}");
+            assert!(
+                d <= Duration::from_millis(base + base / 2),
+                "attempt {attempt}: {d:?}"
+            );
+            assert!(base >= prev_base, "monotone until the cap");
+            prev_base = base;
+        }
+        // Large attempt numbers must not overflow the shift.
+        let _ = policy.backoff(u32::MAX, hint);
+        // A zero hint is floored, never a zero sleep (no hot-spin).
+        assert!(policy.backoff(0, Duration::ZERO) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_differs_across_seeds() {
+        let hint = Duration::from_millis(100);
+        let a = BusyRetryPolicy {
+            seed: 1,
+            ..BusyRetryPolicy::default()
+        };
+        let b = BusyRetryPolicy {
+            seed: 1,
+            ..BusyRetryPolicy::default()
+        };
+        let c = BusyRetryPolicy {
+            seed: 2,
+            ..BusyRetryPolicy::default()
+        };
+        let schedule_a: Vec<Duration> = (0..8).map(|i| a.backoff(i, hint)).collect();
+        let schedule_b: Vec<Duration> = (0..8).map(|i| b.backoff(i, hint)).collect();
+        let schedule_c: Vec<Duration> = (0..8).map(|i| c.backoff(i, hint)).collect();
+        assert_eq!(schedule_a, schedule_b, "same seed, same schedule");
+        assert_ne!(schedule_a, schedule_c, "different seeds de-synchronize");
     }
 }

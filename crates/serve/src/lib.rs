@@ -10,12 +10,16 @@
 //! * [`proto`] — the length-prefixed text wire protocol: framing with
 //!   slow-loris/oversize/malformed-input defenses, request and response
 //!   grammars.
-//! * [`store`] — the crash-safe persistent proof store: per-record
-//!   checksums over program fingerprints, harvested Floyd/Hoare assertions
-//!   and definitive verdicts, plus exported query-cache entries; written
-//!   atomically and durably after every request, loaded leniently so a
-//!   corrupted file degrades to a cold start, never a panic or a wrong
-//!   assertion.
+//! * [`store`] — the crash-safe persistent proof store: a write-ahead
+//!   journal of per-record checksummed frames fsynced by a group-commit
+//!   leader before the client is acknowledged, folded into an atomic
+//!   snapshot by background compaction; loaded leniently so a corrupted
+//!   file or torn journal tail degrades to replaying the valid prefix,
+//!   never a panic or a wrong assertion.
+//! * [`crash`] — deterministic crash-point injection (`--crash-at
+//!   SITE:N`): named abort sites on every durability boundary, so the
+//!   crash sweep can kill the daemon between any two steps and assert
+//!   what a restart recovers.
 //! * [`server`] — the daemon: bounded-concurrency worker pool over a
 //!   `TcpListener`, admission control with explicit `busy` shedding,
 //!   panic quarantine, deadline/step budgets per request, and
@@ -28,6 +32,7 @@
 //! `gemcutter::snapshot`'s atomic durable writes.
 
 pub mod client;
+pub mod crash;
 pub mod proto;
 pub mod server;
 pub mod store;

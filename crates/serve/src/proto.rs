@@ -413,6 +413,10 @@ pub struct Response {
     pub warm_assertions: u64,
     /// The verdict was served directly from the persistent store.
     pub store_hit: bool,
+    /// The verdict was fsynced (journal or snapshot) before this response
+    /// was sent: the durable-acknowledgement contract. `false` for
+    /// in-memory stores, give-ups, and non-verify responses.
+    pub durable: bool,
     /// Wall-clock service time.
     pub time_ms: u64,
     /// Backoff hint accompanying a `busy` status.
@@ -422,12 +426,14 @@ pub struct Response {
 }
 
 impl Response {
-    /// A `busy` shed response with a backoff hint.
+    /// A `busy` shed response with a backoff hint. The hint is floored at
+    /// 1 ms: a zero hint would make well-behaved clients hot-spin on an
+    /// already overloaded daemon.
     pub fn busy(id: &str, retry_after: Duration) -> Response {
         Response {
             id: id.to_owned(),
             status: Some(Status::Busy),
-            retry_after_ms: Some(retry_after.as_millis() as u64),
+            retry_after_ms: Some((retry_after.as_millis() as u64).max(1)),
             ..Response::default()
         }
     }
@@ -447,7 +453,12 @@ impl Response {
     pub fn verdict_line(&self) -> String {
         match (self.status, &self.verdict) {
             (Some(Status::Busy), _) => {
-                format!("BUSY retry-after-ms={}", self.retry_after_ms.unwrap_or(0))
+                // Same ≥1 ms floor as construction and parsing: a zero
+                // hint must be unrepresentable end to end.
+                format!(
+                    "BUSY retry-after-ms={}",
+                    self.retry_after_ms.unwrap_or(1).max(1)
+                )
             }
             (Some(Status::Error), _) => {
                 format!("ERROR: {}", self.reason.as_deref().unwrap_or("unknown"))
@@ -496,6 +507,7 @@ impl Response {
         out.push_str(&format!("rounds: {}\n", self.rounds));
         out.push_str(&format!("warm-assertions: {}\n", self.warm_assertions));
         out.push_str(&format!("store-hit: {}\n", self.store_hit));
+        out.push_str(&format!("durable: {}\n", self.durable));
         out.push_str(&format!("time-ms: {}\n", self.time_ms));
         if let Some(ms) = self.retry_after_ms {
             out.push_str(&format!("retry-after-ms: {ms}\n"));
@@ -562,17 +574,24 @@ impl Response {
                         .parse()
                         .map_err(|_| format!("invalid store-hit `{value}`"))?
                 }
+                "durable" => {
+                    resp.durable = value
+                        .parse()
+                        .map_err(|_| format!("invalid durable `{value}`"))?
+                }
                 "time-ms" => {
                     resp.time_ms = value
                         .parse()
                         .map_err(|_| format!("invalid time-ms `{value}`"))?
                 }
                 "retry-after-ms" => {
-                    resp.retry_after_ms = Some(
-                        value
-                            .parse()
-                            .map_err(|_| format!("invalid retry-after-ms `{value}`"))?,
-                    )
+                    let ms: u64 = value
+                        .parse()
+                        .map_err(|_| format!("invalid retry-after-ms `{value}`"))?;
+                    if ms == 0 {
+                        return Err("retry-after-ms must be >= 1 (0 would hot-spin)".to_owned());
+                    }
+                    resp.retry_after_ms = Some(ms);
                 }
                 "info" => {
                     let (k, v) = value
@@ -739,6 +758,7 @@ mod tests {
                 rounds: 12,
                 warm_assertions: 3,
                 store_hit: true,
+                durable: true,
                 time_ms: 18,
                 ..Response::default()
             },
@@ -787,5 +807,39 @@ mod tests {
             Response::busy("x", Duration::from_millis(75)).verdict_line(),
             "BUSY retry-after-ms=75"
         );
+    }
+
+    #[test]
+    fn retry_after_zero_is_unrepresentable() {
+        // Construction floors a zero hint to 1 ms...
+        let busy = Response::busy("x", Duration::ZERO);
+        assert_eq!(busy.retry_after_ms, Some(1));
+        assert_eq!(busy.verdict_line(), "BUSY retry-after-ms=1");
+        // ... rendering a hand-built zero still floors it...
+        let hand_built = Response {
+            id: "x".into(),
+            status: Some(Status::Busy),
+            retry_after_ms: Some(0),
+            ..Response::default()
+        };
+        assert_eq!(hand_built.verdict_line(), "BUSY retry-after-ms=1");
+        // ... and parsing rejects a zero on the wire outright.
+        let err = Response::parse("seqver-response v1\nid: x\nstatus: busy\nretry-after-ms: 0\n")
+            .unwrap_err();
+        assert!(err.contains("retry-after-ms"), "{err}");
+    }
+
+    #[test]
+    fn durable_bit_defaults_false_and_round_trips() {
+        let without = "seqver-response v1\nid: x\nstatus: ok\nverdict: correct\n";
+        assert!(!Response::parse(without).unwrap().durable);
+        let durable = Response {
+            id: "x".into(),
+            status: Some(Status::Ok),
+            verdict: Some(WireVerdict::Correct),
+            durable: true,
+            ..Response::default()
+        };
+        assert_eq!(Response::parse(&durable.to_text()), Ok(durable));
     }
 }

@@ -9,16 +9,21 @@
 //!         └─ bounded job queue ──► N worker threads (one TermPool clone
 //!            each, sharing one QueryCache), each request supervised by
 //!            its own ResourceGovernor budget + escalation ladder
-//!                └─ proof store (Mutex): lookup before, atomic durable
-//!                   flush after every served verification
+//!                └─ proof store (SharedStore): lookup before; journal
+//!                   append + group-commit fsync *before* the response
+//!                   (acknowledged means durable)
+//!    └─ compactor thread: folds the journal into the snapshot once it
+//!       outgrows `--journal-max-ratio` × snapshot size
 //! ```
 //!
 //! Robustness axes, in the order the issue names them:
 //!
-//! * **Crash-safe persistence** — the [`ProofStore`] is flushed through an
-//!   fsynced temp-file + rename after *every* verification, so `kill -9`
-//!   mid-batch loses at most the in-flight requests; a restart re-serves
-//!   the finished prefix from the store ([`handle_verify`] serves exact
+//! * **Crash-safe persistence** — every served verdict is appended to the
+//!   [`ProofStore`]'s write-ahead journal and fsynced (one group commit
+//!   per admission drain, not per request) before the client sees `OK`,
+//!   so a `kill -9` anywhere loses only unacknowledged requests; a
+//!   restart replays the journal's valid prefix and re-serves the
+//!   acknowledged prefix from the store ([`handle_verify`] serves exact
 //!   fingerprint matches directly, seeds near-duplicates' assertions, and
 //!   pre-warms the shared query cache from persisted entries).
 //! * **Request-level fault isolation** — every request runs under
@@ -37,11 +42,12 @@
 //!   accepting, lets in-flight requests finish, flushes the store and
 //!   returns cleanly.
 
+use crate::crash::{CrashPlan, CrashSite};
 use crate::proto::{
     write_frame, Command, FrameError, FrameEvent, FrameReader, Request, Response, Status,
     WireVerdict, MAX_FRAME,
 };
-use crate::store::{ProofStore, StoreRecord, StoredVerdict};
+use crate::store::{PersistMode, ProofStore, SharedStore, StoreRecord, StoredVerdict};
 use gemcutter::govern::{Category, FaultPlan};
 use gemcutter::snapshot::{program_fingerprint, Snapshot};
 use gemcutter::supervise::{supervised_verify, RetryPolicy, SuperviseConfig};
@@ -78,10 +84,17 @@ pub struct ServeConfig {
     /// Default escalation-ladder retries per request (a request's own
     /// `retries:` option wins).
     pub retries: u32,
-    /// Test aid: `abort()` the whole process immediately after the N-th
-    /// verification's store flush — a deterministic `kill -9` at the
-    /// worst possible moment (work persisted, response never sent).
-    pub crash_after: Option<u64>,
+    /// Crash-point injection plan (`--crash-at SITE:N`): deterministic
+    /// `abort()`s at named durability sites, for the crash sweep. The old
+    /// `--crash-after N` maps to `post-fsync:N`.
+    pub crash_plan: Arc<CrashPlan>,
+    /// `false` (`--no-journal`) reverts to the pre-journal behavior of
+    /// durably rewriting the whole snapshot per request — the ablation
+    /// baseline for the store-scaling bench.
+    pub journal: bool,
+    /// Compact once the journal outgrows this multiple of the snapshot
+    /// size.
+    pub journal_max_ratio: f64,
     /// How many query-cache entries to persist alongside the records.
     pub qcache_persist: usize,
 }
@@ -97,7 +110,9 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(2),
             idle_timeout: Duration::from_secs(30),
             retries: 0,
-            crash_after: None,
+            crash_plan: Arc::default(),
+            journal: true,
+            journal_max_ratio: 4.0,
             qcache_persist: 2048,
         }
     }
@@ -108,6 +123,8 @@ const RETRY_AFTER: Duration = Duration::from_millis(50);
 /// Socket read timeout — the tick driving the frame reader's clocks and
 /// the acceptor/worker shutdown polls.
 const POLL_TICK: Duration = Duration::from_millis(25);
+/// How often the compactor thread re-checks the journal/snapshot ratio.
+const COMPACT_TICK: Duration = Duration::from_millis(100);
 /// How long `run` waits for connections to drain after shutdown.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
 
@@ -123,7 +140,7 @@ struct Job {
 struct Shared {
     config: ServeConfig,
     shutdown: Arc<AtomicBool>,
-    store: Mutex<ProofStore>,
+    store: SharedStore,
     cache: QueryCache,
     /// Verifications queued or running (admission control).
     inflight: AtomicUsize,
@@ -138,7 +155,6 @@ struct Shared {
     workers_replaced: AtomicU64,
     store_hits: AtomicU64,
     warm_starts: AtomicU64,
-    completed: AtomicU64,
     latencies_ms: Mutex<Vec<u64>>,
 }
 
@@ -180,9 +196,25 @@ impl Shared {
             ),
             (
                 "store-records".to_owned(),
-                self.store.lock().expect("store").len().to_string(),
+                self.store.lock().len().to_string(),
             ),
         ];
+        {
+            let store = self.store.lock();
+            let js = store.stats();
+            info.push(("journal-appends".to_owned(), js.appends.to_string()));
+            info.push(("journal-fsyncs".to_owned(), js.fsyncs.to_string()));
+            info.push(("compactions".to_owned(), js.compactions.to_string()));
+            info.push((
+                "journal-bytes".to_owned(),
+                store.journal_bytes().to_string(),
+            ));
+            info.push((
+                "snapshot-bytes".to_owned(),
+                store.snapshot_bytes().to_string(),
+            ));
+            info.push(("durable-seq".to_owned(), store.durable_seq().to_string()));
+        }
         let qc = self.cache.stats();
         info.push(("qcache-hits".to_owned(), qc.hits.to_string()));
         info.push(("qcache-misses".to_owned(), qc.misses.to_string()));
@@ -216,8 +248,13 @@ impl Server {
     /// Opens (leniently) the proof store, pre-warms the shared query
     /// cache from its persisted entries, and binds the listener.
     pub fn bind(config: ServeConfig) -> Result<Server, String> {
+        let mode = if config.journal {
+            PersistMode::Journal
+        } else {
+            PersistMode::Rewrite
+        };
         let (store, store_warnings) = match &config.store_path {
-            Some(path) => ProofStore::open(path),
+            Some(path) => ProofStore::open_with(path, mode, Arc::clone(&config.crash_plan)),
             None => (ProofStore::in_memory(), Vec::new()),
         };
         let cache = QueryCache::new();
@@ -232,7 +269,7 @@ impl Server {
         let shared = Arc::new(Shared {
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
-            store: Mutex::new(store),
+            store: SharedStore::new(store),
             cache,
             inflight: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
@@ -245,7 +282,6 @@ impl Server {
             workers_replaced: AtomicU64::new(0),
             store_hits: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
             latencies_ms: Mutex::new(Vec::new()),
         });
         Ok(Server {
@@ -289,6 +325,30 @@ impl Server {
             ));
         }
 
+        // Background compactor: folds the journal into the snapshot once
+        // it outgrows the configured ratio. Off the request path — a
+        // request only ever pays for its own append + group commit.
+        let compactor = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name("seqver-compactor".to_owned())
+                .spawn(move || {
+                    while !shared.shutdown.load(Ordering::Relaxed) {
+                        std::thread::sleep(COMPACT_TICK);
+                        if shared
+                            .store
+                            .needs_compaction(shared.config.journal_max_ratio)
+                        {
+                            let entries = shared.cache.export_entries(shared.config.qcache_persist);
+                            if let Err(e) = shared.store.compact_with_qcache(entries) {
+                                eprintln!("warning: journal compaction failed: {e}");
+                            }
+                        }
+                    }
+                })
+                .expect("spawn compactor thread")
+        };
+
         let shared = Arc::clone(&self.shared);
         loop {
             if shared.shutdown.load(Ordering::Relaxed) {
@@ -329,7 +389,13 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
-        let store = shared.store.lock().expect("store");
+        let _ = compactor.join();
+        // Final fold: persist the query-cache working set and leave the
+        // journal empty, so a clean shutdown hands the next daemon a
+        // single complete snapshot.
+        let entries = shared.cache.export_entries(shared.config.qcache_persist);
+        let mut store = shared.store.lock();
+        store.set_qcache_entries(entries);
         store.flush()?;
         Ok(())
     }
@@ -442,7 +508,7 @@ fn handle_verify(shared: &Shared, job: &Job) -> Response {
     // Exact fingerprint match: serve the persisted definitive verdict.
     // Sound because this build computed and checksummed it for exactly
     // this program; a rerun would reproduce it bit for bit.
-    if let Some(record) = shared.store.lock().expect("store").lookup(fingerprint) {
+    if let Some(record) = shared.store.lock().lookup(fingerprint) {
         shared.store_hits.fetch_add(1, Ordering::Relaxed);
         let verdict = match &record.verdict {
             StoredVerdict::Correct => WireVerdict::Correct,
@@ -466,7 +532,6 @@ fn handle_verify(shared: &Shared, job: &Job) -> Response {
     let mut warm = shared
         .store
         .lock()
-        .expect("store")
         .warm_assertions(program.name(), fingerprint);
     warm.truncate(MAX_WARM_SEEDS);
     if !warm.is_empty() {
@@ -555,26 +620,33 @@ fn handle_verify(shared: &Shared, job: &Job) -> Response {
     };
 
     if let Some(verdict) = stored {
-        let mut store = shared.store.lock().expect("store");
-        store.insert(StoreRecord {
+        // Journal the verdict and group-commit it *before* the response:
+        // `OK` on the wire means the record survives a kill -9. The append
+        // stages the frame under the lock; `commit` elects one thread per
+        // batch to write + fsync everything pending, so concurrent workers
+        // share a single fsync instead of paying one each.
+        let appended = shared.store.lock().append(StoreRecord {
             fingerprint,
             name: program.name().to_owned(),
             verdict,
             rounds: sup.outcome.stats.rounds as u64,
             assertions: sup.harvest.clone(),
         });
-        store.set_qcache_entries(shared.cache.export_entries(shared.config.qcache_persist));
-        if let Err(e) = store.flush() {
-            eprintln!("warning: proof store flush failed: {e}");
+        match appended {
+            Ok(seq) => match shared.store.commit(seq) {
+                Ok(()) => {
+                    response.durable = shared.store.lock().persistent();
+                }
+                Err(e) => eprintln!("warning: proof store commit failed: {e}"),
+            },
+            Err(e) => eprintln!("warning: proof store append failed: {e}"),
         }
-        drop(store);
-        let completed = shared.completed.fetch_add(1, Ordering::Relaxed) + 1;
-        if shared.config.crash_after == Some(completed) {
-            // Deterministic kill -9 at the worst moment: the work is
-            // persisted, the response is not. Recovery tests restart and
-            // must re-serve the finished prefix from the store.
-            std::process::abort();
-        }
+        // Deterministic kill -9 at the worst moment: the work is durable,
+        // the response is not. Recovery tests restart and must re-serve
+        // the finished prefix from the store. Charged per persisted
+        // definitive verdict so the old `--crash-after N` keeps counting
+        // the same events it always did.
+        shared.config.crash_plan.hit(CrashSite::PostFsync);
     }
     finish(response, shared)
 }

@@ -1,44 +1,93 @@
 //! The crash-safe persistent proof store behind `seqver serve`.
 //!
-//! One text file holds everything a daemon wants back after a restart:
-//! per-program **records** (fingerprint, definitive verdict, refinement
-//! round count, and the harvested Floyd/Hoare assertions in their
-//! pool-independent [`ExportedTerm`] text form) plus a bounded set of
-//! exported **query-cache entries** that pre-warm the solver-level
-//! memoization cache.
+//! Persistence is split into two files:
+//!
+//! * a **snapshot** (`--store PATH`) — the whole store rendered in one
+//!   text file: per-program **records** (fingerprint, definitive verdict,
+//!   refinement round count, and the harvested Floyd/Hoare assertions in
+//!   their pool-independent [`ExportedTerm`] text form), a bounded set of
+//!   exported **query-cache entries**, and a `seq:` high-water mark saying
+//!   which journal frames it already contains;
+//! * a **write-ahead journal** (`PATH.wal`) — an append-only sequence of
+//!   [`gemcutter::snapshot::journal_frame`]s, one per newly persisted
+//!   record, each carrying its own FNV-1a checksum and a monotone
+//!   sequence number.
+//!
+//! A served verdict is persisted by *appending* one frame and fsyncing
+//! the journal — O(record), not O(store) — and the daemon acknowledges
+//! the client only after that fsync, so an `OK` response means durable.
+//! Appends are staged in a user-space buffer and written by a
+//! group-commit leader ([`SharedStore::commit`]): one write + one fsync
+//! covers every record staged while the previous fsync was in flight.
+//! Background **compaction** folds the journal back into the snapshot
+//! (atomic tmp + rename + dir fsync, exactly the old full-rewrite path)
+//! once the journal outgrows a configurable ratio of the snapshot, then
+//! truncates the journal; crashing *anywhere* inside compaction is safe
+//! because replay skips frames at or below the snapshot's `seq:` mark.
 //!
 //! Robustness contract:
 //!
-//! * **Atomic + durable writes** — the whole store is rendered and written
-//!   through [`gemcutter::snapshot::write_atomic_durable`] after every
-//!   served request (fsynced temp file, atomic rename, fsynced parent
-//!   directory), so a `kill -9` or power cut leaves the previous complete
-//!   store, never a torn one.
-//! * **Per-record checksums** — every record and every query-cache entry
+//! * **Torn-tail recovery** — replay applies the longest valid frame
+//!   prefix, truncates the journal at the first bad frame, and keeps
+//!   going; stale or duplicated frames (the residue of a compaction
+//!   crash) are skipped, never double-applied.
+//! * **Per-record checksums** — every record, frame and query-cache entry
 //!   carries an FNV-1a checksum over its own body *including the
-//!   fingerprint/key*, so a flipped bit anywhere (even one that would
-//!   re-home a record under the wrong program) drops exactly that entry.
+//!   fingerprint/sequence key*, so a flipped bit anywhere (even one that
+//!   would re-home a record) drops exactly that entry.
 //! * **Lenient loading** — [`ProofStore::open`] never panics and never
 //!   fails: a missing file is a fresh store, a wrong version or missing
-//!   `end` marker is a cold start, and a corrupt record is dropped with a
-//!   warning while intact siblings survive. The worst corruption can do
-//!   is cost warm starts.
+//!   `end` marker is a cold snapshot, and a corrupt record or frame is
+//!   dropped with a warning while intact siblings survive. The worst
+//!   corruption can do is cost warm starts.
 //! * **Soundness regardless** — even a record that passes its checksum is
 //!   only ever *advice*: assertions are re-validated by Hoare queries when
 //!   seeded, query-cache `Sat` models are re-validated by evaluation, and
 //!   a stored verdict is only served for an exact fingerprint match of a
 //!   program this build already verified.
+//!
+//! Every durability site is instrumented with [`CrashSite`] charges so the
+//! crash-point sweep can abort the process between any two steps and
+//! assert what the next process recovers.
 
-use gemcutter::snapshot::{fnv1a, write_atomic_durable};
+use crate::crash::{CrashPlan, CrashSite};
+use gemcutter::snapshot::{fnv1a, journal_frame, replay_journal, write_atomic_durable};
 use smt::qcache::CachedVerdict;
 use smt::transfer::ExportedTerm;
 use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
-/// First line of a store file.
-pub const STORE_HEADER: &str = "seqver-store v1";
+/// First line of a store snapshot file.
+pub const STORE_HEADER: &str = "seqver-store v2";
+/// The previous snapshot version: identical except it has no `seq:` line.
+const STORE_HEADER_V1: &str = "seqver-store v1";
 /// Trailing completeness marker.
 const FOOTER: &str = "end";
+
+/// The journal that belongs to the snapshot at `store`.
+pub fn journal_path(store: &Path) -> PathBuf {
+    let mut name = store
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "proofs.store".into());
+    name.push(".wal");
+    store.with_file_name(name)
+}
+
+/// How the store reaches disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PersistMode {
+    /// Append one checksummed frame per record, fsync on commit, compact
+    /// in the background. The default.
+    Journal,
+    /// The pre-journal behavior: rewrite the whole snapshot durably on
+    /// every append. Kept as `--no-journal` for ablation and as the
+    /// degraded fallback when the journal file cannot be opened.
+    Rewrite,
+}
 
 /// A definitive verdict worth persisting. `GaveUp` outcomes are
 /// deliberately unrepresentable: they depend on the budgets of the run
@@ -116,7 +165,9 @@ impl StoreRecord {
         fnv1a(format!("{:016x}\n{}", self.fingerprint, self.body()).as_bytes())
     }
 
-    fn to_text(&self) -> String {
+    /// The record's full text form — the same bytes whether it sits in a
+    /// snapshot or inside a journal frame body.
+    pub fn to_text(&self) -> String {
         format!(
             "record: {:016x} {:016x}\n{}",
             self.fingerprint,
@@ -169,16 +220,95 @@ impl StoreRecord {
         }
         Ok(record)
     }
+
+    /// Parses [`StoreRecord::to_text`] back — the shape a journal frame
+    /// body takes.
+    pub fn parse_text(text: &str) -> Result<StoreRecord, String> {
+        let (first, body) = text
+            .split_once('\n')
+            .ok_or_else(|| "record text has no header line".to_owned())?;
+        let header = first
+            .strip_prefix("record: ")
+            .ok_or_else(|| format!("not a record header: `{first}`"))?;
+        let (fp, sum) = parse_record_header(header)?;
+        StoreRecord::parse(fp, sum, body)
+    }
 }
 
-/// The in-memory store plus its optional backing file.
-#[derive(Debug, Default)]
+/// Counters the daemon reports in its `stats` line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Frames staged into the journal.
+    pub appends: u64,
+    /// Journal `fsync`s (one per group commit, not per record).
+    pub fsyncs: u64,
+    /// Journal-into-snapshot compactions.
+    pub compactions: u64,
+    /// Frames applied from the journal at open.
+    pub replayed_frames: u64,
+    /// Stale/duplicate frames skipped at open (compaction-crash residue).
+    pub stale_frames: u64,
+}
+
+/// The journal file plus the group-commit staging buffer. Frames are
+/// staged here under the store lock and written + fsynced by the commit
+/// leader outside it, so an abort before the commit genuinely loses the
+/// staged frames — exactly what an unacknowledged record is allowed to
+/// lose.
+#[derive(Debug)]
+struct Journal {
+    file: File,
+    /// Frames staged but not yet written to the file.
+    pending: Vec<u8>,
+    /// Highest sequence number in `pending` (valid when non-empty).
+    pending_seq: u64,
+}
+
+/// The in-memory store plus its optional backing snapshot + journal.
+#[derive(Debug)]
 pub struct ProofStore {
     path: Option<PathBuf>,
     /// Insertion order, for stable rendering; at most one per fingerprint.
     records: Vec<StoreRecord>,
     by_fingerprint: HashMap<u64, usize>,
     qcache_entries: Vec<(ExportedTerm, CachedVerdict)>,
+    mode: PersistMode,
+    journal: Option<Journal>,
+    /// Sequence number the next appended frame will carry (1-based).
+    next_seq: u64,
+    /// Highest sequence number folded into the snapshot file.
+    folded_seq: u64,
+    /// Highest sequence number known to be fsynced (journal or snapshot).
+    durable_seq: u64,
+    /// Group-commit leader election flag (see [`SharedStore::commit`]).
+    committing: bool,
+    crash: Arc<CrashPlan>,
+    stats: StoreStats,
+    /// Bytes currently in the journal file (excludes the pending buffer).
+    journal_bytes: u64,
+    /// Size of the snapshot file at last write/load (compaction baseline).
+    snapshot_bytes: u64,
+}
+
+impl Default for ProofStore {
+    fn default() -> ProofStore {
+        ProofStore {
+            path: None,
+            records: Vec::new(),
+            by_fingerprint: HashMap::new(),
+            qcache_entries: Vec::new(),
+            mode: PersistMode::Journal,
+            journal: None,
+            next_seq: 1,
+            folded_seq: 0,
+            durable_seq: 0,
+            committing: false,
+            crash: Arc::default(),
+            stats: StoreStats::default(),
+            journal_bytes: 0,
+            snapshot_bytes: 0,
+        }
+    }
 }
 
 impl ProofStore {
@@ -187,13 +317,31 @@ impl ProofStore {
         ProofStore::default()
     }
 
-    /// Opens (or initializes) the store at `path`, leniently: the result
-    /// is always usable, and every piece of the file that had to be
-    /// dropped is described by a warning. Never panics, never errors.
+    /// Opens (or initializes) the store at `path` in the default
+    /// journaled mode with no crash plan.
     pub fn open(path: &Path) -> (ProofStore, Vec<String>) {
-        let (mut store, warnings) = match std::fs::read_to_string(path) {
-            Ok(text) => ProofStore::parse(&text),
+        ProofStore::open_with(path, PersistMode::Journal, Arc::default())
+    }
+
+    /// Opens (or initializes) the store at `path`, leniently: the result
+    /// is always usable, and every piece of the snapshot or journal that
+    /// had to be dropped is described by a warning. Never panics, never
+    /// errors. A torn journal tail is physically truncated so subsequent
+    /// appends land on a clean prefix.
+    pub fn open_with(
+        path: &Path,
+        mode: PersistMode,
+        crash: Arc<CrashPlan>,
+    ) -> (ProofStore, Vec<String>) {
+        let mut snapshot_missing = false;
+        let (mut store, mut warnings) = match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let (mut store, warnings) = ProofStore::parse(&text);
+                store.snapshot_bytes = text.len() as u64;
+                (store, warnings)
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                snapshot_missing = true;
                 (ProofStore::default(), Vec::new())
             }
             Err(e) => (
@@ -205,10 +353,100 @@ impl ProofStore {
             ),
         };
         store.path = Some(path.to_path_buf());
+        store.mode = mode;
+        store.crash = crash;
+
+        // Replay the journal in BOTH modes: a `--no-journal` restart after
+        // a journaled run must not silently ignore durable frames.
+        let jpath = journal_path(path);
+        let jbytes = match std::fs::read(&jpath) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => {
+                warnings.push(format!(
+                    "cannot read journal `{}`: {e}; its frames are lost",
+                    jpath.display()
+                ));
+                Vec::new()
+            }
+        };
+        if !jbytes.is_empty() {
+            let replay = replay_journal(&jbytes);
+            let mut applied = store.folded_seq;
+            let mut stale = 0u64;
+            for frame in &replay.frames {
+                if frame.seq <= applied {
+                    stale += 1;
+                    continue;
+                }
+                match StoreRecord::parse_text(&frame.body) {
+                    Ok(record) => {
+                        store.insert(record);
+                        applied = frame.seq;
+                        store.stats.replayed_frames += 1;
+                    }
+                    Err(e) => {
+                        warnings.push(format!("journal frame {:016x} dropped: {e}", frame.seq))
+                    }
+                }
+            }
+            if stale > 0 {
+                store.stats.stale_frames = stale;
+                warnings.push(format!(
+                    "warning: skipped {stale} stale journal frame(s) already folded into \
+                     the snapshot (compaction-crash residue)"
+                ));
+            }
+            if let Some(torn) = &replay.torn {
+                warnings.push(format!(
+                    "warning: journal tail truncated at byte {}: {torn}",
+                    replay.valid_len
+                ));
+                if let Err(e) = truncate_file(&jpath, replay.valid_len as u64) {
+                    warnings.push(format!(
+                        "cannot truncate torn journal `{}`: {e}",
+                        jpath.display()
+                    ));
+                }
+            }
+            store.next_seq = applied.saturating_add(1);
+            store.durable_seq = applied;
+            store.journal_bytes = replay.valid_len as u64;
+        }
+
+        if store.mode == PersistMode::Journal {
+            match OpenOptions::new().create(true).append(true).open(&jpath) {
+                Ok(file) => {
+                    store.journal = Some(Journal {
+                        file,
+                        pending: Vec::new(),
+                        pending_seq: store.next_seq - 1,
+                    })
+                }
+                Err(e) => {
+                    warnings.push(format!(
+                        "cannot open journal `{}`: {e}; falling back to rewrite-per-flush \
+                         persistence",
+                        jpath.display()
+                    ));
+                    store.mode = PersistMode::Rewrite;
+                }
+            }
+        }
+
+        // A journaled store keeps the snapshot present from the start, so
+        // a crash before the first compaction still leaves a well-formed
+        // (empty) snapshot plus the journal. Also folds in any frames a
+        // snapshot-less journal carried.
+        if snapshot_missing {
+            if let Err(e) = store.write_snapshot_plain() {
+                warnings.push(format!("cannot initialize store `{}`: {e}", path.display()));
+            }
+        }
         (store, warnings)
     }
 
-    /// Parses a store file, dropping whatever does not verify. A bad
+    /// Parses a snapshot file, dropping whatever does not verify. A bad
     /// header/version or a missing `end` marker (truncation — impossible
     /// under our own atomic writer, so the file is foreign or damaged)
     /// degrades to a fully cold store.
@@ -217,7 +455,7 @@ impl ProofStore {
         let mut warnings = Vec::new();
         let mut lines = text.lines();
         match lines.next() {
-            Some(h) if h == STORE_HEADER => {}
+            Some(h) if h == STORE_HEADER || h == STORE_HEADER_V1 => {}
             Some(h) => {
                 warnings.push(format!(
                     "unsupported store header `{h}` (this build reads `{STORE_HEADER}`); \
@@ -244,7 +482,16 @@ impl ProofStore {
                 complete = true;
                 continue;
             }
-            if let Some(header) = line.strip_prefix("record: ") {
+            if let Some(value) = line.strip_prefix("seq: ") {
+                match u64::from_str_radix(value, 16) {
+                    Ok(seq) => {
+                        store.folded_seq = seq;
+                        store.durable_seq = seq;
+                        store.next_seq = seq.saturating_add(1);
+                    }
+                    Err(_) => warnings.push(format!("invalid store seq line `{line}` ignored")),
+                }
+            } else if let Some(header) = line.strip_prefix("record: ") {
                 // Collect the body through `end-record`, then verify.
                 let mut body = String::new();
                 let mut closed = false;
@@ -289,11 +536,13 @@ impl ProofStore {
         (store, warnings)
     }
 
-    /// Renders the whole store.
+    /// Renders the whole snapshot, stamped with the highest sequence
+    /// number it folds in (so journal replay can skip what it contains).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(STORE_HEADER);
         out.push('\n');
+        out.push_str(&format!("seq: {:016x}\n", self.next_seq - 1));
         for record in &self.records {
             out.push_str(&record.to_text());
         }
@@ -306,16 +555,142 @@ impl ProofStore {
         out
     }
 
-    /// Writes the store to its backing file atomically and durably; a
-    /// no-op for in-memory stores.
-    pub fn flush(&self) -> Result<(), String> {
-        match &self.path {
-            Some(path) => write_atomic_durable(path, &self.to_text()),
-            None => Ok(()),
+    /// Appends one record: inserts it in memory and stages its journal
+    /// frame (journal mode) or rewrites the whole snapshot durably
+    /// (rewrite mode). Returns the record's sequence number; in journal
+    /// mode the record is **not durable** until [`SharedStore::commit`]
+    /// reports that sequence number synced.
+    pub fn append(&mut self, record: StoreRecord) -> Result<u64, String> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame_body = record.to_text();
+        self.insert(record);
+        match (self.path.is_some(), self.mode, self.journal.is_some()) {
+            (false, _, _) => {
+                // In-memory: nothing can be more durable than it already is.
+                self.durable_seq = seq;
+            }
+            (true, PersistMode::Journal, true) => {
+                let frame = journal_frame(seq, &frame_body);
+                let crash = Arc::clone(&self.crash);
+                crash.hit(CrashSite::PreAppend);
+                let journal = self.journal.as_mut().expect("journal present");
+                journal.pending.extend_from_slice(frame.as_bytes());
+                journal.pending_seq = seq;
+                crash.hit(CrashSite::PostAppend);
+                self.stats.appends += 1;
+            }
+            (true, _, _) => {
+                // Rewrite mode (or a degraded journal): the old
+                // O(store-size) durable rewrite, synchronous.
+                self.write_snapshot_plain()?;
+            }
         }
+        Ok(seq)
     }
 
-    /// Inserts (or replaces, by fingerprint) one record.
+    /// Folds everything into the snapshot and empties the journal. Used
+    /// by the background compactor and the final drain flush; instruments
+    /// the compaction crash sites.
+    pub fn compact(&mut self) -> Result<(), String> {
+        let Some(path) = self.path.clone() else {
+            return Ok(());
+        };
+        if self.journal.is_none() {
+            return self.write_snapshot_plain();
+        }
+        let target = self.next_seq - 1;
+        let text = self.to_text();
+        self.write_snapshot_with_crash_sites(&path, &text)?;
+        // The snapshot now durably covers every sequence number through
+        // `target`; all journal frames are stale. Truncation is cleanup,
+        // not a correctness step — a crash before it only means stale
+        // frames get skipped on replay.
+        let journal = self.journal.as_mut().expect("journal present");
+        journal.pending.clear();
+        journal.pending_seq = target;
+        journal
+            .file
+            .set_len(0)
+            .map_err(|e| format!("cannot truncate journal: {e}"))?;
+        let _ = journal.file.sync_all();
+        self.journal_bytes = 0;
+        self.snapshot_bytes = text.len() as u64;
+        self.folded_seq = target;
+        self.durable_seq = self.durable_seq.max(target);
+        self.stats.compactions += 1;
+        Ok(())
+    }
+
+    /// `true` once the journal file has outgrown `max_ratio` times the
+    /// snapshot (with a small floor so a near-empty snapshot does not
+    /// force compaction on every append).
+    pub fn needs_compaction(&self, max_ratio: f64) -> bool {
+        if self.journal.is_none() || self.path.is_none() {
+            return false;
+        }
+        let base = self.snapshot_bytes.max(1024) as f64;
+        self.journal_bytes > 0 && self.journal_bytes as f64 > max_ratio * base
+    }
+
+    /// Writes the store to its backing file durably; a no-op for
+    /// in-memory stores. In journal mode this compacts (fold + truncate),
+    /// in rewrite mode it rewrites the snapshot.
+    pub fn flush(&mut self) -> Result<(), String> {
+        if self.path.is_none() {
+            return Ok(());
+        }
+        self.compact()
+    }
+
+    /// The plain (un-instrumented) durable snapshot write: used at open
+    /// time and by rewrite mode, where crash-point injection would abort
+    /// before the daemon ever serves.
+    fn write_snapshot_plain(&mut self) -> Result<(), String> {
+        let Some(path) = self.path.clone() else {
+            return Ok(());
+        };
+        let text = self.to_text();
+        write_atomic_durable(&path, &text)?;
+        self.snapshot_bytes = text.len() as u64;
+        self.folded_seq = self.next_seq - 1;
+        self.durable_seq = self.durable_seq.max(self.next_seq - 1);
+        Ok(())
+    }
+
+    /// `write_atomic_durable`, unrolled so every durability site can be
+    /// charged against the crash plan.
+    fn write_snapshot_with_crash_sites(&self, path: &Path, text: &str) -> Result<(), String> {
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "store".into());
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        {
+            let mut file = File::create(&tmp)
+                .map_err(|e| format!("cannot create `{}`: {e}", tmp.display()))?;
+            file.write_all(text.as_bytes())
+                .map_err(|e| format!("cannot write `{}`: {e}", tmp.display()))?;
+            self.crash.hit(CrashSite::CompactTmp);
+            file.sync_all()
+                .map_err(|e| format!("cannot sync `{}`: {e}", tmp.display()))?;
+        }
+        self.crash.hit(CrashSite::PreRename);
+        std::fs::rename(&tmp, path)
+            .map_err(|e| format!("cannot rename over `{}`: {e}", path.display()))?;
+        self.crash.hit(CrashSite::PostRename);
+        // Directory fsync is best-effort, matching `write_atomic_durable`:
+        // some filesystems refuse to open directories for writing.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts (or replaces, by fingerprint) one record in memory only.
     pub fn insert(&mut self, record: StoreRecord) {
         match self.by_fingerprint.get(&record.fingerprint) {
             Some(&i) => self.records[i] = record,
@@ -378,6 +753,180 @@ impl ProofStore {
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
     }
+
+    /// `true` when the store has a backing file — the precondition for a
+    /// response's `durable` bit.
+    pub fn persistent(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Journal/compaction counters for the daemon's stats line.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Bytes currently in the journal file.
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes
+    }
+
+    /// Size of the snapshot at last load/write.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes
+    }
+
+    /// Highest sequence number known durable.
+    pub fn durable_seq(&self) -> u64 {
+        self.durable_seq
+    }
+
+    /// Takes the pending journal buffer for the commit leader: the file
+    /// handle to write through, the staged bytes, and the highest staged
+    /// sequence number. `None` when there is nothing to sync.
+    fn take_pending(&mut self) -> Result<Option<(File, Vec<u8>, u64)>, String> {
+        let Some(journal) = self.journal.as_mut() else {
+            return Ok(None);
+        };
+        if journal.pending.is_empty() {
+            return Ok(None);
+        }
+        let file = journal
+            .file
+            .try_clone()
+            .map_err(|e| format!("cannot clone journal handle: {e}"))?;
+        Ok(Some((
+            file,
+            std::mem::take(&mut journal.pending),
+            journal.pending_seq,
+        )))
+    }
+
+    /// Puts unsynced bytes back at the front of the pending buffer after
+    /// a failed commit write, so a later commit can retry them in order.
+    fn restash_pending(&mut self, mut bytes: Vec<u8>) {
+        if let Some(journal) = self.journal.as_mut() {
+            bytes.extend_from_slice(&journal.pending);
+            journal.pending = bytes;
+        }
+    }
+
+    /// Records a successful group commit through `target`.
+    fn note_synced(&mut self, target: u64, bytes_written: u64) {
+        self.durable_seq = self.durable_seq.max(target);
+        self.journal_bytes += bytes_written;
+        self.stats.fsyncs += 1;
+    }
+}
+
+/// The store as the daemon shares it between workers, the compactor and
+/// the drain path: a mutex for in-memory access plus a group-commit
+/// protocol that batches journal fsyncs.
+///
+/// Workers append under the lock (memory-only staging) and then call
+/// [`SharedStore::commit`], which elects one **leader** to write + fsync
+/// everything staged so far while later appenders keep making progress;
+/// followers whose sequence number the leader covered return without
+/// touching the disk at all. Under load, one fsync acknowledges a whole
+/// admission drain.
+#[derive(Debug)]
+pub struct SharedStore {
+    inner: Mutex<ProofStore>,
+    commit_cv: Condvar,
+}
+
+impl SharedStore {
+    pub fn new(store: ProofStore) -> SharedStore {
+        SharedStore {
+            inner: Mutex::new(store),
+            commit_cv: Condvar::new(),
+        }
+    }
+
+    /// Locks the in-memory store. Poisoning is survivable here — the
+    /// store's state is checksummed advice, and a panicking worker is
+    /// already quarantined — so the lock is recovered, not propagated.
+    pub fn lock(&self) -> MutexGuard<'_, ProofStore> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Blocks until sequence number `seq` is durable (journal fsynced or
+    /// folded into a durable snapshot). Returns immediately for
+    /// in-memory and rewrite-mode stores, whose appends are already as
+    /// durable as they will get.
+    pub fn commit(&self, seq: u64) -> Result<(), String> {
+        let mut guard = self.lock();
+        loop {
+            if guard.durable_seq >= seq {
+                return Ok(());
+            }
+            if guard.committing {
+                guard = self
+                    .commit_cv
+                    .wait(guard)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            let Some((file, bytes, target)) = guard.take_pending()? else {
+                // Nothing staged yet durability lags `seq`: the frames
+                // were folded by a racing compaction or lost to an
+                // earlier failed commit that already reported its error.
+                return Ok(());
+            };
+            guard.committing = true;
+            drop(guard);
+            let result = write_and_sync(&file, &bytes);
+            guard = self.lock();
+            guard.committing = false;
+            match result {
+                Ok(()) => guard.note_synced(target, bytes.len() as u64),
+                Err(e) => {
+                    guard.restash_pending(bytes);
+                    self.commit_cv.notify_all();
+                    return Err(e);
+                }
+            }
+            self.commit_cv.notify_all();
+        }
+    }
+
+    /// `true` once the journal has outgrown `max_ratio` × snapshot.
+    pub fn needs_compaction(&self, max_ratio: f64) -> bool {
+        self.lock().needs_compaction(max_ratio)
+    }
+
+    /// Folds the journal into the snapshot, persisting `qcache_entries`
+    /// along the way. Waits out any in-flight group commit first so the
+    /// fold and the commit never interleave on the file.
+    pub fn compact_with_qcache(
+        &self,
+        qcache_entries: Vec<(ExportedTerm, CachedVerdict)>,
+    ) -> Result<(), String> {
+        let mut guard = self.lock();
+        while guard.committing {
+            guard = self
+                .commit_cv
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        guard.set_qcache_entries(qcache_entries);
+        guard.compact()
+    }
+}
+
+fn write_and_sync(mut file: &File, bytes: &[u8]) -> Result<(), String> {
+    file.write_all(bytes)
+        .map_err(|e| format!("journal write failed: {e}"))?;
+    file.sync_all()
+        .map_err(|e| format!("journal fsync failed: {e}"))
+}
+
+fn truncate_file(path: &Path, len: u64) -> Result<(), String> {
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| e.to_string())?;
+    file.set_len(len).map_err(|e| e.to_string())?;
+    file.sync_all().map_err(|e| e.to_string())
 }
 
 fn parse_record_header(header: &str) -> Result<(u64, u64), String> {
@@ -420,6 +969,16 @@ mod tests {
         }
     }
 
+    fn record(fp: u64, name: &str, rounds: u64) -> StoreRecord {
+        StoreRecord {
+            fingerprint: fp,
+            name: name.into(),
+            verdict: StoredVerdict::Correct,
+            rounds,
+            assertions: vec![atom("x", -1)],
+        }
+    }
+
     fn sample() -> ProofStore {
         let mut store = ProofStore::in_memory();
         store.insert(StoreRecord {
@@ -443,6 +1002,14 @@ mod tests {
         store
     }
 
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("seqver-store-unit-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn round_trip_is_identity() {
         let store = sample();
@@ -450,6 +1017,26 @@ mod tests {
         assert!(warnings.is_empty(), "{warnings:?}");
         assert_eq!(reparsed.records(), store.records());
         assert_eq!(reparsed.qcache_entries(), store.qcache_entries());
+    }
+
+    #[test]
+    fn v1_snapshots_still_load() {
+        let text = sample().to_text();
+        let v1 = text.replacen(STORE_HEADER, STORE_HEADER_V1, 1).replacen(
+            "seq: 0000000000000000\n",
+            "",
+            1,
+        );
+        let (store, warnings) = ProofStore::parse(&v1);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(store.records(), sample().records());
+    }
+
+    #[test]
+    fn record_text_round_trips() {
+        let r = record(0xabcd, "prog", 3);
+        assert_eq!(StoreRecord::parse_text(&r.to_text()).unwrap(), r);
+        assert!(StoreRecord::parse_text("garbage").is_err());
     }
 
     #[test]
@@ -531,8 +1118,7 @@ mod tests {
 
     #[test]
     fn open_missing_file_is_fresh_and_flush_round_trips() {
-        let dir = std::env::temp_dir().join(format!("seqver-store-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = scratch("fresh");
         let path = dir.join("proofs.store");
         let (mut store, warnings) = ProofStore::open(&path);
         assert!(store.is_empty() && warnings.is_empty());
@@ -547,6 +1133,140 @@ mod tests {
         let (reopened, warnings) = ProofStore::open(&path);
         assert!(warnings.is_empty(), "{warnings:?}");
         assert_eq!(reopened.records(), store.records());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_appends_survive_reopen_without_compaction() {
+        let dir = scratch("wal");
+        let path = dir.join("proofs.store");
+        let (store, warnings) = ProofStore::open(&path);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let shared = SharedStore::new(store);
+        let mut last = 0;
+        for i in 0..5u64 {
+            last = shared.lock().append(record(i + 1, "p", i)).unwrap();
+        }
+        shared.commit(last).unwrap();
+        {
+            let store = shared.lock();
+            assert_eq!(store.durable_seq(), last);
+            assert!(store.journal_bytes() > 0);
+            // Snapshot is still the empty one written at open.
+            assert_eq!(store.stats().fsyncs, 1, "one group commit for 5 appends");
+        }
+        drop(shared);
+        let (reopened, warnings) = ProofStore::open(&path);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(reopened.len(), 5, "all journaled records replayed");
+        assert_eq!(reopened.stats().replayed_frames, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_and_truncates_and_stale_frames_skip() {
+        let dir = scratch("compact");
+        let path = dir.join("proofs.store");
+        let (store, _) = ProofStore::open(&path);
+        let shared = SharedStore::new(store);
+        let mut last = 0;
+        for i in 0..4u64 {
+            last = shared.lock().append(record(i + 1, "p", i)).unwrap();
+        }
+        shared.commit(last).unwrap();
+        let journal_before = std::fs::metadata(journal_path(&path)).unwrap().len();
+        assert!(journal_before > 0);
+        shared.compact_with_qcache(Vec::new()).unwrap();
+        assert_eq!(std::fs::metadata(journal_path(&path)).unwrap().len(), 0);
+        // Re-create the pre-truncation journal: its frames are now stale
+        // relative to the snapshot's seq mark and must be skipped.
+        let frames: String = (0..4u64)
+            .map(|i| journal_frame(i + 1, &record(i + 1, "p", i).to_text()))
+            .collect();
+        std::fs::write(journal_path(&path), frames).unwrap();
+        drop(shared);
+        let (reopened, warnings) = ProofStore::open(&path);
+        assert_eq!(reopened.len(), 4);
+        assert_eq!(reopened.stats().stale_frames, 4);
+        assert_eq!(reopened.stats().replayed_frames, 0);
+        assert!(warnings.iter().any(|w| w.contains("stale")), "{warnings:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_and_prefix_replayed() {
+        let dir = scratch("torn");
+        let path = dir.join("proofs.store");
+        let (store, _) = ProofStore::open(&path);
+        let shared = SharedStore::new(store);
+        let mut last = 0;
+        for i in 0..3u64 {
+            last = shared.lock().append(record(i + 1, "p", i)).unwrap();
+        }
+        shared.commit(last).unwrap();
+        drop(shared);
+        // Chop the last frame mid-body: only the first two replay, and the
+        // file is truncated back to the clean two-frame prefix.
+        let jpath = journal_path(&path);
+        let bytes = std::fs::read(&jpath).unwrap();
+        std::fs::write(&jpath, &bytes[..bytes.len() - 7]).unwrap();
+        let (reopened, warnings) = ProofStore::open(&path);
+        assert_eq!(reopened.len(), 2);
+        assert!(
+            warnings.iter().any(|w| w.contains("truncated")),
+            "{warnings:?}"
+        );
+        let replay = replay_journal(&std::fs::read(&jpath).unwrap());
+        assert_eq!(replay.frames.len(), 2);
+        assert!(replay.torn.is_none(), "tail must be physically gone");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_mode_is_durable_per_append() {
+        let dir = scratch("rewrite");
+        let path = dir.join("proofs.store");
+        let (store, _) = ProofStore::open_with(&path, PersistMode::Rewrite, Arc::default());
+        let shared = SharedStore::new(store);
+        let seq = shared.lock().append(record(7, "p", 0)).unwrap();
+        shared.commit(seq).unwrap(); // no-op: already durable
+        drop(shared);
+        // No journal frames were written; the snapshot alone carries it.
+        let (reopened, warnings) = ProofStore::open(&path);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(reopened.stats().replayed_frames, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leftover_journal_is_replayed_even_without_journal_mode() {
+        let dir = scratch("leftover");
+        let path = dir.join("proofs.store");
+        let (store, _) = ProofStore::open(&path);
+        let shared = SharedStore::new(store);
+        let seq = shared.lock().append(record(9, "p", 1)).unwrap();
+        shared.commit(seq).unwrap();
+        drop(shared);
+        let (reopened, _) = ProofStore::open_with(&path, PersistMode::Rewrite, Arc::default());
+        assert_eq!(reopened.len(), 1, "journaled frame visible to --no-journal");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn needs_compaction_respects_ratio() {
+        let dir = scratch("ratio");
+        let path = dir.join("proofs.store");
+        let (store, _) = ProofStore::open(&path);
+        let shared = SharedStore::new(store);
+        assert!(
+            !shared.needs_compaction(0.0),
+            "empty journal never compacts"
+        );
+        let seq = shared.lock().append(record(1, "p", 0)).unwrap();
+        shared.commit(seq).unwrap();
+        assert!(shared.needs_compaction(0.0), "ratio 0 compacts on any byte");
+        assert!(!shared.needs_compaction(1e9), "huge ratio never compacts");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

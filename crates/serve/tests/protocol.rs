@@ -295,6 +295,12 @@ fn compile_errors_are_structured_not_fatal() {
         .verify_source("valid", &source(1), VerifyOpts::default())
         .expect("verify");
     assert_eq!(resp.verdict, Some(WireVerdict::Correct));
+    // An in-memory store has nothing to fsync: the daemon must not claim
+    // the verdict is durable.
+    assert!(
+        !resp.durable,
+        "durable acknowledgement without a persistent store: {resp:?}"
+    );
     server.stop();
 }
 

@@ -4,14 +4,20 @@
 //! may cost warm starts, but can never panic the daemon and can never
 //! smuggle in a record (or query-cache entry) that differs from one this
 //! build wrote. The properties here drive randomly generated stores
-//! through random byte-level damage and check exactly that.
+//! through random byte-level damage and check exactly that — first
+//! against the snapshot file, then (the torn-tail battery) against the
+//! write-ahead journal: flips, truncations, duplicated frames and
+//! stale-sequence frames must degrade to replaying the valid prefix,
+//! never to a panic and never to a corrupted surviving record.
 
+use gemcutter::snapshot::journal_frame;
 use proptest::collection::vec;
 use proptest::prelude::*;
-use serve::store::{ProofStore, StoreRecord, StoredVerdict};
+use serve::store::{journal_path, ProofStore, StoreRecord, StoredVerdict};
 use smt::linear::Rel;
 use smt::qcache::CachedVerdict;
 use smt::transfer::ExportedTerm;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 // ---------------------------------------------------------------------------
@@ -113,6 +119,72 @@ fn assert_no_wrong_content(original: &ProofStore, loaded: &ProofStore) {
     }
 }
 
+/// A unique scratch directory per call (the suite runs in parallel).
+fn scratch_dir() -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "seqver-journal-prop-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Lays a store out on disk the way a crashed daemon leaves it: `base`
+/// records folded into the snapshot, `extras` only as journal frames
+/// (sequence numbers 1..). Returns the store path and a reference store
+/// holding everything, against which recovery is judged.
+///
+/// Fingerprints are reassigned to be unique so that "which records
+/// survived" is well defined (random fingerprints can collide once the
+/// shrinker drives them toward zero).
+fn write_store_with_journal(
+    dir: &Path,
+    base: &mut [StoreRecord],
+    extras: &mut [StoreRecord],
+) -> (PathBuf, ProofStore) {
+    for (i, r) in base.iter_mut().enumerate() {
+        r.fingerprint = 0x8000_0000_0000_0000 | i as u64;
+    }
+    for (i, r) in extras.iter_mut().enumerate() {
+        r.fingerprint = 0x4000_0000_0000_0000 | i as u64;
+    }
+    let path = dir.join("proofs.store");
+    let (mut on_disk, warnings) = ProofStore::open(&path);
+    assert!(warnings.is_empty(), "{warnings:?}");
+    for r in base.iter() {
+        on_disk.insert(r.clone());
+    }
+    on_disk.flush().unwrap();
+    drop(on_disk);
+    let mut journal = String::new();
+    for (i, r) in extras.iter().enumerate() {
+        journal.push_str(&journal_frame(i as u64 + 1, &r.to_text()));
+    }
+    std::fs::write(journal_path(&path), journal).unwrap();
+    let mut reference = ProofStore::in_memory();
+    for r in base.iter().chain(extras.iter()) {
+        reference.insert(r.clone());
+    }
+    (path, reference)
+}
+
+/// The extras that survived `loaded` must be a *prefix* of the appended
+/// order: journal recovery truncates at the first bad frame, it never
+/// resurrects a record from beyond the tear.
+fn assert_extras_are_a_prefix(loaded: &ProofStore, extras: &[StoreRecord]) {
+    let survived: Vec<bool> = extras
+        .iter()
+        .map(|r| loaded.lookup(r.fingerprint).is_some())
+        .collect();
+    let prefix_len = survived.iter().take_while(|&&s| s).count();
+    assert!(
+        survived.iter().skip(prefix_len).all(|&s| !s),
+        "journal recovery kept a record from beyond the tear: {survived:?}"
+    );
+}
+
 /// Loads possibly-invalid bytes the way the daemon does: valid UTF-8 goes
 /// straight to the parser; invalid UTF-8 goes through a real file and
 /// [`ProofStore::open`], which must degrade to a cold start, not panic.
@@ -212,11 +284,116 @@ proptest! {
     /// Foreign or future files never panic and never contribute records.
     #[test]
     fn foreign_files_cold_start(text in "[ -~\n]{0,200}") {
-        if !text.starts_with("seqver-store v1") {
+        if !text.starts_with("seqver-store v") {
             let (loaded, _warnings) = ProofStore::parse(&text);
             prop_assert!(loaded.is_empty());
             prop_assert!(loaded.qcache_entries().is_empty());
         }
+    }
+
+    /// An undamaged snapshot + journal pair replays to exactly the union:
+    /// every folded record, every journaled record, nothing else.
+    #[test]
+    fn journal_replay_is_identity(
+        base in vec(record(), 0..3),
+        extras in vec(record(), 1..5),
+    ) {
+        let (mut base, mut extras) = (base, extras);
+        let dir = scratch_dir();
+        let (path, reference) = write_store_with_journal(&dir, &mut base, &mut extras);
+        let (loaded, warnings) = ProofStore::open(&path);
+        std::fs::remove_dir_all(&dir).unwrap();
+        prop_assert!(warnings.is_empty(), "{warnings:?}");
+        prop_assert_eq!(loaded.records(), reference.records());
+    }
+
+    /// One flipped byte anywhere in the journal: never a panic, never an
+    /// altered surviving record, the snapshot's records all intact, and
+    /// the surviving journaled records an exact prefix of append order.
+    #[test]
+    fn journal_byte_flip_recovers_a_clean_prefix(
+        base in vec(record(), 0..3),
+        extras in vec(record(), 1..5),
+        position in any::<usize>(),
+        replacement in any::<u8>(),
+    ) {
+        let (mut base, mut extras) = (base, extras);
+        let dir = scratch_dir();
+        let (path, reference) = write_store_with_journal(&dir, &mut base, &mut extras);
+        let wal = journal_path(&path);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let at = position % bytes.len();
+        let flipped = bytes[at] != replacement;
+        bytes[at] = replacement;
+        std::fs::write(&wal, &bytes).unwrap();
+        let (loaded, _warnings) = ProofStore::open(&path);
+        std::fs::remove_dir_all(&dir).unwrap();
+        if flipped {
+            assert_no_wrong_content(&reference, &loaded);
+            for r in base.iter() {
+                prop_assert_eq!(loaded.lookup(r.fingerprint), Some(r),
+                    "snapshot record lost to journal damage");
+            }
+            assert_extras_are_a_prefix(&loaded, &extras);
+        }
+    }
+
+    /// Truncating the journal at any byte boundary replays the surviving
+    /// whole-frame prefix and drops the tail — the crash the journal
+    /// exists to absorb.
+    #[test]
+    fn journal_truncation_replays_the_prefix(
+        base in vec(record(), 0..3),
+        extras in vec(record(), 1..5),
+        cut in any::<usize>(),
+    ) {
+        let (mut base, mut extras) = (base, extras);
+        let dir = scratch_dir();
+        let (path, reference) = write_store_with_journal(&dir, &mut base, &mut extras);
+        let wal = journal_path(&path);
+        let bytes = std::fs::read(&wal).unwrap();
+        let keep = cut % (bytes.len() + 1);
+        std::fs::write(&wal, &bytes[..keep]).unwrap();
+        let (loaded, _warnings) = ProofStore::open(&path);
+        // Recovery physically truncates the torn tail, so what is left on
+        // disk must itself be a whole-frame prefix no longer than the cut.
+        let after = std::fs::metadata(&wal).unwrap().len() as usize;
+        std::fs::remove_dir_all(&dir).unwrap();
+        prop_assert!(after <= keep, "recovery grew the journal: {after} > {keep}");
+        assert_no_wrong_content(&reference, &loaded);
+        for r in base.iter() {
+            prop_assert_eq!(loaded.lookup(r.fingerprint), Some(r));
+        }
+        assert_extras_are_a_prefix(&loaded, &extras);
+    }
+
+    /// Duplicated frames (a batch re-written after a crashed compaction)
+    /// and stale-sequence frames are skipped, not double-applied: replay
+    /// yields exactly the reference store, with the skips explained.
+    #[test]
+    fn duplicated_and_stale_frames_are_skipped(
+        base in vec(record(), 0..3),
+        extras in vec(record(), 1..5),
+    ) {
+        let (mut base, mut extras) = (base, extras);
+        let dir = scratch_dir();
+        let (path, reference) = write_store_with_journal(&dir, &mut base, &mut extras);
+        let wal = journal_path(&path);
+        let mut journal = String::from_utf8(std::fs::read(&wal).unwrap()).unwrap();
+        // A stale frame below every live sequence number...
+        journal.push_str(&journal_frame(0, "record: 0 stale 0 0\n"));
+        // ...and the whole batch duplicated at its original numbers.
+        for (i, r) in extras.iter().enumerate() {
+            journal.push_str(&journal_frame(i as u64 + 1, &r.to_text()));
+        }
+        std::fs::write(&wal, journal).unwrap();
+        let (loaded, warnings) = ProofStore::open(&path);
+        std::fs::remove_dir_all(&dir).unwrap();
+        prop_assert_eq!(loaded.records(), reference.records());
+        prop_assert!(
+            warnings.iter().any(|w| w.contains("stale")),
+            "skipped frames must be explained: {:?}", warnings
+        );
     }
 
     /// The full disk path — durable flush, reopen — is also an identity.

@@ -16,6 +16,7 @@ use seqver::gemcutter::govern::{Category, FaultPlan, GovernorConfig};
 use seqver::gemcutter::portfolio::{
     default_portfolio, parallel_verify, portfolio_verify, ParallelConfig,
 };
+use seqver::gemcutter::snapshot::fnv1a;
 use seqver::gemcutter::snapshot::Snapshot;
 use seqver::gemcutter::supervise::{
     supervised_parallel_verify, supervised_verify, RetryPolicy, SuperviseConfig,
@@ -24,7 +25,8 @@ use seqver::gemcutter::verify::{verify, OrderSpec, Verdict, VerifierConfig};
 use seqver::program::commutativity::{CommutativityLevel, CommutativityOracle};
 use seqver::program::concurrent::{Program, Spec};
 use seqver::reduction::reduce::{reduction_automaton, ReductionConfig};
-use seqver::serve::client::Client;
+use seqver::serve::client::{BusyRetryPolicy, Client};
+use seqver::serve::crash::CrashPlan;
 use seqver::serve::proto::{Status, VerifyOpts};
 use seqver::serve::server::{ServeConfig, Server};
 use seqver::smt::{SolverKind, TermPool};
@@ -58,7 +60,8 @@ const USAGE: &str = "usage:
   seqver reduce <file.cpl> [--order seq|lockstep|rand:<seed>] [--dot]
   seqver serve  [--addr HOST:PORT] [--store PATH] [--max-inflight N]
                 [--queue-depth N] [--request-timeout DUR] [--io-timeout DUR]
-                [--idle-timeout DUR] [--retries N] [--crash-after N]
+                [--idle-timeout DUR] [--retries N] [--no-journal]
+                [--journal-max-ratio F] [--crash-at SITE:N] [--crash-after N]
   seqver submit <file.cpl>... --addr HOST:PORT [--timeout DUR] [--steps CAT=N]
                 [--retries N] [--faults SPEC] [--retry-busy N]
                 [--stats] [--shutdown]
@@ -98,7 +101,9 @@ serve flags:
                    printed as `listening on ADDR` at startup)
   --store P        crash-safe persistent proof store: verdicts, harvested
                    assertions and query-cache entries survive restarts and
-                   kill -9 (omitted: in-memory only)
+                   kill -9 (omitted: in-memory only). Writes go to an
+                   append-only journal at P.wal, fsynced before the client
+                   is acknowledged, folded into P by background compaction
   --max-inflight N concurrent verification workers (default 4); admission
                    control sheds `busy` beyond max-inflight + queue-depth
   --queue-depth N  requests allowed to queue beyond the running ones
@@ -109,8 +114,16 @@ serve flags:
   --io-timeout DUR mid-frame stall timeout (slow-loris defense) and socket
                    write timeout (default 2s)
   --idle-timeout DUR  idle connection close (default 30s)
-  --crash-after N  test aid: abort() after the N-th persisted verification
-                   (deterministic kill -9 for recovery drills)
+  --no-journal     revert to durably rewriting the whole snapshot per
+                   request (ablation baseline; verdicts are identical)
+  --journal-max-ratio F  compact once the journal outgrows F x the
+                   snapshot size (default 4; 0 compacts after every batch)
+  --crash-at SITE:N  test aid: abort() at the N-th arrival of a named
+                   durability site, comma-separable; sites: pre-append,
+                   post-append, post-fsync, compact-tmp, pre-rename,
+                   post-rename (deterministic kill -9 for crash sweeps)
+  --crash-after N  shorthand for --crash-at post-fsync:N (kept for
+                   compatibility with older recovery drills)
 
 submit flags:
   --addr A         daemon address (required)
@@ -628,6 +641,7 @@ fn cmd_reduce(args: &[String]) -> Result<ExitCode, String> {
 
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let mut config = ServeConfig::default();
+    let mut crash_specs: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -662,12 +676,31 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                 let v = it.next().ok_or("--retries needs a value")?;
                 config.retries = v.parse().map_err(|_| "invalid --retries")?;
             }
+            "--no-journal" => config.journal = false,
+            "--journal-max-ratio" => {
+                let v = it.next().ok_or("--journal-max-ratio needs a value")?;
+                config.journal_max_ratio = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r >= 0.0)
+                    .ok_or("invalid --journal-max-ratio")?;
+            }
+            "--crash-at" => {
+                crash_specs.push(it.next().ok_or("--crash-at needs a value")?.clone());
+            }
             "--crash-after" => {
-                let v = it.next().ok_or("--crash-after needs a value")?;
-                config.crash_after = Some(v.parse().map_err(|_| "invalid --crash-after")?);
+                let n: u64 = it
+                    .next()
+                    .ok_or("--crash-after needs a value")?
+                    .parse()
+                    .map_err(|_| "invalid --crash-after")?;
+                crash_specs.push(format!("post-fsync:{n}"));
             }
             other => return Err(format!("unexpected argument `{other}`")),
         }
+    }
+    if !crash_specs.is_empty() {
+        config.crash_plan = Arc::new(CrashPlan::parse(&crash_specs.join(","))?);
     }
     let server = Server::bind(config)?;
     for warning in server.store_warnings() {
@@ -734,14 +767,26 @@ fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
         let source =
             std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
         let id = format!("{index}-{file}");
-        let mut response = client.verify_source(&id, &source, opts.clone())?;
-        // Honor the server's retry-after backoff guidance on sheds.
-        let mut retries_left = retry_busy;
-        while response.status == Some(Status::Busy) && retries_left > 0 {
-            let backoff = response.retry_after_ms.unwrap_or(50);
-            std::thread::sleep(std::time::Duration::from_millis(backoff));
-            retries_left -= 1;
-            response = client.verify_source(&id, &source, opts.clone())?;
+        // Sheds are retried with capped exponential backoff over the
+        // server's hint; the jitter seed is derived from the request id so
+        // a fleet of submitters de-synchronizes, yet reruns are bit-stable.
+        let policy = BusyRetryPolicy {
+            max_retries: retry_busy,
+            seed: fnv1a(id.as_bytes()),
+            ..BusyRetryPolicy::default()
+        };
+        let (response, report) = client.verify_with_retry(&id, &source, opts.clone(), &policy)?;
+        if report.busy_retries > 0 || report.budget_exhausted {
+            eprintln!(
+                "note: `{file}` was shed {} time(s); slept {:?}{}",
+                report.busy_retries,
+                report.slept,
+                if report.budget_exhausted {
+                    " (retry budget exhausted)"
+                } else {
+                    ""
+                }
+            );
         }
         let line = response.verdict_line();
         println!("{file}: {line}");

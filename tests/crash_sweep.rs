@@ -1,0 +1,360 @@
+//! Crash-point injection sweep for the `seqver serve` write-ahead
+//! journal: the daemon is killed (`--crash-at SITE:N` aborts, a
+//! deterministic `kill -9`) at *every* named durability site in turn —
+//! around the journal append, after the group-commit fsync, and at each
+//! step of a snapshot compaction — then restarted on the same store.
+//!
+//! The contract under test is the durable-acknowledgement one: `OK` on
+//! the wire means the verdict was fsynced first. So, for every site:
+//! zero acknowledged verdicts may be lost (each one is re-served warm,
+//! bit-identically, after restart), every verdict known durable at the
+//! crash point forms a warm prefix, and a restart may only come up fully
+//! cold from sites that precede the first fsync.
+
+use serve::client::Client;
+use serve::proto::{Response, VerifyOpts};
+use std::io::{BufRead, BufReader, Read};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_seqver");
+
+/// `c <= bound` after `incs` unit increments: correct iff `bound >= incs`.
+fn source(incs: u32, bound: u32) -> String {
+    format!(
+        "var c: int = 0;\n\
+         thread inc {{ c := c + 1; }}\n\
+         thread chk {{ assert c <= {bound}; }}\n\
+         spawn inc * {incs};\n\
+         spawn chk;\n"
+    )
+}
+
+/// A small mixed batch of definitive verdicts (every one is persisted):
+/// three correct programs and one with a deterministic bug whose witness
+/// trace is part of the bit-exact verdict line.
+fn corpus() -> Vec<String> {
+    vec![source(1, 1), source(2, 2), source(1, 0), source(3, 4)]
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+    stderr_path: PathBuf,
+}
+
+impl Daemon {
+    fn start(dir: &Path, store: &Path, extra: &[&str]) -> Daemon {
+        static N: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let stderr_path = dir.join(format!(
+            "daemon-{}.stderr",
+            N.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        let stderr_file = std::fs::File::create(&stderr_path).expect("stderr file");
+        let mut child = Command::new(BIN)
+            .arg("serve")
+            .arg("--store")
+            .arg(store)
+            .args(["--request-timeout", "30s"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::from(stderr_file))
+            .spawn()
+            .expect("spawn daemon");
+        let stdout = child.stdout.take().expect("stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("daemon exited before announcing its address")
+                .expect("read stdout");
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                break addr.trim().to_owned();
+            }
+        };
+        // Keep draining stdout (batch stats lines) so the pipe never fills.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon {
+            child,
+            addr,
+            stderr_path,
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect_with_timeout(&self.addr, Duration::from_secs(120)).expect("connect")
+    }
+
+    fn read_stderr(&self) -> String {
+        let mut stderr = String::new();
+        std::fs::File::open(&self.stderr_path)
+            .expect("stderr file")
+            .read_to_string(&mut stderr)
+            .expect("read stderr");
+        stderr
+    }
+
+    /// Asks the daemon to drain, then expects a clean exit 0.
+    fn shutdown_cleanly(mut self) -> String {
+        self.client().shutdown().expect("shutdown ack");
+        let status = self.child.wait().expect("wait");
+        assert!(status.success(), "daemon exited uncleanly: {status}");
+        self.read_stderr()
+    }
+
+    /// Waits for the injected abort, returning the daemon's stderr so the
+    /// sweep can check *which* site fired.
+    fn wait_for_crash(mut self) -> String {
+        let status = self.child.wait().expect("wait");
+        assert!(
+            !status.success(),
+            "daemon with --crash-at exited cleanly instead of aborting"
+        );
+        self.read_stderr()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("seqver-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Submits the whole corpus over one connection, stopping at the first
+/// dead-connection error (the crash runs die mid-batch).
+fn submit_batch(client: &mut Client, programs: &[String]) -> Vec<Result<Response, String>> {
+    let mut out = Vec::new();
+    for (i, program) in programs.iter().enumerate() {
+        let result = client.verify_source(&format!("req-{i}"), program, VerifyOpts::default());
+        let died = result.is_err();
+        out.push(result);
+        if died {
+            break;
+        }
+    }
+    out
+}
+
+fn stat(client: &mut Client, key: &str) -> u64 {
+    let stats = client.stats().expect("stats");
+    stats
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("no stat `{key}` in {stats:?}"))
+        .1
+        .parse()
+        .expect("numeric stat")
+}
+
+/// One crash point of the sweep.
+struct Site {
+    /// `--crash-at` spec handed to the daemon.
+    spec: &'static str,
+    /// Extra daemon flags (the compaction sites force `--journal-max-ratio
+    /// 0` so the very first durable verdict triggers a compaction to die
+    /// in).
+    extra: &'static [&'static str],
+    /// Verdicts guaranteed durable when the abort fires, responses sent or
+    /// not — the minimum warm prefix a restart must re-serve.
+    min_warm: usize,
+    /// Whether a restart from this site may (and must) come up fully cold:
+    /// only sites *before* the first fsync ever qualify.
+    cold: bool,
+}
+
+const SWEEP: &[Site] = &[
+    // Nothing staged yet: the restart has nothing to recover.
+    Site {
+        spec: "pre-append:1",
+        extra: &[],
+        min_warm: 0,
+        cold: true,
+    },
+    // Staged in the commit buffer but never written or fsynced: a real
+    // crash loses it, so the restart must be cold — this is exactly why
+    // the acknowledgement waits for the fsync.
+    Site {
+        spec: "post-append:1",
+        extra: &[],
+        min_warm: 0,
+        cold: true,
+    },
+    // Fsynced, response unsent: the work must survive.
+    Site {
+        spec: "post-fsync:1",
+        extra: &[],
+        min_warm: 1,
+        cold: false,
+    },
+    // One verdict acknowledged, a second fsynced: both must survive.
+    Site {
+        spec: "post-fsync:2",
+        extra: &[],
+        min_warm: 2,
+        cold: false,
+    },
+    // Compaction sites: every durable verdict was journal-fsynced before
+    // the compactor ever ran, so dying mid-fold — tmp written, before the
+    // rename, after the rename but before the journal reset — must never
+    // cost a record. (`--journal-max-ratio 0` makes the first commit
+    // trigger compaction.)
+    Site {
+        spec: "compact-tmp:1",
+        extra: &["--journal-max-ratio", "0"],
+        min_warm: 1,
+        cold: false,
+    },
+    Site {
+        spec: "pre-rename:1",
+        extra: &["--journal-max-ratio", "0"],
+        min_warm: 1,
+        cold: false,
+    },
+    Site {
+        spec: "post-rename:1",
+        extra: &["--journal-max-ratio", "0"],
+        min_warm: 1,
+        cold: false,
+    },
+];
+
+#[test]
+fn killing_the_daemon_at_every_durability_site_loses_no_acknowledged_verdict() {
+    let dir = scratch_dir("all-sites");
+    let programs = corpus();
+
+    // Reference: one uninterrupted daemon serves the whole batch cold.
+    // Every response is a definitive verdict and must carry the durable
+    // acknowledgement (it was fsynced before it was sent).
+    let reference_store = dir.join("reference.store");
+    let daemon = Daemon::start(&dir, &reference_store, &[]);
+    let mut client = daemon.client();
+    let reference = submit_batch(&mut client, &programs);
+    let reference_lines: Vec<String> = reference
+        .iter()
+        .map(|r| r.as_ref().expect("reference response").verdict_line())
+        .collect();
+    assert_eq!(reference_lines.len(), programs.len());
+    for r in reference.iter().flatten() {
+        assert!(
+            r.durable,
+            "a persisted definitive verdict must be acknowledged as durable: {r:?}"
+        );
+    }
+    drop(client);
+    daemon.shutdown_cleanly();
+
+    for site in SWEEP {
+        let tag = site.spec.replace(':', "-");
+        let store = dir.join(format!("{tag}.store"));
+
+        // Crash run: submit until the injected abort kills the daemon.
+        let mut flags: Vec<&str> = vec!["--crash-at", site.spec];
+        flags.extend_from_slice(site.extra);
+        let daemon = Daemon::start(&dir, &store, &flags);
+        let mut client = daemon.client();
+        let interrupted = submit_batch(&mut client, &programs);
+        drop(client);
+        let stderr = daemon.wait_for_crash();
+        let marker = format!("aborting at {}", site.spec);
+        assert!(
+            stderr.contains(&marker),
+            "[{}] expected `{marker}` in the crash stderr, got: {stderr}",
+            site.spec
+        );
+        assert!(
+            store.exists(),
+            "[{}] the snapshot file must survive any crash",
+            site.spec
+        );
+
+        // Every response the client actually received before the crash is
+        // an acknowledgement: it must match the reference bit for bit and
+        // must have been durable when sent.
+        let acked: Vec<&Response> = interrupted.iter().flatten().collect();
+        for (i, resp) in acked.iter().enumerate() {
+            assert_eq!(
+                resp.verdict_line(),
+                reference_lines[i],
+                "[{}] acknowledged verdict differs from the reference",
+                site.spec
+            );
+            assert!(
+                resp.durable,
+                "[{}] acknowledged verdict was not durable: {resp:?}",
+                site.spec
+            );
+        }
+
+        // Restart on the surviving store (no injection, stock flags) and
+        // resubmit everything: bit-identical verdicts, with zero
+        // acknowledged verdicts lost and the durable prefix served warm.
+        let daemon = Daemon::start(&dir, &store, &[]);
+        let mut client = daemon.client();
+        let recovered = submit_batch(&mut client, &programs);
+        let recovered_lines: Vec<String> = recovered
+            .iter()
+            .map(|r| r.as_ref().expect("recovered response").verdict_line())
+            .collect();
+        assert_eq!(
+            recovered_lines, reference_lines,
+            "[{}] restart changed a verdict",
+            site.spec
+        );
+        let warm_floor = site.min_warm.max(acked.len());
+        for (i, resp) in recovered.iter().flatten().enumerate().take(warm_floor) {
+            assert!(
+                resp.store_hit,
+                "[{}] verdict {i} was durable before the crash but was \
+                 re-verified instead of re-served",
+                site.spec
+            );
+        }
+        let hits = stat(&mut client, "store-hits");
+        assert!(
+            hits >= warm_floor as u64,
+            "[{}] warm prefix too short: {hits} store hits < {warm_floor}",
+            site.spec
+        );
+        if site.cold {
+            assert_eq!(
+                hits, 0,
+                "[{}] a pre-fsync crash site must cold-start (nothing was \
+                 durable), yet the restart found {hits} records",
+                site.spec
+            );
+        }
+        drop(client);
+        daemon.shutdown_cleanly();
+
+        // And once more: after the post-crash batch, the *whole* corpus is
+        // warm — recovery left the store append-able, not just readable.
+        let daemon = Daemon::start(&dir, &store, &[]);
+        let mut client = daemon.client();
+        let warm = submit_batch(&mut client, &programs);
+        let warm_lines: Vec<String> = warm
+            .iter()
+            .map(|r| r.as_ref().expect("warm response").verdict_line())
+            .collect();
+        assert_eq!(warm_lines, reference_lines, "[{}] warm pass", site.spec);
+        assert_eq!(
+            stat(&mut client, "store-hits"),
+            programs.len() as u64,
+            "[{}] the whole corpus must be warm after recovery + rebuild",
+            site.spec
+        );
+        drop(client);
+        daemon.shutdown_cleanly();
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
