@@ -60,6 +60,7 @@ fn record(i: u64) -> StoreRecord {
             atom(i as i128 % 13),
             ExportedTerm::True,
         ],
+        certificate: None,
     }
 }
 

@@ -376,6 +376,238 @@ pub fn check_proof(
     CheckResult::Proven
 }
 
+/// The annotation-level image of one fully covered reduction, captured by
+/// [`record_reduction`]: everything an independent checker needs to replay
+/// the DFS of Algorithm 2 *without* re-deriving any solver fact it does
+/// not choose to re-verify.
+///
+/// Proof states are referenced by their `ProofStateId`; the caller
+/// translates them to interned assertion sets when exporting a
+/// certificate.
+#[derive(Clone, Debug)]
+pub struct RecordedReduction {
+    /// Proof state covering the initial product state.
+    pub initial: ProofStateId,
+    /// Annotation transitions used: `(Φ, a, Φ')` with `Φ' = δ(Φ, a)`.
+    pub edges: Vec<(ProofStateId, LetterId, ProofStateId)>,
+    /// Proof states pruned as covered (`⋀Φ` unsatisfiable).
+    pub bottoms: Vec<ProofStateId>,
+    /// Proof states at accepting product states shown to entail the post.
+    pub safes: Vec<ProofStateId>,
+    /// Proof-sensitive commutativity facts used by sleep sets:
+    /// `(a, b, Φ)` means `a ↷↷_φ b` with `φ = ⋀Φ`.
+    pub claims: Vec<(LetterId, LetterId, ProofStateId)>,
+    /// Unconditional commutativity facts (`a < b`, distinct threads) used
+    /// by persistent-set membranes and by condition-free sleep sets.
+    pub ucommute: Vec<(LetterId, LetterId)>,
+}
+
+/// Re-walks the reduction after a round returned [`CheckResult::Proven`]
+/// and records its annotation-level structure.
+///
+/// Unlike [`check_proof`] this walk takes **no** useless-cache skips, so
+/// the recorded table covers subtrees earlier rounds had already
+/// discharged — the certificate must stand on its own. Every solver query
+/// hits the proof automaton's and oracle's memo tables, so the pass is
+/// roughly one cold round of pure graph traversal.
+///
+/// Returns `None` when the walk cannot be completed faithfully: the state
+/// budget or resource governor trips mid-walk, or (defensively) an
+/// uncovered accepting state is found. The verdict is then reported
+/// without a certificate rather than with a broken one.
+#[allow(clippy::too_many_arguments)]
+pub fn record_reduction(
+    pool: &mut TermPool,
+    program: &Program,
+    spec: Spec,
+    order: &dyn PreferenceOrder,
+    oracle: &mut CommutativityOracle,
+    persistent: Option<&PersistentSets>,
+    proof: &mut ProofAutomaton,
+    config: &CheckConfig,
+) -> Option<RecordedReduction> {
+    use std::collections::BTreeSet;
+
+    let governor = pool.governor().clone();
+    let membrane_mode = match spec {
+        Spec::PrePost => MembraneMode::Terminal,
+        Spec::ErrorOf(t) => MembraneMode::ErrorThread(t),
+    };
+    let n_letters = program.num_letters();
+    let init_formula = pool.and([program.init_formula(), program.pre()]);
+    let phi0 = proof.initial_state(pool, init_formula);
+
+    let mut edges: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
+    let mut bottoms: BTreeSet<u32> = BTreeSet::new();
+    let mut safes: BTreeSet<u32> = BTreeSet::new();
+    let mut claims: BTreeSet<(u32, u32, u32)> = BTreeSet::new();
+    let mut ucommute: BTreeSet<(u32, u32)> = BTreeSet::new();
+
+    // Membranes consume the whole unconditional commutativity relation, so
+    // the certificate must carry it whenever membranes (or condition-free
+    // sleep sets) are in play. The oracle has every pair cached from
+    // `PersistentSets::new`, so this is a table scan, not a solver sweep.
+    if persistent.is_some() || (config.use_sleep && !config.proof_sensitive) {
+        for a in program.letters() {
+            for b in program.letters() {
+                if a.index() < b.index()
+                    && program.thread_of(a) != program.thread_of(b)
+                    && oracle.commute(pool, program, a, b)
+                {
+                    ucommute.insert((a.index() as u32, b.index() as u32));
+                }
+            }
+        }
+    }
+
+    struct RecFrame {
+        q: ProductState,
+        phi: ProofStateId,
+        sleep: BitSet,
+        ctx: OrderContext,
+        explore: Vec<LetterId>,
+        enabled: Vec<LetterId>,
+        next: usize,
+    }
+
+    let mut visited: BTreeSet<Key> = BTreeSet::new();
+    let mut stack: Vec<RecFrame> = Vec::new();
+    let mut seen = 0usize;
+
+    // Mirrors `enter!`: classify a state, record the fact that justified
+    // its treatment, and return a frame when it must be expanded.
+    macro_rules! rec_enter {
+        ($q:expr, $phi:expr, $sleep:expr, $ctx:expr) => {{
+            let q: ProductState = $q;
+            let phi: ProofStateId = $phi;
+            let sleep: BitSet = $sleep;
+            let ctx: OrderContext = $ctx;
+            seen += 1;
+            if seen > config.max_visited.saturating_mul(4) {
+                return None;
+            }
+            if proof.is_bottom(pool, phi) {
+                bottoms.insert(phi.0);
+                None
+            } else if program.is_accepting(&q, spec) {
+                match spec {
+                    Spec::ErrorOf(_) => return None, // uncovered accepting state
+                    Spec::PrePost => {
+                        if !proof.implies_post(pool, phi, program.post()) {
+                            return None;
+                        }
+                        safes.insert(phi.0);
+                    }
+                }
+                None
+            } else {
+                let enabled = program.enabled(&q);
+                let mut explore: Vec<LetterId> = match persistent {
+                    Some(ps) => ps.compute(program, &q, order, ctx, membrane_mode),
+                    None => enabled.clone(),
+                };
+                if config.use_sleep {
+                    explore.retain(|l| !sleep.contains(l.index()));
+                }
+                explore.sort_by_key(|&l| order.rank(ctx, l, program));
+                Some(RecFrame {
+                    q,
+                    phi,
+                    sleep,
+                    ctx,
+                    explore,
+                    enabled,
+                    next: 0,
+                })
+            }
+        }};
+    }
+
+    let q0 = program.initial_state();
+    let sleep0 = BitSet::new(n_letters);
+    visited.insert((q0.clone(), phi0, sleep0.clone(), 0));
+    if let Some(f) = rec_enter!(q0, phi0, sleep0, 0) {
+        stack.push(f);
+    }
+
+    while let Some(frame) = stack.last_mut() {
+        if governor.charge(Category::DfsStates).is_err() {
+            return None;
+        }
+        if frame.next >= frame.explore.len() {
+            stack.pop();
+            continue;
+        }
+        let a = frame.explore[frame.next];
+        frame.next += 1;
+
+        let q = frame.q.clone();
+        let phi = frame.phi;
+        let sleep = frame.sleep.clone();
+        let ctx = frame.ctx;
+        let enabled = frame.enabled.clone();
+
+        let next_q = program.step(&q, a).expect("explored letter is enabled");
+        let next_phi = proof.step(pool, program, phi, a);
+        let next_ctx = order.step(ctx, a, program);
+        edges.insert((phi.0, a.index() as u32, next_phi.0));
+        let next_sleep = if config.use_sleep {
+            let condition: TermId = if config.proof_sensitive {
+                proof.conjunction(phi)
+            } else {
+                TermPool::TRUE
+            };
+            let mut s = BitSet::new(n_letters);
+            for &b in &enabled {
+                let earlier = sleep.contains(b.index()) || order.less(ctx, b, a, program);
+                if earlier && oracle.commute_under(pool, program, condition, a, b) {
+                    s.insert(b.index());
+                    if config.proof_sensitive {
+                        claims.insert((a.index() as u32, b.index() as u32, phi.0));
+                    } else {
+                        let (lo, hi) = if a.index() < b.index() {
+                            (a, b)
+                        } else {
+                            (b, a)
+                        };
+                        ucommute.insert((lo.index() as u32, hi.index() as u32));
+                    }
+                }
+            }
+            s
+        } else {
+            BitSet::new(n_letters)
+        };
+
+        let key: Key = (next_q.clone(), next_phi, next_sleep.clone(), next_ctx);
+        if !visited.insert(key) {
+            continue;
+        }
+        if let Some(f) = rec_enter!(next_q, next_phi, next_sleep, next_ctx) {
+            stack.push(f);
+        }
+    }
+
+    let wrap = |x: &BTreeSet<u32>| x.iter().map(|&s| ProofStateId(s)).collect::<Vec<_>>();
+    Some(RecordedReduction {
+        initial: phi0,
+        edges: edges
+            .iter()
+            .map(|&(s, l, t)| (ProofStateId(s), LetterId(l), ProofStateId(t)))
+            .collect(),
+        bottoms: wrap(&bottoms),
+        safes: wrap(&safes),
+        claims: claims
+            .iter()
+            .map(|&(a, b, s)| (LetterId(a), LetterId(b), ProofStateId(s)))
+            .collect(),
+        ucommute: ucommute
+            .iter()
+            .map(|&(a, b)| (LetterId(a), LetterId(b)))
+            .collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

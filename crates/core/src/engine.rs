@@ -12,13 +12,16 @@
 //! §8 Limitations ("dynamically adjust a choice of a preference order
 //! based on partial verification efforts").
 
-use crate::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
+use crate::certify::SpecCert;
+use crate::check::{
+    check_proof, record_reduction, CheckConfig, CheckResult, CheckStats, UselessCache,
+};
 use crate::govern::{Category, GiveUp};
 use crate::interpolate::{
     analyze_trace_with_mode, InterpolationMode, InterpolationStats, TraceResult,
 };
 use crate::proof::ProofAutomaton;
-use crate::verify::VerifierConfig;
+use crate::verify::{OrderSpec, VerifierConfig};
 use program::commutativity::CommutativityOracle;
 use program::concurrent::{LetterId, Program, Spec};
 use reduction::order::PreferenceOrder;
@@ -128,6 +131,8 @@ pub struct Engine {
     pub stats: EngineStats,
     spec: Spec,
     order: Box<dyn PreferenceOrder>,
+    order_spec: OrderSpec,
+    certify: bool,
     oracle: CommutativityOracle,
     persistent: Option<PersistentSets>,
     useless: UselessCache,
@@ -157,6 +162,8 @@ impl Engine {
             stats: EngineStats::default(),
             spec,
             order: config.order.build(),
+            order_spec: config.order.clone(),
+            certify: config.certify,
             oracle,
             persistent,
             useless: UselessCache::new(),
@@ -175,6 +182,39 @@ impl Engine {
     /// The specification this engine checks.
     pub fn spec(&self) -> Spec {
         self.spec
+    }
+
+    /// Records this engine's certificate for `proof` after a round
+    /// returned [`RoundOutcome::Proven`] — one uncached re-walk of the
+    /// covered reduction. Returns `None` when certification is disabled
+    /// for the engine's configuration or the walk was interrupted.
+    pub fn record_spec_cert(
+        &mut self,
+        pool: &mut TermPool,
+        program: &Program,
+        proof: &mut ProofAutomaton,
+    ) -> Option<SpecCert> {
+        if !self.certify {
+            return None;
+        }
+        let rec = record_reduction(
+            pool,
+            program,
+            self.spec,
+            self.order.as_ref(),
+            &mut self.oracle,
+            self.persistent.as_ref(),
+            proof,
+            &self.check_config,
+        )?;
+        Some(SpecCert::from_recorded(
+            pool,
+            proof,
+            &rec,
+            self.spec,
+            &self.order_spec,
+            &self.check_config,
+        ))
     }
 
     /// Drains the assertions this engine added to the proof since the last

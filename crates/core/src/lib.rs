@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+pub mod certify;
 pub mod check;
 pub mod engine;
 pub mod govern;
@@ -47,6 +48,9 @@ pub mod supervise;
 pub mod trace;
 pub mod verify;
 
+pub use certify::{
+    check_certificate, CertMutation, CertSpec, Certificate, CertifyMode, CertifyReport, SpecCert,
+};
 pub use govern::{
     push_give_up_deduped, AttributedGiveUp, Category, FaultKind, FaultPlan, GiveUp, GovernorConfig,
     ResourceGovernor,

@@ -17,10 +17,13 @@
 //! [`smt::transfer`]), so every engine still benefits from every other
 //! engine's refinements.
 
+use crate::certify::SpecCert;
 use crate::engine::{Engine, EngineStats, RoundOutcome};
 use crate::govern::{Category, GiveUp};
 use crate::proof::ProofAutomaton;
-use crate::verify::{specs_of, verify, Outcome, RunStats, Verdict, VerifierConfig};
+use crate::verify::{
+    assemble_certificate, specs_of, verify, Outcome, RunStats, Verdict, VerifierConfig,
+};
 use program::concurrent::{LetterId, Program, Spec};
 use smt::term::TermPool;
 use smt::transfer::ExportedTerm;
@@ -119,6 +122,7 @@ pub fn adaptive_verify(
     let mut stats = RunStats::default();
     let specs = specs_of(program);
     let mut winner: Option<String> = None;
+    let mut spec_certs: Vec<Option<SpecCert>> = Vec::new();
     'specs: for spec in specs {
         let mut engines: Vec<Engine> = configs
             .iter()
@@ -140,6 +144,7 @@ pub fn adaptive_verify(
                 let outcome = Outcome {
                     verdict,
                     stats: finish(stats, &engines, &shared, start),
+                    certificate: None,
                 };
                 return (outcome, None);
             }
@@ -150,6 +155,7 @@ pub fn adaptive_verify(
                         format!("no proof within {max_total_rounds} shared rounds"),
                     ),
                     stats: finish(stats, &engines, &shared, start),
+                    certificate: None,
                 };
                 return (outcome, None);
             }
@@ -163,14 +169,22 @@ pub fn adaptive_verify(
             match engines[idx].round(pool, program, &mut shared) {
                 RoundOutcome::Proven => {
                     winner = Some(engines[idx].name.clone());
+                    spec_certs.push(engines[idx].record_spec_cert(pool, program, &mut shared));
                     stats = finish(stats, &engines, &shared, start);
                     continue 'specs;
                 }
                 RoundOutcome::Bug(trace) => {
                     let name = engines[idx].name.clone();
+                    let verdict = Verdict::Incorrect { trace };
+                    let certificate = if configs[idx].certify {
+                        assemble_certificate(pool, program, &verdict, Vec::new(), Some(spec))
+                    } else {
+                        None
+                    };
                     let outcome = Outcome {
-                        verdict: Verdict::Incorrect { trace },
+                        verdict,
                         stats: finish(stats, &engines, &shared, start),
+                        certificate,
                     };
                     return (outcome, Some(name));
                 }
@@ -183,12 +197,14 @@ pub fn adaptive_verify(
             }
         }
     }
+    let certificate = assemble_certificate(pool, program, &Verdict::Correct, spec_certs, None);
     let outcome = Outcome {
         verdict: Verdict::Correct,
         stats: RunStats {
             time: start.elapsed(),
             ..stats
         },
+        certificate,
     };
     (outcome, winner)
 }
@@ -336,6 +352,9 @@ struct WorkerExit {
     /// The worker's full proof at exit, exported pool-independently — the
     /// harvest the restart supervisor recycles into the next attempt.
     assertions: Vec<ExportedTerm>,
+    /// The recorded per-spec certificate when the worker proved the spec
+    /// (and certificate emission is enabled on its configuration).
+    certificate: Option<SpecCert>,
 }
 
 enum WorkerVerdict {
@@ -380,6 +399,7 @@ pub fn parallel_verify(
     let mut winner: Option<String> = None;
     let mut harvest: Vec<ExportedTerm> = Vec::new();
     let mut harvested: HashSet<ExportedTerm> = HashSet::new();
+    let mut spec_certs: Vec<Option<SpecCert>> = Vec::new();
     for (spec_idx, &spec) in specs.iter().enumerate() {
         let phase = run_spec_parallel(pool, program, spec, configs, pcfg);
         for exit in &phase.exits {
@@ -426,14 +446,25 @@ pub fn parallel_verify(
         match phase.verdict {
             Verdict::Correct => {
                 winner = winner_idx.map(|i| configs[i].name.clone());
+                spec_certs.push(
+                    winner_idx
+                        .and_then(|w| phase.exits.iter().find(|e| e.engine == w))
+                        .and_then(|e| e.certificate.clone()),
+                );
             }
             other => {
                 stats.time = start.elapsed();
                 apply_cache_delta(&mut stats, pool, cache_before);
+                let certificate = if winner_idx.is_some_and(|i| configs[i].certify) {
+                    assemble_certificate(pool, program, &other, Vec::new(), Some(spec))
+                } else {
+                    None
+                };
                 return ParallelOutcome {
                     outcome: Outcome {
                         verdict: other,
                         stats,
+                        certificate,
                     },
                     winner: winner_idx.map(|i| configs[i].name.clone()),
                     engines: reports,
@@ -444,10 +475,12 @@ pub fn parallel_verify(
     }
     stats.time = start.elapsed();
     apply_cache_delta(&mut stats, pool, cache_before);
+    let certificate = assemble_certificate(pool, program, &Verdict::Correct, spec_certs, None);
     ParallelOutcome {
         outcome: Outcome {
             verdict: Verdict::Correct,
             stats,
+            certificate,
         },
         winner,
         engines: reports,
@@ -518,6 +551,7 @@ fn run_spec_parallel(
                         proof_size: 0,
                         hoare_checks: 0,
                         assertions: Vec::new(),
+                        certificate: None,
                     })
                 });
                 // The coordinator may already be gone when the run was
@@ -573,17 +607,21 @@ fn worker_loop(
     // Replay the supervisor's recycled assertions (if any) before the
     // first round; they are candidates like any broadcast batch.
     import_batch(pool, &mut proof, &pcfg.seed);
-    let exit =
-        |pool: &TermPool, engine: &Engine, proof: &ProofAutomaton, verdict: WorkerVerdict| {
-            Box::new(WorkerExit {
-                engine: idx,
-                verdict,
-                stats: engine.stats,
-                proof_size: proof.proof_size(),
-                hoare_checks: proof.stats().hoare_checks,
-                assertions: proof.assertions().iter().map(|&t| pool.export(t)).collect(),
-            })
-        };
+    let exit = |pool: &TermPool,
+                engine: &Engine,
+                proof: &ProofAutomaton,
+                verdict: WorkerVerdict,
+                certificate: Option<SpecCert>| {
+        Box::new(WorkerExit {
+            engine: idx,
+            verdict,
+            stats: engine.stats,
+            proof_size: proof.proof_size(),
+            hoare_checks: proof.stats().hoare_checks,
+            assertions: proof.assertions().iter().map(|&t| pool.export(t)).collect(),
+            certificate,
+        })
+    };
     loop {
         // Absorb assertions from the other engines. Free-running: drain
         // whatever has arrived. Deterministic: block at the barrier.
@@ -595,7 +633,7 @@ fn worker_loop(
                     }
                 }
                 Ok(CoordMsg::Stop) | Err(_) => {
-                    return exit(pool, &engine, &proof, WorkerVerdict::Cancelled);
+                    return exit(pool, &engine, &proof, WorkerVerdict::Cancelled, None);
                 }
             }
         } else {
@@ -607,12 +645,12 @@ fn worker_loop(
                         }
                     }
                     CoordMsg::Stop => {
-                        return exit(pool, &engine, &proof, WorkerVerdict::Cancelled);
+                        return exit(pool, &engine, &proof, WorkerVerdict::Cancelled, None);
                     }
                 }
             }
             if stop.load(Ordering::Relaxed) {
-                return exit(pool, &engine, &proof, WorkerVerdict::Cancelled);
+                return exit(pool, &engine, &proof, WorkerVerdict::Cancelled, None);
             }
         }
         // Per-engine budgets (graceful: the engine just gives up).
@@ -625,6 +663,7 @@ fn worker_loop(
                     Category::Rounds,
                     format!("no proof within {} rounds", pcfg.max_rounds_per_engine),
                 )),
+                None,
             );
         }
         if let Some(budget) = pcfg.wall_clock_budget {
@@ -637,6 +676,7 @@ fn worker_loop(
                         Category::Deadline,
                         "wall-clock budget exhausted",
                     )),
+                    None,
                 );
             }
         }
@@ -653,18 +693,21 @@ fn worker_loop(
                     WorkerMsg::Refined { engine: idx, batch }
                 };
                 if tx.send(msg).is_err() {
-                    return exit(pool, &engine, &proof, WorkerVerdict::Cancelled);
+                    return exit(pool, &engine, &proof, WorkerVerdict::Cancelled, None);
                 }
             }
-            RoundOutcome::Proven => return exit(pool, &engine, &proof, WorkerVerdict::Proven),
+            RoundOutcome::Proven => {
+                let cert = engine.record_spec_cert(pool, program, &mut proof);
+                return exit(pool, &engine, &proof, WorkerVerdict::Proven, cert);
+            }
             RoundOutcome::Bug(trace) => {
-                return exit(pool, &engine, &proof, WorkerVerdict::Bug(trace))
+                return exit(pool, &engine, &proof, WorkerVerdict::Bug(trace), None)
             }
             RoundOutcome::GaveUp(give_up) => {
-                return exit(pool, &engine, &proof, WorkerVerdict::GaveUp(give_up))
+                return exit(pool, &engine, &proof, WorkerVerdict::GaveUp(give_up), None)
             }
             RoundOutcome::Cancelled => {
-                return exit(pool, &engine, &proof, WorkerVerdict::Cancelled)
+                return exit(pool, &engine, &proof, WorkerVerdict::Cancelled, None)
             }
         }
     }
@@ -900,6 +943,7 @@ fn worker_lost(engine: usize) -> WorkerExit {
         proof_size: 0,
         hoare_checks: 0,
         assertions: Vec::new(),
+        certificate: None,
     }
 }
 

@@ -44,6 +44,7 @@
 //! sat/unsat verdicts of canonical (pool-independent) formulas, never the
 //! `Unknown`/`GaveUp` outcomes a tripped governor produces.
 
+use crate::certify::SpecCert;
 use crate::engine::{Engine, RoundOutcome};
 use crate::govern::{
     panic_reason, push_give_up_deduped, AttributedGiveUp, Category, GiveUp, ResourceGovernor,
@@ -51,7 +52,7 @@ use crate::govern::{
 use crate::portfolio::{parallel_verify, EngineStatus, ParallelConfig, ParallelOutcome};
 use crate::proof::ProofAutomaton;
 use crate::snapshot::Snapshot;
-use crate::verify::{specs_of, Outcome, RunStats, Verdict, VerifierConfig};
+use crate::verify::{assemble_certificate, specs_of, Outcome, RunStats, Verdict, VerifierConfig};
 use program::concurrent::{LetterId, Program, Spec};
 use smt::term::TermPool;
 use smt::transfer::ExportedTerm;
@@ -242,6 +243,10 @@ struct SupervisorState {
     /// [`SupervisedOutcome::harvest`].
     all_harvest: Vec<ExportedTerm>,
     all_harvest_set: HashSet<ExportedTerm>,
+    /// One recorded certificate per proven spec, in spec order. Specs
+    /// proven by a pre-crash process (resumed from a snapshot) have no
+    /// recording, so the run's overall certificate degrades to `None`.
+    spec_certs: Vec<Option<SpecCert>>,
 }
 
 impl SupervisorState {
@@ -348,6 +353,7 @@ pub fn supervised_verify(
         give_ups: Vec::new(),
         all_harvest: Vec::new(),
         all_harvest_set: HashSet::new(),
+        spec_certs: Vec::new(),
     };
     let mut attempts: Vec<AttemptReport> = Vec::new();
 
@@ -364,6 +370,7 @@ pub fn supervised_verify(
                         ),
                     ),
                     stats: RunStats::default(),
+                    certificate: None,
                 },
                 attempts,
                 give_up_history: Vec::new(),
@@ -376,6 +383,8 @@ pub fn supervised_verify(
         }
         state.attempt = snap.attempt;
         state.specs_done = snap.specs_done;
+        // Specs proven before the crash have no recorded certificate.
+        state.spec_certs = vec![None; snap.specs_done];
         state.base_rounds = snap.rounds_completed;
         for g in &snap.give_ups {
             push_give_up_deduped(&mut state.give_ups, g.clone());
@@ -474,6 +483,14 @@ pub fn supervised_verify(
     };
 
     pool.set_governor(previous_governor);
+    let certificate = if config.certify {
+        // A bug ends the run inside the spec `specs_done` points at.
+        let failed_spec = specs.get(state.specs_done).copied();
+        let spec_certs = std::mem::take(&mut state.spec_certs);
+        assemble_certificate(pool, program, &verdict, spec_certs, failed_spec)
+    } else {
+        None
+    };
     let final_rounds = attempts.last().map_or(0, |a| a.rounds);
     let rounds_skipped = state.rounds_completed().saturating_sub(final_rounds);
     let recycled_assertions = attempts.last().map_or(0, |a| a.seeded);
@@ -482,7 +499,11 @@ pub fn supervised_verify(
     stats.rounds += base_rounds;
     stats.time = start.elapsed();
     SupervisedOutcome {
-        outcome: Outcome { verdict, stats },
+        outcome: Outcome {
+            verdict,
+            stats,
+            certificate,
+        },
         attempts,
         give_up_history: state.give_ups,
         recycled_assertions,
@@ -551,7 +572,11 @@ fn run_spec(
             RoundOutcome::Refined => {
                 state.write_checkpoint(pool, Some(&proof));
             }
-            RoundOutcome::Proven => break SpecEnd::Proven,
+            RoundOutcome::Proven => {
+                let cert = engine.record_spec_cert(pool, program, &mut proof);
+                state.spec_certs.push(cert);
+                break SpecEnd::Proven;
+            }
             RoundOutcome::Bug(trace) => break SpecEnd::Bug(trace),
             RoundOutcome::GaveUp(g) => {
                 state.harvest(pool, &proof);

@@ -7,13 +7,17 @@
 //! mechanism and thus explores the full interleaving product — the paper's
 //! comparison against Ultimate Automizer.
 
-use crate::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
+use crate::certify::{CertSpec, Certificate, SpecCert};
+use crate::check::{
+    check_proof, record_reduction, CheckConfig, CheckResult, CheckStats, UselessCache,
+};
 use crate::engine::TraceHistory;
 use crate::govern::{panic_reason, Category, GiveUp, GovernorConfig, ResourceGovernor};
 use crate::interpolate::{
     analyze_trace_with_mode, InterpolationMode, InterpolationStats, TraceResult,
 };
 use crate::proof::ProofAutomaton;
+use crate::snapshot::program_fingerprint;
 use program::commutativity::{CommutativityLevel, CommutativityOracle};
 use program::concurrent::{LetterId, Program, Spec};
 use reduction::order::{LockstepOrder, PreferenceOrder, PriorityOrder, RandomOrder, SeqOrder};
@@ -95,6 +99,11 @@ pub struct VerifierConfig {
     /// legacy ablation baseline). Installed on the pool for the
     /// duration of the run, like the governor and the query cache.
     pub solver: SolverKind,
+    /// Emit a checkable [`Certificate`] with every conclusive verdict
+    /// (one recording pass over the final reduction per proven spec).
+    /// When recording cannot complete — e.g. the governor trips mid-pass —
+    /// the verdict is reported without a certificate rather than delayed.
+    pub certify: bool,
 }
 
 impl VerifierConfig {
@@ -113,6 +122,7 @@ impl VerifierConfig {
             govern: GovernorConfig::default(),
             use_qcache: true,
             solver: SolverKind::default(),
+            certify: true,
         }
     }
 
@@ -194,6 +204,12 @@ impl VerifierConfig {
         self.solver = solver;
         self
     }
+
+    /// Disables certificate recording (ablations and perf baselines).
+    pub fn without_certificates(mut self) -> VerifierConfig {
+        self.certify = false;
+        self
+    }
 }
 
 /// Verification verdict.
@@ -259,6 +275,12 @@ pub struct RunStats {
     pub qcache_hits: u64,
     /// Solver queries that fell through to a real solve.
     pub qcache_misses: u64,
+    /// Certificates re-checked before being served or accepted.
+    pub certs_checked: usize,
+    /// Certificates that passed the independent check.
+    pub certs_passed: usize,
+    /// Certificates rejected and quarantined.
+    pub certs_quarantined: usize,
 }
 
 impl RunStats {
@@ -290,6 +312,10 @@ pub struct Outcome {
     pub verdict: Verdict,
     /// Statistics of the run.
     pub stats: RunStats,
+    /// The verdict's checkable certificate, when one was recorded.
+    /// `None` for give-ups, for runs with certification disabled, and
+    /// for the rare conclusive run whose recording pass was interrupted.
+    pub certificate: Option<Certificate>,
 }
 
 /// The specification list for `program`: one [`Spec::ErrorOf`] per
@@ -344,27 +370,33 @@ pub fn verify_governed(
     let mut stats = RunStats::default();
     let specs = specs_of(program);
     let mut verdict = Verdict::Correct;
+    let mut spec_certs: Vec<Option<SpecCert>> = Vec::new();
+    let mut failed_spec: Option<Spec> = None;
     for spec in specs {
-        let v = catch_unwind(AssertUnwindSafe(|| {
+        let (v, cert) = catch_unwind(AssertUnwindSafe(|| {
             verify_spec(pool, program, spec, config, &mut stats)
         }))
         .unwrap_or_else(|payload| {
-            Verdict::GaveUp(
-                governor
-                    .give_up()
-                    .filter(|g| g.category == Category::InjectedFault)
-                    .unwrap_or_else(|| {
-                        GiveUp::new(
-                            Category::InjectedFault,
-                            format!("panic contained: {}", panic_reason(payload.as_ref())),
-                        )
-                    }),
+            (
+                Verdict::GaveUp(
+                    governor
+                        .give_up()
+                        .filter(|g| g.category == Category::InjectedFault)
+                        .unwrap_or_else(|| {
+                            GiveUp::new(
+                                Category::InjectedFault,
+                                format!("panic contained: {}", panic_reason(payload.as_ref())),
+                            )
+                        }),
+                ),
+                None,
             )
         });
         match v {
-            Verdict::Correct => {}
+            Verdict::Correct => spec_certs.push(cert),
             other => {
                 verdict = other;
+                failed_spec = Some(spec);
                 break;
             }
         }
@@ -380,7 +412,46 @@ pub fn verify_governed(
         pool.set_query_cache(cache);
     }
     stats.time = start.elapsed();
-    Outcome { verdict, stats }
+    let certificate = if config.certify {
+        assemble_certificate(pool, program, &verdict, spec_certs, failed_spec)
+    } else {
+        None
+    };
+    Outcome {
+        verdict,
+        stats,
+        certificate,
+    }
+}
+
+/// Assembles the end-to-end certificate from per-spec pieces: a CORRECT
+/// verdict needs a recorded proof for *every* specification; an INCORRECT
+/// verdict carries its violating trace bound to the failed spec.
+pub(crate) fn assemble_certificate(
+    pool: &TermPool,
+    program: &Program,
+    verdict: &Verdict,
+    spec_certs: Vec<Option<SpecCert>>,
+    failed_spec: Option<Spec>,
+) -> Option<Certificate> {
+    match verdict {
+        Verdict::Correct => {
+            let specs: Vec<SpecCert> = spec_certs.into_iter().collect::<Option<Vec<_>>>()?;
+            if specs.len() != specs_of(program).len() {
+                return None;
+            }
+            Some(Certificate::Correct {
+                fingerprint: program_fingerprint(pool, program),
+                specs,
+            })
+        }
+        Verdict::Incorrect { trace } => Some(Certificate::Bug {
+            fingerprint: program_fingerprint(pool, program),
+            spec: CertSpec::of(failed_spec?),
+            trace: trace.iter().map(|l| l.0).collect(),
+        }),
+        Verdict::GaveUp(_) => None,
+    }
 }
 
 fn verify_spec(
@@ -389,7 +460,7 @@ fn verify_spec(
     spec: Spec,
     config: &VerifierConfig,
     stats: &mut RunStats,
-) -> Verdict {
+) -> (Verdict, Option<SpecCert>) {
     let order = config.order.build();
     let mut oracle = CommutativityOracle::new(config.commutativity);
     let persistent = config
@@ -408,7 +479,7 @@ fn verify_spec(
 
     for _round in 0..config.max_rounds {
         if let Err(g) = governor.charge(Category::Rounds) {
-            return Verdict::GaveUp(g);
+            return (Verdict::GaveUp(g), None);
         }
         stats.rounds += 1;
         let mut round_stats = CheckStats::default();
@@ -430,22 +501,54 @@ fn verify_spec(
         stats.hoare_checks = proof.stats().hoare_checks;
         stats.proof_size = stats.proof_size.max(proof.proof_size());
         match result {
-            CheckResult::Proven => return Verdict::Correct,
+            CheckResult::Proven => {
+                let cert = if config.certify {
+                    record_reduction(
+                        pool,
+                        program,
+                        spec,
+                        order.as_ref(),
+                        &mut oracle,
+                        persistent.as_ref(),
+                        &mut proof,
+                        &check_config,
+                    )
+                    .map(|rec| {
+                        SpecCert::from_recorded(
+                            pool,
+                            &proof,
+                            &rec,
+                            spec,
+                            &config.order,
+                            &check_config,
+                        )
+                    })
+                } else {
+                    None
+                };
+                return (Verdict::Correct, cert);
+            }
             CheckResult::LimitReached => {
-                return Verdict::gave_up(
-                    Category::DfsStates,
-                    format!(
-                        "state budget exhausted ({} states)",
-                        config.max_visited_per_round
+                return (
+                    Verdict::gave_up(
+                        Category::DfsStates,
+                        format!(
+                            "state budget exhausted ({} states)",
+                            config.max_visited_per_round
+                        ),
                     ),
+                    None,
                 )
             }
-            CheckResult::Interrupted(g) => return Verdict::GaveUp(g),
+            CheckResult::Interrupted(g) => return (Verdict::GaveUp(g), None),
             CheckResult::Counterexample(trace) => {
                 // Any recently seen trace (not just the previous round's)
                 // means the refinement is cycling.
                 if history.record(&trace) {
-                    return Verdict::gave_up(Category::NonProgress, "refinement made no progress");
+                    return (
+                        Verdict::gave_up(Category::NonProgress, "refinement made no progress"),
+                        None,
+                    );
                 }
                 match analyze_trace_with_mode(
                     pool,
@@ -455,13 +558,16 @@ fn verify_spec(
                     config.interpolation,
                     &mut stats.interpolation,
                 ) {
-                    TraceResult::Feasible => return Verdict::Incorrect { trace },
+                    TraceResult::Feasible => return (Verdict::Incorrect { trace }, None),
                     // Attribute to the governor when it is the real cause
                     // of the undecided feasibility check.
                     TraceResult::Unknown => {
-                        return Verdict::GaveUp(governor.give_up().unwrap_or_else(|| {
-                            GiveUp::new(Category::UnknownTheory, "trace feasibility undecided")
-                        }))
+                        return (
+                            Verdict::GaveUp(governor.give_up().unwrap_or_else(|| {
+                                GiveUp::new(Category::UnknownTheory, "trace feasibility undecided")
+                            })),
+                            None,
+                        )
                     }
                     TraceResult::Infeasible { chain } => {
                         for a in chain {
@@ -473,8 +579,11 @@ fn verify_spec(
             }
         }
     }
-    Verdict::gave_up(
-        Category::Rounds,
-        format!("no proof within {} refinement rounds", config.max_rounds),
+    (
+        Verdict::gave_up(
+            Category::Rounds,
+            format!("no proof within {} refinement rounds", config.max_rounds),
+        ),
+        None,
     )
 }

@@ -56,11 +56,24 @@ impl PersistentSets {
         program: &Program,
         oracle: &mut CommutativityOracle,
     ) -> PersistentSets {
+        PersistentSets::from_commuting(program, |a, b| oracle.commute(pool, program, a, b))
+    }
+
+    /// Builds the conflict relation from an arbitrary commutativity
+    /// predicate instead of a live oracle. This is how an independent
+    /// certificate checker reconstructs membranes from a *recorded* table
+    /// of commutativity claims: the structural side (fixpoints, SCCs) is
+    /// re-derived here, while the semantic truth of each claimed pair is
+    /// validated separately by the caller.
+    pub fn from_commuting(
+        program: &Program,
+        mut commute: impl FnMut(LetterId, LetterId) -> bool,
+    ) -> PersistentSets {
         let n_letters = program.num_letters();
         let mut noncommute = vec![BitSet::new(n_letters); n_letters];
         for a in program.letters() {
             for b in program.letters() {
-                if a.index() <= b.index() && !oracle.commute(pool, program, a, b) {
+                if a.index() <= b.index() && !commute(a, b) {
                     noncommute[a.index()].insert(b.index());
                     noncommute[b.index()].insert(a.index());
                 }

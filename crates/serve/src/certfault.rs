@@ -1,0 +1,231 @@
+//! Deterministic certificate-mutation injection for the audit path.
+//!
+//! The certificate checker's claim — "a tampered or logically wrong
+//! stored verdict is never served" — is only testable if a test can
+//! corrupt a certificate *at* the two trust boundaries it crosses:
+//!
+//! * **engine→store** ([`CertFaultSite::EngineStore`]): the winning run's
+//!   certificate is mutated just before it is persisted, modeling a bug in
+//!   the verifier or serializer writing a wrong proof;
+//! * **store→serve** ([`CertFaultSite::StoreServe`]): the stored
+//!   certificate is mutated just after lookup, modeling silent store
+//!   corruption that survives the physical checksums (e.g. a record
+//!   rewritten wholesale by a buggy compaction).
+//!
+//! Plans are plain text in the same `SITE:SPEC:N` spirit as
+//! [`crate::crash::CrashPlan`] and `smt::resource::FaultPlan`:
+//! `--cert-fault store-serve:weaken-annotation:1` mutates the first
+//! certificate crossing the store→serve boundary. Arrivals are counted
+//! per site with atomic counters, so the plan is exact under concurrency,
+//! and the same plan replays the same mutation bit for bit (the arrival
+//! index doubles as the mutation salt).
+//!
+//! Unlike a crash plan, an injected mutation does not abort anything — the
+//! property under test is that the *checker* catches it: the daemon must
+//! quarantine the record and fall through to fresh verification, serving
+//! the correct verdict anyway.
+
+use gemcutter::certify::{CertMutation, Certificate};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The two trust boundaries a certificate crosses inside the daemon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertFaultSite {
+    /// Just before the winning certificate is persisted with its record.
+    EngineStore,
+    /// Just after a stored certificate is looked up for a warm hit.
+    StoreServe,
+}
+
+impl CertFaultSite {
+    pub const ALL: [CertFaultSite; 2] = [CertFaultSite::EngineStore, CertFaultSite::StoreServe];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CertFaultSite::EngineStore => "engine-store",
+            CertFaultSite::StoreServe => "store-serve",
+        }
+    }
+
+    fn parse(s: &str) -> Result<CertFaultSite, String> {
+        CertFaultSite::ALL
+            .into_iter()
+            .find(|site| site.name() == s)
+            .ok_or_else(|| {
+                let names: Vec<&str> = CertFaultSite::ALL.iter().map(|s| s.name()).collect();
+                format!(
+                    "unknown certificate-fault site `{s}` (known: {})",
+                    names.join(", ")
+                )
+            })
+    }
+}
+
+impl fmt::Display for CertFaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A deterministic mutation plan: `SITE:KIND:N[,SITE:KIND:N...]` applies
+/// `KIND` to the N-th certificate crossing `SITE`. Counts are 1-based.
+#[derive(Debug, Default)]
+pub struct CertFaultPlan {
+    /// `(site, mutation, arrival)` triples that fire.
+    faults: Vec<(CertFaultSite, CertMutation, u64)>,
+    /// Arrivals seen so far, indexed by `CertFaultSite as usize`.
+    counters: [AtomicU64; 2],
+    /// Mutations actually applied (an inapplicable mutation — e.g.
+    /// truncate-trace on a proof certificate — fires but changes nothing).
+    applied: AtomicU64,
+}
+
+impl CertFaultPlan {
+    /// Parses a spec like `store-serve:drop-obligation:1` or
+    /// `engine-store:weaken-annotation:1,store-serve:truncate-trace:2`.
+    pub fn parse(spec: &str) -> Result<CertFaultPlan, String> {
+        let mut faults = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let mut fields = part.splitn(3, ':');
+            let (site, kind, count) = match (fields.next(), fields.next(), fields.next()) {
+                (Some(s), Some(k), Some(n)) => (s, k, n),
+                _ => {
+                    return Err(format!(
+                        "malformed certificate-fault spec `{part}` (want SITE:KIND:N)"
+                    ))
+                }
+            };
+            let site = CertFaultSite::parse(site)?;
+            let kind = CertMutation::parse(kind)?;
+            let count: u64 = count
+                .parse()
+                .map_err(|_| format!("invalid fault count `{count}` in `{part}`"))?;
+            if count == 0 {
+                return Err(format!("fault count must be >= 1 in `{part}`"));
+            }
+            faults.push((site, kind, count));
+        }
+        Ok(CertFaultPlan {
+            faults,
+            ..CertFaultPlan::default()
+        })
+    }
+
+    /// A plan applying `kind` to the `n`-th certificate crossing `site`.
+    pub fn inject_at(site: CertFaultSite, kind: CertMutation, n: u64) -> CertFaultPlan {
+        CertFaultPlan {
+            faults: vec![(site, kind, n.max(1))],
+            ..CertFaultPlan::default()
+        }
+    }
+
+    /// `true` when the plan can never fire.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The canonical spec text (round-trips through
+    /// [`CertFaultPlan::parse`]).
+    pub fn spec(&self) -> String {
+        let parts: Vec<String> = self
+            .faults
+            .iter()
+            .map(|(site, kind, n)| format!("{site}:{}:{n}", kind.name()))
+            .collect();
+        parts.join(",")
+    }
+
+    /// Mutations that found an applicable site so far.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::SeqCst)
+    }
+
+    /// Charges one certificate crossing `site`, mutating it in place if
+    /// the plan says this arrival is the one. Returns the mutation that
+    /// was actually applied, if any.
+    pub fn hit(&self, site: CertFaultSite, cert: &mut Certificate) -> Option<CertMutation> {
+        let arrival = self.counters[site as usize].fetch_add(1, Ordering::SeqCst) + 1;
+        for &(s, kind, n) in &self.faults {
+            if s == site && n == arrival {
+                if kind.apply(cert, arrival) {
+                    self.applied.fetch_add(1, Ordering::SeqCst);
+                    eprintln!("certificate-fault injection: {kind:?} applied at {site}:{arrival}");
+                    return Some(kind);
+                }
+                eprintln!(
+                    "certificate-fault injection: {kind:?} inapplicable at {site}:{arrival} \
+                     (certificate unchanged)"
+                );
+                return None;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemcutter::certify::CertSpec;
+
+    fn bug_cert() -> Certificate {
+        Certificate::Bug {
+            fingerprint: 7,
+            spec: CertSpec::ErrorOf(0),
+            trace: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_junk() {
+        let plan = CertFaultPlan::parse("store-serve:drop-obligation:1").unwrap();
+        assert_eq!(plan.spec(), "store-serve:drop-obligation:1");
+        let both =
+            CertFaultPlan::parse("engine-store:weaken-annotation:2,store-serve:truncate-trace:1")
+                .unwrap();
+        assert_eq!(
+            both.spec(),
+            "engine-store:weaken-annotation:2,store-serve:truncate-trace:1"
+        );
+        assert!(CertFaultPlan::parse("").unwrap().is_empty());
+        assert!(CertFaultPlan::parse("nonsense:drop-obligation:1").is_err());
+        assert!(CertFaultPlan::parse("store-serve:nonsense:1").is_err());
+        assert!(CertFaultPlan::parse("store-serve:drop-obligation").is_err());
+        assert!(CertFaultPlan::parse("store-serve:drop-obligation:0").is_err());
+    }
+
+    #[test]
+    fn fires_on_the_exact_arrival_only() {
+        let plan =
+            CertFaultPlan::inject_at(CertFaultSite::StoreServe, CertMutation::TruncateTrace, 2);
+        let mut c = bug_cert();
+        assert!(plan.hit(CertFaultSite::StoreServe, &mut c).is_none());
+        assert_eq!(c, bug_cert(), "first arrival leaves the cert alone");
+        // Wrong site never fires.
+        assert!(plan.hit(CertFaultSite::EngineStore, &mut c).is_none());
+        assert_eq!(
+            plan.hit(CertFaultSite::StoreServe, &mut c),
+            Some(CertMutation::TruncateTrace)
+        );
+        assert_ne!(c, bug_cert(), "second arrival mutates");
+        assert_eq!(plan.applied(), 1);
+        // Third arrival: spent.
+        assert!(plan.hit(CertFaultSite::StoreServe, &mut c).is_none());
+    }
+
+    #[test]
+    fn inapplicable_mutation_leaves_certificate_untouched() {
+        // weaken-annotation has no site on a bug certificate.
+        let plan =
+            CertFaultPlan::inject_at(CertFaultSite::StoreServe, CertMutation::WeakenAnnotation, 1);
+        let mut c = bug_cert();
+        assert!(plan.hit(CertFaultSite::StoreServe, &mut c).is_none());
+        assert_eq!(c, bug_cert());
+        assert_eq!(plan.applied(), 0);
+    }
+}

@@ -31,6 +31,7 @@
 //! worker-thread idiom of `gemcutter::portfolio`, persistence rides on
 //! `gemcutter::snapshot`'s atomic durable writes.
 
+pub mod certfault;
 pub mod client;
 pub mod crash;
 pub mod proto;

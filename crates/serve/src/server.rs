@@ -42,18 +42,21 @@
 //!   accepting, lets in-flight requests finish, flushes the store and
 //!   returns cleanly.
 
+use crate::certfault::{CertFaultPlan, CertFaultSite};
 use crate::crash::{CrashPlan, CrashSite};
 use crate::proto::{
     write_frame, Command, FrameError, FrameEvent, FrameReader, Request, Response, Status,
     WireVerdict, MAX_FRAME,
 };
 use crate::store::{PersistMode, ProofStore, SharedStore, StoreRecord, StoredVerdict};
+use gemcutter::certify::{check_certificate, CertifyMode};
 use gemcutter::govern::{Category, FaultPlan};
 use gemcutter::snapshot::{program_fingerprint, Snapshot};
 use gemcutter::supervise::{supervised_verify, RetryPolicy, SuperviseConfig};
 use gemcutter::verify::{Verdict, VerifierConfig};
 use smt::qcache::QueryCache;
 use smt::term::TermPool;
+use std::collections::HashSet;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -97,6 +100,17 @@ pub struct ServeConfig {
     pub journal_max_ratio: f64,
     /// How many query-cache entries to persist alongside the records.
     pub qcache_persist: usize,
+    /// Certificate audit tier for warm hits (`--certify MODE`): a stored
+    /// verdict is only served after its certificate clears the
+    /// independent checker at this tier; a failing certificate
+    /// quarantines the record and the request falls through to a fresh
+    /// verification.
+    pub certify: CertifyMode,
+    /// Certificate-mutation injection plan (`--cert-fault SITE:KIND:N`):
+    /// deterministic corruption at the engine→store and store→serve
+    /// boundaries, for the mutation sweep. Every injected mutation must
+    /// be caught by the audit — never served.
+    pub cert_faults: Arc<CertFaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -114,6 +128,8 @@ impl Default for ServeConfig {
             journal: true,
             journal_max_ratio: 4.0,
             qcache_persist: 2048,
+            certify: CertifyMode::default(),
+            cert_faults: Arc::default(),
         }
     }
 }
@@ -155,6 +171,17 @@ struct Shared {
     workers_replaced: AtomicU64,
     store_hits: AtomicU64,
     warm_starts: AtomicU64,
+    certs_checked: AtomicU64,
+    certs_passed: AtomicU64,
+    certs_quarantined: AtomicU64,
+    /// Fingerprints whose stored certificate already cleared the sample
+    /// audit in this process. In-memory records are immutable between
+    /// replacement and quarantine, so re-auditing identical bytes on
+    /// every warm hit is pure waste on the hot path; the entry is dropped
+    /// whenever the record changes (write-back or quarantine), forcing a
+    /// fresh audit on the next hit. The `full` and `structural` tiers
+    /// never consult this — paranoid deployments re-check every serve.
+    certs_audited: Mutex<HashSet<u64>>,
     latencies_ms: Mutex<Vec<u64>>,
 }
 
@@ -193,6 +220,18 @@ impl Shared {
             (
                 "warm-starts".to_owned(),
                 self.warm_starts.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "certs-checked".to_owned(),
+                self.certs_checked.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "certs-passed".to_owned(),
+                self.certs_passed.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "certs-quarantined".to_owned(),
+                self.certs_quarantined.load(Ordering::Relaxed).to_string(),
             ),
             (
                 "store-records".to_owned(),
@@ -282,6 +321,10 @@ impl Server {
             workers_replaced: AtomicU64::new(0),
             store_hits: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
+            certs_checked: AtomicU64::new(0),
+            certs_passed: AtomicU64::new(0),
+            certs_quarantined: AtomicU64::new(0),
+            certs_audited: Mutex::new(HashSet::new()),
             latencies_ms: Mutex::new(Vec::new()),
         });
         Ok(Server {
@@ -505,24 +548,92 @@ fn handle_verify(shared: &Shared, job: &Job) -> Response {
     };
     let fingerprint = program_fingerprint(&pool, &program);
 
-    // Exact fingerprint match: serve the persisted definitive verdict.
-    // Sound because this build computed and checksummed it for exactly
-    // this program; a rerun would reproduce it bit for bit.
-    if let Some(record) = shared.store.lock().lookup(fingerprint) {
-        shared.store_hits.fetch_add(1, Ordering::Relaxed);
-        let verdict = match &record.verdict {
-            StoredVerdict::Correct => WireVerdict::Correct,
-            StoredVerdict::Incorrect(trace) => WireVerdict::Incorrect(trace.clone()),
+    // Exact fingerprint match: serve the persisted definitive verdict —
+    // but only after its certificate clears the independent checker. The
+    // physical checksums only prove the record is the bytes we wrote;
+    // the certificate audit proves those bytes still constitute a proof
+    // (or a replayable counterexample) of *this* program.
+    let hit = shared
+        .store
+        .lock()
+        .lookup(fingerprint)
+        .map(|r| (r.verdict.clone(), r.rounds, r.certificate.clone()));
+    if let Some((stored_verdict, rounds, certificate)) = hit {
+        let audited = match (shared.config.certify, certificate) {
+            (CertifyMode::Off, _) => true,
+            // Sample tier: an unchanged record is audited once per
+            // process, not once per hit — see `Shared::certs_audited`.
+            (CertifyMode::Sample, Some(_))
+                if shared
+                    .certs_audited
+                    .lock()
+                    .expect("certs_audited")
+                    .contains(&fingerprint) =>
+            {
+                true
+            }
+            (mode, Some(mut cert)) => {
+                // Test hook: deterministic corruption on the lookup path,
+                // modeling silent store rot below the checksums.
+                shared
+                    .config
+                    .cert_faults
+                    .hit(CertFaultSite::StoreServe, &mut cert);
+                shared.certs_checked.fetch_add(1, Ordering::Relaxed);
+                let report = check_certificate(&mut pool, &program, &cert, mode);
+                if report.ok {
+                    shared.certs_passed.fetch_add(1, Ordering::Relaxed);
+                    if mode == CertifyMode::Sample {
+                        shared
+                            .certs_audited
+                            .lock()
+                            .expect("certs_audited")
+                            .insert(fingerprint);
+                    }
+                    true
+                } else {
+                    eprintln!(
+                        "warning: stored certificate for `{}` ({fingerprint:#018x}) failed the \
+                         {} audit — {report}; quarantining the record and re-verifying",
+                        program.name(),
+                        mode.name(),
+                    );
+                    shared.certs_quarantined.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .certs_audited
+                        .lock()
+                        .expect("certs_audited")
+                        .remove(&fingerprint);
+                    if let Err(e) = shared.store.quarantine(fingerprint) {
+                        eprintln!("warning: quarantine failed: {e}");
+                    }
+                    false
+                }
+            }
+            // Record predates certification (or its engine ran with
+            // certificates off): nothing to audit, so it is not served
+            // warm; the fresh run below re-records it with a certificate.
+            (_, None) => false,
         };
-        let response = Response {
-            id: job.id.clone(),
-            status: Some(Status::Ok),
-            verdict: Some(verdict),
-            rounds: record.rounds,
-            store_hit: true,
-            ..Response::default()
-        };
-        return finish(response, shared);
+        if audited {
+            shared.store_hits.fetch_add(1, Ordering::Relaxed);
+            let verdict = match &stored_verdict {
+                StoredVerdict::Correct => WireVerdict::Correct,
+                StoredVerdict::Incorrect(trace) => WireVerdict::Incorrect(trace.clone()),
+            };
+            let response = Response {
+                id: job.id.clone(),
+                status: Some(Status::Ok),
+                verdict: Some(verdict),
+                rounds,
+                store_hit: true,
+                // A warm hit is served *from* the durable store: nothing
+                // new needs fsyncing for the verdict to survive a crash.
+                durable: shared.store.lock().persistent(),
+                ..Response::default()
+            };
+            return finish(response, shared);
+        }
     }
 
     // Near-duplicate warm start: same program name, different fingerprint.
@@ -620,17 +731,37 @@ fn handle_verify(shared: &Shared, job: &Job) -> Response {
     };
 
     if let Some(verdict) = stored {
+        // Test hook: deterministic corruption on the persist path,
+        // modeling a verifier or serializer writing a wrong proof. The
+        // record lands mutated; the store→serve audit must catch it on
+        // the next lookup.
+        let mut certificate = sup.outcome.certificate.clone();
+        if let Some(cert) = certificate.as_mut() {
+            shared
+                .config
+                .cert_faults
+                .hit(CertFaultSite::EngineStore, cert);
+        }
         // Journal the verdict and group-commit it *before* the response:
         // `OK` on the wire means the record survives a kill -9. The append
         // stages the frame under the lock; `commit` elects one thread per
         // batch to write + fsync everything pending, so concurrent workers
         // share a single fsync instead of paying one each.
+        // The write-back replaces any prior record under this
+        // fingerprint: its sample-audit memo no longer describes the
+        // stored bytes, so the next warm hit must re-audit.
+        shared
+            .certs_audited
+            .lock()
+            .expect("certs_audited")
+            .remove(&fingerprint);
         let appended = shared.store.lock().append(StoreRecord {
             fingerprint,
             name: program.name().to_owned(),
             verdict,
             rounds: sup.outcome.stats.rounds as u64,
             assertions: sup.harvest.clone(),
+            certificate,
         });
         match appended {
             Ok(seq) => match shared.store.commit(seq) {
@@ -843,6 +974,7 @@ impl BatchStats {
         };
         format!(
             "batch: served={} ok={} errors={} shed={} store-hits={} hit-rate={:.2} warm-starts={} \
+             certs-checked={} certs-passed={} certs-quarantined={} \
              p50-ms={} p95-ms={} max-ms={} qcache-evictions={}",
             self.served,
             self.ok,
@@ -851,6 +983,9 @@ impl BatchStats {
             self.store_hits,
             hit_rate,
             self.warm_starts,
+            shared.certs_checked.load(Ordering::Relaxed),
+            shared.certs_passed.load(Ordering::Relaxed),
+            shared.certs_quarantined.load(Ordering::Relaxed),
             p50,
             p95,
             max,

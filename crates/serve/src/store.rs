@@ -51,6 +51,7 @@
 //! assert what the next process recovers.
 
 use crate::crash::{CrashPlan, CrashSite};
+use gemcutter::certify::Certificate;
 use gemcutter::snapshot::{fnv1a, journal_frame, replay_journal, write_atomic_durable};
 use smt::qcache::CachedVerdict;
 use smt::transfer::ExportedTerm;
@@ -141,6 +142,10 @@ pub struct StoreRecord {
     pub rounds: u64,
     /// Harvested proof assertions, discovery order.
     pub assertions: Vec<ExportedTerm>,
+    /// The winning run's verdict certificate, re-checked before this
+    /// record's verdict is ever served warm. `None` for records written by
+    /// pre-certificate builds or runs whose recording hit a budget.
+    pub certificate: Option<Certificate>,
 }
 
 impl StoreRecord {
@@ -153,6 +158,11 @@ impl StoreRecord {
         out.push_str(&format!("rounds: {}\n", self.rounds));
         for a in &self.assertions {
             out.push_str(&format!("assertion: {}\n", a.to_text()));
+        }
+        if let Some(cert) = &self.certificate {
+            for line in cert.to_lines() {
+                out.push_str(&format!("cert: {line}\n"));
+            }
         }
         out.push_str("end-record\n");
         out
@@ -191,8 +201,10 @@ impl StoreRecord {
             verdict: StoredVerdict::Correct,
             rounds: 0,
             assertions: Vec::new(),
+            certificate: None,
         };
         let mut seen_verdict = false;
+        let mut cert_lines: Vec<&str> = Vec::new();
         for line in body.lines() {
             if line == "end-record" {
                 break;
@@ -212,11 +224,18 @@ impl StoreRecord {
                         .map_err(|_| format!("invalid rounds `{value}`"))?
                 }
                 "assertion" => record.assertions.push(ExportedTerm::parse(value)?),
+                "cert" => cert_lines.push(value),
                 other => return Err(format!("unknown record key `{other}`")),
             }
         }
         if !seen_verdict {
             return Err(format!("record {fingerprint:016x} has no verdict"));
+        }
+        if !cert_lines.is_empty() {
+            record.certificate = Some(
+                Certificate::from_lines(cert_lines.iter().copied())
+                    .map_err(|e| format!("record {fingerprint:016x}: bad certificate: {e}"))?,
+            );
         }
         Ok(record)
     }
@@ -709,6 +728,27 @@ impl ProofStore {
             .map(|&i| &self.records[i])
     }
 
+    /// Quarantines a record: removes it from memory and, for a backed
+    /// store, immediately compacts so neither the snapshot nor the
+    /// journal can resurrect it on restart. Returns whether a record was
+    /// present. Used when a stored certificate fails its re-check — the
+    /// verdict must never be served again.
+    pub fn remove(&mut self, fingerprint: u64) -> Result<bool, String> {
+        let Some(i) = self.by_fingerprint.remove(&fingerprint) else {
+            return Ok(false);
+        };
+        self.records.remove(i);
+        for idx in self.by_fingerprint.values_mut() {
+            if *idx > i {
+                *idx -= 1;
+            }
+        }
+        if self.path.is_some() {
+            self.compact()?;
+        }
+        Ok(true)
+    }
+
     /// Warm-start seeds for a program that misses by fingerprint:
     /// assertions harvested from same-name records (near-duplicate
     /// programs — edited sources keep their name), deduped in discovery
@@ -911,6 +951,20 @@ impl SharedStore {
         guard.set_qcache_entries(qcache_entries);
         guard.compact()
     }
+
+    /// Quarantines a record whose certificate failed its re-check: waits
+    /// out any in-flight group commit (the fold and the commit must not
+    /// interleave on the journal file), then removes + compacts.
+    pub fn quarantine(&self, fingerprint: u64) -> Result<bool, String> {
+        let mut guard = self.lock();
+        while guard.committing {
+            guard = self
+                .commit_cv
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        guard.remove(fingerprint)
+    }
 }
 
 fn write_and_sync(mut file: &File, bytes: &[u8]) -> Result<(), String> {
@@ -976,6 +1030,7 @@ mod tests {
             verdict: StoredVerdict::Correct,
             rounds,
             assertions: vec![atom("x", -1)],
+            certificate: None,
         }
     }
 
@@ -987,6 +1042,7 @@ mod tests {
             verdict: StoredVerdict::Correct,
             rounds: 7,
             assertions: vec![atom("x", -1), ExportedTerm::And(vec![atom("y", 2)])],
+            certificate: None,
         });
         store.insert(StoreRecord {
             fingerprint: 0x2222,
@@ -994,6 +1050,7 @@ mod tests {
             verdict: StoredVerdict::Incorrect(vec![0, 3, 1]),
             rounds: 2,
             assertions: vec![],
+            certificate: None,
         });
         store.set_qcache_entries(vec![
             (atom("z", 5), CachedVerdict::Unsat),
@@ -1055,6 +1112,7 @@ mod tests {
             verdict: StoredVerdict::Correct,
             rounds: 9,
             assertions: vec![],
+            certificate: None,
         });
         assert_eq!(store.len(), 2);
         assert_eq!(store.lookup(0x1111).unwrap().rounds, 9);
@@ -1128,6 +1186,7 @@ mod tests {
             verdict: StoredVerdict::Correct,
             rounds: 1,
             assertions: vec![atom("x", 0)],
+            certificate: None,
         });
         store.flush().unwrap();
         let (reopened, warnings) = ProofStore::open(&path);

@@ -72,6 +72,7 @@ fn record() -> SBox<StoreRecord> {
                 verdict,
                 rounds,
                 assertions,
+                certificate: None,
             },
         )
 }

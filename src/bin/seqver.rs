@@ -12,6 +12,7 @@
 
 use seqver::automata::dot::to_dot;
 use seqver::cpl;
+use seqver::gemcutter::certify::{check_certificate, CertifyMode};
 use seqver::gemcutter::govern::{Category, FaultPlan, GovernorConfig};
 use seqver::gemcutter::portfolio::{
     default_portfolio, parallel_verify, portfolio_verify, ParallelConfig,
@@ -25,9 +26,10 @@ use seqver::gemcutter::verify::{verify, OrderSpec, Verdict, VerifierConfig};
 use seqver::program::commutativity::{CommutativityLevel, CommutativityOracle};
 use seqver::program::concurrent::{Program, Spec};
 use seqver::reduction::reduce::{reduction_automaton, ReductionConfig};
+use seqver::serve::certfault::CertFaultPlan;
 use seqver::serve::client::{BusyRetryPolicy, Client};
 use seqver::serve::crash::CrashPlan;
-use seqver::serve::proto::{Status, VerifyOpts};
+use seqver::serve::proto::{Status, VerifyOpts, WireVerdict};
 use seqver::serve::server::{ServeConfig, Server};
 use seqver::smt::{SolverKind, TermPool};
 use std::path::PathBuf;
@@ -56,15 +58,17 @@ const USAGE: &str = "usage:
                            [--timeout DUR] [--steps CAT=N] [--faults SPEC]
                            [--retries N] [--escalate Fx]
                            [--checkpoint PATH] [--resume PATH]
+                           [--certify off|structural|sample|full]
   seqver info   <file.cpl>
   seqver reduce <file.cpl> [--order seq|lockstep|rand:<seed>] [--dot]
   seqver serve  [--addr HOST:PORT] [--store PATH] [--max-inflight N]
                 [--queue-depth N] [--request-timeout DUR] [--io-timeout DUR]
                 [--idle-timeout DUR] [--retries N] [--no-journal]
                 [--journal-max-ratio F] [--crash-at SITE:N] [--crash-after N]
+                [--certify off|structural|sample|full] [--cert-fault SITE:KIND:N]
   seqver submit <file.cpl>... --addr HOST:PORT [--timeout DUR] [--steps CAT=N]
                 [--retries N] [--faults SPEC] [--retry-busy N]
-                [--stats] [--shutdown]
+                [--require-durable] [--stats] [--shutdown]
 
   --no-qcache      disable solver-level query memoization (escape hatch and
                    measurement baseline; verdicts are identical either way)
@@ -95,6 +99,11 @@ const USAGE: &str = "usage:
   --resume P       continue a killed verification from snapshot P (same
                    program and config; reaches the same verdict and
                    cumulative round count as an uninterrupted run)
+  --certify MODE   self-check the run's proof certificate with the
+                   independent checker before reporting: structural (replay
+                   + inclusion, solver-free), sample (deterministic 1-in-8
+                   obligation re-discharge), full (every obligation); a
+                   rejected certificate exits 3 even on CORRECT
 
 serve flags:
   --addr A         bind address (default 127.0.0.1:0; the chosen port is
@@ -124,13 +133,32 @@ serve flags:
                    post-rename (deterministic kill -9 for crash sweeps)
   --crash-after N  shorthand for --crash-at post-fsync:N (kept for
                    compatibility with older recovery drills)
+  --certify MODE   certificate audit tier for warm hits (default sample):
+                   a stored verdict is served only after its certificate
+                   clears the independent checker; a failing certificate
+                   quarantines the record and the request is re-verified
+                   fresh. off disables the audit (serves any checksummed
+                   record), structural replays without the solver, full
+                   re-discharges every obligation
+  --cert-fault S   test aid: mutate the N-th certificate crossing a trust
+                   boundary, comma-separable SITE:KIND:N specs; sites:
+                   engine-store, store-serve; kinds: weaken-annotation,
+                   drop-obligation, rehome-assertion, truncate-trace
+                   (deterministic corruption for the mutation sweep — the
+                   audit must quarantine it, never serve it)
 
 submit flags:
   --addr A         daemon address (required)
   --retry-busy N   on a `busy` shed, honor the server's retry-after hint
                    up to N times before reporting BUSY (default 0)
+  --require-durable  fail (exit 5) any definitive verdict the daemon did
+                   not fsync before acknowledging; without it a
+                   non-durable verdict only warns on stderr
   --stats          print server counters after the batch
-  --shutdown       ask the daemon to drain and exit after the batch";
+  --shutdown       ask the daemon to drain and exit after the batch
+
+submit exit codes: worst across the batch of 0 CORRECT, 1 INCORRECT,
+  3 GAVE-UP (category in the verdict line), 4 BUSY, 5 ERROR/non-durable";
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let (command, rest) = args.split_first().ok_or("missing command")?;
@@ -192,6 +220,7 @@ struct Flags {
     escalate: Option<u32>,
     checkpoint: Option<PathBuf>,
     resume: Option<PathBuf>,
+    certify: Option<CertifyMode>,
 }
 
 /// Parses `500ms`, `1s`, `2m`, or a bare number of seconds.
@@ -251,6 +280,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         escalate: None,
         checkpoint: None,
         resume: None,
+        certify: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -304,6 +334,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--resume" => {
                 let v = it.next().ok_or("--resume needs a value")?;
                 flags.resume = Some(PathBuf::from(v));
+            }
+            "--certify" => {
+                let v = it.next().ok_or("--certify needs a value")?;
+                flags.certify = Some(CertifyMode::parse(v)?);
             }
             other if !other.starts_with("--") && flags.file.is_empty() => {
                 flags.file = other.to_owned();
@@ -440,7 +474,7 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
         policy = policy.escalating_by(f);
     }
     let mut supervision: Option<SupervisionReport> = None;
-    let (verdict, stats, config_name) = if flags.parallel {
+    let (verdict, stats, config_name, certificate) = if flags.parallel {
         let mut pcfg = ParallelConfig {
             deterministic: flags.deterministic,
             wall_clock_budget: flags.govern.deadline,
@@ -470,19 +504,34 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
                 .winner
                 .clone()
                 .unwrap_or_else(|| "parallel-portfolio".into());
-            (sup.result.outcome.verdict, sup.result.outcome.stats, name)
+            (
+                sup.result.outcome.verdict,
+                sup.result.outcome.stats,
+                name,
+                sup.result.outcome.certificate,
+            )
         } else {
             let result = parallel_verify(&pool, &program, &governed_portfolio(&flags), &pcfg);
             let name = result
                 .winner
                 .clone()
                 .unwrap_or_else(|| "parallel-portfolio".into());
-            (result.outcome.verdict, result.outcome.stats, name)
+            (
+                result.outcome.verdict,
+                result.outcome.stats,
+                name,
+                result.outcome.certificate,
+            )
         }
     } else if flags.portfolio {
         let result = portfolio_verify(&mut pool, &program, &governed_portfolio(&flags), true);
         let name = result.winner.clone().unwrap_or_else(|| "portfolio".into());
-        (result.outcome.verdict, result.outcome.stats, name)
+        (
+            result.outcome.verdict,
+            result.outcome.stats,
+            name,
+            result.outcome.certificate,
+        )
     } else if supervised {
         let config = build_config(&flags)?;
         let resume = match &flags.resume {
@@ -513,11 +562,21 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
             interrupted: sup.interrupted,
             checkpoint_error: sup.checkpoint_error.clone(),
         });
-        (sup.outcome.verdict, sup.outcome.stats, config.name)
+        (
+            sup.outcome.verdict,
+            sup.outcome.stats,
+            config.name,
+            sup.outcome.certificate,
+        )
     } else {
         let config = build_config(&flags)?;
         let outcome = verify(&mut pool, &program, &config);
-        (outcome.verdict, outcome.stats, config.name)
+        (
+            outcome.verdict,
+            outcome.stats,
+            config.name,
+            outcome.certificate,
+        )
     };
     println!(
         "{}: {} threads, {} statements (config: {config_name})",
@@ -545,6 +604,35 @@ fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
             println!("verdict: GAVE-UP {give_up}");
             ExitCode::from(3)
         }
+    };
+    // Certificate self-check: the verdict above is only reported as
+    // trustworthy if the independent checker agrees with it.
+    let code = match flags.certify {
+        None | Some(CertifyMode::Off) => code,
+        Some(mode) => match &certificate {
+            Some(cert) => {
+                let report = check_certificate(&mut pool, &program, cert, mode);
+                println!("certificate: {report}");
+                if report.ok {
+                    code
+                } else {
+                    eprintln!(
+                        "error: the verdict's certificate failed the {} audit",
+                        mode.name()
+                    );
+                    ExitCode::from(3)
+                }
+            }
+            None => {
+                if matches!(verdict, Verdict::GaveUp(_)) {
+                    println!("certificate: none (GAVE-UP verdicts are not certified)");
+                    code
+                } else {
+                    eprintln!("error: conclusive verdict without a certificate");
+                    ExitCode::from(3)
+                }
+            }
+        },
     };
     println!(
         "rounds={} proof_size={} visited={} hoare_checks={} qcache_hits={} qcache_misses={} qcache_hit_rate={:.2} time={:?}",
@@ -642,6 +730,7 @@ fn cmd_reduce(args: &[String]) -> Result<ExitCode, String> {
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let mut config = ServeConfig::default();
     let mut crash_specs: Vec<String> = Vec::new();
+    let mut cert_fault_specs: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -696,11 +785,21 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                     .map_err(|_| "invalid --crash-after")?;
                 crash_specs.push(format!("post-fsync:{n}"));
             }
+            "--certify" => {
+                let v = it.next().ok_or("--certify needs a value")?;
+                config.certify = CertifyMode::parse(v)?;
+            }
+            "--cert-fault" => {
+                cert_fault_specs.push(it.next().ok_or("--cert-fault needs a value")?.clone());
+            }
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     if !crash_specs.is_empty() {
         config.crash_plan = Arc::new(CrashPlan::parse(&crash_specs.join(","))?);
+    }
+    if !cert_fault_specs.is_empty() {
+        config.cert_faults = Arc::new(CertFaultPlan::parse(&cert_fault_specs.join(","))?);
     }
     let server = Server::bind(config)?;
     for warning in server.store_warnings() {
@@ -721,6 +820,7 @@ fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
     let mut addr: Option<String> = None;
     let mut opts = VerifyOpts::default();
     let mut retry_busy = 0u32;
+    let mut require_durable = false;
     let mut want_stats = false;
     let mut want_shutdown = false;
     let mut it = args.iter();
@@ -750,6 +850,7 @@ fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
                 let v = it.next().ok_or("--retry-busy needs a value")?;
                 retry_busy = v.parse().map_err(|_| "invalid --retry-busy")?;
             }
+            "--require-durable" => require_durable = true,
             "--stats" => want_stats = true,
             "--shutdown" => want_shutdown = true,
             other if !other.starts_with("--") => files.push(other.to_owned()),
@@ -761,7 +862,8 @@ fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
         return Err("missing input files".to_owned());
     }
     let mut client = Client::connect(&addr)?;
-    // 0 = all correct < 1 = some incorrect < 3 = gave-up/busy/error.
+    // Worst across the batch: 0 = correct < 1 = incorrect < 3 = gave-up
+    // < 4 = busy (shed, retryable) < 5 = error/non-durable.
     let mut worst = 0u8;
     for (index, file) in files.iter().enumerate() {
         let source =
@@ -790,10 +892,34 @@ fn cmd_submit(args: &[String]) -> Result<ExitCode, String> {
         }
         let line = response.verdict_line();
         println!("{file}: {line}");
-        worst = worst.max(match response.status {
-            Some(Status::Ok) if line == "CORRECT" => 0,
-            Some(Status::Ok) if line.starts_with("INCORRECT") => 1,
-            _ => 3,
+        // The durable-acknowledgement contract: a definitive verdict the
+        // daemon did not fsync before acknowledging evaporates on kill -9.
+        let definitive = matches!(
+            response.verdict,
+            Some(WireVerdict::Correct) | Some(WireVerdict::Incorrect(_))
+        );
+        let durability_failed = if definitive && !response.durable {
+            if require_durable {
+                eprintln!("error: `{file}` verdict was not durably persisted (--require-durable)");
+            } else {
+                eprintln!(
+                    "warning: `{file}` verdict is not durable (in-memory store or commit \
+                     failure); pass --require-durable to fail on this"
+                );
+            }
+            require_durable
+        } else {
+            false
+        };
+        worst = worst.max(match (response.status, &response.verdict) {
+            _ if durability_failed => 5,
+            (Some(Status::Ok), Some(WireVerdict::Correct)) => 0,
+            (Some(Status::Ok), Some(WireVerdict::Incorrect(_))) => 1,
+            // The category rode the frame; the verdict line above prints
+            // `GAVE-UP <category>: <reason>`.
+            (Some(Status::Ok), Some(WireVerdict::GaveUp)) => 3,
+            (Some(Status::Busy), _) => 4,
+            _ => 5,
         });
     }
     if want_stats {

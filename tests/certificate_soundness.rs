@@ -1,0 +1,188 @@
+//! Certificate soundness battery: an unmutated certificate always passes
+//! the independent checker, and every single-point mutation of a valid
+//! certificate — flipped bound, dropped obligation, weakened or permuted
+//! annotation, re-homed assertion, truncated trace, foreign fingerprint —
+//! is rejected in `Full` mode.
+//!
+//! Verification runs once per fixture program (the expensive part); each
+//! property case then re-compiles the program into a fresh pool, parses
+//! the certificate text, mutates it, and re-checks — exactly the
+//! store→serve path a mutated store record would take.
+
+use proptest::prelude::*;
+use seqver::bench_suite::{self, Expected};
+use seqver::gemcutter::certify::{check_certificate, CertMutation, Certificate, CertifyMode};
+use seqver::gemcutter::verify::{verify, Verdict, VerifierConfig};
+use seqver::program::concurrent::Program;
+use seqver::smt::TermPool;
+use std::sync::OnceLock;
+
+/// One verified fixture: CPL source plus its certificate, serialized.
+struct Fixture {
+    source: String,
+    cert_text: String,
+}
+
+fn compile(source: &str, pool: &mut TermPool) -> Program {
+    seqver::cpl::compile(source, pool).expect("fixture source compiles")
+}
+
+/// Verifies the first few small corpus programs of `expected` ground
+/// truth under the default (certifying) sequential configuration and
+/// returns their serialized certificates.
+fn fixtures(expected: Expected, want: usize) -> Vec<Fixture> {
+    let mut out = Vec::new();
+    for b in bench_suite::all() {
+        if b.expected != expected || b.name.ends_with("-3") || b.name.ends_with("-4") {
+            continue;
+        }
+        let mut pool = TermPool::new();
+        let program = compile(&b.source, &mut pool);
+        let outcome = verify(&mut pool, &program, &VerifierConfig::gemcutter_seq());
+        match (&outcome.verdict, expected) {
+            (Verdict::Correct, Expected::Safe) | (Verdict::Incorrect { .. }, Expected::Unsafe) => {}
+            other => panic!("{}: unexpected verdict {other:?}", b.name),
+        }
+        let cert = outcome
+            .certificate
+            .unwrap_or_else(|| panic!("{}: conclusive verdict without a certificate", b.name));
+        let report = check_certificate(&mut pool, &program, &cert, CertifyMode::Full);
+        assert!(
+            report.ok,
+            "{}: fresh certificate rejected: {report}",
+            b.name
+        );
+        out.push(Fixture {
+            source: b.source.clone(),
+            cert_text: cert.to_text(),
+        });
+        if out.len() == want {
+            break;
+        }
+    }
+    assert_eq!(out.len(), want, "not enough {expected:?} corpus fixtures");
+    out
+}
+
+fn safe_fixtures() -> &'static [Fixture] {
+    static FIX: OnceLock<Vec<Fixture>> = OnceLock::new();
+    FIX.get_or_init(|| fixtures(Expected::Safe, 2))
+}
+
+fn unsafe_fixtures() -> &'static [Fixture] {
+    static FIX: OnceLock<Vec<Fixture>> = OnceLock::new();
+    FIX.get_or_init(|| fixtures(Expected::Unsafe, 2))
+}
+
+/// Parses a fixture back and re-checks it in a fresh pool, optionally
+/// after mutating. Returns `None` when the mutation had no applicable
+/// site (the certificate is untouched then).
+fn check_mutated(
+    fixture: &Fixture,
+    mutation: Option<CertMutation>,
+    salt: u64,
+    mode: CertifyMode,
+) -> Option<bool> {
+    let mut pool = TermPool::new();
+    let program = compile(&fixture.source, &mut pool);
+    let mut cert = Certificate::parse(&fixture.cert_text).expect("fixture certificate parses");
+    if let Some(m) = mutation {
+        if !m.apply(&mut cert, salt) {
+            return None;
+        }
+    }
+    Some(check_certificate(&mut pool, &program, &cert, mode).ok)
+}
+
+#[test]
+fn unmutated_certificates_pass_in_every_mode() {
+    for fixture in safe_fixtures().iter().chain(unsafe_fixtures()) {
+        for mode in [
+            CertifyMode::Structural,
+            CertifyMode::Sample,
+            CertifyMode::Full,
+        ] {
+            assert_eq!(
+                check_mutated(fixture, None, 0, mode),
+                Some(true),
+                "clean certificate rejected in {} mode",
+                mode.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn certificate_text_roundtrips_bit_identically() {
+    for fixture in safe_fixtures().iter().chain(unsafe_fixtures()) {
+        let cert = Certificate::parse(&fixture.cert_text).expect("parses");
+        assert_eq!(cert.to_text(), fixture.cert_text);
+    }
+}
+
+/// The mutations applicable to a CORRECT (proof) certificate.
+const PROOF_MUTATIONS: [CertMutation; 6] = [
+    CertMutation::WeakenAnnotation,
+    CertMutation::DropObligation,
+    CertMutation::RehomeAssertion,
+    CertMutation::FlipBound,
+    CertMutation::PermuteAnnotation,
+    CertMutation::ForeignFingerprint,
+];
+
+/// The mutations applicable to a BUG (trace) certificate.
+const TRACE_MUTATIONS: [CertMutation; 2] = [
+    CertMutation::TruncateTrace,
+    CertMutation::ForeignFingerprint,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_proof_mutation_is_rejected(
+        which in 0usize..2,
+        mutation in proptest::sample::select(PROOF_MUTATIONS.to_vec()),
+        salt in any::<u64>(),
+    ) {
+        let fixture = &safe_fixtures()[which];
+        if let Some(ok) = check_mutated(fixture, Some(mutation), salt, CertifyMode::Full) {
+            prop_assert!(!ok, "mutation {} (salt {salt}) survived the checker", mutation.name());
+        }
+    }
+
+    #[test]
+    fn every_trace_mutation_is_rejected(
+        which in 0usize..2,
+        mutation in proptest::sample::select(TRACE_MUTATIONS.to_vec()),
+        salt in any::<u64>(),
+    ) {
+        let fixture = &unsafe_fixtures()[which];
+        if let Some(ok) = check_mutated(fixture, Some(mutation), salt, CertifyMode::Full) {
+            prop_assert!(!ok, "mutation {} (salt {salt}) survived the checker", mutation.name());
+        }
+    }
+}
+
+/// Beyond sampling: every injector-supported mutation must also be caught
+/// deterministically with salt 0 — the exact configuration the serve-side
+/// fault injector uses.
+#[test]
+fn injector_kinds_are_caught_at_salt_zero() {
+    for kind in CertMutation::injector_kinds() {
+        let mut caught_somewhere = false;
+        for fixture in safe_fixtures().iter().chain(unsafe_fixtures()) {
+            // `None` means the kind has no applicable site on this
+            // certificate shape.
+            if let Some(ok) = check_mutated(fixture, Some(kind), 0, CertifyMode::Full) {
+                assert!(!ok, "injector mutation {} survived", kind.name());
+                caught_somewhere = true;
+            }
+        }
+        assert!(
+            caught_somewhere,
+            "injector mutation {} applied nowhere",
+            kind.name()
+        );
+    }
+}
