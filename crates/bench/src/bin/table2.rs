@@ -109,6 +109,34 @@ fn hit_rate_row(cols: &[Column]) -> Vec<f64> {
         .collect()
 }
 
+/// Useless-cache hit rate (skips / probes) per column; NaN when a column
+/// never probed the cache.
+fn useless_rate_row(cols: &[Column]) -> Vec<f64> {
+    cols.iter()
+        .map(|c| {
+            let (skips, probes) = c.runs.iter().fold((0usize, 0usize), |(s, p), r| {
+                (
+                    s + r.outcome.stats.cache_skips,
+                    p + r.outcome.stats.useless_probes,
+                )
+            });
+            if probes == 0 {
+                f64::NAN
+            } else {
+                skips as f64 / probes as f64
+            }
+        })
+        .collect()
+}
+
+/// Final useless-cache size per column (entries, summed over runs — a
+/// memory gauge for the §7.2 cache rather than a rate).
+fn useless_len_row(cols: &[Column]) -> Vec<usize> {
+    cols.iter()
+        .map(|c| c.runs.iter().map(|r| r.outcome.stats.useless_len).sum())
+        .collect()
+}
+
 /// Aggregated measurements of one ablation side for `BENCH_qcache.json`.
 struct CacheSide {
     time_s: f64,
@@ -336,6 +364,11 @@ fn main() {
 
     println!("Query-cache hit rate (hits / lookups; NaN = cache disabled or untouched)");
     print_row("total", &hit_rate_row(&cols), " ");
+
+    println!("Useless-cache hit rate (skips / probes; NaN = never probed)");
+    print_row("total", &useless_rate_row(&cols), " ");
+    println!("Useless-cache entries at exit (memory gauge, summed over runs)");
+    print_count_row("total", &useless_len_row(&cols));
 
     println!("Give-ups per resource category (count of inconclusive runs)");
     let listed = [

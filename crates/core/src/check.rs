@@ -47,6 +47,17 @@ pub struct CheckStats {
     pub visited: usize,
     /// States skipped thanks to the cross-round useless-state cache.
     pub cache_skips: usize,
+    /// Useless-cache probes issued (hits are `cache_skips`).
+    pub useless_probes: usize,
+    /// Useless-cache entries after the round (a gauge, not a delta).
+    pub useless_len: usize,
+    /// Work-stealing events between parallel DFS workers (0 sequentially).
+    pub steals: usize,
+    /// Tasks processed by parallel DFS workers (0 on the sequential path).
+    pub par_tasks: usize,
+    /// Tasks processed by the busiest parallel worker — together with
+    /// `par_tasks` this measures load balance (ideal: `par_tasks / N`).
+    pub max_worker_tasks: usize,
 }
 
 /// Switches for the proof check.
@@ -58,8 +69,20 @@ pub struct CheckConfig {
     pub use_persistent: bool,
     /// Use `⋀Φ` as the commutativity condition in sleep-set computation.
     pub proof_sensitive: bool,
-    /// Abort the round after visiting this many states.
+    /// The per-round state budget: every walk over the reduction — the
+    /// proof-check DFS *and* the certificate recording re-walk — aborts
+    /// after visiting this many states. Both walks also charge
+    /// `Category::DfsStates` per state, so the governor's run-wide budget
+    /// is the ultimate authority; this field is the per-round cap.
     pub max_visited: usize,
+    /// Worker threads for the proof-check DFS; `1` (the default) runs the
+    /// sequential Algorithm 2 code path byte-for-byte.
+    pub dfs_threads: usize,
+    /// Probe the useless-state cache but record no new entries. Test and
+    /// measurement knob: with marking frozen, the set of states a round
+    /// visits is schedule-independent, so parallel and sequential rounds
+    /// can be compared for exact visited-set equality.
+    pub freeze_useless: bool,
 }
 
 impl Default for CheckConfig {
@@ -69,6 +92,8 @@ impl Default for CheckConfig {
             use_persistent: true,
             proof_sensitive: true,
             max_visited: usize::MAX,
+            dfs_threads: 1,
+            freeze_useless: false,
         }
     }
 }
@@ -110,7 +135,7 @@ impl UselessCache {
         self.map.is_empty()
     }
 
-    fn is_useless(
+    pub(crate) fn is_useless(
         &self,
         q: &ProductState,
         sleep: &BitSet,
@@ -127,7 +152,13 @@ impl UselessCache {
             })
     }
 
-    fn mark(&mut self, q: ProductState, sleep: BitSet, ctx: OrderContext, assertions: Vec<u32>) {
+    pub(crate) fn mark(
+        &mut self,
+        q: ProductState,
+        sleep: BitSet,
+        ctx: OrderContext,
+        assertions: Vec<u32>,
+    ) {
         let entry = self.map.entry(q).or_default().entry(ctx).or_default();
         // Keep only minimal sets per sleep set.
         if entry
@@ -264,6 +295,7 @@ pub fn check_proof(
 
     let q0 = program.initial_state();
     let sleep0 = BitSet::new(n_letters);
+    stats.useless_probes += 1;
     if useless.is_useless(&q0, &sleep0, 0, proof.assertion_set(phi0)) {
         stats.cache_skips += 1;
         return CheckResult::Proven;
@@ -290,12 +322,14 @@ pub fn check_proof(
             let status = if frame.tainted {
                 VisitStatus::DoneTainted
             } else {
-                useless.mark(
-                    frame.q.clone(),
-                    frame.sleep.clone(),
-                    frame.ctx,
-                    proof.assertion_set(frame.phi).to_vec(),
-                );
+                if !config.freeze_useless {
+                    useless.mark(
+                        frame.q.clone(),
+                        frame.sleep.clone(),
+                        frame.ctx,
+                        proof.assertion_set(frame.phi).to_vec(),
+                    );
+                }
                 VisitStatus::DoneClean
             };
             visited.insert(key, status);
@@ -351,6 +385,7 @@ pub fn check_proof(
             None => {}
         }
         // Cross-round cache.
+        stats.useless_probes += 1;
         if useless.is_useless(
             &next_q,
             &next_sleep,
@@ -483,7 +518,13 @@ pub fn record_reduction(
             let sleep: BitSet = $sleep;
             let ctx: OrderContext = $ctx;
             seen += 1;
-            if seen > config.max_visited.saturating_mul(4) {
+            // Same per-round state budget as `check_proof` — one documented
+            // limit, with the `Category::DfsStates` governor charge below
+            // owning the run-wide budget. (The recording walk takes no
+            // useless-cache skips, so it can legitimately visit more states
+            // than the check did; if that trips the budget the certificate
+            // is dropped, never truncated.)
+            if seen > config.max_visited {
                 return None;
             }
             if proof.is_bottom(pool, phi) {

@@ -1,0 +1,784 @@
+//! Work-stealing parallel proof-check DFS (ROADMAP item 3).
+//!
+//! The portfolio parallelizes *across* preference orders; this module
+//! parallelizes *within* one engine's proof-coverage check. N workers
+//! traverse the reduction cooperatively:
+//!
+//! * each worker owns a deque of edge tasks — it pushes and pops at the
+//!   back (so locally the traversal stays depth-first in preference
+//!   order), and idle workers steal from the *front* of a victim's deque,
+//!   which holds the least-preferred edges, i.e. exactly the subtrees the
+//!   owner would reach last;
+//! * the visited set and the cross-round [`UselessCache`] are sharded
+//!   16 ways behind `Mutex`es (the `smt::qcache` pattern) and shared by
+//!   all workers;
+//! * each worker runs on its own [`TermPool`] clone — sharing the query
+//!   cache and resource governor like portfolio workers do — and
+//!   discharges Hoare obligations thread-locally. The engine's proof
+//!   assertions are published to helper pools through the `ExportedTerm`
+//!   transfer path *in order*, so assertion indices agree across workers
+//!   and the canonical sorted assertion-index set is a valid cross-worker
+//!   state key even though per-pool `ProofStateId`s diverge.
+//!
+//! # Determinism: scout + canonical replay
+//!
+//! The parallel traversal is a *scout*: it runs entirely on helper
+//! clones — the engine's own pool, proof automaton and cross-round
+//! useless-cache are never touched — and decides whether an uncovered
+//! trace exists, racing all workers and stopping at the first hit. The
+//! scout's answer is schedule-dependent in two ways that must not leak:
+//! *which* counterexample it finds, and *in which order* it interns
+//! proof states (certificates renumber states densely in interning
+//! order, so interning order is part of the certificate bytes).
+//!
+//! So for every conclusive scout outcome, [`routed_check_proof`] replays
+//! the sequential DFS on the engine's own state — same proof automaton,
+//! same persistent useless-cache — and reports *its* result. The replay
+//! is what `--dfs-threads 1` would have executed, byte for byte:
+//! verdicts, traces, round counts, proof-state interning order and
+//! certificate text are pure functions of (program, proof, order),
+//! independent of thread count and steal schedule.
+//!
+//! The speedup comes from what the scout leaves behind: its workers
+//! share the engine's query cache, so by the time the replay runs, the
+//! Hoare checks, commutativity queries and annotation successors it
+//! needs are warm — the replay is roughly one round of pure graph
+//! traversal (the same economics as `record_reduction`'s re-walk),
+//! while the solver work that dominates a cold round was done by N
+//! workers concurrently.
+//!
+//! Soundness does not rest on the scout at all — the replay re-derives
+//! the verdict — but the scout's shared useless-cache marks must still
+//! be sound, because later *scout* rounds consult them: a mark is
+//! recorded only when a subtree was fully explored without finding a
+//! counterexample, which is sound under the current (hence any
+//! stronger) proof — exactly the sequential invariant. Tasks abandoned
+//! when the scout stops early never finalize their ancestors, so no
+//! unsound mark is ever recorded.
+//!
+//! The one caveat (shared with the portfolio's `wall_clock_budget`):
+//! when the `max_visited` bound or a governor budget trips *mid-round*,
+//! the scout's inconclusive result is returned directly (there is
+//! nothing deterministic to replay), and the point of interruption
+//! depends on the schedule — runs near a resource boundary may give up
+//! where an unbounded run would have concluded. Verdicts can only
+//! degrade to "inconclusive", never flip.
+
+use crate::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
+use crate::govern::Category;
+use crate::proof::ProofAutomaton;
+use automata::bitset::BitSet;
+use program::commutativity::CommutativityOracle;
+use program::concurrent::{LetterId, ProductState, Program, Spec};
+use reduction::order::{OrderContext, PreferenceOrder};
+use reduction::persistent::{MembraneMode, PersistentSets};
+use smt::term::{TermId, TermPool};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shard count for the visited set and the shared useless-cache; matches
+/// `smt::qcache`.
+const NUM_SHARDS: usize = 16;
+
+/// Pool-independent identity of a DFS state: product location, canonical
+/// sorted assertion-index set, sleep set, order context. Workers import
+/// the engine's assertions in the same order, so index sets — unlike
+/// `ProofStateId`s — agree across pools.
+type ParKey = (ProductState, Arc<Vec<u32>>, BitSet, OrderContext);
+
+fn shard_of<T: Hash + ?Sized>(key: &T) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % NUM_SHARDS
+}
+
+/// Status of a state in the shared visited set. `Claimed` plays the role
+/// of the sequential `OnStack`: some worker is still exploring the state,
+/// so an edge reaching it may close a cycle and taints its source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    Claimed,
+    DoneClean,
+    DoneTainted,
+}
+
+struct SharedVisited {
+    shards: Vec<Mutex<HashMap<ParKey, Slot>>>,
+}
+
+impl SharedVisited {
+    fn new() -> SharedVisited {
+        SharedVisited {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Atomically claims `key` for the calling worker. `None` means the
+    /// claim succeeded and the caller now owns the state; `Some(slot)`
+    /// reports the existing status.
+    fn try_claim(&self, key: &ParKey) -> Option<Slot> {
+        let mut shard = self.shards[shard_of(key)].lock().unwrap();
+        match shard.get(key) {
+            Some(&s) => Some(s),
+            None => {
+                shard.insert(key.clone(), Slot::Claimed);
+                None
+            }
+        }
+    }
+
+    fn set(&self, key: &ParKey, slot: Slot) {
+        self.shards[shard_of(key)]
+            .lock()
+            .unwrap()
+            .insert(key.clone(), slot);
+    }
+}
+
+/// Sharded, worker-shared flavour of the cross-round [`UselessCache`].
+/// Shards by product state, so a probe locks exactly one shard.
+struct SharedUselessCache {
+    shards: Vec<Mutex<UselessCache>>,
+}
+
+impl SharedUselessCache {
+    fn new() -> SharedUselessCache {
+        SharedUselessCache {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(UselessCache::new()))
+                .collect(),
+        }
+    }
+
+    fn is_useless(
+        &self,
+        q: &ProductState,
+        sleep: &BitSet,
+        ctx: OrderContext,
+        assertions: &[u32],
+    ) -> bool {
+        self.shards[shard_of(q)]
+            .lock()
+            .unwrap()
+            .is_useless(q, sleep, ctx, assertions)
+    }
+
+    fn mark(&self, q: ProductState, sleep: BitSet, ctx: OrderContext, assertions: Vec<u32>) {
+        self.shards[shard_of(&q)]
+            .lock()
+            .unwrap()
+            .mark(q, sleep, ctx, assertions)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+}
+
+/// Reverse-linked path into a state, for counterexample reconstruction.
+struct TraceNode {
+    letter: LetterId,
+    parent: Option<Arc<TraceNode>>,
+}
+
+/// Completion cell of an expanded state: finalized (and, when clean,
+/// recorded as useless) once all `pending` children have completed.
+struct Node {
+    key: ParKey,
+    parent: Option<Arc<Node>>,
+    pending: AtomicUsize,
+    tainted: AtomicBool,
+}
+
+/// Everything an edge task needs about its source state. Shared by all
+/// the state's outgoing edge tasks.
+struct ParentInfo {
+    q: ProductState,
+    aset: Arc<Vec<u32>>,
+    sleep: BitSet,
+    ctx: OrderContext,
+    enabled: Vec<LetterId>,
+    node: Arc<Node>,
+    trace: Option<Arc<TraceNode>>,
+}
+
+enum Task {
+    Root,
+    Edge {
+        parent: Arc<ParentInfo>,
+        letter: LetterId,
+    },
+}
+
+struct Shared<'a> {
+    program: &'a Program,
+    spec: Spec,
+    order: &'a dyn PreferenceOrder,
+    persistent: Option<&'a PersistentSets>,
+    config: &'a CheckConfig,
+    membrane_mode: MembraneMode,
+    n_letters: usize,
+    visited: SharedVisited,
+    useless: &'a SharedUselessCache,
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks queued or in flight; workers exit when it reaches zero.
+    pending: AtomicUsize,
+    stop: AtomicBool,
+    outcome: Mutex<Option<CheckResult>>,
+    visited_count: AtomicUsize,
+    cache_skips: AtomicUsize,
+    useless_probes: AtomicUsize,
+    steals: AtomicUsize,
+    tasks_done: Vec<AtomicUsize>,
+}
+
+impl Shared<'_> {
+    fn push(&self, wid: usize, task: Task) {
+        // Increment before queueing so an idle worker can never observe
+        // zero while a freshly pushed task is still invisible.
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        self.deques[wid].lock().unwrap().push_back(task);
+    }
+
+    fn pop_or_steal(&self, wid: usize) -> Option<Task> {
+        if let Some(t) = self.deques[wid].lock().unwrap().pop_back() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for i in 1..n {
+            let victim = (wid + i) % n;
+            if let Some(t) = self.deques[victim].lock().unwrap().pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Records the first terminal outcome and stops all workers.
+    fn fail(&self, result: CheckResult) {
+        let mut o = self.outcome.lock().unwrap();
+        if o.is_none() {
+            *o = Some(result);
+        }
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+fn materialize(trace: &Option<Arc<TraceNode>>) -> Vec<LetterId> {
+    let mut out = Vec::new();
+    let mut cur = trace.clone();
+    while let Some(n) = cur {
+        out.push(n.letter);
+        cur = n.parent.clone();
+    }
+    out.reverse();
+    out
+}
+
+/// Propagates one child completion into `node`, finalizing it (and its
+/// ancestors, transitively) when the last child completes. Mirrors the
+/// sequential pop: a clean finalization records a useless mark, a tainted
+/// one only closes the slot.
+fn complete(shared: &Shared, node: &Arc<Node>, child_tainted: bool) {
+    let mut node = Arc::clone(node);
+    let mut tainted = child_tainted;
+    loop {
+        if tainted {
+            node.tainted.store(true, Ordering::Relaxed);
+        }
+        if node.pending.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        let t = node.tainted.load(Ordering::Acquire);
+        if t {
+            shared.visited.set(&node.key, Slot::DoneTainted);
+        } else {
+            shared.visited.set(&node.key, Slot::DoneClean);
+            if !shared.config.freeze_useless {
+                shared.useless.mark(
+                    node.key.0.clone(),
+                    node.key.2.clone(),
+                    node.key.3,
+                    (*node.key.1).clone(),
+                );
+            }
+        }
+        let parent = match &node.parent {
+            Some(p) => Arc::clone(p),
+            None => return,
+        };
+        tainted = t;
+        node = parent;
+    }
+}
+
+/// A freshly claimed state: count it, classify it, and either finalize it
+/// as a leaf or expand it into edge tasks on the calling worker's deque.
+#[allow(clippy::too_many_arguments)]
+fn enter_state(
+    shared: &Shared,
+    wid: usize,
+    key: ParKey,
+    phi: crate::proof::ProofStateId,
+    trace: Option<Arc<TraceNode>>,
+    parent_node: Option<Arc<Node>>,
+    pool: &mut TermPool,
+    proof: &mut ProofAutomaton,
+) {
+    let finish_clean_leaf = |shared: &Shared, parent: &Option<Arc<Node>>| {
+        if let Some(p) = parent {
+            complete(shared, p, false);
+        }
+    };
+
+    let n = shared.visited_count.fetch_add(1, Ordering::Relaxed) + 1;
+    if n > shared.config.max_visited {
+        shared.fail(CheckResult::LimitReached);
+        return;
+    }
+    if proof.is_bottom(pool, phi) {
+        shared.visited.set(&key, Slot::DoneClean);
+        finish_clean_leaf(shared, &parent_node);
+        return;
+    }
+    if shared.program.is_accepting(&key.0, shared.spec) {
+        let violated = match shared.spec {
+            Spec::ErrorOf(_) => true,
+            Spec::PrePost => !proof.implies_post(pool, phi, shared.program.post()),
+        };
+        if violated {
+            shared.fail(CheckResult::Counterexample(materialize(&trace)));
+            return;
+        }
+        shared.visited.set(&key, Slot::DoneClean);
+        finish_clean_leaf(shared, &parent_node);
+        return;
+    }
+    let enabled = shared.program.enabled(&key.0);
+    let mut explore: Vec<LetterId> = match shared.persistent {
+        Some(ps) => ps.compute(
+            shared.program,
+            &key.0,
+            shared.order,
+            key.3,
+            shared.membrane_mode,
+        ),
+        None => enabled.clone(),
+    };
+    if shared.config.use_sleep {
+        explore.retain(|l| !key.2.contains(l.index()));
+    }
+    explore.sort_by_key(|&l| shared.order.rank(key.3, l, shared.program));
+    if explore.is_empty() {
+        shared.visited.set(&key, Slot::DoneClean);
+        if !shared.config.freeze_useless {
+            shared
+                .useless
+                .mark(key.0.clone(), key.2.clone(), key.3, (*key.1).clone());
+        }
+        finish_clean_leaf(shared, &parent_node);
+        return;
+    }
+    let node = Arc::new(Node {
+        key: key.clone(),
+        parent: parent_node,
+        pending: AtomicUsize::new(explore.len()),
+        tainted: AtomicBool::new(false),
+    });
+    let info = Arc::new(ParentInfo {
+        q: key.0,
+        aset: key.1,
+        sleep: key.2,
+        ctx: key.3,
+        enabled,
+        node,
+        trace,
+    });
+    // Push in reverse preference order: the owner pops from the back, so
+    // the most-preferred letter runs first (the sequential DFS order)
+    // while thieves steal the least-preferred subtrees from the front.
+    for &letter in explore.iter().rev() {
+        shared.push(
+            wid,
+            Task::Edge {
+                parent: Arc::clone(&info),
+                letter,
+            },
+        );
+    }
+}
+
+/// One edge task: compute the successor state in the worker's own pool,
+/// claim it, and hand it to [`enter_state`] if the claim won.
+fn process_edge(
+    shared: &Shared,
+    wid: usize,
+    parent: Arc<ParentInfo>,
+    a: LetterId,
+    pool: &mut TermPool,
+    proof: &mut ProofAutomaton,
+    oracle: &mut CommutativityOracle,
+) {
+    let p = &*parent;
+    let phi = proof.state_for_set(pool, (*p.aset).clone());
+    let next_q = shared
+        .program
+        .step(&p.q, a)
+        .expect("explored letter is enabled");
+    let next_phi = proof.step(pool, shared.program, phi, a);
+    let next_ctx = shared.order.step(p.ctx, a, shared.program);
+    let next_sleep = if shared.config.use_sleep {
+        let condition: TermId = if shared.config.proof_sensitive {
+            proof.conjunction(phi)
+        } else {
+            TermPool::TRUE
+        };
+        let mut s = BitSet::new(shared.n_letters);
+        for &b in &p.enabled {
+            let earlier =
+                p.sleep.contains(b.index()) || shared.order.less(p.ctx, b, a, shared.program);
+            if earlier && oracle.commute_under(pool, shared.program, condition, a, b) {
+                s.insert(b.index());
+            }
+        }
+        s
+    } else {
+        BitSet::new(shared.n_letters)
+    };
+    let next_aset = Arc::new(proof.assertion_set(next_phi).to_vec());
+    let key: ParKey = (next_q, next_aset, next_sleep, next_ctx);
+    match shared.visited.try_claim(&key) {
+        Some(Slot::DoneClean) => {
+            complete(shared, &p.node, false);
+            return;
+        }
+        Some(_) => {
+            // Claimed (possible cycle through a live state) or tainted.
+            complete(shared, &p.node, true);
+            return;
+        }
+        None => {}
+    }
+    shared.useless_probes.fetch_add(1, Ordering::Relaxed);
+    if shared.useless.is_useless(&key.0, &key.2, key.3, &key.1) {
+        shared.cache_skips.fetch_add(1, Ordering::Relaxed);
+        shared.visited.set(&key, Slot::DoneClean);
+        complete(shared, &p.node, false);
+        return;
+    }
+    let trace = Some(Arc::new(TraceNode {
+        letter: a,
+        parent: p.trace.clone(),
+    }));
+    let parent_node = Some(Arc::clone(&p.node));
+    enter_state(shared, wid, key, next_phi, trace, parent_node, pool, proof);
+}
+
+fn process_task(
+    shared: &Shared,
+    wid: usize,
+    task: Task,
+    pool: &mut TermPool,
+    proof: &mut ProofAutomaton,
+    oracle: &mut CommutativityOracle,
+    governor: &crate::govern::ResourceGovernor,
+) {
+    // One charge per task, mirroring the sequential per-iteration charge,
+    // so deadlines, step budgets, cancellation and injected faults keep
+    // firing mid-DFS.
+    if let Err(give_up) = governor.charge(Category::DfsStates) {
+        shared.fail(CheckResult::Interrupted(give_up));
+        return;
+    }
+    match task {
+        Task::Root => {
+            let q0 = shared.program.initial_state();
+            let sleep0 = BitSet::new(shared.n_letters);
+            let init = pool.and([shared.program.init_formula(), shared.program.pre()]);
+            let phi0 = proof.initial_state(pool, init);
+            let aset0 = Arc::new(proof.assertion_set(phi0).to_vec());
+            shared.useless_probes.fetch_add(1, Ordering::Relaxed);
+            if shared.useless.is_useless(&q0, &sleep0, 0, &aset0) {
+                shared.cache_skips.fetch_add(1, Ordering::Relaxed);
+                return; // drains to Proven
+            }
+            let key: ParKey = (q0, aset0, sleep0, 0);
+            shared.visited.set(&key, Slot::Claimed);
+            enter_state(shared, wid, key, phi0, None, None, pool, proof);
+        }
+        Task::Edge { parent, letter } => {
+            process_edge(shared, wid, parent, letter, pool, proof, oracle);
+        }
+    }
+}
+
+fn run_worker(
+    shared: &Shared,
+    wid: usize,
+    pool: &mut TermPool,
+    proof: &mut ProofAutomaton,
+    oracle: &mut CommutativityOracle,
+) {
+    let governor = pool.governor().clone();
+    let mut idle_spins = 0u32;
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match shared.pop_or_steal(wid) {
+            Some(task) => {
+                idle_spins = 0;
+                shared.tasks_done[wid].fetch_add(1, Ordering::Relaxed);
+                process_task(shared, wid, task, pool, proof, oracle, &governor);
+                shared.pending.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                if shared.pending.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                idle_spins += 1;
+                if idle_spins < 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+        }
+    }
+}
+
+/// Per-helper worker state, persistent across rounds of one engine: a
+/// `TermPool` clone (sharing query cache and governor), a mirror of the
+/// engine's proof automaton, and a private commutativity oracle.
+struct HelperState {
+    pool: TermPool,
+    proof: ProofAutomaton,
+    oracle: CommutativityOracle,
+    /// How many engine assertions have been imported so far.
+    synced: usize,
+}
+
+/// Work-stealing parallel DFS state, owned by one engine and reused
+/// across its refinement rounds (the shared useless-cache is the
+/// cross-round state; helper pools keep their memo tables warm).
+pub struct ParDfs {
+    threads: usize,
+    helpers: Vec<HelperState>,
+    useless: SharedUselessCache,
+}
+
+impl ParDfs {
+    /// A parallel DFS driver for `threads` workers (min 1; the calling
+    /// thread always doubles as worker 0).
+    pub fn new(threads: usize) -> ParDfs {
+        ParDfs {
+            threads: threads.max(1),
+            helpers: Vec::new(),
+            useless: SharedUselessCache::new(),
+        }
+    }
+
+    /// Entries in the shared cross-round useless-cache.
+    pub fn useless_len(&self) -> usize {
+        self.useless.len()
+    }
+
+    /// Runs one parallel proof-check round (the scout of the module
+    /// docs) entirely on helper clones — the engine's `pool`, `proof`
+    /// and `oracle` are read (assertion export, cloning) but never
+    /// mutated, so the engine's proof-state interning order stays
+    /// exactly what the sequential replay produces. The verdict is
+    /// schedule-independent; the counterexample identity and the visit
+    /// schedule are not — callers wanting deterministic results go
+    /// through [`routed_check_proof`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn check(
+        &mut self,
+        pool: &mut TermPool,
+        program: &Program,
+        spec: Spec,
+        order: &dyn PreferenceOrder,
+        oracle: &CommutativityOracle,
+        persistent: Option<&PersistentSets>,
+        proof: &ProofAutomaton,
+        config: &CheckConfig,
+        stats: &mut CheckStats,
+    ) -> CheckResult {
+        // One helper per worker — the calling thread drives helpers[0].
+        while self.helpers.len() < self.threads {
+            self.helpers.push(HelperState {
+                pool: pool.clone(),
+                proof: ProofAutomaton::new(),
+                oracle: oracle.clone(),
+                synced: 0,
+            });
+        }
+        // Publish the engine's assertions to every helper, in order: same
+        // order means same indices, so canonical assertion-index sets in
+        // visited keys agree across workers. Re-sync the governor, solver
+        // kind and query-cache handle in case the caller swapped them
+        // since the helpers were cloned.
+        let exported: Vec<_> = proof.assertions().iter().map(|&t| pool.export(t)).collect();
+        for h in &mut self.helpers {
+            h.pool.set_governor(pool.governor().clone());
+            h.pool.set_solver_kind(pool.solver_kind());
+            match pool.query_cache() {
+                Some(qc) => {
+                    if h.pool.query_cache().is_none() {
+                        h.pool.set_query_cache(qc.clone());
+                    }
+                }
+                None => {
+                    h.pool.take_query_cache();
+                }
+            }
+            for e in &exported[h.synced..] {
+                let id = h.pool.import(e);
+                h.proof.add_assertion(id);
+            }
+            h.synced = exported.len();
+        }
+
+        let shared = Shared {
+            program,
+            spec,
+            order,
+            persistent,
+            config,
+            membrane_mode: match spec {
+                Spec::PrePost => MembraneMode::Terminal,
+                Spec::ErrorOf(t) => MembraneMode::ErrorThread(t),
+            },
+            n_letters: program.num_letters(),
+            visited: SharedVisited::new(),
+            useless: &self.useless,
+            deques: (0..self.threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            pending: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            outcome: Mutex::new(None),
+            visited_count: AtomicUsize::new(0),
+            cache_skips: AtomicUsize::new(0),
+            useless_probes: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            tasks_done: (0..self.threads).map(|_| AtomicUsize::new(0)).collect(),
+        };
+        shared.push(0, Task::Root);
+        let (h0, rest) = self.helpers.split_first_mut().expect("at least one helper");
+        std::thread::scope(|s| {
+            for (i, h) in rest.iter_mut().enumerate() {
+                let shared = &shared;
+                s.spawn(move || {
+                    run_worker(shared, i + 1, &mut h.pool, &mut h.proof, &mut h.oracle)
+                });
+            }
+            run_worker(&shared, 0, &mut h0.pool, &mut h0.proof, &mut h0.oracle);
+        });
+
+        stats.visited += shared.visited_count.load(Ordering::Relaxed);
+        stats.cache_skips += shared.cache_skips.load(Ordering::Relaxed);
+        stats.useless_probes += shared.useless_probes.load(Ordering::Relaxed);
+        stats.steals += shared.steals.load(Ordering::Relaxed);
+        let done: Vec<usize> = shared
+            .tasks_done
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        stats.par_tasks += done.iter().sum::<usize>();
+        stats.max_worker_tasks = stats
+            .max_worker_tasks
+            .max(done.iter().copied().max().unwrap_or(0));
+
+        let outcome = shared.outcome.into_inner().unwrap();
+        outcome.unwrap_or(CheckResult::Proven)
+    }
+}
+
+/// Routes one proof-check round. `dfs_threads <= 1` runs the sequential
+/// [`check_proof`] byte-for-byte (with `useless` as the cross-round
+/// cache). Otherwise the parallel scout runs on helper clones and, when
+/// it is conclusive, the sequential DFS replays on the engine's own
+/// proof and useless-cache to produce the canonical result — warm query
+/// cache, cold graph walk (see module docs). Inconclusive scout results
+/// (budget trips, cancellation) are returned directly. On a conclusive
+/// round, `stats.visited` therefore counts both passes.
+#[allow(clippy::too_many_arguments)]
+pub fn routed_check_proof(
+    pool: &mut TermPool,
+    program: &Program,
+    spec: Spec,
+    order: &dyn PreferenceOrder,
+    oracle: &mut CommutativityOracle,
+    persistent: Option<&PersistentSets>,
+    proof: &mut ProofAutomaton,
+    useless: &mut UselessCache,
+    par: &mut Option<ParDfs>,
+    config: &CheckConfig,
+    stats: &mut CheckStats,
+) -> CheckResult {
+    if config.dfs_threads <= 1 {
+        let r = check_proof(
+            pool, program, spec, order, oracle, persistent, proof, useless, config, stats,
+        );
+        stats.useless_len = useless.len();
+        return r;
+    }
+    let par = par.get_or_insert_with(|| ParDfs::new(config.dfs_threads));
+    let scout = par.check(
+        pool, program, spec, order, oracle, persistent, proof, config, stats,
+    );
+    let result = match scout {
+        CheckResult::Proven | CheckResult::Counterexample(_) => check_proof(
+            pool, program, spec, order, oracle, persistent, proof, useless, config, stats,
+        ),
+        inconclusive => inconclusive,
+    };
+    stats.useless_len = par.useless_len() + useless.len();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automata::dfa::StateId;
+
+    fn key(q: u32, bits: usize) -> ParKey {
+        (
+            ProductState(vec![StateId(q)]),
+            Arc::new(vec![0, 1]),
+            BitSet::new(bits),
+            0,
+        )
+    }
+
+    #[test]
+    fn claim_protocol() {
+        let v = SharedVisited::new();
+        let k = key(0, 4);
+        assert_eq!(v.try_claim(&k), None, "first claim wins");
+        assert_eq!(v.try_claim(&k), Some(Slot::Claimed));
+        v.set(&k, Slot::DoneClean);
+        assert_eq!(v.try_claim(&k), Some(Slot::DoneClean));
+        let k2 = key(1, 4);
+        assert_eq!(v.try_claim(&k2), None, "distinct states are independent");
+    }
+
+    #[test]
+    fn shared_useless_cache_roundtrip() {
+        let c = SharedUselessCache::new();
+        let q = ProductState(vec![StateId(7)]);
+        let s = BitSet::new(4);
+        assert!(!c.is_useless(&q, &s, 0, &[1, 2]));
+        c.mark(q.clone(), s.clone(), 0, vec![1, 2]);
+        assert!(c.is_useless(&q, &s, 0, &[1, 2, 3]), "superset is subsumed");
+        assert!(!c.is_useless(&q, &s, 1, &[1, 2]), "context-sensitive");
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -221,6 +221,11 @@ fn finish(
         stats.visited_states += e.stats.visited;
         stats.max_round_visited = stats.max_round_visited.max(e.stats.max_round_visited);
         stats.cache_skips += e.stats.cache_skips;
+        stats.useless_probes += e.stats.useless_probes;
+        stats.useless_len += e.stats.useless_len;
+        stats.dfs_steals += e.stats.dfs_steals;
+        stats.dfs_tasks += e.stats.dfs_tasks;
+        stats.dfs_max_worker_tasks = stats.dfs_max_worker_tasks.max(e.stats.dfs_max_worker_tasks);
         // Single-threaded rounds: per-engine deltas are disjoint, so the
         // sum is exact.
         stats.qcache_hits += e.stats.qcache_hits;
@@ -414,6 +419,13 @@ pub fn parallel_verify(
             stats.visited_states += exit.stats.visited;
             stats.max_round_visited = stats.max_round_visited.max(exit.stats.max_round_visited);
             stats.cache_skips += exit.stats.cache_skips;
+            stats.useless_probes += exit.stats.useless_probes;
+            stats.useless_len += exit.stats.useless_len;
+            stats.dfs_steals += exit.stats.dfs_steals;
+            stats.dfs_tasks += exit.stats.dfs_tasks;
+            stats.dfs_max_worker_tasks = stats
+                .dfs_max_worker_tasks
+                .max(exit.stats.dfs_max_worker_tasks);
             stats.hoare_checks += exit.hoare_checks;
             stats.proof_size = stats.proof_size.max(exit.proof_size);
             stats.interpolation.feasibility_checks += exit.stats.interpolation.feasibility_checks;

@@ -8,14 +8,13 @@
 //! comparison against Ultimate Automizer.
 
 use crate::certify::{CertSpec, Certificate, SpecCert};
-use crate::check::{
-    check_proof, record_reduction, CheckConfig, CheckResult, CheckStats, UselessCache,
-};
+use crate::check::{record_reduction, CheckConfig, CheckResult, CheckStats, UselessCache};
 use crate::engine::TraceHistory;
 use crate::govern::{panic_reason, Category, GiveUp, GovernorConfig, ResourceGovernor};
 use crate::interpolate::{
     analyze_trace_with_mode, InterpolationMode, InterpolationStats, TraceResult,
 };
+use crate::pardfs::{routed_check_proof, ParDfs};
 use crate::proof::ProofAutomaton;
 use crate::snapshot::program_fingerprint;
 use program::commutativity::{CommutativityLevel, CommutativityOracle};
@@ -85,8 +84,15 @@ pub struct VerifierConfig {
     pub interpolation: InterpolationMode,
     /// Maximum refinement rounds before giving up.
     pub max_rounds: usize,
-    /// Maximum visited states per proof-check round.
+    /// Maximum visited states per proof-check round. One documented
+    /// budget: the DFS and the certificate recording re-walk both stop
+    /// at this bound (each also charges `Category::DfsStates` per state,
+    /// so [`GovernorConfig`] owns the run-wide limit).
     pub max_visited_per_round: usize,
+    /// Worker threads for the proof-check DFS inside each engine
+    /// (`--dfs-threads`). `1` (the default) is the sequential Algorithm 2
+    /// path, byte-for-byte.
+    pub dfs_threads: usize,
     /// Resource governance: deadline, run-wide step budgets and fault
     /// injection. Unlimited by default.
     pub govern: GovernorConfig,
@@ -119,6 +125,7 @@ impl VerifierConfig {
             interpolation: InterpolationMode::SpChain,
             max_rounds: 60,
             max_visited_per_round: 400_000,
+            dfs_threads: 1,
             govern: GovernorConfig::default(),
             use_qcache: true,
             solver: SolverKind::default(),
@@ -210,6 +217,13 @@ impl VerifierConfig {
         self.certify = false;
         self
     }
+
+    /// Sets the number of proof-check DFS worker threads
+    /// (`--dfs-threads`); `1` restores the sequential path.
+    pub fn with_dfs_threads(mut self, threads: usize) -> VerifierConfig {
+        self.dfs_threads = threads.max(1);
+        self
+    }
 }
 
 /// Verification verdict.
@@ -267,6 +281,19 @@ pub struct RunStats {
     pub hoare_checks: usize,
     /// Useless-cache skips (§7.2 optimization effectiveness).
     pub cache_skips: usize,
+    /// Useless-cache probes (skips are the hits; misses are the rest).
+    pub useless_probes: usize,
+    /// Useless-cache entries at the end of the run (a gauge; for multi-
+    /// engine runs, summed over engines).
+    pub useless_len: usize,
+    /// Work-stealing events between parallel DFS workers
+    /// (`--dfs-threads > 1`; 0 on the sequential path).
+    pub dfs_steals: usize,
+    /// Tasks processed by parallel DFS workers.
+    pub dfs_tasks: usize,
+    /// Tasks processed by the busiest parallel DFS worker in any round —
+    /// `dfs_tasks / (rounds × threads)` vs this gauges load balance.
+    pub dfs_max_worker_tasks: usize,
     /// Wall-clock time of the whole run.
     pub time: Duration,
     /// Interpolation statistics.
@@ -301,6 +328,16 @@ impl RunStats {
             0.0
         } else {
             self.qcache_hits as f64 / total as f64
+        }
+    }
+
+    /// Useless-cache hit rate (`cache_skips / useless_probes`; 0 when
+    /// the cache was never probed).
+    pub fn useless_hit_rate(&self) -> f64 {
+        if self.useless_probes == 0 {
+            0.0
+        } else {
+            self.cache_skips as f64 / self.useless_probes as f64
         }
     }
 }
@@ -468,11 +505,14 @@ fn verify_spec(
         .then(|| PersistentSets::new(pool, program, &mut oracle));
     let mut proof = ProofAutomaton::new();
     let mut useless = UselessCache::new();
+    let mut par: Option<ParDfs> = None;
     let check_config = CheckConfig {
         use_sleep: config.use_sleep,
         use_persistent: config.use_persistent,
         proof_sensitive: config.proof_sensitive,
         max_visited: config.max_visited_per_round,
+        dfs_threads: config.dfs_threads,
+        freeze_useless: false,
     };
     let mut history = TraceHistory::new();
     let governor = pool.governor().clone();
@@ -483,7 +523,7 @@ fn verify_spec(
         }
         stats.rounds += 1;
         let mut round_stats = CheckStats::default();
-        let result = check_proof(
+        let result = routed_check_proof(
             pool,
             program,
             spec,
@@ -492,12 +532,18 @@ fn verify_spec(
             persistent.as_ref(),
             &mut proof,
             &mut useless,
+            &mut par,
             &check_config,
             &mut round_stats,
         );
         stats.visited_states += round_stats.visited;
         stats.max_round_visited = stats.max_round_visited.max(round_stats.visited);
         stats.cache_skips += round_stats.cache_skips;
+        stats.useless_probes += round_stats.useless_probes;
+        stats.useless_len = round_stats.useless_len;
+        stats.dfs_steals += round_stats.steals;
+        stats.dfs_tasks += round_stats.par_tasks;
+        stats.dfs_max_worker_tasks = stats.dfs_max_worker_tasks.max(round_stats.max_worker_tasks);
         stats.hoare_checks = proof.stats().hoare_checks;
         stats.proof_size = stats.proof_size.max(proof.proof_size());
         match result {

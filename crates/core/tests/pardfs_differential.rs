@@ -1,0 +1,240 @@
+//! Differential testing of the work-stealing parallel proof-check DFS
+//! against the sequential walk on randomly generated concurrent
+//! programs: `--dfs-threads N` must be unobservable in verdicts, traces,
+//! round counts and proof sizes; the scout must visit exactly the
+//! sequential state set on proven rounds; and injected governor faults
+//! mid-traversal may only degrade verdicts to give-ups, never flip them.
+
+use automata::bitset::BitSet;
+use automata::dfa::DfaBuilder;
+use gemcutter::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
+use gemcutter::govern::{FaultPlan, GovernorConfig};
+use gemcutter::pardfs::ParDfs;
+use gemcutter::proof::ProofAutomaton;
+use gemcutter::verify::{verify, Verdict, VerifierConfig};
+use program::commutativity::{CommutativityLevel, CommutativityOracle};
+use program::concurrent::{Program, Spec};
+use program::stmt::{SimpleStmt, Statement};
+use program::thread::{Thread, ThreadId};
+use proptest::prelude::*;
+use reduction::persistent::PersistentSets;
+use smt::linear::LinExpr;
+use smt::term::TermPool;
+
+/// A random simple statement description: which variable (0..3, where
+/// 0–1 are shared between threads) and what operation.
+#[derive(Clone, Debug)]
+struct StmtDesc {
+    var: usize,
+    op: u8, // 0: := k, 1: += 1, 2: havoc
+}
+
+fn stmt_desc() -> impl Strategy<Value = StmtDesc> {
+    (0usize..4, 0u8..3).prop_map(|(var, op)| StmtDesc { var, op })
+}
+
+/// 2–3 threads with 1–3 statements each.
+fn program_desc() -> impl Strategy<Value = Vec<Vec<StmtDesc>>> {
+    proptest::collection::vec(proptest::collection::vec(stmt_desc(), 1..=3), 2..=3)
+}
+
+/// Builds the random program with an error guard `assume s0 > bound`
+/// appended to thread 0, so the corpus mixes safe and unsafe instances.
+fn build_program(pool: &mut TermPool, desc: &[Vec<StmtDesc>], bound: i128) -> Program {
+    let mut b = Program::builder("random");
+    let shared: Vec<_> = (0..2).map(|i| pool.var(&format!("s{i}"))).collect();
+    for &v in &shared {
+        b.add_global(v, 0);
+    }
+    let mut letters_per_thread = Vec::new();
+    for (t, stmts) in desc.iter().enumerate() {
+        let private: Vec<_> = (0..2).map(|i| pool.var(&format!("p{t}_{i}"))).collect();
+        for &v in &private {
+            b.add_global(v, 0);
+        }
+        let mut letters = Vec::new();
+        for (s, d) in stmts.iter().enumerate() {
+            let var = if d.var < 2 {
+                shared[d.var]
+            } else {
+                private[d.var - 2]
+            };
+            let stmt = match d.op {
+                0 => SimpleStmt::Assign(var, LinExpr::constant(s as i128)),
+                1 => SimpleStmt::Assign(var, LinExpr::var(var).add(&LinExpr::constant(1))),
+                _ => SimpleStmt::Havoc(var),
+            };
+            letters.push(b.add_statement(Statement::simple(
+                ThreadId(t as u32),
+                &format!("t{t}s{s}"),
+                stmt,
+                pool,
+            )));
+        }
+        letters_per_thread.push(letters);
+    }
+    let le = pool.le_const(shared[0], bound);
+    let violated = pool.not(le);
+    let guard = b.add_statement(Statement::simple(
+        ThreadId(0),
+        "assert-fail",
+        SimpleStmt::Assume(violated),
+        pool,
+    ));
+    for (t, letters) in letters_per_thread.iter().enumerate() {
+        let mut cfg = DfaBuilder::new();
+        let mut prev = cfg.add_state(letters.is_empty());
+        let entry = prev;
+        for (i, &l) in letters.iter().enumerate() {
+            let next = cfg.add_state(i + 1 == letters.len());
+            cfg.add_transition(prev, l, next);
+            prev = next;
+        }
+        let mut errors = BitSet::new(letters.len() + 2);
+        if t == 0 {
+            let err = cfg.add_state(false);
+            cfg.add_transition(prev, guard, err);
+            errors.insert(err.index());
+        }
+        b.add_thread(Thread::new("t", cfg.build(entry), errors));
+    }
+    b.build(pool)
+}
+
+/// `true` when one verdict proves the program safe while another reports
+/// a bug — the only disagreement that matters; give-ups are fine.
+fn contradiction(verdicts: &[Verdict]) -> bool {
+    verdicts.iter().any(|v| matches!(v, Verdict::Correct))
+        && verdicts
+            .iter()
+            .any(|v| matches!(v, Verdict::Incorrect { .. }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// End-to-end: verdict (including the counterexample trace), round
+    /// count and proof size are identical at 1, 2 and 4 DFS workers.
+    #[test]
+    fn dfs_threads_are_unobservable(
+        desc in program_desc(),
+        bound in 0i128..4,
+    ) {
+        let mut reference = None;
+        for threads in [1usize, 2, 4] {
+            let mut pool = TermPool::new();
+            let p = build_program(&mut pool, &desc, bound);
+            let config = VerifierConfig::gemcutter_seq().with_dfs_threads(threads);
+            let outcome = verify(&mut pool, &p, &config);
+            let fp = (outcome.verdict, outcome.stats.rounds, outcome.stats.proof_size);
+            match &reference {
+                None => reference = Some(fp),
+                Some(first) => prop_assert_eq!(
+                    first, &fp,
+                    "dfs-threads {} diverged ({:?}, bound {})", threads, desc, bound
+                ),
+            }
+        }
+    }
+
+    /// Round-level: on a proven first round, the parallel scout visits
+    /// exactly as many states as the sequential DFS — with useless-cache
+    /// writes frozen, the visited set is schedule-independent, so equal
+    /// counts over the same deduplicated key space mean equal sets. On
+    /// counterexample rounds the scout stops early, so only the result
+    /// kind is compared.
+    #[test]
+    fn scout_visits_the_sequential_state_set(
+        desc in program_desc(),
+        bound in 0i128..4,
+    ) {
+        let spec = Spec::ErrorOf(ThreadId(0));
+        let config = CheckConfig {
+            freeze_useless: true,
+            ..CheckConfig::default()
+        };
+
+        let run_seq = || {
+            let mut pool = TermPool::new();
+            let p = build_program(&mut pool, &desc, bound);
+            let order = VerifierConfig::gemcutter_seq().order.build();
+            let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+            let persistent = PersistentSets::new(&mut pool, &p, &mut oracle);
+            let mut proof = ProofAutomaton::new();
+            let init = pool.and([p.init_formula(), p.pre()]);
+            proof.initial_state(&mut pool, init);
+            let mut useless = UselessCache::new();
+            let mut stats = CheckStats::default();
+            let r = check_proof(
+                &mut pool, &p, spec, order.as_ref(), &mut oracle, Some(&persistent),
+                &mut proof, &mut useless, &config, &mut stats,
+            );
+            (r, stats.visited)
+        };
+        let (seq_result, seq_visited) = run_seq();
+
+        let mut pool = TermPool::new();
+        let p = build_program(&mut pool, &desc, bound);
+        let order = VerifierConfig::gemcutter_seq().order.build();
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+        let persistent = PersistentSets::new(&mut pool, &p, &mut oracle);
+        let mut proof = ProofAutomaton::new();
+        let init = pool.and([p.init_formula(), p.pre()]);
+        proof.initial_state(&mut pool, init);
+        let mut stats = CheckStats::default();
+        let mut par = ParDfs::new(2);
+        let par_result = par.check(
+            &mut pool, &p, spec, order.as_ref(), &oracle, Some(&persistent),
+            &proof, &config, &mut stats,
+        );
+
+        match (&seq_result, &par_result) {
+            (CheckResult::Proven, CheckResult::Proven) => prop_assert_eq!(
+                seq_visited, stats.visited,
+                "scout visited a different state set on a proven round ({:?}, bound {})",
+                desc, bound
+            ),
+            (CheckResult::Counterexample(_), CheckResult::Counterexample(_)) => {}
+            (s, p2) => prop_assert!(
+                false,
+                "scout and sequential DFS disagree: {s:?} vs {p2:?} ({desc:?}, bound {bound})"
+            ),
+        }
+    }
+
+    /// Governor faults injected mid-traversal may turn a conclusive
+    /// verdict into a give-up but never flip Correct vs Incorrect,
+    /// regardless of the DFS worker count.
+    #[test]
+    fn injected_faults_cannot_flip_verdicts(
+        desc in program_desc(),
+        bound in 0i128..4,
+        trip in 3u64..12,
+    ) {
+        let mut verdicts = Vec::new();
+        // Unfaulted sequential ground truth, then faulted runs at 1 and
+        // 2 workers (the fault fires on the shared dfs-states budget, so
+        // any worker can trip it mid-round).
+        let mut pool = TermPool::new();
+        let p = build_program(&mut pool, &desc, bound);
+        verdicts.push(verify(&mut pool, &p, &VerifierConfig::gemcutter_seq()).verdict);
+        for threads in [1usize, 2] {
+            let mut pool = TermPool::new();
+            let p = build_program(&mut pool, &desc, bound);
+            let config = VerifierConfig {
+                govern: GovernorConfig {
+                    fault_plan: FaultPlan::parse(&format!("dfs-states:{trip}:unknown"))
+                        .expect("valid fault plan"),
+                    ..GovernorConfig::default()
+                },
+                ..VerifierConfig::gemcutter_seq()
+            }
+            .with_dfs_threads(threads);
+            verdicts.push(verify(&mut pool, &p, &config).verdict);
+        }
+        prop_assert!(
+            !contradiction(&verdicts),
+            "governor fault flipped a verdict: {verdicts:?} ({desc:?}, bound {bound})"
+        );
+    }
+}

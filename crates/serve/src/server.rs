@@ -87,6 +87,10 @@ pub struct ServeConfig {
     /// Default escalation-ladder retries per request (a request's own
     /// `retries:` option wins).
     pub retries: u32,
+    /// Proof-check DFS worker threads per verification request
+    /// (`--dfs-threads`; default 1 = the sequential path). Verdicts and
+    /// certificates are identical either way.
+    pub dfs_threads: usize,
     /// Crash-point injection plan (`--crash-at SITE:N`): deterministic
     /// `abort()`s at named durability sites, for the crash sweep. The old
     /// `--crash-after N` maps to `post-fsync:N`.
@@ -124,6 +128,7 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(2),
             idle_timeout: Duration::from_secs(30),
             retries: 0,
+            dfs_threads: 1,
             crash_plan: Arc::default(),
             journal: true,
             journal_max_ratio: 4.0,
@@ -174,6 +179,12 @@ struct Shared {
     certs_checked: AtomicU64,
     certs_passed: AtomicU64,
     certs_quarantined: AtomicU64,
+    /// Parallel-DFS and useless-cache counters, aggregated from each
+    /// request's run stats (daemon-wide, like the `certs-*` family).
+    dfs_tasks: AtomicU64,
+    dfs_steals: AtomicU64,
+    useless_probes: AtomicU64,
+    useless_hits: AtomicU64,
     /// Fingerprints whose stored certificate already cleared the sample
     /// audit in this process. In-memory records are immutable between
     /// replacement and quarantine, so re-auditing identical bytes on
@@ -232,6 +243,22 @@ impl Shared {
             (
                 "certs-quarantined".to_owned(),
                 self.certs_quarantined.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "dfs-tasks".to_owned(),
+                self.dfs_tasks.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "dfs-steals".to_owned(),
+                self.dfs_steals.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "useless-probes".to_owned(),
+                self.useless_probes.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "useless-hits".to_owned(),
+                self.useless_hits.load(Ordering::Relaxed).to_string(),
             ),
             (
                 "store-records".to_owned(),
@@ -324,6 +351,10 @@ impl Server {
             certs_checked: AtomicU64::new(0),
             certs_passed: AtomicU64::new(0),
             certs_quarantined: AtomicU64::new(0),
+            dfs_tasks: AtomicU64::new(0),
+            dfs_steals: AtomicU64::new(0),
+            useless_probes: AtomicU64::new(0),
+            useless_hits: AtomicU64::new(0),
             certs_audited: Mutex::new(HashSet::new()),
             latencies_ms: Mutex::new(Vec::new()),
         });
@@ -650,6 +681,7 @@ fn handle_verify(shared: &Shared, job: &Job) -> Response {
     }
 
     let mut config = VerifierConfig::gemcutter_seq();
+    config.dfs_threads = shared.config.dfs_threads;
     let deadline = job.opts.timeout.map_or(shared.config.request_timeout, |t| {
         t.min(shared.config.request_timeout)
     });
@@ -702,6 +734,18 @@ fn handle_verify(shared: &Shared, job: &Job) -> Response {
         interrupt: None,
     };
     let sup = supervised_verify(&mut pool, &program, &config, &scfg);
+    shared
+        .dfs_tasks
+        .fetch_add(sup.outcome.stats.dfs_tasks as u64, Ordering::Relaxed);
+    shared
+        .dfs_steals
+        .fetch_add(sup.outcome.stats.dfs_steals as u64, Ordering::Relaxed);
+    shared
+        .useless_probes
+        .fetch_add(sup.outcome.stats.useless_probes as u64, Ordering::Relaxed);
+    shared
+        .useless_hits
+        .fetch_add(sup.outcome.stats.cache_skips as u64, Ordering::Relaxed);
 
     let mut response = Response {
         id: job.id.clone(),
@@ -975,6 +1019,7 @@ impl BatchStats {
         format!(
             "batch: served={} ok={} errors={} shed={} store-hits={} hit-rate={:.2} warm-starts={} \
              certs-checked={} certs-passed={} certs-quarantined={} \
+             dfs-tasks={} dfs-steals={} useless-probes={} useless-hits={} \
              p50-ms={} p95-ms={} max-ms={} qcache-evictions={}",
             self.served,
             self.ok,
@@ -986,6 +1031,10 @@ impl BatchStats {
             shared.certs_checked.load(Ordering::Relaxed),
             shared.certs_passed.load(Ordering::Relaxed),
             shared.certs_quarantined.load(Ordering::Relaxed),
+            shared.dfs_tasks.load(Ordering::Relaxed),
+            shared.dfs_steals.load(Ordering::Relaxed),
+            shared.useless_probes.load(Ordering::Relaxed),
+            shared.useless_hits.load(Ordering::Relaxed),
             p50,
             p95,
             max,

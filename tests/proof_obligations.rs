@@ -142,6 +142,7 @@ fn validate_chains(pool: &mut TermPool, program: &Program, mode: InterpolationMo
         use_persistent: true,
         proof_sensitive: config.proof_sensitive,
         max_visited: 100_000,
+        ..CheckConfig::default()
     };
     let mut istats = InterpolationStats::default();
     let mut validated = 0;
