@@ -69,11 +69,13 @@ pub struct CheckConfig {
     pub use_persistent: bool,
     /// Use `⋀Φ` as the commutativity condition in sleep-set computation.
     pub proof_sensitive: bool,
-    /// The per-round state budget: every walk over the reduction — the
-    /// proof-check DFS *and* the certificate recording re-walk — aborts
-    /// after visiting this many states. Both walks also charge
-    /// `Category::DfsStates` per state, so the governor's run-wide budget
-    /// is the ultimate authority; this field is the per-round cap.
+    /// The per-round state budget: the proof-check DFS aborts after
+    /// visiting this many states, and the certificate recording re-walk
+    /// aborts after [`RECORD_VISITED_HEADROOM`]× as many (it takes no
+    /// useless-cache skips, so it can legitimately need more states than
+    /// the check did). Both walks also charge `Category::DfsStates` per
+    /// state, so the governor's run-wide budget is the ultimate
+    /// authority; this field is the per-round cap.
     pub max_visited: usize,
     /// Worker threads for the proof-check DFS; `1` (the default) runs the
     /// sequential Algorithm 2 code path byte-for-byte.
@@ -437,6 +439,15 @@ pub struct RecordedReduction {
     pub ucommute: Vec<(LetterId, LetterId)>,
 }
 
+/// State-budget headroom for the certificate recording re-walk, as a
+/// multiple of [`CheckConfig::max_visited`]. The re-walk takes no
+/// useless-cache skips, so it re-expands subtrees the check skipped; a
+/// proven round whose check fit `max_visited` only thanks to those skips
+/// still deserves a certificate. The governor's run-wide
+/// `Category::DfsStates` budget — charged per recorded state too — is
+/// the ultimate authority, so this cap only bounds a single re-walk.
+pub const RECORD_VISITED_HEADROOM: usize = 4;
+
 /// Re-walks the reduction after a round returned [`CheckResult::Proven`]
 /// and records its annotation-level structure.
 ///
@@ -518,13 +529,14 @@ pub fn record_reduction(
             let sleep: BitSet = $sleep;
             let ctx: OrderContext = $ctx;
             seen += 1;
-            // Same per-round state budget as `check_proof` — one documented
-            // limit, with the `Category::DfsStates` governor charge below
-            // owning the run-wide budget. (The recording walk takes no
-            // useless-cache skips, so it can legitimately visit more states
-            // than the check did; if that trips the budget the certificate
-            // is dropped, never truncated.)
-            if seen > config.max_visited {
+            // The recording walk takes no useless-cache skips, so it can
+            // legitimately visit more states than the check did — a check
+            // that fit `max_visited` only thanks to cache skips must not
+            // lose its certificate here. The headroom factor covers that;
+            // the `Category::DfsStates` governor charge below still owns
+            // the run-wide budget. If the cap trips anyway the certificate
+            // is dropped (surfaced as `certs_dropped`), never truncated.
+            if seen > config.max_visited.saturating_mul(RECORD_VISITED_HEADROOM) {
                 return None;
             }
             if proof.is_bottom(pool, phi) {

@@ -127,6 +127,9 @@ pub struct EngineStats {
     /// Solver queries by this engine's rounds that solved cold (same
     /// attribution caveat as `qcache_hits`).
     pub qcache_misses: u64,
+    /// Proven rounds whose certificate was dropped because the recording
+    /// re-walk tripped its state budget or the resource governor.
+    pub certs_dropped: usize,
     /// Interpolation counters.
     pub interpolation: InterpolationStats,
 }
@@ -212,7 +215,7 @@ impl Engine {
         if !self.certify {
             return None;
         }
-        let rec = record_reduction(
+        let Some(rec) = record_reduction(
             pool,
             program,
             self.spec,
@@ -221,7 +224,10 @@ impl Engine {
             self.persistent.as_ref(),
             proof,
             &self.check_config,
-        )?;
+        ) else {
+            self.stats.certs_dropped += 1;
+            return None;
+        };
         Some(SpecCert::from_recorded(
             pool,
             proof,

@@ -56,16 +56,28 @@
 //! when the scout stops early never finalize their ancestors, so no
 //! unsound mark is ever recorded.
 //!
+//! # Resource accounting
+//!
+//! Only the canonical sequential pass charges [`Category::DfsStates`]
+//! (and checks the cumulative `stats.visited` bound) — the scout polls
+//! the governor for deadlines, cancellation and sticky trips but counts
+//! its own states against a *fresh* per-round `max_visited` budget and
+//! charges nothing. Run-wide `dfs-states` step budgets and injected
+//! fault plans therefore fire at exactly the same charge index at every
+//! thread count, which is what keeps verdicts and certificates
+//! byte-identical across `--dfs-threads` even near a resource boundary.
+//!
 //! The one caveat (shared with the portfolio's `wall_clock_budget`):
-//! when the `max_visited` bound or a governor budget trips *mid-round*,
-//! the scout's inconclusive result is returned directly (there is
-//! nothing deterministic to replay), and the point of interruption
-//! depends on the schedule — runs near a resource boundary may give up
-//! where an unbounded run would have concluded. Verdicts can only
-//! degrade to "inconclusive", never flip.
+//! when the `max_visited` bound, the wall-clock deadline or a solver-side
+//! governor budget trips *mid-scout*, the scout's inconclusive result is
+//! returned directly (there is nothing deterministic to replay), and the
+//! point of interruption depends on the schedule — runs near a resource
+//! boundary may give up where an unbounded run would have concluded.
+//! Verdicts can only degrade to "inconclusive", never flip.
+//!
+//! [`Category::DfsStates`]: crate::govern::Category::DfsStates
 
 use crate::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
-use crate::govern::Category;
 use crate::proof::ProofAutomaton;
 use automata::bitset::BitSet;
 use program::commutativity::CommutativityOracle;
@@ -489,10 +501,15 @@ fn process_task(
     oracle: &mut CommutativityOracle,
     governor: &crate::govern::ResourceGovernor,
 ) {
-    // One charge per task, mirroring the sequential per-iteration charge,
-    // so deadlines, step budgets, cancellation and injected faults keep
-    // firing mid-DFS.
-    if let Err(give_up) = governor.charge(Category::DfsStates) {
+    // The scout deliberately does NOT charge `Category::DfsStates`: the
+    // canonical sequential pass (the replay on conclusive rounds, or the
+    // `--dfs-threads 1` path) owns that accounting, so run-wide step
+    // budgets and fault plans keyed on `dfs-states` fire at exactly the
+    // same charge index at every thread count. `poll` still observes the
+    // deadline, cooperative cancellation and sticky trips (including
+    // those raised by helper solver work) so the scout aborts mid-DFS
+    // rather than between rounds.
+    if let Err(give_up) = governor.poll() {
         shared.fail(CheckResult::Interrupted(give_up));
         return;
     }
@@ -707,8 +724,15 @@ impl ParDfs {
 /// it is conclusive, the sequential DFS replays on the engine's own
 /// proof and useless-cache to produce the canonical result — warm query
 /// cache, cold graph walk (see module docs). Inconclusive scout results
-/// (budget trips, cancellation) are returned directly. On a conclusive
-/// round, `stats.visited` therefore counts both passes.
+/// (budget trips, cancellation) are returned directly.
+///
+/// The replay runs with a fresh counter set so it gets the full
+/// `max_visited` budget regardless of how many states the scout counted
+/// — `check_proof` aborts on the cumulative `stats.visited`, and letting
+/// the scout's count leak into that bound would make rounds needing more
+/// than ~half the budget give up at `--dfs-threads > 1` where the
+/// sequential path proves them. The merged `stats.visited` still reports
+/// both passes.
 #[allow(clippy::too_many_arguments)]
 pub fn routed_check_proof(
     pool: &mut TermPool,
@@ -735,9 +759,25 @@ pub fn routed_check_proof(
         pool, program, spec, order, oracle, persistent, proof, config, stats,
     );
     let result = match scout {
-        CheckResult::Proven | CheckResult::Counterexample(_) => check_proof(
-            pool, program, spec, order, oracle, persistent, proof, useless, config, stats,
-        ),
+        CheckResult::Proven | CheckResult::Counterexample(_) => {
+            let mut replay_stats = CheckStats::default();
+            let r = check_proof(
+                pool,
+                program,
+                spec,
+                order,
+                oracle,
+                persistent,
+                proof,
+                useless,
+                config,
+                &mut replay_stats,
+            );
+            stats.visited += replay_stats.visited;
+            stats.cache_skips += replay_stats.cache_skips;
+            stats.useless_probes += replay_stats.useless_probes;
+            r
+        }
         inconclusive => inconclusive,
     };
     stats.useless_len = par.useless_len() + useless.len();

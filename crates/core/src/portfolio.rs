@@ -226,6 +226,7 @@ fn finish(
         stats.dfs_steals += e.stats.dfs_steals;
         stats.dfs_tasks += e.stats.dfs_tasks;
         stats.dfs_max_worker_tasks = stats.dfs_max_worker_tasks.max(e.stats.dfs_max_worker_tasks);
+        stats.certs_dropped += e.stats.certs_dropped;
         // Single-threaded rounds: per-engine deltas are disjoint, so the
         // sum is exact.
         stats.qcache_hits += e.stats.qcache_hits;
@@ -426,6 +427,7 @@ pub fn parallel_verify(
             stats.dfs_max_worker_tasks = stats
                 .dfs_max_worker_tasks
                 .max(exit.stats.dfs_max_worker_tasks);
+            stats.certs_dropped += exit.stats.certs_dropped;
             stats.hoare_checks += exit.hoare_checks;
             stats.proof_size = stats.proof_size.max(exit.proof_size);
             stats.interpolation.feasibility_checks += exit.stats.interpolation.feasibility_checks;

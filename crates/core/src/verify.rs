@@ -302,6 +302,9 @@ pub struct RunStats {
     pub qcache_hits: u64,
     /// Solver queries that fell through to a real solve.
     pub qcache_misses: u64,
+    /// Proven results whose certificate was dropped because the recording
+    /// re-walk tripped its state budget or the resource governor.
+    pub certs_dropped: usize,
     /// Certificates re-checked before being served or accepted.
     pub certs_checked: usize,
     /// Certificates that passed the independent check.
@@ -549,7 +552,7 @@ fn verify_spec(
         match result {
             CheckResult::Proven => {
                 let cert = if config.certify {
-                    record_reduction(
+                    let cert = record_reduction(
                         pool,
                         program,
                         spec,
@@ -568,7 +571,11 @@ fn verify_spec(
                             &config.order,
                             &check_config,
                         )
-                    })
+                    });
+                    if cert.is_none() {
+                        stats.certs_dropped += 1;
+                    }
+                    cert
                 } else {
                     None
                 };

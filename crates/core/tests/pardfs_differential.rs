@@ -9,7 +9,7 @@ use automata::bitset::BitSet;
 use automata::dfa::DfaBuilder;
 use gemcutter::check::{check_proof, CheckConfig, CheckResult, CheckStats, UselessCache};
 use gemcutter::govern::{FaultPlan, GovernorConfig};
-use gemcutter::pardfs::ParDfs;
+use gemcutter::pardfs::{routed_check_proof, ParDfs};
 use gemcutter::proof::ProofAutomaton;
 use gemcutter::verify::{verify, Verdict, VerifierConfig};
 use program::commutativity::{CommutativityLevel, CommutativityOracle};
@@ -213,8 +213,9 @@ proptest! {
     ) {
         let mut verdicts = Vec::new();
         // Unfaulted sequential ground truth, then faulted runs at 1 and
-        // 2 workers (the fault fires on the shared dfs-states budget, so
-        // any worker can trip it mid-round).
+        // 2 workers. Only the canonical sequential pass charges
+        // dfs-states (the scout polls the governor without counting), so
+        // the fault fires at the same charge index at every thread count.
         let mut pool = TermPool::new();
         let p = build_program(&mut pool, &desc, bound);
         verdicts.push(verify(&mut pool, &p, &VerifierConfig::gemcutter_seq()).verdict);
@@ -237,4 +238,89 @@ proptest! {
             "governor fault flipped a verdict: {verdicts:?} ({desc:?}, bound {bound})"
         );
     }
+}
+
+/// Regression: the canonical replay must get the *full* `max_visited`
+/// budget. The scout folds its visited count into the round's stats, and
+/// an earlier version let that count leak into the replay's
+/// `stats.visited > max_visited` bound — so a round needing more than
+/// about half the budget returned `LimitReached` at `--dfs-threads > 1`
+/// while the sequential path proved it. `Spec::PrePost` with the trivial
+/// post makes the round Proven under the empty proof, and the frozen
+/// useless-cache makes the scout's visited set schedule-independent
+/// (`scout_visits_the_sequential_state_set`), so clamping the budget to
+/// *exactly* the sequential visited count is deterministic: the scout
+/// fits, the replay fits — unless the scout's count eats the replay's
+/// budget.
+#[test]
+fn replay_gets_the_full_visited_budget() {
+    let desc = vec![
+        vec![
+            StmtDesc { var: 0, op: 1 },
+            StmtDesc { var: 1, op: 0 },
+            StmtDesc { var: 0, op: 1 },
+        ],
+        vec![
+            StmtDesc { var: 0, op: 0 },
+            StmtDesc { var: 1, op: 1 },
+            StmtDesc { var: 2, op: 1 },
+        ],
+    ];
+    let spec = Spec::PrePost;
+
+    let run = |threads: usize, max_visited: usize| {
+        let mut pool = TermPool::new();
+        let p = build_program(&mut pool, &desc, 0);
+        let order = VerifierConfig::gemcutter_seq().order.build();
+        let mut oracle = CommutativityOracle::new(CommutativityLevel::Semantic);
+        let persistent = PersistentSets::new(&mut pool, &p, &mut oracle);
+        let mut proof = ProofAutomaton::new();
+        let init = pool.and([p.init_formula(), p.pre()]);
+        proof.initial_state(&mut pool, init);
+        let mut useless = UselessCache::new();
+        let mut par = None;
+        let config = CheckConfig {
+            freeze_useless: true,
+            dfs_threads: threads,
+            max_visited,
+            ..CheckConfig::default()
+        };
+        let mut stats = CheckStats::default();
+        let r = routed_check_proof(
+            &mut pool,
+            &p,
+            spec,
+            order.as_ref(),
+            &mut oracle,
+            Some(&persistent),
+            &mut proof,
+            &mut useless,
+            &mut par,
+            &config,
+            &mut stats,
+        );
+        (r, stats)
+    };
+
+    let (seq_result, seq_stats) = run(1, usize::MAX);
+    assert!(
+        matches!(seq_result, CheckResult::Proven),
+        "trivial-post round must prove, got {seq_result:?}"
+    );
+    assert!(seq_stats.visited > 0, "sequential walk visited no states");
+
+    let (par_result, par_stats) = run(2, seq_stats.visited);
+    assert!(
+        matches!(par_result, CheckResult::Proven),
+        "tight budget flipped the parallel round to {par_result:?} \
+         (seq visited {}, par visited {})",
+        seq_stats.visited,
+        par_stats.visited
+    );
+    // Scout + replay over the same schedule-independent state set.
+    assert_eq!(
+        par_stats.visited,
+        2 * seq_stats.visited,
+        "scout or replay visited a different state set"
+    );
 }

@@ -179,6 +179,7 @@ struct Shared {
     certs_checked: AtomicU64,
     certs_passed: AtomicU64,
     certs_quarantined: AtomicU64,
+    certs_dropped: AtomicU64,
     /// Parallel-DFS and useless-cache counters, aggregated from each
     /// request's run stats (daemon-wide, like the `certs-*` family).
     dfs_tasks: AtomicU64,
@@ -243,6 +244,10 @@ impl Shared {
             (
                 "certs-quarantined".to_owned(),
                 self.certs_quarantined.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "certs-dropped".to_owned(),
+                self.certs_dropped.load(Ordering::Relaxed).to_string(),
             ),
             (
                 "dfs-tasks".to_owned(),
@@ -351,6 +356,7 @@ impl Server {
             certs_checked: AtomicU64::new(0),
             certs_passed: AtomicU64::new(0),
             certs_quarantined: AtomicU64::new(0),
+            certs_dropped: AtomicU64::new(0),
             dfs_tasks: AtomicU64::new(0),
             dfs_steals: AtomicU64::new(0),
             useless_probes: AtomicU64::new(0),
@@ -746,6 +752,9 @@ fn handle_verify(shared: &Shared, job: &Job) -> Response {
     shared
         .useless_hits
         .fetch_add(sup.outcome.stats.cache_skips as u64, Ordering::Relaxed);
+    shared
+        .certs_dropped
+        .fetch_add(sup.outcome.stats.certs_dropped as u64, Ordering::Relaxed);
 
     let mut response = Response {
         id: job.id.clone(),
@@ -1018,7 +1027,7 @@ impl BatchStats {
         };
         format!(
             "batch: served={} ok={} errors={} shed={} store-hits={} hit-rate={:.2} warm-starts={} \
-             certs-checked={} certs-passed={} certs-quarantined={} \
+             certs-checked={} certs-passed={} certs-quarantined={} certs-dropped={} \
              dfs-tasks={} dfs-steals={} useless-probes={} useless-hits={} \
              p50-ms={} p95-ms={} max-ms={} qcache-evictions={}",
             self.served,
@@ -1031,6 +1040,7 @@ impl BatchStats {
             shared.certs_checked.load(Ordering::Relaxed),
             shared.certs_passed.load(Ordering::Relaxed),
             shared.certs_quarantined.load(Ordering::Relaxed),
+            shared.certs_dropped.load(Ordering::Relaxed),
             shared.dfs_tasks.load(Ordering::Relaxed),
             shared.dfs_steals.load(Ordering::Relaxed),
             shared.useless_probes.load(Ordering::Relaxed),
